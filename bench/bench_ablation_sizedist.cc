@@ -1,0 +1,75 @@
+// Ablation A3 — fragment-size distribution family. The paper assumes Gamma
+// sizes (after [Ros95, KH95]) and notes the derivation carries over to
+// other families with computable transforms. Here the Gamma-moment-matched
+// admission model is stress-tested against workloads whose true sizes are
+// Lognormal or truncated Pareto with identical first two moments.
+//
+// Expected shape: at matched moments the simulated p_late differs only
+// mildly across families (the round aggregates N ~ 26 fragments, so the
+// sum is moment-dominated); the Gamma-based bound stays conservative for
+// all three; the heavier-tailed families stress it the most.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/admission.h"
+
+namespace zonestream {
+namespace {
+
+void RunSizeDistributionAblation() {
+  const core::ServiceTimeModel model = bench::Table1Model();
+
+  std::vector<std::shared_ptr<const workload::SizeDistribution>> families;
+  families.push_back(bench::Table1Sizes());
+  families.push_back(std::make_shared<workload::LognormalSizeDistribution>(
+      *workload::LognormalSizeDistribution::Create(bench::kMeanSizeBytes,
+                                                   bench::kVarSizeBytes2)));
+  families.push_back(
+      std::make_shared<workload::TruncatedParetoSizeDistribution>(
+          *workload::TruncatedParetoSizeDistribution::CreateByMoments(
+              bench::kMeanSizeBytes, bench::kVarSizeBytes2, /*alpha=*/2.2)));
+
+  const int rounds = bench::ScaledCount(100000);
+  common::TablePrinter table(
+      "Ablation A3: simulated p_late by size family at equal moments "
+      "(mean 200 KB, sd 100 KB) vs the Gamma-matched analytic bound");
+  table.SetHeader({"N", "bound (gamma model)", "sim gamma", "sim lognormal",
+                   "sim trunc-pareto"});
+  for (int n : {24, 26, 28, 30}) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(n));
+    row.push_back(common::FormatProbability(
+        model.LateBound(n, bench::kRoundLengthS).bound));
+    for (const auto& family : families) {
+      sim::SimulatorConfig config;
+      config.round_length_s = bench::kRoundLengthS;
+      config.seed = 4500 + n;
+      auto simulator = sim::RoundSimulator::Create(
+          disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+          sim::RoundSimulator::IidFactory(family), config);
+      ZS_CHECK(simulator.ok());
+      row.push_back(common::FormatProbability(
+          simulator->EstimateLateProbability(rounds).point));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\n99th-percentile fragment by family: gamma %.0f KB, lognormal %.0f "
+      "KB, trunc-pareto %.0f KB (same mean/variance, different tails)\n",
+      families[0]->Quantile(0.99) / 1e3, families[1]->Quantile(0.99) / 1e3,
+      families[2]->Quantile(0.99) / 1e3);
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::RunSizeDistributionAblation();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared setup for the reproduction harnesses: the paper's Table 1
+// configuration and environment-tunable simulation effort.
+#ifndef ZONESTREAM_BENCH_BENCH_COMMON_H_
+#define ZONESTREAM_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::bench {
+
+// Table 1 workload statistics.
+inline constexpr double kMeanSizeBytes = 200e3;            // 200 KB
+inline constexpr double kVarSizeBytes2 = 100e3 * 100e3;    // (100 KB)^2
+inline constexpr double kRoundLengthS = 1.0;               // t = 1 s
+inline constexpr int kRoundsPerStream = 1200;              // M
+inline constexpr int kToleratedGlitches = 12;              // g
+
+// Shared Gamma fragment-size distribution (Table 1).
+inline std::shared_ptr<const workload::GammaSizeDistribution> Table1Sizes() {
+  return std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSizeBytes,
+                                               kVarSizeBytes2));
+}
+
+// The §3.2 multi-zone analytic model on the Table 1 disk.
+inline core::ServiceTimeModel Table1Model() {
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      kMeanSizeBytes, kVarSizeBytes2);
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+// A fresh detailed simulator at multiprogramming level n.
+inline sim::RoundSimulator Table1Simulator(int n, uint64_t seed) {
+  sim::SimulatorConfig config;
+  config.round_length_s = kRoundLengthS;
+  config.seed = seed;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      sim::RoundSimulator::IidFactory(Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+// Simulation effort multiplier: ZONESTREAM_BENCH_EFFORT=4 quadruples every
+// simulated sample count (tighter confidence intervals, longer runtime).
+inline double EffortMultiplier() {
+  const char* env = std::getenv("ZONESTREAM_BENCH_EFFORT");
+  if (env == nullptr) return 1.0;
+  const double effort = std::atof(env);
+  return (effort > 0.0) ? effort : 1.0;
+}
+
+inline int ScaledCount(int base) {
+  return static_cast<int>(base * EffortMultiplier());
+}
+
+}  // namespace zonestream::bench
+
+#endif  // ZONESTREAM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,93 @@
+// Extension X6 — heterogeneous arrays: striping across mixed drive
+// generations vs partitioning into homogeneous groups.
+//
+// Expected shape: under whole-array striping every disk must absorb the
+// same per-round load, so the weakest generation caps the array; grouping
+// recovers the fast disks' capacity. The gap grows with the speed spread.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "server/array_planner.h"
+
+namespace zonestream {
+namespace {
+
+server::DiskGroup Group(const char* name,
+                        const disk::DiskParameters& disk_params,
+                        const disk::SeekParameters& seek_params, int count) {
+  return server::DiskGroup{name, disk_params, seek_params, count};
+}
+
+void RunHeterogeneousStudy() {
+  const server::ArrayQos qos{bench::kRoundLengthS, 0.01};
+
+  struct Case {
+    std::string name;
+    std::vector<server::DiskGroup> groups;
+  };
+  const std::vector<Case> cases = {
+      {"8x viking (homogeneous)",
+       {Group("viking", disk::QuantumViking2100Parameters(),
+              disk::QuantumViking2100SeekParameters(), 8)}},
+      {"4x viking + 4x small",
+       {Group("viking", disk::QuantumViking2100Parameters(),
+              disk::QuantumViking2100SeekParameters(), 4),
+        Group("small", disk::SyntheticSmallDiskParameters(),
+              disk::SyntheticSmallDiskSeekParameters(), 4)}},
+      {"4x fast + 4x viking",
+       {Group("fast", disk::SyntheticFastDiskParameters(),
+              disk::SyntheticFastDiskSeekParameters(), 4),
+        Group("viking", disk::QuantumViking2100Parameters(),
+              disk::QuantumViking2100SeekParameters(), 4)}},
+      {"3x fast + 3x viking + 2x small",
+       {Group("fast", disk::SyntheticFastDiskParameters(),
+              disk::SyntheticFastDiskSeekParameters(), 3),
+        Group("viking", disk::QuantumViking2100Parameters(),
+              disk::QuantumViking2100SeekParameters(), 3),
+        Group("small", disk::SyntheticSmallDiskParameters(),
+              disk::SyntheticSmallDiskSeekParameters(), 2)}},
+  };
+
+  common::TablePrinter table(
+      "Extension X6: heterogeneous arrays (Table 1 workload, p_late <= 1%, "
+      "t = 1 s)");
+  table.SetHeader({"array", "per-disk limits", "striped capacity",
+                   "partitioned capacity", "gain"});
+  for (const Case& c : cases) {
+    const auto plan = server::PlanArray(c.groups, bench::kMeanSizeBytes,
+                                        bench::kVarSizeBytes2, qos);
+    ZS_CHECK(plan.ok());
+    std::string limits;
+    for (size_t g = 0; g < plan->per_disk_limits.size(); ++g) {
+      if (g > 0) limits += "/";
+      limits += std::to_string(plan->per_disk_limits[g]);
+    }
+    table.AddRow({c.name, limits, std::to_string(plan->striped_capacity),
+                  std::to_string(plan->partitioned_capacity),
+                  common::FormatFixed(
+                      plan->striped_capacity > 0
+                          ? 100.0 *
+                                (plan->partitioned_capacity -
+                                 plan->striped_capacity) /
+                                plan->striped_capacity
+                          : 0.0,
+                      1) + "%"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading the table: whole-array striping (the paper's layout,\n"
+      "designed for identical disks) inherits the weakest generation's\n"
+      "per-disk limit; partitioning into homogeneous striped groups\n"
+      "recovers the difference.\n");
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::RunHeterogeneousStudy();
+  return 0;
+}

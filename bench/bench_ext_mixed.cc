@@ -1,0 +1,80 @@
+// Extension X2 — mixed continuous + discrete workload (the §6 outlook,
+// after [NMW97]): discrete (HTML/image) requests served in the leftover
+// time of each round.
+//
+// Expected shape: as the continuous load N approaches N_max, the
+// guaranteed discrete slots and the best-effort throughput collapse and
+// the discrete response time diverges; the analytic leftover-time
+// estimate tracks the simulated leftover within the Oyang seek-bound
+// slack.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/mixed_workload.h"
+#include "sim/mixed_simulator.h"
+
+namespace zonestream {
+namespace {
+
+void RunMixedWorkload() {
+  const core::DiscreteWorkload web{40e3, 30e3 * 30e3};
+  auto model = core::MixedWorkloadModel::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      bench::kMeanSizeBytes, bench::kVarSizeBytes2, web);
+  ZS_CHECK(model.ok());
+
+  std::printf("Mean discrete service time: %.1f ms (40 KB requests)\n\n",
+              1e3 * model->mean_discrete_service());
+
+  auto web_sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(40e3, 30e3 * 30e3));
+  const int rounds = bench::ScaledCount(20000);
+
+  common::TablePrinter table(
+      "Extension X2: discrete capacity vs continuous load (Table 1 disk, "
+      "t = 1 s, discrete = 40 KB requests at 5/s)");
+  table.SetHeader({"N cont", "guaranteed slots/round (1%)",
+                   "E[leftover] model [ms]", "sim leftover [ms]",
+                   "sim discrete/round", "sim mean resp [ms]",
+                   "cont glitch rate"});
+  for (int n : {0, 10, 16, 20, 24, 26, 28}) {
+    sim::MixedSimulatorConfig config;
+    config.round_length_s = bench::kRoundLengthS;
+    config.discrete_arrival_rate_hz = 5.0;
+    config.seed = 880 + n;
+    auto simulator = sim::MixedRoundSimulator::Create(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+        bench::Table1Sizes(), web_sizes, config);
+    ZS_CHECK(simulator.ok());
+    const sim::MixedRunResult result = simulator->Run(rounds);
+    table.AddRow(
+        {std::to_string(n),
+         std::to_string(
+             model->GuaranteedDiscreteSlots(n, bench::kRoundLengthS, 0.01)),
+         common::FormatFixed(
+             1e3 * model->ExpectedLeftoverTime(n, bench::kRoundLengthS), 0),
+         common::FormatFixed(1e3 * result.mean_leftover_s, 0),
+         common::FormatFixed(result.mean_discrete_per_round, 2),
+         common::FormatFixed(1e3 * result.mean_response_time_s, 0),
+         common::FormatProbability(result.continuous_glitch_rate)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nSustainable discrete rate at N=24 (rho=0.8): %.1f req/s; "
+      "approx response at 5/s: %.0f ms\n",
+      model->SustainableDiscreteRate(24, bench::kRoundLengthS),
+      1e3 * model->ApproximateDiscreteResponseTime(24, bench::kRoundLengthS,
+                                                   5.0));
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::RunMixedWorkload();
+  return 0;
+}

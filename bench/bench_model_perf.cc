@@ -1,0 +1,92 @@
+// Experiment P1 — §5 claims the analytic model is cheap enough that
+// admission control runs from a precomputed lookup table with "almost no
+// run-time overhead", and that re-evaluating the model (on configuration
+// change) is fast. google-benchmark microbenchmarks of every piece of that
+// pipeline.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/admission.h"
+#include "core/glitch_model.h"
+
+namespace zonestream {
+namespace {
+
+void BM_LateBound(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.LateBound(n, bench::kRoundLengthS).bound);
+  }
+}
+BENCHMARK(BM_LateBound)->Arg(8)->Arg(26)->Arg(64);
+
+void BM_MaxStreamsByLateProbability(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::MaxStreamsByLateProbability(model, bench::kRoundLengthS, 0.01));
+  }
+}
+BENCHMARK(BM_MaxStreamsByLateProbability);
+
+void BM_ErrorBound(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  const core::GlitchModel glitch_model(&model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        glitch_model.ErrorBound(28, bench::kRoundLengthS,
+                                bench::kRoundsPerStream,
+                                bench::kToleratedGlitches));
+  }
+}
+BENCHMARK(BM_ErrorBound);
+
+void BM_AdmissionTableBuild(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  for (auto _ : state) {
+    auto table = core::AdmissionTable::Build(
+        model, core::AdmissionCriterion::kGlitchRate, bench::kRoundLengthS,
+        {0.001, 0.01, 0.05, 0.1}, bench::kRoundsPerStream,
+        bench::kToleratedGlitches);
+    benchmark::DoNotOptimize(table.ok());
+  }
+}
+BENCHMARK(BM_AdmissionTableBuild);
+
+void BM_AdmissionTableLookup(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  const auto table = core::AdmissionTable::Build(
+      model, core::AdmissionCriterion::kLateProbability,
+      bench::kRoundLengthS, {0.001, 0.01, 0.05, 0.1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->MaxStreams(0.02));
+  }
+}
+BENCHMARK(BM_AdmissionTableLookup);
+
+void BM_SimulatedRound(benchmark::State& state) {
+  sim::RoundSimulator simulator =
+      bench::Table1Simulator(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.RunRound().total_service_time_s);
+  }
+}
+BENCHMARK(BM_SimulatedRound)->Arg(26);
+
+void BM_ModelBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+        bench::kMeanSizeBytes, bench::kVarSizeBytes2);
+    benchmark::DoNotOptimize(model.ok());
+  }
+}
+BENCHMARK(BM_ModelBuild);
+
+}  // namespace
+}  // namespace zonestream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E3 — §3.1 worked example (conventional single-zone disk):
+//   SEEK(27)          = 0.10932 s
+//   b_late(N=27, 1s)  ≈ 0.0103
+//   b_late(N=26, 1s)  ≈ 0.00225  -> N_max^plate = 26 at delta = 1%
+// using E[T_trans] = 0.02174 s, Var[T_trans] = 0.00011815 s² as stated in
+// the paper, plus a simulated cross-check on the single-zone stand-in
+// geometry (mean Viking track capacity).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/admission.h"
+#include "sched/oyang_bound.h"
+
+namespace zonestream {
+namespace {
+
+void RunSection31() {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  std::printf("SEEK(N=27) = %.5f s   (paper: 0.10932 s)\n\n",
+              sched::OyangSeekBound(seek, 6720, 27));
+
+  auto model = core::ServiceTimeModel::FromTransferMoments(
+      seek, 6720, 8.34e-3, 0.02174, 0.00011815);
+  ZS_CHECK(model.ok());
+
+  common::TablePrinter table(
+      "Section 3.1 example: single-zone Chernoff bounds "
+      "(E[T]=0.02174s, Var[T]=0.00011815s^2, t=1s)");
+  table.SetHeader({"N", "b_late (ours)", "b_late (paper)", "theta*"});
+  const char* paper[] = {"-", "0.00225", "0.0103"};
+  for (int i = 0; i < 3; ++i) {
+    const int n = 25 + i;
+    const core::ChernoffResult result =
+        model->LateBound(n, bench::kRoundLengthS);
+    table.AddRow({std::to_string(n), common::FormatProbability(result.bound),
+                  paper[i], common::FormatFixed(result.theta_star, 2)});
+  }
+  table.Print();
+
+  std::printf("\nN_max^plate(delta=1%%) = %d   (paper: 26)\n",
+              core::MaxStreamsByLateProbability(*model, bench::kRoundLengthS,
+                                                0.01));
+
+  // Simulated cross-check on the single-zone stand-in (mean track
+  // capacity): the bound must dominate the simulation.
+  const int rounds = bench::ScaledCount(100000);
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  config.seed = 31;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::SingleZoneViking(), seek, 27,
+      sim::RoundSimulator::IidFactory(bench::Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  const sim::ProbabilityEstimate simulated =
+      simulator->EstimateLateProbability(rounds);
+  std::printf(
+      "\nSimulated p_late(N=27) on the single-zone stand-in: %.5f "
+      "[%.5f, %.5f] over %d rounds (bound: %.5f)\n",
+      simulated.point, simulated.ci_lower, simulated.ci_upper, rounds,
+      model->LateBound(27, bench::kRoundLengthS).bound);
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::RunSection31();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment E5 — §3.3 worked example: the per-stream glitch model.
+//   b_glitch(N, t): per-round glitch probability bound (eq. 3.3.3)
+//   p_error(N=28, t=1s, M=1200, g=12) <= 0.14e-3 in the paper (eq. 3.3.5)
+// plus the N_max^perror admission limit (eq. 3.3.6) and a comparison of
+// the Hagerup-Rüb Chernoff bound against the exact binomial tail.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/admission.h"
+#include "core/glitch_model.h"
+
+namespace zonestream {
+namespace {
+
+void RunSection33() {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  const core::GlitchModel glitch_model(&model);
+
+  common::TablePrinter table(
+      "Section 3.3: per-stream glitch model (Table 1 disk, t=1s, M=1200, "
+      "g=12)");
+  table.SetHeader({"N", "b_glitch/round", "p_error (HR89 bound)",
+                   "p_error (exact binomial at b_glitch)"});
+  for (int n = 24; n <= 30; ++n) {
+    const double b_glitch =
+        glitch_model.GlitchBoundPerRound(n, bench::kRoundLengthS);
+    const double p_error = core::GlitchModel::ErrorBoundForGlitchProbability(
+        b_glitch, bench::kRoundsPerStream, bench::kToleratedGlitches);
+    const double exact = core::BinomialTailExact(
+        bench::kRoundsPerStream, b_glitch, bench::kToleratedGlitches);
+    table.AddRow({std::to_string(n), common::FormatProbability(b_glitch),
+                  common::FormatProbability(p_error),
+                  common::FormatProbability(exact)});
+  }
+  table.Print();
+
+  std::printf(
+      "\np_error(N=28) = %s   (paper: at most 0.14e-3)\n",
+      common::FormatProbability(
+          glitch_model.ErrorBound(28, bench::kRoundLengthS,
+                                  bench::kRoundsPerStream,
+                                  bench::kToleratedGlitches))
+          .c_str());
+  std::printf(
+      "N_max^perror(epsilon=1%%) = %d   (paper: 28)\n",
+      core::MaxStreamsByGlitchRate(model, bench::kRoundLengthS,
+                                   bench::kRoundsPerStream,
+                                   bench::kToleratedGlitches, 0.01));
+
+  // Simulated per-round glitch probability vs the analytic bound.
+  const int rounds = bench::ScaledCount(60000);
+  common::TablePrinter sim_table(
+      "\nSimulated per-stream per-round glitch probability vs bound");
+  sim_table.SetHeader({"N", "simulated p_glitch", "analytic b_glitch"});
+  for (int n : {26, 28, 30}) {
+    sim::RoundSimulator simulator = bench::Table1Simulator(n, 3300 + n);
+    const sim::ProbabilityEstimate estimate =
+        simulator.EstimateGlitchProbability(rounds);
+    sim_table.AddRow(
+        {std::to_string(n), common::FormatProbability(estimate.point),
+         common::FormatProbability(
+             glitch_model.GlitchBoundPerRound(n, bench::kRoundLengthS))});
+  }
+  sim_table.Print();
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::RunSection33();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment E8 — Table 1 of the paper: the disk and data characteristics
+// of the simulation (Quantum Viking 2.1 class drive), echoed from the
+// preset together with the derived per-zone geometry and the transfer-time
+// moments the analytic model consumes.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/transfer_models.h"
+
+namespace zonestream {
+namespace {
+
+void PrintTable1() {
+  const disk::DiskParameters params = disk::QuantumViking2100Parameters();
+  const disk::SeekParameters seek = disk::QuantumViking2100SeekParameters();
+
+  common::TablePrinter table("Table 1: disk and data characteristics");
+  table.SetHeader({"parameter", "symbol", "value"});
+  table.AddRow({"number of cylinders", "CYL", std::to_string(params.cylinders)});
+  table.AddRow({"number of zones", "Z", std::to_string(params.zones)});
+  table.AddRow({"revolution time", "ROT",
+                common::FormatFixed(common::SecondsToMillis(
+                    params.rotation_time_s), 2) + " ms"});
+  table.AddRow({"track capacity innermost", "C_min",
+                common::FormatFixed(params.innermost_track_bytes, 0) +
+                    " bytes"});
+  table.AddRow({"track capacity outermost", "C_max",
+                common::FormatFixed(params.outermost_track_bytes, 0) +
+                    " bytes"});
+  table.AddRow({"seek (d < 1344)", "",
+                "1.867e-3 + 1.315e-4 sqrt(d)  [" +
+                    common::FormatDouble(seek.sqrt_intercept_s, 4) + ", " +
+                    common::FormatDouble(seek.sqrt_coefficient, 4) + "]"});
+  table.AddRow({"seek (d >= 1344)", "",
+                "3.8635e-3 + 2.1e-6 d  [" +
+                    common::FormatDouble(seek.linear_intercept_s, 5) + ", " +
+                    common::FormatDouble(seek.linear_coefficient, 2) + "]"});
+  table.AddRow({"mean fragment size", "E[S]", "200 KBytes"});
+  table.AddRow({"fragment size variance", "Var[S]", "(100 KBytes)^2"});
+  table.AddRow({"round length", "t", "1 s"});
+  table.AddRow({"rounds per stream", "M", "1200"});
+  table.AddRow({"tolerated glitches", "g", "12"});
+  table.Print();
+
+  const disk::DiskGeometry geometry = disk::QuantumViking2100();
+  common::TablePrinter zones("\nDerived zone table (eqs. 3.2.2/3.2.3)");
+  zones.SetHeader({"zone", "cylinders", "track bytes", "rate MB/s",
+                   "hit prob"});
+  for (const disk::ZoneInfo& zone : geometry.zones()) {
+    zones.AddRow({std::to_string(zone.index + 1),
+                  std::to_string(zone.first_cylinder) + "-" +
+                      std::to_string(zone.first_cylinder +
+                                     zone.num_cylinders - 1),
+                  common::FormatFixed(zone.track_capacity_bytes, 0),
+                  common::FormatFixed(
+                      zone.transfer_rate_bps / common::kMegabyte, 3),
+                  common::FormatFixed(zone.hit_probability, 5)});
+  }
+  zones.Print();
+
+  const auto transfer = core::GammaTransferModel::ForMultiZone(
+      geometry, bench::kMeanSizeBytes, bench::kVarSizeBytes2);
+  std::printf(
+      "\nDerived transfer-time moments (uniform-over-capacity placement):\n"
+      "  E[T_trans] = %.5f s, Var[T_trans] = %.4e s^2\n"
+      "  moment-matched Gamma: alpha (rate) = %.3f 1/s, beta (shape) = %.4f\n",
+      transfer->mean(), transfer->variance(), transfer->alpha(),
+      transfer->beta());
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::PrintTable1();
+  return 0;
+}

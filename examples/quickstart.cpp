@@ -1,0 +1,84 @@
+// Quickstart: size a video server with stochastic service guarantees.
+//
+// Reproduces the paper's workflow end to end on the Table 1 configuration:
+//  1. describe the disk and the fragment-size statistics,
+//  2. build the multi-zone analytic model (§3.2),
+//  3. ask for the admission limit under two QoS contracts (§3.1.7, §3.3.6),
+//  4. sanity-check the analytic bound against a short simulation (§4).
+#include <cstdio>
+
+#include "core/admission.h"
+#include "core/glitch_model.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+using namespace zonestream;  // example code; libraries never do this
+
+int main() {
+  // 1. Hardware and workload description (paper Table 1).
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const double mean_size = 200e3;          // 200 KB fragments
+  const double var_size = 100e3 * 100e3;   // (100 KB)^2
+  const double round_length = 1.0;         // 1 s rounds
+
+  // 2. Analytic model of the round service time on the multi-zone disk.
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(viking, seek,
+                                                        mean_size, var_size);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3a. QoS contract A: at most 1% of rounds may overrun (p_late <= 0.01).
+  const int n_late =
+      core::MaxStreamsByLateProbability(*model, round_length, 0.01);
+  std::printf("p_late <= 1%%          -> admit up to N = %d streams/disk\n",
+              n_late);
+
+  // 3b. QoS contract B: a 20-minute stream (M = 1200 rounds) may exceed 12
+  // glitches (1%% of rounds) with probability at most 1%%.
+  const int n_glitch =
+      core::MaxStreamsByGlitchRate(*model, round_length, /*m=*/1200,
+                                   /*g=*/12, /*epsilon=*/0.01);
+  std::printf("p_error(M=1200,g=12) <= 1%% -> admit up to N = %d streams/disk\n",
+              n_glitch);
+
+  // Detail: the bound curve around the admission limit.
+  for (int n = n_late - 1; n <= n_late + 2; ++n) {
+    const core::ChernoffResult late = model->LateBound(n, round_length);
+    std::printf("  b_late(N=%d)  = %.5g  (theta* = %.4g)\n", n, late.bound,
+                late.theta_star);
+  }
+  const core::GlitchModel glitch_model(&*model);
+  for (int n = n_glitch; n <= n_glitch + 2; ++n) {
+    std::printf("  p_error(N=%d) = %.5g\n", n,
+                glitch_model.ErrorBound(n, round_length, 1200, 12));
+  }
+
+  // 4. Cross-check the analytic bound with a short detailed simulation at
+  // the admission limit.
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(mean_size, var_size));
+  sim::SimulatorConfig sim_config;
+  sim_config.round_length_s = round_length;
+  sim_config.seed = 7;
+  auto simulator = sim::RoundSimulator::Create(
+      viking, seek, n_late, sim::RoundSimulator::IidFactory(sizes),
+      sim_config);
+  if (!simulator.ok()) {
+    std::fprintf(stderr, "sim: %s\n", simulator.status().ToString().c_str());
+    return 1;
+  }
+  const sim::ProbabilityEstimate p_late =
+      simulator->EstimateLateProbability(/*rounds=*/20000);
+  std::printf(
+      "simulated p_late(N=%d) = %.5f  [%.5f, %.5f] over %lld rounds "
+      "(analytic bound %.5f)\n",
+      n_late, p_late.point, p_late.ci_lower, p_late.ci_upper,
+      static_cast<long long>(p_late.trials),
+      model->LateBound(n_late, round_length).bound);
+  return 0;
+}

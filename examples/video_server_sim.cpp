@@ -1,0 +1,157 @@
+// End-to-end video-server scenario (the news-on-demand workload of the
+// paper's introduction):
+//
+//  1. synthesize MPEG-like VBR "videos" and fragment them into
+//     uniform-display-time fragments (§2.1),
+//  2. measure the fragment statistics the admission control consumes
+//     (§2.3 "workload statistics are fed into the admission control"),
+//  3. derive the admission limit from the analytic model,
+//  4. run a striped multi-disk MediaServer at that limit for 20 minutes of
+//     simulated time with stream churn (viewers joining/leaving), and
+//  5. report the per-stream QoS actually delivered vs the contract.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "numeric/random.h"
+#include "server/media_server.h"
+#include "workload/fragmentation.h"
+#include "workload/size_distribution.h"
+#include "workload/vbr_trace.h"
+
+using namespace zonestream;  // example code; libraries never do this
+
+int main() {
+  // --- 1. Content preparation -------------------------------------------
+  workload::VbrTraceConfig trace_config;
+  trace_config.mean_bandwidth_bps = 200e3;   // ~1.6 Mbit/s MPEG-2 video
+  trace_config.bandwidth_stddev_bps = 95e3;
+  trace_config.scene_correlation = 0.9;
+  auto generator = workload::VbrTraceGenerator::Create(trace_config, 2024);
+  if (!generator.ok()) return 1;
+
+  std::vector<workload::Fragment> all_fragments;
+  const double round_length = 1.0;
+  for (int video = 0; video < 20; ++video) {
+    const workload::BandwidthProfile profile =
+        generator->Generate(/*duration_s=*/600.0);  // 10-minute clips
+    auto fragments = workload::FragmentObject(profile, round_length);
+    if (!fragments.ok()) return 1;
+    all_fragments.insert(all_fragments.end(), fragments->begin(),
+                         fragments->end());
+  }
+
+  // --- 2. Workload statistics -------------------------------------------
+  const workload::FragmentMoments moments =
+      workload::MeasureFragmentMoments(all_fragments);
+  std::printf(
+      "Content library: %lld fragments, mean %.1f KB, stddev %.1f KB\n",
+      static_cast<long long>(moments.count), moments.mean_bytes / 1e3,
+      std::sqrt(moments.variance_bytes2) / 1e3);
+
+  // --- 3. Admission limit from the analytic model ------------------------
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      viking, seek, moments.mean_bytes, moments.variance_bytes2);
+  if (!model.ok()) return 1;
+  const int rounds_per_stream = 1200;  // 20-minute viewing sessions
+  const int tolerated_glitches = 12;   // 1% of rounds
+  const int per_disk_limit = core::MaxStreamsByGlitchRate(
+      *model, round_length, rounds_per_stream, tolerated_glitches, 0.01);
+  std::printf(
+      "Admission model: <=%d streams/disk keep P[>%d glitches in %d "
+      "rounds] under 1%%\n",
+      per_disk_limit, tolerated_glitches, rounds_per_stream);
+
+  // --- 4. Run the striped server with churn ------------------------------
+  server::MediaServerConfig server_config;
+  server_config.num_disks = 4;
+  server_config.round_length_s = round_length;
+  server_config.per_disk_stream_limit = per_disk_limit;
+  server_config.seed = 99;
+  auto server = server::MediaServer::Create(viking, seek, server_config);
+  if (!server.ok()) return 1;
+
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(moments.mean_bytes,
+                                               moments.variance_bytes2));
+  numeric::Rng churn_rng(5);
+  std::vector<int> active;
+  int rejected = 0;
+  int64_t finished_streams = 0;
+  int64_t finished_glitches = 0;
+  const int total_rounds = 1200;
+  for (int round = 0; round < total_rounds; ++round) {
+    // Viewers join at ~6 per round until the server is full, and leave
+    // with probability 1/1200 per round (20-minute mean sessions).
+    for (int arrivals = 0; arrivals < 6; ++arrivals) {
+      auto id = server->OpenStream(sizes);
+      if (id.ok()) {
+        active.push_back(*id);
+      } else {
+        ++rejected;
+      }
+    }
+    for (size_t i = 0; i < active.size();) {
+      if (churn_rng.Uniform01() < 1.0 / 1200.0) {
+        const auto stats = server->GetStreamStats(active[i]);
+        if (stats.ok()) {
+          ++finished_streams;
+          finished_glitches += stats->glitches;
+        }
+        (void)server->CloseStream(active[i]);
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    server->RunRound();
+  }
+
+  // --- 5. Delivered QoS ---------------------------------------------------
+  const server::ServerStats stats = server->GetServerStats();
+  std::printf(
+      "\nAfter %lld rounds: %d active streams (cap %d), %d arrivals "
+      "rejected by admission control\n",
+      static_cast<long long>(stats.rounds), server->active_streams(),
+      server->max_streams(), rejected);
+  std::printf("Fragments served: %lld, glitches: %lld (rate %.5f%%)\n",
+              static_cast<long long>(stats.fragments_served),
+              static_cast<long long>(stats.glitches),
+              100.0 * stats.glitches /
+                  std::max<int64_t>(1, stats.fragments_served +
+                                           stats.glitches));
+
+  common::TablePrinter util("Per-disk utilization (busy fraction)");
+  util.SetHeader({"disk", "utilization"});
+  for (size_t d = 0; d < stats.disk_utilization.size(); ++d) {
+    util.AddRow({std::to_string(d),
+                 common::FormatFixed(stats.disk_utilization[d], 3)});
+  }
+  util.Print();
+
+  // QoS contract check over streams still active at the end.
+  int worst_glitches = 0;
+  int violators = 0;
+  for (int id : active) {
+    const auto stream_stats = server->GetStreamStats(id);
+    if (!stream_stats.ok()) continue;
+    worst_glitches = std::max<int>(worst_glitches,
+                                   static_cast<int>(stream_stats->glitches));
+    if (stream_stats->glitches >= tolerated_glitches) ++violators;
+  }
+  std::printf(
+      "\nQoS: worst active stream saw %d glitches (contract: <%d); %d of "
+      "%zu active streams violated the contract; %lld finished streams "
+      "accumulated %lld glitches.\n",
+      worst_glitches, tolerated_glitches, violators, active.size(),
+      static_cast<long long>(finished_streams),
+      static_cast<long long>(finished_glitches));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// zonestream_ctl: config-driven admission planning for operators.
+//
+//   zonestream_ctl --template           print a starter config
+//   zonestream_ctl <config-file>        print the admission plan
+//
+// The config format is documented in src/server/server_config.h; the
+// template is the paper's Table 1 deployment.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table_printer.h"
+#include "server/server_config.h"
+
+using namespace zonestream;  // example code; libraries never do this
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s --template | <config-file>\n", argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--template") == 0) {
+    std::fputs(server::DefaultConfigTemplate().c_str(), stdout);
+    return 0;
+  }
+
+  const auto spec = server::LoadServerSpec(argv[1]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  const auto plan = server::BuildServerPlan(*spec);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning error: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  common::TablePrinter table("Admission plan");
+  table.SetHeader({"quantity", "value"});
+  table.AddRow({"disk",
+                std::to_string(spec->disk_parameters.cylinders) + " cyl / " +
+                    std::to_string(spec->disk_parameters.zones) + " zones"});
+  table.AddRow({"fragments",
+                common::FormatFixed(spec->fragment_mean_bytes / 1e3, 0) +
+                    " KB mean"});
+  table.AddRow({"round length",
+                common::FormatDouble(spec->round_length_s, 3) + " s"});
+  table.AddRow(
+      {"criterion",
+       spec->criterion == core::AdmissionCriterion::kLateProbability
+           ? "p_late <= " + common::FormatProbability(spec->tolerance)
+           : "P[>" + std::to_string(spec->tolerated_glitches) +
+                 " glitches in " + std::to_string(spec->session_rounds) +
+                 " rounds] <= " + common::FormatProbability(spec->tolerance)});
+  table.AddRow({"streams per disk", std::to_string(plan->streams_per_disk)});
+  table.AddRow({"server total (" + std::to_string(spec->num_disks) +
+                    " disks)",
+                std::to_string(plan->total_streams)});
+  table.AddRow({"b_late at the limit",
+                common::FormatProbability(plan->late_bound_at_limit)});
+  table.Print();
+  return 0;
+}

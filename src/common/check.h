@@ -1,0 +1,44 @@
+// Lightweight assertion macros used across zonestream.
+//
+// The library does not use exceptions. Internal invariant violations and
+// programmer errors abort the process with a diagnostic; recoverable
+// conditions are reported through common::Status (see status.h).
+#ifndef ZONESTREAM_COMMON_CHECK_H_
+#define ZONESTREAM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zonestream::common {
+
+// Prints a fatal diagnostic and aborts. Used by the ZS_CHECK macros; callers
+// should prefer the macros so file/line information is captured.
+[[noreturn]] inline void FatalCheckFailure(const char* file, int line,
+                                           const char* condition) {
+  std::fprintf(stderr, "[zonestream] CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace zonestream::common
+
+// Aborts the process when `condition` is false. Enabled in all build modes:
+// the cost is negligible for this library and silent corruption of an
+// admission decision is worse than a crash.
+#define ZS_CHECK(condition)                                               \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::zonestream::common::FatalCheckFailure(__FILE__, __LINE__,         \
+                                              #condition);                \
+    }                                                                     \
+  } while (false)
+
+#define ZS_CHECK_GT(a, b) ZS_CHECK((a) > (b))
+#define ZS_CHECK_GE(a, b) ZS_CHECK((a) >= (b))
+#define ZS_CHECK_LT(a, b) ZS_CHECK((a) < (b))
+#define ZS_CHECK_LE(a, b) ZS_CHECK((a) <= (b))
+#define ZS_CHECK_EQ(a, b) ZS_CHECK((a) == (b))
+#define ZS_CHECK_NE(a, b) ZS_CHECK((a) != (b))
+
+#endif  // ZONESTREAM_COMMON_CHECK_H_

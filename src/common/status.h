@@ -1,0 +1,130 @@
+// Error reporting without exceptions: Status and StatusOr<T>.
+//
+// Modeled on the absl::Status idiom. Functions that can fail on invalid
+// user-supplied configuration return Status / StatusOr<T>; internal
+// invariants use ZS_CHECK instead.
+#ifndef ZONESTREAM_COMMON_STATUS_H_
+#define ZONESTREAM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace zonestream::common {
+
+// Canonical error space; a deliberately small subset of the usual codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kResourceExhausted = 4,
+  kNotFound = 5,
+  kInternal = 6,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows returning a T
+  // or a Status directly from functions declared to return StatusOr<T>.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    ZS_CHECK(!status_.ok());  // OK status must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ZS_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    ZS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    ZS_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace zonestream::common
+
+// Propagates a non-OK Status out of the current function.
+#define ZS_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::zonestream::common::Status zs_status = (expr); \
+    if (!zs_status.ok()) return zs_status;          \
+  } while (false)
+
+#endif  // ZONESTREAM_COMMON_STATUS_H_

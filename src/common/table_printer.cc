@@ -1,0 +1,83 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace zonestream::common {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  ZS_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  ZS_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  append_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+  std::fflush(out);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string FormatFixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatProbability(double p) {
+  if (p == 0.0) return "0";
+  if (p == 1.0) return "1";
+  char buf[64];
+  if (p >= 1e-4 && p < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.5f", p);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", p);
+  }
+  return buf;
+}
+
+}  // namespace zonestream::common

@@ -1,0 +1,53 @@
+// Plain-text table rendering for the reproduction harnesses.
+//
+// The bench binaries print the same rows/series the paper reports; this
+// helper keeps the columns aligned and the formatting consistent across
+// all benches.
+#ifndef ZONESTREAM_COMMON_TABLE_PRINTER_H_
+#define ZONESTREAM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace zonestream::common {
+
+// Accumulates rows of string cells and renders them with column-wise
+// alignment. Numeric cells should be pre-formatted by the caller (see
+// FormatDouble below).
+class TablePrinter {
+ public:
+  // `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  // Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends one data row; the cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  // Renders the table to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `digits` significant digits using %g semantics.
+std::string FormatDouble(double value, int digits = 6);
+
+// Formats `value` in fixed-point with `decimals` digits after the point.
+std::string FormatFixed(double value, int decimals);
+
+// Formats a probability: fixed notation for moderate magnitudes, scientific
+// for very small values, and exact "0"/"1" endpoints.
+std::string FormatProbability(double p);
+
+}  // namespace zonestream::common
+
+#endif  // ZONESTREAM_COMMON_TABLE_PRINTER_H_

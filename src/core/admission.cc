@@ -1,0 +1,200 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace zonestream::core {
+
+int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
+                                double delta, int n_cap) {
+  ZS_CHECK_GT(t, 0.0);
+  ZS_CHECK_GT(delta, 0.0);
+  ZS_CHECK_GT(n_cap, 0);
+  int n_max = 0;
+  for (int n = 1; n <= n_cap; ++n) {
+    if (model.LateBound(n, t).bound > delta) break;
+    n_max = n;
+  }
+  return n_max;
+}
+
+int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
+                           int g, double epsilon, int n_cap) {
+  ZS_CHECK_GT(t, 0.0);
+  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(g, 0);
+  ZS_CHECK_GT(epsilon, 0.0);
+  ZS_CHECK_GT(n_cap, 0);
+  const GlitchModel glitch_model(&model);
+  // Reuse the running sum of b_late(k, t) across N instead of recomputing
+  // the O(N) inner loop for every candidate (the scan is then O(n_max)
+  // Chernoff minimizations in total).
+  double late_bound_sum = 0.0;
+  int n_max = 0;
+  for (int n = 1; n <= n_cap; ++n) {
+    late_bound_sum += model.LateBound(n, t).bound;
+    const double b_glitch =
+        std::fmin(late_bound_sum / static_cast<double>(n), 1.0);
+    const double p_error =
+        GlitchModel::ErrorBoundForGlitchProbability(b_glitch, m, g);
+    if (p_error > epsilon) break;
+    n_max = n;
+  }
+  return n_max;
+}
+
+int MaxStreamsByCombinedCriteria(const ServiceTimeModel& model, double t,
+                                 double delta, int m, int g, double epsilon,
+                                 int n_cap) {
+  return std::min(MaxStreamsByLateProbability(model, t, delta, n_cap),
+                  MaxStreamsByGlitchRate(model, t, m, g, epsilon, n_cap));
+}
+
+common::StatusOr<AdmissionTable> AdmissionTable::Build(
+    const ServiceTimeModel& model, AdmissionCriterion criterion, double t,
+    std::vector<double> tolerances, int m, int g) {
+  if (t <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (tolerances.empty()) {
+    return common::Status::InvalidArgument("tolerances must be non-empty");
+  }
+  if (!std::is_sorted(tolerances.begin(), tolerances.end())) {
+    return common::Status::InvalidArgument("tolerances must be ascending");
+  }
+  if (tolerances.front() <= 0.0 || tolerances.back() >= 1.0) {
+    return common::Status::InvalidArgument("tolerances must lie in (0, 1)");
+  }
+  if (criterion == AdmissionCriterion::kGlitchRate && (m <= 0 || g < 0)) {
+    return common::Status::InvalidArgument(
+        "glitch-rate criterion requires m > 0 and g >= 0");
+  }
+
+  std::vector<AdmissionTableRow> rows;
+  rows.reserve(tolerances.size());
+  for (double tolerance : tolerances) {
+    AdmissionTableRow row;
+    row.tolerance = tolerance;
+    row.n_max = (criterion == AdmissionCriterion::kLateProbability)
+                    ? MaxStreamsByLateProbability(model, t, tolerance)
+                    : MaxStreamsByGlitchRate(model, t, m, g, tolerance);
+    rows.push_back(row);
+  }
+  return AdmissionTable(criterion, t, std::move(rows));
+}
+
+int AdmissionTable::MaxStreams(double tolerance) const {
+  // Strictest tabulated row that does not exceed the requested tolerance:
+  // rows are ascending in tolerance (and, by monotonicity, in n_max), so
+  // take the last row with row.tolerance <= tolerance.
+  int n_max = 0;
+  for (const AdmissionTableRow& row : rows_) {
+    if (row.tolerance > tolerance) break;
+    n_max = row.n_max;
+  }
+  return n_max;
+}
+
+std::string AdmissionTable::Serialize() const {
+  std::string out = "zonestream-admission-table v1\n";
+  out += "criterion ";
+  out += (criterion_ == AdmissionCriterion::kLateProbability)
+             ? "late_probability"
+             : "glitch_rate";
+  out += "\n";
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "round_length %.17g\n",
+                round_length_s_);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "rows %zu\n", rows_.size());
+  out += buffer;
+  for (const AdmissionTableRow& row : rows_) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g %d\n", row.tolerance,
+                  row.n_max);
+    out += buffer;
+  }
+  return out;
+}
+
+common::StatusOr<AdmissionTable> AdmissionTable::Deserialize(
+    const std::string& content) {
+  std::istringstream stream(content);
+  std::string header;
+  std::string version;
+  if (!(stream >> header >> version) ||
+      header != "zonestream-admission-table" || version != "v1") {
+    return common::Status::InvalidArgument(
+        "not a v1 zonestream admission table");
+  }
+  std::string key;
+  std::string criterion_name;
+  if (!(stream >> key >> criterion_name) || key != "criterion") {
+    return common::Status::InvalidArgument("missing criterion line");
+  }
+  AdmissionCriterion criterion;
+  if (criterion_name == "late_probability") {
+    criterion = AdmissionCriterion::kLateProbability;
+  } else if (criterion_name == "glitch_rate") {
+    criterion = AdmissionCriterion::kGlitchRate;
+  } else {
+    return common::Status::InvalidArgument("unknown criterion: '" +
+                                           criterion_name + "'");
+  }
+  double round_length = 0.0;
+  if (!(stream >> key >> round_length) || key != "round_length" ||
+      round_length <= 0.0) {
+    return common::Status::InvalidArgument("missing/invalid round_length");
+  }
+  size_t row_count = 0;
+  if (!(stream >> key >> row_count) || key != "rows" || row_count == 0 ||
+      row_count > 100000) {
+    return common::Status::InvalidArgument("missing/invalid row count");
+  }
+  std::vector<AdmissionTableRow> rows;
+  rows.reserve(row_count);
+  double previous_tolerance = 0.0;
+  for (size_t i = 0; i < row_count; ++i) {
+    AdmissionTableRow row;
+    if (!(stream >> row.tolerance >> row.n_max)) {
+      return common::Status::InvalidArgument(
+          "truncated table: expected " + std::to_string(row_count) +
+          " rows, got " + std::to_string(i));
+    }
+    if (row.tolerance <= previous_tolerance || row.tolerance >= 1.0 ||
+        row.n_max < 0) {
+      return common::Status::InvalidArgument(
+          "invalid row " + std::to_string(i) +
+          " (tolerances must be ascending in (0,1), n_max >= 0)");
+    }
+    previous_tolerance = row.tolerance;
+    rows.push_back(row);
+  }
+  return AdmissionTable(criterion, round_length, std::move(rows));
+}
+
+AdmissionController::AdmissionController(const AdmissionTable& table,
+                                         double tolerance)
+    : n_max_(table.MaxStreams(tolerance)) {}
+
+AdmissionController::AdmissionController(int n_max) : n_max_(n_max) {
+  ZS_CHECK_GE(n_max, 0);
+}
+
+bool AdmissionController::TryAdmit() {
+  if (active_ >= n_max_) return false;
+  ++active_;
+  return true;
+}
+
+void AdmissionController::Release() {
+  ZS_CHECK_GT(active_, 0);
+  --active_;
+}
+
+}  // namespace zonestream::core

@@ -1,0 +1,122 @@
+// Admission control (§2.3, §3.1.7, §3.3.6, §5).
+//
+// Given the analytic model, the admission limit is the largest
+// multiprogramming level whose predicted service quality stays within the
+// requested tolerance:
+//   N_max^plate  = max{ N : b_late(N, t) <= delta }          (eq. 3.1.7)
+//   N_max^perror = max{ N : p_error(N, t, M, g) <= epsilon } (eq. 3.3.6)
+// §5 recommends precomputing these limits into a lookup table so run-time
+// admission costs O(1); AdmissionTable and AdmissionController implement
+// that scheme.
+#ifndef ZONESTREAM_CORE_ADMISSION_H_
+#define ZONESTREAM_CORE_ADMISSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/glitch_model.h"
+#include "core/service_time_model.h"
+
+namespace zonestream::core {
+
+// Largest N with b_late(N, t) <= delta; 0 if even N=1 violates the
+// tolerance. b_late is monotone in N, so a linear scan with early exit is
+// exact. `n_cap` guards against pathological configurations.
+int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
+                                double delta, int n_cap = 4096);
+
+// Largest N with p_error(N, t, M, g) <= epsilon (eq. 3.3.6).
+int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
+                           int g, double epsilon, int n_cap = 4096);
+
+// Largest N satisfying BOTH contracts simultaneously: b_late(N, t) <=
+// delta AND p_error(N, t, m, g) <= epsilon. Operators often want the
+// per-round guarantee for interactive feel plus the per-stream guarantee
+// for session quality; by monotonicity this is simply the minimum of the
+// two limits.
+int MaxStreamsByCombinedCriteria(const ServiceTimeModel& model, double t,
+                                 double delta, int m, int g, double epsilon,
+                                 int n_cap = 4096);
+
+// One row of the §5 lookup table.
+struct AdmissionTableRow {
+  double tolerance = 0.0;  // delta (p_late) or epsilon (p_error)
+  int n_max = 0;
+};
+
+// Quality-of-service criterion for a precomputed table.
+enum class AdmissionCriterion {
+  kLateProbability,  // bound p_late per round (eq. 3.1.7)
+  kGlitchRate,       // bound p_error over a stream's lifetime (eq. 3.3.6)
+};
+
+// Precomputed tolerance -> N_max lookup table (§5). The table only needs
+// rebuilding when the disk configuration or workload statistics change.
+class AdmissionTable {
+ public:
+  // Builds a table for the given tolerances (must be positive, ascending).
+  // For kGlitchRate, `m` and `g` define the stream-lifetime QoS contract;
+  // they are ignored for kLateProbability.
+  static common::StatusOr<AdmissionTable> Build(
+      const ServiceTimeModel& model, AdmissionCriterion criterion, double t,
+      std::vector<double> tolerances, int m = 0, int g = 0);
+
+  // N_max for the strictest tabulated tolerance >= `tolerance`; 0 if the
+  // requested tolerance is below every tabulated row.
+  int MaxStreams(double tolerance) const;
+
+  const std::vector<AdmissionTableRow>& rows() const { return rows_; }
+  AdmissionCriterion criterion() const { return criterion_; }
+  double round_length() const { return round_length_s_; }
+
+  // Serializes the table to a small self-describing text format, so the
+  // (model-evaluation) build step can run offline and ship only the table
+  // to the serving hosts — the deployment §5 suggests. Stable across
+  // versions of this library.
+  std::string Serialize() const;
+
+  // Parses a table produced by Serialize(). Rejects unknown versions,
+  // malformed rows, and non-ascending tolerances.
+  static common::StatusOr<AdmissionTable> Deserialize(
+      const std::string& content);
+
+ private:
+  AdmissionTable(AdmissionCriterion criterion, double round_length_s,
+                 std::vector<AdmissionTableRow> rows)
+      : criterion_(criterion),
+        round_length_s_(round_length_s),
+        rows_(std::move(rows)) {}
+
+  AdmissionCriterion criterion_;
+  double round_length_s_;
+  std::vector<AdmissionTableRow> rows_;  // ascending tolerance
+};
+
+// Run-time admission controller: O(1) admit/release against a precomputed
+// limit. Streams beyond the limit are rejected (the server may also choose
+// to queue them; that policy lives in the server layer).
+class AdmissionController {
+ public:
+  // `tolerance` selects the row of `table` to enforce.
+  AdmissionController(const AdmissionTable& table, double tolerance);
+
+  // Explicit limit (e.g. from one of the MaxStreams* functions).
+  explicit AdmissionController(int n_max);
+
+  // Tries to admit one stream; returns false when the server is full.
+  bool TryAdmit();
+
+  // Releases one admitted stream.
+  void Release();
+
+  int active_streams() const { return active_; }
+  int max_streams() const { return n_max_; }
+
+ private:
+  int n_max_;
+  int active_ = 0;
+};
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_ADMISSION_H_

@@ -1,0 +1,114 @@
+// Baseline admission models the paper compares against (§4 and related
+// work): the deterministic worst case (eq. 4.1), the central-limit/normal
+// approximation of [CZ94], the Chebyshev-style bound of [CL96], and the
+// independent-seek assumption those works share (versus SCAN + Oyang).
+#ifndef ZONESTREAM_CORE_BASELINES_H_
+#define ZONESTREAM_CORE_BASELINES_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/chernoff.h"
+#include "core/service_time_model.h"
+#include "core/transfer_models.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::core {
+
+// ---------------------------------------------------------------------------
+// Deterministic worst case (eq. 4.1)
+
+// Configuration for the worst-case calculation. The paper evaluates two
+// variants: the pessimistic one (99th-percentile fragment at the innermost
+// zone's rate) and an "optimistic worst case" (95th percentile at the mean
+// zone rate).
+struct WorstCaseConfig {
+  double size_quantile = 0.99;   // percentile of the fragment size
+  bool use_mean_rate = false;    // false: C_min/ROT; true: (C_min+C_max)/(2 ROT)
+};
+
+// N_max^wc = floor(t / (T_rot^max + T_seek^max + T_trans^max)).
+// T_seek^max is the full-stroke seek, T_rot^max one revolution, and
+// T_trans^max the chosen size quantile over the chosen rate.
+struct WorstCaseResult {
+  int n_max = 0;
+  double t_rot_max_s = 0.0;
+  double t_seek_max_s = 0.0;
+  double t_trans_max_s = 0.0;
+};
+WorstCaseResult WorstCaseAdmission(const disk::DiskGeometry& geometry,
+                                   const disk::SeekTimeModel& seek,
+                                   const workload::SizeDistribution& sizes,
+                                   double t, const WorstCaseConfig& config);
+
+// ---------------------------------------------------------------------------
+// Normal / CLT approximation ([CZ94] style)
+
+// p_late estimated as P[Normal(E[T_N], Var[T_N]) >= t]. Not a bound: the
+// normal tail can under- as well as over-estimate for the N of interest
+// (10..50 per disk), which is the paper's core criticism.
+double NormalApproxLateProbability(const ServiceTimeModel& model, int n,
+                                   double t);
+
+// Largest N with the normal-approximate p_late <= delta.
+int NormalApproxMaxStreams(const ServiceTimeModel& model, double t,
+                           double delta, int n_cap = 4096);
+
+// ---------------------------------------------------------------------------
+// Chebyshev bound ([CL96] style)
+
+// One-sided Chebyshev (Cantelli) bound:
+// P[T_N >= t] <= Var / (Var + (t - E)^2) for t > E[T_N], else 1.
+double ChebyshevLateBound(const ServiceTimeModel& model, int n, double t);
+
+// Largest N with the Chebyshev bound <= delta.
+int ChebyshevMaxStreams(const ServiceTimeModel& model, double t, double delta,
+                        int n_cap = 4096);
+
+// ---------------------------------------------------------------------------
+// Independent-seek service model ([CZ94, CL96] assumption)
+
+// Round service-time model in which each request pays an independent seek
+// over the distance between two uniformly random cylinders (triangular
+// density f_D(d) = 2(1 - d/CYL)/CYL on [0, CYL]) instead of the SCAN sweep
+// with Oyang's accumulated-seek bound. Exposes the same LateBound/Moments
+// interface subset as ServiceTimeModel for side-by-side ablation.
+class IndependentSeekServiceModel {
+ public:
+  static common::StatusOr<IndependentSeekServiceModel> Create(
+      const disk::SeekTimeModel& seek, int cylinders, double rotation_time_s,
+      std::shared_ptr<const TransferModel> transfer);
+
+  // Chernoff bound on P[T_n >= t] with independent seeks.
+  ChernoffResult LateBound(int n, double t) const;
+
+  // Exact mean/variance of T_n under independent seeks.
+  ServiceTimeMoments Moments(int n) const;
+
+  // Moments of the per-request seek time (from quadrature over the
+  // triangular distance density).
+  double seek_mean() const { return seek_mean_; }
+  double seek_variance() const { return seek_variance_; }
+
+ private:
+  IndependentSeekServiceModel(const disk::SeekTimeModel& seek, int cylinders,
+                              double rotation_time_s,
+                              std::shared_ptr<const TransferModel> transfer);
+
+  // log E[e^{θ seek(D)}], by quadrature.
+  double SeekLogMgf(double theta) const;
+  double RotationLogMgf(double theta) const;
+
+  disk::SeekTimeModel seek_;
+  int cylinders_;
+  double rotation_time_s_;
+  std::shared_ptr<const TransferModel> transfer_;
+  double seek_mean_;
+  double seek_variance_;
+};
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_BASELINES_H_

@@ -1,0 +1,67 @@
+#include "core/chernoff.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "numeric/optimize.h"
+
+namespace zonestream::core {
+
+ChernoffResult ChernoffTailBound(const std::function<double(double)>& log_mgf,
+                                 double theta_max, double t) {
+  ZS_CHECK_GT(theta_max, 0.0);
+  ChernoffResult result;
+
+  const auto exponent = [&log_mgf, t](double theta) {
+    return -theta * t + log_mgf(theta);
+  };
+
+  // Establish a finite search interval [lo, hi].
+  double hi;
+  if (std::isfinite(theta_max)) {
+    // Stay strictly inside the MGF domain; the exponent diverges to +inf at
+    // theta_max, so the minimum of the convex exponent is interior.
+    hi = theta_max * (1.0 - 1e-9);
+  } else {
+    // Expand geometrically until the exponent starts increasing (the convex
+    // function has passed its minimum) or until the bound is astronomically
+    // small anyway.
+    hi = 1.0;
+    double prev = exponent(hi);
+    for (int i = 0; i < 200; ++i) {
+      const double next_hi = hi * 2.0;
+      const double next = exponent(next_hi);
+      if (next >= prev || next < -1e4) {
+        hi = next_hi;
+        break;
+      }
+      hi = next_hi;
+      prev = next;
+    }
+  }
+  const double lo = hi * 1e-12;
+
+  numeric::MinimizeOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 300;
+  const numeric::MinimizeResult min =
+      numeric::BrentMinimize(exponent, lo, hi, options);
+
+  result.theta_star = min.x;
+  result.exponent = min.value;
+  result.converged = min.converged;
+  if (min.value >= 0.0) {
+    // The optimized bound is no better than the trivial bound P <= 1, which
+    // happens exactly when E[T] >= t (the exponent's slope at 0 is
+    // E[T] - t >= 0).
+    result.bound = 1.0;
+    result.theta_star = 0.0;
+    result.exponent = 0.0;
+  } else {
+    result.bound = std::exp(min.value);
+  }
+  return result;
+}
+
+}  // namespace zonestream::core

@@ -1,0 +1,33 @@
+// Chernoff tail bounds (§3.1, eq. 3.1.5/3.1.6).
+//
+// For a random variable T with moment generating function M(θ) = E[e^{θT}],
+// Chernoff's theorem gives P[T >= t] <= inf_{θ>=0} e^{-θt} M(θ). The
+// exponent g(θ) = -θt + log M(θ) is convex in θ, so the infimum is found by
+// one-dimensional minimization over the admissible domain (0, θ_max).
+#ifndef ZONESTREAM_CORE_CHERNOFF_H_
+#define ZONESTREAM_CORE_CHERNOFF_H_
+
+#include <functional>
+
+namespace zonestream::core {
+
+// Result of a Chernoff bound computation.
+struct ChernoffResult {
+  double bound = 1.0;       // the tail bound, clamped to [0, 1]
+  double theta_star = 0.0;  // minimizing θ (0 when the trivial bound 1 wins)
+  double exponent = 0.0;    // g(θ*) = log of the unclamped bound
+  bool converged = false;
+};
+
+// Computes inf_{θ in (0, theta_max)} exp(-θt + log_mgf(θ)).
+//
+// `log_mgf` must be the cumulant generating function log E[e^{θT}], finite
+// and convex on (0, theta_max); theta_max may be +infinity (the search then
+// expands geometrically until it brackets the minimum). The returned bound
+// is clamped to 1 (the trivial bound, attained whenever E[T] >= t).
+ChernoffResult ChernoffTailBound(const std::function<double(double)>& log_mgf,
+                                 double theta_max, double t);
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_CHERNOFF_H_

@@ -1,0 +1,88 @@
+#include "core/glitch_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::core {
+namespace {
+
+// log of the binomial coefficient C(m, k).
+double LogBinomialCoefficient(int m, int k) {
+  return numeric::LogGamma(m + 1.0) - numeric::LogGamma(k + 1.0) -
+         numeric::LogGamma(m - k + 1.0);
+}
+
+}  // namespace
+
+double BinomialTailChernoff(int m, double p, int g) {
+  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(g, 0);
+  ZS_CHECK_LE(g, m);
+  ZS_CHECK_GE(p, 0.0);
+  ZS_CHECK_LE(p, 1.0);
+  if (p == 0.0) return (g == 0) ? 1.0 : 0.0;
+  if (g == 0) return 1.0;  // P[X >= 0] = 1
+  const double mm = static_cast<double>(m);
+  const double gg = static_cast<double>(g);
+  if (gg / mm <= p) return 1.0;  // bound only valid above the mean
+  // log[(mp/g)^g ((m - mp)/(m - g))^{m-g}]; the second factor degenerates
+  // to 1 when g == m (0^0 in the original form).
+  double log_bound = gg * std::log(mm * p / gg);
+  if (g < m) {
+    log_bound += (mm - gg) * std::log(mm * (1.0 - p) / (mm - gg));
+  }
+  return std::exp(log_bound);
+}
+
+double BinomialTailExact(int m, double p, int g) {
+  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(g, 0);
+  ZS_CHECK_LE(g, m);
+  ZS_CHECK_GE(p, 0.0);
+  ZS_CHECK_LE(p, 1.0);
+  if (g == 0) return 1.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  // Sum from the largest terms down; the summands decay fast above the
+  // mean, so accumulate until additional terms are negligible.
+  double sum = 0.0;
+  for (int k = g; k <= m; ++k) {
+    const double log_term =
+        LogBinomialCoefficient(m, k) + k * log_p + (m - k) * log_q;
+    const double term = std::exp(log_term);
+    sum += term;
+    if (term < sum * 1e-16 && k > g) break;
+  }
+  return std::fmin(sum, 1.0);
+}
+
+GlitchModel::GlitchModel(const ServiceTimeModel* service_model)
+    : service_model_(service_model) {
+  ZS_CHECK(service_model != nullptr);
+}
+
+double GlitchModel::GlitchBoundPerRound(int n, double t) const {
+  ZS_CHECK_GT(n, 0);
+  ZS_CHECK_GT(t, 0.0);
+  double sum = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    sum += service_model_->LateBound(k, t).bound;
+  }
+  return std::fmin(sum / static_cast<double>(n), 1.0);
+}
+
+double GlitchModel::ErrorBound(int n, double t, int m, int g) const {
+  const double b_glitch = GlitchBoundPerRound(n, t);
+  return ErrorBoundForGlitchProbability(b_glitch, m, g);
+}
+
+double GlitchModel::ErrorBoundForGlitchProbability(double p_glitch, int m,
+                                                   int g) {
+  return BinomialTailChernoff(m, p_glitch, g);
+}
+
+}  // namespace zonestream::core

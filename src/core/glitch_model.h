@@ -1,0 +1,55 @@
+// Per-stream glitch probability (§3.3).
+//
+// With random fragment placement, the streams hit by an overrunning round
+// are a uniform random subset, giving (eq. 3.3.2)
+//
+//   p_glitch(N, t) = (1/N) Σ_{k=1..N} p_late(k, t) <= (1/N) Σ b_late(k, t).
+//
+// The number of glitches of one stream over M rounds is Binomial(M,
+// p_glitch); its tail is bounded with the Hagerup-Rüb Chernoff bound
+// (eq. 3.3.5), yielding p_error(N, t, M, g) = P[glitches >= g].
+#ifndef ZONESTREAM_CORE_GLITCH_MODEL_H_
+#define ZONESTREAM_CORE_GLITCH_MODEL_H_
+
+#include "core/service_time_model.h"
+
+namespace zonestream::core {
+
+// Hagerup-Rüb Chernoff bound on the upper tail of a Binomial(m, p):
+// P[X >= g] <= (mp/g)^g ((m - mp)/(m - g))^{m-g}, valid for g/m > p.
+// Returns 1 when g/m <= p (the bound is vacuous there) and 0 when p == 0.
+// Evaluated in log space; exact at g == m only in the limit.
+double BinomialTailChernoff(int m, double p, int g);
+
+// Exact binomial upper tail P[X >= g] by direct log-space summation.
+// Intended for validation and small/medium m (cost O(m - g)).
+double BinomialTailExact(int m, double p, int g);
+
+// Analytic glitch model for one disk.
+class GlitchModel {
+ public:
+  // The model borrows the ServiceTimeModel by reference; the caller keeps
+  // it alive.
+  explicit GlitchModel(const ServiceTimeModel* service_model);
+
+  // b_glitch(N, t): bound on the probability that a given stream suffers a
+  // glitch in one round (eq. 3.3.3). Cost: N Chernoff minimizations.
+  double GlitchBoundPerRound(int n, double t) const;
+
+  // p_error bound (eq. 3.3.5): P[stream has >= g glitches in m rounds],
+  // using the Chernoff-bounded b_glitch as the binomial parameter.
+  double ErrorBound(int n, double t, int m, int g) const;
+
+  // Same, but with a caller-supplied per-round glitch probability (lets
+  // benches evaluate eq. 3.3.5 against a simulated p_glitch).
+  static double ErrorBoundForGlitchProbability(double p_glitch, int m, int g);
+
+  const ServiceTimeModel& service_model() const { return *service_model_; }
+
+ private:
+  const ServiceTimeModel* service_model_;
+};
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_GLITCH_MODEL_H_

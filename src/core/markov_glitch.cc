@@ -1,0 +1,124 @@
+#include "core/markov_glitch.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace zonestream::core {
+
+common::StatusOr<MarkovGlitchModel> MarkovGlitchModel::Create(
+    const MarkovGlitchParams& params) {
+  if (params.light_to_heavy <= 0.0 || params.light_to_heavy > 1.0 ||
+      params.heavy_to_light <= 0.0 || params.heavy_to_light > 1.0) {
+    return common::Status::InvalidArgument(
+        "switching probabilities must lie in (0, 1]");
+  }
+  if (params.glitch_light < 0.0 || params.glitch_light > 1.0 ||
+      params.glitch_heavy < 0.0 || params.glitch_heavy > 1.0) {
+    return common::Status::InvalidArgument(
+        "glitch probabilities must lie in [0, 1]");
+  }
+  if (params.glitch_heavy < params.glitch_light) {
+    return common::Status::InvalidArgument(
+        "glitch_heavy must be >= glitch_light");
+  }
+  return MarkovGlitchModel(params);
+}
+
+common::StatusOr<MarkovGlitchModel> MarkovGlitchModel::FromMarginal(
+    double p_glitch, double heavy_fraction, double heavy_over_light,
+    double mean_heavy_run_rounds) {
+  if (p_glitch < 0.0 || p_glitch > 1.0) {
+    return common::Status::InvalidArgument("p_glitch must lie in [0, 1]");
+  }
+  if (heavy_fraction <= 0.0 || heavy_fraction >= 1.0) {
+    return common::Status::InvalidArgument(
+        "heavy_fraction must lie in (0, 1)");
+  }
+  if (heavy_over_light < 1.0) {
+    return common::Status::InvalidArgument("heavy_over_light must be >= 1");
+  }
+  if (mean_heavy_run_rounds < 1.0) {
+    return common::Status::InvalidArgument(
+        "mean heavy run must be >= 1 round");
+  }
+  // Marginal: p = pi_h * p_h + (1 - pi_h) * p_l with p_h = r * p_l.
+  const double pi_h = heavy_fraction;
+  const double r = heavy_over_light;
+  const double p_light = p_glitch / (pi_h * r + (1.0 - pi_h));
+  const double p_heavy = r * p_light;
+  if (p_heavy > 1.0) {
+    return common::Status::OutOfRange(
+        "heavy-state glitch probability exceeds 1 for this "
+        "marginal/ratio/fraction");
+  }
+  // Mean heavy run length L = 1 / heavy_to_light; stationarity fixes
+  // light_to_heavy = heavy_to_light * pi_h / (1 - pi_h).
+  MarkovGlitchParams params;
+  params.heavy_to_light = 1.0 / mean_heavy_run_rounds;
+  params.light_to_heavy =
+      params.heavy_to_light * pi_h / (1.0 - pi_h);
+  if (params.light_to_heavy > 1.0) {
+    return common::Status::OutOfRange(
+        "heavy runs too short for the requested heavy fraction");
+  }
+  params.glitch_light = p_light;
+  params.glitch_heavy = p_heavy;
+  return Create(params);
+}
+
+double MarkovGlitchModel::stationary_heavy() const {
+  return params_.light_to_heavy /
+         (params_.light_to_heavy + params_.heavy_to_light);
+}
+
+double MarkovGlitchModel::marginal_glitch_probability() const {
+  const double pi_h = stationary_heavy();
+  return pi_h * params_.glitch_heavy + (1.0 - pi_h) * params_.glitch_light;
+}
+
+double MarkovGlitchModel::ErrorProbability(int m, int g) const {
+  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(g, 0);
+  if (g == 0) return 1.0;
+  if (g > m) return 0.0;
+  // DP over rounds: state(light=0/heavy=1) x glitch count clamped at g
+  // (g means "g or more"). prob[s][k] after processing each round.
+  const int states = 2;
+  const double stay[2] = {1.0 - params_.light_to_heavy,
+                          1.0 - params_.heavy_to_light};
+  const double flip[2] = {params_.light_to_heavy, params_.heavy_to_light};
+  const double glitch[2] = {params_.glitch_light, params_.glitch_heavy};
+
+  std::vector<double> prob(states * (g + 1), 0.0);
+  std::vector<double> next(states * (g + 1), 0.0);
+  const auto at = [g](int s, int k) { return s * (g + 1) + k; };
+  const double pi_h = stationary_heavy();
+  prob[at(0, 0)] = 1.0 - pi_h;
+  prob[at(1, 0)] = pi_h;
+
+  for (int round = 0; round < m; ++round) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int s = 0; s < states; ++s) {
+      for (int k = 0; k <= g; ++k) {
+        const double mass = prob[at(s, k)];
+        if (mass == 0.0) continue;
+        // Glitch or not in the current state, then switch.
+        for (int glitched = 0; glitched <= 1; ++glitched) {
+          const double event_probability =
+              glitched ? glitch[s] : 1.0 - glitch[s];
+          if (event_probability == 0.0) continue;
+          const int new_count = std::min(g, k + glitched);
+          const double moved = mass * event_probability;
+          next[at(s, new_count)] += moved * stay[s];
+          next[at(1 - s, new_count)] += moved * flip[s];
+        }
+      }
+    }
+    prob.swap(next);
+  }
+  return prob[at(0, g)] + prob[at(1, g)];
+}
+
+}  // namespace zonestream::core

@@ -1,0 +1,72 @@
+// Markov-modulated per-stream glitch model (extension X5's analytic
+// counterpart).
+//
+// Eq. 3.3.4 models a stream's glitches over M rounds as Binomial(M, p) —
+// i.i.d. across rounds. Scene-correlated content violates that: a stream
+// in a heavy scene glitches with elevated probability for many
+// consecutive rounds, fattening the tail of the glitch count (measured in
+// bench_ext_correlation). This module replaces the binomial with a
+// two-state Markov modulation:
+//
+//   state ∈ {light, heavy}, switching as a stationary 2-state chain;
+//   P[glitch | state] = p_light resp. p_heavy.
+//
+// P[#glitches >= g in M rounds] is computed *exactly* by dynamic
+// programming over (round, state, glitch count capped at g) — O(M·g)
+// work, trivially fast for M = 1200, g = 12 — giving admission control a
+// drop-in correction for clustered content.
+#ifndef ZONESTREAM_CORE_MARKOV_GLITCH_H_
+#define ZONESTREAM_CORE_MARKOV_GLITCH_H_
+
+#include "common/status.h"
+
+namespace zonestream::core {
+
+// Two-state modulation parameters.
+struct MarkovGlitchParams {
+  // Per-round switching probabilities.
+  double light_to_heavy = 0.0;
+  double heavy_to_light = 0.0;
+  // Per-round glitch probabilities in each state.
+  double glitch_light = 0.0;
+  double glitch_heavy = 0.0;
+};
+
+// Exact per-stream glitch-count tail under two-state Markov modulation.
+class MarkovGlitchModel {
+ public:
+  // Switching probabilities must lie in (0, 1]; glitch probabilities in
+  // [0, 1] with glitch_heavy >= glitch_light.
+  static common::StatusOr<MarkovGlitchModel> Create(
+      const MarkovGlitchParams& params);
+
+  // Convenience parameterization: the marginal per-round glitch
+  // probability `p_glitch` (e.g. the §3.3 bound), the fraction of rounds
+  // spent in heavy scenes, the glitch-probability ratio heavy/light, and
+  // the mean heavy-scene length in rounds. Solves for the state-level
+  // parameters so the *marginal* matches p_glitch exactly.
+  static common::StatusOr<MarkovGlitchModel> FromMarginal(
+      double p_glitch, double heavy_fraction, double heavy_over_light,
+      double mean_heavy_run_rounds);
+
+  // Stationary probability of the heavy state.
+  double stationary_heavy() const;
+
+  // Marginal per-round glitch probability under the stationary law.
+  double marginal_glitch_probability() const;
+
+  // Exact P[#glitches >= g in m rounds], stream started in the
+  // stationary state distribution. O(m·g) time.
+  double ErrorProbability(int m, int g) const;
+
+  const MarkovGlitchParams& params() const { return params_; }
+
+ private:
+  explicit MarkovGlitchModel(const MarkovGlitchParams& params)
+      : params_(params) {}
+  MarkovGlitchParams params_;
+};
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_MARKOV_GLITCH_H_

@@ -1,0 +1,108 @@
+#include "core/mixed_workload.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "numeric/quadrature.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::core {
+
+double MeanDiscreteServiceTime(const disk::DiskGeometry& geometry,
+                               const disk::SeekTimeModel& seek,
+                               const DiscreteWorkload& discrete) {
+  ZS_CHECK_GT(discrete.mean_size_bytes, 0.0);
+  // Mean seek over the distance between two uniform cylinders (triangular
+  // density 2(1 - d/CYL)/CYL).
+  const double cyl = geometry.cylinders();
+  const double mean_seek = numeric::CompositeGaussLegendre(
+      [&seek, cyl](double d) {
+        return seek.SeekTime(d) * 2.0 * (1.0 - d / cyl) / cyl;
+      },
+      0.0, cyl, 64);
+  return mean_seek + geometry.rotation_time() / 2.0 +
+         discrete.mean_size_bytes * geometry.InverseRateMoment(1);
+}
+
+MixedWorkloadModel::MixedWorkloadModel(
+    std::unique_ptr<MultiClassServiceModel> multiclass,
+    double mean_discrete_service)
+    : multiclass_(std::move(multiclass)),
+      mean_discrete_service_(mean_discrete_service) {}
+
+common::StatusOr<MixedWorkloadModel> MixedWorkloadModel::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    double continuous_mean_bytes, double continuous_variance_bytes2,
+    const DiscreteWorkload& discrete) {
+  if (discrete.mean_size_bytes <= 0.0 ||
+      discrete.variance_size_bytes2 <= 0.0) {
+    return common::Status::InvalidArgument(
+        "discrete workload moments must be positive");
+  }
+  std::vector<StreamClass> classes = {
+      {"continuous", continuous_mean_bytes, continuous_variance_bytes2},
+      {"discrete", discrete.mean_size_bytes, discrete.variance_size_bytes2},
+  };
+  auto multiclass =
+      MultiClassServiceModel::Create(geometry, seek, std::move(classes));
+  if (!multiclass.ok()) return multiclass.status();
+  return MixedWorkloadModel(
+      std::make_unique<MultiClassServiceModel>(*std::move(multiclass)),
+      MeanDiscreteServiceTime(geometry, seek, discrete));
+}
+
+int MixedWorkloadModel::GuaranteedDiscreteSlots(int n, double t,
+                                                double delta) const {
+  ZS_CHECK_GE(n, 0);
+  return multiclass_->MaxAdditionalStreams({n, 0}, /*class_index=*/1, t,
+                                           delta);
+}
+
+double MixedWorkloadModel::MixedLateBound(int n, int d, double t) const {
+  return multiclass_->LateBound({n, d}, t).bound;
+}
+
+double MixedWorkloadModel::ExpectedLeftoverTime(int n, double t) const {
+  ZS_CHECK_GE(n, 0);
+  ZS_CHECK_GT(t, 0.0);
+  if (n == 0) return t;
+  const ServiceTimeMoments moments = multiclass_->Moments({n, 0});
+  const double sigma = std::sqrt(moments.variance_s2);
+  if (sigma == 0.0) return std::fmax(0.0, t - moments.mean_s);
+  // E[max(0, t - T)] for T ~ N(mu, sigma^2):
+  //   (t - mu) Phi(z) + sigma phi(z), z = (t - mu) / sigma.
+  const double z = (t - moments.mean_s) / sigma;
+  const double phi = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  const double value =
+      (t - moments.mean_s) * numeric::NormalCdf(z) + sigma * phi;
+  // The analytic mean uses the Oyang seek *bound*, so this is a slightly
+  // pessimistic leftover estimate; clamp into [0, t].
+  return std::fmin(std::fmax(value, 0.0), t);
+}
+
+double MixedWorkloadModel::ExpectedDiscreteThroughput(int n, double t) const {
+  return ExpectedLeftoverTime(n, t) / mean_discrete_service_;
+}
+
+double MixedWorkloadModel::SustainableDiscreteRate(int n, double t,
+                                                   double rho) const {
+  ZS_CHECK_GT(rho, 0.0);
+  ZS_CHECK_LT(rho, 1.0);
+  return rho * ExpectedDiscreteThroughput(n, t) / t;
+}
+
+double MixedWorkloadModel::ApproximateDiscreteResponseTime(
+    int n, double t, double lambda) const {
+  ZS_CHECK_GE(lambda, 0.0);
+  const double leftover = ExpectedLeftoverTime(n, t);
+  if (leftover <= 0.0) return std::numeric_limits<double>::infinity();
+  const double rho = lambda * mean_discrete_service_ / (leftover / t);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  const double busy = std::fmin(multiclass_->Moments({n, 0}).mean_s, t);
+  const double gate_wait = busy * busy / (2.0 * t);
+  const double queue_wait = rho / (1.0 - rho) * mean_discrete_service_;
+  return gate_wait + queue_wait + mean_discrete_service_;
+}
+
+}  // namespace zonestream::core

@@ -1,0 +1,102 @@
+// Mixed continuous + discrete workloads (the §6 outlook, after [NMW97]).
+//
+// Advanced multimedia applications access continuous streams *and*
+// conventional discrete data (HTML, images) on the same disks. This
+// module models a round that serves N continuous streams plus discrete
+// requests, two ways:
+//
+//  * guarantee-style: discrete requests are admitted into the SCAN batch
+//    as a second stream class, and the Chernoff machinery bounds the
+//    probability that the combined round overruns — giving the number of
+//    discrete slots per round that can be *guaranteed* alongside the
+//    continuous QoS contract;
+//  * expectation-style: the leftover time E[max(0, t - T_N)] after the
+//    continuous batch, estimated from the service-time moments, yields
+//    the best-effort discrete throughput and a batch-queue approximation
+//    of the mean discrete response time.
+//
+// The detailed validation lives in sim::MixedRoundSimulator.
+#ifndef ZONESTREAM_CORE_MIXED_WORKLOAD_H_
+#define ZONESTREAM_CORE_MIXED_WORKLOAD_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/multiclass.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::core {
+
+// Statistics of the discrete-request workload.
+struct DiscreteWorkload {
+  double mean_size_bytes = 0.0;       // e.g. 40 KB HTML page / image tile
+  double variance_size_bytes2 = 0.0;
+};
+
+// Expected per-request service time of a discrete request served in
+// isolation: mean random seek + half a rotation + mean transfer at the
+// capacity-weighted rate. Used by the expectation-style estimates.
+double MeanDiscreteServiceTime(const disk::DiskGeometry& geometry,
+                               const disk::SeekTimeModel& seek,
+                               const DiscreteWorkload& discrete);
+
+// Analytic mixed-workload model for one disk.
+class MixedWorkloadModel {
+ public:
+  static common::StatusOr<MixedWorkloadModel> Create(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      double continuous_mean_bytes, double continuous_variance_bytes2,
+      const DiscreteWorkload& discrete);
+
+  // Largest number of discrete requests per round that can be admitted
+  // into the SCAN batch alongside n continuous streams while keeping
+  // P[round overruns t] <= delta (guarantee-style; eq. 3.1.5 on the
+  // two-class transform).
+  int GuaranteedDiscreteSlots(int n, double t, double delta) const;
+
+  // Chernoff bound on P[T >= t] for n continuous streams + d discrete
+  // requests in one SCAN batch.
+  double MixedLateBound(int n, int d, double t) const;
+
+  // Expected leftover time E[max(0, t - T_n)] after the continuous batch,
+  // from the normal approximation of T_n (expectation-style; documented
+  // approximation, validated by simulation).
+  double ExpectedLeftoverTime(int n, double t) const;
+
+  // Best-effort discrete throughput per round: leftover / mean service.
+  double ExpectedDiscreteThroughput(int n, double t) const;
+
+  // Largest Poisson arrival rate (requests/second) of discrete requests
+  // that keeps the best-effort queue stable, with a safety factor
+  // rho < 1 (default 0.8).
+  double SustainableDiscreteRate(int n, double t, double rho = 0.8) const;
+
+  // Approximate mean response time (seconds) for Poisson discrete
+  // arrivals at rate lambda (requests/second) under the best-effort
+  // leftover-time service. Decomposition (validated within ~15% by
+  // sim::MixedRoundSimulator):
+  //   * gate wait: an arrival landing inside the continuous busy period
+  //     [0, b] of its round (b = E[T_n]) waits for the leftover window;
+  //     uniform arrivals give an expected gate wait of b^2 / (2t);
+  //   * queueing: an M/G/1-style term rho/(1-rho) * E[S_d] with
+  //     rho = lambda * E[S_d] / (leftover fraction);
+  //   * service: E[S_d].
+  // Returns +inf when the leftover capacity cannot carry lambda.
+  double ApproximateDiscreteResponseTime(int n, double t,
+                                         double lambda) const;
+
+  const MultiClassServiceModel& multiclass() const { return *multiclass_; }
+  double mean_discrete_service() const { return mean_discrete_service_; }
+
+ private:
+  MixedWorkloadModel(std::unique_ptr<MultiClassServiceModel> multiclass,
+                     double mean_discrete_service);
+
+  std::unique_ptr<MultiClassServiceModel> multiclass_;
+  double mean_discrete_service_;
+};
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_MIXED_WORKLOAD_H_

@@ -1,0 +1,134 @@
+#include "core/saddlepoint.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/baselines.h"
+#include "numeric/roots.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::core {
+namespace {
+
+// Numeric first derivative of K at theta, staying inside [0, theta_max).
+double KPrime(const std::function<double(double)>& log_mgf, double theta,
+              double theta_max) {
+  double h = 1e-5 * (1.0 + theta);
+  if (std::isfinite(theta_max)) h = std::fmin(h, 0.25 * (theta_max - theta));
+  h = std::fmin(h, theta > 0.0 ? 0.5 * theta : h);
+  if (theta - h < 0.0) {
+    // One-sided at the left edge.
+    return (log_mgf(theta + h) - log_mgf(theta)) / h;
+  }
+  return (log_mgf(theta + h) - log_mgf(theta - h)) / (2.0 * h);
+}
+
+// Numeric second derivative of K at theta.
+double KSecond(const std::function<double(double)>& log_mgf, double theta,
+               double theta_max) {
+  double h = 1e-4 * (1.0 + theta);
+  if (std::isfinite(theta_max)) h = std::fmin(h, 0.25 * (theta_max - theta));
+  h = std::fmin(h, theta > 0.0 ? 0.5 * theta : h);
+  return (log_mgf(theta + h) - 2.0 * log_mgf(theta) + log_mgf(theta - h)) /
+         (h * h);
+}
+
+}  // namespace
+
+SaddlepointResult SaddlepointTailProbability(
+    const std::function<double(double)>& log_mgf, double theta_max,
+    double t) {
+  ZS_CHECK_GT(theta_max, 0.0);
+  SaddlepointResult result;
+
+  // Mean from the CGF slope at the origin.
+  const double mean = KPrime(log_mgf, 0.0, theta_max);
+  if (t <= mean) {
+    // Below the mean the positive-θ saddlepoint does not exist (our CGFs
+    // are only evaluated for θ >= 0); fall back to the normal estimate,
+    // which is accurate in the bulk.
+    const double variance = KSecond(log_mgf, 1e-9, theta_max);
+    const double sigma = std::sqrt(std::fmax(variance, 0.0));
+    result.probability =
+        sigma > 0.0 ? 1.0 - numeric::NormalCdf((t - mean) / sigma) : 1.0;
+    result.theta_hat = 0.0;
+    result.converged = true;
+    return result;
+  }
+
+  // Solve K'(θ̂) = t. K' is increasing (K convex); bracket and bisect.
+  double lo = 1e-12;
+  double hi = std::isfinite(theta_max) ? theta_max * (1.0 - 1e-9) : 1.0;
+  if (!std::isfinite(theta_max)) {
+    for (int i = 0; i < 200 && KPrime(log_mgf, hi, theta_max) < t; ++i) {
+      hi *= 2.0;
+    }
+  }
+  const auto slope_error = [&log_mgf, theta_max, t](double theta) {
+    return KPrime(log_mgf, theta, theta_max) - t;
+  };
+  if (slope_error(hi) < 0.0) {
+    // t beyond the reachable slope (can only happen from numerical noise
+    // at the domain edge): the tail is effectively zero.
+    result.probability = 0.0;
+    result.theta_hat = hi;
+    result.converged = false;
+    return result;
+  }
+  numeric::RootOptions options;
+  options.x_tolerance = 1e-11;
+  const numeric::RootResult root =
+      numeric::Bisect(slope_error, lo, hi, options);
+  const double theta_hat = root.x;
+
+  const double k_hat = log_mgf(theta_hat);
+  const double k2_hat = KSecond(log_mgf, theta_hat, theta_max);
+  const double exponent = theta_hat * t - k_hat;  // Legendre transform >= 0
+  if (exponent <= 0.0 || k2_hat <= 0.0) {
+    result.probability = 0.5;
+    result.theta_hat = theta_hat;
+    result.converged = false;
+    return result;
+  }
+  const double w = std::sqrt(2.0 * exponent);
+  const double u = theta_hat * std::sqrt(k2_hat);
+  if (w < 1e-8 || u < 1e-12) {
+    result.probability = 0.5;  // continuity limit at t -> mean
+    result.theta_hat = theta_hat;
+    result.converged = true;
+    return result;
+  }
+  const double phi = std::exp(-0.5 * w * w) / std::sqrt(2.0 * M_PI);
+  double probability =
+      1.0 - numeric::NormalCdf(w) - phi * (1.0 / w - 1.0 / u);
+  probability = std::fmin(std::fmax(probability, 0.0), 1.0);
+
+  result.probability = probability;
+  result.theta_hat = theta_hat;
+  result.converged = root.converged;
+  return result;
+}
+
+SaddlepointResult SaddlepointLateProbability(const ServiceTimeModel& model,
+                                             int n, double t) {
+  ZS_CHECK_GT(n, 0);
+  ZS_CHECK_GT(t, 0.0);
+  const auto log_mgf = [&model, n](double theta) {
+    return model.LogMgf(n, theta);
+  };
+  return SaddlepointTailProbability(log_mgf, model.theta_max(), t);
+}
+
+int SaddlepointMaxStreams(const ServiceTimeModel& model, double t,
+                          double delta, int n_cap) {
+  ZS_CHECK_GT(delta, 0.0);
+  int n_max = 0;
+  for (int n = 1; n <= n_cap; ++n) {
+    if (SaddlepointLateProbability(model, n, t).probability > delta) break;
+    n_max = n;
+  }
+  return n_max;
+}
+
+}  // namespace zonestream::core

@@ -1,0 +1,105 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "core/admission.h"
+#include "core/service_time_model.h"
+
+namespace zonestream::core {
+namespace {
+
+// Everything needed to rebuild the model after a perturbation.
+struct Scenario {
+  disk::DiskParameters disk;
+  disk::SeekParameters seek;
+  double mean_size;
+  double variance_size;
+};
+
+common::StatusOr<int> NMaxFor(const Scenario& scenario, double t,
+                              double delta) {
+  auto geometry = disk::DiskGeometry::Create(scenario.disk);
+  if (!geometry.ok()) return geometry.status();
+  auto seek = disk::SeekTimeModel::Create(scenario.seek);
+  if (!seek.ok()) return seek.status();
+  auto model = ServiceTimeModel::ForMultiZoneDisk(
+      *geometry, *seek, scenario.mean_size, scenario.variance_size);
+  if (!model.ok()) return model.status();
+  return MaxStreamsByLateProbability(*model, t, delta);
+}
+
+}  // namespace
+
+common::StatusOr<SensitivityReport> AnalyzeAdmissionSensitivity(
+    const disk::DiskParameters& disk_parameters,
+    const disk::SeekParameters& seek_parameters, double mean_size_bytes,
+    double variance_size_bytes2, double round_length_s, double late_tolerance,
+    double relative_delta) {
+  if (relative_delta <= 0.0 || relative_delta >= 1.0) {
+    return common::Status::InvalidArgument(
+        "relative_delta must lie in (0, 1)");
+  }
+  const Scenario baseline{disk_parameters, seek_parameters, mean_size_bytes,
+                          variance_size_bytes2};
+  auto baseline_nmax = NMaxFor(baseline, round_length_s, late_tolerance);
+  if (!baseline_nmax.ok()) return baseline_nmax.status();
+
+  SensitivityReport report;
+  report.n_max_baseline = *baseline_nmax;
+
+  struct Perturbation {
+    const char* name;
+    std::function<void(Scenario*, double)> apply;  // scale factor
+  };
+  const std::vector<Perturbation> perturbations = {
+      {"mean fragment size",
+       [](Scenario* s, double f) { s->mean_size *= f; }},
+      {"fragment size stddev",
+       [](Scenario* s, double f) { s->variance_size *= f * f; }},
+      {"rotation time",
+       [](Scenario* s, double f) { s->disk.rotation_time_s *= f; }},
+      {"seek time scale",
+       [](Scenario* s, double f) {
+         s->seek.sqrt_intercept_s *= f;
+         s->seek.sqrt_coefficient *= f;
+         s->seek.linear_intercept_s *= f;
+         s->seek.linear_coefficient *= f;
+       }},
+      {"zone capacity spread",
+       [](Scenario* s, double f) {
+         // Scale C_max - C_min around the midpoint, keeping the mean
+         // track capacity (and hence the mean transfer time) fixed.
+         const double mid = 0.5 * (s->disk.innermost_track_bytes +
+                                   s->disk.outermost_track_bytes);
+         const double half = 0.5 * (s->disk.outermost_track_bytes -
+                                    s->disk.innermost_track_bytes);
+         s->disk.innermost_track_bytes = mid - f * half;
+         s->disk.outermost_track_bytes = mid + f * half;
+       }},
+  };
+
+  for (const Perturbation& perturbation : perturbations) {
+    SensitivityEntry entry;
+    entry.parameter = perturbation.name;
+    entry.n_max_baseline = *baseline_nmax;
+
+    Scenario down = baseline;
+    perturbation.apply(&down, 1.0 - relative_delta);
+    auto down_nmax = NMaxFor(down, round_length_s, late_tolerance);
+    if (!down_nmax.ok()) return down_nmax.status();
+    entry.n_max_down = *down_nmax;
+
+    Scenario up = baseline;
+    perturbation.apply(&up, 1.0 + relative_delta);
+    auto up_nmax = NMaxFor(up, round_length_s, late_tolerance);
+    if (!up_nmax.ok()) return up_nmax.status();
+    entry.n_max_up = *up_nmax;
+
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace zonestream::core

@@ -1,0 +1,47 @@
+// Admission sensitivity analysis: how N_max responds to perturbations of
+// the disk and workload parameters. Operators use this to know which
+// measurement errors matter (fragment statistics? seek curve? rotation
+// speed?) and how much headroom a safety margin on each buys.
+//
+// The report perturbs one parameter at a time by a relative factor and
+// recomputes N_max under the per-round criterion — a deterministic,
+// model-level analysis (no simulation).
+#ifndef ZONESTREAM_CORE_SENSITIVITY_H_
+#define ZONESTREAM_CORE_SENSITIVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::core {
+
+// One perturbed parameter's effect.
+struct SensitivityEntry {
+  std::string parameter;
+  int n_max_down = 0;      // N_max with the parameter scaled by 1 - delta
+  int n_max_baseline = 0;
+  int n_max_up = 0;        // N_max with the parameter scaled by 1 + delta
+};
+
+// The full report.
+struct SensitivityReport {
+  int n_max_baseline = 0;
+  std::vector<SensitivityEntry> entries;
+};
+
+// Perturbs, one at a time: mean fragment size, fragment-size stddev,
+// rotation time, seek-time scale (all four seek coefficients jointly),
+// and the zone-capacity spread (C_max - C_min around its midpoint).
+// `relative_delta` is the +/- perturbation (e.g. 0.1 for +/-10%).
+common::StatusOr<SensitivityReport> AnalyzeAdmissionSensitivity(
+    const disk::DiskParameters& disk_parameters,
+    const disk::SeekParameters& seek_parameters, double mean_size_bytes,
+    double variance_size_bytes2, double round_length_s, double late_tolerance,
+    double relative_delta = 0.1);
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_SENSITIVITY_H_

@@ -1,0 +1,66 @@
+// Exact numeric inversion of the round service-time transform (extension).
+//
+// The paper derives the Laplace-Stieltjes transform of T_N (eq. 3.1.4)
+// and then *bounds* its tail with Chernoff's method. With 1990s compute
+// that was the only option fast enough for admission control; today the
+// transform can simply be inverted numerically. The Gil-Pelaez formula
+// gives the exact tail from the characteristic function φ(u) = E[e^{iuT}]:
+//
+//   P[T >= t] = 1/2 + (1/π) ∫_0^∞ Im(e^{-iut} φ(u)) / u du.
+//
+// For the round transform the integrand decays like
+// |2 sin(uROT/2)/(uROT)|^N — superexponentially in N — so a modest
+// composite quadrature suffices. This yields the model-exact p_late,
+// which the A1 ablation uses to split the total conservatism of the
+// paper's bound into (a) the Oyang-seek/model-vs-simulation gap and
+// (b) the Chernoff-vs-exact-tail slack.
+//
+// Accuracy note: the inversion carries an absolute noise floor of roughly
+// 1e-7 (quadrature and truncation residuals of an oscillatory integral
+// whose value is the tail minus 1/2). For probabilities below that floor
+// use the Chernoff bound or the saddlepoint estimate instead; in the
+// admission-relevant regime (1e-4..1e-1) the inversion is accurate to a
+// relative few-1e-3.
+#ifndef ZONESTREAM_CORE_TRANSFORM_INVERSION_H_
+#define ZONESTREAM_CORE_TRANSFORM_INVERSION_H_
+
+#include <complex>
+#include <functional>
+
+#include "common/status.h"
+#include "core/service_time_model.h"
+
+namespace zonestream::core {
+
+// Options for the Gil-Pelaez quadrature.
+struct InversionOptions {
+  // Integration cutoff: u is truncated where the envelope of |φ(u)|/u
+  // falls below this times the accumulated integral.
+  double tail_tolerance = 1e-12;
+  // Quadrature points per oscillation period 2π/t.
+  int points_per_period = 24;
+  // Hard cap on the integration range (periods of 2π/t).
+  int max_periods = 40000;
+};
+
+// Gil-Pelaez tail probability for an arbitrary characteristic function.
+// `cf` must be the characteristic function of a non-negative random
+// variable; the result is clamped to [0, 1].
+double GilPelaezTailProbability(
+    const std::function<std::complex<double>(double)>& cf, double t,
+    const InversionOptions& options = {});
+
+// Model-exact p_late(n, t) for a ServiceTimeModel whose transfer model
+// exposes a characteristic function (the Gamma transfer models do).
+// Returns FailedPrecondition otherwise.
+common::StatusOr<double> ExactLateProbability(
+    const ServiceTimeModel& model, int n, double t,
+    const InversionOptions& options = {});
+
+// Largest N with model-exact p_late <= delta.
+common::StatusOr<int> ExactMaxStreams(const ServiceTimeModel& model, double t,
+                                      double delta, int n_cap = 4096);
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_TRANSFORM_INVERSION_H_

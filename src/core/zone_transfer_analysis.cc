@@ -1,0 +1,154 @@
+#include "core/zone_transfer_analysis.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "numeric/quadrature.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::core {
+
+ZoneTransferAnalysis::ZoneTransferAnalysis(
+    const disk::DiskGeometry& geometry,
+    std::shared_ptr<const workload::SizeDistribution> sizes,
+    GammaTransferModel gamma_model)
+    : sizes_(std::move(sizes)),
+      mean_(gamma_model.mean()),
+      variance_(gamma_model.variance()),
+      gamma_model_(gamma_model) {
+  probabilities_.reserve(geometry.num_zones());
+  rates_.reserve(geometry.num_zones());
+  for (const disk::ZoneInfo& zone : geometry.zones()) {
+    probabilities_.push_back(zone.hit_probability);
+    rates_.push_back(zone.transfer_rate_bps);
+  }
+  rate_min_ = geometry.MinTransferRate();
+  rate_max_ = geometry.MaxTransferRate();
+}
+
+common::StatusOr<ZoneTransferAnalysis> ZoneTransferAnalysis::Create(
+    const disk::DiskGeometry& geometry,
+    std::shared_ptr<const workload::SizeDistribution> sizes) {
+  if (sizes == nullptr) {
+    return common::Status::InvalidArgument("size distribution is null");
+  }
+  auto gamma_model = GammaTransferModel::ForMultiZone(geometry, sizes->mean(),
+                                                      sizes->variance());
+  if (!gamma_model.ok()) return gamma_model.status();
+  return ZoneTransferAnalysis(geometry, std::move(sizes),
+                              *std::move(gamma_model));
+}
+
+double ZoneTransferAnalysis::ExactDensity(double t) const {
+  if (t <= 0.0) return 0.0;
+  // T = S/R: conditioning on zone i, the density of T is R_i·f_S(t·R_i).
+  double density = 0.0;
+  for (size_t i = 0; i < rates_.size(); ++i) {
+    density += probabilities_[i] * rates_[i] * sizes_->Density(t * rates_[i]);
+  }
+  return density;
+}
+
+double ZoneTransferAnalysis::ExactCdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  double cdf = 0.0;
+  for (size_t i = 0; i < rates_.size(); ++i) {
+    cdf += probabilities_[i] * sizes_->Cdf(t * rates_[i]);
+  }
+  return cdf;
+}
+
+double ZoneTransferAnalysis::ContinuousDensity(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double a = rate_min_;
+  const double b = rate_max_;
+  if (a == b) return a * sizes_->Density(t * a);  // single-zone degenerate
+  // Eq. (3.2.7) with the large-Z rate density f_rate(r) = 2r/(b^2 - a^2).
+  const auto integrand = [this, a, b, t](double r) {
+    const double f_rate = 2.0 * r / (b * b - a * a);
+    return f_rate * r * sizes_->Density(t * r);
+  };
+  return numeric::CompositeGaussLegendre(integrand, a, b, /*segments=*/16,
+                                         /*order=*/32);
+}
+
+double ZoneTransferAnalysis::GammaApproxDensity(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double alpha = gamma_model_.alpha();  // rate (1/s)
+  const double beta = gamma_model_.beta();    // shape
+  const double log_density = beta * std::log(alpha) +
+                             (beta - 1.0) * std::log(t) - alpha * t -
+                             numeric::LogGamma(beta);
+  return std::exp(log_density);
+}
+
+double ZoneTransferAnalysis::GammaApproxCdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return numeric::RegularizedGammaP(gamma_model_.beta(),
+                                    gamma_model_.alpha() * t);
+}
+
+double ZoneTransferAnalysis::GammaApproximationKolmogorov(double t_lo,
+                                                          double t_hi,
+                                                          int samples) const {
+  ZS_CHECK_GT(samples, 1);
+  ZS_CHECK_LT(t_lo, t_hi);
+  double max_distance = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = t_lo + (t_hi - t_lo) * i / (samples - 1);
+    max_distance =
+        std::fmax(max_distance, std::fabs(GammaApproxCdf(t) - ExactCdf(t)));
+  }
+  return max_distance;
+}
+
+namespace {
+
+ApproximationError SweepRelativeError(
+    const std::function<double(double)>& exact,
+    const std::function<double(double)>& approx, double t_lo, double t_hi,
+    int samples) {
+  ZS_CHECK_GT(samples, 1);
+  ZS_CHECK_LT(t_lo, t_hi);
+  ApproximationError error;
+  error.samples = samples;
+  double sum = 0.0;
+  double peak = 0.0;
+  double max_abs = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = t_lo + (t_hi - t_lo) * i / (samples - 1);
+    const double f_exact = exact(t);
+    ZS_CHECK_GT(f_exact, 0.0);
+    peak = std::fmax(peak, f_exact);
+    const double abs_err = std::fabs(approx(t) - f_exact);
+    max_abs = std::fmax(max_abs, abs_err);
+    const double rel = abs_err / f_exact;
+    sum += rel;
+    if (rel > error.max_relative_error) {
+      error.max_relative_error = rel;
+      error.at_time_s = t;
+    }
+  }
+  error.mean_relative_error = sum / samples;
+  error.max_normalized_error = max_abs / peak;
+  return error;
+}
+
+}  // namespace
+
+ApproximationError ZoneTransferAnalysis::GammaApproximationError(
+    double t_lo, double t_hi, int samples) const {
+  return SweepRelativeError([this](double t) { return ExactDensity(t); },
+                            [this](double t) { return GammaApproxDensity(t); },
+                            t_lo, t_hi, samples);
+}
+
+ApproximationError ZoneTransferAnalysis::ContinuousApproximationError(
+    double t_lo, double t_hi, int samples) const {
+  return SweepRelativeError([this](double t) { return ExactDensity(t); },
+                            [this](double t) { return ContinuousDensity(t); },
+                            t_lo, t_hi, samples);
+}
+
+}  // namespace zonestream::core

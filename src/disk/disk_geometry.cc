@@ -1,0 +1,221 @@
+#include "disk/disk_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::disk {
+
+common::StatusOr<DiskGeometry> DiskGeometry::Create(
+    const DiskParameters& params) {
+  if (params.cylinders <= 0) {
+    return common::Status::InvalidArgument("cylinders must be positive");
+  }
+  if (params.zones <= 0) {
+    return common::Status::InvalidArgument("zones must be positive");
+  }
+  if (params.zones > params.cylinders) {
+    return common::Status::InvalidArgument("more zones than cylinders");
+  }
+  if (params.rotation_time_s <= 0.0) {
+    return common::Status::InvalidArgument("rotation time must be positive");
+  }
+  if (params.innermost_track_bytes <= 0.0) {
+    return common::Status::InvalidArgument(
+        "innermost track capacity must be positive");
+  }
+  if (params.outermost_track_bytes < params.innermost_track_bytes) {
+    return common::Status::InvalidArgument(
+        "outermost track capacity must be >= innermost");
+  }
+  if (params.zones == 1 &&
+      params.outermost_track_bytes != params.innermost_track_bytes) {
+    return common::Status::InvalidArgument(
+        "single-zone disk requires C_min == C_max");
+  }
+  if (params.head_switch_time_s < 0.0) {
+    return common::Status::InvalidArgument(
+        "head switch time must be non-negative");
+  }
+
+  DiskGeometry geometry;
+  geometry.params_ = params;
+  geometry.zones_.reserve(params.zones);
+
+  const int z = params.zones;
+  const double c_min = params.innermost_track_bytes;
+  const double c_max = params.outermost_track_bytes;
+
+  // All zones span the same number of cylinders (paper assumption); a
+  // remainder of cylinders is distributed one-per-zone from the inside.
+  const int base_cyls = params.cylinders / z;
+  const int remainder = params.cylinders % z;
+
+  double total_capacity = 0.0;
+  int next_cylinder = 0;
+  for (int i = 0; i < z; ++i) {
+    ZoneInfo zone;
+    zone.index = i;
+    zone.first_cylinder = next_cylinder;
+    zone.num_cylinders = base_cyls + (i < remainder ? 1 : 0);
+    next_cylinder += zone.num_cylinders;
+    // Eq. (3.2.2): linear capacity growth from C_min to C_max.
+    zone.track_capacity_bytes =
+        (z == 1) ? c_min : c_min + (c_max - c_min) * i / (z - 1);
+    // Eq. (3.2.3): constant angular velocity, with the head-switch
+    // overhead folded into the effective rate.
+    zone.transfer_rate_bps =
+        zone.track_capacity_bytes /
+        (params.rotation_time_s + params.head_switch_time_s);
+    total_capacity += zone.track_capacity_bytes;
+    geometry.zones_.push_back(zone);
+  }
+  ZS_CHECK_EQ(next_cylinder, params.cylinders);
+  geometry.total_track_capacity_ = total_capacity;
+
+  geometry.cumulative_hit_.resize(z);
+  double cumulative = 0.0;
+  for (int i = 0; i < z; ++i) {
+    geometry.zones_[i].hit_probability =
+        geometry.zones_[i].track_capacity_bytes / total_capacity;
+    cumulative += geometry.zones_[i].hit_probability;
+    geometry.cumulative_hit_[i] = cumulative;
+  }
+  // Guard against rounding drift in the prefix sums.
+  geometry.cumulative_hit_.back() = 1.0;
+  return geometry;
+}
+
+common::StatusOr<DiskGeometry> DiskGeometry::CreateFromZoneTable(
+    const std::vector<ZoneSpec>& zones, double rotation_time_s) {
+  if (zones.empty()) {
+    return common::Status::InvalidArgument("zone table is empty");
+  }
+  if (rotation_time_s <= 0.0) {
+    return common::Status::InvalidArgument("rotation time must be positive");
+  }
+  double previous_capacity = 0.0;
+  int total_cylinders = 0;
+  for (size_t i = 0; i < zones.size(); ++i) {
+    if (zones[i].num_cylinders <= 0) {
+      return common::Status::InvalidArgument(
+          "zone " + std::to_string(i) + " has non-positive cylinder count");
+    }
+    if (zones[i].track_capacity_bytes <= 0.0) {
+      return common::Status::InvalidArgument(
+          "zone " + std::to_string(i) + " has non-positive capacity");
+    }
+    if (zones[i].track_capacity_bytes < previous_capacity) {
+      return common::Status::InvalidArgument(
+          "zone capacities must be non-decreasing outward (zone " +
+          std::to_string(i) + ")");
+    }
+    previous_capacity = zones[i].track_capacity_bytes;
+    total_cylinders += zones[i].num_cylinders;
+  }
+
+  DiskGeometry geometry;
+  geometry.params_.cylinders = total_cylinders;
+  geometry.params_.zones = static_cast<int>(zones.size());
+  geometry.params_.rotation_time_s = rotation_time_s;
+  geometry.params_.innermost_track_bytes = zones.front().track_capacity_bytes;
+  geometry.params_.outermost_track_bytes = zones.back().track_capacity_bytes;
+  geometry.zones_.reserve(zones.size());
+
+  // Hit probability weights each zone by its stored bytes: capacity per
+  // track times the number of cylinders (tracks) in the zone. (The linear
+  // Create() uses equal cylinders per zone, where the per-track weighting
+  // is equivalent; with explicit tables the cylinder counts matter.)
+  double total_capacity = 0.0;
+  int next_cylinder = 0;
+  for (size_t i = 0; i < zones.size(); ++i) {
+    ZoneInfo zone;
+    zone.index = static_cast<int>(i);
+    zone.first_cylinder = next_cylinder;
+    zone.num_cylinders = zones[i].num_cylinders;
+    next_cylinder += zone.num_cylinders;
+    zone.track_capacity_bytes = zones[i].track_capacity_bytes;
+    zone.transfer_rate_bps = zones[i].track_capacity_bytes / rotation_time_s;
+    total_capacity += zone.track_capacity_bytes * zone.num_cylinders;
+    geometry.zones_.push_back(zone);
+  }
+  geometry.total_track_capacity_ = total_capacity;
+
+  geometry.cumulative_hit_.resize(zones.size());
+  double cumulative = 0.0;
+  for (size_t i = 0; i < zones.size(); ++i) {
+    geometry.zones_[i].hit_probability =
+        geometry.zones_[i].track_capacity_bytes *
+        geometry.zones_[i].num_cylinders / total_capacity;
+    cumulative += geometry.zones_[i].hit_probability;
+    geometry.cumulative_hit_[i] = cumulative;
+  }
+  geometry.cumulative_hit_.back() = 1.0;
+  return geometry;
+}
+
+const ZoneInfo& DiskGeometry::zone(int index) const {
+  ZS_CHECK_GE(index, 0);
+  ZS_CHECK_LT(index, num_zones());
+  return zones_[index];
+}
+
+const ZoneInfo& DiskGeometry::ZoneOfCylinder(int cylinder) const {
+  ZS_CHECK_GE(cylinder, 0);
+  ZS_CHECK_LT(cylinder, cylinders());
+  // Zones are contiguous and sorted by first_cylinder; binary search.
+  auto it = std::upper_bound(
+      zones_.begin(), zones_.end(), cylinder,
+      [](int cyl, const ZoneInfo& zi) { return cyl < zi.first_cylinder; });
+  ZS_CHECK(it != zones_.begin());
+  return *(it - 1);
+}
+
+double DiskGeometry::MeanTransferRate() const {
+  double mean = 0.0;
+  for (const ZoneInfo& zi : zones_) {
+    mean += zi.hit_probability * zi.transfer_rate_bps;
+  }
+  return mean;
+}
+
+double DiskGeometry::RateCdfAtZone(int index) const {
+  ZS_CHECK_GE(index, 0);
+  ZS_CHECK_LT(index, num_zones());
+  return cumulative_hit_[index];
+}
+
+double DiskGeometry::InverseRateMoment(int k) const {
+  ZS_CHECK_GE(k, 1);
+  double moment = 0.0;
+  for (const ZoneInfo& zi : zones_) {
+    moment +=
+        zi.hit_probability * std::pow(zi.transfer_rate_bps, -static_cast<double>(k));
+  }
+  return moment;
+}
+
+double DiskGeometry::TransferTime(double bytes, int zone_index) const {
+  ZS_CHECK_GE(bytes, 0.0);
+  return bytes / TransferRate(zone_index);
+}
+
+DiskPosition DiskGeometry::SampleUniformPosition(numeric::Rng* rng) const {
+  ZS_CHECK(rng != nullptr);
+  const double u = rng->Uniform01();
+  // First zone whose cumulative hit probability exceeds u.
+  auto it = std::lower_bound(cumulative_hit_.begin(), cumulative_hit_.end(), u);
+  int zone_index = static_cast<int>(it - cumulative_hit_.begin());
+  zone_index = std::min(zone_index, num_zones() - 1);
+  const ZoneInfo& zi = zones_[zone_index];
+
+  DiskPosition position;
+  position.zone = zone_index;
+  position.cylinder =
+      zi.first_cylinder + static_cast<int>(rng->UniformIndex(zi.num_cylinders));
+  position.transfer_rate_bps = zi.transfer_rate_bps;
+  return position;
+}
+
+}  // namespace zonestream::disk

@@ -1,0 +1,121 @@
+#include "disk/presets.h"
+
+#include "common/check.h"
+
+namespace zonestream::disk {
+
+DiskParameters QuantumViking2100Parameters() {
+  DiskParameters params;
+  params.cylinders = 6720;
+  params.zones = 15;
+  params.rotation_time_s = 8.34e-3;
+  params.innermost_track_bytes = 58368.0;
+  params.outermost_track_bytes = 95744.0;
+  return params;
+}
+
+SeekParameters QuantumViking2100SeekParameters() {
+  SeekParameters params;
+  params.sqrt_intercept_s = 1.867e-3;
+  params.sqrt_coefficient = 1.315e-4;
+  params.linear_intercept_s = 3.8635e-3;
+  params.linear_coefficient = 2.1e-6;
+  params.threshold_cylinders = 1344;
+  return params;
+}
+
+DiskGeometry QuantumViking2100() {
+  auto geometry = DiskGeometry::Create(QuantumViking2100Parameters());
+  ZS_CHECK(geometry.ok());
+  return *std::move(geometry);
+}
+
+SeekTimeModel QuantumViking2100Seek() {
+  auto model = SeekTimeModel::Create(QuantumViking2100SeekParameters());
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+DiskParameters SingleZoneVikingParameters() {
+  DiskParameters params = QuantumViking2100Parameters();
+  // Capacity-weighted... all zones host the same number of tracks, so the
+  // plain average of the linear capacity ramp is the per-track mean.
+  const double mean_track =
+      0.5 * (params.innermost_track_bytes + params.outermost_track_bytes);
+  params.zones = 1;
+  params.innermost_track_bytes = mean_track;
+  params.outermost_track_bytes = mean_track;
+  return params;
+}
+
+DiskGeometry SingleZoneViking() {
+  auto geometry = DiskGeometry::Create(SingleZoneVikingParameters());
+  ZS_CHECK(geometry.ok());
+  return *std::move(geometry);
+}
+
+DiskParameters SyntheticSmallDiskParameters() {
+  DiskParameters params;
+  params.cylinders = 2000;
+  params.zones = 4;
+  params.rotation_time_s = 60.0 / 5400.0;  // 11.11 ms
+  params.innermost_track_bytes = 30000.0;
+  params.outermost_track_bytes = 45000.0;
+  return params;
+}
+
+SeekParameters SyntheticSmallDiskSeekParameters() {
+  SeekParameters params;
+  params.sqrt_intercept_s = 3.0e-3;
+  params.sqrt_coefficient = 3.5e-4;
+  params.linear_intercept_s = 8.0e-3;
+  params.linear_coefficient = 6.0e-6;
+  params.threshold_cylinders = 500;
+  return params;
+}
+
+DiskGeometry SyntheticSmallDisk() {
+  auto geometry = DiskGeometry::Create(SyntheticSmallDiskParameters());
+  ZS_CHECK(geometry.ok());
+  return *std::move(geometry);
+}
+
+SeekTimeModel SyntheticSmallDiskSeek() {
+  auto model = SeekTimeModel::Create(SyntheticSmallDiskSeekParameters());
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+DiskParameters SyntheticFastDiskParameters() {
+  DiskParameters params;
+  params.cylinders = 10000;
+  params.zones = 30;
+  params.rotation_time_s = 60.0 / 10000.0;  // 6 ms
+  params.innermost_track_bytes = 100000.0;
+  params.outermost_track_bytes = 220000.0;
+  return params;
+}
+
+SeekParameters SyntheticFastDiskSeekParameters() {
+  SeekParameters params;
+  params.sqrt_intercept_s = 1.0e-3;
+  params.sqrt_coefficient = 8.0e-5;
+  params.linear_intercept_s = 2.5e-3;
+  params.linear_coefficient = 0.9e-6;
+  params.threshold_cylinders = 2500;
+  return params;
+}
+
+DiskGeometry SyntheticFastDisk() {
+  auto geometry = DiskGeometry::Create(SyntheticFastDiskParameters());
+  ZS_CHECK(geometry.ok());
+  return *std::move(geometry);
+}
+
+SeekTimeModel SyntheticFastDiskSeek() {
+  auto model = SeekTimeModel::Create(SyntheticFastDiskSeekParameters());
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+}  // namespace zonestream::disk

@@ -1,0 +1,45 @@
+// Disk presets used throughout tests, benches and examples.
+#ifndef ZONESTREAM_DISK_PRESETS_H_
+#define ZONESTREAM_DISK_PRESETS_H_
+
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::disk {
+
+// The paper's validation disk (Table 1): a Quantum Viking 2.1 class drive.
+//   CYL = 6720, Z = 15, ROT = 8.34 ms,
+//   C_min = 58368 bytes, C_max = 95744 bytes,
+//   seek(d) = 1.867e-3 + 1.315e-4 sqrt(d)  for d < 1344
+//           = 3.8635e-3 + 2.1e-6 d         for d >= 1344.
+DiskParameters QuantumViking2100Parameters();
+SeekParameters QuantumViking2100SeekParameters();
+DiskGeometry QuantumViking2100();
+SeekTimeModel QuantumViking2100Seek();
+
+// Single-zone variant of the Viking, for the §3.1 (conventional disk)
+// experiments: identical cylinders/rotation/seek, one zone whose track
+// capacity is the Viking's mean track capacity (77056 bytes), so the mean
+// transfer rate matches the multi-zone drive.
+DiskParameters SingleZoneVikingParameters();
+DiskGeometry SingleZoneViking();
+
+// Synthetic mid-90s entry-level drive: 2000 cylinders, 4 zones,
+// 5400 rpm, 30..45 KB tracks, slow seeks. Used by cross-geometry
+// property tests and capacity studies — not a model of a specific
+// product.
+DiskParameters SyntheticSmallDiskParameters();
+SeekParameters SyntheticSmallDiskSeekParameters();
+DiskGeometry SyntheticSmallDisk();
+SeekTimeModel SyntheticSmallDiskSeek();
+
+// Synthetic high-end drive of the era: 10000 cylinders, 30 zones,
+// 10000 rpm, 100..220 KB tracks, fast seeks.
+DiskParameters SyntheticFastDiskParameters();
+SeekParameters SyntheticFastDiskSeekParameters();
+DiskGeometry SyntheticFastDisk();
+SeekTimeModel SyntheticFastDiskSeek();
+
+}  // namespace zonestream::disk
+
+#endif  // ZONESTREAM_DISK_PRESETS_H_

@@ -1,0 +1,115 @@
+#include "disk/seek_calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::disk {
+namespace {
+
+// Ordinary least squares of y on [1, f(d)]; returns false when the
+// design is degenerate. Outputs intercept/slope.
+bool FitLinear(const std::vector<SeekMeasurement>& samples, size_t begin,
+               size_t end, double (*feature)(double), double* intercept,
+               double* slope) {
+  const double n = static_cast<double>(end - begin);
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double x = feature(samples[i].distance_cylinders);
+    const double y = samples[i].seek_time_s;
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  if (std::fabs(denom) < 1e-12 * (1.0 + sum_xx)) return false;
+  *slope = (n * sum_xy - sum_x * sum_y) / denom;
+  *intercept = (sum_y - *slope * sum_x) / n;
+  return true;
+}
+
+double SqrtFeature(double d) { return std::sqrt(d); }
+double LinearFeature(double d) { return d; }
+
+double RegimeSse(const std::vector<SeekMeasurement>& samples, size_t begin,
+                 size_t end, double (*feature)(double), double intercept,
+                 double slope) {
+  double sse = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double predicted =
+        intercept + slope * feature(samples[i].distance_cylinders);
+    const double residual = samples[i].seek_time_s - predicted;
+    sse += residual * residual;
+  }
+  return sse;
+}
+
+}  // namespace
+
+common::StatusOr<SeekFitResult> FitSeekModel(
+    std::vector<SeekMeasurement> samples) {
+  if (samples.size() < 6) {
+    return common::Status::InvalidArgument(
+        "need at least 6 seek measurements (3 per regime)");
+  }
+  for (const SeekMeasurement& sample : samples) {
+    if (sample.distance_cylinders <= 0.0 || sample.seek_time_s <= 0.0) {
+      return common::Status::InvalidArgument(
+          "distances and seek times must be positive");
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const SeekMeasurement& a, const SeekMeasurement& b) {
+              return a.distance_cylinders < b.distance_cylinders;
+            });
+
+  double best_sse = -1.0;
+  SeekFitResult best;
+  // Candidate split: the sqrt regime covers samples [0, split), the
+  // linear regime [split, n). The fitted threshold is the first distance
+  // of the linear regime.
+  for (size_t split = 3; split + 3 <= samples.size(); ++split) {
+    // Identical distances cannot straddle the split.
+    if (samples[split].distance_cylinders ==
+        samples[split - 1].distance_cylinders) {
+      continue;
+    }
+    double a1;
+    double b1;
+    double a2;
+    double b2;
+    if (!FitLinear(samples, 0, split, SqrtFeature, &a1, &b1)) continue;
+    if (!FitLinear(samples, split, samples.size(), LinearFeature, &a2, &b2)) {
+      continue;
+    }
+    if (a1 < 0.0 || b1 < 0.0 || a2 < 0.0 || b2 < 0.0) continue;
+    const double sse =
+        RegimeSse(samples, 0, split, SqrtFeature, a1, b1) +
+        RegimeSse(samples, split, samples.size(), LinearFeature, a2, b2);
+    if (best_sse < 0.0 || sse < best_sse) {
+      best_sse = sse;
+      best.parameters.sqrt_intercept_s = a1;
+      best.parameters.sqrt_coefficient = b1;
+      best.parameters.linear_intercept_s = a2;
+      best.parameters.linear_coefficient = b2;
+      best.parameters.threshold_cylinders =
+          static_cast<int>(samples[split].distance_cylinders);
+    }
+  }
+  if (best_sse < 0.0) {
+    return common::Status::NotFound(
+        "no valid two-regime split (check measurement quality)");
+  }
+  best.rmse_s = std::sqrt(best_sse / static_cast<double>(samples.size()));
+  // Cross-validate: the fitted parameters must form a usable model.
+  auto model = SeekTimeModel::Create(best.parameters);
+  if (!model.ok()) return model.status();
+  return best;
+}
+
+}  // namespace zonestream::disk

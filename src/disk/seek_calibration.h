@@ -1,0 +1,43 @@
+// Seek-model calibration: fit the two-regime seek-time function (§3.1,
+// after [RW94]) from measured (distance, time) pairs, so drives other
+// than the presets can be plugged into the model from a simple
+// micro-benchmark of their seek behavior.
+//
+//   seek(d) = a1 + b1·sqrt(d)   for d < threshold
+//           = a2 + b2·d         for d >= threshold
+//
+// Each regime is linear in its feature ([1, sqrt(d)] resp. [1, d]), so
+// for a fixed threshold both are closed-form least squares; the threshold
+// itself is found by scanning the candidate split points.
+#ifndef ZONESTREAM_DISK_SEEK_CALIBRATION_H_
+#define ZONESTREAM_DISK_SEEK_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::disk {
+
+// One measured seek.
+struct SeekMeasurement {
+  double distance_cylinders = 0.0;
+  double seek_time_s = 0.0;
+};
+
+// Calibration output.
+struct SeekFitResult {
+  SeekParameters parameters;
+  double rmse_s = 0.0;  // root-mean-square residual over all samples
+};
+
+// Fits the two-regime model. Needs at least 3 samples on each side of
+// some candidate threshold; negative fitted coefficients (possible under
+// heavy noise) invalidate a candidate split. Returns InvalidArgument for
+// unusable inputs and NotFound if no valid split exists.
+common::StatusOr<SeekFitResult> FitSeekModel(
+    std::vector<SeekMeasurement> samples);
+
+}  // namespace zonestream::disk
+
+#endif  // ZONESTREAM_DISK_SEEK_CALIBRATION_H_

@@ -1,0 +1,43 @@
+#include "disk/seek_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::disk {
+
+common::StatusOr<SeekTimeModel> SeekTimeModel::Create(
+    const SeekParameters& params) {
+  if (params.sqrt_intercept_s < 0.0 || params.sqrt_coefficient < 0.0 ||
+      params.linear_intercept_s < 0.0 || params.linear_coefficient < 0.0) {
+    return common::Status::InvalidArgument(
+        "seek coefficients must be non-negative");
+  }
+  if (params.sqrt_coefficient == 0.0 && params.linear_coefficient == 0.0) {
+    return common::Status::InvalidArgument(
+        "seek time must depend on distance");
+  }
+  if (params.threshold_cylinders <= 0) {
+    return common::Status::InvalidArgument(
+        "sqrt/linear threshold must be positive");
+  }
+  SeekTimeModel model;
+  model.params_ = params;
+  return model;
+}
+
+double SeekTimeModel::SeekTime(double distance) const {
+  if (distance <= 0.0) return 0.0;
+  if (distance < params_.threshold_cylinders) {
+    return params_.sqrt_intercept_s +
+           params_.sqrt_coefficient * std::sqrt(distance);
+  }
+  return params_.linear_intercept_s + params_.linear_coefficient * distance;
+}
+
+double SeekTimeModel::MaxSeekTime(int total_cylinders) const {
+  ZS_CHECK_GT(total_cylinders, 0);
+  return SeekTime(static_cast<double>(total_cylinders));
+}
+
+}  // namespace zonestream::disk

@@ -1,0 +1,51 @@
+// Seek-time model (§3.1, after [RW94] / [Oya95]).
+//
+// Seek time is proportional to the square root of the seek distance for
+// short seeks (the acceleration-dominated regime) and linear for long
+// seeks (the coast-dominated regime):
+//
+//   seek(d) = a_sqrt + b_sqrt * sqrt(d)   for 0 < d < d_threshold
+//   seek(d) = a_lin  + b_lin  * d         for d >= d_threshold
+//   seek(0) = 0
+#ifndef ZONESTREAM_DISK_SEEK_MODEL_H_
+#define ZONESTREAM_DISK_SEEK_MODEL_H_
+
+#include "common/status.h"
+
+namespace zonestream::disk {
+
+// Coefficients of the two-regime seek-time function; times in seconds,
+// distances in cylinders.
+struct SeekParameters {
+  double sqrt_intercept_s = 0.0;   // a_sqrt
+  double sqrt_coefficient = 0.0;   // b_sqrt (seconds per sqrt(cylinder))
+  double linear_intercept_s = 0.0; // a_lin
+  double linear_coefficient = 0.0; // b_lin (seconds per cylinder)
+  int threshold_cylinders = 0;     // d_threshold
+};
+
+// Immutable seek-time function.
+class SeekTimeModel {
+ public:
+  // Validates coefficients (positive, threshold inside the disk) and
+  // builds the model.
+  static common::StatusOr<SeekTimeModel> Create(const SeekParameters& params);
+
+  const SeekParameters& params() const { return params_; }
+
+  // Seek time for a distance of `distance` cylinders; 0 for distance <= 0
+  // (no head movement).
+  double SeekTime(double distance) const;
+
+  // Full-stroke seek time, seek(max_distance). The deterministic worst-case
+  // baseline (eq. 4.1) uses this as T_seek^max.
+  double MaxSeekTime(int total_cylinders) const;
+
+ private:
+  SeekTimeModel() = default;
+  SeekParameters params_;
+};
+
+}  // namespace zonestream::disk
+
+#endif  // ZONESTREAM_DISK_SEEK_MODEL_H_

@@ -1,0 +1,137 @@
+#include "numeric/optimize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::numeric {
+
+MinimizeResult GoldenSectionMinimize(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     const MinimizeOptions& options) {
+  ZS_CHECK_LT(lo, hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+
+  MinimizeResult result;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int iter = 0;
+  while (iter < options.max_iterations &&
+         (b - a) > options.tolerance * (std::fabs(x1) + std::fabs(x2) + 1e-30)) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++iter;
+  }
+  result.x = (f1 < f2) ? x1 : x2;
+  result.value = std::fmin(f1, f2);
+  result.iterations = iter;
+  result.converged = iter < options.max_iterations;
+  return result;
+}
+
+MinimizeResult BrentMinimize(const std::function<double(double)>& f, double lo,
+                             double hi, const MinimizeOptions& options) {
+  ZS_CHECK_LT(lo, hi);
+  constexpr double kGolden = 0.3819660112501051;  // 2 - φ
+  constexpr double kTinyEps = 1e-30;
+
+  MinimizeResult result;
+  double a = lo;
+  double b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = options.tolerance * std::fabs(x) + kTinyEps;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      break;
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Fit a parabola through (v, fv), (w, fw), (x, fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double etemp = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * etemp) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u_trial = x + d;
+        if (u_trial - a < tol2 || b - u_trial < tol2) {
+          d = (xm - x >= 0.0) ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = kGolden * e;
+    }
+    const double u =
+        (std::fabs(d) >= tol1) ? x + d : x + ((d >= 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.value = fx;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace zonestream::numeric

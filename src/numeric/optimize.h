@@ -1,0 +1,36 @@
+// One-dimensional minimization used to sharpen Chernoff bounds: the model
+// minimizes log h(θ) = -θt + log M(θ) over an open interval.
+#ifndef ZONESTREAM_NUMERIC_OPTIMIZE_H_
+#define ZONESTREAM_NUMERIC_OPTIMIZE_H_
+
+#include <functional>
+
+namespace zonestream::numeric {
+
+// Result of a 1-D minimization.
+struct MinimizeResult {
+  double x = 0.0;        // argmin
+  double value = 0.0;    // f(argmin)
+  int iterations = 0;    // iterations used
+  bool converged = false;
+};
+
+// Options controlling a minimization run.
+struct MinimizeOptions {
+  double tolerance = 1e-10;  // relative x tolerance
+  int max_iterations = 200;
+};
+
+// Golden-section search on [lo, hi]; requires f unimodal on the interval.
+MinimizeResult GoldenSectionMinimize(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     const MinimizeOptions& options = {});
+
+// Brent's parabolic-interpolation minimizer on [lo, hi]; requires f unimodal.
+// Typically 3-5x fewer function evaluations than golden section.
+MinimizeResult BrentMinimize(const std::function<double(double)>& f, double lo,
+                             double hi, const MinimizeOptions& options = {});
+
+}  // namespace zonestream::numeric
+
+#endif  // ZONESTREAM_NUMERIC_OPTIMIZE_H_

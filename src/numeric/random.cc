@@ -1,0 +1,68 @@
+#include "numeric/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::numeric {
+
+double Rng::Uniform01() {
+  // 53-bit mantissa-exact uniform in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  ZS_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform01();
+}
+
+uint64_t Rng::UniformIndex(uint64_t n) {
+  ZS_CHECK_GT(n, 0u);
+  std::uniform_int_distribution<uint64_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  ZS_CHECK_GT(shape, 0.0);
+  ZS_CHECK_GT(scale, 0.0);
+  std::gamma_distribution<double> dist(shape, scale);
+  return dist(engine_);
+}
+
+double Rng::GammaByMoments(double mean, double variance) {
+  ZS_CHECK_GT(mean, 0.0);
+  ZS_CHECK_GT(variance, 0.0);
+  const double shape = mean * mean / variance;
+  const double scale = variance / mean;
+  return Gamma(shape, scale);
+}
+
+double Rng::LognormalByMoments(double mean, double variance) {
+  ZS_CHECK_GT(mean, 0.0);
+  ZS_CHECK_GT(variance, 0.0);
+  // If X ~ Lognormal(mu, sigma^2) then E[X] = exp(mu + sigma^2/2) and
+  // Var[X] = (exp(sigma^2) - 1) exp(2mu + sigma^2); invert for (mu, sigma).
+  const double sigma2 = std::log(1.0 + variance / (mean * mean));
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  std::lognormal_distribution<double> dist(mu, std::sqrt(sigma2));
+  return dist(engine_);
+}
+
+double Rng::TruncatedPareto(double x_min, double alpha, double cap) {
+  ZS_CHECK_GT(x_min, 0.0);
+  ZS_CHECK_GT(alpha, 0.0);
+  ZS_CHECK_GT(cap, x_min);
+  // Inverse-CDF sampling of the Pareto conditioned on X <= cap:
+  // F(x) = (1 - (x_min/x)^alpha) / (1 - (x_min/cap)^alpha).
+  const double tail_at_cap = std::pow(x_min / cap, alpha);
+  const double u = Uniform01() * (1.0 - tail_at_cap);
+  return x_min * std::pow(1.0 - u, -1.0 / alpha);
+}
+
+double Rng::Exponential(double mean) {
+  ZS_CHECK_GT(mean, 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+}  // namespace zonestream::numeric

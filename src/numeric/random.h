@@ -1,0 +1,60 @@
+// Random number generation for the detailed disk simulator and the
+// synthetic VBR workload generator.
+//
+// A thin facade over std::mt19937_64 with the samplers the paper's
+// validation needs: uniform (rotational latency, placement), Gamma
+// (fragment sizes), and alternatives for the distribution-family ablation
+// (lognormal, truncated Pareto). Seeded deterministically so every bench
+// and test is reproducible.
+#ifndef ZONESTREAM_NUMERIC_RANDOM_H_
+#define ZONESTREAM_NUMERIC_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace zonestream::numeric {
+
+// Deterministic pseudo-random source. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform01();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).
+  uint64_t UniformIndex(uint64_t n);
+
+  // Gamma variate with the given shape k > 0 and scale theta > 0
+  // (mean = k*theta, variance = k*theta^2).
+  double Gamma(double shape, double scale);
+
+  // Gamma variate parameterized by mean > 0 and variance > 0.
+  double GammaByMoments(double mean, double variance);
+
+  // Lognormal variate parameterized by mean > 0 and variance > 0 of the
+  // *variate itself* (not of log X).
+  double LognormalByMoments(double mean, double variance);
+
+  // Pareto variate with minimum x_m > 0 and tail index alpha > 0, truncated
+  // at `cap` (> x_m) by resampling. With alpha <= 2 the untruncated variance
+  // is infinite; truncation keeps all moments finite, which the Chernoff
+  // machinery requires.
+  double TruncatedPareto(double x_min, double alpha, double cap);
+
+  // Exponential variate with the given mean.
+  double Exponential(double mean);
+
+  // Access to the underlying engine for std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace zonestream::numeric
+
+#endif  // ZONESTREAM_NUMERIC_RANDOM_H_

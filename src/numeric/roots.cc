@@ -1,0 +1,128 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::numeric {
+
+RootResult Bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  ZS_CHECK_LE(lo, hi);
+  RootResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) {
+    result = {lo, 0.0, 0, true};
+    return result;
+  }
+  if (fhi == 0.0) {
+    result = {hi, 0.0, 0, true};
+    return result;
+  }
+  ZS_CHECK(flo * fhi < 0.0);
+
+  double mid = 0.5 * (lo + hi);
+  for (int i = 0; i < options.max_iterations; ++i) {
+    mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result.iterations = i + 1;
+    if (fmid == 0.0 || std::fabs(fmid) <= options.f_tolerance ||
+        (hi - lo) < options.x_tolerance * (std::fabs(mid) + 1e-30)) {
+      result.x = mid;
+      result.f_of_x = fmid;
+      result.converged = true;
+      return result;
+    }
+    if (flo * fmid < 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  result.x = mid;
+  result.f_of_x = f(mid);
+  result.converged = false;
+  return result;
+}
+
+RootResult NewtonBisect(const std::function<double(double)>& f,
+                        const std::function<double(double)>& df, double lo,
+                        double hi, const RootOptions& options) {
+  ZS_CHECK_LE(lo, hi);
+  RootResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  ZS_CHECK(flo * fhi < 0.0);
+
+  // Orient so that f(a) < 0 < f(b).
+  double a = lo;
+  double b = hi;
+  if (flo > 0.0) std::swap(a, b);
+
+  double x = 0.5 * (a + b);
+  for (int i = 0; i < options.max_iterations; ++i) {
+    result.iterations = i + 1;
+    const double fx = f(x);
+    if (fx == 0.0 || std::fabs(fx) <= options.f_tolerance) {
+      result.x = x;
+      result.f_of_x = fx;
+      result.converged = true;
+      return result;
+    }
+    if (fx < 0.0) {
+      a = x;
+    } else {
+      b = x;
+    }
+    const double dfx = df(x);
+    double next;
+    if (dfx != 0.0) {
+      next = x - fx / dfx;
+      // Reject Newton steps that leave the bracket.
+      const double blo = std::fmin(a, b);
+      const double bhi = std::fmax(a, b);
+      if (!(next > blo && next < bhi)) next = 0.5 * (a + b);
+    } else {
+      next = 0.5 * (a + b);
+    }
+    if (std::fabs(next - x) < options.x_tolerance * (std::fabs(x) + 1e-30)) {
+      result.x = next;
+      result.f_of_x = f(next);
+      result.converged = true;
+      return result;
+    }
+    x = next;
+  }
+  result.x = x;
+  result.f_of_x = f(x);
+  result.converged = false;
+  return result;
+}
+
+bool BracketRoot(const std::function<double(double)>& f, double* lo,
+                 double* hi, int max_expansions) {
+  ZS_CHECK(lo != nullptr);
+  ZS_CHECK(hi != nullptr);
+  ZS_CHECK_LT(*lo, *hi);
+  double flo = f(*lo);
+  double fhi = f(*hi);
+  constexpr double kGrow = 1.6;
+  for (int i = 0; i < max_expansions; ++i) {
+    if (flo * fhi <= 0.0) return true;
+    if (std::fabs(flo) < std::fabs(fhi)) {
+      *lo += kGrow * (*lo - *hi);
+      flo = f(*lo);
+    } else {
+      *hi += kGrow * (*hi - *lo);
+      fhi = f(*hi);
+    }
+  }
+  return flo * fhi <= 0.0;
+}
+
+}  // namespace zonestream::numeric

@@ -1,0 +1,44 @@
+// Scalar root finding. The analytic model solves h'(θ) = 0 (optimum of the
+// Chernoff exponent) and inverts CDFs for percentile computations.
+#ifndef ZONESTREAM_NUMERIC_ROOTS_H_
+#define ZONESTREAM_NUMERIC_ROOTS_H_
+
+#include <functional>
+
+namespace zonestream::numeric {
+
+// Result of a root-finding run.
+struct RootResult {
+  double x = 0.0;
+  double f_of_x = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Options controlling a root search.
+struct RootOptions {
+  double x_tolerance = 1e-13;
+  double f_tolerance = 0.0;  // additional early-exit tolerance on |f|
+  int max_iterations = 200;
+};
+
+// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs
+// (zero endpoint values are accepted as roots).
+RootResult Bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options = {});
+
+// Safeguarded Newton-Raphson: takes Newton steps while they stay inside the
+// current bracket, falling back to bisection otherwise. Requires a sign
+// change on [lo, hi].
+RootResult NewtonBisect(const std::function<double(double)>& f,
+                        const std::function<double(double)>& df, double lo,
+                        double hi, const RootOptions& options = {});
+
+// Expands (lo, hi) geometrically around the initial interval until f changes
+// sign or the expansion limit is hit. Returns true on success.
+bool BracketRoot(const std::function<double(double)>& f, double* lo,
+                 double* hi, int max_expansions = 60);
+
+}  // namespace zonestream::numeric
+
+#endif  // ZONESTREAM_NUMERIC_ROOTS_H_

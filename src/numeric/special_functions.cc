@@ -1,0 +1,167 @@
+#include "numeric/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace zonestream::numeric {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 3.0e-15;
+constexpr double kTiny = 1.0e-300;
+
+// Series expansion of P(a, x), converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x) (modified Lentz), converges for x > a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  ZS_CHECK_GT(x, 0.0);
+  return std::lgamma(x);
+}
+
+double RegularizedGammaP(double a, double x) {
+  ZS_CHECK_GT(a, 0.0);
+  ZS_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  ZS_CHECK_GT(a, 0.0);
+  ZS_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double InverseRegularizedGammaP(double a, double p) {
+  ZS_CHECK_GT(a, 0.0);
+  ZS_CHECK_GE(p, 0.0);
+  ZS_CHECK_LT(p, 1.0);
+  if (p == 0.0) return 0.0;
+
+  // Bracket the root in log space. P(a, x) -> 0 as x -> 0 like
+  // x^a/(a Γ(a)), so very small quantiles sit at astronomically small x for
+  // small shapes; the log-space bracket handles the full range robustly.
+  const double g = LogGamma(a);
+  // Lower endpoint from the leading series term: x_lo with
+  // P(a, x_lo) <= p is (p a Γ(a))^{1/a} scaled down.
+  double log_lo = (std::log(p) + std::log(a) + g) / a - 1.0;
+  double log_hi = std::log(a + 30.0 * std::sqrt(a) + 30.0);  // far upper tail
+  for (int i = 0; i < 400 && RegularizedGammaP(a, std::exp(log_lo)) > p; ++i) {
+    log_lo -= 2.0;
+  }
+  for (int i = 0; i < 400 && RegularizedGammaP(a, std::exp(log_hi)) < p; ++i) {
+    log_hi += 1.0;
+  }
+
+  // Bisection on log x until the bracket is tight.
+  for (int i = 0; i < 200 && (log_hi - log_lo) > 1e-14; ++i) {
+    const double log_mid = 0.5 * (log_lo + log_hi);
+    if (RegularizedGammaP(a, std::exp(log_mid)) < p) {
+      log_lo = log_mid;
+    } else {
+      log_hi = log_mid;
+    }
+  }
+  double x = std::exp(0.5 * (log_lo + log_hi));
+
+  // Newton polish with the analytic density (in linear space).
+  for (int i = 0; i < 4; ++i) {
+    const double err = RegularizedGammaP(a, x) - p;
+    const double density = std::exp(-x + (a - 1.0) * std::log(x) - g);
+    if (density <= 0.0 || !std::isfinite(density)) break;
+    double step = err / density;
+    const double max_step = 0.5 * x;
+    if (step > max_step) step = max_step;
+    if (step < -max_step) step = -max_step;
+    x -= step;
+  }
+  return x;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  ZS_CHECK_GT(p, 0.0);
+  ZS_CHECK_LT(p, 1.0);
+  // Acklam's rational approximation.
+  static constexpr double kA[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double kB[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+  static constexpr double kC[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double kD[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  constexpr double kHigh = 1.0 - kLow;
+
+  double x;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+         kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  } else if (p <= kHigh) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+         kA[5]) *
+        q /
+        (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+         1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+          kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+
+  // One Halley polish step using the exact CDF/density.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+}  // namespace zonestream::numeric

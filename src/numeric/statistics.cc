@@ -1,0 +1,150 @@
+#include "numeric/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::numeric {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::fmin(min_, x);
+    max_ = std::fmax(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::fmin(min_, other.min_);
+  max_ = std::fmax(max_, other.max_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  ZS_CHECK_GT(count_, 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  ZS_CHECK_GT(count_, 0);
+  return max_;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  ZS_CHECK(!values.empty());
+  ZS_CHECK_GE(q, 0.0);
+  ZS_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+ProportionInterval WilsonInterval(int64_t successes, int64_t trials,
+                                  double confidence) {
+  ZS_CHECK_GE(successes, 0);
+  ZS_CHECK_GE(trials, successes);
+  ZS_CHECK_GT(trials, 0);
+  ZS_CHECK_GT(confidence, 0.0);
+  ZS_CHECK_LT(confidence, 1.0);
+  const double z = NormalQuantile(0.5 + 0.5 * confidence);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ProportionInterval interval;
+  interval.point = p;
+  interval.lower = std::fmax(0.0, center - spread);
+  interval.upper = std::fmin(1.0, center + spread);
+  return interval;
+}
+
+double KolmogorovSmirnovStatistic(std::vector<double> samples,
+                                  const std::function<double(double)>& cdf) {
+  ZS_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    // Empirical CDF jumps from i/n to (i+1)/n at the i-th order statistic.
+    d = std::fmax(d, std::fabs(f - static_cast<double>(i) / n));
+    d = std::fmax(d, std::fabs(static_cast<double>(i + 1) / n - f));
+  }
+  return d;
+}
+
+double KolmogorovSmirnovCriticalValue(int64_t n, double alpha) {
+  ZS_CHECK_GT(n, 0);
+  ZS_CHECK_GT(alpha, 0.0);
+  ZS_CHECK_LT(alpha, 1.0);
+  return std::sqrt(-std::log(alpha / 2.0) / 2.0) /
+         std::sqrt(static_cast<double>(n));
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0) {
+  ZS_CHECK_LT(lo, hi);
+  ZS_CHECK_GT(bins, 0);
+}
+
+void Histogram::Add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_center(int i) const {
+  ZS_CHECK_GE(i, 0);
+  ZS_CHECK_LT(i, bins());
+  return lo_ + (i + 0.5) * width_;
+}
+
+double Histogram::density(int i) const {
+  ZS_CHECK_GE(i, 0);
+  ZS_CHECK_LT(i, bins());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(total_) * width_);
+}
+
+}  // namespace zonestream::numeric

@@ -1,0 +1,92 @@
+// Streaming and batch statistics for the simulator: Welford running moments,
+// percentiles, fixed-bin histograms, and binomial-proportion confidence
+// intervals (used when comparing simulated glitch rates to analytic bounds).
+#ifndef ZONESTREAM_NUMERIC_STATISTICS_H_
+#define ZONESTREAM_NUMERIC_STATISTICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace zonestream::numeric {
+
+// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  // Adds one observation.
+  void Add(double x);
+
+  // Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  // Population variance (divides by n). Returns 0 for n < 1.
+  double variance() const;
+  // Sample variance (divides by n-1). Returns 0 for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Returns the q-quantile (q in [0, 1]) of `values` using linear
+// interpolation between order statistics. Sorts a copy; O(n log n).
+double Percentile(std::vector<double> values, double q);
+
+// Two-sided Wilson score interval for a binomial proportion, given
+// `successes` out of `trials` at confidence level `confidence` (e.g. 0.95).
+struct ProportionInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+ProportionInterval WilsonInterval(int64_t successes, int64_t trials,
+                                  double confidence = 0.95);
+
+// One-sample Kolmogorov-Smirnov statistic D_n = sup_x |F_n(x) - F(x)|
+// against the reference CDF `cdf`. Sorts a copy of `samples`.
+double KolmogorovSmirnovStatistic(std::vector<double> samples,
+                                  const std::function<double(double)>& cdf);
+
+// Asymptotic critical value of the one-sample KS test at significance
+// `alpha` (e.g. 0.01) for n samples: c(alpha)/sqrt(n) with
+// c(alpha) = sqrt(-ln(alpha/2)/2). Valid for n >~ 35.
+double KolmogorovSmirnovCriticalValue(int64_t n, double alpha);
+
+// Equal-width histogram over [lo, hi); out-of-range samples are clamped
+// into the first/last bin and counted.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  int64_t bin_count(int i) const { return counts_[i]; }
+  // Midpoint of bin i.
+  double bin_center(int i) const;
+  // Empirical density (count / (total * bin_width)) of bin i.
+  double density(int i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace zonestream::numeric
+
+#endif  // ZONESTREAM_NUMERIC_STATISTICS_H_

@@ -1,0 +1,41 @@
+#include "sched/ordering.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace zonestream::sched {
+
+void OrderRequests(std::vector<DiskRequest>* requests, OrderingPolicy policy,
+                   int start_cylinder, SweepDirection scan_direction) {
+  ZS_CHECK(requests != nullptr);
+  switch (policy) {
+    case OrderingPolicy::kFcfs:
+      // Issue order: leave as-is.
+      return;
+    case OrderingPolicy::kScan:
+      SortForScan(requests, scan_direction);
+      return;
+    case OrderingPolicy::kSstf: {
+      // Greedy nearest-first. O(n^2), fine for round-sized batches.
+      int arm = start_cylinder;
+      for (size_t served = 0; served < requests->size(); ++served) {
+        size_t best = served;
+        int best_distance = std::abs((*requests)[served].cylinder - arm);
+        for (size_t i = served + 1; i < requests->size(); ++i) {
+          const int distance = std::abs((*requests)[i].cylinder - arm);
+          if (distance < best_distance) {
+            best = i;
+            best_distance = distance;
+          }
+        }
+        std::swap((*requests)[served], (*requests)[best]);
+        arm = (*requests)[served].cylinder;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace zonestream::sched

@@ -1,0 +1,37 @@
+// Intra-round service-order policies (ablation of the paper's SCAN
+// choice, §2.3: "In order to minimize disk seeks, we use the SCAN
+// algorithm").
+//
+// Within a round all requests share one deadline, so the order is free;
+// the paper picks SCAN to minimize accumulated seek time. These
+// alternatives quantify that choice:
+//   * FCFS — issue order (equivalently, random order given random
+//     placement): pays a full random seek per request;
+//   * SSTF — greedy nearest-cylinder-first: close to SCAN on a single
+//     batch but not worst-case bounded;
+//   * SCAN — the paper's elevator sweep (sched/scan.h).
+#ifndef ZONESTREAM_SCHED_ORDERING_H_
+#define ZONESTREAM_SCHED_ORDERING_H_
+
+#include <vector>
+
+#include "sched/request.h"
+#include "sched/scan.h"
+
+namespace zonestream::sched {
+
+// Service-order policy for one round's batch.
+enum class OrderingPolicy {
+  kScan,   // elevator sweep (the paper)
+  kSstf,   // greedy shortest-seek-time-first from the current arm position
+  kFcfs,   // issue order
+};
+
+// Reorders `requests` in place according to `policy`, given the arm's
+// position at round start and (for SCAN) the sweep direction.
+void OrderRequests(std::vector<DiskRequest>* requests, OrderingPolicy policy,
+                   int start_cylinder, SweepDirection scan_direction);
+
+}  // namespace zonestream::sched
+
+#endif  // ZONESTREAM_SCHED_ORDERING_H_

@@ -1,0 +1,34 @@
+#include "sched/oyang_bound.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace zonestream::sched {
+
+double OyangSeekBound(const disk::SeekTimeModel& seek_model, int cylinders,
+                      int n) {
+  ZS_CHECK_GT(cylinders, 0);
+  ZS_CHECK_GE(n, 0);
+  if (n == 0) return 0.0;
+  // N+1 equidistant segments spanning the whole surface; the segment length
+  // is real-valued (the bound is over all real placements).
+  const double segment =
+      static_cast<double>(cylinders) / static_cast<double>(n + 1);
+  return static_cast<double>(n + 1) * seek_model.SeekTime(segment);
+}
+
+double TotalSeekTimeOfSweep(const disk::SeekTimeModel& seek_model,
+                            const std::vector<int>& scan_ordered_cylinders,
+                            int start_cylinder) {
+  double total = 0.0;
+  int arm = start_cylinder;
+  for (int cylinder : scan_ordered_cylinders) {
+    total += seek_model.SeekTime(std::abs(cylinder - arm));
+    arm = cylinder;
+  }
+  return total;
+}
+
+}  // namespace zonestream::sched

@@ -1,0 +1,39 @@
+// Oyang's tight upper bound on the accumulated seek time of one SCAN sweep
+// ([Oya95], used in §3.1).
+//
+// For a seek-time function that is concave in the distance (square root for
+// short seeks, linear beyond), the total seek time of a sweep serving N
+// requests is maximized when the N targets are equidistant: at cylinders
+// i * CYL / (N+1), i = 1..N. The sweep then consists of N+1 segments of
+// length CYL/(N+1) (from cylinder 0 across the whole surface), so
+//
+//   SEEK(N) = (N + 1) * seek(CYL / (N + 1)).
+//
+// This reproduces the paper's example: SEEK(27) = 0.10932 s for the Table 1
+// disk. The bound also holds for multi-zone disks (§3.2): zoning only skews
+// the seek-target distribution, which cannot exceed the equidistant worst
+// case.
+#ifndef ZONESTREAM_SCHED_OYANG_BOUND_H_
+#define ZONESTREAM_SCHED_OYANG_BOUND_H_
+
+#include <vector>
+
+#include "disk/seek_model.h"
+
+namespace zonestream::sched {
+
+// Worst-case total seek time of one SCAN sweep with `n` requests on a disk
+// with `cylinders` cylinders. Returns 0 for n == 0.
+double OyangSeekBound(const disk::SeekTimeModel& seek_model, int cylinders,
+                      int n);
+
+// Total seek time of a sweep over explicitly given SCAN-ordered cylinder
+// positions starting at `start_cylinder` — the exact quantity the bound
+// dominates; exposed for property tests.
+double TotalSeekTimeOfSweep(const disk::SeekTimeModel& seek_model,
+                            const std::vector<int>& scan_ordered_cylinders,
+                            int start_cylinder);
+
+}  // namespace zonestream::sched
+
+#endif  // ZONESTREAM_SCHED_OYANG_BOUND_H_

@@ -1,0 +1,21 @@
+// A continuous-data disk request: one fragment to be fetched for one stream
+// within the current scheduling round.
+#ifndef ZONESTREAM_SCHED_REQUEST_H_
+#define ZONESTREAM_SCHED_REQUEST_H_
+
+namespace zonestream::sched {
+
+// All fields are fixed when the request is issued at the start of a round;
+// the scheduler only chooses the service order.
+struct DiskRequest {
+  int stream_id = 0;               // owning stream
+  int cylinder = 0;                // target cylinder (absolute)
+  int zone = 0;                    // 0-based zone index of the cylinder
+  double bytes = 0.0;              // fragment size
+  double rotational_latency_s = 0.0;  // sampled rotational delay
+  double transfer_rate_bps = 0.0;  // zone transfer rate at the target
+};
+
+}  // namespace zonestream::sched
+
+#endif  // ZONESTREAM_SCHED_REQUEST_H_

@@ -1,0 +1,53 @@
+#include "sched/scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace zonestream::sched {
+
+void SortForScan(std::vector<DiskRequest>* requests,
+                 SweepDirection direction) {
+  ZS_CHECK(requests != nullptr);
+  if (direction == SweepDirection::kAscending) {
+    std::stable_sort(requests->begin(), requests->end(),
+                     [](const DiskRequest& a, const DiskRequest& b) {
+                       return a.cylinder < b.cylinder;
+                     });
+  } else {
+    std::stable_sort(requests->begin(), requests->end(),
+                     [](const DiskRequest& a, const DiskRequest& b) {
+                       return a.cylinder > b.cylinder;
+                     });
+  }
+}
+
+RoundTiming ExecuteScanRound(const disk::SeekTimeModel& seek_model,
+                             const std::vector<DiskRequest>& requests,
+                             int start_cylinder) {
+  RoundTiming timing;
+  timing.per_request.reserve(requests.size());
+  timing.final_arm_cylinder = start_cylinder;
+
+  double clock = 0.0;
+  int arm = start_cylinder;
+  for (const DiskRequest& request : requests) {
+    RequestTiming rt;
+    rt.stream_id = request.stream_id;
+    rt.seek_s = seek_model.SeekTime(std::abs(request.cylinder - arm));
+    rt.rotation_s = request.rotational_latency_s;
+    ZS_CHECK_GT(request.transfer_rate_bps, 0.0);
+    rt.transfer_s = request.bytes / request.transfer_rate_bps;
+    clock += rt.seek_s + rt.rotation_s + rt.transfer_s;
+    rt.completion_s = clock;
+    arm = request.cylinder;
+    timing.per_request.push_back(rt);
+  }
+  timing.total_service_time_s = clock;
+  timing.final_arm_cylinder = arm;
+  return timing;
+}
+
+}  // namespace zonestream::sched

@@ -1,0 +1,52 @@
+#include "server/array_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/admission.h"
+#include "core/service_time_model.h"
+
+namespace zonestream::server {
+
+common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
+                                      double fragment_mean_bytes,
+                                      double fragment_variance_bytes2,
+                                      const ArrayQos& qos) {
+  if (groups.empty()) {
+    return common::Status::InvalidArgument("array has no disk groups");
+  }
+  if (qos.round_length_s <= 0.0 || qos.late_tolerance <= 0.0 ||
+      qos.late_tolerance >= 1.0) {
+    return common::Status::InvalidArgument("invalid QoS contract");
+  }
+
+  ArrayPlan plan;
+  plan.per_disk_limits.reserve(groups.size());
+  int total_disks = 0;
+  int weakest_limit = 0;
+  bool first = true;
+  for (const DiskGroup& group : groups) {
+    if (group.count <= 0) {
+      return common::Status::InvalidArgument(
+          "disk group '" + group.name + "' has non-positive count");
+    }
+    auto geometry = disk::DiskGeometry::Create(group.disk_parameters);
+    if (!geometry.ok()) return geometry.status();
+    auto seek = disk::SeekTimeModel::Create(group.seek_parameters);
+    if (!seek.ok()) return seek.status();
+    auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+        *geometry, *seek, fragment_mean_bytes, fragment_variance_bytes2);
+    if (!model.ok()) return model.status();
+    const int limit = core::MaxStreamsByLateProbability(
+        *model, qos.round_length_s, qos.late_tolerance);
+    plan.per_disk_limits.push_back(limit);
+    plan.partitioned_capacity += limit * group.count;
+    total_disks += group.count;
+    weakest_limit = first ? limit : std::min(weakest_limit, limit);
+    first = false;
+  }
+  plan.striped_capacity = weakest_limit * total_disks;
+  return plan;
+}
+
+}  // namespace zonestream::server

@@ -1,0 +1,56 @@
+// Planning for heterogeneous disk arrays (extension X6).
+//
+// Real arrays mix drive generations. Round-robin striping (§2.1) spreads
+// every stream across ALL disks, so each disk must absorb the same
+// per-round load — the weakest disk caps the whole array at
+// D * N_max(weakest). Partitioning the array into homogeneous groups,
+// each striped internally, admits the sum of the groups' capacities
+// instead. This module quantifies the difference for a given array and
+// QoS contract.
+#ifndef ZONESTREAM_SERVER_ARRAY_PLANNER_H_
+#define ZONESTREAM_SERVER_ARRAY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::server {
+
+// One homogeneous group of identical disks within the array.
+struct DiskGroup {
+  std::string name;
+  disk::DiskParameters disk_parameters;
+  disk::SeekParameters seek_parameters;
+  int count = 0;
+};
+
+// QoS contract for array planning (per-round criterion).
+struct ArrayQos {
+  double round_length_s = 1.0;
+  double late_tolerance = 0.01;
+};
+
+// Capacity plan for a heterogeneous array.
+struct ArrayPlan {
+  // Per-group per-disk admission limits, parallel to the input groups.
+  std::vector<int> per_disk_limits;
+  // Strategy A: stripe across the whole array -> every disk carries the
+  // same load, capped by the weakest group's per-disk limit.
+  int striped_capacity = 0;
+  // Strategy B: partition into homogeneous sub-arrays.
+  int partitioned_capacity = 0;
+};
+
+// Computes both strategies' capacities for fragments with the given
+// moments.
+common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
+                                      double fragment_mean_bytes,
+                                      double fragment_variance_bytes2,
+                                      const ArrayQos& qos);
+
+}  // namespace zonestream::server
+
+#endif  // ZONESTREAM_SERVER_ARRAY_PLANNER_H_

@@ -1,0 +1,154 @@
+#include "server/media_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/scan.h"
+
+namespace zonestream::server {
+
+MediaServer::MediaServer(const disk::DiskGeometry& geometry,
+                         const disk::SeekTimeModel& seek,
+                         const MediaServerConfig& config)
+    : geometry_(geometry),
+      seek_(seek),
+      config_(config),
+      striping_(config.num_disks),
+      rng_(config.seed),
+      phase_counts_(config.num_disks, 0),
+      arm_cylinder_(config.num_disks, 0),
+      ascending_(config.num_disks, true),
+      busy_fraction_(config.num_disks) {}
+
+common::StatusOr<MediaServer> MediaServer::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    const MediaServerConfig& config) {
+  if (config.num_disks <= 0) {
+    return common::Status::InvalidArgument("num_disks must be positive");
+  }
+  if (config.round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (config.per_disk_stream_limit <= 0) {
+    return common::Status::InvalidArgument(
+        "per_disk_stream_limit must be positive (derive it from the "
+        "admission model)");
+  }
+  return MediaServer(geometry, seek, config);
+}
+
+common::StatusOr<int> MediaServer::OpenStream(
+    std::shared_ptr<const workload::SizeDistribution> sizes) {
+  if (sizes == nullptr) {
+    return common::Status::InvalidArgument("size distribution is null");
+  }
+  // Least-loaded phase; rejecting when it is full enforces the per-disk
+  // limit exactly (every disk serves one phase's streams per round).
+  int phase = 0;
+  for (int p = 1; p < config_.num_disks; ++p) {
+    if (phase_counts_[p] < phase_counts_[phase]) phase = p;
+  }
+  if (phase_counts_[phase] >= config_.per_disk_stream_limit) {
+    return common::Status::ResourceExhausted(
+        "admission control: server is at its stream limit");
+  }
+  StreamState state;
+  state.phase = phase;
+  state.source = std::make_unique<workload::IidSizeSource>(std::move(sizes));
+  const int id = static_cast<int>(next_stream_id_++);
+  streams_.emplace(id, std::move(state));
+  ++phase_counts_[phase];
+  return id;
+}
+
+common::Status MediaServer::CloseStream(int stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    return common::Status::NotFound("no such stream");
+  }
+  --phase_counts_[it->second.phase];
+  streams_.erase(it);
+  return common::Status::Ok();
+}
+
+void MediaServer::RunRound() {
+  // Gather this round's request batch per disk.
+  std::vector<std::vector<sched::DiskRequest>> batches(config_.num_disks);
+  for (auto& [id, stream] : streams_) {
+    const int disk_index = striping_.DiskForFragment(
+        stream.phase, round_);
+    const disk::DiskPosition position = geometry_.SampleUniformPosition(&rng_);
+    sched::DiskRequest request;
+    request.stream_id = id;
+    request.cylinder = position.cylinder;
+    request.zone = position.zone;
+    request.transfer_rate_bps = position.transfer_rate_bps;
+    request.bytes = stream.source->NextFragmentBytes(&rng_);
+    request.rotational_latency_s = rng_.Uniform(0.0, geometry_.rotation_time());
+    batches[disk_index].push_back(request);
+    stream.next_fragment++;
+    stream.stats.rounds_served++;
+  }
+
+  // Serve every disk's batch with its own SCAN sweep.
+  for (int d = 0; d < config_.num_disks; ++d) {
+    std::vector<sched::DiskRequest>& batch = batches[d];
+    const sched::SweepDirection direction =
+        ascending_[d] ? sched::SweepDirection::kAscending
+                      : sched::SweepDirection::kDescending;
+    sched::SortForScan(&batch, direction);
+    const sched::RoundTiming timing =
+        sched::ExecuteScanRound(seek_, batch, arm_cylinder_[d]);
+    busy_fraction_[d].Add(
+        std::fmin(timing.total_service_time_s, config_.round_length_s) /
+        config_.round_length_s);
+
+    int last_on_time_cylinder = arm_cylinder_[d];
+    bool any_glitch = false;
+    for (size_t i = 0; i < timing.per_request.size(); ++i) {
+      if (timing.per_request[i].completion_s > config_.round_length_s) {
+        any_glitch = true;
+        auto it = streams_.find(timing.per_request[i].stream_id);
+        ZS_CHECK(it != streams_.end());
+        it->second.stats.glitches++;
+        total_glitches_++;
+      } else {
+        last_on_time_cylinder = batch[i].cylinder;
+        fragments_served_++;
+      }
+    }
+    arm_cylinder_[d] = any_glitch ? last_on_time_cylinder
+                                  : timing.final_arm_cylinder;
+    ascending_[d] = !ascending_[d];
+  }
+  ++round_;
+}
+
+void MediaServer::RunRounds(int rounds) {
+  ZS_CHECK_GE(rounds, 0);
+  for (int r = 0; r < rounds; ++r) RunRound();
+}
+
+common::StatusOr<StreamStats> MediaServer::GetStreamStats(
+    int stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    return common::Status::NotFound("no such stream");
+  }
+  return it->second.stats;
+}
+
+ServerStats MediaServer::GetServerStats() const {
+  ServerStats stats;
+  stats.rounds = round_;
+  stats.fragments_served = fragments_served_;
+  stats.glitches = total_glitches_;
+  stats.disk_utilization.reserve(config_.num_disks);
+  for (const numeric::RunningStats& busy : busy_fraction_) {
+    stats.disk_utilization.push_back(busy.count() > 0 ? busy.mean() : 0.0);
+  }
+  return stats;
+}
+
+}  // namespace zonestream::server

@@ -1,0 +1,127 @@
+// Multi-disk continuous-media server facade (§2, §5).
+//
+// Combines every substrate: D identical multi-zone disks, round-robin
+// striping, per-disk SCAN scheduling in global rounds, and table-driven
+// admission control from the analytic model. This is the component a
+// downstream system would embed; the single-disk RoundSimulator remains the
+// preferred tool for tight model-validation loops.
+#ifndef ZONESTREAM_SERVER_MEDIA_SERVER_H_
+#define ZONESTREAM_SERVER_MEDIA_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/admission.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+#include "numeric/random.h"
+#include "numeric/statistics.h"
+#include "server/striping.h"
+#include "workload/fragment_source.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::server {
+
+// Server-wide configuration.
+struct MediaServerConfig {
+  int num_disks = 1;
+  double round_length_s = 1.0;
+  // Per-disk stream limit from the analytic admission model (N_max). The
+  // server-wide limit is num_disks * per_disk_stream_limit because
+  // round-robin striping loads each disk with at most that many requests
+  // per round once start disks are balanced.
+  int per_disk_stream_limit = 0;
+  uint64_t seed = 42;
+};
+
+// Per-stream service-quality counters.
+struct StreamStats {
+  int64_t rounds_served = 0;
+  int64_t glitches = 0;
+};
+
+// Server-wide counters.
+struct ServerStats {
+  int64_t rounds = 0;
+  int64_t fragments_served = 0;
+  int64_t glitches = 0;
+  // Mean busy fraction (sweep time / round length) per disk.
+  std::vector<double> disk_utilization;
+};
+
+// The server. Not thread-safe; drive it from one scheduler thread as the
+// paper's architecture does.
+class MediaServer {
+ public:
+  static common::StatusOr<MediaServer> Create(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      const MediaServerConfig& config);
+
+  // Admission-controlled stream open. Fragment sizes are drawn from
+  // `sizes`; the stream plays forever until CloseStream. Returns the stream
+  // id, or ResourceExhausted when the admission limit is reached.
+  //
+  // Streams are assigned to the least-loaded *phase*: with round-robin
+  // striping, a stream's disk in round r is (phase + r) mod D, so all
+  // streams sharing a phase always hit the same disk together. Enforcing
+  // the per-disk limit per phase keeps every disk at or under N_max each
+  // round even as streams churn — the "load is uniformly distributed
+  // across disks" precondition of the analytic model (§3).
+  common::StatusOr<int> OpenStream(
+      std::shared_ptr<const workload::SizeDistribution> sizes);
+
+  // Closes an open stream.
+  common::Status CloseStream(int stream_id);
+
+  // Serves one global round on all disks.
+  void RunRound();
+
+  // Serves `rounds` rounds.
+  void RunRounds(int rounds);
+
+  // Per-stream and server-wide statistics.
+  common::StatusOr<StreamStats> GetStreamStats(int stream_id) const;
+  ServerStats GetServerStats() const;
+
+  int active_streams() const { return static_cast<int>(streams_.size()); }
+  int max_streams() const {
+    return config_.num_disks * config_.per_disk_stream_limit;
+  }
+  int64_t current_round() const { return round_; }
+
+ private:
+  struct StreamState {
+    int phase = 0;  // disk in round r is (phase + r) mod num_disks
+    int64_t next_fragment = 0;
+    std::unique_ptr<workload::IidSizeSource> source;
+    StreamStats stats;
+  };
+
+  MediaServer(const disk::DiskGeometry& geometry,
+              const disk::SeekTimeModel& seek,
+              const MediaServerConfig& config);
+
+  disk::DiskGeometry geometry_;
+  disk::SeekTimeModel seek_;
+  MediaServerConfig config_;
+  RoundRobinStriping striping_;
+  numeric::Rng rng_;
+  int64_t round_ = 0;
+  int64_t next_stream_id_ = 0;
+  std::vector<int> phase_counts_;  // active streams per phase
+  std::map<int, StreamState> streams_;
+  // Per-disk arm state.
+  std::vector<int> arm_cylinder_;
+  std::vector<bool> ascending_;
+  // Aggregates.
+  int64_t fragments_served_ = 0;
+  int64_t total_glitches_ = 0;
+  std::vector<numeric::RunningStats> busy_fraction_;
+};
+
+}  // namespace zonestream::server
+
+#endif  // ZONESTREAM_SERVER_MEDIA_SERVER_H_

@@ -1,0 +1,193 @@
+#include "server/multiclass_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/scan.h"
+
+namespace zonestream::server {
+
+MultiClassMediaServer::MultiClassMediaServer(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    std::shared_ptr<const core::MultiClassServiceModel> model,
+    std::vector<std::shared_ptr<const workload::SizeDistribution>> sizes,
+    const MultiClassServerConfig& config)
+    : geometry_(geometry),
+      seek_(seek),
+      model_(std::move(model)),
+      class_sizes_(std::move(sizes)),
+      config_(config),
+      striping_(config.num_disks),
+      rng_(config.seed),
+      phase_mixes_(config.num_disks,
+                   core::ClassCounts(model_->num_classes(), 0)),
+      arm_cylinder_(config.num_disks, 0),
+      ascending_(config.num_disks, true),
+      busy_fraction_(config.num_disks) {}
+
+common::StatusOr<MultiClassMediaServer> MultiClassMediaServer::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    std::shared_ptr<const core::MultiClassServiceModel> model,
+    const MultiClassServerConfig& config) {
+  if (model == nullptr) {
+    return common::Status::InvalidArgument("model is null");
+  }
+  if (config.num_disks <= 0) {
+    return common::Status::InvalidArgument("num_disks must be positive");
+  }
+  if (config.round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (config.late_tolerance <= 0.0 || config.late_tolerance >= 1.0) {
+    return common::Status::InvalidArgument(
+        "late tolerance must be in (0, 1)");
+  }
+  std::vector<std::shared_ptr<const workload::SizeDistribution>> sizes;
+  sizes.reserve(model->num_classes());
+  for (int c = 0; c < model->num_classes(); ++c) {
+    const core::StreamClass& stream_class = model->stream_class(c);
+    auto dist = workload::GammaSizeDistribution::Create(
+        stream_class.mean_size_bytes, stream_class.variance_size_bytes2);
+    if (!dist.ok()) return dist.status();
+    sizes.push_back(std::make_shared<workload::GammaSizeDistribution>(
+        *std::move(dist)));
+  }
+  return MultiClassMediaServer(geometry, seek, std::move(model),
+                               std::move(sizes), config);
+}
+
+common::StatusOr<int> MultiClassMediaServer::OpenStream(int class_index) {
+  if (class_index < 0 || class_index >= model_->num_classes()) {
+    return common::Status::InvalidArgument("unknown stream class");
+  }
+  // Try phases from least to most loaded (by total streams); admit on the
+  // first whose augmented mix stays within tolerance.
+  std::vector<int> order(phase_mixes_.size());
+  for (size_t p = 0; p < order.size(); ++p) order[p] = static_cast<int>(p);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return core::MultiClassServiceModel::TotalStreams(phase_mixes_[a]) <
+           core::MultiClassServiceModel::TotalStreams(phase_mixes_[b]);
+  });
+  for (int phase : order) {
+    core::ClassCounts candidate = phase_mixes_[phase];
+    ++candidate[class_index];
+    if (model_->Admissible(candidate, config_.round_length_s,
+                           config_.late_tolerance)) {
+      StreamState state;
+      state.phase = phase;
+      state.class_index = class_index;
+      state.source = std::make_unique<workload::IidSizeSource>(
+          class_sizes_[class_index]);
+      const int id = static_cast<int>(next_stream_id_++);
+      streams_.emplace(id, std::move(state));
+      phase_mixes_[phase] = std::move(candidate);
+      return id;
+    }
+  }
+  return common::Status::ResourceExhausted(
+      "admission control: no phase can absorb another stream of this "
+      "class within the QoS tolerance");
+}
+
+common::Status MultiClassMediaServer::CloseStream(int stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    return common::Status::NotFound("no such stream");
+  }
+  --phase_mixes_[it->second.phase][it->second.class_index];
+  streams_.erase(it);
+  return common::Status::Ok();
+}
+
+void MultiClassMediaServer::RunRound() {
+  std::vector<std::vector<sched::DiskRequest>> batches(config_.num_disks);
+  for (auto& [id, stream] : streams_) {
+    const int disk_index = striping_.DiskForFragment(stream.phase, round_);
+    const disk::DiskPosition position = geometry_.SampleUniformPosition(&rng_);
+    sched::DiskRequest request;
+    request.stream_id = id;
+    request.cylinder = position.cylinder;
+    request.zone = position.zone;
+    request.transfer_rate_bps = position.transfer_rate_bps;
+    request.bytes = stream.source->NextFragmentBytes(&rng_);
+    request.rotational_latency_s = rng_.Uniform(0.0, geometry_.rotation_time());
+    batches[disk_index].push_back(request);
+    stream.stats.rounds_served++;
+  }
+
+  for (int d = 0; d < config_.num_disks; ++d) {
+    std::vector<sched::DiskRequest>& batch = batches[d];
+    sched::SortForScan(&batch, ascending_[d]
+                                   ? sched::SweepDirection::kAscending
+                                   : sched::SweepDirection::kDescending);
+    const sched::RoundTiming timing =
+        sched::ExecuteScanRound(seek_, batch, arm_cylinder_[d]);
+    busy_fraction_[d].Add(
+        std::fmin(timing.total_service_time_s, config_.round_length_s) /
+        config_.round_length_s);
+    int last_on_time_cylinder = arm_cylinder_[d];
+    bool any_glitch = false;
+    for (size_t i = 0; i < timing.per_request.size(); ++i) {
+      if (timing.per_request[i].completion_s > config_.round_length_s) {
+        any_glitch = true;
+        auto it = streams_.find(timing.per_request[i].stream_id);
+        ZS_CHECK(it != streams_.end());
+        it->second.stats.glitches++;
+        total_glitches_++;
+      } else {
+        last_on_time_cylinder = batch[i].cylinder;
+        fragments_served_++;
+      }
+    }
+    arm_cylinder_[d] =
+        any_glitch ? last_on_time_cylinder : timing.final_arm_cylinder;
+    ascending_[d] = !ascending_[d];
+  }
+  ++round_;
+}
+
+void MultiClassMediaServer::RunRounds(int rounds) {
+  ZS_CHECK_GE(rounds, 0);
+  for (int r = 0; r < rounds; ++r) RunRound();
+}
+
+common::StatusOr<StreamStats> MultiClassMediaServer::GetStreamStats(
+    int stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    return common::Status::NotFound("no such stream");
+  }
+  return it->second.stats;
+}
+
+ServerStats MultiClassMediaServer::GetServerStats() const {
+  ServerStats stats;
+  stats.rounds = round_;
+  stats.fragments_served = fragments_served_;
+  stats.glitches = total_glitches_;
+  stats.disk_utilization.reserve(config_.num_disks);
+  for (const numeric::RunningStats& busy : busy_fraction_) {
+    stats.disk_utilization.push_back(busy.count() > 0 ? busy.mean() : 0.0);
+  }
+  return stats;
+}
+
+int MultiClassMediaServer::active_streams_of_class(int class_index) const {
+  ZS_CHECK_GE(class_index, 0);
+  ZS_CHECK_LT(class_index, model_->num_classes());
+  int count = 0;
+  for (const core::ClassCounts& mix : phase_mixes_) {
+    count += mix[class_index];
+  }
+  return count;
+}
+
+const core::ClassCounts& MultiClassMediaServer::phase_mix(int phase) const {
+  ZS_CHECK_GE(phase, 0);
+  ZS_CHECK_LT(phase, static_cast<int>(phase_mixes_.size()));
+  return phase_mixes_[phase];
+}
+
+}  // namespace zonestream::server

@@ -1,0 +1,320 @@
+#include "server/server_config.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+
+namespace zonestream::server {
+namespace {
+
+std::string Trim(const std::string& s) {
+  const size_t start = s.find_first_not_of(" \t\r");
+  if (start == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(start, end - start + 1);
+}
+
+// Strips a trailing comment introduced by ';' or '#'.
+std::string StripComment(const std::string& s) {
+  const size_t pos = s.find_first_of(";#");
+  return (pos == std::string::npos) ? s : s.substr(0, pos);
+}
+
+// Typed lookup helpers over ConfigSections.
+class SpecReader {
+ public:
+  explicit SpecReader(const ConfigSections& sections) : sections_(sections) {}
+
+  bool Has(const std::string& section, const std::string& key) const {
+    auto sec = sections_.find(section);
+    return sec != sections_.end() && sec->second.count(key) > 0;
+  }
+
+  common::StatusOr<std::string> GetString(const std::string& section,
+                                          const std::string& key) const {
+    auto sec = sections_.find(section);
+    if (sec == sections_.end()) {
+      return common::Status::NotFound("missing section [" + section + "]");
+    }
+    auto it = sec->second.find(key);
+    if (it == sec->second.end()) {
+      return common::Status::NotFound("missing key '" + key +
+                                      "' in section [" + section + "]");
+    }
+    return it->second;
+  }
+
+  common::StatusOr<double> GetDouble(const std::string& section,
+                                     const std::string& key) const {
+    auto value = GetString(section, key);
+    if (!value.ok()) return value.status();
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value->c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return common::Status::InvalidArgument(
+          "key '" + key + "' in [" + section + "] is not a number: '" +
+          *value + "'");
+    }
+    return parsed;
+  }
+
+  common::StatusOr<int> GetInt(const std::string& section,
+                               const std::string& key) const {
+    auto value = GetDouble(section, key);
+    if (!value.ok()) return value.status();
+    const int as_int = static_cast<int>(*value);
+    if (static_cast<double>(as_int) != *value) {
+      return common::Status::InvalidArgument(
+          "key '" + key + "' in [" + section + "] must be an integer");
+    }
+    return as_int;
+  }
+
+ private:
+  const ConfigSections& sections_;
+};
+
+}  // namespace
+
+common::StatusOr<ConfigSections> ParseIni(const std::string& content) {
+  ConfigSections sections;
+  std::istringstream stream(content);
+  std::string line;
+  std::string current_section;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string text = Trim(StripComment(line));
+    if (text.empty()) continue;
+    if (text.front() == '[') {
+      if (text.back() != ']' || text.size() < 3) {
+        return common::Status::InvalidArgument(
+            "malformed section header at line " +
+            std::to_string(line_number));
+      }
+      current_section = Trim(text.substr(1, text.size() - 2));
+      sections[current_section];  // allow empty sections
+      continue;
+    }
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      return common::Status::InvalidArgument(
+          "expected 'key = value' at line " + std::to_string(line_number));
+    }
+    if (current_section.empty()) {
+      return common::Status::InvalidArgument(
+          "key outside any section at line " + std::to_string(line_number));
+    }
+    const std::string key = Trim(text.substr(0, eq));
+    const std::string value = Trim(text.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return common::Status::InvalidArgument(
+          "empty key or value at line " + std::to_string(line_number));
+    }
+    auto [it, inserted] = sections[current_section].emplace(key, value);
+    (void)it;
+    if (!inserted) {
+      return common::Status::InvalidArgument(
+          "duplicate key '" + key + "' at line " +
+          std::to_string(line_number));
+    }
+  }
+  return sections;
+}
+
+common::StatusOr<ServerSpec> ParseServerSpec(const std::string& content) {
+  auto sections = ParseIni(content);
+  if (!sections.ok()) return sections.status();
+  const SpecReader reader(*sections);
+  ServerSpec spec;
+
+  // [disk]
+  if (reader.Has("disk", "preset")) {
+    auto preset = reader.GetString("disk", "preset");
+    if (*preset == "quantum_viking_2100") {
+      spec.disk_parameters = disk::QuantumViking2100Parameters();
+      spec.seek_parameters = disk::QuantumViking2100SeekParameters();
+    } else if (*preset == "synthetic_small") {
+      spec.disk_parameters = disk::SyntheticSmallDiskParameters();
+      spec.seek_parameters = disk::SyntheticSmallDiskSeekParameters();
+    } else if (*preset == "synthetic_fast") {
+      spec.disk_parameters = disk::SyntheticFastDiskParameters();
+      spec.seek_parameters = disk::SyntheticFastDiskSeekParameters();
+    } else {
+      return common::Status::InvalidArgument("unknown disk preset: '" +
+                                             *preset + "'");
+    }
+  } else {
+    // Explicit disk description: all fields required.
+    auto cylinders = reader.GetInt("disk", "cylinders");
+    if (!cylinders.ok()) return cylinders.status();
+    auto zones = reader.GetInt("disk", "zones");
+    if (!zones.ok()) return zones.status();
+    auto rotation = reader.GetDouble("disk", "rotation_ms");
+    if (!rotation.ok()) return rotation.status();
+    auto track_min = reader.GetDouble("disk", "track_min_bytes");
+    if (!track_min.ok()) return track_min.status();
+    auto track_max = reader.GetDouble("disk", "track_max_bytes");
+    if (!track_max.ok()) return track_max.status();
+    spec.disk_parameters.cylinders = *cylinders;
+    spec.disk_parameters.zones = *zones;
+    spec.disk_parameters.rotation_time_s = *rotation * 1e-3;
+    spec.disk_parameters.innermost_track_bytes = *track_min;
+    spec.disk_parameters.outermost_track_bytes = *track_max;
+
+    auto sqrt_intercept = reader.GetDouble("disk", "seek_sqrt_intercept_ms");
+    if (!sqrt_intercept.ok()) return sqrt_intercept.status();
+    auto sqrt_coeff = reader.GetDouble("disk", "seek_sqrt_coeff");
+    if (!sqrt_coeff.ok()) return sqrt_coeff.status();
+    auto lin_intercept = reader.GetDouble("disk", "seek_lin_intercept_ms");
+    if (!lin_intercept.ok()) return lin_intercept.status();
+    auto lin_coeff = reader.GetDouble("disk", "seek_lin_coeff");
+    if (!lin_coeff.ok()) return lin_coeff.status();
+    auto threshold = reader.GetInt("disk", "seek_threshold_cyl");
+    if (!threshold.ok()) return threshold.status();
+    spec.seek_parameters.sqrt_intercept_s = *sqrt_intercept * 1e-3;
+    spec.seek_parameters.sqrt_coefficient = *sqrt_coeff;
+    spec.seek_parameters.linear_intercept_s = *lin_intercept * 1e-3;
+    spec.seek_parameters.linear_coefficient = *lin_coeff;
+    spec.seek_parameters.threshold_cylinders = *threshold;
+  }
+
+  // [workload]
+  auto mean_kb = reader.GetDouble("workload", "fragment_mean_kb");
+  if (!mean_kb.ok()) return mean_kb.status();
+  auto stddev_kb = reader.GetDouble("workload", "fragment_stddev_kb");
+  if (!stddev_kb.ok()) return stddev_kb.status();
+  if (*mean_kb <= 0.0 || *stddev_kb <= 0.0) {
+    return common::Status::InvalidArgument(
+        "workload moments must be positive");
+  }
+  spec.fragment_mean_bytes = *mean_kb * 1e3;
+  spec.fragment_variance_bytes2 = (*stddev_kb * 1e3) * (*stddev_kb * 1e3);
+
+  // [qos]
+  auto round = reader.GetDouble("qos", "round_s");
+  if (!round.ok()) return round.status();
+  if (*round <= 0.0) {
+    return common::Status::InvalidArgument("round_s must be positive");
+  }
+  spec.round_length_s = *round;
+  auto criterion = reader.GetString("qos", "criterion");
+  if (!criterion.ok()) return criterion.status();
+  if (*criterion == "glitch_rate") {
+    spec.criterion = core::AdmissionCriterion::kGlitchRate;
+    auto rounds = reader.GetInt("qos", "session_rounds");
+    if (!rounds.ok()) return rounds.status();
+    auto glitches = reader.GetInt("qos", "tolerated_glitches");
+    if (!glitches.ok()) return glitches.status();
+    if (*rounds <= 0 || *glitches < 0 || *glitches > *rounds) {
+      return common::Status::InvalidArgument(
+          "need 0 <= tolerated_glitches <= session_rounds, "
+          "session_rounds > 0");
+    }
+    spec.session_rounds = *rounds;
+    spec.tolerated_glitches = *glitches;
+  } else if (*criterion == "late_probability") {
+    spec.criterion = core::AdmissionCriterion::kLateProbability;
+  } else {
+    return common::Status::InvalidArgument(
+        "criterion must be 'glitch_rate' or 'late_probability'");
+  }
+  auto tolerance = reader.GetDouble("qos", "tolerance");
+  if (!tolerance.ok()) return tolerance.status();
+  if (*tolerance <= 0.0 || *tolerance >= 1.0) {
+    return common::Status::InvalidArgument("tolerance must be in (0, 1)");
+  }
+  spec.tolerance = *tolerance;
+
+  // [server]
+  auto disks = reader.GetInt("server", "disks");
+  if (!disks.ok()) return disks.status();
+  if (*disks <= 0) {
+    return common::Status::InvalidArgument("disks must be positive");
+  }
+  spec.num_disks = *disks;
+
+  // Cross-validate the disk description by constructing the models.
+  auto geometry = disk::DiskGeometry::Create(spec.disk_parameters);
+  if (!geometry.ok()) return geometry.status();
+  auto seek = disk::SeekTimeModel::Create(spec.seek_parameters);
+  if (!seek.ok()) return seek.status();
+  return spec;
+}
+
+common::StatusOr<ServerSpec> LoadServerSpec(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return common::Status::NotFound("cannot open config file: " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseServerSpec(content.str());
+}
+
+common::StatusOr<ServerPlan> BuildServerPlan(const ServerSpec& spec) {
+  auto geometry = disk::DiskGeometry::Create(spec.disk_parameters);
+  if (!geometry.ok()) return geometry.status();
+  auto seek = disk::SeekTimeModel::Create(spec.seek_parameters);
+  if (!seek.ok()) return seek.status();
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      *geometry, *seek, spec.fragment_mean_bytes,
+      spec.fragment_variance_bytes2);
+  if (!model.ok()) return model.status();
+
+  ServerPlan plan;
+  plan.streams_per_disk =
+      (spec.criterion == core::AdmissionCriterion::kLateProbability)
+          ? core::MaxStreamsByLateProbability(*model, spec.round_length_s,
+                                              spec.tolerance)
+          : core::MaxStreamsByGlitchRate(*model, spec.round_length_s,
+                                         spec.session_rounds,
+                                         spec.tolerated_glitches,
+                                         spec.tolerance);
+  plan.total_streams = plan.streams_per_disk * spec.num_disks;
+  plan.late_bound_at_limit =
+      plan.streams_per_disk > 0
+          ? model->LateBound(plan.streams_per_disk, spec.round_length_s).bound
+          : 0.0;
+  return plan;
+}
+
+std::string DefaultConfigTemplate() {
+  return
+      "# zonestream server configuration (Table 1 deployment)\n"
+      "[disk]\n"
+      "preset = quantum_viking_2100\n"
+      "# ... or describe the drive explicitly:\n"
+      "# cylinders = 6720\n"
+      "# zones = 15\n"
+      "# rotation_ms = 8.34\n"
+      "# track_min_bytes = 58368\n"
+      "# track_max_bytes = 95744\n"
+      "# seek_sqrt_intercept_ms = 1.867\n"
+      "# seek_sqrt_coeff = 1.315e-4\n"
+      "# seek_lin_intercept_ms = 3.8635\n"
+      "# seek_lin_coeff = 2.1e-6\n"
+      "# seek_threshold_cyl = 1344\n"
+      "\n"
+      "[workload]\n"
+      "fragment_mean_kb = 200\n"
+      "fragment_stddev_kb = 100\n"
+      "\n"
+      "[qos]\n"
+      "round_s = 1.0\n"
+      "criterion = glitch_rate   ; or late_probability\n"
+      "session_rounds = 1200\n"
+      "tolerated_glitches = 12\n"
+      "tolerance = 0.01\n"
+      "\n"
+      "[server]\n"
+      "disks = 4\n";
+}
+
+}  // namespace zonestream::server

@@ -1,0 +1,91 @@
+// Declarative server configuration (INI-style key = value files).
+//
+// A deployment describes its disk, workload statistics and QoS contract
+// in a small config file; ParseServerSpec validates it and BuildServerPlan
+// turns it into the admission numbers an operator needs. Format:
+//
+//   # comments and blank lines are ignored
+//   [disk]
+//   preset = quantum_viking_2100        ; or give explicit parameters:
+//   # cylinders = 6720
+//   # zones = 15
+//   # rotation_ms = 8.34
+//   # track_min_bytes = 58368
+//   # track_max_bytes = 95744
+//   # seek_sqrt_intercept_ms / seek_sqrt_coeff / seek_lin_intercept_ms /
+//   # seek_lin_coeff / seek_threshold_cyl
+//
+//   [workload]
+//   fragment_mean_kb = 200
+//   fragment_stddev_kb = 100
+//
+//   [qos]
+//   round_s = 1.0
+//   criterion = glitch_rate             ; or late_probability
+//   session_rounds = 1200               ; glitch_rate only
+//   tolerated_glitches = 12             ; glitch_rate only
+//   tolerance = 0.01
+//
+//   [server]
+//   disks = 4
+#ifndef ZONESTREAM_SERVER_SERVER_CONFIG_H_
+#define ZONESTREAM_SERVER_SERVER_CONFIG_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/admission.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::server {
+
+// Parsed, validated deployment description.
+struct ServerSpec {
+  disk::DiskParameters disk_parameters;
+  disk::SeekParameters seek_parameters;
+  double fragment_mean_bytes = 0.0;
+  double fragment_variance_bytes2 = 0.0;
+  double round_length_s = 1.0;
+  core::AdmissionCriterion criterion =
+      core::AdmissionCriterion::kGlitchRate;
+  int session_rounds = 1200;
+  int tolerated_glitches = 12;
+  double tolerance = 0.01;
+  int num_disks = 1;
+};
+
+// The derived admission plan.
+struct ServerPlan {
+  int streams_per_disk = 0;
+  int total_streams = 0;
+  double late_bound_at_limit = 0.0;  // b_late at the per-disk limit
+};
+
+// Low-level parsed representation: section -> key -> value. Exposed for
+// tests and reuse.
+using ConfigSections =
+    std::map<std::string, std::map<std::string, std::string>>;
+
+// Parses INI-style content (sections, key = value, '#'/';' comments).
+// Rejects duplicate keys, keys outside any section, and malformed lines
+// (with line numbers).
+common::StatusOr<ConfigSections> ParseIni(const std::string& content);
+
+// Parses + validates a full server spec from config content.
+common::StatusOr<ServerSpec> ParseServerSpec(const std::string& content);
+
+// Reads a spec from a file.
+common::StatusOr<ServerSpec> LoadServerSpec(const std::string& path);
+
+// Computes the admission plan for a spec.
+common::StatusOr<ServerPlan> BuildServerPlan(const ServerSpec& spec);
+
+// A commented template config (the Table 1 deployment), suitable as a
+// starting point.
+std::string DefaultConfigTemplate();
+
+}  // namespace zonestream::server
+
+#endif  // ZONESTREAM_SERVER_SERVER_CONFIG_H_

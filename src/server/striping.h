@@ -1,0 +1,49 @@
+// Coarse-grained round-robin striping (§2.1).
+//
+// Fragment k of a stream that entered the system on disk d0 resides on disk
+// (d0 + k) mod D: successive fragments of one stream visit the disks in
+// round-robin order, so each stream loads exactly one disk per round and
+// the load is balanced across disks. Placement *within* a disk is random
+// (uniform over stored bytes), which §3.3 requires so that glitch events
+// hit streams independently across rounds.
+#ifndef ZONESTREAM_SERVER_STRIPING_H_
+#define ZONESTREAM_SERVER_STRIPING_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace zonestream::server {
+
+// Round-robin fragment-to-disk mapping.
+class RoundRobinStriping {
+ public:
+  explicit RoundRobinStriping(int num_disks) : num_disks_(num_disks) {
+    ZS_CHECK_GT(num_disks, 0);
+  }
+
+  int num_disks() const { return num_disks_; }
+
+  // Disk holding fragment `fragment_index` of a stream whose fragment 0 is
+  // on `start_disk`.
+  int DiskForFragment(int start_disk, int64_t fragment_index) const {
+    ZS_CHECK_GE(start_disk, 0);
+    ZS_CHECK_LT(start_disk, num_disks_);
+    ZS_CHECK_GE(fragment_index, 0);
+    return static_cast<int>((start_disk + fragment_index) % num_disks_);
+  }
+
+  // Balanced start disk for the `stream_ordinal`-th admitted stream: cycles
+  // through the disks so concurrently admitted streams spread out.
+  int StartDiskForStream(int64_t stream_ordinal) const {
+    ZS_CHECK_GE(stream_ordinal, 0);
+    return static_cast<int>(stream_ordinal % num_disks_);
+  }
+
+ private:
+  int num_disks_;
+};
+
+}  // namespace zonestream::server
+
+#endif  // ZONESTREAM_SERVER_STRIPING_H_

@@ -1,0 +1,177 @@
+#include "sim/mixed_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/scan.h"
+
+namespace zonestream::sim {
+
+MixedRoundSimulator::MixedRoundSimulator(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_continuous,
+    std::shared_ptr<const workload::SizeDistribution> continuous_sizes,
+    std::shared_ptr<const workload::SizeDistribution> discrete_sizes,
+    const MixedSimulatorConfig& config)
+    : geometry_(geometry),
+      seek_(seek),
+      num_continuous_(num_continuous),
+      continuous_sizes_(std::move(continuous_sizes)),
+      discrete_sizes_(std::move(discrete_sizes)),
+      config_(config),
+      rng_(config.seed) {}
+
+common::StatusOr<MixedRoundSimulator> MixedRoundSimulator::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_continuous,
+    std::shared_ptr<const workload::SizeDistribution> continuous_sizes,
+    std::shared_ptr<const workload::SizeDistribution> discrete_sizes,
+    const MixedSimulatorConfig& config) {
+  if (num_continuous < 0) {
+    return common::Status::InvalidArgument("num_continuous must be >= 0");
+  }
+  if (continuous_sizes == nullptr || discrete_sizes == nullptr) {
+    return common::Status::InvalidArgument("size distributions are null");
+  }
+  if (config.round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (config.discrete_arrival_rate_hz < 0.0) {
+    return common::Status::InvalidArgument(
+        "arrival rate must be non-negative");
+  }
+  return MixedRoundSimulator(geometry, seek, num_continuous,
+                             std::move(continuous_sizes),
+                             std::move(discrete_sizes), config);
+}
+
+MixedRunResult MixedRoundSimulator::Run(int rounds) {
+  ZS_CHECK_GT(rounds, 0);
+  MixedRunResult result;
+  result.rounds = rounds;
+
+  numeric::RunningStats response_times;
+  std::vector<double> response_samples;
+  numeric::RunningStats leftover;
+  int64_t discrete_served_total = 0;
+
+  // Pre-draw the first arrival.
+  if (config_.discrete_arrival_rate_hz > 0.0 && next_arrival_s_ == 0.0) {
+    next_arrival_s_ = rng_.Exponential(1.0 / config_.discrete_arrival_rate_hz);
+  }
+
+  for (int r = 0; r < rounds; ++r) {
+    const double round_start = r * config_.round_length_s;
+    const double round_end = round_start + config_.round_length_s;
+
+    // Discrete arrivals during this round join the queue (they become
+    // eligible at their arrival time; we approximate eligibility at the
+    // start of the leftover window, which is when service can begin
+    // anyway for arrivals earlier in the round).
+    if (config_.discrete_arrival_rate_hz > 0.0) {
+      while (next_arrival_s_ < round_end) {
+        DiscreteRequest request;
+        request.arrival_time_s = next_arrival_s_;
+        request.bytes = discrete_sizes_->Sample(&rng_);
+        queue_.push_back(request);
+        next_arrival_s_ +=
+            rng_.Exponential(1.0 / config_.discrete_arrival_rate_hz);
+      }
+    }
+    result.max_queue_depth = std::max<int64_t>(
+        result.max_queue_depth, static_cast<int64_t>(queue_.size()));
+
+    // Continuous batch: one SCAN sweep.
+    std::vector<sched::DiskRequest> batch;
+    batch.reserve(num_continuous_);
+    for (int s = 0; s < num_continuous_; ++s) {
+      const disk::DiskPosition position =
+          geometry_.SampleUniformPosition(&rng_);
+      sched::DiskRequest request;
+      request.stream_id = s;
+      request.cylinder = position.cylinder;
+      request.zone = position.zone;
+      request.transfer_rate_bps = position.transfer_rate_bps;
+      request.bytes = continuous_sizes_->Sample(&rng_);
+      request.rotational_latency_s =
+          rng_.Uniform(0.0, geometry_.rotation_time());
+      batch.push_back(request);
+    }
+    sched::SortForScan(&batch, ascending_
+                                   ? sched::SweepDirection::kAscending
+                                   : sched::SweepDirection::kDescending);
+    const sched::RoundTiming timing =
+        sched::ExecuteScanRound(seek_, batch, arm_cylinder_);
+    result.continuous_requests += num_continuous_;
+    int arm = arm_cylinder_;
+    for (size_t i = 0; i < timing.per_request.size(); ++i) {
+      if (timing.per_request[i].completion_s > config_.round_length_s) {
+        ++result.continuous_glitches;
+      } else {
+        arm = batch[i].cylinder;
+      }
+    }
+    if (!timing.per_request.empty() &&
+        timing.total_service_time_s <= config_.round_length_s) {
+      arm = timing.final_arm_cylinder;
+    }
+    ascending_ = !ascending_;
+
+    // Leftover window: serve queued discrete requests FCFS until the
+    // round boundary. Each pays an explicit seek from the current arm
+    // position, a rotational latency and a zone-rate transfer.
+    double clock = std::fmin(timing.total_service_time_s,
+                             config_.round_length_s);
+    leftover.Add(std::fmax(0.0, config_.round_length_s - clock));
+    int64_t served_this_round = 0;
+    while (!queue_.empty()) {
+      const DiscreteRequest& request = queue_.front();
+      // Only requests that have already arrived can be served; arrivals
+      // later in the wall-clock round wait for the next window if the
+      // disk reaches them "before" their arrival offset.
+      const double earliest_start =
+          std::fmax(clock, request.arrival_time_s - round_start);
+      if (earliest_start >= config_.round_length_s) break;
+      const disk::DiskPosition position =
+          geometry_.SampleUniformPosition(&rng_);
+      const double service =
+          seek_.SeekTime(std::abs(position.cylinder - arm)) +
+          rng_.Uniform(0.0, geometry_.rotation_time()) +
+          request.bytes / position.transfer_rate_bps;
+      if (earliest_start + service > config_.round_length_s) break;
+      clock = earliest_start + service;
+      arm = position.cylinder;
+      const double completion_wallclock = round_start + clock;
+      const double response = completion_wallclock - request.arrival_time_s;
+      response_times.Add(response);
+      response_samples.push_back(response);
+      queue_.pop_front();
+      ++served_this_round;
+    }
+    discrete_served_total += served_this_round;
+    arm_cylinder_ = arm;
+  }
+
+  result.continuous_glitch_rate =
+      result.continuous_requests > 0
+          ? static_cast<double>(result.continuous_glitches) /
+                result.continuous_requests
+          : 0.0;
+  result.discrete_completed = discrete_served_total;
+  result.discrete_arrivals =
+      discrete_served_total + static_cast<int64_t>(queue_.size());
+  result.mean_discrete_per_round =
+      static_cast<double>(discrete_served_total) / rounds;
+  result.mean_response_time_s =
+      response_times.count() > 0 ? response_times.mean() : 0.0;
+  result.p95_response_time_s =
+      response_samples.empty()
+          ? 0.0
+          : numeric::Percentile(std::move(response_samples), 0.95);
+  result.mean_leftover_s = leftover.count() > 0 ? leftover.mean() : 0.0;
+  return result;
+}
+
+}  // namespace zonestream::sim

@@ -1,0 +1,91 @@
+// Detailed simulation of a mixed continuous + discrete workload on one
+// disk (validates core::MixedWorkloadModel; §6 outlook / [NMW97]).
+//
+// Each round: the N continuous requests are served in one SCAN sweep (as
+// in RoundSimulator); queued discrete requests are then served
+// work-conserving in the leftover time until the round ends. Discrete
+// requests arrive Poisson and queue FCFS; a discrete request whose
+// service would cross the round boundary waits for the next round's
+// leftover window.
+#ifndef ZONESTREAM_SIM_MIXED_SIMULATOR_H_
+#define ZONESTREAM_SIM_MIXED_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/status.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+#include "numeric/random.h"
+#include "numeric/statistics.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::sim {
+
+// Configuration of the mixed simulation.
+struct MixedSimulatorConfig {
+  double round_length_s = 1.0;
+  double discrete_arrival_rate_hz = 0.0;  // Poisson arrivals per second
+  uint64_t seed = 42;
+};
+
+// Aggregate results of a mixed simulation run.
+struct MixedRunResult {
+  int64_t rounds = 0;
+  // Continuous side.
+  int64_t continuous_requests = 0;
+  int64_t continuous_glitches = 0;
+  double continuous_glitch_rate = 0.0;
+  // Discrete side.
+  int64_t discrete_arrivals = 0;
+  int64_t discrete_completed = 0;
+  double mean_discrete_per_round = 0.0;
+  double mean_response_time_s = 0.0;
+  double p95_response_time_s = 0.0;
+  int64_t max_queue_depth = 0;
+  double mean_leftover_s = 0.0;  // leftover time per round after continuous
+};
+
+// Single-disk mixed-workload simulator. Not thread-safe.
+class MixedRoundSimulator {
+ public:
+  static common::StatusOr<MixedRoundSimulator> Create(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      int num_continuous,
+      std::shared_ptr<const workload::SizeDistribution> continuous_sizes,
+      std::shared_ptr<const workload::SizeDistribution> discrete_sizes,
+      const MixedSimulatorConfig& config);
+
+  // Simulates `rounds` rounds and returns the aggregates.
+  MixedRunResult Run(int rounds);
+
+ private:
+  MixedRoundSimulator(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      int num_continuous,
+      std::shared_ptr<const workload::SizeDistribution> continuous_sizes,
+      std::shared_ptr<const workload::SizeDistribution> discrete_sizes,
+      const MixedSimulatorConfig& config);
+
+  struct DiscreteRequest {
+    double arrival_time_s = 0.0;
+    double bytes = 0.0;
+  };
+
+  disk::DiskGeometry geometry_;
+  disk::SeekTimeModel seek_;
+  int num_continuous_;
+  std::shared_ptr<const workload::SizeDistribution> continuous_sizes_;
+  std::shared_ptr<const workload::SizeDistribution> discrete_sizes_;
+  MixedSimulatorConfig config_;
+  numeric::Rng rng_;
+  int arm_cylinder_ = 0;
+  bool ascending_ = true;
+  std::deque<DiscreteRequest> queue_;
+  double next_arrival_s_ = 0.0;
+};
+
+}  // namespace zonestream::sim
+
+#endif  // ZONESTREAM_SIM_MIXED_SIMULATOR_H_

@@ -1,0 +1,145 @@
+#include "sim/prefetch_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "sched/scan.h"
+
+namespace zonestream::sim {
+
+PrefetchRoundSimulator::PrefetchRoundSimulator(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const PrefetchSimulatorConfig& config)
+    : geometry_(geometry),
+      seek_(seek),
+      num_streams_(num_streams),
+      sizes_(std::move(sizes)),
+      config_(config),
+      rng_(config.seed),
+      buffered_(num_streams, 0) {}
+
+common::StatusOr<PrefetchRoundSimulator> PrefetchRoundSimulator::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const PrefetchSimulatorConfig& config) {
+  if (num_streams <= 0) {
+    return common::Status::InvalidArgument("num_streams must be positive");
+  }
+  if (sizes == nullptr) {
+    return common::Status::InvalidArgument("size distribution is null");
+  }
+  if (config.round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (config.buffer_fragments < 0) {
+    return common::Status::InvalidArgument(
+        "buffer_fragments must be non-negative");
+  }
+  return PrefetchRoundSimulator(geometry, seek, num_streams, std::move(sizes),
+                                config);
+}
+
+PrefetchRunResult PrefetchRoundSimulator::Run(int rounds, int warmup) {
+  ZS_CHECK_GT(rounds, 0);
+  ZS_CHECK_GE(warmup, 0);
+  PrefetchRunResult result;
+
+  double buffer_level_sum = 0.0;
+  int64_t buffer_level_samples = 0;
+
+  for (int r = 0; r < warmup + rounds; ++r) {
+    const bool counted = r >= warmup;
+
+    // 1. Consume: streams with buffered fragments display from the buffer;
+    //    the rest must be served this round.
+    std::vector<sched::DiskRequest> mandatory;
+    for (int s = 0; s < num_streams_; ++s) {
+      if (buffered_[s] > 0) {
+        --buffered_[s];
+        continue;
+      }
+      const disk::DiskPosition position =
+          geometry_.SampleUniformPosition(&rng_);
+      sched::DiskRequest request;
+      request.stream_id = s;
+      request.cylinder = position.cylinder;
+      request.zone = position.zone;
+      request.transfer_rate_bps = position.transfer_rate_bps;
+      request.bytes = sizes_->Sample(&rng_);
+      request.rotational_latency_s =
+          rng_.Uniform(0.0, geometry_.rotation_time());
+      mandatory.push_back(request);
+    }
+    if (counted) {
+      result.mandatory_requests += static_cast<int64_t>(mandatory.size());
+    }
+
+    // 2. Serve the mandatory batch in one SCAN sweep.
+    sched::SortForScan(&mandatory, ascending_
+                                       ? sched::SweepDirection::kAscending
+                                       : sched::SweepDirection::kDescending);
+    const sched::RoundTiming timing =
+        sched::ExecuteScanRound(seek_, mandatory, arm_cylinder_);
+    int arm = arm_cylinder_;
+    for (size_t i = 0; i < timing.per_request.size(); ++i) {
+      if (timing.per_request[i].completion_s > config_.round_length_s) {
+        if (counted) ++result.glitches;
+      } else {
+        arm = mandatory[i].cylinder;
+      }
+    }
+    if (!timing.per_request.empty() &&
+        timing.total_service_time_s <= config_.round_length_s) {
+      arm = timing.final_arm_cylinder;
+    }
+    ascending_ = !ascending_;
+
+    // 3. Prefetch into the leftover time: repeatedly serve the stream with
+    //    the lowest buffer level (ties by id) until the round ends or all
+    //    buffers are full.
+    double clock =
+        std::fmin(timing.total_service_time_s, config_.round_length_s);
+    while (clock < config_.round_length_s) {
+      int target = -1;
+      for (int s = 0; s < num_streams_; ++s) {
+        if (buffered_[s] < config_.buffer_fragments &&
+            (target < 0 || buffered_[s] < buffered_[target])) {
+          target = s;
+        }
+      }
+      if (target < 0) break;  // every buffer is full
+      const disk::DiskPosition position =
+          geometry_.SampleUniformPosition(&rng_);
+      const double service =
+          seek_.SeekTime(std::abs(position.cylinder - arm)) +
+          rng_.Uniform(0.0, geometry_.rotation_time()) +
+          sizes_->Sample(&rng_) / position.transfer_rate_bps;
+      if (clock + service > config_.round_length_s) break;
+      clock += service;
+      arm = position.cylinder;
+      ++buffered_[target];
+      if (counted) ++result.prefetched_fragments;
+    }
+    arm_cylinder_ = arm;
+
+    if (counted) {
+      buffer_level_sum +=
+          std::accumulate(buffered_.begin(), buffered_.end(), 0.0);
+      buffer_level_samples += num_streams_;
+    }
+  }
+
+  result.rounds = rounds;
+  result.stream_rounds = static_cast<int64_t>(rounds) * num_streams_;
+  result.glitch_rate =
+      static_cast<double>(result.glitches) / result.stream_rounds;
+  result.mean_buffer_level =
+      buffer_level_samples > 0 ? buffer_level_sum / buffer_level_samples
+                               : 0.0;
+  return result;
+}
+
+}  // namespace zonestream::sim

@@ -1,0 +1,176 @@
+#include "sim/round_simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace zonestream::sim {
+
+RoundSimulator::RoundSimulator(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams,
+    std::vector<std::unique_ptr<workload::FragmentSource>> sources,
+    const SimulatorConfig& config)
+    : geometry_(geometry),
+      seek_(seek),
+      num_streams_(num_streams),
+      sources_(std::move(sources)),
+      config_(config),
+      rng_(config.seed) {}
+
+common::StatusOr<RoundSimulator> RoundSimulator::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, const FragmentSourceFactory& source_factory,
+    const SimulatorConfig& config) {
+  if (num_streams <= 0) {
+    return common::Status::InvalidArgument("num_streams must be positive");
+  }
+  if (config.round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (source_factory == nullptr) {
+    return common::Status::InvalidArgument("source factory is null");
+  }
+  std::vector<std::unique_ptr<workload::FragmentSource>> sources;
+  sources.reserve(num_streams);
+  for (int i = 0; i < num_streams; ++i) {
+    auto source = source_factory(i);
+    if (source == nullptr) {
+      return common::Status::InvalidArgument("source factory returned null");
+    }
+    sources.push_back(std::move(source));
+  }
+  return RoundSimulator(geometry, seek, num_streams, std::move(sources),
+                        config);
+}
+
+FragmentSourceFactory RoundSimulator::IidFactory(
+    std::shared_ptr<const workload::SizeDistribution> distribution) {
+  ZS_CHECK(distribution != nullptr);
+  return [distribution](int /*stream_id*/) {
+    return std::make_unique<workload::IidSizeSource>(distribution);
+  };
+}
+
+RoundOutcome RoundSimulator::RunRound() {
+  // Issue one request per stream at a uniform-over-capacity position.
+  std::vector<sched::DiskRequest> requests;
+  requests.reserve(num_streams_);
+  for (int stream = 0; stream < num_streams_; ++stream) {
+    const disk::DiskPosition position =
+        config_.position_sampler
+            ? config_.position_sampler(geometry_, &rng_)
+            : geometry_.SampleUniformPosition(&rng_);
+    sched::DiskRequest request;
+    request.stream_id = stream;
+    request.cylinder = position.cylinder;
+    request.zone = position.zone;
+    request.transfer_rate_bps = position.transfer_rate_bps;
+    request.bytes = sources_[stream]->NextFragmentBytes(&rng_);
+    request.rotational_latency_s =
+        rng_.Uniform(0.0, geometry_.rotation_time());
+    // Failure injection: sporadic extra delay, charged with the rotational
+    // latency (any additive slot in the per-request service works).
+    const DisturbanceConfig& disturbance = config_.disturbance;
+    if (disturbance.probability > 0.0 &&
+        rng_.Uniform01() < disturbance.probability) {
+      request.rotational_latency_s +=
+          rng_.Uniform(disturbance.delay_min_s, disturbance.delay_max_s);
+    }
+    requests.push_back(request);
+  }
+
+  // Arm policy.
+  sched::SweepDirection direction = sched::SweepDirection::kAscending;
+  if (config_.sweep_policy == SweepPolicy::kAlternate) {
+    direction = ascending_ ? sched::SweepDirection::kAscending
+                           : sched::SweepDirection::kDescending;
+  } else {
+    arm_cylinder_ = 0;
+  }
+  sched::OrderRequests(&requests, config_.ordering, arm_cylinder_, direction);
+  const sched::RoundTiming timing =
+      sched::ExecuteScanRound(seek_, requests, arm_cylinder_);
+
+  RoundOutcome outcome;
+  outcome.total_service_time_s = timing.total_service_time_s;
+  outcome.overran = timing.total_service_time_s > config_.round_length_s;
+  int last_on_time_cylinder = arm_cylinder_;
+  for (size_t i = 0; i < timing.per_request.size(); ++i) {
+    if (timing.per_request[i].completion_s > config_.round_length_s) {
+      outcome.glitched_streams.push_back(timing.per_request[i].stream_id);
+    } else {
+      last_on_time_cylinder = requests[i].cylinder;
+    }
+  }
+  // Unfinished transfers are dropped at the deadline: the arm ends at the
+  // last request it fully served (or at the aborted request's cylinder,
+  // which for SCAN is adjacent — the difference is below seek resolution).
+  arm_cylinder_ = outcome.glitched_streams.empty()
+                      ? timing.final_arm_cylinder
+                      : last_on_time_cylinder;
+  ascending_ = !ascending_;
+  return outcome;
+}
+
+ProbabilityEstimate RoundSimulator::EstimateLateProbability(int rounds) {
+  ZS_CHECK_GT(rounds, 0);
+  int64_t overruns = 0;
+  for (int r = 0; r < rounds; ++r) {
+    if (RunRound().overran) ++overruns;
+  }
+  const numeric::ProportionInterval interval =
+      numeric::WilsonInterval(overruns, rounds);
+  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
+                             rounds};
+}
+
+ProbabilityEstimate RoundSimulator::EstimateGlitchProbability(int rounds) {
+  ZS_CHECK_GT(rounds, 0);
+  int64_t glitch_events = 0;
+  for (int r = 0; r < rounds; ++r) {
+    glitch_events += static_cast<int64_t>(RunRound().glitched_streams.size());
+  }
+  const int64_t stream_rounds =
+      static_cast<int64_t>(rounds) * num_streams_;
+  const numeric::ProportionInterval interval =
+      numeric::WilsonInterval(glitch_events, stream_rounds);
+  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
+                             stream_rounds};
+}
+
+ProbabilityEstimate RoundSimulator::EstimateErrorProbability(int m, int g,
+                                                             int lifetimes) {
+  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(g, 0);
+  ZS_CHECK_GT(lifetimes, 0);
+  int64_t exceeding_streams = 0;
+  std::vector<int> glitch_counts(num_streams_);
+  for (int lifetime = 0; lifetime < lifetimes; ++lifetime) {
+    std::fill(glitch_counts.begin(), glitch_counts.end(), 0);
+    for (int r = 0; r < m; ++r) {
+      const RoundOutcome outcome = RunRound();
+      for (int stream : outcome.glitched_streams) ++glitch_counts[stream];
+    }
+    for (int count : glitch_counts) {
+      if (count >= g) ++exceeding_streams;
+    }
+  }
+  const int64_t samples = static_cast<int64_t>(lifetimes) * num_streams_;
+  const numeric::ProportionInterval interval =
+      numeric::WilsonInterval(exceeding_streams, samples);
+  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
+                             samples};
+}
+
+numeric::RunningStats RoundSimulator::SampleServiceTimes(int rounds) {
+  ZS_CHECK_GT(rounds, 0);
+  numeric::RunningStats stats;
+  for (int r = 0; r < rounds; ++r) {
+    stats.Add(RunRound().total_service_time_s);
+  }
+  return stats;
+}
+
+}  // namespace zonestream::sim

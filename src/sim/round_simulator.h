@@ -1,0 +1,142 @@
+// Detailed round-by-round simulation of one disk (§4).
+//
+// This is the validation substrate: every round, each of the N streams
+// requests one fragment at a position sampled uniformly over the disk's
+// stored bytes (zone with probability C_i/C, cylinder uniform within the
+// zone), with a uniform rotational latency and a zone-rate transfer. The
+// requests are served in one SCAN sweep; fragments that would complete
+// after the round deadline are glitches for their streams.
+#ifndef ZONESTREAM_SIM_ROUND_SIMULATOR_H_
+#define ZONESTREAM_SIM_ROUND_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+#include "numeric/statistics.h"
+#include "sched/ordering.h"
+#include "sched/scan.h"
+#include "workload/fragment_source.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::sim {
+
+// Creates the per-stream fragment-size source; called once per stream at
+// simulator construction. Stream ids are 0-based.
+using FragmentSourceFactory =
+    std::function<std::unique_ptr<workload::FragmentSource>(int stream_id)>;
+
+// How the arm behaves between rounds.
+enum class SweepPolicy {
+  kAlternate,       // elevator: sweep direction flips every round
+  kResetAscending,  // arm returns to cylinder 0, every sweep ascends
+};
+
+// Samples the disk position of one fragment. The default (null) sampler is
+// uniform-over-capacity on the geometry (the paper's placement); the
+// zone-aware strategies in disk/placement.h provide alternatives.
+using PositionSampler =
+    std::function<disk::DiskPosition(const disk::DiskGeometry&,
+                                     numeric::Rng*)>;
+
+// Failure injection: with `probability` per request, an extra service
+// delay uniform in [delay_min_s, delay_max_s] is added — modeling the
+// sporadic disturbances real drives exhibit (thermal recalibration,
+// bad-block remapping, bus contention) that the paper's model ignores.
+// The analytic model can be re-armored against a known disturbance by
+// folding its moments into the transfer time (see
+// round_simulator_test.cc::DisturbanceRobustness tests).
+struct DisturbanceConfig {
+  double probability = 0.0;   // per-request disturbance probability
+  double delay_min_s = 0.0;
+  double delay_max_s = 0.0;   // uniform delay in [min, max]
+};
+
+// Simulation knobs.
+struct SimulatorConfig {
+  double round_length_s = 1.0;
+  uint64_t seed = 42;
+  SweepPolicy sweep_policy = SweepPolicy::kAlternate;
+  // Intra-round service order (the paper uses SCAN; kSstf/kFcfs support
+  // the scheduling ablation).
+  sched::OrderingPolicy ordering = sched::OrderingPolicy::kScan;
+  PositionSampler position_sampler;  // null = uniform over capacity
+  DisturbanceConfig disturbance;     // default: none
+};
+
+// Outcome of one simulated round.
+struct RoundOutcome {
+  double total_service_time_s = 0.0;  // full-sweep time T_N
+  bool overran = false;               // T_N > round length
+  std::vector<int> glitched_streams;  // streams whose fragment missed t
+};
+
+// Aggregate estimate of a probability with a Wilson confidence interval.
+struct ProbabilityEstimate {
+  double point = 0.0;
+  double ci_lower = 0.0;
+  double ci_upper = 0.0;
+  int64_t trials = 0;
+};
+
+// Single-disk round simulator. Not thread-safe; use one per thread with
+// distinct seeds.
+class RoundSimulator {
+ public:
+  // `num_streams` streams draw sizes from `source_factory` (pass
+  // IidFactory(dist) for the model-matching i.i.d. workload).
+  static common::StatusOr<RoundSimulator> Create(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      int num_streams, const FragmentSourceFactory& source_factory,
+      const SimulatorConfig& config);
+
+  // Convenience factory for i.i.d. draws from a shared distribution.
+  static FragmentSourceFactory IidFactory(
+      std::shared_ptr<const workload::SizeDistribution> distribution);
+
+  // Simulates one round and returns its outcome.
+  RoundOutcome RunRound();
+
+  // Estimates p_late = P[T_N >= t] over `rounds` simulated rounds
+  // (Figure 1's simulated series).
+  ProbabilityEstimate EstimateLateProbability(int rounds);
+
+  // Estimates p_glitch = P[a given stream glitches in a round] by counting
+  // (stream, round) glitch events over `rounds` rounds.
+  ProbabilityEstimate EstimateGlitchProbability(int rounds);
+
+  // Estimates p_error = P[a stream suffers >= g glitches in m rounds] over
+  // `lifetimes` independent m-round stream lifetimes (each lifetime batch
+  // yields num_streams samples — Table 2's simulated series).
+  ProbabilityEstimate EstimateErrorProbability(int m, int g, int lifetimes);
+
+  // Collects `rounds` total-service-time samples (for distribution-level
+  // validation of the transform).
+  numeric::RunningStats SampleServiceTimes(int rounds);
+
+  int num_streams() const { return num_streams_; }
+  const SimulatorConfig& config() const { return config_; }
+
+ private:
+  RoundSimulator(const disk::DiskGeometry& geometry,
+                 const disk::SeekTimeModel& seek, int num_streams,
+                 std::vector<std::unique_ptr<workload::FragmentSource>> sources,
+                 const SimulatorConfig& config);
+
+  disk::DiskGeometry geometry_;
+  disk::SeekTimeModel seek_;
+  int num_streams_;
+  std::vector<std::unique_ptr<workload::FragmentSource>> sources_;
+  SimulatorConfig config_;
+  numeric::Rng rng_;
+  int arm_cylinder_ = 0;
+  bool ascending_ = true;
+};
+
+}  // namespace zonestream::sim
+
+#endif  // ZONESTREAM_SIM_ROUND_SIMULATOR_H_

@@ -1,0 +1,48 @@
+#include "workload/fragment_source.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::workload {
+
+IidSizeSource::IidSizeSource(
+    std::shared_ptr<const SizeDistribution> distribution)
+    : distribution_(std::move(distribution)) {
+  ZS_CHECK(distribution_ != nullptr);
+}
+
+double IidSizeSource::NextFragmentBytes(numeric::Rng* rng) {
+  return distribution_->Sample(rng);
+}
+
+common::StatusOr<Ar1SizeSource> Ar1SizeSource::Create(
+    std::shared_ptr<const SizeDistribution> distribution, double rho) {
+  if (distribution == nullptr) {
+    return common::Status::InvalidArgument("distribution must not be null");
+  }
+  if (rho < 0.0 || rho >= 1.0) {
+    return common::Status::InvalidArgument("rho must be in [0, 1)");
+  }
+  return Ar1SizeSource(std::move(distribution), rho);
+}
+
+double Ar1SizeSource::NextFragmentBytes(numeric::Rng* rng) {
+  ZS_CHECK(rng != nullptr);
+  // Standard normal innovation via Box–Muller on the shared Rng.
+  std::normal_distribution<double> normal(0.0, 1.0);
+  const double eps = normal(rng->engine());
+  if (!has_state_) {
+    z_ = eps;  // stationary start: z_0 ~ N(0, 1)
+    has_state_ = true;
+  } else {
+    z_ = rho_ * z_ + std::sqrt(1.0 - rho_ * rho_) * eps;
+  }
+  // Clamp the copula input away from the endpoints for numerical safety.
+  double u = numeric::NormalCdf(z_);
+  u = std::fmin(std::fmax(u, 1e-12), 1.0 - 1e-12);
+  return distribution_->Quantile(u);
+}
+
+}  // namespace zonestream::workload

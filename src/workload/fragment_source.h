@@ -1,0 +1,73 @@
+// Per-round fragment-size sources for the simulator.
+//
+// The analytic model assumes i.i.d. fragment sizes per round; real MPEG-2
+// streams additionally show scene-level autocorrelation. IidSizeSource
+// matches the model's assumption; Ar1SizeSource injects autocorrelation via
+// a Gaussian copula (AR(1) latent process, arbitrary marginal) to probe the
+// model's robustness.
+#ifndef ZONESTREAM_WORKLOAD_FRAGMENT_SOURCE_H_
+#define ZONESTREAM_WORKLOAD_FRAGMENT_SOURCE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "numeric/random.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::workload {
+
+// Supplies one fragment size (bytes) per scheduling round for one stream.
+class FragmentSource {
+ public:
+  virtual ~FragmentSource() = default;
+
+  // Size of the next round's fragment for this stream.
+  virtual double NextFragmentBytes(numeric::Rng* rng) = 0;
+
+  // Marginal moments (bytes, bytes^2) — what the admission model sees.
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+};
+
+// Independent draws from a SizeDistribution (the paper's model assumption).
+class IidSizeSource final : public FragmentSource {
+ public:
+  explicit IidSizeSource(std::shared_ptr<const SizeDistribution> distribution);
+
+  double NextFragmentBytes(numeric::Rng* rng) override;
+  double mean() const override { return distribution_->mean(); }
+  double variance() const override { return distribution_->variance(); }
+
+ private:
+  std::shared_ptr<const SizeDistribution> distribution_;
+};
+
+// AR(1) Gaussian copula over an arbitrary marginal: the latent process is
+// z_k = rho * z_{k-1} + sqrt(1 - rho^2) * eps_k with standard normal
+// innovations; each fragment is Quantile(Phi(z_k)) of the marginal. rho = 0
+// reduces to IidSizeSource.
+class Ar1SizeSource final : public FragmentSource {
+ public:
+  // rho must lie in [0, 1).
+  static common::StatusOr<Ar1SizeSource> Create(
+      std::shared_ptr<const SizeDistribution> distribution, double rho);
+
+  double NextFragmentBytes(numeric::Rng* rng) override;
+  double mean() const override { return distribution_->mean(); }
+  double variance() const override { return distribution_->variance(); }
+  double rho() const { return rho_; }
+
+ private:
+  Ar1SizeSource(std::shared_ptr<const SizeDistribution> distribution,
+                double rho)
+      : distribution_(std::move(distribution)), rho_(rho) {}
+
+  std::shared_ptr<const SizeDistribution> distribution_;
+  double rho_;
+  bool has_state_ = false;
+  double z_ = 0.0;
+};
+
+}  // namespace zonestream::workload
+
+#endif  // ZONESTREAM_WORKLOAD_FRAGMENT_SOURCE_H_

@@ -1,0 +1,74 @@
+#include "workload/fragmentation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "numeric/statistics.h"
+
+namespace zonestream::workload {
+
+common::StatusOr<std::vector<Fragment>> FragmentObject(
+    const BandwidthProfile& profile, double round_length_s) {
+  if (profile.interval_s <= 0.0) {
+    return common::Status::InvalidArgument(
+        "profile interval must be positive");
+  }
+  if (round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (profile.bandwidth_bps.empty()) {
+    return common::Status::InvalidArgument("bandwidth profile is empty");
+  }
+  for (double bandwidth : profile.bandwidth_bps) {
+    if (bandwidth < 0.0) {
+      return common::Status::InvalidArgument(
+          "bandwidth profile has negative entries");
+    }
+  }
+
+  const double duration =
+      profile.interval_s * static_cast<double>(profile.bandwidth_bps.size());
+  const int64_t num_fragments =
+      static_cast<int64_t>(std::ceil(duration / round_length_s - 1e-12));
+
+  std::vector<Fragment> fragments;
+  fragments.reserve(num_fragments);
+  for (int64_t i = 0; i < num_fragments; ++i) {
+    const double window_start = static_cast<double>(i) * round_length_s;
+    const double window_end =
+        std::fmin(window_start + round_length_s, duration);
+    // Integrate the piecewise-constant profile over the round window.
+    double bytes = 0.0;
+    int64_t first_bin = static_cast<int64_t>(window_start / profile.interval_s);
+    for (int64_t bin = first_bin;
+         bin < static_cast<int64_t>(profile.bandwidth_bps.size()); ++bin) {
+      const double bin_start = static_cast<double>(bin) * profile.interval_s;
+      const double bin_end = bin_start + profile.interval_s;
+      if (bin_start >= window_end) break;
+      const double overlap =
+          std::fmin(bin_end, window_end) - std::fmax(bin_start, window_start);
+      if (overlap > 0.0) bytes += profile.bandwidth_bps[bin] * overlap;
+    }
+    fragments.push_back(Fragment{i, bytes});
+  }
+  return fragments;
+}
+
+double TotalBytes(const std::vector<Fragment>& fragments) {
+  double total = 0.0;
+  for (const Fragment& f : fragments) total += f.bytes;
+  return total;
+}
+
+FragmentMoments MeasureFragmentMoments(
+    const std::vector<Fragment>& fragments) {
+  numeric::RunningStats stats;
+  for (const Fragment& f : fragments) stats.Add(f.bytes);
+  FragmentMoments moments;
+  moments.count = stats.count();
+  moments.mean_bytes = stats.mean();
+  moments.variance_bytes2 = stats.sample_variance();
+  return moments;
+}
+
+}  // namespace zonestream::workload

@@ -1,0 +1,52 @@
+// Object fragmentation (§2.1): a continuous object is parsed into fragments
+// of *uniform display time* (one scheduling round each) and therefore
+// variable size. This induces the periodic, one-request-per-round access
+// pattern the scheduler relies on.
+#ifndef ZONESTREAM_WORKLOAD_FRAGMENTATION_H_
+#define ZONESTREAM_WORKLOAD_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zonestream::workload {
+
+// One stored fragment of a continuous object.
+struct Fragment {
+  int64_t index = 0;      // position within the object (round number)
+  double bytes = 0.0;     // stored size
+};
+
+// A continuous object's display-bandwidth profile: bandwidth_bps[i] is the
+// average display bandwidth (bytes/second) over the i-th profile interval
+// of length interval_s. MPEG-2 encoders emit exactly this kind of
+// time-binned rate information.
+struct BandwidthProfile {
+  std::vector<double> bandwidth_bps;
+  double interval_s = 0.0;
+};
+
+// Splits an object described by `profile` into fragments of display time
+// `round_length_s` each. Fragment i holds the bytes displayed during round
+// i, obtained by integrating the (piecewise-constant) bandwidth profile
+// over [i*round, (i+1)*round). The last fragment may be partial.
+common::StatusOr<std::vector<Fragment>> FragmentObject(
+    const BandwidthProfile& profile, double round_length_s);
+
+// Total bytes across all fragments.
+double TotalBytes(const std::vector<Fragment>& fragments);
+
+// Empirical mean/variance of the fragment sizes, the statistics fed into
+// the admission model (§2.3 "workload statistics ... are fed into the
+// admission control").
+struct FragmentMoments {
+  double mean_bytes = 0.0;
+  double variance_bytes2 = 0.0;
+  int64_t count = 0;
+};
+FragmentMoments MeasureFragmentMoments(const std::vector<Fragment>& fragments);
+
+}  // namespace zonestream::workload
+
+#endif  // ZONESTREAM_WORKLOAD_FRAGMENTATION_H_

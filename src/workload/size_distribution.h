@@ -1,0 +1,217 @@
+// Fragment-size distributions (§2.1, §3.1).
+//
+// The server stores VBR objects as fragments of uniform display time and
+// therefore variable size. Following the MPEG traffic studies the paper
+// cites ([Ros95, KH95]), the default model is a Gamma distribution
+// parameterized by mean and variance. The paper notes the derivation works
+// for any family with a computable transform; we additionally provide
+// Lognormal and truncated Pareto for the distribution-family ablation.
+#ifndef ZONESTREAM_WORKLOAD_SIZE_DISTRIBUTION_H_
+#define ZONESTREAM_WORKLOAD_SIZE_DISTRIBUTION_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "numeric/random.h"
+
+namespace zonestream::workload {
+
+// Interface for a positive continuous fragment-size distribution.
+//
+// Implementations must be immutable after construction; Sample() mutates
+// only the caller-provided Rng.
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+
+  // Family name, e.g. "gamma".
+  virtual std::string name() const = 0;
+
+  // First two moments, in bytes and bytes^2.
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+
+  // Probability density at x (0 outside the support).
+  virtual double Density(double x) const = 0;
+
+  // Cumulative distribution function at x.
+  virtual double Cdf(double x) const = 0;
+
+  // Quantile function for p in [0, 1).
+  virtual double Quantile(double p) const = 0;
+
+  // Draws one fragment size.
+  virtual double Sample(numeric::Rng* rng) const = 0;
+
+  // Whether E[e^{theta X}] is finite for some theta > 0. Chernoff bounds on
+  // sums require a finite MGF on an interval (0, theta_max); the Lognormal
+  // famously fails this, the truncated Pareto has bounded support and
+  // therefore an entire MGF.
+  virtual bool has_finite_mgf() const = 0;
+
+  // Supremum of theta for which the MGF is finite (+inf for bounded
+  // support). Only meaningful when has_finite_mgf().
+  virtual double MgfThetaMax() const = 0;
+
+  // Moment generating function E[e^{theta X}] for theta < MgfThetaMax().
+  // The default implementation integrates e^{theta x} Density(x) with
+  // composite Gauss-Legendre over the effective support.
+  virtual double Mgf(double theta) const;
+};
+
+// Gamma(shape, scale) fragment sizes; shape = mean^2/var, scale = var/mean
+// (the paper writes the density with rate alpha = mean/var and shape
+// beta = mean^2/var, eq. 3.1.2).
+class GammaSizeDistribution final : public SizeDistribution {
+ public:
+  // Builds from moments; both must be positive.
+  static common::StatusOr<GammaSizeDistribution> Create(double mean,
+                                                        double variance);
+
+  std::string name() const override { return "gamma"; }
+  double mean() const override { return shape_ * scale_; }
+  double variance() const override { return shape_ * scale_ * scale_; }
+  double Density(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Sample(numeric::Rng* rng) const override;
+  bool has_finite_mgf() const override { return true; }
+  double MgfThetaMax() const override { return 1.0 / scale_; }
+  // Closed form (1 - scale*theta)^{-shape}.
+  double Mgf(double theta) const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+  // The paper's rate parameter alpha = mean/variance (units 1/bytes).
+  double rate() const { return 1.0 / scale_; }
+
+ private:
+  GammaSizeDistribution(double shape, double scale)
+      : shape_(shape), scale_(scale) {}
+  double shape_;
+  double scale_;
+};
+
+// Lognormal fragment sizes parameterized by the variate's mean/variance.
+// No finite MGF for theta > 0: usable in simulation and for moment-matched
+// analysis, but not for direct transform-based Chernoff bounds.
+class LognormalSizeDistribution final : public SizeDistribution {
+ public:
+  static common::StatusOr<LognormalSizeDistribution> Create(double mean,
+                                                            double variance);
+
+  std::string name() const override { return "lognormal"; }
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  double Density(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Sample(numeric::Rng* rng) const override;
+  bool has_finite_mgf() const override { return false; }
+  double MgfThetaMax() const override { return 0.0; }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  LognormalSizeDistribution(double mean, double variance, double mu,
+                            double sigma)
+      : mean_(mean), variance_(variance), mu_(mu), sigma_(sigma) {}
+  double mean_;
+  double variance_;
+  double mu_;      // mean of log X
+  double sigma_;   // stddev of log X
+};
+
+// Pareto(x_min, tail index alpha) truncated at `cap` (renormalized). The
+// truncation keeps all moments and the MGF finite, which the Chernoff
+// machinery requires; the body of the distribution is still heavy-tailed.
+class TruncatedParetoSizeDistribution final : public SizeDistribution {
+ public:
+  static common::StatusOr<TruncatedParetoSizeDistribution> Create(
+      double x_min, double alpha, double cap);
+
+  // Two-parameter moment match: solves (x_min, cap) so the truncated Pareto
+  // with the given tail index hits the requested mean and variance exactly.
+  // The cap search is limited to mean * max_cap_over_mean; variances that
+  // would require a longer tail are rejected with OutOfRange.
+  static common::StatusOr<TruncatedParetoSizeDistribution> CreateByMoments(
+      double mean, double variance, double alpha,
+      double max_cap_over_mean = 1e4);
+
+  std::string name() const override { return "truncated-pareto"; }
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  double Density(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Sample(numeric::Rng* rng) const override;
+  bool has_finite_mgf() const override { return true; }
+  double MgfThetaMax() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  double x_min() const { return x_min_; }
+  double alpha() const { return alpha_; }
+  double cap() const { return cap_; }
+
+ private:
+  TruncatedParetoSizeDistribution(double x_min, double alpha, double cap);
+  // Raw moment E[X^k] of the truncated Pareto.
+  double RawMoment(int k) const;
+
+  double x_min_;
+  double alpha_;
+  double cap_;
+  double normalizer_;  // 1 - (x_min/cap)^alpha
+  double mean_;
+  double variance_;
+};
+
+// Finite mixture of size distributions — e.g. a library of 60% SD clips
+// (small fragments) and 40% HD clips (large fragments), which no single
+// Gamma fits well. Components are arbitrary SizeDistributions; the
+// mixture exposes exact moments, densities/CDFs, a numerically inverted
+// quantile, sampling, and (when every component has one) the exact MGF —
+// so it plugs into both the simulator and the transform machinery.
+class MixtureSizeDistribution final : public SizeDistribution {
+ public:
+  // Weights must be positive and sum to 1 (within 1e-9); at least one
+  // component.
+  static common::StatusOr<MixtureSizeDistribution> Create(
+      std::vector<std::shared_ptr<const SizeDistribution>> components,
+      std::vector<double> weights);
+
+  std::string name() const override { return "mixture"; }
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  double Density(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Sample(numeric::Rng* rng) const override;
+  bool has_finite_mgf() const override { return has_finite_mgf_; }
+  double MgfThetaMax() const override { return theta_max_; }
+  double Mgf(double theta) const override;
+
+  int num_components() const { return static_cast<int>(components_.size()); }
+
+ private:
+  MixtureSizeDistribution(
+      std::vector<std::shared_ptr<const SizeDistribution>> components,
+      std::vector<double> weights);
+
+  std::vector<std::shared_ptr<const SizeDistribution>> components_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_weights_;
+  double mean_;
+  double variance_;
+  bool has_finite_mgf_;
+  double theta_max_;
+};
+
+}  // namespace zonestream::workload
+
+#endif  // ZONESTREAM_WORKLOAD_SIZE_DISTRIBUTION_H_

@@ -1,0 +1,122 @@
+#include "workload/trace_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "numeric/statistics.h"
+
+namespace zonestream::workload {
+
+common::StatusOr<std::vector<double>> ParseSizeTrace(
+    const std::string& content) {
+  std::vector<double> sizes;
+  std::istringstream stream(content);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    // Trim leading whitespace.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;  // blank
+    if (line[start] == '#') continue;          // comment
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(line.c_str() + start, &end);
+    // Allow trailing whitespace only.
+    while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
+      ++end;
+    }
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return common::Status::InvalidArgument(
+          "unparsable trace entry at line " + std::to_string(line_number) +
+          ": '" + line + "'");
+    }
+    if (value <= 0.0) {
+      return common::Status::InvalidArgument(
+          "non-positive fragment size at line " +
+          std::to_string(line_number));
+    }
+    sizes.push_back(value);
+  }
+  if (sizes.empty()) {
+    return common::Status::InvalidArgument("trace contains no entries");
+  }
+  return sizes;
+}
+
+common::StatusOr<std::vector<double>> ReadSizeTrace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return common::Status::NotFound("cannot open trace file: " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseSizeTrace(content.str());
+}
+
+common::Status WriteSizeTrace(const std::string& path,
+                              const std::vector<double>& sizes_bytes,
+                              const std::string& comment) {
+  if (sizes_bytes.empty()) {
+    return common::Status::InvalidArgument("refusing to write empty trace");
+  }
+  std::ofstream file(path);
+  if (!file) {
+    return common::Status::Internal("cannot open trace file for writing: " +
+                                    path);
+  }
+  file << "# zonestream fragment-size trace (bytes per fragment, one per "
+          "line)\n";
+  if (!comment.empty()) file << "# " << comment << "\n";
+  char buffer[64];
+  for (double size : sizes_bytes) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g\n", size);
+    file << buffer;
+  }
+  if (!file) {
+    return common::Status::Internal("write failed: " + path);
+  }
+  return common::Status::Ok();
+}
+
+TraceMoments MeasureTraceMoments(const std::vector<double>& sizes_bytes) {
+  numeric::RunningStats stats;
+  for (double size : sizes_bytes) stats.Add(size);
+  TraceMoments moments;
+  moments.count = stats.count();
+  moments.mean_bytes = stats.count() > 0 ? stats.mean() : 0.0;
+  moments.variance_bytes2 = stats.sample_variance();
+  return moments;
+}
+
+TraceSource::TraceSource(std::vector<double> trace, size_t start_offset)
+    : trace_(std::move(trace)),
+      position_(start_offset % trace_.size()),
+      moments_(MeasureTraceMoments(trace_)) {}
+
+common::StatusOr<TraceSource> TraceSource::Create(std::vector<double> trace,
+                                                  size_t start_offset) {
+  if (trace.empty()) {
+    return common::Status::InvalidArgument("trace must be non-empty");
+  }
+  for (double size : trace) {
+    if (size <= 0.0) {
+      return common::Status::InvalidArgument(
+          "trace entries must be positive");
+    }
+  }
+  return TraceSource(std::move(trace), start_offset);
+}
+
+double TraceSource::NextFragmentBytes(numeric::Rng* /*rng*/) {
+  const double size = trace_[position_];
+  position_ = (position_ + 1) % trace_.size();
+  return size;
+}
+
+}  // namespace zonestream::workload

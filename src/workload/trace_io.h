@@ -1,0 +1,66 @@
+// Fragment-size trace I/O.
+//
+// The paper's size statistics come from recorded MPEG traces ([Ros95],
+// [KH95]). This module lets users feed such recordings into the library:
+// a trace is a plain text file with one fragment size (bytes, floating
+// point) per line; blank lines and lines starting with '#' are ignored.
+// A TraceSource replays a trace as a FragmentSource (looping, with a
+// per-stream start offset so concurrent streams are not in lockstep).
+#ifndef ZONESTREAM_WORKLOAD_TRACE_IO_H_
+#define ZONESTREAM_WORKLOAD_TRACE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/fragment_source.h"
+
+namespace zonestream::workload {
+
+// Reads a fragment-size trace. Fails on unparsable or non-positive
+// entries (with the offending line number) and on empty traces.
+common::StatusOr<std::vector<double>> ReadSizeTrace(const std::string& path);
+
+// Writes a fragment-size trace (one "%.17g" value per line, preceded by a
+// comment header).
+common::Status WriteSizeTrace(const std::string& path,
+                              const std::vector<double>& sizes_bytes,
+                              const std::string& comment = "");
+
+// Parses trace content from a string (the file-free core of
+// ReadSizeTrace; exposed for tests and in-memory use).
+common::StatusOr<std::vector<double>> ParseSizeTrace(
+    const std::string& content);
+
+// Empirical first/second moments of a trace.
+struct TraceMoments {
+  double mean_bytes = 0.0;
+  double variance_bytes2 = 0.0;  // sample variance
+  int64_t count = 0;
+};
+TraceMoments MeasureTraceMoments(const std::vector<double>& sizes_bytes);
+
+// Replays a recorded trace as a per-round fragment source. Deterministic:
+// stream k starts at `start_offset` and wraps around.
+class TraceSource final : public FragmentSource {
+ public:
+  // `trace` must be non-empty with positive entries.
+  static common::StatusOr<TraceSource> Create(std::vector<double> trace,
+                                              size_t start_offset = 0);
+
+  double NextFragmentBytes(numeric::Rng* rng) override;
+  double mean() const override { return moments_.mean_bytes; }
+  double variance() const override { return moments_.variance_bytes2; }
+
+ private:
+  TraceSource(std::vector<double> trace, size_t start_offset);
+
+  std::vector<double> trace_;
+  size_t position_;
+  TraceMoments moments_;
+};
+
+}  // namespace zonestream::workload
+
+#endif  // ZONESTREAM_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,92 @@
+#include "workload/vbr_trace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "numeric/special_functions.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::workload {
+namespace {
+
+// 12-frame GoP weights (I B B P B B P B B P B B), normalized to mean 1.
+// Ratios are typical of MPEG-2: I ≈ 3x, P ≈ 1.5x, B ≈ 0.6x a mean frame.
+constexpr int kGopLength = 12;
+constexpr double kRawGop[kGopLength] = {3.0, 0.6, 0.6, 1.5, 0.6, 0.6,
+                                        1.5, 0.6, 0.6, 1.5, 0.6, 0.6};
+
+double GopWeight(int frame_index) {
+  double sum = 0.0;
+  for (double w : kRawGop) sum += w;
+  const double scale = kGopLength / sum;
+  return kRawGop[frame_index % kGopLength] * scale;
+}
+
+}  // namespace
+
+common::StatusOr<VbrTraceGenerator> VbrTraceGenerator::Create(
+    const VbrTraceConfig& config, uint64_t seed) {
+  if (config.mean_bandwidth_bps <= 0.0) {
+    return common::Status::InvalidArgument("mean bandwidth must be positive");
+  }
+  if (config.bandwidth_stddev_bps < 0.0) {
+    return common::Status::InvalidArgument(
+        "bandwidth stddev must be non-negative");
+  }
+  if (config.scene_correlation < 0.0 || config.scene_correlation >= 1.0) {
+    return common::Status::InvalidArgument(
+        "scene correlation must be in [0, 1)");
+  }
+  if (config.frame_interval_s <= 0.0) {
+    return common::Status::InvalidArgument(
+        "frame interval must be positive");
+  }
+  return VbrTraceGenerator(config, seed);
+}
+
+BandwidthProfile VbrTraceGenerator::Generate(double duration_s) {
+  ZS_CHECK_GT(duration_s, 0.0);
+  const int64_t frames = static_cast<int64_t>(
+      std::ceil(duration_s / config_.frame_interval_s - 1e-12));
+
+  // Gamma marginal for the scene-level rate, sampled through a Gaussian
+  // AR(1) copula so successive frames are correlated.
+  const bool random_scene = config_.bandwidth_stddev_bps > 0.0;
+  GammaSizeDistribution marginal = [&] {
+    const double variance = random_scene
+                                ? config_.bandwidth_stddev_bps *
+                                      config_.bandwidth_stddev_bps
+                                : 1.0;  // placeholder, unused when !random_scene
+    auto dist =
+        GammaSizeDistribution::Create(config_.mean_bandwidth_bps, variance);
+    ZS_CHECK(dist.ok());
+    return *std::move(dist);
+  }();
+
+  BandwidthProfile profile;
+  profile.interval_s = config_.frame_interval_s;
+  profile.bandwidth_bps.reserve(frames);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  const double rho = config_.scene_correlation;
+  for (int64_t i = 0; i < frames; ++i) {
+    double scene_rate = config_.mean_bandwidth_bps;
+    if (random_scene) {
+      const double eps = normal(rng_.engine());
+      if (!has_state_) {
+        z_ = eps;
+        has_state_ = true;
+      } else {
+        z_ = rho * z_ + std::sqrt(1.0 - rho * rho) * eps;
+      }
+      double u = numeric::NormalCdf(z_);
+      u = std::fmin(std::fmax(u, 1e-12), 1.0 - 1e-12);
+      scene_rate = marginal.Quantile(u);
+    }
+    const double weight =
+        config_.use_gop_pattern ? GopWeight(static_cast<int>(i)) : 1.0;
+    profile.bandwidth_bps.push_back(scene_rate * weight);
+  }
+  return profile;
+}
+
+}  // namespace zonestream::workload

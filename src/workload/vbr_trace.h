@@ -1,0 +1,54 @@
+// Synthetic MPEG-like VBR bandwidth traces.
+//
+// Substitutes for the proprietary MPEG-2 traces behind the paper's
+// fragment-size statistics ([Ros95, KH95]): a scene-level AR(1) modulation
+// on top of a Gamma marginal plus an optional deterministic GoP (I/P/B
+// frame) pattern. The per-round aggregation of such a trace reproduces the
+// Gamma-like fragment-size marginals the model assumes, while keeping
+// realistic short-range correlation for robustness experiments.
+#ifndef ZONESTREAM_WORKLOAD_VBR_TRACE_H_
+#define ZONESTREAM_WORKLOAD_VBR_TRACE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "numeric/random.h"
+#include "workload/fragmentation.h"
+
+namespace zonestream::workload {
+
+// Configuration of the synthetic VBR source.
+struct VbrTraceConfig {
+  double mean_bandwidth_bps = 0.0;      // long-run display bandwidth
+  double bandwidth_stddev_bps = 0.0;    // marginal stddev of the scene rate
+  double scene_correlation = 0.85;      // AR(1) rho of the scene process
+  double frame_interval_s = 1.0 / 25.0; // profile granularity (one frame)
+  // Relative frame weights of a 12-frame GoP (I B B P B B P B B P B B),
+  // scaled so the pattern is mean-1. Disabled when use_gop_pattern=false.
+  bool use_gop_pattern = true;
+};
+
+// Generates frame-granularity bandwidth profiles.
+class VbrTraceGenerator {
+ public:
+  static common::StatusOr<VbrTraceGenerator> Create(
+      const VbrTraceConfig& config, uint64_t seed);
+
+  // Generates a profile covering `duration_s` seconds of playback.
+  BandwidthProfile Generate(double duration_s);
+
+  const VbrTraceConfig& config() const { return config_; }
+
+ private:
+  VbrTraceGenerator(const VbrTraceConfig& config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  VbrTraceConfig config_;
+  numeric::Rng rng_;
+  bool has_state_ = false;
+  double z_ = 0.0;  // latent AR(1) state
+};
+
+}  // namespace zonestream::workload
+
+#endif  // ZONESTREAM_WORKLOAD_VBR_TRACE_H_

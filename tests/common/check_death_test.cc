@@ -1,0 +1,55 @@
+// Death tests for the fail-fast contracts: CHECK violations and misuse of
+// StatusOr must abort with a diagnostic rather than continue with corrupt
+// state (an admission decision computed from garbage is worse than a
+// crash).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "numeric/special_functions.h"
+#include "numeric/statistics.h"
+
+namespace zonestream {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(ZS_CHECK(1 == 2), "CHECK failed");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbortWithCondition) {
+  EXPECT_DEATH(ZS_CHECK_GT(0, 1), "CHECK failed");
+  EXPECT_DEATH(ZS_CHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(ZS_CHECK_LE(2, 1), "CHECK failed");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  ZS_CHECK(true);
+  ZS_CHECK_GE(2, 1);
+  ZS_CHECK_NE(1, 2);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  common::StatusOr<int> error(common::Status::NotFound("gone"));
+  EXPECT_DEATH((void)error.value(), "CHECK failed");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH(
+      { common::StatusOr<int> bad{common::Status::Ok()}; },
+      "CHECK failed");
+}
+
+TEST(NumericDeathTest, DomainViolationsAbort) {
+  EXPECT_DEATH((void)numeric::LogGamma(0.0), "CHECK failed");
+  EXPECT_DEATH((void)numeric::NormalQuantile(0.0), "CHECK failed");
+  EXPECT_DEATH((void)numeric::NormalQuantile(1.0), "CHECK failed");
+  EXPECT_DEATH((void)numeric::RegularizedGammaP(-1.0, 1.0), "CHECK failed");
+}
+
+TEST(NumericDeathTest, EmptyStatsAccessAborts) {
+  numeric::RunningStats stats;
+  EXPECT_DEATH((void)stats.min(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace zonestream

@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace zonestream::common {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderSeparatorAndRows) {
+  TablePrinter table("My table");
+  table.SetHeader({"N", "p_late"});
+  table.AddRow({"26", "0.00324"});
+  table.AddRow({"27", "0.0133"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("My table"), std::string::npos);
+  EXPECT_NE(out.find("| N "), std::string::npos);
+  EXPECT_NE(out.find("| 26"), std::string::npos);
+  EXPECT_NE(out.find("| 0.0133"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlignToWidestCell) {
+  TablePrinter table("");
+  table.SetHeader({"x"});
+  table.AddRow({"longer-cell"});
+  const std::string out = table.ToString();
+  // Header cell padded to the width of the widest row cell.
+  EXPECT_NE(out.find("| x           |"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDoubleUsesSignificantDigits) {
+  EXPECT_EQ(FormatDouble(0.010379, 3), "0.0104");
+  EXPECT_EQ(FormatDouble(123456.0, 4), "1.235e+05");
+}
+
+TEST(FormatTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(0.5, 2), "0.50");
+  EXPECT_EQ(FormatFixed(3.14159, 3), "3.142");
+}
+
+TEST(FormatTest, FormatProbabilityEndpoints) {
+  EXPECT_EQ(FormatProbability(0.0), "0");
+  EXPECT_EQ(FormatProbability(1.0), "1");
+}
+
+TEST(FormatTest, FormatProbabilityModerateUsesFixed) {
+  EXPECT_EQ(FormatProbability(0.00324), "0.00324");
+}
+
+TEST(FormatTest, FormatProbabilityBoundaryUsesFixed) {
+  EXPECT_EQ(FormatProbability(1.4e-4), "0.00014");
+}
+
+TEST(FormatTest, FormatProbabilityTinyUsesScientific) {
+  EXPECT_EQ(FormatProbability(1.4e-5), "1.400e-05");
+}
+
+}  // namespace
+}  // namespace zonestream::common

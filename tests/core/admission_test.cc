@@ -1,0 +1,228 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::core {
+namespace {
+
+ServiceTimeModel TestModel() {
+  auto model = ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3,
+      100e3 * 100e3);
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+TEST(MaxStreamsTest, LateProbabilityConsistentWithBound) {
+  const ServiceTimeModel model = TestModel();
+  const double delta = 0.01;
+  const int n_max = MaxStreamsByLateProbability(model, 1.0, delta);
+  ASSERT_GT(n_max, 0);
+  EXPECT_LE(model.LateBound(n_max, 1.0).bound, delta);
+  EXPECT_GT(model.LateBound(n_max + 1, 1.0).bound, delta);
+}
+
+TEST(MaxStreamsTest, MonotoneInTolerance) {
+  const ServiceTimeModel model = TestModel();
+  int prev = 0;
+  for (double delta : {0.0001, 0.001, 0.01, 0.05, 0.2}) {
+    const int n_max = MaxStreamsByLateProbability(model, 1.0, delta);
+    EXPECT_GE(n_max, prev) << delta;
+    prev = n_max;
+  }
+}
+
+TEST(MaxStreamsTest, MonotoneInRoundLength) {
+  const ServiceTimeModel model = TestModel();
+  int prev = 0;
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    const int n_max = MaxStreamsByLateProbability(model, t, 0.01);
+    EXPECT_GT(n_max, prev) << t;
+    prev = n_max;
+  }
+}
+
+TEST(MaxStreamsTest, LongerRoundsAmortizeOverheadBetter) {
+  // Streams-per-second of round: longer rounds admit more than
+  // proportionally (seek/rotation overhead amortizes).
+  const ServiceTimeModel model = TestModel();
+  const int at_1s = MaxStreamsByLateProbability(model, 1.0, 0.01);
+  const int at_4s = MaxStreamsByLateProbability(model, 4.0, 0.01);
+  EXPECT_GT(at_4s, 4 * at_1s / 2);  // far more than half the linear scaling
+}
+
+TEST(MaxStreamsTest, ZeroWhenImpossible) {
+  const ServiceTimeModel model = TestModel();
+  // A 10 ms round cannot even fit one request's worst-case seek.
+  EXPECT_EQ(MaxStreamsByLateProbability(model, 0.01, 0.01), 0);
+}
+
+TEST(MaxStreamsTest, GlitchRateConsistentWithBound) {
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  const double epsilon = 0.01;
+  const int n_max = MaxStreamsByGlitchRate(model, 1.0, 1200, 12, epsilon);
+  ASSERT_GT(n_max, 0);
+  EXPECT_LE(glitch_model.ErrorBound(n_max, 1.0, 1200, 12), epsilon);
+  EXPECT_GT(glitch_model.ErrorBound(n_max + 1, 1.0, 1200, 12), epsilon);
+}
+
+TEST(MaxStreamsTest, GlitchCriterionAdmitsMoreThanPerRoundCriterion) {
+  // Tolerating 1% of rounds with glitches per stream is weaker than
+  // requiring 99% of rounds to be fully on time (§4: 28 vs 26).
+  const ServiceTimeModel model = TestModel();
+  EXPECT_GT(MaxStreamsByGlitchRate(model, 1.0, 1200, 12, 0.01),
+            MaxStreamsByLateProbability(model, 1.0, 0.01));
+}
+
+TEST(MaxStreamsTest, CombinedCriteriaIsTheMinimum) {
+  const ServiceTimeModel model = TestModel();
+  const int by_late = MaxStreamsByLateProbability(model, 1.0, 0.01);
+  const int by_glitch = MaxStreamsByGlitchRate(model, 1.0, 1200, 12, 0.01);
+  EXPECT_EQ(MaxStreamsByCombinedCriteria(model, 1.0, 0.01, 1200, 12, 0.01),
+            std::min(by_late, by_glitch));
+  // For the Table 1 contract the per-round criterion binds (26 < 28).
+  EXPECT_EQ(MaxStreamsByCombinedCriteria(model, 1.0, 0.01, 1200, 12, 0.01),
+            26);
+  // Loosening the binding criterion shifts the limit to the other one.
+  EXPECT_EQ(MaxStreamsByCombinedCriteria(model, 1.0, 0.5, 1200, 12, 0.01),
+            by_glitch);
+}
+
+TEST(AdmissionTableTest, BuildValidation) {
+  const ServiceTimeModel model = TestModel();
+  EXPECT_FALSE(AdmissionTable::Build(model,
+                                     AdmissionCriterion::kLateProbability,
+                                     0.0, {0.01})
+                   .ok());
+  EXPECT_FALSE(AdmissionTable::Build(model,
+                                     AdmissionCriterion::kLateProbability,
+                                     1.0, {})
+                   .ok());
+  EXPECT_FALSE(AdmissionTable::Build(model,
+                                     AdmissionCriterion::kLateProbability,
+                                     1.0, {0.1, 0.01})
+                   .ok());  // not ascending
+  EXPECT_FALSE(AdmissionTable::Build(model,
+                                     AdmissionCriterion::kLateProbability,
+                                     1.0, {0.0, 0.01})
+                   .ok());
+  EXPECT_FALSE(
+      AdmissionTable::Build(model, AdmissionCriterion::kGlitchRate, 1.0,
+                            {0.01}, /*m=*/0, /*g=*/12)
+          .ok());
+}
+
+TEST(AdmissionTableTest, RowsMatchDirectComputation) {
+  const ServiceTimeModel model = TestModel();
+  const std::vector<double> tolerances = {0.001, 0.01, 0.05};
+  const auto table =
+      AdmissionTable::Build(model, AdmissionCriterion::kLateProbability, 1.0,
+                            tolerances);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows().size(), 3u);
+  for (size_t i = 0; i < tolerances.size(); ++i) {
+    EXPECT_EQ(table->rows()[i].n_max,
+              MaxStreamsByLateProbability(model, 1.0, tolerances[i]))
+        << i;
+  }
+}
+
+TEST(AdmissionTableTest, LookupPicksStrictestSatisfiedRow) {
+  const ServiceTimeModel model = TestModel();
+  const auto table = AdmissionTable::Build(
+      model, AdmissionCriterion::kLateProbability, 1.0, {0.001, 0.01, 0.05});
+  ASSERT_TRUE(table.ok());
+  // Requested tolerance below the lowest row: nothing is guaranteed.
+  EXPECT_EQ(table->MaxStreams(0.0001), 0);
+  // Exactly a row.
+  EXPECT_EQ(table->MaxStreams(0.01),
+            MaxStreamsByLateProbability(model, 1.0, 0.01));
+  // Between rows: the 0.01 row applies for a 0.02 request.
+  EXPECT_EQ(table->MaxStreams(0.02),
+            MaxStreamsByLateProbability(model, 1.0, 0.01));
+  // Above all rows: the loosest row applies.
+  EXPECT_EQ(table->MaxStreams(0.5),
+            MaxStreamsByLateProbability(model, 1.0, 0.05));
+}
+
+TEST(AdmissionTableTest, SerializeRoundTrip) {
+  const ServiceTimeModel model = TestModel();
+  const auto table =
+      AdmissionTable::Build(model, AdmissionCriterion::kGlitchRate, 1.0,
+                            {0.001, 0.01, 0.05}, /*m=*/1200, /*g=*/12);
+  ASSERT_TRUE(table.ok());
+  const std::string serialized = table->Serialize();
+  const auto restored = AdmissionTable::Deserialize(serialized);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->criterion(), table->criterion());
+  EXPECT_DOUBLE_EQ(restored->round_length(), table->round_length());
+  ASSERT_EQ(restored->rows().size(), table->rows().size());
+  for (size_t i = 0; i < table->rows().size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->rows()[i].tolerance,
+                     table->rows()[i].tolerance);
+    EXPECT_EQ(restored->rows()[i].n_max, table->rows()[i].n_max);
+  }
+  // Behavioral equivalence: lookups agree everywhere.
+  for (double tolerance : {0.0005, 0.001, 0.005, 0.02, 0.08}) {
+    EXPECT_EQ(restored->MaxStreams(tolerance), table->MaxStreams(tolerance))
+        << tolerance;
+  }
+}
+
+TEST(AdmissionTableTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(AdmissionTable::Deserialize("").ok());
+  EXPECT_FALSE(AdmissionTable::Deserialize("not-a-table v1\n").ok());
+  EXPECT_FALSE(
+      AdmissionTable::Deserialize("zonestream-admission-table v2\n").ok());
+  // Wrong criterion.
+  EXPECT_FALSE(AdmissionTable::Deserialize(
+                   "zonestream-admission-table v1\ncriterion foo\n")
+                   .ok());
+  // Truncated rows.
+  EXPECT_FALSE(AdmissionTable::Deserialize(
+                   "zonestream-admission-table v1\n"
+                   "criterion glitch_rate\nround_length 1\nrows 2\n"
+                   "0.01 26\n")
+                   .ok());
+  // Non-ascending tolerances.
+  EXPECT_FALSE(AdmissionTable::Deserialize(
+                   "zonestream-admission-table v1\n"
+                   "criterion glitch_rate\nround_length 1\nrows 2\n"
+                   "0.05 26\n0.01 24\n")
+                   .ok());
+}
+
+TEST(AdmissionControllerTest, AdmitReleaseLifecycle) {
+  AdmissionController controller(2);
+  EXPECT_EQ(controller.max_streams(), 2);
+  EXPECT_TRUE(controller.TryAdmit());
+  EXPECT_TRUE(controller.TryAdmit());
+  EXPECT_FALSE(controller.TryAdmit());  // full
+  EXPECT_EQ(controller.active_streams(), 2);
+  controller.Release();
+  EXPECT_TRUE(controller.TryAdmit());
+  EXPECT_FALSE(controller.TryAdmit());
+}
+
+TEST(AdmissionControllerTest, FromTable) {
+  const ServiceTimeModel model = TestModel();
+  const auto table = AdmissionTable::Build(
+      model, AdmissionCriterion::kLateProbability, 1.0, {0.01});
+  ASSERT_TRUE(table.ok());
+  AdmissionController controller(*table, 0.01);
+  EXPECT_EQ(controller.max_streams(),
+            MaxStreamsByLateProbability(model, 1.0, 0.01));
+}
+
+TEST(AdmissionControllerTest, ZeroLimitRejectsEverything) {
+  AdmissionController controller(0);
+  EXPECT_FALSE(controller.TryAdmit());
+}
+
+}  // namespace
+}  // namespace zonestream::core

@@ -1,0 +1,216 @@
+#include "core/baselines.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "disk/presets.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr double kMeanSize = 200e3;
+constexpr double kVarSize = 100e3 * 100e3;
+
+ServiceTimeModel TestModel() {
+  auto model = ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), kMeanSize,
+      kVarSize);
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+// ---------------------------------------------------------------------------
+// Worst case
+
+TEST(WorstCaseTest, ComponentsAreWorstCase) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const auto sizes =
+      workload::GammaSizeDistribution::Create(kMeanSize, kVarSize);
+  const WorstCaseResult result =
+      WorstCaseAdmission(viking, seek, *sizes, 1.0, WorstCaseConfig{});
+  EXPECT_DOUBLE_EQ(result.t_rot_max_s, viking.rotation_time());
+  EXPECT_DOUBLE_EQ(result.t_seek_max_s, seek.MaxSeekTime(6720));
+  EXPECT_DOUBLE_EQ(result.t_trans_max_s,
+                   sizes->Quantile(0.99) / viking.MinTransferRate());
+}
+
+TEST(WorstCaseTest, OptimisticVariantAdmitsMore) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const auto sizes =
+      workload::GammaSizeDistribution::Create(kMeanSize, kVarSize);
+  const int pessimistic =
+      WorstCaseAdmission(viking, seek, *sizes, 1.0, WorstCaseConfig{}).n_max;
+  const int optimistic =
+      WorstCaseAdmission(viking, seek, *sizes, 1.0, WorstCaseConfig{0.95, true})
+          .n_max;
+  EXPECT_GT(optimistic, pessimistic);
+}
+
+TEST(WorstCaseTest, ScalesWithRoundLength) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const auto sizes =
+      workload::GammaSizeDistribution::Create(kMeanSize, kVarSize);
+  const int at_1s =
+      WorstCaseAdmission(viking, seek, *sizes, 1.0, WorstCaseConfig{}).n_max;
+  const int at_2s =
+      WorstCaseAdmission(viking, seek, *sizes, 2.0, WorstCaseConfig{}).n_max;
+  EXPECT_EQ(at_2s, 2 * at_1s + (at_2s - 2 * at_1s));  // tautology guard
+  EXPECT_GE(at_2s, 2 * at_1s);  // floor() can only help
+}
+
+// ---------------------------------------------------------------------------
+// Normal / CLT approximation
+
+TEST(NormalApproxTest, HalfProbabilityAtMeanServiceTime) {
+  const ServiceTimeModel model = TestModel();
+  const int n = 26;
+  const double mean = model.Moments(n).mean_s;
+  EXPECT_NEAR(NormalApproxLateProbability(model, n, mean), 0.5, 1e-9);
+}
+
+TEST(NormalApproxTest, BelowChernoffBoundInTheFarTail) {
+  // The normal approximation underestimates the true (and bounded) tail far
+  // out — the paper's core criticism of CLT-based admission.
+  const ServiceTimeModel model = TestModel();
+  const int n = 20;  // comfortably below saturation
+  const double chernoff = model.LateBound(n, 1.0).bound;
+  const double normal = NormalApproxLateProbability(model, n, 1.0);
+  EXPECT_LT(normal, chernoff);
+}
+
+TEST(NormalApproxTest, MaxStreamsAtLeastChernoffAdmission) {
+  // A lower p_late estimate admits at least as many streams.
+  const ServiceTimeModel model = TestModel();
+  EXPECT_GE(NormalApproxMaxStreams(model, 1.0, 0.01),
+            MaxStreamsByLateProbability(model, 1.0, 0.01));
+}
+
+TEST(NormalApproxTest, MonotoneInN) {
+  const ServiceTimeModel model = TestModel();
+  double prev = 0.0;
+  for (int n = 10; n <= 35; n += 5) {
+    const double p = NormalApproxLateProbability(model, n, 1.0);
+    EXPECT_GE(p, prev) << n;
+    prev = p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chebyshev bound
+
+TEST(ChebyshevTest, TrivialAtOrBelowMean) {
+  const ServiceTimeModel model = TestModel();
+  const int n = 26;
+  const double mean = model.Moments(n).mean_s;
+  EXPECT_DOUBLE_EQ(ChebyshevLateBound(model, n, mean), 1.0);
+  EXPECT_DOUBLE_EQ(ChebyshevLateBound(model, n, mean * 0.5), 1.0);
+}
+
+TEST(ChebyshevTest, CantelliFormula) {
+  const ServiceTimeModel model = TestModel();
+  const int n = 26;
+  const ServiceTimeMoments moments = model.Moments(n);
+  const double slack = 1.0 - moments.mean_s;
+  ASSERT_GT(slack, 0.0);
+  EXPECT_NEAR(ChebyshevLateBound(model, n, 1.0),
+              moments.variance_s2 / (moments.variance_s2 + slack * slack),
+              1e-15);
+}
+
+TEST(ChebyshevTest, MuchLooserThanChernoff) {
+  // The paper dismisses the Tschebyscheff route as a "relatively coarse
+  // bound": at the admission point it is orders of magnitude above
+  // Chernoff.
+  const ServiceTimeModel model = TestModel();
+  const int n = 26;
+  const double chernoff = model.LateBound(n, 1.0).bound;
+  const double chebyshev = ChebyshevLateBound(model, n, 1.0);
+  EXPECT_GT(chebyshev, 10.0 * chernoff);
+}
+
+TEST(ChebyshevTest, AdmitsFewerStreamsThanChernoff) {
+  const ServiceTimeModel model = TestModel();
+  EXPECT_LT(ChebyshevMaxStreams(model, 1.0, 0.01),
+            MaxStreamsByLateProbability(model, 1.0, 0.01));
+}
+
+// ---------------------------------------------------------------------------
+// Independent-seek model
+
+std::shared_ptr<const GammaTransferModel> MultiZoneTransfer() {
+  auto transfer = GammaTransferModel::ForMultiZone(disk::QuantumViking2100(),
+                                                   kMeanSize, kVarSize);
+  ZS_CHECK(transfer.ok());
+  return std::make_shared<GammaTransferModel>(*std::move(transfer));
+}
+
+TEST(IndependentSeekTest, FactoryValidation) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  EXPECT_FALSE(IndependentSeekServiceModel::Create(seek, 0, 8.34e-3,
+                                                   MultiZoneTransfer())
+                   .ok());
+  EXPECT_FALSE(IndependentSeekServiceModel::Create(seek, 6720, 0.0,
+                                                   MultiZoneTransfer())
+                   .ok());
+  EXPECT_FALSE(
+      IndependentSeekServiceModel::Create(seek, 6720, 8.34e-3, nullptr).ok());
+}
+
+TEST(IndependentSeekTest, SeekMomentsAreSane) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  auto model = IndependentSeekServiceModel::Create(seek, 6720, 8.34e-3,
+                                                   MultiZoneTransfer());
+  ASSERT_TRUE(model.ok());
+  // Mean independent seek lies between the minimum (0) and full stroke.
+  EXPECT_GT(model->seek_mean(), 1e-3);
+  EXPECT_LT(model->seek_mean(), seek.MaxSeekTime(6720));
+  EXPECT_GT(model->seek_variance(), 0.0);
+}
+
+TEST(IndependentSeekTest, CostsMoreThanScanForRealisticN) {
+  // Independent seeks pay ~E[seek(D)] per request; SCAN pays the Oyang
+  // sweep. At N = 26 the sweep is far cheaper, which is why the paper's
+  // model admits more streams.
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const ServiceTimeModel scan_model = TestModel();
+  auto independent = IndependentSeekServiceModel::Create(
+      seek, 6720, 8.34e-3, MultiZoneTransfer());
+  ASSERT_TRUE(independent.ok());
+  const int n = 26;
+  EXPECT_GT(independent->Moments(n).mean_s, scan_model.Moments(n).mean_s);
+  EXPECT_GT(independent->LateBound(n, 1.0).bound,
+            scan_model.LateBound(n, 1.0).bound);
+}
+
+TEST(IndependentSeekTest, MomentsScaleLinearly) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  auto model = IndependentSeekServiceModel::Create(seek, 6720, 8.34e-3,
+                                                   MultiZoneTransfer());
+  ASSERT_TRUE(model.ok());
+  const ServiceTimeMoments m1 = model->Moments(1);
+  const ServiceTimeMoments m10 = model->Moments(10);
+  EXPECT_NEAR(m10.mean_s, 10.0 * m1.mean_s, 1e-12);
+  EXPECT_NEAR(m10.variance_s2, 10.0 * m1.variance_s2, 1e-15);
+}
+
+TEST(IndependentSeekTest, LateBoundMonotoneInN) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  auto model = IndependentSeekServiceModel::Create(seek, 6720, 8.34e-3,
+                                                   MultiZoneTransfer());
+  ASSERT_TRUE(model.ok());
+  double prev = 0.0;
+  for (int n = 5; n <= 30; n += 5) {
+    const double bound = model->LateBound(n, 1.0).bound;
+    EXPECT_GE(bound, prev) << n;
+    prev = bound;
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::core

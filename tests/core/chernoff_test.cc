@@ -1,0 +1,94 @@
+#include "core/chernoff.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numeric/special_functions.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ChernoffTest, ExponentialVariableClosedForm) {
+  // X ~ Exp(rate lambda): log M(theta) = -log(1 - theta/lambda), and the
+  // optimal Chernoff bound for t > 1/lambda is (lambda t) e^{1 - lambda t}.
+  const double lambda = 2.0;
+  const auto log_mgf = [lambda](double theta) {
+    return -std::log1p(-theta / lambda);
+  };
+  const double t = 3.0;
+  const ChernoffResult result = ChernoffTailBound(log_mgf, lambda, t);
+  EXPECT_TRUE(result.converged);
+  const double expected = lambda * t * std::exp(1.0 - lambda * t);
+  EXPECT_NEAR(result.bound, expected, 1e-9 * expected);
+  // theta* = lambda - 1/t.
+  EXPECT_NEAR(result.theta_star, lambda - 1.0 / t, 1e-6);
+}
+
+TEST(ChernoffTest, GaussianClosedForm) {
+  // X ~ N(mu, sigma^2): bound = exp(-(t-mu)^2 / (2 sigma^2)), entire MGF.
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  const auto log_mgf = [mu, sigma](double theta) {
+    return mu * theta + 0.5 * sigma * sigma * theta * theta;
+  };
+  const double t = 2.5;
+  const ChernoffResult result = ChernoffTailBound(log_mgf, kInf, t);
+  EXPECT_TRUE(result.converged);
+  const double expected =
+      std::exp(-(t - mu) * (t - mu) / (2.0 * sigma * sigma));
+  EXPECT_NEAR(result.bound, expected, 1e-8 * expected);
+}
+
+TEST(ChernoffTest, TrivialBoundWhenMeanExceedsThreshold) {
+  // E[X] = 1 but t = 0.5 < mean: no exponential bound is possible.
+  const auto log_mgf = [](double theta) { return theta; };  // X == 1 a.s.
+  const ChernoffResult result = ChernoffTailBound(log_mgf, kInf, 0.5);
+  EXPECT_DOUBLE_EQ(result.bound, 1.0);
+  EXPECT_DOUBLE_EQ(result.theta_star, 0.0);
+}
+
+TEST(ChernoffTest, BoundIsAlwaysAtMostOne) {
+  const auto log_mgf = [](double theta) { return 5.0 * theta; };
+  for (double t : {0.1, 1.0, 4.9, 5.0}) {
+    EXPECT_LE(ChernoffTailBound(log_mgf, kInf, t).bound, 1.0) << t;
+  }
+}
+
+TEST(ChernoffTest, BoundDominatesTrueTailForGammaSum) {
+  // Sum of 4 Exp(1) variables ~ Gamma(4, 1); true tail = Q(4, t).
+  const auto log_mgf = [](double theta) {
+    return -4.0 * std::log1p(-theta);
+  };
+  for (double t : {6.0, 8.0, 12.0, 20.0}) {
+    const double bound = ChernoffTailBound(log_mgf, 1.0, t).bound;
+    const double exact = numeric::RegularizedGammaQ(4.0, t);
+    EXPECT_GE(bound, exact) << t;
+    // And it is not absurdly loose (within ~2 orders at these t).
+    EXPECT_LT(bound, 150.0 * exact) << t;
+  }
+}
+
+TEST(ChernoffTest, MonotoneDecreasingInThreshold) {
+  const auto log_mgf = [](double theta) { return -3.0 * std::log1p(-theta); };
+  double prev = 2.0;
+  for (double t = 4.0; t <= 30.0; t += 1.0) {
+    const double bound = ChernoffTailBound(log_mgf, 1.0, t).bound;
+    EXPECT_LT(bound, prev) << t;
+    prev = bound;
+  }
+}
+
+TEST(ChernoffTest, DegenerateConstantVariable) {
+  // X == c: bound should be 1 for t <= c and -> 0 for t > c.
+  const double c = 2.0;
+  const auto log_mgf = [c](double theta) { return c * theta; };
+  EXPECT_DOUBLE_EQ(ChernoffTailBound(log_mgf, kInf, 1.9).bound, 1.0);
+  EXPECT_LT(ChernoffTailBound(log_mgf, kInf, 2.1).bound, 1e-6);
+}
+
+}  // namespace
+}  // namespace zonestream::core

@@ -1,0 +1,150 @@
+#include "core/glitch_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::core {
+namespace {
+
+ServiceTimeModel TestModel() {
+  auto model = ServiceTimeModel::FromTransferMoments(
+      disk::QuantumViking2100Seek(), 6720, 8.34e-3, 0.02174, 0.00011815);
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+// ---------------------------------------------------------------------------
+// Binomial tail bounds
+
+TEST(BinomialTailTest, ChernoffIsOneAtOrBelowMean) {
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(100, 0.5, 50), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(100, 0.5, 30), 1.0);
+}
+
+TEST(BinomialTailTest, ChernoffEdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(10, 0.3, 0), 1.0);
+  // g == m exercises the (m-g) == 0 branch.
+  const double bound = BinomialTailChernoff(10, 0.1, 10);
+  EXPECT_NEAR(bound, std::pow(0.1, 10) * std::pow(10.0, 10) *
+                         std::pow(0.1, 10) / std::pow(1.0, 10),
+              1e-12);
+  // Simplifies to p^m * (m p / g)^... with g=m: (mp/m)^m = p^m.
+  EXPECT_NEAR(bound, std::pow(0.1, 10), 1e-12);
+}
+
+TEST(BinomialTailTest, ExactEdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialTailExact(10, 0.3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailExact(10, 0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTailExact(10, 1.0, 3), 1.0);
+}
+
+TEST(BinomialTailTest, ExactMatchesDirectComputation) {
+  // P[X >= 8 | B(10, 0.5)] = (45 + 10 + 1)/1024.
+  EXPECT_NEAR(BinomialTailExact(10, 0.5, 8), 56.0 / 1024.0, 1e-12);
+  // P[X >= 1] = 1 - (1-p)^m.
+  EXPECT_NEAR(BinomialTailExact(20, 0.1, 1), 1.0 - std::pow(0.9, 20), 1e-12);
+}
+
+class ChernoffDominatesExactTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ChernoffDominatesExactTest, BoundHoldsAboveMean) {
+  const int m = std::get<0>(GetParam());
+  const double p = std::get<1>(GetParam());
+  const int mean = static_cast<int>(m * p);
+  for (int g = mean + 1; g <= m; g += std::max(1, m / 17)) {
+    const double exact = BinomialTailExact(m, p, g);
+    const double chernoff = BinomialTailChernoff(m, p, g);
+    EXPECT_GE(chernoff, exact - 1e-14) << "m=" << m << " p=" << p << " g=" << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChernoffDominatesExactTest,
+    ::testing::Combine(::testing::Values(10, 100, 1200),
+                       ::testing::Values(0.001, 0.01, 0.1, 0.4)));
+
+TEST(BinomialTailTest, ChernoffReasonablyTightAtPaperOperatingPoint) {
+  // M = 1200, g = 12 (1% of rounds), p near the paper's b_glitch.
+  const double p = 0.002;
+  const double exact = BinomialTailExact(1200, p, 12);
+  const double chernoff = BinomialTailChernoff(1200, p, 12);
+  EXPECT_GE(chernoff, exact);
+  EXPECT_LT(chernoff, 50.0 * exact);  // same order of magnitude territory
+}
+
+// ---------------------------------------------------------------------------
+// GlitchModel
+
+TEST(GlitchModelTest, GlitchBoundAveragesLateBounds) {
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  const int n = 8;
+  double sum = 0.0;
+  for (int k = 1; k <= n; ++k) sum += model.LateBound(k, 1.0).bound;
+  EXPECT_NEAR(glitch_model.GlitchBoundPerRound(n, 1.0), sum / n, 1e-15);
+}
+
+TEST(GlitchModelTest, GlitchBoundBelowLateBound) {
+  // b_glitch averages b_late(k) over k <= N, and b_late is increasing in k,
+  // so b_glitch(N) <= b_late(N).
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  for (int n : {10, 20, 27, 30}) {
+    EXPECT_LE(glitch_model.GlitchBoundPerRound(n, 1.0),
+              model.LateBound(n, 1.0).bound + 1e-15)
+        << n;
+  }
+}
+
+TEST(GlitchModelTest, GlitchBoundMonotoneInN) {
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  double prev = 0.0;
+  for (int n = 5; n <= 35; n += 5) {
+    const double bound = glitch_model.GlitchBoundPerRound(n, 1.0);
+    EXPECT_GE(bound, prev) << n;
+    prev = bound;
+  }
+}
+
+TEST(GlitchModelTest, GlitchBoundClampedToOne) {
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  EXPECT_LE(glitch_model.GlitchBoundPerRound(200, 1.0), 1.0);
+}
+
+TEST(GlitchModelTest, ErrorBoundMonotoneInN) {
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  double prev = 0.0;
+  for (int n = 20; n <= 32; n += 2) {
+    const double bound = glitch_model.ErrorBound(n, 1.0, 1200, 12);
+    EXPECT_GE(bound, prev - 1e-15) << n;
+    prev = bound;
+  }
+}
+
+TEST(GlitchModelTest, ErrorBoundDecreasesWithToleratedGlitches) {
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch_model(&model);
+  double prev = 2.0;
+  for (int g : {2, 6, 12, 24, 48}) {
+    const double bound = glitch_model.ErrorBound(27, 1.0, 1200, g);
+    EXPECT_LE(bound, prev) << g;
+    prev = bound;
+  }
+}
+
+TEST(GlitchModelTest, ErrorBoundForGlitchProbabilityDelegates) {
+  EXPECT_DOUBLE_EQ(GlitchModel::ErrorBoundForGlitchProbability(0.002, 1200, 12),
+                   BinomialTailChernoff(1200, 0.002, 12));
+}
+
+}  // namespace
+}  // namespace zonestream::core

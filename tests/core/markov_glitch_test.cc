@@ -1,0 +1,131 @@
+#include "core/markov_glitch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/glitch_model.h"
+#include "numeric/random.h"
+
+namespace zonestream::core {
+namespace {
+
+TEST(MarkovGlitchTest, CreateValidation) {
+  MarkovGlitchParams params;
+  params.light_to_heavy = 0.0;  // must be > 0
+  params.heavy_to_light = 0.5;
+  EXPECT_FALSE(MarkovGlitchModel::Create(params).ok());
+  params.light_to_heavy = 0.1;
+  params.glitch_light = 0.5;
+  params.glitch_heavy = 0.1;  // heavy < light
+  EXPECT_FALSE(MarkovGlitchModel::Create(params).ok());
+  params.glitch_heavy = 0.6;
+  EXPECT_TRUE(MarkovGlitchModel::Create(params).ok());
+}
+
+TEST(MarkovGlitchTest, DegenerateStatesReduceToBinomial) {
+  // Equal glitch probabilities in both states: the modulation is
+  // irrelevant and the tail must equal the exact binomial.
+  MarkovGlitchParams params;
+  params.light_to_heavy = 0.3;
+  params.heavy_to_light = 0.2;
+  params.glitch_light = 0.004;
+  params.glitch_heavy = 0.004;
+  auto model = MarkovGlitchModel::Create(params);
+  ASSERT_TRUE(model.ok());
+  for (int g : {1, 3, 8, 12}) {
+    EXPECT_NEAR(model->ErrorProbability(1200, g),
+                BinomialTailExact(1200, 0.004, g),
+                1e-10)
+        << g;
+  }
+}
+
+TEST(MarkovGlitchTest, EdgeCases) {
+  auto model = MarkovGlitchModel::FromMarginal(0.002, 0.2, 5.0, 30.0);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->ErrorProbability(100, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model->ErrorProbability(100, 101), 0.0);
+}
+
+TEST(MarkovGlitchTest, FromMarginalMatchesRequestedMarginal) {
+  for (double p : {0.001, 0.005, 0.02}) {
+    auto model = MarkovGlitchModel::FromMarginal(p, 0.25, 8.0, 40.0);
+    ASSERT_TRUE(model.ok()) << p;
+    EXPECT_NEAR(model->marginal_glitch_probability(), p, 1e-12);
+    EXPECT_NEAR(model->stationary_heavy(), 0.25, 1e-12);
+    EXPECT_NEAR(model->params().glitch_heavy / model->params().glitch_light,
+                8.0, 1e-9);
+    // Mean heavy run = 1 / heavy_to_light.
+    EXPECT_NEAR(1.0 / model->params().heavy_to_light, 40.0, 1e-9);
+  }
+}
+
+TEST(MarkovGlitchTest, FromMarginalRejectsImpossibleCombos) {
+  // Ratio so extreme the heavy state would exceed probability 1.
+  EXPECT_FALSE(MarkovGlitchModel::FromMarginal(0.5, 0.01, 1000.0, 10.0).ok());
+  // Heavy runs shorter than the heavy fraction allows.
+  EXPECT_FALSE(MarkovGlitchModel::FromMarginal(0.01, 0.9, 2.0, 1.0).ok());
+}
+
+TEST(MarkovGlitchTest, ClusteringFattensTheTail) {
+  // Same marginal glitch probability; growing heavy/light contrast (at
+  // fixed run length) must monotonically raise P[>= g].
+  const double p = 0.005;
+  const int m = 1200;
+  const int g = 12;
+  double previous = BinomialTailExact(m, p, g);
+  for (double ratio : {2.0, 5.0, 10.0, 20.0}) {
+    auto model = MarkovGlitchModel::FromMarginal(p, 0.2, ratio, 50.0);
+    ASSERT_TRUE(model.ok()) << ratio;
+    const double tail = model->ErrorProbability(m, g);
+    EXPECT_GT(tail, previous * 0.999) << ratio;
+    previous = tail;
+  }
+  // And the most clustered case is far above the binomial.
+  EXPECT_GT(previous, 3.0 * BinomialTailExact(m, p, g));
+}
+
+TEST(MarkovGlitchTest, LongerRunsFattenTheTail) {
+  const double p = 0.005;
+  double previous = 0.0;
+  for (double run : {5.0, 20.0, 80.0}) {
+    auto model = MarkovGlitchModel::FromMarginal(p, 0.2, 10.0, run);
+    ASSERT_TRUE(model.ok());
+    const double tail = model->ErrorProbability(1200, 12);
+    EXPECT_GT(tail, previous) << run;
+    previous = tail;
+  }
+}
+
+TEST(MarkovGlitchTest, DpMatchesMonteCarlo) {
+  // Exactness check: simulate the same two-state process directly.
+  auto model = MarkovGlitchModel::FromMarginal(0.01, 0.3, 6.0, 25.0);
+  ASSERT_TRUE(model.ok());
+  const int m = 300;
+  const int g = 6;
+  const double exact = model->ErrorProbability(m, g);
+
+  numeric::Rng rng(99);
+  const MarkovGlitchParams& params = model->params();
+  int exceed = 0;
+  constexpr int kTrials = 40000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    bool heavy = rng.Uniform01() < model->stationary_heavy();
+    int glitches = 0;
+    for (int round = 0; round < m && glitches < g; ++round) {
+      const double glitch_probability =
+          heavy ? params.glitch_heavy : params.glitch_light;
+      if (rng.Uniform01() < glitch_probability) ++glitches;
+      const double flip =
+          heavy ? params.heavy_to_light : params.light_to_heavy;
+      if (rng.Uniform01() < flip) heavy = !heavy;
+    }
+    if (glitches >= g) ++exceed;
+  }
+  const double simulated = static_cast<double>(exceed) / kTrials;
+  EXPECT_NEAR(simulated, exact, 4.0 * std::sqrt(exact / kTrials) + 1e-4);
+}
+
+}  // namespace
+}  // namespace zonestream::core

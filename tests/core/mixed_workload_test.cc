@@ -1,0 +1,174 @@
+#include "core/mixed_workload.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr double kRound = 1.0;
+
+DiscreteWorkload WebWorkload() {
+  // 40 KB pages with sd 30 KB: typical mid-90s HTML + images.
+  return DiscreteWorkload{40e3, 30e3 * 30e3};
+}
+
+MixedWorkloadModel TestModel() {
+  auto model = MixedWorkloadModel::Create(disk::QuantumViking2100(),
+                                          disk::QuantumViking2100Seek(),
+                                          200e3, 1e10, WebWorkload());
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+TEST(MixedWorkloadTest, CreateValidation) {
+  EXPECT_FALSE(MixedWorkloadModel::Create(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   200e3, 1e10, DiscreteWorkload{0.0, 1.0})
+                   .ok());
+  EXPECT_FALSE(MixedWorkloadModel::Create(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   200e3, 1e10, DiscreteWorkload{1.0, 0.0})
+                   .ok());
+}
+
+TEST(MixedWorkloadTest, MeanDiscreteServiceComposition) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const double service = MeanDiscreteServiceTime(viking, seek, WebWorkload());
+  // Mean random seek (~8.5 ms) + half rotation (4.17 ms) + 40 KB transfer
+  // (~4.3 ms) ~ 17 ms.
+  EXPECT_GT(service, 12e-3);
+  EXPECT_LT(service, 25e-3);
+}
+
+TEST(MixedWorkloadTest, GuaranteedSlotsShrinkWithContinuousLoad) {
+  const MixedWorkloadModel model = TestModel();
+  int prev = 4096;
+  for (int n : {0, 10, 20, 24, 26}) {
+    const int slots = model.GuaranteedDiscreteSlots(n, kRound, 0.01);
+    EXPECT_LE(slots, prev) << n;
+    prev = slots;
+  }
+  // At the continuous admission limit, few or no slots remain.
+  EXPECT_LT(model.GuaranteedDiscreteSlots(26, kRound, 0.01), 5);
+  // An idle disk serves dozens of discrete requests per round.
+  EXPECT_GT(model.GuaranteedDiscreteSlots(0, kRound, 0.01), 20);
+}
+
+TEST(MixedWorkloadTest, MixedLateBoundMonotoneInDiscrete) {
+  const MixedWorkloadModel model = TestModel();
+  double prev = 0.0;
+  for (int d : {0, 5, 10, 20}) {
+    const double bound = model.MixedLateBound(20, d, kRound);
+    EXPECT_GE(bound, prev) << d;
+    prev = bound;
+  }
+}
+
+TEST(MixedWorkloadTest, GuaranteedSlotsConsistentWithBound) {
+  const MixedWorkloadModel model = TestModel();
+  const int n = 20;
+  const int slots = model.GuaranteedDiscreteSlots(n, kRound, 0.01);
+  ASSERT_GT(slots, 0);
+  EXPECT_LE(model.MixedLateBound(n, slots, kRound), 0.01);
+  EXPECT_GT(model.MixedLateBound(n, slots + 1, kRound), 0.01);
+}
+
+TEST(MixedWorkloadTest, ExpectedLeftoverBounds) {
+  const MixedWorkloadModel model = TestModel();
+  EXPECT_DOUBLE_EQ(model.ExpectedLeftoverTime(0, kRound), kRound);
+  double prev = kRound;
+  for (int n : {5, 10, 15, 20, 25, 30}) {
+    const double leftover = model.ExpectedLeftoverTime(n, kRound);
+    EXPECT_GE(leftover, 0.0);
+    EXPECT_LT(leftover, prev) << n;
+    prev = leftover;
+  }
+  // Far past saturation the leftover vanishes.
+  EXPECT_LT(model.ExpectedLeftoverTime(40, kRound), 0.01);
+}
+
+TEST(MixedWorkloadTest, LeftoverMatchesMomentsInLightLoad) {
+  // Light load: P[T_n > t] ~ 0, so E[max(0, t - T)] ~ t - E[T].
+  const MixedWorkloadModel model = TestModel();
+  const int n = 10;
+  const ServiceTimeMoments moments = model.multiclass().Moments({n, 0});
+  EXPECT_NEAR(model.ExpectedLeftoverTime(n, kRound), kRound - moments.mean_s,
+              1e-6);
+}
+
+TEST(MixedWorkloadTest, ThroughputAndStability) {
+  const MixedWorkloadModel model = TestModel();
+  const double throughput = model.ExpectedDiscreteThroughput(20, kRound);
+  EXPECT_GT(throughput, 0.0);
+  const double rate = model.SustainableDiscreteRate(20, kRound, 0.8);
+  EXPECT_NEAR(rate, 0.8 * throughput / kRound, 1e-12);
+}
+
+TEST(MixedWorkloadTest, ResponseTimeDivergesAtSaturation) {
+  const MixedWorkloadModel model = TestModel();
+  const int n = 20;
+  const double capacity =
+      model.ExpectedDiscreteThroughput(n, kRound) / kRound;
+  const double light = model.ApproximateDiscreteResponseTime(n, kRound,
+                                                             0.1 * capacity);
+  const double heavy = model.ApproximateDiscreteResponseTime(n, kRound,
+                                                             0.9 * capacity);
+  EXPECT_GT(heavy, light);
+  EXPECT_TRUE(std::isinf(
+      model.ApproximateDiscreteResponseTime(n, kRound, 1.1 * capacity)));
+  // Light-load floor: the gate wait E[T_n]^2/(2t) plus one service time —
+  // a couple hundred milliseconds at N = 20.
+  EXPECT_GT(light, 0.05);
+  EXPECT_LT(light, 0.6);
+}
+
+TEST(MixedWorkloadTest, ResponseTimeApproximationTracksSimulationShape) {
+  // Calibration points from sim::MixedRoundSimulator at lambda = 5/s
+  // (see bench_ext_mixed): ~160 ms at N=16, ~230 ms at N=20, ~320 ms at
+  // N=24. The approximation should land within ~35% of each.
+  const MixedWorkloadModel model = TestModel();
+  const struct {
+    int n;
+    double simulated_s;
+  } points[] = {{16, 0.159}, {20, 0.230}, {24, 0.317}};
+  for (const auto& point : points) {
+    const double predicted =
+        model.ApproximateDiscreteResponseTime(point.n, kRound, 5.0);
+    EXPECT_NEAR(predicted, point.simulated_s, 0.35 * point.simulated_s)
+        << "N=" << point.n;
+  }
+}
+
+TEST(MixedWorkloadTest, SharingBeatsPartitioningInCapacity) {
+  // The §6 argument for mixed disks: statically partitioning the round
+  // (e.g. reserving 30% for discrete) costs continuous capacity compared
+  // to admitting discrete load against the full-transform bound.
+  const MixedWorkloadModel model = TestModel();
+  auto partitioned = ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ASSERT_TRUE(partitioned.ok());
+  const int partitioned_nmax =
+      MaxStreamsByLateProbability(*partitioned, 0.7 * kRound, 0.01);
+  // Admit the same discrete throughput dynamically: find n with >= the
+  // slots the 0.3-round reservation would offer.
+  const int reserved_slots = static_cast<int>(
+      0.3 * kRound / model.mean_discrete_service());
+  int shared_nmax = 0;
+  for (int n = 1; n <= 40; ++n) {
+    if (model.GuaranteedDiscreteSlots(n, kRound, 0.01) < reserved_slots) {
+      break;
+    }
+    shared_nmax = n;
+  }
+  EXPECT_GE(shared_nmax, partitioned_nmax);
+}
+
+}  // namespace
+}  // namespace zonestream::core

@@ -1,0 +1,126 @@
+#include "core/saddlepoint.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/baselines.h"
+#include "disk/presets.h"
+#include "numeric/special_functions.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SaddlepointTest, ExactForGaussian) {
+  // For a normal CGF the Lugannani-Rice formula is exact: w == u.
+  const double mu = 2.0;
+  const double sigma = 0.7;
+  const auto log_mgf = [mu, sigma](double theta) {
+    return mu * theta + 0.5 * sigma * sigma * theta * theta;
+  };
+  for (double t : {2.5, 3.0, 4.0}) {
+    const SaddlepointResult result =
+        SaddlepointTailProbability(log_mgf, kInf, t);
+    EXPECT_TRUE(result.converged);
+    const double exact = 1.0 - numeric::NormalCdf((t - mu) / sigma);
+    EXPECT_NEAR(result.probability, exact, 1e-5 * exact + 1e-10) << t;
+  }
+}
+
+TEST(SaddlepointTest, AccurateForGammaSum) {
+  // Sum of 8 Exp(1): Gamma(8, 1) with exact tail Q(8, t). Saddlepoint
+  // relative error should be a few percent even at 1e-4 tails — far
+  // better than either CLT or the Chernoff bound.
+  const auto log_mgf = [](double theta) { return -8.0 * std::log1p(-theta); };
+  for (double t : {12.0, 16.0, 20.0, 25.0}) {
+    const SaddlepointResult result =
+        SaddlepointTailProbability(log_mgf, 1.0, t);
+    ASSERT_TRUE(result.converged) << t;
+    const double exact = numeric::RegularizedGammaQ(8.0, t);
+    EXPECT_NEAR(result.probability, exact, 0.05 * exact) << t;
+  }
+}
+
+TEST(SaddlepointTest, BelowMeanFallsBackToNormalEstimate) {
+  const auto log_mgf = [](double theta) { return -8.0 * std::log1p(-theta); };
+  // mean = 8; at t = 8 the estimate is ~0.5 and below it grows toward 1.
+  const SaddlepointResult at_mean =
+      SaddlepointTailProbability(log_mgf, 1.0, 8.0);
+  EXPECT_NEAR(at_mean.probability, 0.5, 0.05);
+  const SaddlepointResult below =
+      SaddlepointTailProbability(log_mgf, 1.0, 5.0);
+  EXPECT_GT(below.probability, 0.8);
+}
+
+ServiceTimeModel Table1Model() {
+  auto model = ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+TEST(SaddlepointTest, BelowChernoffBoundOnServiceModel) {
+  // An estimate of the true tail must sit below the Chernoff *bound* of
+  // the same transform.
+  const ServiceTimeModel model = Table1Model();
+  for (int n : {22, 26, 30}) {
+    const double saddle = SaddlepointLateProbability(model, n, 1.0).probability;
+    const double chernoff = model.LateBound(n, 1.0).bound;
+    EXPECT_LT(saddle, chernoff) << n;
+    EXPECT_GT(saddle, 0.0) << n;
+  }
+}
+
+TEST(SaddlepointTest, MonotoneInN) {
+  const ServiceTimeModel model = Table1Model();
+  double prev = 0.0;
+  for (int n = 16; n <= 32; n += 4) {
+    const double p = SaddlepointLateProbability(model, n, 1.0).probability;
+    EXPECT_GE(p, prev) << n;
+    prev = p;
+  }
+}
+
+TEST(SaddlepointTest, CloserToSimulationThanChernoffOrClt) {
+  // At N = 28 the simulated p_late is ~0.0046 (see EXPERIMENTS.md E1).
+  // The saddlepoint estimate of the transform should land noticeably
+  // closer to it than the Chernoff bound (0.047) — though still above the
+  // simulation, because the transform's Oyang seek bound is itself
+  // conservative.
+  const ServiceTimeModel model = Table1Model();
+  const int n = 28;
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 1e10));
+  sim::SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = 88;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      sim::RoundSimulator::IidFactory(sizes), config);
+  ASSERT_TRUE(simulator.ok());
+  const double simulated = simulator->EstimateLateProbability(40000).point;
+  const double saddle = SaddlepointLateProbability(model, n, 1.0).probability;
+  const double chernoff = model.LateBound(n, 1.0).bound;
+  EXPECT_LT(std::fabs(std::log(saddle / simulated)),
+            std::fabs(std::log(chernoff / simulated)));
+}
+
+TEST(SaddlepointTest, MaxStreamsBetweenChernoffAndSimulatedCapacity) {
+  // Saddlepoint admits more than the Chernoff bound (it is not inflated
+  // by the bound's slack) but should stay at or below the simulated
+  // capacity +1 (it still contains the Oyang seek conservatism).
+  const ServiceTimeModel model = Table1Model();
+  const int chernoff_nmax = MaxStreamsByLateProbability(model, 1.0, 0.01);
+  const int saddle_nmax = SaddlepointMaxStreams(model, 1.0, 0.01);
+  EXPECT_GE(saddle_nmax, chernoff_nmax);
+  EXPECT_LE(saddle_nmax, chernoff_nmax + 4);
+}
+
+}  // namespace
+}  // namespace zonestream::core

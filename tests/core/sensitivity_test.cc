@@ -1,0 +1,91 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::core {
+namespace {
+
+SensitivityReport Table1Report(double delta = 0.1) {
+  auto report = AnalyzeAdmissionSensitivity(
+      disk::QuantumViking2100Parameters(),
+      disk::QuantumViking2100SeekParameters(), 200e3, 1e10, 1.0, 0.01,
+      delta);
+  ZS_CHECK(report.ok());
+  return *std::move(report);
+}
+
+TEST(SensitivityTest, Validation) {
+  EXPECT_FALSE(AnalyzeAdmissionSensitivity(
+                   disk::QuantumViking2100Parameters(),
+                   disk::QuantumViking2100SeekParameters(), 200e3, 1e10, 1.0,
+                   0.01, /*relative_delta=*/0.0)
+                   .ok());
+  EXPECT_FALSE(AnalyzeAdmissionSensitivity(
+                   disk::QuantumViking2100Parameters(),
+                   disk::QuantumViking2100SeekParameters(), 200e3, 1e10, 1.0,
+                   0.01, /*relative_delta=*/1.0)
+                   .ok());
+}
+
+TEST(SensitivityTest, BaselineMatchesPaper) {
+  const SensitivityReport report = Table1Report();
+  EXPECT_EQ(report.n_max_baseline, 26);
+  EXPECT_EQ(report.entries.size(), 5u);
+  for (const SensitivityEntry& entry : report.entries) {
+    EXPECT_EQ(entry.n_max_baseline, 26) << entry.parameter;
+  }
+}
+
+TEST(SensitivityTest, DirectionsAreSane) {
+  const SensitivityReport report = Table1Report();
+  for (const SensitivityEntry& entry : report.entries) {
+    if (entry.parameter == "zone capacity spread") {
+      // Spread changes variance only (mean rate fixed): more spread can
+      // only hurt or leave unchanged.
+      EXPECT_GE(entry.n_max_down, entry.n_max_baseline) << entry.parameter;
+      EXPECT_LE(entry.n_max_up, entry.n_max_baseline) << entry.parameter;
+    } else {
+      // Larger fragments / slower rotation / slower seeks / more size
+      // variance all reduce capacity.
+      EXPECT_GE(entry.n_max_down, entry.n_max_baseline) << entry.parameter;
+      EXPECT_LE(entry.n_max_up, entry.n_max_baseline) << entry.parameter;
+      EXPECT_GE(entry.n_max_down, entry.n_max_up) << entry.parameter;
+    }
+  }
+}
+
+TEST(SensitivityTest, MeanSizeIsTheDominantParameter) {
+  // At +/-10%, the mean fragment size moves N_max more than the seek
+  // scale or the zone spread — the operational insight the report exists
+  // to surface.
+  const SensitivityReport report = Table1Report();
+  int mean_size_swing = 0;
+  int seek_swing = 0;
+  int spread_swing = 0;
+  for (const SensitivityEntry& entry : report.entries) {
+    const int swing = entry.n_max_down - entry.n_max_up;
+    if (entry.parameter == "mean fragment size") mean_size_swing = swing;
+    if (entry.parameter == "seek time scale") seek_swing = swing;
+    if (entry.parameter == "zone capacity spread") spread_swing = swing;
+  }
+  EXPECT_GT(mean_size_swing, seek_swing);
+  EXPECT_GT(mean_size_swing, spread_swing);
+  EXPECT_GT(mean_size_swing, 0);
+}
+
+TEST(SensitivityTest, LargerDeltaWidensTheSwing) {
+  const SensitivityReport narrow = Table1Report(0.05);
+  const SensitivityReport wide = Table1Report(0.2);
+  for (size_t i = 0; i < narrow.entries.size(); ++i) {
+    const int narrow_swing =
+        narrow.entries[i].n_max_down - narrow.entries[i].n_max_up;
+    const int wide_swing =
+        wide.entries[i].n_max_down - wide.entries[i].n_max_up;
+    EXPECT_GE(wide_swing, narrow_swing) << narrow.entries[i].parameter;
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::core

@@ -1,0 +1,151 @@
+#include "core/transfer_models.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr double kMeanSize = 200e3;
+constexpr double kVarSize = 100e3 * 100e3;
+
+TEST(GammaTransferModelTest, FromMomentsValidation) {
+  EXPECT_FALSE(GammaTransferModel::FromMoments(0.0, 1.0).ok());
+  EXPECT_FALSE(GammaTransferModel::FromMoments(1.0, 0.0).ok());
+  EXPECT_TRUE(GammaTransferModel::FromMoments(0.02, 1e-4).ok());
+}
+
+TEST(GammaTransferModelTest, PaperParameterization) {
+  // §3.1 example: E = 0.02174 s, Var = 0.00011815 s².
+  const auto model = GammaTransferModel::FromMoments(0.02174, 0.00011815);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->alpha(), 0.02174 / 0.00011815, 1e-9);
+  EXPECT_NEAR(model->beta(), 0.02174 * 0.02174 / 0.00011815, 1e-9);
+  EXPECT_NEAR(model->mean(), 0.02174, 1e-12);
+  EXPECT_NEAR(model->variance(), 0.00011815, 1e-15);
+  EXPECT_DOUBLE_EQ(model->theta_max(), model->alpha());
+}
+
+TEST(GammaTransferModelTest, LogMgfMatchesClosedForm) {
+  const auto model = GammaTransferModel::FromMoments(0.02, 1e-4);
+  ASSERT_TRUE(model.ok());
+  const double alpha = model->alpha();
+  const double beta = model->beta();
+  for (double frac : {0.0, 0.2, 0.5, 0.9}) {
+    const double theta = frac * alpha;
+    EXPECT_NEAR(model->LogMgf(theta),
+                beta * std::log(alpha / (alpha - theta)), 1e-10);
+  }
+}
+
+TEST(GammaTransferModelTest, LogMgfDerivativeAtZeroIsMean) {
+  const auto model = GammaTransferModel::FromMoments(0.02, 1e-4);
+  const double h = 1e-6;
+  EXPECT_NEAR((model->LogMgf(h) - model->LogMgf(0.0)) / h, model->mean(),
+              1e-6);
+}
+
+TEST(GammaTransferModelTest, ForConstantRateScalesSizeMoments) {
+  const double rate = 9e6;
+  const auto model =
+      GammaTransferModel::ForConstantRate(kMeanSize, kVarSize, rate);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->mean(), kMeanSize / rate, 1e-12);
+  EXPECT_NEAR(model->variance(), kVarSize / (rate * rate), 1e-15);
+}
+
+TEST(GammaTransferModelTest, ForMultiZoneUsesExactMixtureMoments) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const auto model =
+      GammaTransferModel::ForMultiZone(viking, kMeanSize, kVarSize);
+  ASSERT_TRUE(model.ok());
+  // E[T] = E[S]·E[1/R]; E[1/R] = Z·ROT/C for the linear ramp.
+  const double expected_mean = kMeanSize * viking.InverseRateMoment(1);
+  EXPECT_NEAR(model->mean(), expected_mean, 1e-12);
+  // Regression value computed from Table 1 (documents the calibration).
+  EXPECT_NEAR(model->mean(), 0.021647, 1e-6);
+  const double m2 = (kVarSize + kMeanSize * kMeanSize) *
+                    viking.InverseRateMoment(2);
+  EXPECT_NEAR(model->variance(), m2 - expected_mean * expected_mean, 1e-15);
+}
+
+TEST(GammaTransferModelTest, MultiZoneVarianceExceedsFixedMeanRate) {
+  // Rate variability adds variance relative to serving everything at the
+  // harmonic-mean-equivalent fixed rate.
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  const auto multizone =
+      GammaTransferModel::ForMultiZone(viking, kMeanSize, kVarSize);
+  const double fixed_rate = kMeanSize / multizone->mean();
+  const auto fixed =
+      GammaTransferModel::ForConstantRate(kMeanSize, kVarSize, fixed_rate);
+  EXPECT_GT(multizone->variance(), fixed->variance());
+}
+
+TEST(ZoneMixtureTransferModelTest, RejectsNullAndInfiniteMgf) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  EXPECT_FALSE(ZoneMixtureTransferModel::Create(viking, nullptr).ok());
+  auto lognormal = std::make_shared<workload::LognormalSizeDistribution>(
+      *workload::LognormalSizeDistribution::Create(kMeanSize, kVarSize));
+  EXPECT_FALSE(ZoneMixtureTransferModel::Create(viking, lognormal).ok());
+}
+
+TEST(ZoneMixtureTransferModelTest, MomentsMatchGammaMatchedModel) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSize, kVarSize));
+  const auto mixture = ZoneMixtureTransferModel::Create(viking, sizes);
+  ASSERT_TRUE(mixture.ok());
+  const auto matched =
+      GammaTransferModel::ForMultiZone(viking, kMeanSize, kVarSize);
+  // Both use the exact E[S^k]E[1/R^k] moments, so they agree exactly.
+  EXPECT_NEAR(mixture->mean(), matched->mean(), 1e-12);
+  EXPECT_NEAR(mixture->variance(), matched->variance(), 1e-15);
+}
+
+TEST(ZoneMixtureTransferModelTest, ThetaMaxBoundBySlowstZone) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSize, kVarSize));
+  const auto mixture = ZoneMixtureTransferModel::Create(viking, sizes);
+  ASSERT_TRUE(mixture.ok());
+  EXPECT_NEAR(mixture->theta_max(),
+              viking.MinTransferRate() * sizes->MgfThetaMax(), 1e-6);
+}
+
+TEST(ZoneMixtureTransferModelTest, LogMgfCloseToGammaApproxAtSmallTheta) {
+  // The moment-matched Gamma agrees with the exact transform to second
+  // order at theta = 0; verify the cumulants track at small theta.
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSize, kVarSize));
+  const auto mixture = ZoneMixtureTransferModel::Create(viking, sizes);
+  const auto matched =
+      GammaTransferModel::ForMultiZone(viking, kMeanSize, kVarSize);
+  for (double theta : {1.0, 5.0, 20.0}) {
+    const double exact = mixture->LogMgf(theta);
+    const double approx = matched->LogMgf(theta);
+    EXPECT_NEAR(approx, exact, 0.02 * std::fabs(exact) + 1e-6) << theta;
+  }
+}
+
+TEST(ZoneMixtureTransferModelTest, LogMgfConvex) {
+  const disk::DiskGeometry viking = disk::QuantumViking2100();
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSize, kVarSize));
+  const auto mixture = ZoneMixtureTransferModel::Create(viking, sizes);
+  const double h = 1.0;
+  for (double theta = 1.0; theta < 100.0; theta += 7.0) {
+    const double second_difference = mixture->LogMgf(theta + h) -
+                                     2.0 * mixture->LogMgf(theta) +
+                                     mixture->LogMgf(theta - h);
+    EXPECT_GE(second_difference, 0.0) << theta;
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::core

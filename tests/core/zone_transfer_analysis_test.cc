@@ -1,0 +1,161 @@
+#include "core/zone_transfer_analysis.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+#include "numeric/quadrature.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr double kMeanSize = 200e3;
+constexpr double kVarSize = 100e3 * 100e3;
+
+ZoneTransferAnalysis Table1Analysis() {
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSize, kVarSize));
+  auto analysis =
+      ZoneTransferAnalysis::Create(disk::QuantumViking2100(), sizes);
+  ZS_CHECK(analysis.ok());
+  return *std::move(analysis);
+}
+
+TEST(ZoneTransferAnalysisTest, RejectsNullSizes) {
+  EXPECT_FALSE(
+      ZoneTransferAnalysis::Create(disk::QuantumViking2100(), nullptr).ok());
+}
+
+TEST(ZoneTransferAnalysisTest, ExactDensityIntegratesToOne) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  const double integral = numeric::CompositeGaussLegendre(
+      [&analysis](double t) { return analysis.ExactDensity(t); }, 1e-9, 0.5,
+      128);
+  EXPECT_NEAR(integral, 1.0, 1e-8);
+}
+
+TEST(ZoneTransferAnalysisTest, ExactDensityMomentsMatchAnalytic) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  const double mean = numeric::CompositeGaussLegendre(
+      [&analysis](double t) { return t * analysis.ExactDensity(t); }, 1e-9,
+      0.5, 128);
+  const double m2 = numeric::CompositeGaussLegendre(
+      [&analysis](double t) { return t * t * analysis.ExactDensity(t); },
+      1e-9, 0.5, 128);
+  EXPECT_NEAR(mean, analysis.mean(), 1e-8);
+  EXPECT_NEAR(m2 - mean * mean, analysis.variance(), 1e-10);
+}
+
+TEST(ZoneTransferAnalysisTest, ExactCdfMatchesDensityIntegral) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  for (double t : {0.01, 0.02174, 0.05}) {
+    const double cdf_from_density = numeric::CompositeGaussLegendre(
+        [&analysis](double u) { return analysis.ExactDensity(u); }, 1e-9, t,
+        64);
+    EXPECT_NEAR(analysis.ExactCdf(t), cdf_from_density, 1e-8) << t;
+  }
+  EXPECT_DOUBLE_EQ(analysis.ExactCdf(0.0), 0.0);
+}
+
+TEST(ZoneTransferAnalysisTest, GammaApproxDensityIntegratesToOne) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  const double integral = numeric::CompositeGaussLegendre(
+      [&analysis](double t) { return analysis.GammaApproxDensity(t); }, 1e-9,
+      0.5, 128);
+  EXPECT_NEAR(integral, 1.0, 1e-8);
+}
+
+TEST(ZoneTransferAnalysisTest, ContinuousDensityCloseToExactMixture) {
+  // With Z = 15 zones the continuous-rate (large-Z) density tracks the
+  // discrete mixture to ~1% through the body of the distribution; in the
+  // deep tail (density < 1% of peak) the relative deviation grows.
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  const ApproximationError body =
+      analysis.ContinuousApproximationError(5e-3, 55e-3, 96);
+  EXPECT_LT(body.max_relative_error, 0.03);
+  const ApproximationError full =
+      analysis.ContinuousApproximationError(5e-3, 100e-3, 96);
+  EXPECT_LT(full.max_normalized_error, 0.02);
+}
+
+TEST(ZoneTransferAnalysisTest, PaperTwoPercentClaim) {
+  // §3.2 claims relative error < 2% for t in [5, 100] ms. Our measurement
+  // against the exact zone mixture (E7 in EXPERIMENTS.md): the pointwise
+  // density error is single-digit-percent through the body (~4% max in
+  // [8, 55] ms) and grows in the far tail where the density is < 1% of its
+  // peak; at the *distribution* level — which is what enters p_late — the
+  // Kolmogorov distance is well under 2% over the full range, which is the
+  // sense in which the paper's accuracy claim reproduces.
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  const ApproximationError body =
+      analysis.GammaApproximationError(8e-3, 55e-3, 96);
+  EXPECT_LT(body.max_relative_error, 0.05)
+      << "max error " << body.max_relative_error << " at t="
+      << body.at_time_s;
+  const ApproximationError full =
+      analysis.GammaApproximationError(5e-3, 100e-3, 96);
+  EXPECT_LT(full.max_normalized_error, 0.05);
+  EXPECT_LT(analysis.GammaApproximationKolmogorov(1e-4, 150e-3, 256), 0.02);
+}
+
+TEST(ZoneTransferAnalysisTest, GammaApproxCdfProperties) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  EXPECT_DOUBLE_EQ(analysis.GammaApproxCdf(0.0), 0.0);
+  EXPECT_NEAR(analysis.GammaApproxCdf(1.0), 1.0, 1e-9);
+  double prev = 0.0;
+  for (double t = 0.005; t <= 0.1; t += 0.005) {
+    const double cdf = analysis.GammaApproxCdf(t);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+}
+
+TEST(ZoneTransferAnalysisTest, TailRelativeErrorGrowsBeyondBody) {
+  // Documents the limitation of the paper's claim: strict relative error
+  // in the far tail exceeds 2% (see EXPERIMENTS.md E7).
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  const ApproximationError tail =
+      analysis.GammaApproximationError(80e-3, 100e-3, 24);
+  EXPECT_GT(tail.max_relative_error, 0.02);
+}
+
+TEST(ZoneTransferAnalysisTest, GammaModelSharesMoments) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  EXPECT_NEAR(analysis.gamma_model().mean(), analysis.mean(), 1e-12);
+  EXPECT_NEAR(analysis.gamma_model().variance(), analysis.variance(), 1e-15);
+}
+
+TEST(ZoneTransferAnalysisTest, DensitiesVanishForNonPositiveTime) {
+  const ZoneTransferAnalysis analysis = Table1Analysis();
+  EXPECT_DOUBLE_EQ(analysis.ExactDensity(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(analysis.ExactDensity(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(analysis.ContinuousDensity(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(analysis.GammaApproxDensity(0.0), 0.0);
+}
+
+TEST(ZoneTransferAnalysisTest, SingleZoneDegeneratesToScaledSizeDensity) {
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(kMeanSize, kVarSize));
+  auto analysis =
+      ZoneTransferAnalysis::Create(disk::SingleZoneViking(), sizes);
+  ASSERT_TRUE(analysis.ok());
+  const double rate = disk::SingleZoneViking().TransferRate(0);
+  for (double t : {0.01, 0.02, 0.04}) {
+    EXPECT_NEAR(analysis->ExactDensity(t), rate * sizes->Density(t * rate),
+                1e-9)
+        << t;
+    // Continuous branch handles a == b explicitly.
+    EXPECT_NEAR(analysis->ContinuousDensity(t), analysis->ExactDensity(t),
+                1e-9)
+        << t;
+  }
+  // Exactly Gamma in the single-zone case: the "approximation" is exact.
+  const ApproximationError error =
+      analysis->GammaApproximationError(5e-3, 100e-3, 48);
+  EXPECT_LT(error.max_relative_error, 1e-9);
+}
+
+}  // namespace
+}  // namespace zonestream::core

@@ -1,0 +1,238 @@
+#include "disk/disk_geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+#include "numeric/random.h"
+
+namespace zonestream::disk {
+namespace {
+
+DiskParameters TestParams() {
+  DiskParameters params;
+  params.cylinders = 6720;
+  params.zones = 15;
+  params.rotation_time_s = 8.34e-3;
+  params.innermost_track_bytes = 58368.0;
+  params.outermost_track_bytes = 95744.0;
+  return params;
+}
+
+TEST(DiskGeometryTest, RejectsInvalidParameters) {
+  DiskParameters params = TestParams();
+  params.cylinders = 0;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+
+  params = TestParams();
+  params.zones = 0;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+
+  params = TestParams();
+  params.zones = params.cylinders + 1;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+
+  params = TestParams();
+  params.rotation_time_s = 0.0;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+
+  params = TestParams();
+  params.innermost_track_bytes = -1.0;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+
+  params = TestParams();
+  params.outermost_track_bytes = params.innermost_track_bytes - 1.0;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+
+  params = TestParams();
+  params.zones = 1;  // single-zone with C_min != C_max is contradictory
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+}
+
+TEST(DiskGeometryTest, LinearCapacityRamp) {
+  const DiskGeometry geometry = QuantumViking2100();
+  // Eq. (3.2.2): C_i = C_min + (C_max - C_min)(i-1)/(Z-1), 1-based i.
+  EXPECT_DOUBLE_EQ(geometry.TrackCapacity(0), 58368.0);
+  EXPECT_DOUBLE_EQ(geometry.TrackCapacity(14), 95744.0);
+  const double step = (95744.0 - 58368.0) / 14.0;
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_NEAR(geometry.TrackCapacity(i), 58368.0 + step * i, 1e-9);
+  }
+}
+
+TEST(DiskGeometryTest, TransferRatesFollowRotation) {
+  const DiskGeometry geometry = QuantumViking2100();
+  for (int i = 0; i < geometry.num_zones(); ++i) {
+    EXPECT_NEAR(geometry.TransferRate(i),
+                geometry.TrackCapacity(i) / 8.34e-3, 1e-6);
+  }
+  // The Viking's outer/inner rate ratio is about 1.64.
+  EXPECT_NEAR(geometry.MaxTransferRate() / geometry.MinTransferRate(),
+              95744.0 / 58368.0, 1e-12);
+}
+
+TEST(DiskGeometryTest, ZonesPartitionCylinders) {
+  const DiskGeometry geometry = QuantumViking2100();
+  int total = 0;
+  int next_first = 0;
+  for (const ZoneInfo& zone : geometry.zones()) {
+    EXPECT_EQ(zone.first_cylinder, next_first);
+    next_first += zone.num_cylinders;
+    total += zone.num_cylinders;
+    EXPECT_EQ(zone.num_cylinders, 6720 / 15);  // divides evenly
+  }
+  EXPECT_EQ(total, 6720);
+}
+
+TEST(DiskGeometryTest, CylinderRemainderDistributed) {
+  DiskParameters params = TestParams();
+  params.cylinders = 100;
+  params.zones = 3;
+  const auto geometry = DiskGeometry::Create(params);
+  ASSERT_TRUE(geometry.ok());
+  EXPECT_EQ(geometry->zone(0).num_cylinders, 34);
+  EXPECT_EQ(geometry->zone(1).num_cylinders, 33);
+  EXPECT_EQ(geometry->zone(2).num_cylinders, 33);
+}
+
+TEST(DiskGeometryTest, HitProbabilitiesSumToOneAndSkewOutward) {
+  const DiskGeometry geometry = QuantumViking2100();
+  double sum = 0.0;
+  double prev = 0.0;
+  for (const ZoneInfo& zone : geometry.zones()) {
+    EXPECT_GT(zone.hit_probability, prev);  // outer zones more likely
+    prev = zone.hit_probability;
+    sum += zone.hit_probability;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DiskGeometryTest, RateCdfMatchesEquation321) {
+  const DiskGeometry geometry = QuantumViking2100();
+  // Eq. (3.2.1): P[R <= R_i] = sum_{j<=i} C_j / C.
+  double cumulative = 0.0;
+  double c_total = 0.0;
+  for (int i = 0; i < geometry.num_zones(); ++i) {
+    c_total += geometry.TrackCapacity(i);
+  }
+  for (int i = 0; i < geometry.num_zones(); ++i) {
+    cumulative += geometry.TrackCapacity(i) / c_total;
+    EXPECT_NEAR(geometry.RateCdfAtZone(i), cumulative, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(geometry.RateCdfAtZone(geometry.num_zones() - 1), 1.0);
+}
+
+TEST(DiskGeometryTest, ZoneOfCylinderRoundTrips) {
+  const DiskGeometry geometry = QuantumViking2100();
+  for (const ZoneInfo& zone : geometry.zones()) {
+    EXPECT_EQ(geometry.ZoneOfCylinder(zone.first_cylinder).index, zone.index);
+    EXPECT_EQ(geometry
+                  .ZoneOfCylinder(zone.first_cylinder + zone.num_cylinders - 1)
+                  .index,
+              zone.index);
+  }
+}
+
+TEST(DiskGeometryTest, InverseRateMomentsKnownValues) {
+  const DiskGeometry geometry = QuantumViking2100();
+  // E[1/R] = sum_i (C_i/C) * ROT/C_i = Z*ROT/C.
+  const double c_total = geometry.TotalTrackCapacity();
+  EXPECT_NEAR(geometry.InverseRateMoment(1), 15.0 * 8.34e-3 / c_total, 1e-18);
+  // E[1/R^2] = (ROT^2/C) * sum_i 1/C_i.
+  double inv_sum = 0.0;
+  for (int i = 0; i < 15; ++i) inv_sum += 1.0 / geometry.TrackCapacity(i);
+  EXPECT_NEAR(geometry.InverseRateMoment(2),
+              8.34e-3 * 8.34e-3 / c_total * inv_sum, 1e-22);
+}
+
+TEST(DiskGeometryTest, MeanTransferRateIsCapacityWeighted) {
+  const DiskGeometry geometry = QuantumViking2100();
+  // Capacity weighting favors fast zones, so the mean exceeds the simple
+  // average of min and max.
+  const double simple_average =
+      0.5 * (geometry.MinTransferRate() + geometry.MaxTransferRate());
+  EXPECT_GT(geometry.MeanTransferRate(), simple_average);
+}
+
+TEST(DiskGeometryTest, TransferTimeScalesWithSizeAndZone) {
+  const DiskGeometry geometry = QuantumViking2100();
+  const double inner = geometry.TransferTime(200e3, 0);
+  const double outer = geometry.TransferTime(200e3, 14);
+  EXPECT_GT(inner, outer);
+  EXPECT_NEAR(inner, 200e3 / (58368.0 / 8.34e-3), 1e-9);
+  EXPECT_DOUBLE_EQ(geometry.TransferTime(0.0, 0), 0.0);
+}
+
+TEST(DiskGeometryTest, SampleUniformPositionMatchesHitDistribution) {
+  const DiskGeometry geometry = QuantumViking2100();
+  numeric::Rng rng(99);
+  std::vector<int> zone_counts(geometry.num_zones(), 0);
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) {
+    const DiskPosition position = geometry.SampleUniformPosition(&rng);
+    ASSERT_GE(position.zone, 0);
+    ASSERT_LT(position.zone, geometry.num_zones());
+    ASSERT_GE(position.cylinder, geometry.zone(position.zone).first_cylinder);
+    ASSERT_LT(position.cylinder, geometry.zone(position.zone).first_cylinder +
+                                     geometry.zone(position.zone).num_cylinders);
+    EXPECT_DOUBLE_EQ(position.transfer_rate_bps,
+                     geometry.TransferRate(position.zone));
+    ++zone_counts[position.zone];
+  }
+  for (int i = 0; i < geometry.num_zones(); ++i) {
+    const double observed = static_cast<double>(zone_counts[i]) / kSamples;
+    EXPECT_NEAR(observed, geometry.zone(i).hit_probability, 0.002) << i;
+  }
+}
+
+TEST(DiskGeometryTest, HeadSwitchFoldsIntoEffectiveRate) {
+  DiskParameters params = TestParams();
+  params.head_switch_time_s = 1e-3;
+  const auto geometry = DiskGeometry::Create(params);
+  ASSERT_TRUE(geometry.ok());
+  for (int i = 0; i < geometry->num_zones(); ++i) {
+    EXPECT_NEAR(geometry->TransferRate(i),
+                geometry->TrackCapacity(i) / (8.34e-3 + 1e-3), 1e-6)
+        << i;
+  }
+  // Effective rates drop, so per-byte time rises relative to ths = 0.
+  const DiskGeometry clean = QuantumViking2100();
+  EXPECT_GT(geometry->InverseRateMoment(1), clean.InverseRateMoment(1));
+  // Negative head switch rejected.
+  params.head_switch_time_s = -1.0;
+  EXPECT_FALSE(DiskGeometry::Create(params).ok());
+}
+
+TEST(DiskGeometryTest, HeadSwitchReducesAdmissionCapacity) {
+  DiskParameters params = TestParams();
+  params.head_switch_time_s = 2e-3;  // deliberately large to force an effect
+  const auto slow = DiskGeometry::Create(params);
+  ASSERT_TRUE(slow.ok());
+  // Mean transfer time grows by the rate reduction factor; the hit
+  // probability skew is unchanged (it depends only on capacities).
+  const DiskGeometry clean = QuantumViking2100();
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(slow->zone(i).hit_probability,
+                     clean.zone(i).hit_probability);
+  }
+  EXPECT_NEAR(slow->InverseRateMoment(1) / clean.InverseRateMoment(1),
+              (8.34e-3 + 2e-3) / 8.34e-3, 1e-12);
+}
+
+TEST(DiskGeometryTest, SingleZoneDegenerate) {
+  DiskParameters params;
+  params.cylinders = 1000;
+  params.zones = 1;
+  params.rotation_time_s = 0.01;
+  params.innermost_track_bytes = 50000.0;
+  params.outermost_track_bytes = 50000.0;
+  const auto geometry = DiskGeometry::Create(params);
+  ASSERT_TRUE(geometry.ok());
+  EXPECT_DOUBLE_EQ(geometry->MinTransferRate(), geometry->MaxTransferRate());
+  EXPECT_DOUBLE_EQ(geometry->zone(0).hit_probability, 1.0);
+  EXPECT_DOUBLE_EQ(geometry->MeanTransferRate(), 50000.0 / 0.01);
+}
+
+}  // namespace
+}  // namespace zonestream::disk

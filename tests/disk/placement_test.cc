@@ -1,0 +1,137 @@
+#include "disk/placement.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+#include "numeric/random.h"
+
+namespace zonestream::disk {
+namespace {
+
+TEST(PlacementTest, CreateValidation) {
+  const DiskGeometry viking = QuantumViking2100();
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kOuterZones;
+  config.outer_zone_count = 0;
+  EXPECT_FALSE(PlacementModel::Create(viking, config).ok());
+  config.outer_zone_count = 16;  // > Z
+  EXPECT_FALSE(PlacementModel::Create(viking, config).ok());
+  config.outer_zone_count = 15;
+  EXPECT_TRUE(PlacementModel::Create(viking, config).ok());
+}
+
+TEST(PlacementTest, UniformMatchesGeometry) {
+  const DiskGeometry viking = QuantumViking2100();
+  auto placement = PlacementModel::Create(viking, PlacementConfig{});
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->rates().size(), 15u);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(placement->probabilities()[i],
+                     viking.zone(i).hit_probability);
+    EXPECT_DOUBLE_EQ(placement->rates()[i], viking.TransferRate(i));
+  }
+  EXPECT_NEAR(placement->InverseRateMoment(1), viking.InverseRateMoment(1),
+              1e-18);
+  EXPECT_DOUBLE_EQ(placement->usable_capacity_fraction(), 1.0);
+}
+
+TEST(PlacementTest, OuterZonesRestrictsSupportAndRaisesRate) {
+  const DiskGeometry viking = QuantumViking2100();
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kOuterZones;
+  config.outer_zone_count = 5;
+  auto placement = PlacementModel::Create(viking, config);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->rates().size(), 5u);
+  // All rates come from the outermost 5 zones.
+  for (double rate : placement->rates()) {
+    EXPECT_GE(rate, viking.TransferRate(10));
+  }
+  // Mean 1/R drops (faster service).
+  EXPECT_LT(placement->InverseRateMoment(1), viking.InverseRateMoment(1));
+  // Usable capacity shrinks to the outer-5 share (> 5/15 because outer
+  // tracks hold more).
+  EXPECT_GT(placement->usable_capacity_fraction(), 5.0 / 15.0);
+  EXPECT_LT(placement->usable_capacity_fraction(), 0.5);
+  // Probabilities sum to 1.
+  double sum = 0.0;
+  for (double p : placement->probabilities()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PlacementTest, TrackPairingCollapsesRateVariance) {
+  const DiskGeometry viking = QuantumViking2100();
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kTrackPairing;
+  auto placement = PlacementModel::Create(viking, config);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->rates().size(), 8u);  // ceil(15/2) pairs
+
+  // Variance of 1/R: pairing must reduce it by a large factor.
+  const double uniform_var =
+      viking.InverseRateMoment(2) -
+      viking.InverseRateMoment(1) * viking.InverseRateMoment(1);
+  const double paired_var =
+      placement->InverseRateMoment(2) -
+      placement->InverseRateMoment(1) * placement->InverseRateMoment(1);
+  EXPECT_LT(paired_var, uniform_var / 20.0);
+  EXPECT_DOUBLE_EQ(placement->usable_capacity_fraction(), 1.0);
+}
+
+TEST(PlacementTest, TrackPairingEffectiveRatesAreHarmonicMeans) {
+  const DiskGeometry viking = QuantumViking2100();
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kTrackPairing;
+  auto placement = PlacementModel::Create(viking, config);
+  ASSERT_TRUE(placement.ok());
+  const double r0 = viking.TransferRate(0);
+  const double r14 = viking.TransferRate(14);
+  EXPECT_NEAR(placement->rates()[0], 2.0 / (1.0 / r0 + 1.0 / r14), 1e-9);
+  // The middle zone (index 7) pairs with itself.
+  EXPECT_NEAR(placement->rates()[7], viking.TransferRate(7), 1e-9);
+}
+
+TEST(PlacementTest, SamplePositionsFollowTheMixture) {
+  const DiskGeometry viking = QuantumViking2100();
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kOuterZones;
+  config.outer_zone_count = 3;
+  auto placement = PlacementModel::Create(viking, config);
+  ASSERT_TRUE(placement.ok());
+  numeric::Rng rng(8);
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    const DiskPosition position = placement->SamplePosition(viking, &rng);
+    ASSERT_GE(position.zone, 12);
+    ASSERT_LT(position.zone, 15);
+    ASSERT_GE(position.cylinder, viking.zone(12).first_cylinder);
+    ++counts[position.zone - 12];
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples,
+                placement->probabilities()[i], 0.01);
+  }
+}
+
+TEST(PlacementTest, EvenZoneCountPairsCleanly) {
+  DiskParameters params = QuantumViking2100Parameters();
+  params.zones = 14;
+  const auto geometry = DiskGeometry::Create(params);
+  ASSERT_TRUE(geometry.ok());
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kTrackPairing;
+  auto placement = PlacementModel::Create(*geometry, config);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->rates().size(), 7u);
+  // All pairs equally likely (constant pair capacity under a linear ramp).
+  for (double p : placement->probabilities()) {
+    EXPECT_NEAR(p, 1.0 / 7.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::disk

@@ -1,0 +1,54 @@
+#include "disk/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace zonestream::disk {
+namespace {
+
+TEST(PresetsTest, QuantumVikingMatchesTable1) {
+  const DiskParameters params = QuantumViking2100Parameters();
+  EXPECT_EQ(params.cylinders, 6720);
+  EXPECT_EQ(params.zones, 15);
+  EXPECT_DOUBLE_EQ(params.rotation_time_s, 8.34e-3);
+  EXPECT_DOUBLE_EQ(params.innermost_track_bytes, 58368.0);
+  EXPECT_DOUBLE_EQ(params.outermost_track_bytes, 95744.0);
+}
+
+TEST(PresetsTest, QuantumVikingSeekMatchesTable1) {
+  const SeekParameters params = QuantumViking2100SeekParameters();
+  EXPECT_DOUBLE_EQ(params.sqrt_intercept_s, 1.867e-3);
+  EXPECT_DOUBLE_EQ(params.sqrt_coefficient, 1.315e-4);
+  EXPECT_DOUBLE_EQ(params.linear_intercept_s, 3.8635e-3);
+  EXPECT_DOUBLE_EQ(params.linear_coefficient, 2.1e-6);
+  EXPECT_EQ(params.threshold_cylinders, 1344);
+}
+
+TEST(PresetsTest, GeometryFactoriesSucceed) {
+  const DiskGeometry viking = QuantumViking2100();
+  EXPECT_EQ(viking.num_zones(), 15);
+  const SeekTimeModel seek = QuantumViking2100Seek();
+  EXPECT_GT(seek.SeekTime(100.0), 0.0);
+}
+
+TEST(PresetsTest, SingleZoneVikingHasMeanTrackCapacity) {
+  const DiskGeometry single = SingleZoneViking();
+  EXPECT_EQ(single.num_zones(), 1);
+  EXPECT_DOUBLE_EQ(single.TrackCapacity(0), 77056.0);
+  EXPECT_EQ(single.cylinders(), 6720);
+  EXPECT_DOUBLE_EQ(single.rotation_time(), 8.34e-3);
+}
+
+TEST(PresetsTest, SingleZoneVikingMatchesMultiZoneMeanTransferTime) {
+  // Elegant cancellation: with capacity-proportional zone hits,
+  // E[1/R] = sum_i (C_i/C)(ROT/C_i) = Z·ROT/C = ROT/C_mean — exactly the
+  // single-zone stand-in's 1/R. The two geometries share the mean transfer
+  // time; only the multi-zone variance differs.
+  const DiskGeometry single = SingleZoneViking();
+  const DiskGeometry multi = QuantumViking2100();
+  EXPECT_NEAR(single.InverseRateMoment(1), multi.InverseRateMoment(1), 1e-18);
+  // The second moment does NOT cancel: the mixture is strictly wider.
+  EXPECT_GT(multi.InverseRateMoment(2), single.InverseRateMoment(2));
+}
+
+}  // namespace
+}  // namespace zonestream::disk

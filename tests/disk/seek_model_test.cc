@@ -1,0 +1,70 @@
+#include "disk/seek_model.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::disk {
+namespace {
+
+TEST(SeekModelTest, RejectsInvalidParameters) {
+  SeekParameters params = QuantumViking2100SeekParameters();
+  params.sqrt_coefficient = -1.0;
+  EXPECT_FALSE(SeekTimeModel::Create(params).ok());
+
+  params = QuantumViking2100SeekParameters();
+  params.threshold_cylinders = 0;
+  EXPECT_FALSE(SeekTimeModel::Create(params).ok());
+
+  params = QuantumViking2100SeekParameters();
+  params.sqrt_coefficient = 0.0;
+  params.linear_coefficient = 0.0;
+  EXPECT_FALSE(SeekTimeModel::Create(params).ok());
+}
+
+TEST(SeekModelTest, ZeroDistanceIsFree) {
+  const SeekTimeModel model = QuantumViking2100Seek();
+  EXPECT_DOUBLE_EQ(model.SeekTime(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.SeekTime(-5.0), 0.0);
+}
+
+TEST(SeekModelTest, SqrtRegimeBelowThreshold) {
+  const SeekTimeModel model = QuantumViking2100Seek();
+  // Table 1: seek(d) = 1.867e-3 + 1.315e-4 sqrt(d) for d < 1344.
+  EXPECT_NEAR(model.SeekTime(100.0), 1.867e-3 + 1.315e-4 * 10.0, 1e-12);
+  EXPECT_NEAR(model.SeekTime(1.0), 1.867e-3 + 1.315e-4, 1e-12);
+}
+
+TEST(SeekModelTest, LinearRegimeAtAndAboveThreshold) {
+  const SeekTimeModel model = QuantumViking2100Seek();
+  EXPECT_NEAR(model.SeekTime(1344.0), 3.8635e-3 + 2.1e-6 * 1344.0, 1e-12);
+  EXPECT_NEAR(model.SeekTime(6000.0), 3.8635e-3 + 2.1e-6 * 6000.0, 1e-12);
+}
+
+TEST(SeekModelTest, RegimesRoughlyContinuousAtThreshold) {
+  // The Viking's two regimes nearly agree at d = 1344 (by construction of
+  // the fit); verify the jump is tiny so the model is physically sane.
+  const SeekTimeModel model = QuantumViking2100Seek();
+  const double below = model.SeekTime(1343.999);
+  const double at = model.SeekTime(1344.0);
+  EXPECT_NEAR(below, at, 1e-4);
+}
+
+TEST(SeekModelTest, MonotoneInDistance) {
+  const SeekTimeModel model = QuantumViking2100Seek();
+  double prev = 0.0;
+  for (double d = 1.0; d <= 6720.0; d += 13.0) {
+    const double s = model.SeekTime(d);
+    EXPECT_GT(s, prev * 0.999999) << d;  // non-decreasing
+    prev = s;
+  }
+}
+
+TEST(SeekModelTest, PaperMaxSeekIs18ms) {
+  // §4: T_seek^max = 18 ms for the full stroke of 6720 cylinders.
+  const SeekTimeModel model = QuantumViking2100Seek();
+  EXPECT_NEAR(model.MaxSeekTime(6720), 18e-3, 0.1e-3);
+}
+
+}  // namespace
+}  // namespace zonestream::disk

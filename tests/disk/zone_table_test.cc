@@ -1,0 +1,144 @@
+// Tests for explicit (measured) zone tables — the path real drives take
+// into the model, where the paper's linear capacity ramp is only an
+// approximation.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "disk/disk_geometry.h"
+#include "disk/presets.h"
+#include "numeric/random.h"
+
+namespace zonestream::disk {
+namespace {
+
+constexpr double kRot = 8.34e-3;
+
+std::vector<ZoneSpec> LinearLikeTable() {
+  // The Viking's linear ramp expressed as an explicit table.
+  std::vector<ZoneSpec> zones;
+  for (int i = 0; i < 15; ++i) {
+    zones.push_back(ZoneSpec{448, 58368.0 + (95744.0 - 58368.0) * i / 14.0});
+  }
+  return zones;
+}
+
+std::vector<ZoneSpec> RealisticTable() {
+  // A non-linear table with unequal cylinder counts, as real drives have
+  // (more cylinders in the middle zones, capacity plateaus).
+  return {
+      {300, 58368.0}, {500, 60000.0}, {700, 64000.0},  {900, 64000.0},
+      {900, 72000.0}, {900, 80000.0}, {800, 86000.0},  {700, 90000.0},
+      {600, 94000.0}, {420, 95744.0},
+  };
+}
+
+TEST(ZoneTableTest, Validation) {
+  EXPECT_FALSE(DiskGeometry::CreateFromZoneTable({}, kRot).ok());
+  EXPECT_FALSE(
+      DiskGeometry::CreateFromZoneTable({{0, 50000.0}}, kRot).ok());
+  EXPECT_FALSE(
+      DiskGeometry::CreateFromZoneTable({{100, 0.0}}, kRot).ok());
+  EXPECT_FALSE(
+      DiskGeometry::CreateFromZoneTable({{100, 50000.0}}, 0.0).ok());
+  // Decreasing capacity outward.
+  EXPECT_FALSE(DiskGeometry::CreateFromZoneTable(
+                   {{100, 60000.0}, {100, 50000.0}}, kRot)
+                   .ok());
+}
+
+TEST(ZoneTableTest, LinearTableMatchesLinearFactory) {
+  const auto explicit_geometry =
+      DiskGeometry::CreateFromZoneTable(LinearLikeTable(), kRot);
+  ASSERT_TRUE(explicit_geometry.ok());
+  const DiskGeometry linear = QuantumViking2100();
+  ASSERT_EQ(explicit_geometry->num_zones(), linear.num_zones());
+  EXPECT_EQ(explicit_geometry->cylinders(), linear.cylinders());
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_NEAR(explicit_geometry->TrackCapacity(i), linear.TrackCapacity(i),
+                1e-9);
+    // Equal cylinders per zone: hit probabilities coincide.
+    EXPECT_NEAR(explicit_geometry->zone(i).hit_probability,
+                linear.zone(i).hit_probability, 1e-12);
+  }
+  EXPECT_NEAR(explicit_geometry->InverseRateMoment(1),
+              linear.InverseRateMoment(1), 1e-18);
+  EXPECT_NEAR(explicit_geometry->InverseRateMoment(2),
+              linear.InverseRateMoment(2), 1e-22);
+}
+
+TEST(ZoneTableTest, HitProbabilitiesWeightByStoredBytes) {
+  const auto geometry =
+      DiskGeometry::CreateFromZoneTable(RealisticTable(), kRot);
+  ASSERT_TRUE(geometry.ok());
+  double sum = 0.0;
+  double expected_total = 0.0;
+  for (const ZoneSpec& spec : RealisticTable()) {
+    expected_total += spec.track_capacity_bytes * spec.num_cylinders;
+  }
+  const auto table = RealisticTable();
+  for (int i = 0; i < geometry->num_zones(); ++i) {
+    const double expected = table[i].track_capacity_bytes *
+                            table[i].num_cylinders / expected_total;
+    EXPECT_NEAR(geometry->zone(i).hit_probability, expected, 1e-12) << i;
+    sum += geometry->zone(i).hit_probability;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZoneTableTest, UnequalCylinderSpansMapCorrectly) {
+  const auto geometry =
+      DiskGeometry::CreateFromZoneTable(RealisticTable(), kRot);
+  ASSERT_TRUE(geometry.ok());
+  EXPECT_EQ(geometry->cylinders(), 6720);
+  EXPECT_EQ(geometry->ZoneOfCylinder(0).index, 0);
+  EXPECT_EQ(geometry->ZoneOfCylinder(299).index, 0);
+  EXPECT_EQ(geometry->ZoneOfCylinder(300).index, 1);
+  EXPECT_EQ(geometry->ZoneOfCylinder(6719).index, 9);
+}
+
+TEST(ZoneTableTest, SamplingFollowsByteWeights) {
+  const auto geometry =
+      DiskGeometry::CreateFromZoneTable(RealisticTable(), kRot);
+  ASSERT_TRUE(geometry.ok());
+  numeric::Rng rng(66);
+  std::vector<int> counts(geometry->num_zones(), 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[geometry->SampleUniformPosition(&rng).zone];
+  }
+  for (int i = 0; i < geometry->num_zones(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples,
+                geometry->zone(i).hit_probability, 0.005)
+        << i;
+  }
+}
+
+TEST(ZoneTableTest, LinearRampApproximationErrorIsSmallForAdmission) {
+  // How much does the paper's linear-ramp assumption matter? Run the
+  // admission pipeline on the realistic non-linear table and on its
+  // linear C_min..C_max approximation: N_max should differ by at most one
+  // stream for this table.
+  const auto realistic =
+      DiskGeometry::CreateFromZoneTable(RealisticTable(), kRot);
+  ASSERT_TRUE(realistic.ok());
+  const SeekTimeModel seek = QuantumViking2100Seek();
+  auto realistic_model = core::ServiceTimeModel::ForMultiZoneDisk(
+      *realistic, seek, 200e3, 1e10);
+  ASSERT_TRUE(realistic_model.ok());
+  const int realistic_nmax =
+      core::MaxStreamsByLateProbability(*realistic_model, 1.0, 0.01);
+
+  const DiskGeometry linear = QuantumViking2100();
+  auto linear_model =
+      core::ServiceTimeModel::ForMultiZoneDisk(linear, seek, 200e3, 1e10);
+  const int linear_nmax =
+      core::MaxStreamsByLateProbability(*linear_model, 1.0, 0.01);
+  EXPECT_NEAR(realistic_nmax, linear_nmax, 1.0);
+}
+
+}  // namespace
+}  // namespace zonestream::disk

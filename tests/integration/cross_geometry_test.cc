@@ -1,0 +1,148 @@
+// Cross-geometry property sweep: the model's guarantees must hold for any
+// reasonable disk, not just the paper's Quantum Viking — parameterized
+// over three geometries and two workload intensities.
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/glitch_model.h"
+#include "core/saddlepoint.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "sched/oyang_bound.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream {
+namespace {
+
+struct GeometryCase {
+  std::string name;
+  disk::DiskGeometry geometry;
+  disk::SeekTimeModel seek;
+};
+
+struct WorkloadCase {
+  std::string name;
+  double mean_bytes;
+  double stddev_bytes;
+};
+
+std::vector<GeometryCase> Geometries() {
+  return {
+      {"viking", disk::QuantumViking2100(), disk::QuantumViking2100Seek()},
+      {"small", disk::SyntheticSmallDisk(), disk::SyntheticSmallDiskSeek()},
+      {"fast", disk::SyntheticFastDisk(), disk::SyntheticFastDiskSeek()},
+  };
+}
+
+std::vector<WorkloadCase> Workloads() {
+  return {
+      {"video200k", 200e3, 100e3},
+      {"video64k", 64e3, 40e3},
+  };
+}
+
+class CrossGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  GeometryCase geometry_case_ = Geometries()[std::get<0>(GetParam())];
+  WorkloadCase workload_case_ = Workloads()[std::get<1>(GetParam())];
+
+  core::ServiceTimeModel Model() const {
+    auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+        geometry_case_.geometry, geometry_case_.seek,
+        workload_case_.mean_bytes,
+        workload_case_.stddev_bytes * workload_case_.stddev_bytes);
+    ZS_CHECK(model.ok());
+    return *std::move(model);
+  }
+};
+
+TEST_P(CrossGeometryTest, AdmissionLimitIsPositiveAndFinite) {
+  const core::ServiceTimeModel model = Model();
+  const int n_max = core::MaxStreamsByLateProbability(model, 1.0, 0.01);
+  EXPECT_GT(n_max, 0) << geometry_case_.name << "/" << workload_case_.name;
+  EXPECT_LT(n_max, 2000);
+}
+
+TEST_P(CrossGeometryTest, BoundConservativeAtAndAboveAdmissionLimit) {
+  const core::ServiceTimeModel model = Model();
+  const int n_max = core::MaxStreamsByLateProbability(model, 1.0, 0.01);
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(
+          workload_case_.mean_bytes,
+          workload_case_.stddev_bytes * workload_case_.stddev_bytes));
+  for (int n : {n_max, n_max + 2}) {
+    sim::SimulatorConfig config;
+    config.round_length_s = 1.0;
+    config.seed = 500 + n;
+    auto simulator = sim::RoundSimulator::Create(
+        geometry_case_.geometry, geometry_case_.seek, n,
+        sim::RoundSimulator::IidFactory(sizes), config);
+    ASSERT_TRUE(simulator.ok());
+    const sim::ProbabilityEstimate simulated =
+        simulator->EstimateLateProbability(8000);
+    EXPECT_GE(model.LateBound(n, 1.0).bound, simulated.ci_lower)
+        << geometry_case_.name << "/" << workload_case_.name << " N=" << n;
+  }
+}
+
+TEST_P(CrossGeometryTest, OyangBoundDominatesSampledSweeps) {
+  numeric::Rng rng(9);
+  const int n = 20;
+  const double bound = sched::OyangSeekBound(
+      geometry_case_.seek, geometry_case_.geometry.cylinders(), n);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> cylinders(n);
+    for (int& c : cylinders) {
+      c = geometry_case_.geometry.SampleUniformPosition(&rng).cylinder;
+    }
+    std::sort(cylinders.begin(), cylinders.end());
+    EXPECT_LE(sched::TotalSeekTimeOfSweep(geometry_case_.seek, cylinders, 0),
+              bound + 1e-12);
+  }
+}
+
+TEST_P(CrossGeometryTest, GlitchBoundDoesNotExceedLateBound) {
+  const core::ServiceTimeModel model = Model();
+  const core::GlitchModel glitch_model(&model);
+  const int n_max = core::MaxStreamsByLateProbability(model, 1.0, 0.01);
+  for (int n : {n_max / 2 + 1, n_max, n_max + 3}) {
+    EXPECT_LE(glitch_model.GlitchBoundPerRound(n, 1.0),
+              model.LateBound(n, 1.0).bound + 1e-12)
+        << n;
+  }
+}
+
+TEST_P(CrossGeometryTest, SaddlepointBelowChernoff) {
+  const core::ServiceTimeModel model = Model();
+  const int n_max = core::MaxStreamsByLateProbability(model, 1.0, 0.01);
+  for (int n : {n_max, n_max + 2}) {
+    const double saddle =
+        core::SaddlepointLateProbability(model, n, 1.0).probability;
+    EXPECT_LE(saddle, model.LateBound(n, 1.0).bound) << n;
+  }
+}
+
+TEST_P(CrossGeometryTest, LongerRoundsAdmitMoreStreams) {
+  const core::ServiceTimeModel model = Model();
+  EXPECT_GT(core::MaxStreamsByLateProbability(model, 2.0, 0.01),
+            core::MaxStreamsByLateProbability(model, 1.0, 0.01));
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
+  return Geometries()[std::get<0>(param_info.param)].name + "_" +
+         Workloads()[std::get<1>(param_info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossGeometryTest,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 2)),
+                         CaseName);
+
+}  // namespace
+}  // namespace zonestream

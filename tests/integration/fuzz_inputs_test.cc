@@ -1,0 +1,121 @@
+// Robustness fuzzing of every text-input surface: randomized garbage must
+// produce a clean Status (never a crash) and valid inputs embedded in
+// noise must round-trip. Deterministic seeds keep failures reproducible.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "numeric/random.h"
+#include "server/server_config.h"
+#include "workload/trace_io.h"
+
+namespace zonestream {
+namespace {
+
+// Random printable-ish string including newlines and the syntax
+// characters the parsers care about.
+std::string RandomText(numeric::Rng* rng, int length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 \t=#;[]().,-+eE\n\n\n";
+  std::string text;
+  text.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    text.push_back(
+        kAlphabet[rng->UniformIndex(sizeof(kAlphabet) - 1)]);
+  }
+  return text;
+}
+
+TEST(FuzzTest, ParseIniNeverCrashes) {
+  numeric::Rng rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = RandomText(&rng, 1 + rng.UniformIndex(300));
+    const auto result = server::ParseIni(text);
+    if (result.ok()) {
+      // Whatever parsed must be internally consistent: no empty keys.
+      for (const auto& [section, entries] : *result) {
+        for (const auto& [key, value] : entries) {
+          EXPECT_FALSE(key.empty());
+          EXPECT_FALSE(value.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, ParseServerSpecNeverCrashes) {
+  numeric::Rng rng(202);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string text = RandomText(&rng, 1 + rng.UniformIndex(400));
+    (void)server::ParseServerSpec(text);  // must not crash or abort
+  }
+}
+
+TEST(FuzzTest, ParseServerSpecSurvivesMutatedTemplate) {
+  // Single-character mutations of a valid config: parse must either
+  // succeed or fail cleanly, and success must still yield a plannable
+  // spec.
+  numeric::Rng rng(303);
+  const std::string base = server::DefaultConfigTemplate();
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    const size_t pos = rng.UniformIndex(mutated.size());
+    mutated[pos] =
+        "abcdefghijklmnopqrstuvwxyz0123456789=#;[]"[rng.UniformIndex(41)];
+    const auto spec = server::ParseServerSpec(mutated);
+    if (spec.ok()) {
+      (void)server::BuildServerPlan(*spec);
+    }
+  }
+}
+
+TEST(FuzzTest, ParseSizeTraceNeverCrashes) {
+  numeric::Rng rng(404);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = RandomText(&rng, 1 + rng.UniformIndex(200));
+    const auto result = workload::ParseSizeTrace(text);
+    if (result.ok()) {
+      for (double value : *result) EXPECT_GT(value, 0.0);
+    }
+  }
+}
+
+TEST(FuzzTest, ValidTraceAmongNoiseLines) {
+  // Comments and blank lines interleaved with valid entries always parse.
+  numeric::Rng rng(505);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    int entries = 0;
+    for (int line = 0; line < 20; ++line) {
+      switch (rng.UniformIndex(3)) {
+        case 0: {
+          std::string comment = RandomText(&rng, 10);
+          for (char& c : comment) {
+            if (c == '\n') c = ' ';  // keep the comment on one line
+          }
+          text += "# " + comment;
+          text += '\n';
+          break;
+        }
+        case 1:
+          text += "\n";
+          break;
+        default:
+          text += std::to_string(1 + rng.UniformIndex(1000000));
+          text += '\n';
+          ++entries;
+          break;
+      }
+    }
+    const auto result = workload::ParseSizeTrace(text);
+    if (entries > 0) {
+      ASSERT_TRUE(result.ok()) << text;
+      EXPECT_EQ(static_cast<int>(result->size()), entries);
+    } else {
+      EXPECT_FALSE(result.ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zonestream

@@ -1,0 +1,128 @@
+// Integration tests crossing the analytic model with the detailed
+// simulator — the paper's §4 validation in test form. The key property is
+// CONSERVATIVENESS: the Chernoff-based bounds must dominate the simulated
+// probabilities at every multiprogramming level, while staying close
+// enough to be useful (within a few streams of the simulated capacity).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/glitch_model.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream {
+namespace {
+
+std::shared_ptr<const workload::GammaSizeDistribution> Table1Sizes() {
+  return std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 100e3 * 100e3));
+}
+
+core::ServiceTimeModel Table1Model() {
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ZS_CHECK(model.ok());
+  return *std::move(model);
+}
+
+sim::RoundSimulator MakeSimulator(int n, uint64_t seed) {
+  sim::SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = seed;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      sim::RoundSimulator::IidFactory(Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+class LateBoundConservativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LateBoundConservativeTest, AnalyticBoundDominatesSimulation) {
+  const int n = GetParam();
+  const core::ServiceTimeModel model = Table1Model();
+  const double bound = model.LateBound(n, 1.0).bound;
+  sim::RoundSimulator simulator = MakeSimulator(n, 1000 + n);
+  const sim::ProbabilityEstimate simulated =
+      simulator.EstimateLateProbability(30000);
+  // Figure 1's property: the model is conservative. Compare the bound with
+  // the *lower* end of the confidence interval to be robust to noise.
+  EXPECT_GE(bound, simulated.ci_lower)
+      << "N=" << n << " bound=" << bound << " simulated=" << simulated.point;
+}
+
+INSTANTIATE_TEST_SUITE_P(MultiprogrammingLevels, LateBoundConservativeTest,
+                         ::testing::Values(20, 24, 26, 28, 30, 32));
+
+TEST(ModelVsSimulationTest, SimulatedCapacityWithinTwoToFourStreamsOfModel) {
+  // §4: analytic N_max = 26 vs simulated capacity 28 for p_late <= 1%. The
+  // model must under-admit by a small margin only.
+  const core::ServiceTimeModel model = Table1Model();
+  const int analytic = core::MaxStreamsByLateProbability(model, 1.0, 0.01);
+  // Find the simulated capacity: largest N with simulated p_late <= 0.01.
+  int simulated_capacity = analytic;
+  for (int n = analytic; n <= analytic + 6; ++n) {
+    sim::RoundSimulator simulator = MakeSimulator(n, 2000 + n);
+    if (simulator.EstimateLateProbability(20000).point <= 0.01) {
+      simulated_capacity = n;
+    } else {
+      break;
+    }
+  }
+  EXPECT_GE(simulated_capacity, analytic);       // conservative
+  EXPECT_LE(simulated_capacity, analytic + 4);   // but close (paper: +2)
+}
+
+TEST(ModelVsSimulationTest, GlitchBoundDominatesSimulatedGlitchRate) {
+  const core::ServiceTimeModel model = Table1Model();
+  const core::GlitchModel glitch_model(&model);
+  for (int n : {26, 29}) {
+    const double bound = glitch_model.GlitchBoundPerRound(n, 1.0);
+    sim::RoundSimulator simulator = MakeSimulator(n, 3000 + n);
+    const sim::ProbabilityEstimate simulated =
+        simulator.EstimateGlitchProbability(30000);
+    EXPECT_GE(bound, simulated.ci_lower) << n;
+  }
+}
+
+TEST(ModelVsSimulationTest, Table2ErrorProbabilityOrdering) {
+  // Scaled-down Table 2: with M = 120 rounds and g = 2 tolerated glitches
+  // (the same 1.7%-ish regime, affordable in a unit test), the analytic
+  // p_error bound dominates the simulated frequency at and above N_max.
+  const core::ServiceTimeModel model = Table1Model();
+  const core::GlitchModel glitch_model(&model);
+  const int n = 29;
+  const int m = 120;
+  const int g = 2;
+  const double analytic = glitch_model.ErrorBound(n, 1.0, m, g);
+  sim::RoundSimulator simulator = MakeSimulator(n, 4000);
+  const sim::ProbabilityEstimate simulated =
+      simulator.EstimateErrorProbability(m, g, /*lifetimes=*/60);
+  EXPECT_GE(analytic, simulated.ci_lower);
+}
+
+TEST(ModelVsSimulationTest, SingleZoneModelValidAgainstSingleZoneSim) {
+  // The §3.1 conventional-disk model vs a simulator on the single-zone
+  // stand-in geometry.
+  auto model = core::ServiceTimeModel::ForConventionalDisk(
+      disk::SingleZoneViking(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ASSERT_TRUE(model.ok());
+  const int n = 27;
+  sim::SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = 77;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::SingleZoneViking(), disk::QuantumViking2100Seek(), n,
+      sim::RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(simulator.ok());
+  const sim::ProbabilityEstimate simulated =
+      simulator->EstimateLateProbability(30000);
+  EXPECT_GE(model->LateBound(n, 1.0).bound, simulated.ci_lower);
+}
+
+}  // namespace
+}  // namespace zonestream

@@ -1,0 +1,79 @@
+#include "numeric/optimize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace zonestream::numeric {
+namespace {
+
+TEST(GoldenSectionTest, Quadratic) {
+  const auto f = [](double x) { return (x - 2.0) * (x - 2.0) + 1.0; };
+  const MinimizeResult result = GoldenSectionMinimize(f, -10.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.0, 1e-7);
+  EXPECT_NEAR(result.value, 1.0, 1e-12);
+}
+
+TEST(BrentTest, Quadratic) {
+  const auto f = [](double x) { return (x - 2.0) * (x - 2.0) + 1.0; };
+  const MinimizeResult result = BrentMinimize(f, -10.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.0, 1e-7);
+  EXPECT_NEAR(result.value, 1.0, 1e-12);
+}
+
+TEST(BrentTest, AsymmetricConvexFunction) {
+  // Chernoff-exponent-shaped function: -theta*t + c/(1-theta) style.
+  const auto f = [](double x) { return -3.0 * x - std::log1p(-x) * 5.0; };
+  // f'(x) = -3 + 5/(1-x) = 0 => x = 1 - 5/3 < 0... pick different constants:
+  // f(x) = -10x - 2 log(1-x); f'(x) = -10 + 2/(1-x) = 0 => x = 0.8.
+  const auto g = [](double x) { return -10.0 * x - 2.0 * std::log1p(-x); };
+  const MinimizeResult result = BrentMinimize(g, 0.0, 1.0 - 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 0.8, 1e-8);
+  (void)f;
+}
+
+TEST(BrentTest, MinimumAtEdgeOfInterval) {
+  // Monotone increasing: minimum pinned at the left edge.
+  const auto f = [](double x) { return x; };
+  const MinimizeResult result = BrentMinimize(f, 1.0, 5.0);
+  EXPECT_LT(result.x, 1.001);
+}
+
+TEST(BrentTest, FewerEvaluationsThanGolden) {
+  int brent_evals = 0;
+  int golden_evals = 0;
+  const auto brent_f = [&brent_evals](double x) {
+    ++brent_evals;
+    return std::cosh(x - 1.3);
+  };
+  const auto golden_f = [&golden_evals](double x) {
+    ++golden_evals;
+    return std::cosh(x - 1.3);
+  };
+  BrentMinimize(brent_f, -5.0, 5.0);
+  GoldenSectionMinimize(golden_f, -5.0, 5.0);
+  EXPECT_LT(brent_evals, golden_evals);
+}
+
+class UnimodalRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnimodalRecoveryTest, BothMinimizersFindTheMinimum) {
+  const double center = GetParam();
+  const auto f = [center](double x) {
+    return std::pow(x - center, 4) + 0.5 * (x - center) * (x - center);
+  };
+  const MinimizeResult brent = BrentMinimize(f, center - 7.0, center + 3.0);
+  const MinimizeResult golden =
+      GoldenSectionMinimize(f, center - 7.0, center + 3.0);
+  EXPECT_NEAR(brent.x, center, 1e-5);
+  EXPECT_NEAR(golden.x, center, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Centers, UnimodalRecoveryTest,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.7, 2.5, 40.0));
+
+}  // namespace
+}  // namespace zonestream::numeric

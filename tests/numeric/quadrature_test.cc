@@ -1,0 +1,84 @@
+#include "numeric/quadrature.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace zonestream::numeric {
+namespace {
+
+TEST(AdaptiveSimpsonTest, Polynomial) {
+  // ∫_0^1 x^3 dx = 1/4 (Simpson is exact for cubics).
+  const IntegrateResult result =
+      AdaptiveSimpson([](double x) { return x * x * x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 0.25, 1e-12);
+}
+
+TEST(AdaptiveSimpsonTest, EmptyInterval) {
+  const IntegrateResult result =
+      AdaptiveSimpson([](double x) { return x; }, 2.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(AdaptiveSimpsonTest, Exponential) {
+  const IntegrateResult result =
+      AdaptiveSimpson([](double x) { return std::exp(x); }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, std::exp(2.0) - 1.0, 1e-9);
+}
+
+TEST(AdaptiveSimpsonTest, PeakedIntegrand) {
+  // Narrow Gaussian bump inside a wide interval: adaptivity must find it.
+  const auto f = [](double x) {
+    return std::exp(-500.0 * (x - 0.37) * (x - 0.37));
+  };
+  const IntegrateResult result = AdaptiveSimpson(f, 0.0, 10.0, 1e-12, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, std::sqrt(M_PI / 500.0), 1e-8);
+}
+
+class GaussLegendreOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussLegendreOrderTest, ExactForMatchingPolynomialDegree) {
+  const int order = GetParam();
+  // Exact for degree 2*order - 1; test with degree 2*order - 1 monomial.
+  const int degree = 2 * order - 1;
+  const auto f = [degree](double x) { return std::pow(x, degree); };
+  // ∫_0^1 x^d dx = 1/(d+1).
+  EXPECT_NEAR(GaussLegendre(f, 0.0, 1.0, order), 1.0 / (degree + 1), 1e-12);
+}
+
+TEST_P(GaussLegendreOrderTest, SineIntegral) {
+  const int order = GetParam();
+  EXPECT_NEAR(GaussLegendre([](double x) { return std::sin(x); }, 0.0, M_PI,
+                            order),
+              2.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreOrderTest,
+                         ::testing::Values(8, 16, 32));
+
+TEST(CompositeGaussLegendreTest, MatchesAnalyticGammaDensityIntegral) {
+  // ∫_0^∞ gamma-density = 1; truncate far into the tail.
+  const double shape = 4.0;
+  const double scale = 50.0;
+  const auto density = [shape, scale](double x) {
+    return std::exp((shape - 1.0) * std::log(x) - x / scale -
+                    shape * std::log(scale) - std::lgamma(shape));
+  };
+  const double integral =
+      CompositeGaussLegendre(density, 1e-9, 4000.0, /*segments=*/64);
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(CompositeGaussLegendreTest, AgreesWithAdaptiveSimpson) {
+  const auto f = [](double x) { return std::exp(-x) * std::cos(3.0 * x); };
+  const double composite = CompositeGaussLegendre(f, 0.0, 8.0, 16);
+  const double simpson = AdaptiveSimpson(f, 0.0, 8.0).value;
+  EXPECT_NEAR(composite, simpson, 1e-9);
+}
+
+}  // namespace
+}  // namespace zonestream::numeric

@@ -1,0 +1,126 @@
+#include "numeric/random.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numeric/statistics.h"
+
+namespace zonestream::numeric {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, Uniform01MomentsAndRange) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.Uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.Add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.Uniform(2.0, 6.0);
+    ASSERT_GE(u, 2.0);
+    ASSERT_LT(u, 6.0);
+    stats.Add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 16.0 / 12.0, 0.03);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.UniformIndex(5)];
+  for (int count : counts) EXPECT_GT(count, 800);
+}
+
+TEST(RngTest, GammaMoments) {
+  Rng rng(13);
+  const double shape = 4.0;
+  const double scale = 50e3;
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) stats.Add(rng.Gamma(shape, scale));
+  EXPECT_NEAR(stats.mean(), shape * scale, 0.01 * shape * scale);
+  EXPECT_NEAR(stats.variance(), shape * scale * scale,
+              0.05 * shape * scale * scale);
+}
+
+TEST(RngTest, GammaByMomentsMatchesRequestedMoments) {
+  Rng rng(17);
+  const double mean = 200e3;
+  const double variance = 100e3 * 100e3;
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) stats.Add(rng.GammaByMoments(mean, variance));
+  EXPECT_NEAR(stats.mean(), mean, 0.01 * mean);
+  EXPECT_NEAR(stats.variance(), variance, 0.05 * variance);
+}
+
+TEST(RngTest, LognormalByMomentsMatchesRequestedMoments) {
+  Rng rng(19);
+  const double mean = 200e3;
+  const double variance = 100e3 * 100e3;
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) {
+    stats.Add(rng.LognormalByMoments(mean, variance));
+  }
+  EXPECT_NEAR(stats.mean(), mean, 0.01 * mean);
+  EXPECT_NEAR(stats.variance(), variance, 0.08 * variance);
+}
+
+TEST(RngTest, TruncatedParetoSupportAndMean) {
+  Rng rng(23);
+  const double x_min = 100e3;
+  const double alpha = 2.5;
+  const double cap = 1000e3;
+  // Analytic mean of the truncated Pareto.
+  const double norm = 1.0 - std::pow(x_min / cap, alpha);
+  const double mean = alpha * std::pow(x_min, alpha) / norm *
+                      (std::pow(cap, 1.0 - alpha) - std::pow(x_min, 1.0 - alpha)) /
+                      (1.0 - alpha);
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.TruncatedPareto(x_min, alpha, cap);
+    ASSERT_GE(x, x_min);
+    ASSERT_LE(x, cap);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mean, 0.01 * mean);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) stats.Add(rng.Exponential(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.03);
+}
+
+}  // namespace
+}  // namespace zonestream::numeric

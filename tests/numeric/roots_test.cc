@@ -1,0 +1,99 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace zonestream::numeric {
+namespace {
+
+TEST(BisectTest, LinearRoot) {
+  const auto f = [](double x) { return 2.0 * x - 3.0; };
+  const RootResult result = Bisect(f, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1.5, 1e-9);
+}
+
+TEST(BisectTest, ExactEndpointRoot) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_DOUBLE_EQ(Bisect(f, 1.0, 5.0).x, 1.0);
+  EXPECT_DOUBLE_EQ(Bisect(f, -3.0, 1.0).x, 1.0);
+}
+
+TEST(BisectTest, TranscendentalRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const RootResult result = Bisect(f, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 0.7390851332151607, 1e-9);
+}
+
+TEST(NewtonBisectTest, CubicRoot) {
+  const auto f = [](double x) { return x * x * x - 8.0; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  const RootResult result = NewtonBisect(f, df, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.0, 1e-10);
+}
+
+TEST(NewtonBisectTest, FasterThanBisection) {
+  int newton_evals = 0;
+  int bisect_evals = 0;
+  const auto fn = [&newton_evals](double x) {
+    ++newton_evals;
+    return std::expm1(x) - 1.0;
+  };
+  const auto dfn = [](double x) { return std::exp(x); };
+  const auto fb = [&bisect_evals](double x) {
+    ++bisect_evals;
+    return std::expm1(x) - 1.0;
+  };
+  const RootResult newton = NewtonBisect(fn, dfn, -10.0, 10.0);
+  const RootResult bisect = Bisect(fb, -10.0, 10.0);
+  EXPECT_NEAR(newton.x, std::log(2.0), 1e-9);
+  EXPECT_NEAR(bisect.x, std::log(2.0), 1e-8);
+  EXPECT_LT(newton.iterations, bisect.iterations);
+}
+
+TEST(NewtonBisectTest, SurvivesFlatDerivative) {
+  // f'(0) == 0: Newton would divide by zero; the safeguard bisects instead.
+  const auto f = [](double x) { return x * x * x; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  const RootResult result = NewtonBisect(f, df, -1.0, 2.0);
+  EXPECT_NEAR(result.x, 0.0, 1e-5);
+}
+
+TEST(BracketRootTest, ExpandsToFindSignChange) {
+  const auto f = [](double x) { return x - 100.0; };
+  double lo = 0.0;
+  double hi = 1.0;
+  EXPECT_TRUE(BracketRoot(f, &lo, &hi));
+  EXPECT_LE(f(lo) * f(hi), 0.0);
+}
+
+TEST(BracketRootTest, FailsWhenNoRootExists) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  double lo = -1.0;
+  double hi = 1.0;
+  EXPECT_FALSE(BracketRoot(f, &lo, &hi, /*max_expansions=*/10));
+}
+
+class PolynomialRootTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolynomialRootTest, FindsShiftedRoot) {
+  const double root = GetParam();
+  const auto f = [root](double x) { return (x - root) * ((x - root) * (x - root) + 1.0); };
+  const auto df = [root](double x) {
+    const double d = x - root;
+    return 3.0 * d * d + 1.0;
+  };
+  const RootResult bisect = Bisect(f, root - 13.7, root + 9.1);
+  const RootResult newton = NewtonBisect(f, df, root - 13.7, root + 9.1);
+  EXPECT_NEAR(bisect.x, root, 1e-8);
+  EXPECT_NEAR(newton.x, root, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, PolynomialRootTest,
+                         ::testing::Values(-25.0, -1.0, 0.0, 0.3, 7.0, 120.0));
+
+}  // namespace
+}  // namespace zonestream::numeric

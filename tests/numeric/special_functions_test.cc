@@ -1,0 +1,109 @@
+#include "numeric/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace zonestream::numeric {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-10);
+}
+
+TEST(LogGammaTest, HalfIntegerValue) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.3, 1.0, 4.0, 25.0}) {
+    for (double x : {0.1, 1.0, 4.0, 30.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ShapeOneIsExponential) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.01, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaTest, KnownValueShapeFour) {
+  // P(4, 4) = 1 - e^{-4}(1 + 4 + 8 + 32/3).
+  const double expected = 1.0 - std::exp(-4.0) * (1.0 + 4.0 + 8.0 + 32.0 / 3.0);
+  EXPECT_NEAR(RegularizedGammaP(4.0, 4.0), expected, 1e-12);
+}
+
+TEST(RegularizedGammaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    const double p = RegularizedGammaP(3.5, x);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+class InverseGammaRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverseGammaRoundTripTest, InvertsCdf) {
+  const double a = GetParam();
+  for (double p : {1e-6, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999999}) {
+    const double x = InverseRegularizedGammaP(a, p);
+    EXPECT_NEAR(RegularizedGammaP(a, x), p, 1e-9)
+        << "a=" << a << " p=" << p << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, InverseGammaRoundTripTest,
+                         ::testing::Values(0.2, 0.5, 1.0, 2.0, 4.0, 10.0,
+                                           50.0, 500.0));
+
+TEST(InverseGammaTest, PaperWorstCasePercentile) {
+  // The paper's T_trans^max uses the 99-percentile of a Gamma with shape 4
+  // (mean 200 KB, sd 100 KB => shape 4, scale 50 KB): about 502 KB.
+  const double shape = 4.0;
+  const double scale = 50e3;
+  const double q99 = scale * InverseRegularizedGammaP(shape, 0.99);
+  EXPECT_NEAR(q99, 502e3, 2e3);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+class NormalQuantileRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTripTest, InvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalQuantileRoundTripTest,
+                         ::testing::Values(1e-10, 1e-6, 0.001, 0.025, 0.2, 0.5,
+                                           0.8, 0.975, 0.999, 1.0 - 1e-6));
+
+TEST(NormalQuantileTest, Symmetry) {
+  for (double p : {0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::numeric

@@ -1,0 +1,111 @@
+#include "sched/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::sched {
+namespace {
+
+DiskRequest MakeRequest(int stream, int cylinder, double bytes = 100e3,
+                        double rot = 0.004, double rate = 9e6) {
+  DiskRequest request;
+  request.stream_id = stream;
+  request.cylinder = cylinder;
+  request.bytes = bytes;
+  request.rotational_latency_s = rot;
+  request.transfer_rate_bps = rate;
+  return request;
+}
+
+TEST(SortForScanTest, AscendingOrdersByCylinder) {
+  std::vector<DiskRequest> requests = {MakeRequest(0, 500), MakeRequest(1, 10),
+                                       MakeRequest(2, 300)};
+  SortForScan(&requests, SweepDirection::kAscending);
+  EXPECT_EQ(requests[0].cylinder, 10);
+  EXPECT_EQ(requests[1].cylinder, 300);
+  EXPECT_EQ(requests[2].cylinder, 500);
+}
+
+TEST(SortForScanTest, DescendingOrdersByCylinder) {
+  std::vector<DiskRequest> requests = {MakeRequest(0, 500), MakeRequest(1, 10),
+                                       MakeRequest(2, 300)};
+  SortForScan(&requests, SweepDirection::kDescending);
+  EXPECT_EQ(requests[0].cylinder, 500);
+  EXPECT_EQ(requests[1].cylinder, 300);
+  EXPECT_EQ(requests[2].cylinder, 10);
+}
+
+TEST(SortForScanTest, StableForEqualCylinders) {
+  std::vector<DiskRequest> requests = {MakeRequest(7, 100), MakeRequest(8, 100),
+                                       MakeRequest(9, 100)};
+  SortForScan(&requests, SweepDirection::kAscending);
+  EXPECT_EQ(requests[0].stream_id, 7);
+  EXPECT_EQ(requests[1].stream_id, 8);
+  EXPECT_EQ(requests[2].stream_id, 9);
+}
+
+TEST(ExecuteScanRoundTest, EmptyRound) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const RoundTiming timing = ExecuteScanRound(seek, {}, 42);
+  EXPECT_DOUBLE_EQ(timing.total_service_time_s, 0.0);
+  EXPECT_EQ(timing.final_arm_cylinder, 42);
+  EXPECT_TRUE(timing.per_request.empty());
+}
+
+TEST(ExecuteScanRoundTest, SingleRequestComponents) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  std::vector<DiskRequest> requests = {
+      MakeRequest(3, 100, /*bytes=*/90e3, /*rot=*/0.002, /*rate=*/9e6)};
+  const RoundTiming timing = ExecuteScanRound(seek, requests, 0);
+  ASSERT_EQ(timing.per_request.size(), 1u);
+  const RequestTiming& rt = timing.per_request[0];
+  EXPECT_EQ(rt.stream_id, 3);
+  EXPECT_DOUBLE_EQ(rt.seek_s, seek.SeekTime(100.0));
+  EXPECT_DOUBLE_EQ(rt.rotation_s, 0.002);
+  EXPECT_DOUBLE_EQ(rt.transfer_s, 0.01);
+  EXPECT_DOUBLE_EQ(rt.completion_s,
+                   seek.SeekTime(100.0) + 0.002 + 0.01);
+  EXPECT_DOUBLE_EQ(timing.total_service_time_s, rt.completion_s);
+  EXPECT_EQ(timing.final_arm_cylinder, 100);
+}
+
+TEST(ExecuteScanRoundTest, CompletionTimesAreCumulative) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  std::vector<DiskRequest> requests = {MakeRequest(0, 100),
+                                       MakeRequest(1, 2000),
+                                       MakeRequest(2, 6000)};
+  const RoundTiming timing = ExecuteScanRound(seek, requests, 0);
+  ASSERT_EQ(timing.per_request.size(), 3u);
+  EXPECT_LT(timing.per_request[0].completion_s,
+            timing.per_request[1].completion_s);
+  EXPECT_LT(timing.per_request[1].completion_s,
+            timing.per_request[2].completion_s);
+  EXPECT_DOUBLE_EQ(timing.per_request[2].completion_s,
+                   timing.total_service_time_s);
+  // Seek distances: 100, 1900, 4000 from start 0.
+  EXPECT_DOUBLE_EQ(timing.per_request[1].seek_s, seek.SeekTime(1900.0));
+  EXPECT_DOUBLE_EQ(timing.per_request[2].seek_s, seek.SeekTime(4000.0));
+}
+
+TEST(ExecuteScanRoundTest, ColocatedRequestPaysNoSeek) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  std::vector<DiskRequest> requests = {MakeRequest(0, 100),
+                                       MakeRequest(1, 100)};
+  const RoundTiming timing = ExecuteScanRound(seek, requests, 100);
+  EXPECT_DOUBLE_EQ(timing.per_request[0].seek_s, 0.0);
+  EXPECT_DOUBLE_EQ(timing.per_request[1].seek_s, 0.0);
+}
+
+TEST(ExecuteScanRoundTest, DescendingSweepFromOuterEdge) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  std::vector<DiskRequest> requests = {MakeRequest(0, 6000),
+                                       MakeRequest(1, 100)};
+  const RoundTiming timing = ExecuteScanRound(seek, requests, 6719);
+  EXPECT_DOUBLE_EQ(timing.per_request[0].seek_s, seek.SeekTime(719.0));
+  EXPECT_DOUBLE_EQ(timing.per_request[1].seek_s, seek.SeekTime(5900.0));
+  EXPECT_EQ(timing.final_arm_cylinder, 100);
+}
+
+}  // namespace
+}  // namespace zonestream::sched

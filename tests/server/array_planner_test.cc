@@ -1,0 +1,76 @@
+#include "server/array_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::server {
+namespace {
+
+DiskGroup VikingGroup(int count) {
+  return DiskGroup{"viking", disk::QuantumViking2100Parameters(),
+                   disk::QuantumViking2100SeekParameters(), count};
+}
+
+DiskGroup SmallGroup(int count) {
+  return DiskGroup{"small", disk::SyntheticSmallDiskParameters(),
+                   disk::SyntheticSmallDiskSeekParameters(), count};
+}
+
+DiskGroup FastGroup(int count) {
+  return DiskGroup{"fast", disk::SyntheticFastDiskParameters(),
+                   disk::SyntheticFastDiskSeekParameters(), count};
+}
+
+TEST(ArrayPlannerTest, Validation) {
+  EXPECT_FALSE(PlanArray({}, 200e3, 1e10, ArrayQos{}).ok());
+  EXPECT_FALSE(PlanArray({VikingGroup(0)}, 200e3, 1e10, ArrayQos{}).ok());
+  ArrayQos bad;
+  bad.late_tolerance = 0.0;
+  EXPECT_FALSE(PlanArray({VikingGroup(2)}, 200e3, 1e10, bad).ok());
+}
+
+TEST(ArrayPlannerTest, HomogeneousArrayStrategiesCoincide) {
+  const auto plan = PlanArray({VikingGroup(4)}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->per_disk_limits.size(), 1u);
+  EXPECT_EQ(plan->per_disk_limits[0], 26);  // the paper's N_max
+  EXPECT_EQ(plan->striped_capacity, 4 * 26);
+  EXPECT_EQ(plan->partitioned_capacity, 4 * 26);
+}
+
+TEST(ArrayPlannerTest, MixedArrayPartitioningWins) {
+  // 4 Vikings + 4 slow drives: striping caps every disk at the slow
+  // drives' limit, partitioning recovers the Vikings' full capacity.
+  const auto plan = PlanArray({VikingGroup(4), SmallGroup(4)}, 200e3, 1e10,
+                              ArrayQos{});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->per_disk_limits.size(), 2u);
+  const int viking = plan->per_disk_limits[0];
+  const int small = plan->per_disk_limits[1];
+  EXPECT_GT(viking, small);
+  EXPECT_EQ(plan->striped_capacity, 8 * small);
+  EXPECT_EQ(plan->partitioned_capacity, 4 * viking + 4 * small);
+  EXPECT_GT(plan->partitioned_capacity, plan->striped_capacity);
+}
+
+TEST(ArrayPlannerTest, FastDisksDominateLimits) {
+  const auto plan = PlanArray({SmallGroup(1), VikingGroup(1), FastGroup(1)},
+                              200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->per_disk_limits[0], plan->per_disk_limits[1]);
+  EXPECT_LT(plan->per_disk_limits[1], plan->per_disk_limits[2]);
+}
+
+TEST(ArrayPlannerTest, ToleranceTightensCapacity) {
+  ArrayQos strict;
+  strict.late_tolerance = 0.0001;
+  const auto loose = PlanArray({VikingGroup(2)}, 200e3, 1e10, ArrayQos{});
+  const auto tight = PlanArray({VikingGroup(2)}, 200e3, 1e10, strict);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(tight->partitioned_capacity, loose->partitioned_capacity);
+}
+
+}  // namespace
+}  // namespace zonestream::server

@@ -1,0 +1,143 @@
+#include "server/multiclass_server.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+
+namespace zonestream::server {
+namespace {
+
+std::shared_ptr<const core::MultiClassServiceModel> VideoAudioModel() {
+  auto model = core::MultiClassServiceModel::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      {{"video", 200e3, 100e3 * 100e3}, {"audio", 16e3, 4e3 * 4e3}});
+  ZS_CHECK(model.ok());
+  return std::make_shared<core::MultiClassServiceModel>(*std::move(model));
+}
+
+MultiClassMediaServer MakeServer(int disks, uint64_t seed = 42,
+                                 double delta = 0.01) {
+  MultiClassServerConfig config;
+  config.num_disks = disks;
+  config.round_length_s = 1.0;
+  config.late_tolerance = delta;
+  config.seed = seed;
+  auto server = MultiClassMediaServer::Create(disk::QuantumViking2100(),
+                                              disk::QuantumViking2100Seek(),
+                                              VideoAudioModel(), config);
+  ZS_CHECK(server.ok());
+  return *std::move(server);
+}
+
+TEST(MultiClassServerTest, CreateValidation) {
+  MultiClassServerConfig config;
+  EXPECT_FALSE(MultiClassMediaServer::Create(disk::QuantumViking2100(),
+                                             disk::QuantumViking2100Seek(),
+                                             nullptr, config)
+                   .ok());
+  config.num_disks = 0;
+  EXPECT_FALSE(MultiClassMediaServer::Create(disk::QuantumViking2100(),
+                                             disk::QuantumViking2100Seek(),
+                                             VideoAudioModel(), config)
+                   .ok());
+  config.num_disks = 1;
+  config.late_tolerance = 0.0;
+  EXPECT_FALSE(MultiClassMediaServer::Create(disk::QuantumViking2100(),
+                                             disk::QuantumViking2100Seek(),
+                                             VideoAudioModel(), config)
+                   .ok());
+}
+
+TEST(MultiClassServerTest, RejectsUnknownClass) {
+  MultiClassMediaServer server = MakeServer(1);
+  EXPECT_FALSE(server.OpenStream(-1).ok());
+  EXPECT_FALSE(server.OpenStream(2).ok());
+}
+
+TEST(MultiClassServerTest, SingleDiskVideoCapacityMatchesModel) {
+  // Pure video on one disk: admission must stop at the model's solo
+  // capacity (26 at 1%).
+  MultiClassMediaServer server = MakeServer(1);
+  int admitted = 0;
+  while (server.OpenStream(/*class_index=*/0).ok()) ++admitted;
+  EXPECT_EQ(admitted, 26);
+}
+
+TEST(MultiClassServerTest, AudioFitsAfterVideoRejection) {
+  // Once video is full, lighter audio streams still fit (the frontier is
+  // not a simple stream count).
+  MultiClassMediaServer server = MakeServer(1);
+  while (server.OpenStream(0).ok()) {
+  }
+  EXPECT_TRUE(server.OpenStream(1).ok());
+  EXPECT_TRUE(server.OpenStream(1).ok());
+}
+
+TEST(MultiClassServerTest, MixedAdmissionBalancesPhases) {
+  MultiClassMediaServer server = MakeServer(4, 7);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(server.OpenStream(i % 2).ok());
+  }
+  // 20 video + 20 audio over 4 phases: each phase holds ~5 of each.
+  for (int p = 0; p < 4; ++p) {
+    const core::ClassCounts& mix = server.phase_mix(p);
+    EXPECT_EQ(mix[0] + mix[1], 10);
+  }
+  EXPECT_EQ(server.active_streams_of_class(0), 20);
+  EXPECT_EQ(server.active_streams_of_class(1), 20);
+}
+
+TEST(MultiClassServerTest, CloseFreesCapacityForClass) {
+  MultiClassMediaServer server = MakeServer(1);
+  std::vector<int> videos;
+  while (true) {
+    auto id = server.OpenStream(0);
+    if (!id.ok()) break;
+    videos.push_back(*id);
+  }
+  ASSERT_TRUE(server.CloseStream(videos.back()).ok());
+  EXPECT_TRUE(server.OpenStream(0).ok());
+}
+
+TEST(MultiClassServerTest, AdmittedMixDeliversQoS) {
+  // Fill a 2-disk server with an alternating mix and run 600 rounds: the
+  // per-phase admission keeps every disk within the 1% tolerance, so the
+  // overall glitch rate stays well under it.
+  MultiClassMediaServer server = MakeServer(2, 11);
+  int cls = 0;
+  while (server.OpenStream(cls).ok()) cls = 1 - cls;
+  ASSERT_GT(server.active_streams(), 30);
+  server.RunRounds(600);
+  const ServerStats stats = server.GetServerStats();
+  const double glitch_rate =
+      static_cast<double>(stats.glitches) /
+      (stats.fragments_served + stats.glitches);
+  EXPECT_LT(glitch_rate, 0.01);
+  EXPECT_GT(stats.fragments_served, 0);
+}
+
+TEST(MultiClassServerTest, StrictToleranceAdmitsFewer) {
+  MultiClassMediaServer loose = MakeServer(1, 3, 0.05);
+  MultiClassMediaServer strict = MakeServer(1, 3, 0.0001);
+  int loose_count = 0;
+  while (loose.OpenStream(0).ok()) ++loose_count;
+  int strict_count = 0;
+  while (strict.OpenStream(0).ok()) ++strict_count;
+  EXPECT_GT(loose_count, strict_count);
+}
+
+TEST(MultiClassServerTest, StreamStatsTracked) {
+  MultiClassMediaServer server = MakeServer(1, 5);
+  const auto id = server.OpenStream(1);
+  ASSERT_TRUE(id.ok());
+  server.RunRounds(20);
+  const auto stats = server.GetStreamStats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rounds_served, 20);
+  EXPECT_FALSE(server.GetStreamStats(999).ok());
+}
+
+}  // namespace
+}  // namespace zonestream::server

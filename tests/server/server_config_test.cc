@@ -1,0 +1,152 @@
+#include "server/server_config.h"
+
+#include <gtest/gtest.h>
+
+namespace zonestream::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseIni
+
+TEST(ParseIniTest, SectionsKeysCommentsAndTrim) {
+  const auto sections = ParseIni(
+      "# top comment\n"
+      "[disk]\n"
+      "  preset = quantum_viking_2100  ; inline comment\n"
+      "\n"
+      "[qos]\n"
+      "round_s=1.0\n");
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  EXPECT_EQ(sections->at("disk").at("preset"), "quantum_viking_2100");
+  EXPECT_EQ(sections->at("qos").at("round_s"), "1.0");
+}
+
+TEST(ParseIniTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseIni("[unterminated\nkey = 1\n").ok());
+  EXPECT_FALSE(ParseIni("key_without_section = 1\n").ok());
+  EXPECT_FALSE(ParseIni("[s]\nno_equals_sign\n").ok());
+  EXPECT_FALSE(ParseIni("[s]\nkey =\n").ok());  // empty value
+  EXPECT_FALSE(ParseIni("[s]\nk = 1\nk = 2\n").ok());  // duplicate
+}
+
+TEST(ParseIniTest, ErrorsCarryLineNumbers) {
+  const auto result = ParseIni("[s]\nok = 1\nbroken line\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParseIniTest, AllowsEmptySections) {
+  const auto sections = ParseIni("[empty]\n[other]\nk = v\n");
+  ASSERT_TRUE(sections.ok());
+  EXPECT_TRUE(sections->at("empty").empty());
+}
+
+// ---------------------------------------------------------------------------
+// ParseServerSpec / BuildServerPlan
+
+TEST(ServerSpecTest, DefaultTemplateParsesAndPlans) {
+  const auto spec = ParseServerSpec(DefaultConfigTemplate());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->disk_parameters.cylinders, 6720);
+  EXPECT_DOUBLE_EQ(spec->fragment_mean_bytes, 200e3);
+  EXPECT_EQ(spec->num_disks, 4);
+  EXPECT_EQ(spec->criterion, core::AdmissionCriterion::kGlitchRate);
+
+  const auto plan = BuildServerPlan(*spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->streams_per_disk, 28);  // the paper's N_max^perror
+  EXPECT_EQ(plan->total_streams, 112);
+  EXPECT_GT(plan->late_bound_at_limit, 0.0);
+}
+
+TEST(ServerSpecTest, LateProbabilityCriterion) {
+  std::string config = DefaultConfigTemplate();
+  const size_t pos = config.find("criterion = glitch_rate");
+  ASSERT_NE(pos, std::string::npos);
+  config.replace(pos, std::string("criterion = glitch_rate").size(),
+                 "criterion = late_probability");
+  const auto spec = ParseServerSpec(config);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto plan = BuildServerPlan(*spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->streams_per_disk, 26);  // the paper's N_max^plate
+}
+
+TEST(ServerSpecTest, ExplicitDiskDescription) {
+  const auto spec = ParseServerSpec(
+      "[disk]\n"
+      "cylinders = 6720\n"
+      "zones = 15\n"
+      "rotation_ms = 8.34\n"
+      "track_min_bytes = 58368\n"
+      "track_max_bytes = 95744\n"
+      "seek_sqrt_intercept_ms = 1.867\n"
+      "seek_sqrt_coeff = 1.315e-4\n"
+      "seek_lin_intercept_ms = 3.8635\n"
+      "seek_lin_coeff = 2.1e-6\n"
+      "seek_threshold_cyl = 1344\n"
+      "[workload]\n"
+      "fragment_mean_kb = 200\n"
+      "fragment_stddev_kb = 100\n"
+      "[qos]\n"
+      "round_s = 1.0\n"
+      "criterion = late_probability\n"
+      "tolerance = 0.01\n"
+      "[server]\n"
+      "disks = 1\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto plan = BuildServerPlan(*spec);
+  ASSERT_TRUE(plan.ok());
+  // Identical to the preset: must reproduce the paper's 26.
+  EXPECT_EQ(plan->streams_per_disk, 26);
+}
+
+TEST(ServerSpecTest, AllPresetsAccepted) {
+  for (const char* preset :
+       {"quantum_viking_2100", "synthetic_small", "synthetic_fast"}) {
+    std::string config = DefaultConfigTemplate();
+    const size_t pos = config.find("preset = quantum_viking_2100");
+    config.replace(pos, std::string("preset = quantum_viking_2100").size(),
+                   std::string("preset = ") + preset);
+    EXPECT_TRUE(ParseServerSpec(config).ok()) << preset;
+  }
+}
+
+TEST(ServerSpecTest, RejectsBadValues) {
+  const auto replace = [](const std::string& from, const std::string& to) {
+    std::string config = DefaultConfigTemplate();
+    const size_t pos = config.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    config.replace(pos, from.size(), to);
+    return config;
+  };
+  EXPECT_FALSE(ParseServerSpec(replace("preset = quantum_viking_2100",
+                                       "preset = floppy"))
+                   .ok());
+  EXPECT_FALSE(ParseServerSpec(replace("fragment_mean_kb = 200",
+                                       "fragment_mean_kb = -5"))
+                   .ok());
+  EXPECT_FALSE(ParseServerSpec(replace("round_s = 1.0", "round_s = 0")).ok());
+  EXPECT_FALSE(
+      ParseServerSpec(replace("tolerance = 0.01", "tolerance = 1.5")).ok());
+  EXPECT_FALSE(ParseServerSpec(replace("disks = 4", "disks = 0")).ok());
+  EXPECT_FALSE(ParseServerSpec(replace("tolerated_glitches = 12",
+                                       "tolerated_glitches = 2000"))
+                   .ok());
+  EXPECT_FALSE(ParseServerSpec(replace("fragment_stddev_kb = 100",
+                                       "fragment_stddev_kb = lots"))
+                   .ok());
+}
+
+TEST(ServerSpecTest, MissingSectionsReported) {
+  const auto spec = ParseServerSpec("[disk]\npreset = quantum_viking_2100\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("workload"), std::string::npos);
+}
+
+TEST(ServerSpecTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(LoadServerSpec("/nonexistent/zs.conf").ok());
+}
+
+}  // namespace
+}  // namespace zonestream::server

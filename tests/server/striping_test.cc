@@ -1,0 +1,69 @@
+#include "server/striping.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace zonestream::server {
+namespace {
+
+TEST(StripingTest, RoundRobinCycle) {
+  const RoundRobinStriping striping(4);
+  EXPECT_EQ(striping.DiskForFragment(0, 0), 0);
+  EXPECT_EQ(striping.DiskForFragment(0, 1), 1);
+  EXPECT_EQ(striping.DiskForFragment(0, 3), 3);
+  EXPECT_EQ(striping.DiskForFragment(0, 4), 0);
+  EXPECT_EQ(striping.DiskForFragment(2, 3), 1);
+}
+
+TEST(StripingTest, SuccessiveFragmentsOnDifferentDisks) {
+  // §3.3's independence argument requires time-wise successive fragments of
+  // one stream to live on different disks (for D > 1).
+  const RoundRobinStriping striping(5);
+  for (int64_t k = 0; k < 100; ++k) {
+    EXPECT_NE(striping.DiskForFragment(3, k), striping.DiskForFragment(3, k + 1));
+  }
+}
+
+TEST(StripingTest, OneStreamLoadsEachDiskEqually) {
+  const RoundRobinStriping striping(3);
+  std::vector<int> counts(3, 0);
+  for (int64_t k = 0; k < 300; ++k) ++counts[striping.DiskForFragment(1, k)];
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 100);
+}
+
+TEST(StripingTest, StartDisksBalanceAdmittedStreams) {
+  const RoundRobinStriping striping(4);
+  std::vector<int> counts(4, 0);
+  for (int64_t s = 0; s < 40; ++s) ++counts[striping.StartDiskForStream(s)];
+  for (int count : counts) EXPECT_EQ(count, 10);
+}
+
+TEST(StripingTest, BalancedStartsKeepPerRoundLoadBalanced) {
+  // With starts spread modulo D, every round assigns floor/ceil(N/D)
+  // requests per disk.
+  const int disks = 4;
+  const int streams = 10;
+  const RoundRobinStriping striping(disks);
+  for (int64_t round = 0; round < 50; ++round) {
+    std::vector<int> load(disks, 0);
+    for (int s = 0; s < streams; ++s) {
+      ++load[striping.DiskForFragment(striping.StartDiskForStream(s), round)];
+    }
+    for (int l : load) {
+      EXPECT_GE(l, streams / disks);
+      EXPECT_LE(l, (streams + disks - 1) / disks);
+    }
+  }
+}
+
+TEST(StripingTest, SingleDiskDegenerate) {
+  const RoundRobinStriping striping(1);
+  EXPECT_EQ(striping.DiskForFragment(0, 12345), 0);
+  EXPECT_EQ(striping.StartDiskForStream(7), 0);
+}
+
+}  // namespace
+}  // namespace zonestream::server

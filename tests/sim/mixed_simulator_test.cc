@@ -1,0 +1,137 @@
+#include "sim/mixed_simulator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/mixed_workload.h"
+#include "disk/presets.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::sim {
+namespace {
+
+std::shared_ptr<const workload::GammaSizeDistribution> VideoSizes() {
+  return std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 1e10));
+}
+
+std::shared_ptr<const workload::GammaSizeDistribution> WebSizes() {
+  return std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(40e3, 30e3 * 30e3));
+}
+
+MixedRoundSimulator MakeSimulator(int n, double lambda, uint64_t seed = 5) {
+  MixedSimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.discrete_arrival_rate_hz = lambda;
+  config.seed = seed;
+  auto simulator = MixedRoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      VideoSizes(), WebSizes(), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+TEST(MixedSimulatorTest, CreateValidation) {
+  MixedSimulatorConfig config;
+  EXPECT_FALSE(MixedRoundSimulator::Create(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   -1, VideoSizes(), WebSizes(), config)
+                   .ok());
+  EXPECT_FALSE(MixedRoundSimulator::Create(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   5, nullptr, WebSizes(), config)
+                   .ok());
+  config.discrete_arrival_rate_hz = -1.0;
+  EXPECT_FALSE(MixedRoundSimulator::Create(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   5, VideoSizes(), WebSizes(), config)
+                   .ok());
+}
+
+TEST(MixedSimulatorTest, NoDiscreteTrafficMatchesPureContinuous) {
+  MixedRoundSimulator simulator = MakeSimulator(26, 0.0);
+  const MixedRunResult result = simulator.Run(5000);
+  EXPECT_EQ(result.discrete_arrivals, 0);
+  EXPECT_EQ(result.discrete_completed, 0);
+  EXPECT_EQ(result.continuous_requests, 5000 * 26);
+  // N = 26 is the admission point: glitches are rare.
+  EXPECT_LT(result.continuous_glitch_rate, 0.001);
+  EXPECT_GT(result.mean_leftover_s, 0.1);
+}
+
+TEST(MixedSimulatorTest, DiscreteTrafficServedUnderLightLoad) {
+  // 20 continuous streams leave ~300 ms/round; 5 discrete req/s at ~17 ms
+  // each uses ~85 ms — comfortably stable.
+  MixedRoundSimulator simulator = MakeSimulator(20, 5.0);
+  const MixedRunResult result = simulator.Run(4000);
+  EXPECT_GT(result.discrete_completed, 0);
+  // Nearly all arrivals complete (queue stays bounded).
+  EXPECT_GT(static_cast<double>(result.discrete_completed) /
+                result.discrete_arrivals,
+            0.99);
+  EXPECT_NEAR(result.mean_discrete_per_round, 5.0, 0.5);
+  // Response time: at least one service time (arrivals inside the
+  // leftover window can be served almost immediately), far below blowup.
+  EXPECT_GT(result.mean_response_time_s, 0.02);
+  EXPECT_LT(result.mean_response_time_s, 3.0);
+  EXPECT_GE(result.p95_response_time_s, result.mean_response_time_s);
+}
+
+TEST(MixedSimulatorTest, ContinuousQoSUnaffectedByDiscreteLoad) {
+  // Discrete requests only use leftover time, so continuous glitch rates
+  // must not degrade.
+  MixedRoundSimulator quiet = MakeSimulator(26, 0.0, 9);
+  MixedRoundSimulator busy = MakeSimulator(26, 8.0, 9);
+  const MixedRunResult quiet_result = quiet.Run(6000);
+  const MixedRunResult busy_result = busy.Run(6000);
+  EXPECT_NEAR(busy_result.continuous_glitch_rate,
+              quiet_result.continuous_glitch_rate, 5e-4);
+}
+
+TEST(MixedSimulatorTest, OverloadedDiscreteQueueGrows) {
+  // 26 continuous streams leave ~145 ms/round; 20 req/s need ~340 ms —
+  // unstable, the queue must back up.
+  MixedRoundSimulator simulator = MakeSimulator(26, 20.0);
+  const MixedRunResult result = simulator.Run(2000);
+  EXPECT_LT(static_cast<double>(result.discrete_completed) /
+                result.discrete_arrivals,
+            0.8);
+  EXPECT_GT(result.max_queue_depth, 100);
+}
+
+TEST(MixedSimulatorTest, LeftoverMatchesAnalyticModel) {
+  const int n = 22;
+  MixedRoundSimulator simulator = MakeSimulator(n, 0.0, 13);
+  const MixedRunResult result = simulator.Run(8000);
+  auto model = core::MixedWorkloadModel::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10,
+      core::DiscreteWorkload{40e3, 30e3 * 30e3});
+  ASSERT_TRUE(model.ok());
+  // The analytic leftover uses the Oyang seek bound, so it must be a
+  // (slightly pessimistic) lower bound on the simulated leftover.
+  EXPECT_LE(model->ExpectedLeftoverTime(n, 1.0),
+            result.mean_leftover_s + 0.01);
+  // And within the seek bound's slack of the simulation.
+  EXPECT_NEAR(model->ExpectedLeftoverTime(n, 1.0), result.mean_leftover_s,
+              0.08);
+}
+
+TEST(MixedSimulatorTest, ThroughputMatchesAnalyticEstimate) {
+  const int n = 20;
+  const double lambda = 8.0;
+  MixedRoundSimulator simulator = MakeSimulator(n, lambda, 17);
+  const MixedRunResult result = simulator.Run(6000);
+  auto model = core::MixedWorkloadModel::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10,
+      core::DiscreteWorkload{40e3, 30e3 * 30e3});
+  ASSERT_TRUE(model.ok());
+  // Offered load of 8/s is below the analytic capacity, so the simulator
+  // should complete essentially all of it.
+  EXPECT_GT(model->ExpectedDiscreteThroughput(n, 1.0), lambda);
+  EXPECT_NEAR(result.mean_discrete_per_round, lambda, 0.8);
+}
+
+}  // namespace
+}  // namespace zonestream::sim

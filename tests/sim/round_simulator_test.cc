@@ -1,0 +1,259 @@
+#include "sim/round_simulator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "core/transfer_models.h"
+#include "disk/presets.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::sim {
+namespace {
+
+std::shared_ptr<const workload::GammaSizeDistribution> Table1Sizes() {
+  return std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 100e3 * 100e3));
+}
+
+RoundSimulator MakeSimulator(int n, uint64_t seed = 42,
+                             double round_length = 1.0) {
+  SimulatorConfig config;
+  config.round_length_s = round_length;
+  config.seed = seed;
+  auto simulator = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+TEST(RoundSimulatorTest, CreateValidation) {
+  SimulatorConfig config;
+  EXPECT_FALSE(RoundSimulator::Create(disk::QuantumViking2100(),
+                                      disk::QuantumViking2100Seek(), 0,
+                                      RoundSimulator::IidFactory(Table1Sizes()),
+                                      config)
+                   .ok());
+  config.round_length_s = 0.0;
+  EXPECT_FALSE(RoundSimulator::Create(disk::QuantumViking2100(),
+                                      disk::QuantumViking2100Seek(), 5,
+                                      RoundSimulator::IidFactory(Table1Sizes()),
+                                      config)
+                   .ok());
+  config.round_length_s = 1.0;
+  EXPECT_FALSE(RoundSimulator::Create(disk::QuantumViking2100(),
+                                      disk::QuantumViking2100Seek(), 5,
+                                      nullptr, config)
+                   .ok());
+}
+
+TEST(RoundSimulatorTest, RoundOutcomeConsistency) {
+  RoundSimulator simulator = MakeSimulator(26);
+  for (int r = 0; r < 200; ++r) {
+    const RoundOutcome outcome = simulator.RunRound();
+    EXPECT_GT(outcome.total_service_time_s, 0.0);
+    if (!outcome.overran) {
+      EXPECT_TRUE(outcome.glitched_streams.empty());
+    } else {
+      EXPECT_FALSE(outcome.glitched_streams.empty());
+    }
+    for (int stream : outcome.glitched_streams) {
+      EXPECT_GE(stream, 0);
+      EXPECT_LT(stream, 26);
+    }
+  }
+}
+
+TEST(RoundSimulatorTest, DeterministicForSeed) {
+  RoundSimulator a = MakeSimulator(20, 7);
+  RoundSimulator b = MakeSimulator(20, 7);
+  for (int r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(a.RunRound().total_service_time_s,
+                     b.RunRound().total_service_time_s);
+  }
+}
+
+TEST(RoundSimulatorTest, ServiceTimeMomentsMatchAnalyticModel) {
+  // The simulated mean/variance of T_N must sit below the model's mean
+  // (which uses the worst-case Oyang seek) but in the same regime.
+  const int n = 26;
+  RoundSimulator simulator = MakeSimulator(n, 11);
+  const numeric::RunningStats stats = simulator.SampleServiceTimes(20000);
+
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ASSERT_TRUE(model.ok());
+  const core::ServiceTimeMoments moments = model->Moments(n);
+  // Analytic mean uses the seek *bound*, so it dominates the simulated mean.
+  EXPECT_LT(stats.mean(), moments.mean_s);
+  // But the bulk (rotation + transfer) dominates, so they are close.
+  EXPECT_GT(stats.mean(), moments.mean_s - model->SeekBound(n));
+  // Variances agree within sampling error + seek variability.
+  EXPECT_NEAR(stats.variance(), moments.variance_s2,
+              0.2 * moments.variance_s2);
+}
+
+TEST(RoundSimulatorTest, LateProbabilityDropsWithFewerStreams) {
+  const sim::ProbabilityEstimate loaded =
+      MakeSimulator(30, 3).EstimateLateProbability(4000);
+  const sim::ProbabilityEstimate light =
+      MakeSimulator(20, 3).EstimateLateProbability(4000);
+  EXPECT_GT(loaded.point, light.point);
+  EXPECT_LT(light.point, 0.001);
+}
+
+TEST(RoundSimulatorTest, GlitchProbabilityBelowLateProbability) {
+  // A glitchy round usually glitches only a subset of streams, so the
+  // per-stream glitch probability is below the round-late probability.
+  RoundSimulator for_late = MakeSimulator(30, 5);
+  RoundSimulator for_glitch = MakeSimulator(30, 5);
+  const double p_late = for_late.EstimateLateProbability(4000).point;
+  const double p_glitch = for_glitch.EstimateGlitchProbability(4000).point;
+  EXPECT_LT(p_glitch, p_late);
+  EXPECT_GT(p_glitch, 0.0);
+}
+
+TEST(RoundSimulatorTest, ErrorProbabilityBoundsViaGlitchTolerance) {
+  // With g = 0 every stream "exceeds" the tolerance (P[X >= 0] = 1).
+  RoundSimulator simulator = MakeSimulator(10, 9);
+  const ProbabilityEstimate all =
+      simulator.EstimateErrorProbability(/*m=*/10, /*g=*/0, /*lifetimes=*/5);
+  EXPECT_DOUBLE_EQ(all.point, 1.0);
+  // With an unreachable tolerance nobody exceeds it.
+  RoundSimulator simulator2 = MakeSimulator(10, 9);
+  const ProbabilityEstimate none = simulator2.EstimateErrorProbability(
+      /*m=*/10, /*g=*/11, /*lifetimes=*/5);
+  EXPECT_DOUBLE_EQ(none.point, 0.0);
+}
+
+TEST(RoundSimulatorTest, SweepPoliciesBothWork) {
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = 21;
+  config.sweep_policy = SweepPolicy::kResetAscending;
+  auto reset = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(reset.ok());
+  const ProbabilityEstimate p_reset = reset->EstimateLateProbability(4000);
+
+  config.sweep_policy = SweepPolicy::kAlternate;
+  auto alternate = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(alternate.ok());
+  const ProbabilityEstimate p_alt = alternate->EstimateLateProbability(4000);
+
+  // Both policies must be well under the analytic bound at N = 26; the
+  // reset policy pays an extra return seek but stays the same regime.
+  EXPECT_LT(p_reset.point, 0.01);
+  EXPECT_LT(p_alt.point, 0.01);
+}
+
+// --------------------------------------------------------------------------
+// Failure injection (disturbance) tests
+
+RoundSimulator MakeDisturbedSimulator(int n, const DisturbanceConfig& d,
+                                      uint64_t seed) {
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = seed;
+  config.disturbance = d;
+  auto simulator = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+TEST(DisturbanceTest, ZeroProbabilityMatchesClean) {
+  DisturbanceConfig none;
+  RoundSimulator disturbed = MakeDisturbedSimulator(26, none, 41);
+  RoundSimulator clean = MakeSimulator(26, 41);
+  for (int r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(disturbed.RunRound().total_service_time_s,
+                     clean.RunRound().total_service_time_s);
+  }
+}
+
+TEST(DisturbanceTest, ThermalRecalibrationBreaksTheCleanModel) {
+  // A 2% chance of a 50-500 ms recalibration per request adds ~80 ms to
+  // the mean round at N = 26 — enough to push the simulated p_late past
+  // the clean analytic bound: the guarantee only covers the modeled
+  // disk. (This is the negative control for the next test.)
+  DisturbanceConfig tcal;
+  tcal.probability = 0.02;
+  tcal.delay_min_s = 0.05;
+  tcal.delay_max_s = 0.5;
+  RoundSimulator simulator = MakeDisturbedSimulator(26, tcal, 43);
+  const ProbabilityEstimate disturbed =
+      simulator.EstimateLateProbability(15000);
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(disturbed.ci_lower, model->LateBound(26, 1.0).bound);
+}
+
+TEST(DisturbanceTest, MomentInflatedModelRestoresConservativeness) {
+  // Folding the disturbance's two moments into the transfer time re-arms
+  // the bound: D = extra delay with P[D>0] = p, uniform [a, b] when
+  // present. E[D] = p(a+b)/2, E[D^2] = p(a^2+ab+b^2)/3.
+  DisturbanceConfig tcal;
+  tcal.probability = 0.02;
+  tcal.delay_min_s = 0.05;
+  tcal.delay_max_s = 0.5;
+  const double a = tcal.delay_min_s;
+  const double b = tcal.delay_max_s;
+  const double d_mean = tcal.probability * 0.5 * (a + b);
+  const double d_m2 = tcal.probability * (a * a + a * b + b * b) / 3.0;
+  const double d_var = d_m2 - d_mean * d_mean;
+
+  auto clean_transfer = core::GammaTransferModel::ForMultiZone(
+      disk::QuantumViking2100(), 200e3, 1e10);
+  ASSERT_TRUE(clean_transfer.ok());
+  auto inflated = core::ServiceTimeModel::FromTransferMoments(
+      disk::QuantumViking2100Seek(), 6720, 8.34e-3,
+      clean_transfer->mean() + d_mean, clean_transfer->variance() + d_var);
+  ASSERT_TRUE(inflated.ok());
+
+  for (int n : {20, 26}) {
+    RoundSimulator simulator = MakeDisturbedSimulator(n, tcal, 47 + n);
+    const ProbabilityEstimate disturbed =
+        simulator.EstimateLateProbability(15000);
+    EXPECT_GE(inflated->LateBound(n, 1.0).bound, disturbed.ci_lower) << n;
+  }
+}
+
+TEST(DisturbanceTest, InflatedModelAdmitsFewerStreams) {
+  DisturbanceConfig tcal;
+  tcal.probability = 0.02;
+  tcal.delay_min_s = 0.05;
+  tcal.delay_max_s = 0.5;
+  const double d_mean = tcal.probability * 0.5 * (0.05 + 0.5);
+  const double d_m2 =
+      tcal.probability * (0.05 * 0.05 + 0.05 * 0.5 + 0.5 * 0.5) / 3.0;
+  auto clean_transfer = core::GammaTransferModel::ForMultiZone(
+      disk::QuantumViking2100(), 200e3, 1e10);
+  auto inflated = core::ServiceTimeModel::FromTransferMoments(
+      disk::QuantumViking2100Seek(), 6720, 8.34e-3,
+      clean_transfer->mean() + d_mean,
+      clean_transfer->variance() + d_m2 - d_mean * d_mean);
+  auto clean = core::ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  EXPECT_LT(core::MaxStreamsByLateProbability(*inflated, 1.0, 0.01),
+            core::MaxStreamsByLateProbability(*clean, 1.0, 0.01));
+}
+
+TEST(RoundSimulatorTest, WilsonIntervalsBracketThePoint) {
+  RoundSimulator simulator = MakeSimulator(28, 31);
+  const ProbabilityEstimate estimate = simulator.EstimateLateProbability(2000);
+  EXPECT_LE(estimate.ci_lower, estimate.point);
+  EXPECT_GE(estimate.ci_upper, estimate.point);
+  EXPECT_EQ(estimate.trials, 2000);
+}
+
+}  // namespace
+}  // namespace zonestream::sim

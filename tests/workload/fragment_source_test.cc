@@ -1,0 +1,89 @@
+#include "workload/fragment_source.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "numeric/random.h"
+#include "numeric/statistics.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::workload {
+namespace {
+
+std::shared_ptr<const GammaSizeDistribution> Table1Sizes() {
+  return std::make_shared<GammaSizeDistribution>(
+      *GammaSizeDistribution::Create(200e3, 100e3 * 100e3));
+}
+
+TEST(IidSizeSourceTest, ReportsDistributionMoments) {
+  IidSizeSource source(Table1Sizes());
+  EXPECT_DOUBLE_EQ(source.mean(), 200e3);
+  EXPECT_DOUBLE_EQ(source.variance(), 100e3 * 100e3);
+}
+
+TEST(IidSizeSourceTest, SampleMomentsMatch) {
+  IidSizeSource source(Table1Sizes());
+  numeric::Rng rng(1);
+  numeric::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(source.NextFragmentBytes(&rng));
+  EXPECT_NEAR(stats.mean(), 200e3, 2e3);
+  EXPECT_NEAR(stats.variance(), 1e10, 0.06e10);
+}
+
+TEST(Ar1SizeSourceTest, RejectsInvalidRho) {
+  EXPECT_FALSE(Ar1SizeSource::Create(Table1Sizes(), -0.1).ok());
+  EXPECT_FALSE(Ar1SizeSource::Create(Table1Sizes(), 1.0).ok());
+  EXPECT_FALSE(Ar1SizeSource::Create(nullptr, 0.5).ok());
+  EXPECT_TRUE(Ar1SizeSource::Create(Table1Sizes(), 0.0).ok());
+}
+
+TEST(Ar1SizeSourceTest, PreservesMarginalMoments) {
+  auto source = Ar1SizeSource::Create(Table1Sizes(), 0.8);
+  ASSERT_TRUE(source.ok());
+  numeric::Rng rng(2);
+  numeric::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(source->NextFragmentBytes(&rng));
+  // Autocorrelation slows mixing; allow wider tolerances than i.i.d.
+  EXPECT_NEAR(stats.mean(), 200e3, 5e3);
+  EXPECT_NEAR(stats.variance(), 1e10, 0.15e10);
+}
+
+TEST(Ar1SizeSourceTest, PositiveLag1Autocorrelation) {
+  auto source = Ar1SizeSource::Create(Table1Sizes(), 0.9);
+  ASSERT_TRUE(source.ok());
+  numeric::Rng rng(3);
+  constexpr int kN = 100000;
+  std::vector<double> xs(kN);
+  for (int i = 0; i < kN; ++i) xs[i] = source->NextFragmentBytes(&rng);
+  numeric::RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  double autocov = 0.0;
+  for (int i = 0; i + 1 < kN; ++i) {
+    autocov += (xs[i] - stats.mean()) * (xs[i + 1] - stats.mean());
+  }
+  autocov /= (kN - 1);
+  const double rho1 = autocov / stats.variance();
+  EXPECT_GT(rho1, 0.7);  // copula attenuates rho slightly below 0.9
+  EXPECT_LT(rho1, 0.95);
+}
+
+TEST(Ar1SizeSourceTest, ZeroRhoIsUncorrelated) {
+  auto source = Ar1SizeSource::Create(Table1Sizes(), 0.0);
+  ASSERT_TRUE(source.ok());
+  numeric::Rng rng(4);
+  constexpr int kN = 100000;
+  std::vector<double> xs(kN);
+  for (int i = 0; i < kN; ++i) xs[i] = source->NextFragmentBytes(&rng);
+  numeric::RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  double autocov = 0.0;
+  for (int i = 0; i + 1 < kN; ++i) {
+    autocov += (xs[i] - stats.mean()) * (xs[i + 1] - stats.mean());
+  }
+  autocov /= (kN - 1);
+  EXPECT_NEAR(autocov / stats.variance(), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace zonestream::workload

@@ -1,0 +1,107 @@
+#include "workload/fragmentation.h"
+
+#include <gtest/gtest.h>
+
+namespace zonestream::workload {
+namespace {
+
+TEST(FragmentationTest, RejectsInvalidInput) {
+  BandwidthProfile profile;
+  profile.interval_s = 0.04;
+  EXPECT_FALSE(FragmentObject(profile, 1.0).ok());  // empty profile
+
+  profile.bandwidth_bps = {1.0};
+  profile.interval_s = 0.0;
+  EXPECT_FALSE(FragmentObject(profile, 1.0).ok());
+
+  profile.interval_s = 0.04;
+  EXPECT_FALSE(FragmentObject(profile, 0.0).ok());
+
+  profile.bandwidth_bps = {1.0, -2.0};
+  EXPECT_FALSE(FragmentObject(profile, 1.0).ok());
+}
+
+TEST(FragmentationTest, ConstantBandwidthGivesEqualFragments) {
+  BandwidthProfile profile;
+  profile.interval_s = 0.5;
+  profile.bandwidth_bps.assign(20, 1e6);  // 10 seconds at 1 MB/s
+  const auto fragments = FragmentObject(profile, 1.0);
+  ASSERT_TRUE(fragments.ok());
+  ASSERT_EQ(fragments->size(), 10u);
+  for (const Fragment& f : *fragments) {
+    EXPECT_NEAR(f.bytes, 1e6, 1e-6);
+  }
+  EXPECT_NEAR(TotalBytes(*fragments), 10e6, 1e-6);
+}
+
+TEST(FragmentationTest, FragmentIndicesAreSequential) {
+  BandwidthProfile profile;
+  profile.interval_s = 1.0;
+  profile.bandwidth_bps.assign(5, 100.0);
+  const auto fragments = FragmentObject(profile, 1.0);
+  ASSERT_TRUE(fragments.ok());
+  for (size_t i = 0; i < fragments->size(); ++i) {
+    EXPECT_EQ((*fragments)[i].index, static_cast<int64_t>(i));
+  }
+}
+
+TEST(FragmentationTest, VariableBandwidthIntegratesPerWindow) {
+  BandwidthProfile profile;
+  profile.interval_s = 0.5;
+  profile.bandwidth_bps = {2.0, 4.0, 6.0, 8.0};  // 2 s total
+  const auto fragments = FragmentObject(profile, 1.0);
+  ASSERT_TRUE(fragments.ok());
+  ASSERT_EQ(fragments->size(), 2u);
+  EXPECT_NEAR((*fragments)[0].bytes, 0.5 * 2.0 + 0.5 * 4.0, 1e-12);
+  EXPECT_NEAR((*fragments)[1].bytes, 0.5 * 6.0 + 0.5 * 8.0, 1e-12);
+}
+
+TEST(FragmentationTest, RoundSpanningProfileBins) {
+  // Round length not aligned with profile bins: overlaps must be split.
+  BandwidthProfile profile;
+  profile.interval_s = 1.0;
+  profile.bandwidth_bps = {10.0, 20.0, 30.0};
+  const auto fragments = FragmentObject(profile, 1.5);
+  ASSERT_TRUE(fragments.ok());
+  ASSERT_EQ(fragments->size(), 2u);
+  EXPECT_NEAR((*fragments)[0].bytes, 10.0 + 0.5 * 20.0, 1e-12);
+  EXPECT_NEAR((*fragments)[1].bytes, 0.5 * 20.0 + 30.0, 1e-12);
+  EXPECT_NEAR(TotalBytes(*fragments), 60.0, 1e-12);
+}
+
+TEST(FragmentationTest, PartialLastFragment) {
+  BandwidthProfile profile;
+  profile.interval_s = 1.0;
+  profile.bandwidth_bps = {10.0, 10.0, 10.0};  // 3 s
+  const auto fragments = FragmentObject(profile, 2.0);
+  ASSERT_TRUE(fragments.ok());
+  ASSERT_EQ(fragments->size(), 2u);
+  EXPECT_NEAR((*fragments)[0].bytes, 20.0, 1e-12);
+  EXPECT_NEAR((*fragments)[1].bytes, 10.0, 1e-12);  // only 1 s of content
+}
+
+TEST(FragmentationTest, TotalBytesConservedForAnyRoundLength) {
+  BandwidthProfile profile;
+  profile.interval_s = 0.04;  // 25 fps frames
+  for (int i = 0; i < 250; ++i) {
+    profile.bandwidth_bps.push_back(1e5 + 1e4 * (i % 7));
+  }
+  double expected = 0.0;
+  for (double b : profile.bandwidth_bps) expected += b * profile.interval_s;
+  for (double round : {0.25, 0.5, 1.0, 1.7, 3.0}) {
+    const auto fragments = FragmentObject(profile, round);
+    ASSERT_TRUE(fragments.ok());
+    EXPECT_NEAR(TotalBytes(*fragments), expected, 1e-6) << round;
+  }
+}
+
+TEST(FragmentationTest, MeasureFragmentMoments) {
+  std::vector<Fragment> fragments = {{0, 10.0}, {1, 20.0}, {2, 30.0}};
+  const FragmentMoments moments = MeasureFragmentMoments(fragments);
+  EXPECT_EQ(moments.count, 3);
+  EXPECT_DOUBLE_EQ(moments.mean_bytes, 20.0);
+  EXPECT_DOUBLE_EQ(moments.variance_bytes2, 100.0);  // sample variance
+}
+
+}  // namespace
+}  // namespace zonestream::workload

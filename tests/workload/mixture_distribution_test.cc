@@ -1,0 +1,129 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "numeric/quadrature.h"
+#include "numeric/random.h"
+#include "numeric/statistics.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::workload {
+namespace {
+
+std::shared_ptr<const GammaSizeDistribution> Gamma(double mean, double sd) {
+  return std::make_shared<GammaSizeDistribution>(
+      *GammaSizeDistribution::Create(mean, sd * sd));
+}
+
+// 60% SD clips at 100 +/- 30 KB, 40% HD clips at 400 +/- 80 KB: well
+// separated, genuinely bimodal.
+MixtureSizeDistribution SdHdMixture() {
+  auto mixture = MixtureSizeDistribution::Create(
+      {Gamma(100e3, 30e3), Gamma(400e3, 80e3)}, {0.6, 0.4});
+  ZS_CHECK(mixture.ok());
+  return *std::move(mixture);
+}
+
+TEST(MixtureDistributionTest, CreateValidation) {
+  EXPECT_FALSE(MixtureSizeDistribution::Create({}, {}).ok());
+  EXPECT_FALSE(
+      MixtureSizeDistribution::Create({Gamma(1e5, 1e4)}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(
+      MixtureSizeDistribution::Create({Gamma(1e5, 1e4)}, {0.9}).ok());
+  EXPECT_FALSE(MixtureSizeDistribution::Create({nullptr}, {1.0}).ok());
+  EXPECT_FALSE(MixtureSizeDistribution::Create(
+                   {Gamma(1e5, 1e4), Gamma(2e5, 1e4)}, {1.2, -0.2})
+                   .ok());
+  EXPECT_TRUE(MixtureSizeDistribution::Create({Gamma(1e5, 1e4)}, {1.0}).ok());
+}
+
+TEST(MixtureDistributionTest, ExactMoments) {
+  const MixtureSizeDistribution mixture = SdHdMixture();
+  // E = 0.6*100 + 0.4*400 = 220 KB.
+  EXPECT_NEAR(mixture.mean(), 220e3, 1e-6);
+  // E[X^2] = 0.6*(30^2+100^2) + 0.4*(80^2+400^2) of KB^2.
+  const double m2 =
+      0.6 * (30e3 * 30e3 + 100e3 * 100e3) +
+      0.4 * (80e3 * 80e3 + 400e3 * 400e3);
+  EXPECT_NEAR(mixture.variance(), m2 - 220e3 * 220e3, 1.0);
+}
+
+TEST(MixtureDistributionTest, DensityIntegratesToOne) {
+  const MixtureSizeDistribution mixture = SdHdMixture();
+  const double integral = numeric::CompositeGaussLegendre(
+      [&mixture](double x) { return mixture.Density(x); }, 1.0, 2e6, 128);
+  EXPECT_NEAR(integral, 1.0, 1e-8);
+}
+
+TEST(MixtureDistributionTest, QuantileInvertsCdf) {
+  const MixtureSizeDistribution mixture = SdHdMixture();
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    EXPECT_NEAR(mixture.Cdf(mixture.Quantile(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(MixtureDistributionTest, BimodalShape) {
+  // Density has a local minimum between the two component modes.
+  const MixtureSizeDistribution mixture = SdHdMixture();
+  const double at_sd_mode = mixture.Density(95e3);
+  const double at_valley = mixture.Density(230e3);
+  const double at_hd_mode = mixture.Density(390e3);
+  EXPECT_GT(at_sd_mode, at_valley);
+  EXPECT_GT(at_hd_mode, at_valley);
+}
+
+TEST(MixtureDistributionTest, SampleMomentsAndKs) {
+  const MixtureSizeDistribution mixture = SdHdMixture();
+  numeric::Rng rng(77);
+  std::vector<double> samples;
+  numeric::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = mixture.Sample(&rng);
+    samples.push_back(x);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mixture.mean(), 0.01 * mixture.mean());
+  EXPECT_NEAR(stats.variance(), mixture.variance(),
+              0.05 * mixture.variance());
+  const double d = numeric::KolmogorovSmirnovStatistic(
+      std::move(samples), [&mixture](double x) { return mixture.Cdf(x); });
+  EXPECT_LT(d, numeric::KolmogorovSmirnovCriticalValue(50000, 0.01));
+}
+
+TEST(MixtureDistributionTest, MgfIsWeightedComponentMgf) {
+  const MixtureSizeDistribution mixture = SdHdMixture();
+  ASSERT_TRUE(mixture.has_finite_mgf());
+  const double theta = 0.3 * mixture.MgfThetaMax();
+  const double expected = 0.6 * Gamma(100e3, 30e3)->Mgf(theta) +
+                          0.4 * Gamma(400e3, 80e3)->Mgf(theta);
+  EXPECT_NEAR(mixture.Mgf(theta), expected, 1e-9 * expected);
+  // theta_max is the binding component's (the HD one has larger scale).
+  EXPECT_DOUBLE_EQ(mixture.MgfThetaMax(), Gamma(400e3, 80e3)->MgfThetaMax());
+}
+
+TEST(MixtureDistributionTest, AdmissionPipelineStaysConservative) {
+  // The moment-matched model built from the mixture's exact moments must
+  // bound the simulated p_late of the truly bimodal workload.
+  auto mixture = std::make_shared<MixtureSizeDistribution>(SdHdMixture());
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      mixture->mean(), mixture->variance());
+  ASSERT_TRUE(model.ok());
+  const int n = 26;
+  sim::SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = 88;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      sim::RoundSimulator::IidFactory(mixture), config);
+  ASSERT_TRUE(simulator.ok());
+  const sim::ProbabilityEstimate simulated =
+      simulator->EstimateLateProbability(20000);
+  EXPECT_GE(model->LateBound(n, 1.0).bound, simulated.ci_lower);
+}
+
+}  // namespace
+}  // namespace zonestream::workload

@@ -1,0 +1,116 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "numeric/random.h"
+
+namespace zonestream::workload {
+namespace {
+
+TEST(ParseSizeTraceTest, ParsesValuesCommentsAndBlanks) {
+  const auto trace = ParseSizeTrace(
+      "# header comment\n"
+      "200000\n"
+      "\n"
+      "  150000.5  \n"
+      "# interleaved comment\n"
+      "3.2e5\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->size(), 3u);
+  EXPECT_DOUBLE_EQ((*trace)[0], 200000.0);
+  EXPECT_DOUBLE_EQ((*trace)[1], 150000.5);
+  EXPECT_DOUBLE_EQ((*trace)[2], 3.2e5);
+}
+
+TEST(ParseSizeTraceTest, RejectsGarbage) {
+  const auto garbage = ParseSizeTrace("123\nabc\n");
+  EXPECT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseSizeTraceTest, RejectsTrailingGarbageOnLine) {
+  EXPECT_FALSE(ParseSizeTrace("123 bytes\n").ok());
+}
+
+TEST(ParseSizeTraceTest, RejectsNonPositive) {
+  EXPECT_FALSE(ParseSizeTrace("123\n-5\n").ok());
+  EXPECT_FALSE(ParseSizeTrace("0\n").ok());
+}
+
+TEST(ParseSizeTraceTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseSizeTrace("").ok());
+  EXPECT_FALSE(ParseSizeTrace("# only comments\n\n").ok());
+}
+
+TEST(TraceIoTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/zs_trace_roundtrip.txt";
+  const std::vector<double> sizes = {200000.0, 123456.789, 3.25e5, 1.0};
+  ASSERT_TRUE(WriteSizeTrace(path, sizes, "unit test").ok());
+  const auto read_back = ReadSizeTrace(path);
+  ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+  ASSERT_EQ(read_back->size(), sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*read_back)[i], sizes[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, ReadMissingFileFails) {
+  const auto result = ReadSizeTrace("/nonexistent/zs_trace.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(TraceIoTest, WriteEmptyFails) {
+  EXPECT_FALSE(WriteSizeTrace("/tmp/zs_should_not_exist.txt", {}).ok());
+}
+
+TEST(MeasureTraceMomentsTest, KnownValues) {
+  const TraceMoments moments = MeasureTraceMoments({10.0, 20.0, 30.0});
+  EXPECT_EQ(moments.count, 3);
+  EXPECT_DOUBLE_EQ(moments.mean_bytes, 20.0);
+  EXPECT_DOUBLE_EQ(moments.variance_bytes2, 100.0);
+}
+
+TEST(TraceSourceTest, CreateValidation) {
+  EXPECT_FALSE(TraceSource::Create({}).ok());
+  EXPECT_FALSE(TraceSource::Create({100.0, -1.0}).ok());
+}
+
+TEST(TraceSourceTest, ReplaysInOrderAndWraps) {
+  auto source = TraceSource::Create({1.0, 2.0, 3.0});
+  ASSERT_TRUE(source.ok());
+  numeric::Rng rng(1);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 1.0);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 2.0);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 3.0);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 1.0);  // wrap
+}
+
+TEST(TraceSourceTest, StartOffsetShiftsPhase) {
+  auto source = TraceSource::Create({1.0, 2.0, 3.0}, /*start_offset=*/2);
+  ASSERT_TRUE(source.ok());
+  numeric::Rng rng(1);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 3.0);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 1.0);
+}
+
+TEST(TraceSourceTest, OffsetBeyondLengthWraps) {
+  auto source = TraceSource::Create({1.0, 2.0, 3.0}, /*start_offset=*/7);
+  ASSERT_TRUE(source.ok());
+  numeric::Rng rng(1);
+  EXPECT_DOUBLE_EQ(source->NextFragmentBytes(&rng), 2.0);
+}
+
+TEST(TraceSourceTest, ReportsTraceMoments) {
+  auto source = TraceSource::Create({10.0, 20.0, 30.0});
+  ASSERT_TRUE(source.ok());
+  EXPECT_DOUBLE_EQ(source->mean(), 20.0);
+  EXPECT_DOUBLE_EQ(source->variance(), 100.0);
+}
+
+}  // namespace
+}  // namespace zonestream::workload

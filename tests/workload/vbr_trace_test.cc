@@ -1,0 +1,118 @@
+#include "workload/vbr_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "numeric/statistics.h"
+#include "workload/fragmentation.h"
+
+namespace zonestream::workload {
+namespace {
+
+VbrTraceConfig TestConfig() {
+  VbrTraceConfig config;
+  config.mean_bandwidth_bps = 200e3;  // 200 KB/s -> 200 KB fragments at 1 s
+  config.bandwidth_stddev_bps = 100e3;
+  config.scene_correlation = 0.85;
+  config.frame_interval_s = 1.0 / 25.0;
+  return config;
+}
+
+TEST(VbrTraceTest, RejectsInvalidConfig) {
+  VbrTraceConfig config = TestConfig();
+  config.mean_bandwidth_bps = 0.0;
+  EXPECT_FALSE(VbrTraceGenerator::Create(config, 1).ok());
+
+  config = TestConfig();
+  config.bandwidth_stddev_bps = -1.0;
+  EXPECT_FALSE(VbrTraceGenerator::Create(config, 1).ok());
+
+  config = TestConfig();
+  config.scene_correlation = 1.0;
+  EXPECT_FALSE(VbrTraceGenerator::Create(config, 1).ok());
+
+  config = TestConfig();
+  config.frame_interval_s = 0.0;
+  EXPECT_FALSE(VbrTraceGenerator::Create(config, 1).ok());
+}
+
+TEST(VbrTraceTest, ProfileCoversRequestedDuration) {
+  auto generator = VbrTraceGenerator::Create(TestConfig(), 5);
+  ASSERT_TRUE(generator.ok());
+  const BandwidthProfile profile = generator->Generate(60.0);
+  EXPECT_EQ(profile.bandwidth_bps.size(), 1500u);  // 60 s * 25 fps
+  EXPECT_DOUBLE_EQ(profile.interval_s, 1.0 / 25.0);
+}
+
+TEST(VbrTraceTest, AllRatesNonNegative) {
+  auto generator = VbrTraceGenerator::Create(TestConfig(), 6);
+  ASSERT_TRUE(generator.ok());
+  const BandwidthProfile profile = generator->Generate(120.0);
+  for (double rate : profile.bandwidth_bps) EXPECT_GE(rate, 0.0);
+}
+
+TEST(VbrTraceTest, LongRunMeanBandwidthMatchesConfig) {
+  auto generator = VbrTraceGenerator::Create(TestConfig(), 7);
+  ASSERT_TRUE(generator.ok());
+  const BandwidthProfile profile = generator->Generate(3600.0);
+  numeric::RunningStats stats;
+  for (double rate : profile.bandwidth_bps) stats.Add(rate);
+  // Scene correlation slows convergence; 1 hour keeps the error small.
+  EXPECT_NEAR(stats.mean(), 200e3, 15e3);
+}
+
+TEST(VbrTraceTest, GopPatternCreatesFrameLevelStructure) {
+  VbrTraceConfig config = TestConfig();
+  config.bandwidth_stddev_bps = 0.0;  // deterministic scene rate
+  auto generator = VbrTraceGenerator::Create(config, 8);
+  ASSERT_TRUE(generator.ok());
+  const BandwidthProfile profile = generator->Generate(1.0);
+  ASSERT_GE(profile.bandwidth_bps.size(), 12u);
+  // I frame (index 0) is the largest in its GoP.
+  for (int i = 1; i < 12; ++i) {
+    EXPECT_GT(profile.bandwidth_bps[0], profile.bandwidth_bps[i]);
+  }
+  // Pattern repeats every 12 frames.
+  EXPECT_DOUBLE_EQ(profile.bandwidth_bps[0], profile.bandwidth_bps[12]);
+}
+
+TEST(VbrTraceTest, GopWeightsAreMeanOne) {
+  VbrTraceConfig config = TestConfig();
+  config.bandwidth_stddev_bps = 0.0;
+  auto generator = VbrTraceGenerator::Create(config, 9);
+  ASSERT_TRUE(generator.ok());
+  const BandwidthProfile profile = generator->Generate(12.0 / 25.0);
+  ASSERT_EQ(profile.bandwidth_bps.size(), 12u);
+  double mean = 0.0;
+  for (double rate : profile.bandwidth_bps) mean += rate;
+  mean /= 12.0;
+  EXPECT_NEAR(mean, 200e3, 1e-6);
+}
+
+TEST(VbrTraceTest, EndToEndFragmentationYieldsPlausibleFragments) {
+  auto generator = VbrTraceGenerator::Create(TestConfig(), 10);
+  ASSERT_TRUE(generator.ok());
+  const BandwidthProfile profile = generator->Generate(1200.0);
+  const auto fragments = FragmentObject(profile, 1.0);
+  ASSERT_TRUE(fragments.ok());
+  EXPECT_EQ(fragments->size(), 1200u);
+  const FragmentMoments moments = MeasureFragmentMoments(*fragments);
+  // Per-round aggregation of the trace should land near the configured
+  // fragment statistics (mean 200 KB); variance is reduced by intra-round
+  // averaging of the GoP but kept by scene correlation.
+  EXPECT_NEAR(moments.mean_bytes, 200e3, 25e3);
+  EXPECT_GT(moments.variance_bytes2, 0.0);
+}
+
+TEST(VbrTraceTest, DeterministicForSameSeed) {
+  auto g1 = VbrTraceGenerator::Create(TestConfig(), 77);
+  auto g2 = VbrTraceGenerator::Create(TestConfig(), 77);
+  const BandwidthProfile p1 = g1->Generate(10.0);
+  const BandwidthProfile p2 = g2->Generate(10.0);
+  ASSERT_EQ(p1.bandwidth_bps.size(), p2.bandwidth_bps.size());
+  for (size_t i = 0; i < p1.bandwidth_bps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.bandwidth_bps[i], p2.bandwidth_bps[i]);
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::workload
