@@ -1,0 +1,219 @@
+// Post-processes google-benchmark JSON output into the repo's checked-in
+// perf-trajectory file (BENCH_model_perf.json).
+//
+// Usage: bench_json_report <raw-google-benchmark.json> <output.json>
+//
+// The raw file is the `--benchmark_format=json` dump of bench_model_perf;
+// this tool extracts the stable subset we track across PRs (per-benchmark
+// name, iteration count, real/CPU time normalized to nanoseconds, plus a
+// little machine context) and writes it in a fixed key order so diffs of
+// the trajectory file stay readable. Parsing is a small purpose-built
+// scanner for google-benchmark's flat JSON shape — no third-party JSON
+// dependency.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Returns the raw JSON value text following `"key":` inside `object`, or
+// nullopt. Good enough for google-benchmark output: keys are unique per
+// object and values are strings, numbers, or booleans (never nested
+// containers for the keys we read).
+std::optional<std::string> FindValue(const std::string& object,
+                                     const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t key_pos = object.find(needle);
+  if (key_pos == std::string::npos) return std::nullopt;
+  size_t pos = key_pos + needle.size();
+  while (pos < object.size() &&
+         (object[pos] == ' ' || object[pos] == '\t' || object[pos] == '\n')) {
+    ++pos;
+  }
+  if (pos >= object.size()) return std::nullopt;
+  if (object[pos] == '"') {
+    // String value: scan to the closing unescaped quote.
+    std::string value;
+    for (size_t i = pos + 1; i < object.size(); ++i) {
+      if (object[i] == '\\' && i + 1 < object.size()) {
+        value += object[i + 1];
+        ++i;
+      } else if (object[i] == '"') {
+        return value;
+      } else {
+        value += object[i];
+      }
+    }
+    return std::nullopt;
+  }
+  // Number / boolean: scan to the next delimiter.
+  size_t end = pos;
+  while (end < object.size() && object[end] != ',' && object[end] != '}' &&
+         object[end] != '\n') {
+    ++end;
+  }
+  return object.substr(pos, end - pos);
+}
+
+std::optional<double> FindNumber(const std::string& object,
+                                 const std::string& key) {
+  const std::optional<std::string> text = FindValue(object, key);
+  if (!text.has_value()) return std::nullopt;
+  try {
+    return std::stod(*text);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+double ToNanoseconds(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  return value;  // google-benchmark default is ns
+}
+
+// Splits the top-level objects of the "benchmarks" array by brace
+// matching (benchmark entries never nest arrays, but counters add nested
+// objects, so a depth counter is required).
+std::vector<std::string> BenchmarkObjects(const std::string& json) {
+  std::vector<std::string> objects;
+  const size_t array_pos = json.find("\"benchmarks\":");
+  if (array_pos == std::string::npos) return objects;
+  const size_t open = json.find('[', array_pos);
+  if (open == std::string::npos) return objects;
+  int depth = 0;
+  size_t object_start = 0;
+  bool in_string = false;
+  for (size_t i = open + 1; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) object_start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        objects.push_back(json.substr(object_start, i - object_start + 1));
+      }
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return objects;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  char buffer[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <raw-google-benchmark.json> <output.json>\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream input(argv[1]);
+  if (!input) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << input.rdbuf();
+  const std::string raw = buffer.str();
+
+  const std::vector<std::string> entries = BenchmarkObjects(raw);
+  if (entries.empty()) {
+    std::fprintf(stderr, "no benchmarks found in %s\n", argv[1]);
+    return 1;
+  }
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"zonestream-bench-trajectory-v1\",\n";
+  out << "  \"source_binary\": \"bench_model_perf\",\n";
+  // Context: the subset that is stable enough to be worth diffing.
+  out << "  \"context\": {";
+  bool first_context = true;
+  for (const char* key : {"num_cpus", "mhz_per_cpu"}) {
+    if (const auto value = FindNumber(raw, key)) {
+      if (!first_context) out << ",";
+      out << "\n    \"" << key << "\": " << FormatNumber(*value);
+      first_context = false;
+    }
+  }
+  if (const auto value = FindValue(raw, "library_build_type")) {
+    if (!first_context) out << ",";
+    out << "\n    \"library_build_type\": \"" << JsonEscape(*value) << "\"";
+    first_context = false;
+  }
+  out << "\n  },\n";
+  out << "  \"benchmarks\": [\n";
+  bool first_entry = true;
+  for (const std::string& entry : entries) {
+    // Skip aggregate rows (mean/median/stddev of repetition runs).
+    const auto run_type = FindValue(entry, "run_type");
+    if (run_type.has_value() && *run_type != "iteration") continue;
+    const auto name = FindValue(entry, "name");
+    const auto iterations = FindNumber(entry, "iterations");
+    const auto real_time = FindNumber(entry, "real_time");
+    const auto cpu_time = FindNumber(entry, "cpu_time");
+    if (!name.has_value() || !real_time.has_value()) continue;
+    const std::string unit = FindValue(entry, "time_unit").value_or("ns");
+    if (!first_entry) out << ",\n";
+    out << "    {\"name\": \"" << JsonEscape(*name) << "\""
+        << ", \"iterations\": " << FormatNumber(iterations.value_or(0))
+        << ", \"real_time_ns\": "
+        << FormatNumber(ToNanoseconds(*real_time, unit))
+        << ", \"cpu_time_ns\": "
+        << FormatNumber(ToNanoseconds(cpu_time.value_or(*real_time), unit))
+        << "}";
+    first_entry = false;
+  }
+  out << "\n  ]\n}\n";
+
+  std::ofstream output(argv[2]);
+  if (!output) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  output << out.str();
+  if (!output.flush()) {
+    std::fprintf(stderr, "write to %s failed\n", argv[2]);
+    return 1;
+  }
+  std::printf("wrote %s (%zu benchmarks)\n", argv[2], entries.size());
+  return 0;
+}

@@ -8,8 +8,10 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "common/thread_pool.h"
 #include "core/admission.h"
 #include "core/glitch_model.h"
+#include "sim/replication.h"
 
 namespace zonestream {
 namespace {
@@ -56,6 +58,23 @@ void BM_AdmissionTableBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_AdmissionTableBuild);
 
+// Baseline ablation for BM_AdmissionTableBuild: per-tolerance cold scans
+// (no shared warm scan, fresh Chernoff bracket at every (n, tolerance)).
+// The ratio of the two is the engine's warm-start speedup.
+void BM_AdmissionTableBuildCold(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  core::AdmissionBuildOptions options;
+  options.warm_start = false;
+  for (auto _ : state) {
+    auto table = core::AdmissionTable::Build(
+        model, core::AdmissionCriterion::kGlitchRate, bench::kRoundLengthS,
+        {0.001, 0.01, 0.05, 0.1}, bench::kRoundsPerStream,
+        bench::kToleratedGlitches, options);
+    benchmark::DoNotOptimize(table.ok());
+  }
+}
+BENCHMARK(BM_AdmissionTableBuildCold);
+
 void BM_AdmissionTableLookup(benchmark::State& state) {
   const core::ServiceTimeModel model = bench::Table1Model();
   const auto table = core::AdmissionTable::Build(
@@ -75,6 +94,25 @@ void BM_SimulatedRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedRound)->Arg(26);
+
+// A replicated Monte Carlo batch (arg = replication count, 25 rounds
+// each) through the deterministic sharding path on the global pool. The
+// estimate is bit-identical at any thread count, so this curve tracks
+// pure parallel-batch throughput.
+void BM_ReplicatedLateProbability(benchmark::State& state) {
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  sim::ReplicationOptions options;
+  options.replications = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto estimate = sim::EstimateLateProbabilityReplicated(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+        sim::RoundSimulator::IidFactory(bench::Table1Sizes()), config,
+        /*rounds_per_replication=*/25, options);
+    benchmark::DoNotOptimize(estimate.ok());
+  }
+}
+BENCHMARK(BM_ReplicatedLateProbability)->Arg(8)->Arg(40);
 
 void BM_ModelBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,48 @@
+# Runs bench_model_perf in JSON mode and post-processes the dump into the
+# normalized trajectory file. Driven as `cmake -P` by both the
+# `bench_report` custom target and the bench_report_smoke ctest entry.
+#
+# Required -D variables:
+#   BENCH_BINARY   - path to the bench_model_perf executable
+#   REPORT_BINARY  - path to the bench_json_report executable
+#   RAW_JSON       - where to write the raw google-benchmark dump
+#   OUTPUT_JSON    - where to write the normalized BENCH_model_perf.json
+# Optional:
+#   MIN_TIME       - per-benchmark min time in seconds, plain double (the
+#                    bundled google-benchmark rejects the "0.1s" suffix
+#                    form); empty = library default
+#   BENCH_FILTER   - --benchmark_filter regex; empty = all benchmarks
+
+foreach(var BENCH_BINARY REPORT_BINARY RAW_JSON OUTPUT_JSON)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_bench_report.cmake: ${var} is required")
+  endif()
+endforeach()
+
+set(bench_args
+  --benchmark_format=json
+  --benchmark_out=${RAW_JSON}
+  --benchmark_out_format=json)
+if(DEFINED MIN_TIME AND NOT MIN_TIME STREQUAL "")
+  list(APPEND bench_args --benchmark_min_time=${MIN_TIME})
+endif()
+if(DEFINED BENCH_FILTER AND NOT BENCH_FILTER STREQUAL "")
+  list(APPEND bench_args --benchmark_filter=${BENCH_FILTER})
+endif()
+
+message(STATUS "Running ${BENCH_BINARY} ${bench_args}")
+execute_process(
+  COMMAND ${BENCH_BINARY} ${bench_args}
+  RESULT_VARIABLE bench_result)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench_model_perf failed (exit ${bench_result})")
+endif()
+
+execute_process(
+  COMMAND ${REPORT_BINARY} ${RAW_JSON} ${OUTPUT_JSON}
+  RESULT_VARIABLE report_result)
+if(NOT report_result EQUAL 0)
+  message(FATAL_ERROR "bench_json_report failed (exit ${report_result})")
+endif()
+
+message(STATUS "Benchmark trajectory written to ${OUTPUT_JSON}")

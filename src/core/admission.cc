@@ -8,20 +8,66 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "core/late_bound_scan.h"
 
 namespace zonestream::core {
+
+namespace {
+
+// Per-n quality values for one admission scan: values[n-1] is b_late(n, t)
+// for the per-round criterion or p_error(n, t, m, g) for the glitch-rate
+// criterion. Both are nondecreasing in n. The scan stops after the first n
+// whose value exceeds `cutoff` (or at n_cap), so the returned prefix is
+// exactly what every tolerance <= cutoff needs.
+std::vector<double> ScanQualityValues(LateBoundScan* scan,
+                                      AdmissionCriterion criterion, int m,
+                                      int g, double cutoff, int n_cap) {
+  std::vector<double> values;
+  double late_bound_sum = 0.0;
+  for (int n = 1; n <= n_cap; ++n) {
+    const double b_late = scan->LateBound(n).bound;
+    double value;
+    if (criterion == AdmissionCriterion::kLateProbability) {
+      value = b_late;
+    } else {
+      // Reuse the running sum of b_late(k, t) across N instead of
+      // recomputing the O(N) inner loop for every candidate (the scan is
+      // then O(n_max) Chernoff minimizations in total).
+      late_bound_sum += b_late;
+      const double b_glitch =
+          std::fmin(late_bound_sum / static_cast<double>(n), 1.0);
+      value = GlitchModel::ErrorBoundForGlitchProbability(b_glitch, m, g);
+    }
+    values.push_back(value);
+    if (value > cutoff) break;
+  }
+  return values;
+}
+
+// Largest admissible n for `tolerance` given the scan's quality values:
+// the count of leading values <= tolerance (the values are nondecreasing,
+// but a first-violation search preserves the early-exit semantics even
+// under sub-ulp wobble in the minimizer).
+int LimitFromValues(const std::vector<double>& values, double tolerance) {
+  int n_max = 0;
+  for (double value : values) {
+    if (value > tolerance) break;
+    ++n_max;
+  }
+  return n_max;
+}
+
+}  // namespace
 
 int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
                                 double delta, int n_cap) {
   ZS_CHECK_GT(t, 0.0);
   ZS_CHECK_GT(delta, 0.0);
   ZS_CHECK_GT(n_cap, 0);
-  int n_max = 0;
-  for (int n = 1; n <= n_cap; ++n) {
-    if (model.LateBound(n, t).bound > delta) break;
-    n_max = n;
-  }
-  return n_max;
+  LateBoundScan scan(&model, t);
+  const std::vector<double> values = ScanQualityValues(
+      &scan, AdmissionCriterion::kLateProbability, 0, 0, delta, n_cap);
+  return LimitFromValues(values, delta);
 }
 
 int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
@@ -31,22 +77,10 @@ int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
   ZS_CHECK_GE(g, 0);
   ZS_CHECK_GT(epsilon, 0.0);
   ZS_CHECK_GT(n_cap, 0);
-  const GlitchModel glitch_model(&model);
-  // Reuse the running sum of b_late(k, t) across N instead of recomputing
-  // the O(N) inner loop for every candidate (the scan is then O(n_max)
-  // Chernoff minimizations in total).
-  double late_bound_sum = 0.0;
-  int n_max = 0;
-  for (int n = 1; n <= n_cap; ++n) {
-    late_bound_sum += model.LateBound(n, t).bound;
-    const double b_glitch =
-        std::fmin(late_bound_sum / static_cast<double>(n), 1.0);
-    const double p_error =
-        GlitchModel::ErrorBoundForGlitchProbability(b_glitch, m, g);
-    if (p_error > epsilon) break;
-    n_max = n;
-  }
-  return n_max;
+  LateBoundScan scan(&model, t);
+  const std::vector<double> values = ScanQualityValues(
+      &scan, AdmissionCriterion::kGlitchRate, m, g, epsilon, n_cap);
+  return LimitFromValues(values, epsilon);
 }
 
 int MaxStreamsByCombinedCriteria(const ServiceTimeModel& model, double t,
@@ -58,7 +92,8 @@ int MaxStreamsByCombinedCriteria(const ServiceTimeModel& model, double t,
 
 common::StatusOr<AdmissionTable> AdmissionTable::Build(
     const ServiceTimeModel& model, AdmissionCriterion criterion, double t,
-    std::vector<double> tolerances, int m, int g) {
+    std::vector<double> tolerances, int m, int g,
+    const AdmissionBuildOptions& options) {
   if (t <= 0.0) {
     return common::Status::InvalidArgument("round length must be positive");
   }
@@ -75,16 +110,42 @@ common::StatusOr<AdmissionTable> AdmissionTable::Build(
     return common::Status::InvalidArgument(
         "glitch-rate criterion requires m > 0 and g >= 0");
   }
+  if (options.n_cap <= 0) {
+    return common::Status::InvalidArgument("n_cap must be positive");
+  }
 
-  std::vector<AdmissionTableRow> rows;
-  rows.reserve(tolerances.size());
-  for (double tolerance : tolerances) {
-    AdmissionTableRow row;
-    row.tolerance = tolerance;
-    row.n_max = (criterion == AdmissionCriterion::kLateProbability)
-                    ? MaxStreamsByLateProbability(model, t, tolerance)
-                    : MaxStreamsByGlitchRate(model, t, m, g, tolerance);
-    rows.push_back(row);
+  std::vector<AdmissionTableRow> rows(tolerances.size());
+  if (options.warm_start) {
+    // Fast path: the per-n quality values are tolerance-independent, so
+    // ONE warm-started serial scan up to the loosest tolerance's break
+    // point serves every row. The per-tolerance derivation is then cheap
+    // and embarrassingly parallel — and bit-identical at every thread
+    // count, because each row is a pure function of the shared values.
+    LateBoundScan scan(&model, t);
+    const std::vector<double> values =
+        ScanQualityValues(&scan, criterion, m, g, tolerances.back(),
+                          options.n_cap);
+    common::ParallelFor(
+        static_cast<int64_t>(tolerances.size()),
+        [&rows, &tolerances, &values](int64_t i) {
+          rows[i].tolerance = tolerances[i];
+          rows[i].n_max = LimitFromValues(values, tolerances[i]);
+        },
+        options.pool);
+  } else {
+    // Validation path: the pre-optimization algorithm — an independent
+    // cold-started scan per tolerance — parallelized across tolerances.
+    common::ParallelFor(
+        static_cast<int64_t>(tolerances.size()),
+        [&rows, &tolerances, &model, criterion, t, m, g,
+         &options](int64_t i) {
+          LateBoundScan scan(&model, t, /*warm_start=*/false);
+          const std::vector<double> values = ScanQualityValues(
+              &scan, criterion, m, g, tolerances[i], options.n_cap);
+          rows[i].tolerance = tolerances[i];
+          rows[i].n_max = LimitFromValues(values, tolerances[i]);
+        },
+        options.pool);
   }
   return AdmissionTable(criterion, t, std::move(rows));
 }
@@ -93,12 +154,12 @@ int AdmissionTable::MaxStreams(double tolerance) const {
   // Strictest tabulated row that does not exceed the requested tolerance:
   // rows are ascending in tolerance (and, by monotonicity, in n_max), so
   // take the last row with row.tolerance <= tolerance.
-  int n_max = 0;
-  for (const AdmissionTableRow& row : rows_) {
-    if (row.tolerance > tolerance) break;
-    n_max = row.n_max;
-  }
-  return n_max;
+  const auto first_above = std::upper_bound(
+      rows_.begin(), rows_.end(), tolerance,
+      [](double requested, const AdmissionTableRow& row) {
+        return requested < row.tolerance;
+      });
+  return first_above == rows_.begin() ? 0 : std::prev(first_above)->n_max;
 }
 
 std::string AdmissionTable::Serialize() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/glitch_model.h"
 #include "core/service_time_model.h"
 
@@ -21,7 +22,9 @@ namespace zonestream::core {
 
 // Largest N with b_late(N, t) <= delta; 0 if even N=1 violates the
 // tolerance. b_late is monotone in N, so a linear scan with early exit is
-// exact. `n_cap` guards against pathological configurations.
+// exact. The scan warm-starts each Chernoff minimization from the previous
+// candidate's θ* (LateBoundScan). `n_cap` guards against pathological
+// configurations.
 int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
                                 double delta, int n_cap = 4096);
 
@@ -50,6 +53,23 @@ enum class AdmissionCriterion {
   kGlitchRate,       // bound p_error over a stream's lifetime (eq. 3.3.6)
 };
 
+// Tuning knobs for AdmissionTable::Build. The defaults give the fast
+// deterministic path; results are bit-identical at every thread count
+// because the per-n quality values are computed by one serial warm scan
+// and each tolerance's row is a pure function of those shared values.
+struct AdmissionBuildOptions {
+  // Thread pool for the per-tolerance work; null uses the global pool.
+  common::ThreadPool* pool = nullptr;
+  // Warm-started shared scan (default) vs. independent cold per-tolerance
+  // scans (the pre-optimization algorithm, kept for validation and
+  // benchmarking). The two agree to the Chernoff minimizer's tolerance
+  // (~1e-12 on the bounds), which yields identical integer rows except
+  // for tolerances sitting exactly on a bound value.
+  bool warm_start = true;
+  // Upper limit on the candidate multiprogramming level.
+  int n_cap = 4096;
+};
+
 // Precomputed tolerance -> N_max lookup table (§5). The table only needs
 // rebuilding when the disk configuration or workload statistics change.
 class AdmissionTable {
@@ -59,7 +79,8 @@ class AdmissionTable {
   // they are ignored for kLateProbability.
   static common::StatusOr<AdmissionTable> Build(
       const ServiceTimeModel& model, AdmissionCriterion criterion, double t,
-      std::vector<double> tolerances, int m = 0, int g = 0);
+      std::vector<double> tolerances, int m = 0, int g = 0,
+      const AdmissionBuildOptions& options = {});
 
   // N_max for the strictest tabulated tolerance >= `tolerance`; 0 if the
   // requested tolerance is below every tabulated row.

@@ -19,14 +19,35 @@ struct ChernoffResult {
   bool converged = false;
 };
 
+// Tuning knobs for ChernoffTailBound.
+struct ChernoffOptions {
+  // Warm start: θ* from a previous, nearby minimization (e.g. the N−1 step
+  // of an admission scan, where θ*(N) drifts slowly with N). When positive,
+  // the search first brackets the minimum inside
+  // [theta_hint/bracket_factor, theta_hint*bracket_factor] ∩ (0, θ_max);
+  // if the minimum is not interior to that window the search falls back to
+  // the cold full-domain bracket, so a stale hint costs three extra
+  // exponent evaluations but never a wrong answer. The default factor
+  // covers a 2x drift in either direction — far more than adjacent scan
+  // steps exhibit — while keeping the window several times narrower than
+  // the cold bracket (a wide "warm" window would be no cheaper to search
+  // than a cold start).
+  double theta_hint = 0.0;
+  double bracket_factor = 2.0;
+};
+
 // Computes inf_{θ in (0, theta_max)} exp(-θt + log_mgf(θ)).
 //
 // `log_mgf` must be the cumulant generating function log E[e^{θT}], finite
 // and convex on (0, theta_max); theta_max may be +infinity (the search then
-// expands geometrically until it brackets the minimum). The returned bound
-// is clamped to 1 (the trivial bound, attained whenever E[T] >= t).
+// expands geometrically until it brackets the minimum; if the expansion
+// exhausts its iteration budget without bracketing, the result reports
+// converged == false and carries the best point seen — still a valid upper
+// bound, since every θ > 0 yields one). The returned bound is clamped to 1
+// (the trivial bound, attained whenever E[T] >= t).
 ChernoffResult ChernoffTailBound(const std::function<double(double)>& log_mgf,
-                                 double theta_max, double t);
+                                 double theta_max, double t,
+                                 const ChernoffOptions& options = {});
 
 }  // namespace zonestream::core
 

@@ -1,0 +1,73 @@
+#include "core/late_bound_scan.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace zonestream::core {
+
+namespace {
+
+uint64_t ThetaKey(double theta) {
+  uint64_t key;
+  static_assert(sizeof(key) == sizeof(theta));
+  std::memcpy(&key, &theta, sizeof(key));
+  return key;
+}
+
+// Sentinel for unused cache slots: a NaN bit pattern, which no valid θ
+// (finite, >= 0) ever produces.
+constexpr uint64_t kEmptyThetaKey = ~0ull;
+
+}  // namespace
+
+LateBoundScan::LateBoundScan(const ServiceTimeModel* model, double t,
+                             bool warm_start)
+    : model_(model), t_(t), warm_start_(warm_start) {
+  ZS_CHECK(model != nullptr);
+  ZS_CHECK_GT(t, 0.0);
+  per_theta_.fill(ThetaEntry{kEmptyThetaKey, 0.0});
+}
+
+double LateBoundScan::CachedSeekBound(int n) {
+  if (seek_cache_.size() <= static_cast<size_t>(n)) {
+    seek_cache_.resize(n + 1, std::numeric_limits<double>::quiet_NaN());
+  }
+  double& slot = seek_cache_[n];
+  if (std::isnan(slot)) slot = model_->SeekBound(n);
+  return slot;
+}
+
+double LateBoundScan::CachedPerRequestLogMgf(double theta) {
+  const uint64_t key = ThetaKey(theta);
+  // Fibonacci-hash the θ bits into a slot; collisions just overwrite.
+  static_assert(kThetaCacheSize == 256, "slot hash assumes 256 slots");
+  ThetaEntry& entry = per_theta_[(key * 0x9e3779b97f4a7c15ull) >> 56];
+  if (entry.key != key) {
+    entry.key = key;
+    entry.value = model_->PerRequestLogMgf(theta);
+  }
+  return entry.value;
+}
+
+ChernoffResult LateBoundScan::LateBound(int n) {
+  ZS_CHECK_GE(n, 0);
+  if (n == 0) return model_->LateBound(0, t_);
+
+  const double seek = CachedSeekBound(n);
+  const double nn = static_cast<double>(n);
+  const auto log_mgf = [this, seek, nn](double theta) {
+    return theta * seek + nn * CachedPerRequestLogMgf(theta);
+  };
+
+  ChernoffOptions options;
+  if (warm_start_) options.theta_hint = theta_hint_;
+  const ChernoffResult result =
+      ChernoffTailBound(log_mgf, model_->theta_max(), t_, options);
+  if (result.theta_star > 0.0) theta_hint_ = result.theta_star;
+  return result;
+}
+
+}  // namespace zonestream::core

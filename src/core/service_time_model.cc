@@ -90,6 +90,11 @@ double ServiceTimeModel::RotationLogMgf(double theta) const {
   return x + std::log1p(-std::exp(-x)) - std::log(x);
 }
 
+double ServiceTimeModel::PerRequestLogMgf(double theta) const {
+  ZS_CHECK_GE(theta, 0.0);
+  return RotationLogMgf(theta) + transfer_->LogMgf(theta);
+}
+
 double ServiceTimeModel::LogMgf(int n, double theta) const {
   ZS_CHECK_GE(n, 0);
   ZS_CHECK_GE(theta, 0.0);
@@ -98,7 +103,9 @@ double ServiceTimeModel::LogMgf(int n, double theta) const {
          nn * transfer_->LogMgf(theta);
 }
 
-ChernoffResult ServiceTimeModel::LateBound(int n, double t) const {
+ChernoffResult ServiceTimeModel::LateBound(int n, double t,
+                                           const ChernoffOptions& options)
+    const {
   ZS_CHECK_GE(n, 0);
   ZS_CHECK_GT(t, 0.0);
   if (n == 0) {
@@ -110,7 +117,7 @@ ChernoffResult ServiceTimeModel::LateBound(int n, double t) const {
     return result;
   }
   const auto log_mgf = [this, n](double theta) { return LogMgf(n, theta); };
-  return ChernoffTailBound(log_mgf, transfer_->theta_max(), t);
+  return ChernoffTailBound(log_mgf, transfer_->theta_max(), t, options);
 }
 
 std::complex<double> ServiceTimeModel::CharacteristicFunction(

@@ -62,11 +62,19 @@ class ServiceTimeModel {
   // Requires 0 <= θ < theta_max().
   double LogMgf(int n, double theta) const;
 
+  // The n-independent per-request component of LogMgf: the sum of the
+  // rotational-latency and transfer log-MGFs at θ, so that
+  // LogMgf(n, θ) = θ·SEEK(n) + n·PerRequestLogMgf(θ). Exposed so scan
+  // evaluators (LateBoundScan) can memoize it across candidate n.
+  double PerRequestLogMgf(double theta) const;
+
   // Supremum of the admissible θ domain (the transfer model's).
   double theta_max() const { return transfer_->theta_max(); }
 
   // Chernoff bound b_late(n, t) on P[T_n >= t] (eqs. 3.1.5/3.1.6, 3.2.12).
-  ChernoffResult LateBound(int n, double t) const;
+  // `options` tunes the minimization (warm-start hints for scans over n).
+  ChernoffResult LateBound(int n, double t,
+                           const ChernoffOptions& options = {}) const;
 
   // Whether the transfer model exposes a characteristic function (needed
   // by the exact transform-inversion extension).

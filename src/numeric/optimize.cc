@@ -53,7 +53,10 @@ MinimizeResult BrentMinimize(const std::function<double(double)>& f, double lo,
   MinimizeResult result;
   double a = lo;
   double b = hi;
-  double x = a + kGolden * (b - a);
+  double x = (std::isfinite(options.initial_x) && options.initial_x > lo &&
+              options.initial_x < hi)
+                 ? options.initial_x
+                 : a + kGolden * (b - a);
   double w = x;
   double v = x;
   double fx = f(x);

@@ -4,6 +4,7 @@
 #define ZONESTREAM_NUMERIC_OPTIMIZE_H_
 
 #include <functional>
+#include <limits>
 
 namespace zonestream::numeric {
 
@@ -19,6 +20,12 @@ struct MinimizeResult {
 struct MinimizeOptions {
   double tolerance = 1e-10;  // relative x tolerance
   int max_iterations = 200;
+  // Optional starting point for BrentMinimize. When finite and strictly
+  // inside (lo, hi), the search keeps its running best at this point
+  // instead of the golden-section default — a warm start: with a good
+  // guess (e.g. the argmin of a nearby problem) the interval collapses
+  // around it and the parabolic steps engage immediately.
+  double initial_x = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Golden-section search on [lo, hi]; requires f unimodal on the interval.

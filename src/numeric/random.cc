@@ -6,6 +6,15 @@
 
 namespace zonestream::numeric {
 
+uint64_t SubstreamSeed(uint64_t base_seed, uint64_t substream) {
+  // Two rounds of the SplitMix64 finalizer over the (base, substream)
+  // pair; the avalanche decorrelates adjacent substream indices.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (substream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 double Rng::Uniform01() {
   // 53-bit mantissa-exact uniform in [0, 1).
   return static_cast<double>(engine_() >> 11) * 0x1.0p-53;

@@ -14,6 +14,13 @@
 
 namespace zonestream::numeric {
 
+// Derives the seed of an independent substream from a base seed and a
+// substream index (SplitMix64 finalization of the pair). Replicated Monte
+// Carlo batches seed replication r with SubstreamSeed(base, r), so every
+// replication's sample path is a pure function of (base, r) — independent
+// of how replications are scheduled across threads.
+uint64_t SubstreamSeed(uint64_t base_seed, uint64_t substream);
+
 // Deterministic pseudo-random source. Not thread-safe; use one per thread.
 class Rng {
  public:

@@ -3,15 +3,56 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/admission.h"
 #include "core/service_time_model.h"
 
 namespace zonestream::server {
 
+namespace {
+
+// Per-group planning outcome, filled in by the parallel loop.
+struct GroupResult {
+  common::Status status = common::Status::Ok();
+  int limit = 0;
+};
+
+GroupResult PlanGroup(const DiskGroup& group, double fragment_mean_bytes,
+                      double fragment_variance_bytes2, const ArrayQos& qos) {
+  GroupResult result;
+  if (group.count <= 0) {
+    result.status = common::Status::InvalidArgument(
+        "disk group '" + group.name + "' has non-positive count");
+    return result;
+  }
+  auto geometry = disk::DiskGeometry::Create(group.disk_parameters);
+  if (!geometry.ok()) {
+    result.status = geometry.status();
+    return result;
+  }
+  auto seek = disk::SeekTimeModel::Create(group.seek_parameters);
+  if (!seek.ok()) {
+    result.status = seek.status();
+    return result;
+  }
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      *geometry, *seek, fragment_mean_bytes, fragment_variance_bytes2);
+  if (!model.ok()) {
+    result.status = model.status();
+    return result;
+  }
+  result.limit = core::MaxStreamsByLateProbability(
+      *model, qos.round_length_s, qos.late_tolerance);
+  return result;
+}
+
+}  // namespace
+
 common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
                                       double fragment_mean_bytes,
                                       double fragment_variance_bytes2,
-                                      const ArrayQos& qos) {
+                                      const ArrayQos& qos,
+                                      common::ThreadPool* pool) {
   if (groups.empty()) {
     return common::Status::InvalidArgument("array has no disk groups");
   }
@@ -20,28 +61,29 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
     return common::Status::InvalidArgument("invalid QoS contract");
   }
 
+  // Heavy per-group work (model build + warm admission scan) in parallel.
+  std::vector<GroupResult> results(groups.size());
+  common::ParallelFor(
+      static_cast<int64_t>(groups.size()),
+      [&](int64_t i) {
+        results[i] = PlanGroup(groups[i], fragment_mean_bytes,
+                               fragment_variance_bytes2, qos);
+      },
+      pool);
+
+  // Deterministic reduction in group order; the first error (in input
+  // order, not completion order) wins.
   ArrayPlan plan;
   plan.per_disk_limits.reserve(groups.size());
   int total_disks = 0;
   int weakest_limit = 0;
   bool first = true;
-  for (const DiskGroup& group : groups) {
-    if (group.count <= 0) {
-      return common::Status::InvalidArgument(
-          "disk group '" + group.name + "' has non-positive count");
-    }
-    auto geometry = disk::DiskGeometry::Create(group.disk_parameters);
-    if (!geometry.ok()) return geometry.status();
-    auto seek = disk::SeekTimeModel::Create(group.seek_parameters);
-    if (!seek.ok()) return seek.status();
-    auto model = core::ServiceTimeModel::ForMultiZoneDisk(
-        *geometry, *seek, fragment_mean_bytes, fragment_variance_bytes2);
-    if (!model.ok()) return model.status();
-    const int limit = core::MaxStreamsByLateProbability(
-        *model, qos.round_length_s, qos.late_tolerance);
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (!results[i].status.ok()) return results[i].status;
+    const int limit = results[i].limit;
     plan.per_disk_limits.push_back(limit);
-    plan.partitioned_capacity += limit * group.count;
-    total_disks += group.count;
+    plan.partitioned_capacity += limit * groups[i].count;
+    total_disks += groups[i].count;
     weakest_limit = first ? limit : std::min(weakest_limit, limit);
     first = false;
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "disk/disk_geometry.h"
 #include "disk/seek_model.h"
 
@@ -45,11 +46,15 @@ struct ArrayPlan {
 };
 
 // Computes both strategies' capacities for fragments with the given
-// moments.
+// moments. Each group's model build and admission scan is independent, so
+// the groups are evaluated in parallel on `pool` (null = the global pool);
+// the per-group results are reduced in group order, making the plan
+// bit-identical at every thread count.
 common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
                                       double fragment_mean_bytes,
                                       double fragment_variance_bytes2,
-                                      const ArrayQos& qos);
+                                      const ArrayQos& qos,
+                                      common::ThreadPool* pool = nullptr);
 
 }  // namespace zonestream::server
 

@@ -4,9 +4,43 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/service_time_model.h"
 #include "sched/scan.h"
 
 namespace zonestream::server {
+
+common::StatusOr<MediaServerConfig> MediaServer::PlanConfig(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    double fragment_mean_bytes, double fragment_variance_bytes2,
+    int num_disks, double round_length_s, double late_tolerance,
+    uint64_t seed) {
+  if (num_disks <= 0) {
+    return common::Status::InvalidArgument("num_disks must be positive");
+  }
+  if (round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (late_tolerance <= 0.0 || late_tolerance >= 1.0) {
+    return common::Status::InvalidArgument(
+        "late tolerance must be in (0, 1)");
+  }
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      geometry, seek, fragment_mean_bytes, fragment_variance_bytes2);
+  if (!model.ok()) return model.status();
+  const int limit =
+      core::MaxStreamsByLateProbability(*model, round_length_s,
+                                        late_tolerance);
+  if (limit <= 0) {
+    return common::Status::InvalidArgument(
+        "QoS contract admits no streams on this disk configuration");
+  }
+  MediaServerConfig config;
+  config.num_disks = num_disks;
+  config.round_length_s = round_length_s;
+  config.per_disk_stream_limit = limit;
+  config.seed = seed;
+  return config;
+}
 
 MediaServer::MediaServer(const disk::DiskGeometry& geometry,
                          const disk::SeekTimeModel& seek,

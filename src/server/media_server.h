@@ -60,6 +60,17 @@ class MediaServer {
       const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
       const MediaServerConfig& config);
 
+  // Derives a full MediaServerConfig from the analytic §3.2 model: the
+  // per-disk stream limit is the largest N with b_late(N, t) <= delta,
+  // found with a warm-started admission scan. This is the §5 deployment
+  // flow — plan once per (disk, workload) configuration, then serve with
+  // O(1) admission.
+  static common::StatusOr<MediaServerConfig> PlanConfig(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      double fragment_mean_bytes, double fragment_variance_bytes2,
+      int num_disks, double round_length_s, double late_tolerance,
+      uint64_t seed = 42);
+
   // Admission-controlled stream open. Fragment sizes are drawn from
   // `sizes`; the stream plays forever until CloseStream. Returns the stream
   // id, or ResourceExhausted when the admission limit is reached.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "sched/scan.h"
 
 namespace zonestream::server {
@@ -70,21 +71,56 @@ common::StatusOr<int> MultiClassMediaServer::OpenStream(int class_index) {
     return core::MultiClassServiceModel::TotalStreams(phase_mixes_[a]) <
            core::MultiClassServiceModel::TotalStreams(phase_mixes_[b]);
   });
-  for (int phase : order) {
-    core::ClassCounts candidate = phase_mixes_[phase];
-    ++candidate[class_index];
-    if (model_->Admissible(candidate, config_.round_length_s,
-                           config_.late_tolerance)) {
-      StreamState state;
-      state.phase = phase;
-      state.class_index = class_index;
-      state.source = std::make_unique<workload::IidSizeSource>(
-          class_sizes_[class_index]);
-      const int id = static_cast<int>(next_stream_id_++);
-      streams_.emplace(id, std::move(state));
-      phase_mixes_[phase] = std::move(candidate);
-      return id;
+  // Each phase's admissibility check is an independent evaluation of the
+  // multi-class transform (the expensive part of OpenStream), so with real
+  // workers available all phases are probed in parallel and the admitted
+  // phase is the first admissible one in load order — the same phase the
+  // serial early-exit loop picks. With a single thread the serial loop is
+  // kept so the early exit still saves the remaining probes.
+  int admitted_phase = -1;
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  if (pool.num_threads() > 1 && order.size() > 1) {
+    std::vector<char> admissible(phase_mixes_.size(), 0);
+    common::ParallelFor(
+        static_cast<int64_t>(order.size()),
+        [&](int64_t k) {
+          const int phase = order[k];
+          core::ClassCounts candidate = phase_mixes_[phase];
+          ++candidate[class_index];
+          admissible[phase] =
+              model_->Admissible(candidate, config_.round_length_s,
+                                 config_.late_tolerance)
+                  ? 1
+                  : 0;
+        },
+        &pool);
+    for (int phase : order) {
+      if (admissible[phase]) {
+        admitted_phase = phase;
+        break;
+      }
     }
+  } else {
+    for (int phase : order) {
+      core::ClassCounts candidate = phase_mixes_[phase];
+      ++candidate[class_index];
+      if (model_->Admissible(candidate, config_.round_length_s,
+                             config_.late_tolerance)) {
+        admitted_phase = phase;
+        break;
+      }
+    }
+  }
+  if (admitted_phase >= 0) {
+    StreamState state;
+    state.phase = admitted_phase;
+    state.class_index = class_index;
+    state.source = std::make_unique<workload::IidSizeSource>(
+        class_sizes_[class_index]);
+    const int id = static_cast<int>(next_stream_id_++);
+    streams_.emplace(id, std::move(state));
+    ++phase_mixes_[admitted_phase][class_index];
+    return id;
   }
   return common::Status::ResourceExhausted(
       "admission control: no phase can absorb another stream of this "

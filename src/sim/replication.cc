@@ -1,0 +1,227 @@
+#include "sim/replication.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "numeric/random.h"
+
+namespace zonestream::sim {
+
+namespace {
+
+common::Status ValidateSharding(const ReplicationOptions& options,
+                                int rounds_per_replication) {
+  if (options.replications <= 0) {
+    return common::Status::InvalidArgument("replications must be positive");
+  }
+  if (rounds_per_replication <= 0) {
+    return common::Status::InvalidArgument(
+        "rounds_per_replication must be positive");
+  }
+  return common::Status::Ok();
+}
+
+// Runs one RoundSimulator replication and hands each round's outcome to
+// `tally`. Creation cannot fail here: the caller validated the arguments
+// by constructing a probe simulator with identical inputs.
+template <typename Tally>
+void RunReplication(const disk::DiskGeometry& geometry,
+                    const disk::SeekTimeModel& seek, int num_streams,
+                    const FragmentSourceFactory& source_factory,
+                    const SimulatorConfig& config, uint64_t base_seed,
+                    int64_t replication, int rounds, Tally&& tally) {
+  SimulatorConfig replication_config = config;
+  replication_config.seed =
+      numeric::SubstreamSeed(base_seed, static_cast<uint64_t>(replication));
+  auto simulator = RoundSimulator::Create(geometry, seek, num_streams,
+                                          source_factory, replication_config);
+  ZS_CHECK(simulator.ok());
+  for (int r = 0; r < rounds; ++r) tally(simulator->RunRound());
+}
+
+}  // namespace
+
+common::StatusOr<ProbabilityEstimate> EstimateLateProbabilityReplicated(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, const FragmentSourceFactory& source_factory,
+    const SimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& options) {
+  if (auto status = ValidateSharding(options, rounds_per_replication);
+      !status.ok()) {
+    return status;
+  }
+  auto probe = RoundSimulator::Create(geometry, seek, num_streams,
+                                      source_factory, config);
+  if (!probe.ok()) return probe.status();
+
+  std::vector<int64_t> overruns(options.replications, 0);
+  common::ParallelFor(
+      options.replications,
+      [&](int64_t replication) {
+        int64_t count = 0;
+        RunReplication(geometry, seek, num_streams, source_factory, config,
+                       options.base_seed, replication,
+                       rounds_per_replication,
+                       [&count](const RoundOutcome& outcome) {
+                         if (outcome.overran) ++count;
+                       });
+        overruns[replication] = count;
+      },
+      options.pool);
+
+  int64_t total_overruns = 0;
+  for (int64_t count : overruns) total_overruns += count;
+  const int64_t trials =
+      static_cast<int64_t>(options.replications) * rounds_per_replication;
+  const numeric::ProportionInterval interval =
+      numeric::WilsonInterval(total_overruns, trials);
+  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
+                             trials};
+}
+
+common::StatusOr<ProbabilityEstimate> EstimateGlitchProbabilityReplicated(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, const FragmentSourceFactory& source_factory,
+    const SimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& options) {
+  if (auto status = ValidateSharding(options, rounds_per_replication);
+      !status.ok()) {
+    return status;
+  }
+  auto probe = RoundSimulator::Create(geometry, seek, num_streams,
+                                      source_factory, config);
+  if (!probe.ok()) return probe.status();
+
+  std::vector<int64_t> glitch_events(options.replications, 0);
+  common::ParallelFor(
+      options.replications,
+      [&](int64_t replication) {
+        int64_t count = 0;
+        RunReplication(geometry, seek, num_streams, source_factory, config,
+                       options.base_seed, replication,
+                       rounds_per_replication,
+                       [&count](const RoundOutcome& outcome) {
+                         count += static_cast<int64_t>(
+                             outcome.glitched_streams.size());
+                       });
+        glitch_events[replication] = count;
+      },
+      options.pool);
+
+  int64_t total_events = 0;
+  for (int64_t count : glitch_events) total_events += count;
+  const int64_t trials = static_cast<int64_t>(options.replications) *
+                         rounds_per_replication * num_streams;
+  const numeric::ProportionInterval interval =
+      numeric::WilsonInterval(total_events, trials);
+  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
+                             trials};
+}
+
+common::StatusOr<numeric::RunningStats> SampleServiceTimesReplicated(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, const FragmentSourceFactory& source_factory,
+    const SimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& options) {
+  if (auto status = ValidateSharding(options, rounds_per_replication);
+      !status.ok()) {
+    return status;
+  }
+  auto probe = RoundSimulator::Create(geometry, seek, num_streams,
+                                      source_factory, config);
+  if (!probe.ok()) return probe.status();
+
+  std::vector<numeric::RunningStats> per_replication(options.replications);
+  common::ParallelFor(
+      options.replications,
+      [&](int64_t replication) {
+        numeric::RunningStats stats;
+        RunReplication(geometry, seek, num_streams, source_factory, config,
+                       options.base_seed, replication,
+                       rounds_per_replication,
+                       [&stats](const RoundOutcome& outcome) {
+                         stats.Add(outcome.total_service_time_s);
+                       });
+        per_replication[replication] = stats;
+      },
+      options.pool);
+
+  numeric::RunningStats merged;
+  for (const numeric::RunningStats& stats : per_replication) {
+    merged.Merge(stats);
+  }
+  return merged;
+}
+
+common::StatusOr<MixedRunResult> RunMixedReplicated(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_continuous,
+    std::shared_ptr<const workload::SizeDistribution> continuous_sizes,
+    std::shared_ptr<const workload::SizeDistribution> discrete_sizes,
+    const MixedSimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& options) {
+  if (auto status = ValidateSharding(options, rounds_per_replication);
+      !status.ok()) {
+    return status;
+  }
+  auto probe = MixedRoundSimulator::Create(geometry, seek, num_continuous,
+                                           continuous_sizes, discrete_sizes,
+                                           config);
+  if (!probe.ok()) return probe.status();
+
+  std::vector<MixedRunResult> per_replication(options.replications);
+  common::ParallelFor(
+      options.replications,
+      [&](int64_t replication) {
+        MixedSimulatorConfig replication_config = config;
+        replication_config.seed = numeric::SubstreamSeed(
+            options.base_seed, static_cast<uint64_t>(replication));
+        auto simulator = MixedRoundSimulator::Create(
+            geometry, seek, num_continuous, continuous_sizes, discrete_sizes,
+            replication_config);
+        ZS_CHECK(simulator.ok());
+        per_replication[replication] =
+            simulator->Run(rounds_per_replication);
+      },
+      options.pool);
+
+  // Fixed-order reduction: counters sum, time statistics combine weighted
+  // by their sample counts, extrema take the max.
+  MixedRunResult merged;
+  double response_weight = 0.0;
+  double leftover_weight = 0.0;
+  for (const MixedRunResult& result : per_replication) {
+    merged.rounds += result.rounds;
+    merged.continuous_requests += result.continuous_requests;
+    merged.continuous_glitches += result.continuous_glitches;
+    merged.discrete_arrivals += result.discrete_arrivals;
+    merged.discrete_completed += result.discrete_completed;
+    merged.max_queue_depth =
+        std::max(merged.max_queue_depth, result.max_queue_depth);
+    const double completed = static_cast<double>(result.discrete_completed);
+    response_weight += completed;
+    merged.mean_response_time_s += completed * result.mean_response_time_s;
+    merged.p95_response_time_s += completed * result.p95_response_time_s;
+    const double rounds = static_cast<double>(result.rounds);
+    leftover_weight += rounds;
+    merged.mean_leftover_s += rounds * result.mean_leftover_s;
+  }
+  merged.continuous_glitch_rate =
+      merged.continuous_requests > 0
+          ? static_cast<double>(merged.continuous_glitches) /
+                static_cast<double>(merged.continuous_requests)
+          : 0.0;
+  merged.mean_discrete_per_round =
+      merged.rounds > 0 ? static_cast<double>(merged.discrete_completed) /
+                              static_cast<double>(merged.rounds)
+                        : 0.0;
+  if (response_weight > 0.0) {
+    merged.mean_response_time_s /= response_weight;
+    merged.p95_response_time_s /= response_weight;
+  }
+  if (leftover_weight > 0.0) merged.mean_leftover_s /= leftover_weight;
+  return merged;
+}
+
+}  // namespace zonestream::sim

@@ -90,5 +90,101 @@ TEST(ChernoffTest, DegenerateConstantVariable) {
   EXPECT_LT(ChernoffTailBound(log_mgf, kInf, 2.1).bound, 1e-6);
 }
 
+TEST(ChernoffWarmStartTest, AccurateHintMatchesColdToTolerance) {
+  const double lambda = 2.0;
+  const auto log_mgf = [lambda](double theta) {
+    return -std::log1p(-theta / lambda);
+  };
+  const double t = 3.0;
+  const ChernoffResult cold = ChernoffTailBound(log_mgf, lambda, t);
+  ChernoffOptions options;
+  options.theta_hint = cold.theta_star;
+  const ChernoffResult warm = ChernoffTailBound(log_mgf, lambda, t, options);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_NEAR(warm.bound, cold.bound, 1e-12);
+  EXPECT_NEAR(warm.theta_star, cold.theta_star, 1e-6);
+}
+
+TEST(ChernoffWarmStartTest, NearbyHintMatchesColdToTolerance) {
+  // A hint drifted a few percent off θ* — the admission-scan case.
+  const auto log_mgf = [](double theta) {
+    return -4.0 * std::log1p(-theta);
+  };
+  for (double t : {6.0, 8.0, 12.0, 20.0}) {
+    const ChernoffResult cold = ChernoffTailBound(log_mgf, 1.0, t);
+    for (double drift : {0.95, 1.05}) {
+      ChernoffOptions options;
+      options.theta_hint = cold.theta_star * drift;
+      const ChernoffResult warm =
+          ChernoffTailBound(log_mgf, 1.0, t, options);
+      EXPECT_TRUE(warm.converged) << t << " " << drift;
+      EXPECT_NEAR(warm.bound, cold.bound, 1e-12) << t << " " << drift;
+    }
+  }
+}
+
+TEST(ChernoffWarmStartTest, StaleHintFallsBackToColdExactly) {
+  // A hint far left of θ*: the convexity probe sees a decreasing window
+  // and must fall back to the cold bracket, reproducing the cold result
+  // bit for bit.
+  const double lambda = 2.0;
+  const auto log_mgf = [lambda](double theta) {
+    return -std::log1p(-theta / lambda);
+  };
+  const double t = 3.0;
+  const ChernoffResult cold = ChernoffTailBound(log_mgf, lambda, t);
+  for (double stale : {cold.theta_star / 100.0, cold.theta_star / 16.0}) {
+    ChernoffOptions options;
+    options.theta_hint = stale;
+    const ChernoffResult warm =
+        ChernoffTailBound(log_mgf, lambda, t, options);
+    EXPECT_EQ(warm.bound, cold.bound) << stale;
+    EXPECT_EQ(warm.theta_star, cold.theta_star) << stale;
+  }
+}
+
+TEST(ChernoffWarmStartTest, HintBeyondDomainIsClampedSafely) {
+  const double lambda = 2.0;
+  const auto log_mgf = [lambda](double theta) {
+    return -std::log1p(-theta / lambda);
+  };
+  const double t = 3.0;
+  const ChernoffResult cold = ChernoffTailBound(log_mgf, lambda, t);
+  ChernoffOptions options;
+  options.theta_hint = 10.0 * lambda;  // far outside (0, theta_max)
+  const ChernoffResult warm = ChernoffTailBound(log_mgf, lambda, t, options);
+  EXPECT_NEAR(warm.bound, cold.bound, 1e-12);
+}
+
+TEST(ChernoffWarmStartTest, HintIgnoredWhenTrivialBoundWins) {
+  // E[X] = 1 > t = 0.5: the trivial bound 1 must win with or without a
+  // hint.
+  const auto log_mgf = [](double theta) { return theta; };
+  ChernoffOptions options;
+  options.theta_hint = 0.7;
+  const ChernoffResult result =
+      ChernoffTailBound(log_mgf, kInf, 0.5, options);
+  EXPECT_DOUBLE_EQ(result.bound, 1.0);
+  EXPECT_DOUBLE_EQ(result.theta_star, 0.0);
+}
+
+TEST(ChernoffTest, UnbracketedExpansionReportsNonConvergence) {
+  // Exponent -log1p(θ): convex, strictly decreasing, unbounded below but
+  // so slowly that 200 doublings (θ = 2^201) only reach ≈ -139 — never an
+  // increase, never past the -1e4 "astronomically small" early exit. The
+  // expansion exhausts its budget without bracketing, and the result must
+  // say so instead of passing off a bracket edge as the optimum — while
+  // still returning a valid (suboptimal) bound, since e^{g(θ)} at any
+  // θ > 0 upper-bounds the tail. t = 0 keeps the exponent free of -θt
+  // absorption error at the huge θ the expansion reaches.
+  const auto log_mgf = [](double theta) { return -std::log1p(theta); };
+  const ChernoffResult result = ChernoffTailBound(log_mgf, kInf, 0.0);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.bound, 0.0);
+  EXPECT_LE(result.bound, 1.0);
+  // The carried point is the deepest one seen: -log1p(2^200) = -200·ln 2.
+  EXPECT_NEAR(result.exponent, -138.63, 0.5);
+}
+
 }  // namespace
 }  // namespace zonestream::core

@@ -1,0 +1,211 @@
+#include "sim/replication.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "disk/presets.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::sim {
+namespace {
+
+std::shared_ptr<const workload::GammaSizeDistribution> TestSizes() {
+  auto sizes = workload::GammaSizeDistribution::Create(200e3, 100e3 * 100e3);
+  ZS_CHECK(sizes.ok());
+  return std::make_shared<workload::GammaSizeDistribution>(*sizes);
+}
+
+SimulatorConfig TestConfig() {
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  return config;
+}
+
+// The headline determinism contract: every statistic of a replicated run
+// is BIT-identical regardless of the executing pool's thread count,
+// because replication r's sample path depends only on (base_seed, r) and
+// the reduction order is fixed. EXPECT_EQ on doubles is deliberate.
+TEST(ReplicationTest, LateProbabilityBitIdenticalAcrossThreadCounts) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  common::ThreadPool one(1);
+  ReplicationOptions reference_options;
+  reference_options.replications = 20;
+  reference_options.pool = &one;
+  const auto reference = EstimateLateProbabilityReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      TestConfig(), /*rounds_per_replication=*/25, reference_options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->trials, 20 * 25);
+
+  for (int threads : {2, 8}) {
+    common::ThreadPool pool(threads);
+    ReplicationOptions options = reference_options;
+    options.pool = &pool;
+    const auto estimate = EstimateLateProbabilityReplicated(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+        factory, TestConfig(), 25, options);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_EQ(estimate->point, reference->point) << threads << " threads";
+    EXPECT_EQ(estimate->ci_lower, reference->ci_lower);
+    EXPECT_EQ(estimate->ci_upper, reference->ci_upper);
+    EXPECT_EQ(estimate->trials, reference->trials);
+  }
+}
+
+TEST(ReplicationTest, GlitchProbabilityBitIdenticalAcrossThreadCounts) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  common::ThreadPool one(1);
+  ReplicationOptions options;
+  options.replications = 12;
+  options.pool = &one;
+  const auto reference = EstimateGlitchProbabilityReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 28, factory,
+      TestConfig(), /*rounds_per_replication=*/20, options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->trials, int64_t{12} * 20 * 28);
+
+  common::ThreadPool eight(8);
+  options.pool = &eight;
+  const auto parallel = EstimateGlitchProbabilityReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 28, factory,
+      TestConfig(), 20, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->point, reference->point);
+  EXPECT_EQ(parallel->ci_lower, reference->ci_lower);
+  EXPECT_EQ(parallel->ci_upper, reference->ci_upper);
+}
+
+TEST(ReplicationTest, ServiceTimeStatsBitIdenticalAcrossThreadCounts) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  common::ThreadPool one(1);
+  ReplicationOptions options;
+  options.replications = 16;
+  options.pool = &one;
+  const auto reference = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      TestConfig(), /*rounds_per_replication=*/15, options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->count(), int64_t{16} * 15);
+
+  common::ThreadPool eight(8);
+  options.pool = &eight;
+  const auto parallel = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      TestConfig(), 15, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->mean(), reference->mean());
+  EXPECT_EQ(parallel->variance(), reference->variance());
+  EXPECT_EQ(parallel->count(), reference->count());
+}
+
+TEST(ReplicationTest, MixedRunBitIdenticalAcrossThreadCounts) {
+  common::ThreadPool one(1);
+  MixedSimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.discrete_arrival_rate_hz = 5.0;
+  ReplicationOptions options;
+  options.replications = 10;
+  options.pool = &one;
+  const auto reference = RunMixedReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 20,
+      TestSizes(), TestSizes(), config, /*rounds_per_replication=*/20,
+      options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->rounds, int64_t{10} * 20);
+
+  common::ThreadPool eight(8);
+  options.pool = &eight;
+  const auto parallel = RunMixedReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 20,
+      TestSizes(), TestSizes(), config, 20, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->rounds, reference->rounds);
+  EXPECT_EQ(parallel->continuous_requests, reference->continuous_requests);
+  EXPECT_EQ(parallel->continuous_glitches, reference->continuous_glitches);
+  EXPECT_EQ(parallel->continuous_glitch_rate,
+            reference->continuous_glitch_rate);
+  EXPECT_EQ(parallel->discrete_arrivals, reference->discrete_arrivals);
+  EXPECT_EQ(parallel->discrete_completed, reference->discrete_completed);
+  EXPECT_EQ(parallel->mean_discrete_per_round,
+            reference->mean_discrete_per_round);
+  EXPECT_EQ(parallel->mean_response_time_s, reference->mean_response_time_s);
+  EXPECT_EQ(parallel->p95_response_time_s, reference->p95_response_time_s);
+  EXPECT_EQ(parallel->max_queue_depth, reference->max_queue_depth);
+}
+
+TEST(ReplicationTest, DistinctSubstreamsProduceDistinctSamplePaths) {
+  // Replications must not accidentally share a seed. If substream 1
+  // duplicated substream 0, the two-replication pooled mean would equal
+  // the one-replication mean exactly (continuous-valued service times
+  // cannot collide by chance).
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  ReplicationOptions two;
+  two.replications = 2;
+  const auto pooled = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      TestConfig(), /*rounds_per_replication=*/30, two);
+  ASSERT_TRUE(pooled.ok());
+
+  ReplicationOptions single;
+  single.replications = 1;
+  const auto first = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      TestConfig(), 30, single);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(pooled->count(), 60);
+  EXPECT_EQ(first->count(), 30);
+  EXPECT_NE(pooled->mean(), first->mean());
+}
+
+TEST(ReplicationTest, BaseSeedChangesSamplePath) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  ReplicationOptions a;
+  a.replications = 10;
+  a.base_seed = 1;
+  ReplicationOptions b = a;
+  b.base_seed = 2;
+  // Compare a continuous statistic: integer late counts can collide
+  // across seeds, but two independent 400-sample service-time means
+  // cannot.
+  const auto ea = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 27, factory,
+      TestConfig(), 40, a);
+  const auto eb = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 27, factory,
+      TestConfig(), 40, b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->count(), eb->count());
+  EXPECT_NE(ea->mean(), eb->mean());
+}
+
+TEST(ReplicationTest, InvalidShardingIsRejected) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  ReplicationOptions options;
+  options.replications = 0;
+  EXPECT_FALSE(EstimateLateProbabilityReplicated(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   26, factory, TestConfig(), 10, options)
+                   .ok());
+  options.replications = 4;
+  EXPECT_FALSE(EstimateLateProbabilityReplicated(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   26, factory, TestConfig(), 0, options)
+                   .ok());
+}
+
+TEST(ReplicationTest, InvalidSimulatorArgumentsSurfaceAsStatus) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  ReplicationOptions options;
+  options.replications = 2;
+  // Zero streams is rejected by RoundSimulator::Create; the replicated
+  // wrapper must surface that as a status, not crash on a worker thread.
+  EXPECT_FALSE(EstimateLateProbabilityReplicated(
+                   disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+                   0, factory, TestConfig(), 10, options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace zonestream::sim
