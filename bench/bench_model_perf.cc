@@ -11,6 +11,8 @@
 #include "common/thread_pool.h"
 #include "core/admission.h"
 #include "core/glitch_model.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "sim/replication.h"
 
 namespace zonestream {
@@ -94,6 +96,28 @@ void BM_SimulatedRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedRound)->Arg(26);
+
+// Same round loop with the full observability stack attached (registry
+// counters + histograms + trace recorder). The delta against
+// BM_SimulatedRound is the per-round instrumentation cost.
+void BM_SimulatedRoundWithObs(benchmark::State& state) {
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  config.seed = 1;
+  config.metrics = &registry;
+  config.trace = &trace;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      static_cast<int>(state.range(0)),
+      sim::RoundSimulator::IidFactory(bench::Table1Sizes()), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator->RunRound().total_service_time_s);
+    if (trace.size() > 1 << 18) trace.Clear();
+  }
+}
+BENCHMARK(BM_SimulatedRoundWithObs)->Arg(26);
 
 // A replicated Monte Carlo batch (arg = replication count, 25 rounds
 // each) through the deterministic sharding path on the global pool. The

@@ -9,8 +9,14 @@
 //  4. run a striped multi-disk MediaServer at that limit for 20 minutes of
 //     simulated time with stream churn (viewers joining/leaving), and
 //  5. report the per-stream QoS actually delivered vs the contract.
+//
+// With --metrics-out=FILE, the run is instrumented with the observability
+// layer and the final registry snapshot is written to FILE as JSON (see
+// docs/OBSERVABILITY.md for the schema and metric names).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/table_printer.h"
@@ -18,6 +24,9 @@
 #include "core/service_time_model.h"
 #include "disk/presets.h"
 #include "numeric/random.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "server/media_server.h"
 #include "workload/fragmentation.h"
 #include "workload/size_distribution.h"
@@ -25,7 +34,16 @@
 
 using namespace zonestream;  // example code; libraries never do this
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   // --- 1. Content preparation -------------------------------------------
   workload::VbrTraceConfig trace_config;
   trace_config.mean_bandwidth_bps = 200e3;   // ~1.6 Mbit/s MPEG-2 video
@@ -69,11 +87,17 @@ int main() {
       per_disk_limit, tolerated_glitches, rounds_per_stream);
 
   // --- 4. Run the striped server with churn ------------------------------
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
   server::MediaServerConfig server_config;
   server_config.num_disks = 4;
   server_config.round_length_s = round_length;
   server_config.per_disk_stream_limit = per_disk_limit;
   server_config.seed = 99;
+  if (!metrics_out.empty()) {
+    server_config.metrics = &registry;
+    server_config.trace = &trace;
+  }
   auto server = server::MediaServer::Create(viking, seek, server_config);
   if (!server.ok()) return 1;
 
@@ -153,5 +177,22 @@ int main() {
       worst_glitches, tolerated_glitches, violators, active.size(),
       static_cast<long long>(finished_streams),
       static_cast<long long>(finished_glitches));
+
+  if (!metrics_out.empty()) {
+    const std::string json = "{\"schema\":\"zonestream-metrics-v1\","
+                             "\"metrics\":" +
+                             obs::RegistryToJson(registry.Snapshot()) + "}\n";
+    std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nWrote %zu metrics-snapshot bytes (%zu trace events "
+                "recorded) to %s\n",
+                json.size(), trace.size(), metrics_out.c_str());
+  }
   return 0;
 }

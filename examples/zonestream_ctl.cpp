@@ -1,30 +1,145 @@
 // zonestream_ctl: config-driven admission planning for operators.
 //
-//   zonestream_ctl --template           print a starter config
-//   zonestream_ctl <config-file>        print the admission plan
+//   zonestream_ctl --template              print a starter config
+//   zonestream_ctl <config-file>           print the admission plan
+//   zonestream_ctl stats <config-file> [rounds]
+//                                          simulate the planned deployment
+//                                          and print a metrics snapshot
 //
 // The config format is documented in src/server/server_config.h; the
-// template is the paper's Table 1 deployment.
+// template is the paper's Table 1 deployment. The `stats` subcommand runs
+// one disk at the planned per-disk stream limit for `rounds` rounds
+// (default 200) with the observability layer attached and prints the
+// registry snapshot (see docs/OBSERVABILITY.md for the metric names).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/table_printer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "server/server_config.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
 
 using namespace zonestream;  // example code; libraries never do this
 
+namespace {
+
+int PrintPlan(const server::ServerSpec& spec, const server::ServerPlan& plan) {
+  common::TablePrinter table("Admission plan");
+  table.SetHeader({"quantity", "value"});
+  table.AddRow({"disk",
+                std::to_string(spec.disk_parameters.cylinders) + " cyl / " +
+                    std::to_string(spec.disk_parameters.zones) + " zones"});
+  table.AddRow({"fragments",
+                common::FormatFixed(spec.fragment_mean_bytes / 1e3, 0) +
+                    " KB mean"});
+  table.AddRow({"round length",
+                common::FormatDouble(spec.round_length_s, 3) + " s"});
+  table.AddRow(
+      {"criterion",
+       spec.criterion == core::AdmissionCriterion::kLateProbability
+           ? "p_late <= " + common::FormatProbability(spec.tolerance)
+           : "P[>" + std::to_string(spec.tolerated_glitches) +
+                 " glitches in " + std::to_string(spec.session_rounds) +
+                 " rounds] <= " + common::FormatProbability(spec.tolerance)});
+  table.AddRow({"streams per disk", std::to_string(plan.streams_per_disk)});
+  table.AddRow({"server total (" + std::to_string(spec.num_disks) +
+                    " disks)",
+                std::to_string(plan.total_streams)});
+  table.AddRow({"b_late at the limit",
+                common::FormatProbability(plan.late_bound_at_limit)});
+  table.Print();
+  return 0;
+}
+
+// `stats` subcommand: simulate one disk at the planned limit with the obs
+// layer attached and print the resulting registry snapshot.
+int RunStats(const server::ServerSpec& spec, const server::ServerPlan& plan,
+             int rounds) {
+  auto geometry = disk::DiskGeometry::Create(spec.disk_parameters);
+  if (!geometry.ok()) {
+    std::fprintf(stderr, "geometry error: %s\n",
+                 geometry.status().ToString().c_str());
+    return 1;
+  }
+  auto seek = disk::SeekTimeModel::Create(spec.seek_parameters);
+  if (!seek.ok()) {
+    std::fprintf(stderr, "seek model error: %s\n",
+                 seek.status().ToString().c_str());
+    return 1;
+  }
+  auto sizes_or = workload::GammaSizeDistribution::Create(
+      spec.fragment_mean_bytes, spec.fragment_variance_bytes2);
+  if (!sizes_or.ok()) {
+    std::fprintf(stderr, "workload error: %s\n",
+                 sizes_or.status().ToString().c_str());
+    return 1;
+  }
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(*sizes_or);
+
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
+  sim::SimulatorConfig config;
+  config.round_length_s = spec.round_length_s;
+  config.metrics = &registry;
+  config.trace = &trace;
+  auto simulator = sim::RoundSimulator::Create(
+      *geometry, *seek, plan.streams_per_disk,
+      sim::RoundSimulator::IidFactory(sizes), config);
+  if (!simulator.ok()) {
+    std::fprintf(stderr, "simulator error: %s\n",
+                 simulator.status().ToString().c_str());
+    return 1;
+  }
+  for (int r = 0; r < rounds; ++r) simulator->RunRound();
+
+  PrintPlan(spec, plan);
+  std::printf("\nSimulated %d rounds at %d streams/disk "
+              "(%zu trace events recorded):\n\n",
+              rounds, plan.streams_per_disk, trace.size());
+  obs::PrintRegistry(registry.Snapshot());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s --template | <config-file>\n", argv[0]);
+  const char* const usage =
+      "usage: %s --template | <config-file> | stats <config-file> [rounds]\n";
+  if (argc < 2) {
+    std::fprintf(stderr, usage, argv[0]);
     return 2;
   }
   if (std::strcmp(argv[1], "--template") == 0) {
+    if (argc != 2) {
+      std::fprintf(stderr, usage, argv[0]);
+      return 2;
+    }
     std::fputs(server::DefaultConfigTemplate().c_str(), stdout);
     return 0;
   }
 
-  const auto spec = server::LoadServerSpec(argv[1]);
+  const bool stats = std::strcmp(argv[1], "stats") == 0;
+  if ((stats && (argc < 3 || argc > 4)) || (!stats && argc != 2)) {
+    std::fprintf(stderr, usage, argv[0]);
+    return 2;
+  }
+  const char* config_path = stats ? argv[2] : argv[1];
+  int rounds = 200;
+  if (stats && argc == 4) {
+    rounds = std::atoi(argv[3]);
+    if (rounds <= 0) {
+      std::fprintf(stderr, "rounds must be a positive integer\n");
+      return 2;
+    }
+  }
+
+  const auto spec = server::LoadServerSpec(config_path);
   if (!spec.ok()) {
     std::fprintf(stderr, "config error: %s\n",
                  spec.status().ToString().c_str());
@@ -36,30 +151,5 @@ int main(int argc, char** argv) {
                  plan.status().ToString().c_str());
     return 1;
   }
-
-  common::TablePrinter table("Admission plan");
-  table.SetHeader({"quantity", "value"});
-  table.AddRow({"disk",
-                std::to_string(spec->disk_parameters.cylinders) + " cyl / " +
-                    std::to_string(spec->disk_parameters.zones) + " zones"});
-  table.AddRow({"fragments",
-                common::FormatFixed(spec->fragment_mean_bytes / 1e3, 0) +
-                    " KB mean"});
-  table.AddRow({"round length",
-                common::FormatDouble(spec->round_length_s, 3) + " s"});
-  table.AddRow(
-      {"criterion",
-       spec->criterion == core::AdmissionCriterion::kLateProbability
-           ? "p_late <= " + common::FormatProbability(spec->tolerance)
-           : "P[>" + std::to_string(spec->tolerated_glitches) +
-                 " glitches in " + std::to_string(spec->session_rounds) +
-                 " rounds] <= " + common::FormatProbability(spec->tolerance)});
-  table.AddRow({"streams per disk", std::to_string(plan->streams_per_disk)});
-  table.AddRow({"server total (" + std::to_string(spec->num_disks) +
-                    " disks)",
-                std::to_string(plan->total_streams)});
-  table.AddRow({"b_late at the limit",
-                common::FormatProbability(plan->late_bound_at_limit)});
-  table.Print();
-  return 0;
+  return stats ? RunStats(*spec, *plan, rounds) : PrintPlan(*spec, *plan);
 }

@@ -77,14 +77,20 @@ double Percentile(std::vector<double> values, double q) {
 
 ProportionInterval WilsonInterval(int64_t successes, int64_t trials,
                                   double confidence) {
-  ZS_CHECK_GE(successes, 0);
+  return WilsonIntervalReal(static_cast<double>(successes),
+                            static_cast<double>(trials), confidence);
+}
+
+ProportionInterval WilsonIntervalReal(double successes, double trials,
+                                      double confidence) {
+  ZS_CHECK_GE(successes, 0.0);
   ZS_CHECK_GE(trials, successes);
-  ZS_CHECK_GT(trials, 0);
+  ZS_CHECK_GT(trials, 0.0);
   ZS_CHECK_GT(confidence, 0.0);
   ZS_CHECK_LT(confidence, 1.0);
   const double z = NormalQuantile(0.5 + 0.5 * confidence);
-  const double n = static_cast<double>(trials);
-  const double p = static_cast<double>(successes) / n;
+  const double n = trials;
+  const double p = successes / n;
   const double z2 = z * z;
   const double denom = 1.0 + z2 / n;
   const double center = (p + z2 / (2.0 * n)) / denom;
@@ -95,6 +101,59 @@ ProportionInterval WilsonInterval(int64_t successes, int64_t trials,
   interval.lower = std::fmax(0.0, center - spread);
   interval.upper = std::fmin(1.0, center + spread);
   return interval;
+}
+
+ProportionInterval ClusteredProportionInterval(double mean_fraction,
+                                               double fraction_sample_variance,
+                                               int64_t clusters,
+                                               int64_t cluster_size,
+                                               double confidence) {
+  ZS_CHECK_GT(clusters, 0);
+  ZS_CHECK_GT(cluster_size, 0);
+  ZS_CHECK_GE(mean_fraction, 0.0);
+  ZS_CHECK_LE(mean_fraction, 1.0);
+  ZS_CHECK_GE(fraction_sample_variance, 0.0);
+  const double p = mean_fraction;
+  const double total =
+      static_cast<double>(clusters) * static_cast<double>(cluster_size);
+  // Degenerate fractions carry no usable between-cluster variance; assume
+  // full within-cluster correlation (one effective trial per cluster).
+  double deff = static_cast<double>(cluster_size);
+  if (p > 0.0 && p < 1.0 && fraction_sample_variance > 0.0) {
+    const double independent_var = p * (1.0 - p) / total;
+    const double cluster_var =
+        fraction_sample_variance / static_cast<double>(clusters);
+    deff = cluster_var / independent_var;
+    // Never report a tighter interval than the pooled one would: negative
+    // within-cluster correlation is not distinguishable from sampling
+    // noise at realistic cluster counts.
+    deff = std::clamp(deff, 1.0, static_cast<double>(cluster_size));
+  }
+  const double effective_trials = std::fmax(1.0, total / deff);
+  ProportionInterval interval =
+      WilsonIntervalReal(p * effective_trials, effective_trials, confidence);
+  // Keep the point estimate exact (the Wilson point is p by construction,
+  // but restate it to be independent of rounding in the scaling above).
+  interval.point = p;
+  return interval;
+}
+
+ProportionInterval ClusteredProportionInterval(
+    const std::vector<int64_t>& successes_per_cluster, int64_t cluster_size,
+    double confidence) {
+  ZS_CHECK(!successes_per_cluster.empty());
+  ZS_CHECK_GT(cluster_size, 0);
+  RunningStats fractions;
+  for (int64_t successes : successes_per_cluster) {
+    ZS_CHECK_GE(successes, 0);
+    ZS_CHECK_LE(successes, cluster_size);
+    fractions.Add(static_cast<double>(successes) /
+                  static_cast<double>(cluster_size));
+  }
+  return ClusteredProportionInterval(
+      fractions.mean(), fractions.sample_variance(),
+      static_cast<int64_t>(successes_per_cluster.size()), cluster_size,
+      confidence);
 }
 
 double KolmogorovSmirnovStatistic(std::vector<double> samples,

@@ -53,6 +53,40 @@ struct ProportionInterval {
 ProportionInterval WilsonInterval(int64_t successes, int64_t trials,
                                   double confidence = 0.95);
 
+// Wilson interval with real-valued (effective) counts — the building
+// block for design-effect-adjusted intervals over correlated samples.
+// Requires 0 <= successes <= trials and trials > 0.
+ProportionInterval WilsonIntervalReal(double successes, double trials,
+                                      double confidence = 0.95);
+
+// Cluster-robust confidence interval for a proportion observed as
+// `clusters` equal-size groups of `cluster_size` correlated trials each
+// (e.g. per-stream glitch indicators grouped by simulated round: one
+// overrunning sweep glitches many streams at once, so the per-event
+// Wilson interval is overconfident).
+//
+// The estimator treats the per-cluster success fractions as the i.i.d.
+// sample. From their mean p and sample variance s2 it forms the design
+// effect deff = (s2 / clusters) / (p (1-p) / (clusters * cluster_size)) —
+// the ratio of the cluster-robust variance of p-hat to its
+// independent-trials variance — clamps deff >= 1 (never tighter than the
+// pooled interval), and returns a Wilson interval at the effective sample
+// size n_eff = clusters * cluster_size / deff. Degenerate inputs (p = 0,
+// p = 1, or zero between-cluster variance) fall back to the fully
+// conservative deff = cluster_size, i.e. one effective trial per cluster.
+//
+// `mean_fraction` / `fraction_sample_variance` are the mean and sample
+// (n-1) variance of the per-cluster fractions; the vector overload
+// computes them from per-cluster success counts.
+ProportionInterval ClusteredProportionInterval(double mean_fraction,
+                                               double fraction_sample_variance,
+                                               int64_t clusters,
+                                               int64_t cluster_size,
+                                               double confidence = 0.95);
+ProportionInterval ClusteredProportionInterval(
+    const std::vector<int64_t>& successes_per_cluster, int64_t cluster_size,
+    double confidence = 0.95);
+
 // One-sample Kolmogorov-Smirnov statistic D_n = sup_x |F_n(x) - F(x)|
 // against the reference CDF `cdf`. Sorts a copy of `samples`.
 double KolmogorovSmirnovStatistic(std::vector<double> samples,

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zonestream::obs {
+
+int Histogram::BucketIndex(double value) const {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the underflow bucket
+  const double octaves = std::log2(value / kMinValue);
+  if (octaves < 0.0) return 1;
+  const int index =
+      1 + static_cast<int>(octaves * static_cast<double>(kBucketsPerOctave));
+  return std::min(index, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int i) {
+  ZS_CHECK_GE(i, 1);
+  ZS_CHECK_LT(i, kNumBuckets);
+  return kMinValue *
+         std::exp2(static_cast<double>(i - 1) /
+                   static_cast<double>(kBucketsPerOctave));
+}
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::fmin(min_, value);
+    max_ = std::fmax(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    cumulative += buckets_[i];
+    if (cumulative < rank) continue;
+    // Interpolate linearly inside the bucket, then clamp to the observed
+    // extrema so quantiles never leave [min, max].
+    double lo;
+    double hi;
+    if (i == 0) {
+      lo = min_;
+      hi = std::fmin(max_, 0.0);
+    } else {
+      lo = BucketLowerBound(i);
+      hi = i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : max_;
+    }
+    const double within =
+        static_cast<double>(buckets_[i] - (cumulative - rank)) /
+        static_cast<double>(buckets_[i]);
+    const double value = lo + (hi - lo) * within;
+    return std::clamp(value, min_, max_);
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  snapshot.p50 = QuantileLocked(0.50);
+  snapshot.p95 = QuantileLocked(0.95);
+  snapshot.p99 = QuantileLocked(0.99);
+  return snapshot;
+}
+
+bool Registry::IsValidName(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  ZS_CHECK(IsValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ZS_CHECK(gauges_.find(name) == gauges_.end());
+  ZS_CHECK(histograms_.find(name) == histograms_.end());
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  ZS_CHECK(IsValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ZS_CHECK(counters_.find(name) == counters_.end());
+  ZS_CHECK(histograms_.find(name) == histograms_.end());
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  ZS_CHECK(IsValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ZS_CHECK(counters_.find(name) == counters_.end());
+  ZS_CHECK(gauges_.find(name) == gauges_.end());
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  // Collect the stable metric pointers under the registry lock, then read
+  // each metric with its own synchronization; std::map iteration already
+  // yields names in sorted order.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, counter.get());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.emplace_back(name, gauge.get());
+    }
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  RegistrySnapshot snapshot;
+  snapshot.counters.reserve(counters.size());
+  for (const auto& [name, counter] : counters) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges.size());
+  for (const auto& [name, gauge] : gauges) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms.size());
+  for (const auto& [name, histogram] : histograms) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+}  // namespace zonestream::obs

@@ -1,0 +1,158 @@
+// Lightweight, thread-safe runtime metrics for the serving/validation
+// stack: counters, gauges, log-bucketed latency histograms, and a
+// hierarchical Registry that owns them.
+//
+// Design constraints, in order:
+//   1. Hot-path cost must be negligible next to a simulated round
+//      (~microseconds): Counter/Gauge are single relaxed atomics and
+//      Histogram::Record is one short critical section.
+//   2. Everything is observable while the workload is still running:
+//      Snapshot() is consistent per metric (not across metrics), which is
+//      all the exporters need.
+//   3. Instrumented code takes non-owning `Registry*` pointers and treats
+//      null as "observability disabled", so the simulators and servers pay
+//      nothing when nobody is watching.
+//
+// Metric names are hierarchical dot-paths ("sim.round.service_time_s");
+// the exporters (obs/export.h) group on the first component.
+#ifndef ZONESTREAM_OBS_METRICS_H_
+#define ZONESTREAM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zonestream::obs {
+
+// Monotonic event count. Thread-safe; relaxed ordering (metrics are
+// advisory, never synchronization).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (queue depth, active streams).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Point-in-time view of a Histogram.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;  // exact running sum, so sum/count is the exact mean
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+// Log-bucketed histogram for positive durations/sizes. Bucket boundaries
+// grow geometrically (kBucketsPerOctave buckets per power of two), giving
+// <= ~9% relative quantile error over [kMinValue, kMaxValue); values at or
+// below zero land in a dedicated underflow bucket and out-of-range values
+// clamp into the edge buckets. The exact sum/min/max are tracked alongside
+// the buckets, so mean() is exact even though quantiles are bucketed.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr double kMinValue = 1e-9;  // 1 ns
+  static constexpr double kMaxValue = 1e5;   // ~28 h
+  static constexpr int kOctaves = 47;        // covers [1e-9, ~1.4e5)
+  static constexpr int kNumBuckets = kOctaves * kBucketsPerOctave + 1;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Records one observation. Thread-safe.
+  void Record(double value);
+
+  // Consistent snapshot with interpolated p50/p95/p99. Thread-safe.
+  HistogramSnapshot Snapshot() const;
+
+  int64_t count() const;
+
+  // Lower edge of bucket `i` (i >= 1; bucket 0 is the underflow bucket).
+  static double BucketLowerBound(int i);
+
+ private:
+  int BucketIndex(double value) const;
+  double QuantileLocked(double q) const;  // requires mutex_ held
+
+  mutable std::mutex mutex_;
+  std::vector<int64_t> buckets_ = std::vector<int64_t>(kNumBuckets, 0);
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Point-in-time view of every metric in a Registry, sorted by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+// Owns metrics keyed by hierarchical dot-path names. Get*() registers on
+// first use and returns a pointer that stays valid for the Registry's
+// lifetime, so instrumented code resolves each metric once and then works
+// lock-free. A name can hold exactly one metric kind; requesting it as
+// another kind is a programming error (ZS_CHECK). Thread-safe.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Valid names are non-empty dot-separated paths of [a-z0-9_] segments.
+  static bool IsValidName(const std::string& name);
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace zonestream::obs
+
+#endif  // ZONESTREAM_OBS_METRICS_H_

@@ -1,0 +1,35 @@
+#include "obs/pool_metrics.h"
+
+#include "common/check.h"
+
+namespace zonestream::obs {
+
+void AttachThreadPoolMetrics(common::ThreadPool* pool, Registry* registry,
+                             const std::string& prefix) {
+  ZS_CHECK(pool != nullptr);
+  ZS_CHECK(registry != nullptr);
+  Histogram* block_latency = registry->GetHistogram(prefix + ".block_s");
+  pool->SetBlockObserver([block_latency](double block_seconds) {
+    block_latency->Record(block_seconds);
+  });
+}
+
+void PublishThreadPoolStats(const common::ThreadPool& pool,
+                            Registry* registry, const std::string& prefix) {
+  ZS_CHECK(registry != nullptr);
+  const common::ThreadPoolStats stats = pool.Stats();
+  registry->GetGauge(prefix + ".parallel_loops")
+      ->Set(static_cast<double>(stats.parallel_loops));
+  registry->GetGauge(prefix + ".blocks_executed")
+      ->Set(static_cast<double>(stats.blocks_executed));
+  registry->GetGauge(prefix + ".queue_depth")
+      ->Set(static_cast<double>(stats.current_queue_depth));
+  registry->GetGauge(prefix + ".max_queue_depth")
+      ->Set(static_cast<double>(stats.max_queue_depth));
+  registry->GetGauge(prefix + ".total_block_time_s")
+      ->Set(stats.total_block_time_s);
+  registry->GetGauge(prefix + ".max_block_time_s")
+      ->Set(stats.max_block_time_s);
+}
+
+}  // namespace zonestream::obs

@@ -1,0 +1,30 @@
+// Bridges common::ThreadPool's built-in execution statistics into an
+// obs::Registry. Lives in obs (not common) so the common layer stays free
+// of upward dependencies.
+#ifndef ZONESTREAM_OBS_POOL_METRICS_H_
+#define ZONESTREAM_OBS_POOL_METRICS_H_
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace zonestream::obs {
+
+// Installs a block observer on `pool` that records each executed block's
+// wall time into the histogram `<prefix>.block_s`. Replaces any previous
+// observer; detach with pool->SetBlockObserver(nullptr). The registry
+// must outlive the pool's use of the observer.
+void AttachThreadPoolMetrics(common::ThreadPool* pool, Registry* registry,
+                             const std::string& prefix);
+
+// Copies the pool's cumulative ThreadPoolStats into gauges under
+// `prefix`: parallel_loops, blocks_executed, queue_depth,
+// max_queue_depth, total_block_time_s, max_block_time_s. Call whenever a
+// fresh snapshot is wanted (gauges are last-write-wins).
+void PublishThreadPoolStats(const common::ThreadPool& pool,
+                            Registry* registry, const std::string& prefix);
+
+}  // namespace zonestream::obs
+
+#endif  // ZONESTREAM_OBS_POOL_METRICS_H_

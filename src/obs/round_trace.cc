@@ -1,0 +1,44 @@
+#include "obs/round_trace.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace zonestream::obs {
+
+RoundTraceRecorder::RoundTraceRecorder(size_t capacity)
+    : capacity_(capacity) {
+  ZS_CHECK_GT(capacity, 0u);
+}
+
+void RoundTraceRecorder::Record(RoundTraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<RoundTraceEvent> RoundTraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t RoundTraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+int64_t RoundTraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void RoundTraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace zonestream::obs

@@ -1,0 +1,40 @@
+// RAII wall-clock timer that records its lifetime into an obs::Histogram.
+//
+// A null histogram disables the timer entirely (no clock reads), so call
+// sites can pass `registry ? registry->GetHistogram(...) : nullptr` and
+// stay free when observability is off.
+#ifndef ZONESTREAM_OBS_SCOPED_TIMER_H_
+#define ZONESTREAM_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace zonestream::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    histogram_->Record(elapsed.count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace zonestream::obs
+
+#endif  // ZONESTREAM_OBS_SCOPED_TIMER_H_

@@ -6,6 +6,8 @@
 #include "common/thread_pool.h"
 #include "core/admission.h"
 #include "core/service_time_model.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace zonestream::server {
 
@@ -52,7 +54,8 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
                                       double fragment_mean_bytes,
                                       double fragment_variance_bytes2,
                                       const ArrayQos& qos,
-                                      common::ThreadPool* pool) {
+                                      common::ThreadPool* pool,
+                                      obs::Registry* metrics) {
   if (groups.empty()) {
     return common::Status::InvalidArgument("array has no disk groups");
   }
@@ -61,11 +64,19 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
     return common::Status::InvalidArgument("invalid QoS contract");
   }
 
+  // Resolve the handle once: GetHistogram locks the registry, and the
+  // histogram itself is thread-safe for the concurrent Record calls below.
+  obs::Histogram* plan_latency =
+      metrics != nullptr
+          ? metrics->GetHistogram("server.array_planner.group_plan_s")
+          : nullptr;
+
   // Heavy per-group work (model build + warm admission scan) in parallel.
   std::vector<GroupResult> results(groups.size());
   common::ParallelFor(
       static_cast<int64_t>(groups.size()),
       [&](int64_t i) {
+        obs::ScopedTimer timer(plan_latency);
         results[i] = PlanGroup(groups[i], fragment_mean_bytes,
                                fragment_variance_bytes2, qos);
       },
@@ -88,6 +99,15 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
     first = false;
   }
   plan.striped_capacity = weakest_limit * total_disks;
+  if (metrics != nullptr) {
+    metrics->GetCounter("server.array_planner.plans")->Increment();
+    metrics->GetGauge("server.array_planner.groups")
+        ->Set(static_cast<double>(groups.size()));
+    metrics->GetGauge("server.array_planner.striped_capacity")
+        ->Set(static_cast<double>(plan.striped_capacity));
+    metrics->GetGauge("server.array_planner.partitioned_capacity")
+        ->Set(static_cast<double>(plan.partitioned_capacity));
+  }
   return plan;
 }
 

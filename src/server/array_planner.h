@@ -18,6 +18,10 @@
 #include "disk/disk_geometry.h"
 #include "disk/seek_model.h"
 
+namespace zonestream::obs {
+class Registry;
+}  // namespace zonestream::obs
+
 namespace zonestream::server {
 
 // One homogeneous group of identical disks within the array.
@@ -50,11 +54,17 @@ struct ArrayPlan {
 // the groups are evaluated in parallel on `pool` (null = the global pool);
 // the per-group results are reduced in group order, making the plan
 // bit-identical at every thread count.
+//
+// When `metrics` is non-null (not owned), each group's wall-clock plan
+// latency is recorded into the "server.array_planner.group_plan_s"
+// histogram (thread-safe; groups plan concurrently) and the resulting
+// capacities land in "server.array_planner.*" gauges.
 common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
                                       double fragment_mean_bytes,
                                       double fragment_variance_bytes2,
                                       const ArrayQos& qos,
-                                      common::ThreadPool* pool = nullptr);
+                                      common::ThreadPool* pool = nullptr,
+                                      obs::Registry* metrics = nullptr);
 
 }  // namespace zonestream::server
 

@@ -1,10 +1,13 @@
 #include "server/media_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
 #include "core/service_time_model.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "sched/scan.h"
 
 namespace zonestream::server {
@@ -84,6 +87,9 @@ common::StatusOr<int> MediaServer::OpenStream(
     if (phase_counts_[p] < phase_counts_[phase]) phase = p;
   }
   if (phase_counts_[phase] >= config_.per_disk_stream_limit) {
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.admission.rejected")->Increment();
+    }
     return common::Status::ResourceExhausted(
         "admission control: server is at its stream limit");
   }
@@ -93,6 +99,11 @@ common::StatusOr<int> MediaServer::OpenStream(
   const int id = static_cast<int>(next_stream_id_++);
   streams_.emplace(id, std::move(state));
   ++phase_counts_[phase];
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("server.admission.accepted")->Increment();
+    config_.metrics->GetGauge("server.active_streams")
+        ->Set(static_cast<double>(streams_.size()));
+  }
   return id;
 }
 
@@ -103,6 +114,11 @@ common::Status MediaServer::CloseStream(int stream_id) {
   }
   --phase_counts_[it->second.phase];
   streams_.erase(it);
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("server.streams.closed")->Increment();
+    config_.metrics->GetGauge("server.active_streams")
+        ->Set(static_cast<double>(streams_.size()));
+  }
   return common::Status::Ok();
 }
 
@@ -139,10 +155,10 @@ void MediaServer::RunRound() {
         config_.round_length_s);
 
     int last_on_time_cylinder = arm_cylinder_[d];
-    bool any_glitch = false;
+    int disk_glitches = 0;
     for (size_t i = 0; i < timing.per_request.size(); ++i) {
       if (timing.per_request[i].completion_s > config_.round_length_s) {
-        any_glitch = true;
+        ++disk_glitches;
         auto it = streams_.find(timing.per_request[i].stream_id);
         ZS_CHECK(it != streams_.end());
         it->second.stats.glitches++;
@@ -152,9 +168,60 @@ void MediaServer::RunRound() {
         fragments_served_++;
       }
     }
-    arm_cylinder_[d] = any_glitch ? last_on_time_cylinder
-                                  : timing.final_arm_cylinder;
+    arm_cylinder_[d] = disk_glitches > 0 ? last_on_time_cylinder
+                                         : timing.final_arm_cylinder;
     ascending_[d] = !ascending_[d];
+
+    // Observability: per-(round, disk) metrics and one trace event with
+    // source_id = disk index.
+    if (config_.metrics != nullptr || config_.trace != nullptr) {
+      double seek_sum = 0.0;
+      double rotation_sum = 0.0;
+      double transfer_sum = 0.0;
+      for (const sched::RequestTiming& rt : timing.per_request) {
+        seek_sum += rt.seek_s;
+        rotation_sum += rt.rotation_s;
+        transfer_sum += rt.transfer_s;
+      }
+      if (config_.metrics != nullptr) {
+        obs::Registry* registry = config_.metrics;
+        registry->GetCounter("server.requests")
+            ->Increment(static_cast<int64_t>(batch.size()));
+        registry->GetCounter("server.glitches")->Increment(disk_glitches);
+        if (timing.total_service_time_s > config_.round_length_s) {
+          registry->GetCounter("server.overruns")->Increment();
+        }
+        registry->GetHistogram("server.disk.service_time_s")
+            ->Record(timing.total_service_time_s);
+        registry->GetHistogram("server.disk.utilization")
+            ->Record(
+                std::fmin(timing.total_service_time_s,
+                          config_.round_length_s) /
+                config_.round_length_s);
+      }
+      if (config_.trace != nullptr) {
+        obs::RoundTraceEvent event;
+        event.round = round_;
+        event.source_id = d;
+        event.num_requests = static_cast<int>(batch.size());
+        event.service_time_s = timing.total_service_time_s;
+        event.seek_s = seek_sum;
+        event.rotation_s = rotation_sum;
+        event.transfer_s = transfer_sum;
+        event.glitches = disk_glitches;
+        event.overran = timing.total_service_time_s > config_.round_length_s;
+        event.leftover_s = std::fmax(
+            0.0, config_.round_length_s - timing.total_service_time_s);
+        event.zone_hits.assign(geometry_.num_zones(), 0);
+        for (const sched::DiskRequest& request : batch) {
+          ++event.zone_hits[request.zone];
+        }
+        config_.trace->Record(std::move(event));
+      }
+    }
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("server.rounds")->Increment();
   }
   ++round_;
 }

@@ -23,6 +23,11 @@
 #include "workload/fragment_source.h"
 #include "workload/size_distribution.h"
 
+namespace zonestream::obs {
+class Registry;
+class RoundTraceRecorder;
+}  // namespace zonestream::obs
+
 namespace zonestream::server {
 
 // Server-wide configuration.
@@ -35,6 +40,14 @@ struct MediaServerConfig {
   // per round once start disks are balanced.
   int per_disk_stream_limit = 0;
   uint64_t seed = 42;
+
+  // Optional observability hooks (not owned; null = disabled). Metrics
+  // land under the "server." prefix (admission decisions, per-round disk
+  // service times, glitches); `trace` receives one obs::RoundTraceEvent
+  // per (round, disk) with source_id = disk index. Names are listed in
+  // docs/OBSERVABILITY.md.
+  obs::Registry* metrics = nullptr;
+  obs::RoundTraceRecorder* trace = nullptr;
 };
 
 // Per-stream service-quality counters.

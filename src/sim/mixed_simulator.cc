@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "sched/scan.h"
 
 namespace zonestream::sim {
@@ -106,13 +108,15 @@ MixedRunResult MixedRoundSimulator::Run(int rounds) {
         sched::ExecuteScanRound(seek_, batch, arm_cylinder_);
     result.continuous_requests += num_continuous_;
     int arm = arm_cylinder_;
+    int round_glitches = 0;
     for (size_t i = 0; i < timing.per_request.size(); ++i) {
       if (timing.per_request[i].completion_s > config_.round_length_s) {
-        ++result.continuous_glitches;
+        ++round_glitches;
       } else {
         arm = batch[i].cylinder;
       }
     }
+    result.continuous_glitches += round_glitches;
     if (!timing.per_request.empty() &&
         timing.total_service_time_s <= config_.round_length_s) {
       arm = timing.final_arm_cylinder;
@@ -147,11 +151,65 @@ MixedRunResult MixedRoundSimulator::Run(int rounds) {
       const double response = completion_wallclock - request.arrival_time_s;
       response_times.Add(response);
       response_samples.push_back(response);
+      if (config_.metrics != nullptr) {
+        config_.metrics->GetHistogram("mixed.response_time_s")
+            ->Record(response);
+      }
       queue_.pop_front();
       ++served_this_round;
     }
     discrete_served_total += served_this_round;
     arm_cylinder_ = arm;
+
+    // Observability: one trace event per round for the continuous sweep
+    // plus the discrete-side tallies of its leftover window.
+    if (config_.trace != nullptr || config_.metrics != nullptr) {
+      double seek_sum = 0.0;
+      double rotation_sum = 0.0;
+      double transfer_sum = 0.0;
+      for (const sched::RequestTiming& rt : timing.per_request) {
+        seek_sum += rt.seek_s;
+        rotation_sum += rt.rotation_s;
+        transfer_sum += rt.transfer_s;
+      }
+      const double leftover_s =
+          std::fmax(0.0, config_.round_length_s - timing.total_service_time_s);
+      if (config_.trace != nullptr) {
+        obs::RoundTraceEvent event;
+        event.round = rounds_run_;
+        event.source_id = config_.trace_source_id;
+        event.num_requests = num_continuous_;
+        event.service_time_s = timing.total_service_time_s;
+        event.seek_s = seek_sum;
+        event.rotation_s = rotation_sum;
+        event.transfer_s = transfer_sum;
+        event.glitches = round_glitches;
+        event.overran =
+            timing.total_service_time_s > config_.round_length_s;
+        event.leftover_s = leftover_s;
+        event.zone_hits.assign(geometry_.num_zones(), 0);
+        for (const sched::DiskRequest& request : batch) {
+          ++event.zone_hits[request.zone];
+        }
+        config_.trace->Record(std::move(event));
+      }
+      if (config_.metrics != nullptr) {
+        obs::Registry* registry = config_.metrics;
+        registry->GetCounter("mixed.rounds")->Increment();
+        registry->GetCounter("mixed.continuous_requests")
+            ->Increment(num_continuous_);
+        registry->GetCounter("mixed.continuous_glitches")
+            ->Increment(round_glitches);
+        registry->GetCounter("mixed.discrete_completed")
+            ->Increment(served_this_round);
+        registry->GetHistogram("mixed.round.continuous_service_s")
+            ->Record(timing.total_service_time_s);
+        registry->GetHistogram("mixed.round.leftover_s")->Record(leftover_s);
+        registry->GetGauge("mixed.queue_depth")
+            ->Set(static_cast<double>(queue_.size()));
+      }
+    }
+    ++rounds_run_;
   }
 
   result.continuous_glitch_rate =

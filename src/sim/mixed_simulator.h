@@ -21,6 +21,11 @@
 #include "numeric/statistics.h"
 #include "workload/size_distribution.h"
 
+namespace zonestream::obs {
+class Registry;
+class RoundTraceRecorder;
+}  // namespace zonestream::obs
+
 namespace zonestream::sim {
 
 // Configuration of the mixed simulation.
@@ -28,6 +33,14 @@ struct MixedSimulatorConfig {
   double round_length_s = 1.0;
   double discrete_arrival_rate_hz = 0.0;  // Poisson arrivals per second
   uint64_t seed = 42;
+
+  // Optional observability hooks (not owned; null = disabled). Metrics
+  // land under the "mixed." prefix; each round emits one trace event for
+  // the continuous sweep, with the discrete-side tallies riding in the
+  // leftover fields (see docs/OBSERVABILITY.md).
+  obs::Registry* metrics = nullptr;
+  obs::RoundTraceRecorder* trace = nullptr;
+  int trace_source_id = 0;
 };
 
 // Aggregate results of a mixed simulation run.
@@ -84,6 +97,7 @@ class MixedRoundSimulator {
   bool ascending_ = true;
   std::deque<DiscreteRequest> queue_;
   double next_arrival_s_ = 0.0;
+  int64_t rounds_run_ = 0;  // across Run() calls; indexes trace events
 };
 
 }  // namespace zonestream::sim

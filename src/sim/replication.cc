@@ -34,6 +34,9 @@ void RunReplication(const disk::DiskGeometry& geometry,
   SimulatorConfig replication_config = config;
   replication_config.seed =
       numeric::SubstreamSeed(base_seed, static_cast<uint64_t>(replication));
+  // Any obs hooks in `config` are shared across replications (they are
+  // thread-safe); the source id tells the trace events apart.
+  replication_config.trace_source_id = static_cast<int>(replication);
   auto simulator = RoundSimulator::Create(geometry, seek, num_streams,
                                           source_factory, replication_config);
   ZS_CHECK(simulator.ok());
@@ -93,28 +96,54 @@ common::StatusOr<ProbabilityEstimate> EstimateGlitchProbabilityReplicated(
                                       source_factory, config);
   if (!probe.ok()) return probe.status();
 
+  // Per-replication tallies: the glitch-event count (for the exact point
+  // estimate) and the running statistics of the per-round glitch fraction
+  // (the i.i.d. sample the cluster-robust interval is built from; see
+  // RoundSimulator::EstimateGlitchProbability).
   std::vector<int64_t> glitch_events(options.replications, 0);
+  std::vector<numeric::RunningStats> round_fractions(options.replications);
   common::ParallelFor(
       options.replications,
       [&](int64_t replication) {
         int64_t count = 0;
+        numeric::RunningStats fractions;
         RunReplication(geometry, seek, num_streams, source_factory, config,
                        options.base_seed, replication,
                        rounds_per_replication,
-                       [&count](const RoundOutcome& outcome) {
-                         count += static_cast<int64_t>(
+                       [&](const RoundOutcome& outcome) {
+                         const int64_t glitched = static_cast<int64_t>(
                              outcome.glitched_streams.size());
+                         count += glitched;
+                         fractions.Add(static_cast<double>(glitched) /
+                                       static_cast<double>(num_streams));
                        });
         glitch_events[replication] = count;
+        round_fractions[replication] = fractions;
       },
       options.pool);
 
   int64_t total_events = 0;
-  for (int64_t count : glitch_events) total_events += count;
-  const int64_t trials = static_cast<int64_t>(options.replications) *
-                         rounds_per_replication * num_streams;
-  const numeric::ProportionInterval interval =
-      numeric::WilsonInterval(total_events, trials);
+  numeric::RunningStats merged;  // fixed replication order: deterministic
+  for (int64_t replication = 0; replication < options.replications;
+       ++replication) {
+    total_events += glitch_events[replication];
+    merged.Merge(round_fractions[replication]);
+  }
+  const int64_t rounds =
+      static_cast<int64_t>(options.replications) * rounds_per_replication;
+  const int64_t trials = rounds * num_streams;
+  numeric::ProportionInterval interval;
+  if (config.legacy_pooled_intervals) {
+    interval = numeric::WilsonInterval(total_events, trials);
+  } else {
+    interval = numeric::ClusteredProportionInterval(
+        merged.mean(), merged.count() > 1 ? merged.sample_variance() : 0.0,
+        rounds, num_streams);
+    // Restate the exact pooled point estimate; the clustering only widens
+    // the interval.
+    interval.point =
+        static_cast<double>(total_events) / static_cast<double>(trials);
+  }
   return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
                              trials};
 }

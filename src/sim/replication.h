@@ -8,6 +8,10 @@
 // path is a pure function of (base_seed, r) and the reduction order is
 // fixed, the aggregate statistics are bit-identical at every thread count
 // (see replication_test.cc), while the wall time scales with the pool.
+//
+// Observability: any obs::Registry / obs::RoundTraceRecorder set on the
+// simulator config is shared by all replications (both are thread-safe);
+// each replication's trace events carry source_id = replication index.
 #ifndef ZONESTREAM_SIM_REPLICATION_H_
 #define ZONESTREAM_SIM_REPLICATION_H_
 
@@ -39,7 +43,10 @@ common::StatusOr<ProbabilityEstimate> EstimateLateProbabilityReplicated(
     const ReplicationOptions& options);
 
 // Estimates p_glitch = P[a given stream glitches in a round] over the same
-// sharding; trials = replications * rounds * num_streams.
+// sharding; trials = replications * rounds * num_streams. Per-round glitch
+// events are correlated, so the CI clusters by round (see
+// RoundSimulator::EstimateGlitchProbability); the pre-fix pooled Wilson
+// interval is available via SimulatorConfig::legacy_pooled_intervals.
 common::StatusOr<ProbabilityEstimate> EstimateGlitchProbabilityReplicated(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
     int num_streams, const FragmentSourceFactory& source_factory,

@@ -1,11 +1,24 @@
 #include "sim/round_simulator.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "numeric/random.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 
 namespace zonestream::sim {
+
+namespace {
+
+// Substream index for the disturbance-injection RNG. Keeping the injected
+// delays on their own stream means enabling disturbances never perturbs
+// the request positions/sizes/latencies drawn from the main stream.
+constexpr uint64_t kDisturbanceSubstream = 0x64697374;  // "dist"
+
+}  // namespace
 
 RoundSimulator::RoundSimulator(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
@@ -17,7 +30,30 @@ RoundSimulator::RoundSimulator(
       num_streams_(num_streams),
       sources_(std::move(sources)),
       config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      disturbance_rng_(
+          numeric::SubstreamSeed(config.seed, kDisturbanceSubstream)) {
+  if (config_.metrics != nullptr) {
+    obs::Registry* registry = config_.metrics;
+    Metrics metrics;
+    metrics.rounds = registry->GetCounter("sim.rounds");
+    metrics.requests = registry->GetCounter("sim.requests");
+    metrics.glitches = registry->GetCounter("sim.glitches");
+    metrics.overruns = registry->GetCounter("sim.overruns");
+    metrics.disturbances = registry->GetCounter("sim.disturbances");
+    metrics.service_time_s =
+        registry->GetHistogram("sim.round.service_time_s");
+    metrics.seek_s = registry->GetHistogram("sim.round.seek_s");
+    metrics.rotation_s = registry->GetHistogram("sim.round.rotation_s");
+    metrics.transfer_s = registry->GetHistogram("sim.round.transfer_s");
+    metrics.zone_hits.reserve(geometry_.num_zones());
+    for (int z = 0; z < geometry_.num_zones(); ++z) {
+      metrics.zone_hits.push_back(
+          registry->GetCounter("sim.zone_hits." + std::to_string(z)));
+    }
+    metrics_ = std::move(metrics);
+  }
+}
 
 common::StatusOr<RoundSimulator> RoundSimulator::Create(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
@@ -57,6 +93,8 @@ RoundOutcome RoundSimulator::RunRound() {
   // Issue one request per stream at a uniform-over-capacity position.
   std::vector<sched::DiskRequest> requests;
   requests.reserve(num_streams_);
+  int disturbances = 0;
+  double disturbance_delay_s = 0.0;
   for (int stream = 0; stream < num_streams_; ++stream) {
     const disk::DiskPosition position =
         config_.position_sampler
@@ -71,22 +109,34 @@ RoundOutcome RoundSimulator::RunRound() {
     request.rotational_latency_s =
         rng_.Uniform(0.0, geometry_.rotation_time());
     // Failure injection: sporadic extra delay, charged with the rotational
-    // latency (any additive slot in the per-request service works).
+    // latency (any additive slot in the per-request service works). Drawn
+    // from the dedicated substream so the main stream is undisturbed.
     const DisturbanceConfig& disturbance = config_.disturbance;
     if (disturbance.probability > 0.0 &&
-        rng_.Uniform01() < disturbance.probability) {
-      request.rotational_latency_s +=
-          rng_.Uniform(disturbance.delay_min_s, disturbance.delay_max_s);
+        disturbance_rng_.Uniform01() < disturbance.probability) {
+      const double delay = disturbance_rng_.Uniform(disturbance.delay_min_s,
+                                                    disturbance.delay_max_s);
+      request.rotational_latency_s += delay;
+      ++disturbances;
+      disturbance_delay_s += delay;
     }
     requests.push_back(request);
   }
 
-  // Arm policy.
+  // Arm policy. One-directional SCAN must return the arm to cylinder 0
+  // between rounds; that return sweep is disk time like any other seek, so
+  // it is charged to this round's service time (Oyang's worst-case bound
+  // also accounts a full-stroke budget). legacy_free_arm_reset preserves
+  // the old teleporting behavior for comparison.
+  double return_seek_s = 0.0;
   sched::SweepDirection direction = sched::SweepDirection::kAscending;
   if (config_.sweep_policy == SweepPolicy::kAlternate) {
     direction = ascending_ ? sched::SweepDirection::kAscending
                            : sched::SweepDirection::kDescending;
   } else {
+    if (!config_.legacy_free_arm_reset && arm_cylinder_ != 0) {
+      return_seek_s = seek_.SeekTime(arm_cylinder_);
+    }
     arm_cylinder_ = 0;
   }
   sched::OrderRequests(&requests, config_.ordering, arm_cylinder_, direction);
@@ -94,11 +144,13 @@ RoundOutcome RoundSimulator::RunRound() {
       sched::ExecuteScanRound(seek_, requests, arm_cylinder_);
 
   RoundOutcome outcome;
-  outcome.total_service_time_s = timing.total_service_time_s;
-  outcome.overran = timing.total_service_time_s > config_.round_length_s;
+  outcome.total_service_time_s =
+      return_seek_s + timing.total_service_time_s;
+  outcome.overran = outcome.total_service_time_s > config_.round_length_s;
   int last_on_time_cylinder = arm_cylinder_;
   for (size_t i = 0; i < timing.per_request.size(); ++i) {
-    if (timing.per_request[i].completion_s > config_.round_length_s) {
+    if (return_seek_s + timing.per_request[i].completion_s >
+        config_.round_length_s) {
       outcome.glitched_streams.push_back(timing.per_request[i].stream_id);
     } else {
       last_on_time_cylinder = requests[i].cylinder;
@@ -111,6 +163,59 @@ RoundOutcome RoundSimulator::RunRound() {
                       ? timing.final_arm_cylinder
                       : last_on_time_cylinder;
   ascending_ = !ascending_;
+
+  // Observability: per-round decomposition into the trace sink and the
+  // metric registry. The injected disturbance delay rides in the rotation
+  // slot of the per-request timings, so it is subtracted back out to keep
+  // seek + rotation + transfer + disturbance == service time.
+  if (config_.trace != nullptr || metrics_.has_value()) {
+    double seek_sum = return_seek_s;
+    double rotation_sum = 0.0;
+    double transfer_sum = 0.0;
+    for (const sched::RequestTiming& rt : timing.per_request) {
+      seek_sum += rt.seek_s;
+      rotation_sum += rt.rotation_s;
+      transfer_sum += rt.transfer_s;
+    }
+    rotation_sum -= disturbance_delay_s;
+    const int glitches = static_cast<int>(outcome.glitched_streams.size());
+    if (config_.trace != nullptr) {
+      obs::RoundTraceEvent event;
+      event.round = rounds_run_;
+      event.source_id = config_.trace_source_id;
+      event.num_requests = num_streams_;
+      event.service_time_s = outcome.total_service_time_s;
+      event.seek_s = seek_sum;
+      event.rotation_s = rotation_sum;
+      event.transfer_s = transfer_sum;
+      event.disturbance_delay_s = disturbance_delay_s;
+      event.disturbances = disturbances;
+      event.glitches = glitches;
+      event.overran = outcome.overran;
+      event.leftover_s = std::max(
+          0.0, config_.round_length_s - outcome.total_service_time_s);
+      event.zone_hits.assign(geometry_.num_zones(), 0);
+      for (const sched::DiskRequest& request : requests) {
+        ++event.zone_hits[request.zone];
+      }
+      config_.trace->Record(std::move(event));
+    }
+    if (metrics_.has_value()) {
+      metrics_->rounds->Increment();
+      metrics_->requests->Increment(num_streams_);
+      metrics_->glitches->Increment(glitches);
+      if (outcome.overran) metrics_->overruns->Increment();
+      metrics_->disturbances->Increment(disturbances);
+      metrics_->service_time_s->Record(outcome.total_service_time_s);
+      metrics_->seek_s->Record(seek_sum);
+      metrics_->rotation_s->Record(rotation_sum);
+      metrics_->transfer_s->Record(transfer_sum);
+      for (const sched::DiskRequest& request : requests) {
+        metrics_->zone_hits[request.zone]->Increment();
+      }
+    }
+  }
+  ++rounds_run_;
   return outcome;
 }
 
@@ -129,14 +234,25 @@ ProbabilityEstimate RoundSimulator::EstimateLateProbability(int rounds) {
 ProbabilityEstimate RoundSimulator::EstimateGlitchProbability(int rounds) {
   ZS_CHECK_GT(rounds, 0);
   int64_t glitch_events = 0;
+  numeric::RunningStats round_fractions;
   for (int r = 0; r < rounds; ++r) {
-    glitch_events += static_cast<int64_t>(RunRound().glitched_streams.size());
+    const auto glitched =
+        static_cast<int64_t>(RunRound().glitched_streams.size());
+    glitch_events += glitched;
+    round_fractions.Add(static_cast<double>(glitched) /
+                        static_cast<double>(num_streams_));
   }
   const int64_t stream_rounds =
       static_cast<int64_t>(rounds) * num_streams_;
   const numeric::ProportionInterval interval =
-      numeric::WilsonInterval(glitch_events, stream_rounds);
-  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
+      config_.legacy_pooled_intervals
+          ? numeric::WilsonInterval(glitch_events, stream_rounds)
+          : numeric::ClusteredProportionInterval(
+                round_fractions.mean(), round_fractions.sample_variance(),
+                rounds, num_streams_);
+  const double point = static_cast<double>(glitch_events) /
+                       static_cast<double>(stream_rounds);
+  return ProbabilityEstimate{point, interval.lower, interval.upper,
                              stream_rounds};
 }
 
@@ -146,6 +262,7 @@ ProbabilityEstimate RoundSimulator::EstimateErrorProbability(int m, int g,
   ZS_CHECK_GE(g, 0);
   ZS_CHECK_GT(lifetimes, 0);
   int64_t exceeding_streams = 0;
+  std::vector<int64_t> exceeding_per_lifetime(lifetimes, 0);
   std::vector<int> glitch_counts(num_streams_);
   for (int lifetime = 0; lifetime < lifetimes; ++lifetime) {
     std::fill(glitch_counts.begin(), glitch_counts.end(), 0);
@@ -154,14 +271,19 @@ ProbabilityEstimate RoundSimulator::EstimateErrorProbability(int m, int g,
       for (int stream : outcome.glitched_streams) ++glitch_counts[stream];
     }
     for (int count : glitch_counts) {
-      if (count >= g) ++exceeding_streams;
+      if (count >= g) ++exceeding_per_lifetime[lifetime];
     }
+    exceeding_streams += exceeding_per_lifetime[lifetime];
   }
   const int64_t samples = static_cast<int64_t>(lifetimes) * num_streams_;
   const numeric::ProportionInterval interval =
-      numeric::WilsonInterval(exceeding_streams, samples);
-  return ProbabilityEstimate{interval.point, interval.lower, interval.upper,
-                             samples};
+      config_.legacy_pooled_intervals
+          ? numeric::WilsonInterval(exceeding_streams, samples)
+          : numeric::ClusteredProportionInterval(exceeding_per_lifetime,
+                                                 num_streams_);
+  const double point = static_cast<double>(exceeding_streams) /
+                       static_cast<double>(samples);
+  return ProbabilityEstimate{point, interval.lower, interval.upper, samples};
 }
 
 numeric::RunningStats RoundSimulator::SampleServiceTimes(int rounds) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +23,13 @@
 #include "sched/scan.h"
 #include "workload/fragment_source.h"
 #include "workload/size_distribution.h"
+
+namespace zonestream::obs {
+class Counter;
+class Histogram;
+class Registry;
+class RoundTraceRecorder;
+}  // namespace zonestream::obs
 
 namespace zonestream::sim {
 
@@ -50,6 +58,11 @@ using PositionSampler =
 // The analytic model can be re-armored against a known disturbance by
 // folding its moments into the transfer time (see
 // round_simulator_test.cc::DisturbanceRobustness tests).
+//
+// Disturbances are drawn from a dedicated RNG substream, so enabling them
+// perturbs only the injected delays: the request positions, sizes and
+// rotational latencies stay bit-identical to the undisturbed run with the
+// same seed (see DisturbanceTest.ConstantDelayShiftsRoundsByExactlyNDelay).
 struct DisturbanceConfig {
   double probability = 0.0;   // per-request disturbance probability
   double delay_min_s = 0.0;
@@ -66,6 +79,29 @@ struct SimulatorConfig {
   sched::OrderingPolicy ordering = sched::OrderingPolicy::kScan;
   PositionSampler position_sampler;  // null = uniform over capacity
   DisturbanceConfig disturbance;     // default: none
+
+  // Legacy-compatibility switches preserving pre-bugfix behavior for
+  // side-by-side comparison; both default to the corrected behavior.
+  //
+  // Before the fix, kResetAscending teleported the arm to cylinder 0
+  // between rounds without charging the return sweep, silently crediting
+  // each round the seek back from wherever the previous sweep ended.
+  bool legacy_free_arm_reset = false;
+  // Before the fix, EstimateGlitchProbability/EstimateErrorProbability
+  // fed correlated events (all streams of one round / one lifetime) into
+  // a pooled Wilson interval, yielding overconfident CIs; the corrected
+  // estimators cluster by round / lifetime (see
+  // numeric::ClusteredProportionInterval).
+  bool legacy_pooled_intervals = false;
+
+  // Optional observability hooks (not owned; null = disabled). `metrics`
+  // receives counters/histograms under the "sim." prefix and `trace` one
+  // obs::RoundTraceEvent per round with source_id `trace_source_id`; both
+  // must be thread-safe when shared across replications. Metric names are
+  // listed in docs/OBSERVABILITY.md.
+  obs::Registry* metrics = nullptr;
+  obs::RoundTraceRecorder* trace = nullptr;
+  int trace_source_id = 0;
 };
 
 // Outcome of one simulated round.
@@ -75,7 +111,8 @@ struct RoundOutcome {
   std::vector<int> glitched_streams;  // streams whose fragment missed t
 };
 
-// Aggregate estimate of a probability with a Wilson confidence interval.
+// Aggregate estimate of a probability with a confidence interval (Wilson,
+// or cluster-robust where samples are correlated — see each estimator).
 struct ProbabilityEstimate {
   double point = 0.0;
   double ci_lower = 0.0;
@@ -102,16 +139,25 @@ class RoundSimulator {
   RoundOutcome RunRound();
 
   // Estimates p_late = P[T_N >= t] over `rounds` simulated rounds
-  // (Figure 1's simulated series).
+  // (Figure 1's simulated series). Rounds are independent, so the CI is a
+  // plain Wilson interval.
   ProbabilityEstimate EstimateLateProbability(int rounds);
 
   // Estimates p_glitch = P[a given stream glitches in a round] by counting
-  // (stream, round) glitch events over `rounds` rounds.
+  // (stream, round) glitch events over `rounds` rounds. The events of one
+  // round are correlated (one slow sweep glitches many streams at once),
+  // so the CI clusters by round: the per-round glitch fraction is the
+  // i.i.d. sample (numeric::ClusteredProportionInterval). Set
+  // SimulatorConfig::legacy_pooled_intervals for the old overconfident
+  // pooled Wilson interval.
   ProbabilityEstimate EstimateGlitchProbability(int rounds);
 
   // Estimates p_error = P[a stream suffers >= g glitches in m rounds] over
   // `lifetimes` independent m-round stream lifetimes (each lifetime batch
-  // yields num_streams samples — Table 2's simulated series).
+  // yields num_streams samples — Table 2's simulated series). The
+  // num_streams samples of one lifetime share the same m simulated
+  // rounds, so the CI clusters by lifetime (same estimator and legacy
+  // switch as EstimateGlitchProbability).
   ProbabilityEstimate EstimateErrorProbability(int m, int g, int lifetimes);
 
   // Collects `rounds` total-service-time samples (for distribution-level
@@ -120,8 +166,24 @@ class RoundSimulator {
 
   int num_streams() const { return num_streams_; }
   const SimulatorConfig& config() const { return config_; }
+  int64_t rounds_run() const { return rounds_run_; }
 
  private:
+  // Metric handles resolved once at construction (see docs/OBSERVABILITY.md
+  // for the name schema).
+  struct Metrics {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* glitches = nullptr;
+    obs::Counter* overruns = nullptr;
+    obs::Counter* disturbances = nullptr;
+    obs::Histogram* service_time_s = nullptr;
+    obs::Histogram* seek_s = nullptr;
+    obs::Histogram* rotation_s = nullptr;
+    obs::Histogram* transfer_s = nullptr;
+    std::vector<obs::Counter*> zone_hits;
+  };
+
   RoundSimulator(const disk::DiskGeometry& geometry,
                  const disk::SeekTimeModel& seek, int num_streams,
                  std::vector<std::unique_ptr<workload::FragmentSource>> sources,
@@ -133,8 +195,11 @@ class RoundSimulator {
   std::vector<std::unique_ptr<workload::FragmentSource>> sources_;
   SimulatorConfig config_;
   numeric::Rng rng_;
+  numeric::Rng disturbance_rng_;
   int arm_cylinder_ = 0;
   bool ascending_ = true;
+  int64_t rounds_run_ = 0;
+  std::optional<Metrics> metrics_;
 };
 
 }  // namespace zonestream::sim

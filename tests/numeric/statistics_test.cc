@@ -1,5 +1,6 @@
 #include "numeric/statistics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -190,6 +191,119 @@ TEST(HistogramTest, DensityIntegratesToOne) {
     integral += histogram.density(b) * width;
   }
   EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(WilsonIntervalRealTest, MatchesIntegerWilsonOnIntegerInputs) {
+  const ProportionInterval integer = WilsonInterval(7, 50);
+  const ProportionInterval real = WilsonIntervalReal(7.0, 50.0);
+  EXPECT_DOUBLE_EQ(real.point, integer.point);
+  EXPECT_DOUBLE_EQ(real.lower, integer.lower);
+  EXPECT_DOUBLE_EQ(real.upper, integer.upper);
+}
+
+TEST(WilsonIntervalRealTest, SmallerEffectiveSampleWidensInterval) {
+  // Same proportion at a tenth of the sample size: the interval must be
+  // wider — this is the mechanism the cluster-robust estimator relies on.
+  const ProportionInterval full = WilsonIntervalReal(50.0, 500.0);
+  const ProportionInterval tenth = WilsonIntervalReal(5.0, 50.0);
+  EXPECT_DOUBLE_EQ(full.point, tenth.point);
+  EXPECT_GT(tenth.upper - tenth.lower, full.upper - full.lower);
+}
+
+TEST(ClusteredProportionIntervalTest, IndependentClustersMatchWilson) {
+  // When the between-cluster variance equals the binomial variance
+  // (independent trials), deff ~ 1 and the clustered interval collapses
+  // to the pooled Wilson interval.
+  const double p = 0.2;
+  const int64_t clusters = 1000;
+  const int64_t cluster_size = 10;
+  // Binomial per-cluster fraction variance: p(1-p)/cluster_size.
+  const double variance = p * (1.0 - p) / static_cast<double>(cluster_size);
+  const ProportionInterval clustered =
+      ClusteredProportionInterval(p, variance, clusters, cluster_size);
+  const ProportionInterval pooled = WilsonIntervalReal(
+      p * clusters * cluster_size, clusters * cluster_size);
+  EXPECT_NEAR(clustered.lower, pooled.lower, 1e-9);
+  EXPECT_NEAR(clustered.upper, pooled.upper, 1e-9);
+}
+
+TEST(ClusteredProportionIntervalTest, PerfectCorrelationWidensToClusterLevel) {
+  // All-or-nothing clusters (every trial in a cluster agrees): the
+  // effective sample is the number of clusters, not of trials.
+  std::vector<int64_t> successes;
+  for (int c = 0; c < 100; ++c) successes.push_back(c < 20 ? 50 : 0);
+  const ProportionInterval clustered =
+      ClusteredProportionInterval(successes, /*cluster_size=*/50);
+  const ProportionInterval cluster_level = WilsonInterval(20, 100);
+  const ProportionInterval pooled = WilsonInterval(20 * 50, 100 * 50);
+  EXPECT_DOUBLE_EQ(clustered.point, 0.2);
+  // Much wider than pooled, about as wide as the cluster-level interval.
+  EXPECT_GT(clustered.upper - clustered.lower,
+            3.0 * (pooled.upper - pooled.lower));
+  EXPECT_NEAR(clustered.upper - clustered.lower,
+              cluster_level.upper - cluster_level.lower,
+              0.2 * (cluster_level.upper - cluster_level.lower));
+}
+
+TEST(ClusteredProportionIntervalTest, NeverNarrowerThanPooled) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t clusters = 50 + 10 * trial;
+    const int64_t cluster_size = 1 + trial % 7;
+    std::vector<int64_t> successes;
+    int64_t total = 0;
+    for (int64_t c = 0; c < clusters; ++c) {
+      const auto s = static_cast<int64_t>(rng.Uniform01() * (cluster_size + 1));
+      successes.push_back(std::min(s, cluster_size));
+      total += successes.back();
+    }
+    const ProportionInterval clustered =
+        ClusteredProportionInterval(successes, cluster_size);
+    const ProportionInterval pooled =
+        WilsonInterval(total, clusters * cluster_size);
+    EXPECT_GE(clustered.upper - clustered.lower,
+              (pooled.upper - pooled.lower) * (1.0 - 1e-9))
+        << "trial " << trial;
+    EXPECT_LE(clustered.lower, clustered.point);
+    EXPECT_GE(clustered.upper, clustered.point);
+  }
+}
+
+TEST(ClusteredProportionIntervalTest, DegenerateAllZeroFallsBackConservative) {
+  // p = 0 has zero between-cluster variance; the estimator must fall back
+  // to one effective trial per cluster, not claim the pooled precision.
+  std::vector<int64_t> none(200, 0);
+  const ProportionInterval clustered =
+      ClusteredProportionInterval(none, /*cluster_size=*/30);
+  const ProportionInterval cluster_level = WilsonInterval(0, 200);
+  EXPECT_DOUBLE_EQ(clustered.point, 0.0);
+  EXPECT_NEAR(clustered.upper, cluster_level.upper, 1e-12);
+}
+
+TEST(ClusteredProportionIntervalTest, DegenerateAllOnesFallsBackConservative) {
+  std::vector<int64_t> all(200, 30);
+  const ProportionInterval clustered =
+      ClusteredProportionInterval(all, /*cluster_size=*/30);
+  const ProportionInterval cluster_level = WilsonInterval(200, 200);
+  EXPECT_DOUBLE_EQ(clustered.point, 1.0);
+  EXPECT_NEAR(clustered.lower, cluster_level.lower, 1e-12);
+}
+
+TEST(ClusteredProportionIntervalTest, OverloadsAgree) {
+  std::vector<int64_t> successes = {3, 0, 5, 2, 2, 4, 1, 0, 3, 5};
+  const int64_t cluster_size = 5;
+  RunningStats fractions;
+  for (int64_t s : successes) {
+    fractions.Add(static_cast<double>(s) / static_cast<double>(cluster_size));
+  }
+  const ProportionInterval from_vector =
+      ClusteredProportionInterval(successes, cluster_size);
+  const ProportionInterval from_moments = ClusteredProportionInterval(
+      fractions.mean(), fractions.sample_variance(),
+      static_cast<int64_t>(successes.size()), cluster_size);
+  EXPECT_DOUBLE_EQ(from_vector.point, from_moments.point);
+  EXPECT_DOUBLE_EQ(from_vector.lower, from_moments.lower);
+  EXPECT_DOUBLE_EQ(from_vector.upper, from_moments.upper);
 }
 
 TEST(HistogramTest, BinCenters) {

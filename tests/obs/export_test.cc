@@ -1,0 +1,182 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace zonestream::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Minimal structural JSON validity check: quotes pair up and brackets
+// balance outside strings. Catches malformed emitter output (unescaped
+// quotes, trailing garbage) without a full parser.
+bool JsonLooksValid(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+RoundTraceEvent MakeEvent() {
+  RoundTraceEvent event;
+  event.round = 12;
+  event.source_id = 2;
+  event.num_requests = 20;
+  event.service_time_s = 0.75;
+  event.seek_s = 0.25;
+  event.rotation_s = 0.125;
+  event.transfer_s = 0.375;
+  event.disturbance_delay_s = 0.0;
+  event.disturbances = 0;
+  event.glitches = 1;
+  event.overran = true;
+  event.leftover_s = 0.25;
+  event.zone_hits = {7, 13};
+  return event;
+}
+
+TEST(ExportJsonTest, RegistryToJsonIsValidAndComplete) {
+  Registry registry;
+  registry.GetCounter("sim.rounds")->Increment(100);
+  registry.GetGauge("mixed.queue_depth")->Set(4.5);
+  registry.GetHistogram("sim.round.service_time_s")->Record(0.5);
+  registry.GetHistogram("sim.round.service_time_s")->Record(0.75);
+
+  const std::string json = RegistryToJson(registry.Snapshot());
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.rounds\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"mixed.queue_depth\":4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":0.625"), std::string::npos);
+}
+
+TEST(ExportJsonTest, EmptyRegistrySerializes) {
+  Registry registry;
+  const std::string json = RegistryToJson(registry.Snapshot());
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+}
+
+TEST(ExportJsonTest, DoublesRoundTripExactly) {
+  Registry registry;
+  // A value with no short decimal representation: %.17g must round-trip.
+  const double value = 0.1 + 0.2;
+  registry.GetGauge("g.value")->Set(value);
+  const std::string json = RegistryToJson(registry.Snapshot());
+  const auto pos = json.find("\"g.value\":");
+  ASSERT_NE(pos, std::string::npos);
+  const double parsed = std::strtod(json.c_str() + pos + 10, nullptr);
+  EXPECT_EQ(parsed, value);  // bit-exact
+}
+
+TEST(ExportJsonTest, TraceEventToJsonIsValidAndComplete) {
+  const std::string json = TraceEventToJson(MakeEvent());
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"round\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"source_id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"num_requests\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"service_time_s\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"glitches\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"overran\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"zone_hits\":[7,13]"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+TEST(ExportJsonTest, WriteTraceJsonLinesWritesOneObjectPerLine) {
+  const std::string path = testing::TempDir() + "/trace.jsonl";
+  std::vector<RoundTraceEvent> events = {MakeEvent(), MakeEvent()};
+  events[1].round = 13;
+  ASSERT_TRUE(WriteTraceJsonLines(events, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonLooksValid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(ExportCsvTest, HeaderAndRowsHaveMatchingColumns) {
+  const std::string header = TraceCsvHeader();
+  const std::string row = TraceEventToCsvRow(MakeEvent());
+  const auto count_commas = [](const std::string& s) {
+    int commas = 0;
+    for (char c : s) commas += c == ',';
+    return commas;
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+  EXPECT_EQ(header.substr(0, 6), "round,");
+  // zone_hits flattened with ';' so it stays one CSV column.
+  EXPECT_NE(row.find("7;13"), std::string::npos);
+}
+
+TEST(ExportCsvTest, WriteTraceCsvWritesHeaderPlusRows) {
+  const std::string path = testing::TempDir() + "/trace.csv";
+  std::vector<RoundTraceEvent> events = {MakeEvent(), MakeEvent(),
+                                         MakeEvent()};
+  ASSERT_TRUE(WriteTraceCsv(events, path).ok());
+  const std::string content = ReadFile(path);
+  int lines = 0;
+  for (char c : content) lines += c == '\n';
+  EXPECT_EQ(lines, 4);  // header + 3 rows
+  EXPECT_EQ(content.substr(0, 6), "round,");
+  std::remove(path.c_str());
+}
+
+TEST(ExportTextTest, RegistryToTextRendersTables) {
+  Registry registry;
+  registry.GetCounter("sim.rounds")->Increment(100);
+  registry.GetHistogram("sim.round.service_time_s")->Record(0.5);
+  const std::string text = RegistryToText(registry.Snapshot());
+  EXPECT_NE(text.find("Counters & gauges"), std::string::npos);
+  EXPECT_NE(text.find("Histograms"), std::string::npos);
+  EXPECT_NE(text.find("sim.rounds"), std::string::npos);
+  EXPECT_NE(text.find("sim.round.service_time_s"), std::string::npos);
+}
+
+TEST(ExportTextTest, WriteFailsOnUnwritablePath) {
+  EXPECT_FALSE(
+      WriteTraceCsv({}, "/nonexistent-dir/trace.csv").ok());
+  EXPECT_FALSE(
+      WriteTraceJsonLines({}, "/nonexistent-dir/trace.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace zonestream::obs

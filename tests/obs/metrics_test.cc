@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace zonestream::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.Add(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.25);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreLossless) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 0.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  // The acceptance criterion for the exporters: mean == sum/count exactly,
+  // unaffected by the log bucketing.
+  Histogram histogram;
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    const double value = 1e-4 * i + 1e-7;
+    histogram.Record(value);
+    sum += value;
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1000);
+  EXPECT_DOUBLE_EQ(snapshot.sum, sum);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), sum / 1000.0);
+}
+
+TEST(HistogramTest, MinMaxAreExact) {
+  Histogram histogram;
+  histogram.Record(0.25);
+  histogram.Record(7.0);
+  histogram.Record(0.003);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.003);
+  EXPECT_DOUBLE_EQ(snapshot.max, 7.0);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  // 1..1000 ms uniformly: p50 ~ 0.5 s, p95 ~ 0.95 s, p99 ~ 0.99 s, with
+  // <= ~9% relative error from the 8-buckets-per-octave resolution.
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(i * 1e-3);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_NEAR(snapshot.p50, 0.5, 0.5 * 0.10);
+  EXPECT_NEAR(snapshot.p95, 0.95, 0.95 * 0.10);
+  EXPECT_NEAR(snapshot.p99, 0.99, 0.99 * 0.10);
+  EXPECT_LE(snapshot.p50, snapshot.p95);
+  EXPECT_LE(snapshot.p95, snapshot.p99);
+  EXPECT_LE(snapshot.p99, snapshot.max);
+}
+
+TEST(HistogramTest, QuantileOfSingleValueIsThatValue) {
+  Histogram histogram;
+  histogram.Record(0.125);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  // Quantiles clamp into [min, max], so a single observation reports
+  // itself exactly.
+  EXPECT_DOUBLE_EQ(snapshot.p50, 0.125);
+  EXPECT_DOUBLE_EQ(snapshot.p99, 0.125);
+}
+
+TEST(HistogramTest, HandlesOutOfRangeAndNonPositiveValues) {
+  Histogram histogram;
+  histogram.Record(0.0);     // underflow bucket
+  histogram.Record(-3.0);    // underflow bucket
+  histogram.Record(1e-12);   // below kMinValue: clamps to first bucket
+  histogram.Record(1e9);     // above kMaxValue: clamps to last bucket
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 4);
+  EXPECT_DOUBLE_EQ(snapshot.min, -3.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 1e9);
+}
+
+TEST(HistogramTest, BucketBoundsAreMonotone) {
+  for (int i = 2; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::BucketLowerBound(i - 1),
+              Histogram::BucketLowerBound(i));
+  }
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(1), Histogram::kMinValue);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(1e-3);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  // The running sum accumulates fp roundoff over 40k additions; the mean
+  // is sum/count, not re-derived from buckets.
+  EXPECT_NEAR(snapshot.mean(), 1e-3, 1e-12);
+}
+
+TEST(RegistryTest, ValidatesNames) {
+  EXPECT_TRUE(Registry::IsValidName("sim.rounds"));
+  EXPECT_TRUE(Registry::IsValidName("a"));
+  EXPECT_TRUE(Registry::IsValidName("sim.zone_hits.12"));
+  EXPECT_FALSE(Registry::IsValidName(""));
+  EXPECT_FALSE(Registry::IsValidName("."));
+  EXPECT_FALSE(Registry::IsValidName("sim."));
+  EXPECT_FALSE(Registry::IsValidName(".sim"));
+  EXPECT_FALSE(Registry::IsValidName("sim..rounds"));
+  EXPECT_FALSE(Registry::IsValidName("Sim.rounds"));   // no upper case
+  EXPECT_FALSE(Registry::IsValidName("sim rounds"));   // no spaces
+  EXPECT_FALSE(Registry::IsValidName("sim-rounds"));   // no dashes
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+  counter->Increment(5);
+  EXPECT_EQ(registry.GetCounter("test.counter")->value(), 5);
+
+  Histogram* histogram = registry.GetHistogram("test.latency_s");
+  EXPECT_EQ(registry.GetHistogram("test.latency_s"), histogram);
+  Gauge* gauge = registry.GetGauge("test.depth");
+  EXPECT_EQ(registry.GetGauge("test.depth"), gauge);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  Registry registry;
+  registry.GetCounter("b.count")->Increment(2);
+  registry.GetCounter("a.count")->Increment(1);
+  registry.GetGauge("a.gauge")->Set(0.5);
+  registry.GetHistogram("a.hist")->Record(1.0);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.count");
+  EXPECT_EQ(snapshot.counters[0].second, 1);
+  EXPECT_EQ(snapshot.counters[1].first, "b.count");
+  EXPECT_EQ(snapshot.counters[1].second, 2);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 0.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1);
+}
+
+TEST(RegistryTest, ConcurrentGetAndUseIsSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared.counter")->Increment();
+        registry.GetHistogram("shared.hist")->Record(1e-3);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->value(), kThreads * 1000);
+  EXPECT_EQ(registry.GetHistogram("shared.hist")->count(), kThreads * 1000);
+}
+
+}  // namespace
+}  // namespace zonestream::obs

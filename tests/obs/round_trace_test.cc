@@ -1,0 +1,87 @@
+#include "obs/round_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace zonestream::obs {
+namespace {
+
+RoundTraceEvent MakeEvent(int64_t round) {
+  RoundTraceEvent event;
+  event.round = round;
+  event.source_id = 3;
+  event.num_requests = 20;
+  event.service_time_s = 0.5;
+  event.seek_s = 0.2;
+  event.rotation_s = 0.1;
+  event.transfer_s = 0.2;
+  event.zone_hits = {5, 10, 5};
+  return event;
+}
+
+TEST(RoundTraceRecorderTest, RecordsInOrder) {
+  RoundTraceRecorder recorder;
+  for (int64_t r = 0; r < 10; ++r) recorder.Record(MakeEvent(r));
+  EXPECT_EQ(recorder.size(), 10u);
+  EXPECT_EQ(recorder.dropped(), 0);
+  const std::vector<RoundTraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (int64_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(events[r].round, r);
+    EXPECT_EQ(events[r].source_id, 3);
+    EXPECT_EQ(events[r].zone_hits, (std::vector<int32_t>{5, 10, 5}));
+  }
+}
+
+TEST(RoundTraceRecorderTest, DropsBeyondCapacityKeepingPrefix) {
+  RoundTraceRecorder recorder(/*capacity=*/4);
+  for (int64_t r = 0; r < 10; ++r) recorder.Record(MakeEvent(r));
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6);
+  const std::vector<RoundTraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The stored events are the deterministic prefix, not a ring.
+  for (int64_t r = 0; r < 4; ++r) EXPECT_EQ(events[r].round, r);
+}
+
+TEST(RoundTraceRecorderTest, ClearResetsEventsAndDropCounter) {
+  RoundTraceRecorder recorder(/*capacity=*/2);
+  for (int64_t r = 0; r < 5; ++r) recorder.Record(MakeEvent(r));
+  EXPECT_EQ(recorder.dropped(), 3);
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0);
+  recorder.Record(MakeEvent(7));
+  EXPECT_EQ(recorder.Snapshot().at(0).round, 7);
+}
+
+TEST(RoundTraceRecorderTest, ConcurrentRecordsAreLossless) {
+  RoundTraceRecorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RoundTraceEvent event = MakeEvent(i);
+        event.source_id = t;
+        recorder.Record(std::move(event));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.dropped(), 0);
+  // Per-source event counts survive interleaving.
+  std::vector<int> per_source(kThreads, 0);
+  for (const RoundTraceEvent& event : recorder.Snapshot()) {
+    ++per_source[event.source_id];
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_source[t], kPerThread);
+}
+
+}  // namespace
+}  // namespace zonestream::obs

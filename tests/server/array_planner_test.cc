@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "disk/presets.h"
+#include "obs/metrics.h"
 
 namespace zonestream::server {
 namespace {
@@ -70,6 +71,41 @@ TEST(ArrayPlannerTest, ToleranceTightensCapacity) {
   ASSERT_TRUE(loose.ok());
   ASSERT_TRUE(tight.ok());
   EXPECT_LT(tight->partitioned_capacity, loose->partitioned_capacity);
+}
+
+TEST(ArrayPlannerObservabilityTest, RecordsPlanLatenciesAndCapacities) {
+  obs::Registry registry;
+  common::ThreadPool pool(2);
+  const auto plan = PlanArray({VikingGroup(4), SmallGroup(4), FastGroup(2)},
+                              200e3, 1e10, ArrayQos{}, &pool, &registry);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(registry.GetCounter("server.array_planner.plans")->value(), 1);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("server.array_planner.groups")->value(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("server.array_planner.striped_capacity")->value(),
+      plan->striped_capacity);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("server.array_planner.partitioned_capacity")->value(),
+      plan->partitioned_capacity);
+  // One latency sample per group, timed around the parallel plan calls.
+  const obs::HistogramSnapshot latency =
+      registry.GetHistogram("server.array_planner.group_plan_s")->Snapshot();
+  EXPECT_EQ(latency.count, 3);
+  EXPECT_GT(latency.max, 0.0);
+}
+
+TEST(ArrayPlannerObservabilityTest, MetricsDoNotChangeThePlan) {
+  obs::Registry registry;
+  const auto bare = PlanArray({VikingGroup(4), SmallGroup(4)}, 200e3, 1e10,
+                              ArrayQos{});
+  const auto wired = PlanArray({VikingGroup(4), SmallGroup(4)}, 200e3, 1e10,
+                               ArrayQos{}, nullptr, &registry);
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(wired.ok());
+  EXPECT_EQ(bare->per_disk_limits, wired->per_disk_limits);
+  EXPECT_EQ(bare->striped_capacity, wired->striped_capacity);
+  EXPECT_EQ(bare->partitioned_capacity, wired->partitioned_capacity);
 }
 
 }  // namespace

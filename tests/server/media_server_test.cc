@@ -1,10 +1,13 @@
 #include "server/media_server.h"
 
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "disk/presets.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "workload/size_distribution.h"
 
 namespace zonestream::server {
@@ -182,6 +185,82 @@ TEST(MediaServerTest, ChurnKeepsPerDiskLoadBounded) {
 TEST(MediaServerTest, StreamStatsNotFoundForUnknownId) {
   MediaServer server = MakeServer(1, 2);
   EXPECT_FALSE(server.GetStreamStats(5).ok());
+}
+
+TEST(MediaServerObservabilityTest, AdmissionAndRoundMetrics) {
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
+  MediaServerConfig config;
+  config.num_disks = 2;
+  config.round_length_s = 1.0;
+  config.per_disk_stream_limit = 3;
+  config.metrics = &registry;
+  config.trace = &trace;
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<int> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = server->OpenStream(Table1Sizes());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_FALSE(server->OpenStream(Table1Sizes()).ok());
+  EXPECT_EQ(registry.GetCounter("server.admission.accepted")->value(), 6);
+  EXPECT_EQ(registry.GetCounter("server.admission.rejected")->value(), 1);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("server.active_streams")->value(), 6.0);
+
+  server->RunRounds(10);
+  EXPECT_EQ(registry.GetCounter("server.rounds")->value(), 10);
+  // Every round serves every stream exactly once across the disks.
+  EXPECT_EQ(registry.GetCounter("server.requests")->value(), 6 * 10);
+  EXPECT_EQ(
+      registry.GetHistogram("server.disk.service_time_s")->count(),
+      2 * 10);  // one sample per (round, disk)
+
+  ASSERT_TRUE(server->CloseStream(ids[0]).ok());
+  EXPECT_EQ(registry.GetCounter("server.streams.closed")->value(), 1);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("server.active_streams")->value(), 5.0);
+
+  // One trace event per (round, disk), source_id = disk index.
+  const std::vector<obs::RoundTraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 2u * 10u);
+  int64_t requests = 0;
+  for (const obs::RoundTraceEvent& event : events) {
+    EXPECT_GE(event.source_id, 0);
+    EXPECT_LT(event.source_id, 2);
+    EXPECT_GE(event.service_time_s, 0.0);
+    requests += event.num_requests;
+  }
+  EXPECT_EQ(requests, 6 * 10);
+}
+
+TEST(MediaServerObservabilityTest, NullHooksDoNotChangeBehavior) {
+  obs::Registry registry;
+  MediaServerConfig config;
+  config.num_disks = 2;
+  config.per_disk_stream_limit = 5;
+  config.seed = 77;
+  config.metrics = &registry;
+  auto wired = MediaServer::Create(disk::QuantumViking2100(),
+                                   disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(wired.ok());
+  MediaServer bare = MakeServer(2, 5, 77);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wired->OpenStream(Table1Sizes()).ok());
+    ASSERT_TRUE(bare.OpenStream(Table1Sizes()).ok());
+  }
+  wired->RunRounds(20);
+  bare.RunRounds(20);
+  const ServerStats a = wired->GetServerStats();
+  const ServerStats b = bare.GetServerStats();
+  EXPECT_EQ(a.fragments_served, b.fragments_served);
+  EXPECT_EQ(a.glitches, b.glitches);
+  ASSERT_EQ(a.disk_utilization.size(), b.disk_utilization.size());
+  for (size_t d = 0; d < a.disk_utilization.size(); ++d) {
+    EXPECT_DOUBLE_EQ(a.disk_utilization[d], b.disk_utilization[d]);
+  }
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 #include "sim/replication.h"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "disk/presets.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "workload/size_distribution.h"
 
 namespace zonestream::sim {
@@ -205,6 +209,95 @@ TEST(ReplicationTest, InvalidSimulatorArgumentsSurfaceAsStatus) {
                    disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
                    0, factory, TestConfig(), 10, options)
                    .ok());
+}
+
+TEST(ReplicationTest, DisabledDisturbanceBitIdenticalAtAnyThreadCount) {
+  // Enabling the disturbance machinery with probability 0 must leave the
+  // replicated statistics bit-identical to a config without it, at every
+  // thread count: the injected delays live on their own RNG substream.
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  SimulatorConfig with_off_disturbance = TestConfig();
+  with_off_disturbance.disturbance.probability = 0.0;
+  with_off_disturbance.disturbance.delay_min_s = 0.05;
+  with_off_disturbance.disturbance.delay_max_s = 0.5;
+
+  common::ThreadPool one(1);
+  ReplicationOptions reference_options;
+  reference_options.replications = 10;
+  reference_options.pool = &one;
+  const auto reference = SampleServiceTimesReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      TestConfig(), /*rounds_per_replication=*/20, reference_options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {1, 4}) {
+    common::ThreadPool pool(threads);
+    ReplicationOptions options = reference_options;
+    options.pool = &pool;
+    const auto stats = SampleServiceTimesReplicated(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+        with_off_disturbance, /*rounds_per_replication=*/20, options);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->mean(), reference->mean()) << threads;
+    EXPECT_EQ(stats->variance(), reference->variance()) << threads;
+    EXPECT_EQ(stats->min(), reference->min()) << threads;
+    EXPECT_EQ(stats->max(), reference->max()) << threads;
+  }
+}
+
+TEST(ReplicationTest, GlitchIntervalClusteredWiderThanLegacyPooled) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  ReplicationOptions options;
+  options.replications = 8;
+  SimulatorConfig clustered_config = TestConfig();
+  SimulatorConfig pooled_config = TestConfig();
+  pooled_config.legacy_pooled_intervals = true;
+  const int n = 30;  // loaded enough to glitch
+  const auto clustered = EstimateGlitchProbabilityReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n, factory,
+      clustered_config, /*rounds_per_replication=*/500, options);
+  const auto pooled = EstimateGlitchProbabilityReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n, factory,
+      pooled_config, /*rounds_per_replication=*/500, options);
+  ASSERT_TRUE(clustered.ok());
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_DOUBLE_EQ(clustered->point, pooled->point);
+  EXPECT_GT(clustered->point, 0.0);
+  EXPECT_GT(clustered->ci_upper - clustered->ci_lower,
+            pooled->ci_upper - pooled->ci_lower);
+}
+
+TEST(ReplicationTest, SharedObsHooksCollectAcrossReplications) {
+  const auto factory = RoundSimulator::IidFactory(TestSizes());
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
+  SimulatorConfig config = TestConfig();
+  config.metrics = &registry;
+  config.trace = &trace;
+  common::ThreadPool pool(4);
+  ReplicationOptions options;
+  options.replications = 6;
+  options.pool = &pool;
+  const auto estimate = EstimateLateProbabilityReplicated(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26, factory,
+      config, /*rounds_per_replication=*/30, options);
+  ASSERT_TRUE(estimate.ok());
+  // The probe simulator registers metrics but runs no rounds; only the 6
+  // replications contribute samples.
+  EXPECT_EQ(registry.GetCounter("sim.rounds")->value(), 6 * 30);
+  EXPECT_EQ(registry.GetCounter("sim.requests")->value(), 6 * 30 * 26);
+
+  // Trace events interleave across threads, but each replication's events
+  // carry its index as source_id and stay internally ordered.
+  const std::vector<obs::RoundTraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 6u * 30u);
+  std::vector<int64_t> next_round(6, 0);
+  for (const obs::RoundTraceEvent& event : events) {
+    ASSERT_GE(event.source_id, 0);
+    ASSERT_LT(event.source_id, 6);
+    EXPECT_EQ(event.round, next_round[event.source_id]++);
+  }
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(next_round[r], 30);
 }
 
 }  // namespace

@@ -1,13 +1,18 @@
 #include "sim/round_simulator.h"
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/admission.h"
+#include "core/glitch_model.h"
 #include "core/service_time_model.h"
 #include "core/transfer_models.h"
 #include "disk/presets.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
 #include "workload/size_distribution.h"
 
 namespace zonestream::sim {
@@ -253,6 +258,300 @@ TEST(RoundSimulatorTest, WilsonIntervalsBracketThePoint) {
   EXPECT_LE(estimate.ci_lower, estimate.point);
   EXPECT_GE(estimate.ci_upper, estimate.point);
   EXPECT_EQ(estimate.trials, 2000);
+}
+
+// --------------------------------------------------------------------------
+// Regression: the one-directional sweep must charge the return seek
+
+RoundSimulator MakeResetSimulator(int n, uint64_t seed, bool legacy) {
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = seed;
+  config.sweep_policy = SweepPolicy::kResetAscending;
+  config.legacy_free_arm_reset = legacy;
+  auto simulator = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+TEST(ArmResetRegressionTest, ReturnSeekLengthensRoundsVsLegacy) {
+  // Same seed => identical request sample paths (both sweeps start at
+  // cylinder 0 every round), so the corrected policy's rounds must be
+  // strictly longer by exactly the charged return seek.
+  RoundSimulator fixed = MakeResetSimulator(26, 57, /*legacy=*/false);
+  RoundSimulator legacy = MakeResetSimulator(26, 57, /*legacy=*/true);
+  // Round 0 starts with the arm already at 0: no return seek yet.
+  EXPECT_DOUBLE_EQ(fixed.RunRound().total_service_time_s,
+                   legacy.RunRound().total_service_time_s);
+  double charged = 0.0;
+  for (int r = 1; r < 200; ++r) {
+    const double with_return = fixed.RunRound().total_service_time_s;
+    const double free_reset = legacy.RunRound().total_service_time_s;
+    EXPECT_GT(with_return, free_reset) << "round " << r;
+    charged += with_return - free_reset;
+  }
+  // The per-round surcharge is a real seek: a full-stroke sweep back
+  // takes ~10-20 ms on this disk, never hours and never zero.
+  EXPECT_GT(charged / 199.0, 1e-3);
+  EXPECT_LT(charged / 199.0, 0.1);
+}
+
+TEST(ArmResetRegressionTest, ReturnSeekRaisesLateProbabilityEstimate) {
+  // At N = 30 the system sits near its deadline, so the uncharged seek
+  // visibly underestimates p_late.
+  RoundSimulator fixed = MakeResetSimulator(30, 13, /*legacy=*/false);
+  RoundSimulator legacy = MakeResetSimulator(30, 13, /*legacy=*/true);
+  const double p_fixed = fixed.EstimateLateProbability(4000).point;
+  const double p_legacy = legacy.EstimateLateProbability(4000).point;
+  EXPECT_GT(p_fixed, p_legacy);
+}
+
+TEST(ArmResetRegressionTest, AlternatePolicyUnaffectedByLegacyFlag) {
+  SimulatorConfig config;
+  config.seed = 91;
+  config.legacy_free_arm_reset = true;
+  auto legacy = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(legacy.ok());
+  RoundSimulator plain = MakeSimulator(26, 91);
+  for (int r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(legacy->RunRound().total_service_time_s,
+                     plain.RunRound().total_service_time_s);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Regression: correlated glitch/error events need cluster-robust intervals
+
+RoundSimulator MakeIntervalSimulator(int n, uint64_t seed, bool legacy) {
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  config.seed = seed;
+  config.legacy_pooled_intervals = legacy;
+  auto simulator = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ZS_CHECK(simulator.ok());
+  return *std::move(simulator);
+}
+
+TEST(ClusteredIntervalRegressionTest, GlitchIntervalWiderThanPooled) {
+  // Same seed => same sample path => same point estimate; but one slow
+  // sweep glitches many streams at once, so the round-clustered interval
+  // must be wider than the pooled Wilson interval that pretends the
+  // (stream, round) events are independent.
+  RoundSimulator clustered = MakeIntervalSimulator(30, 5, /*legacy=*/false);
+  RoundSimulator pooled = MakeIntervalSimulator(30, 5, /*legacy=*/true);
+  const ProbabilityEstimate c = clustered.EstimateGlitchProbability(4000);
+  const ProbabilityEstimate p = pooled.EstimateGlitchProbability(4000);
+  EXPECT_DOUBLE_EQ(c.point, p.point);
+  EXPECT_GT(c.point, 0.0) << "need glitches for the comparison to bite";
+  EXPECT_GT(c.ci_upper - c.ci_lower, p.ci_upper - p.ci_lower);
+  EXPECT_LE(c.ci_lower, c.point);
+  EXPECT_GE(c.ci_upper, c.point);
+  EXPECT_EQ(c.trials, 4000 * 30);
+}
+
+TEST(ClusteredIntervalRegressionTest, ErrorIntervalWiderThanPooled) {
+  // The num_streams samples of one lifetime share the same m rounds: the
+  // lifetime-clustered interval dominates the pooled one.
+  RoundSimulator clustered = MakeIntervalSimulator(30, 17, /*legacy=*/false);
+  RoundSimulator pooled = MakeIntervalSimulator(30, 17, /*legacy=*/true);
+  const ProbabilityEstimate c =
+      clustered.EstimateErrorProbability(/*m=*/20, /*g=*/1, /*lifetimes=*/60);
+  const ProbabilityEstimate p =
+      pooled.EstimateErrorProbability(/*m=*/20, /*g=*/1, /*lifetimes=*/60);
+  EXPECT_DOUBLE_EQ(c.point, p.point);
+  EXPECT_GT(c.point, 0.0);
+  EXPECT_LT(c.point, 1.0);
+  EXPECT_GE(c.ci_upper - c.ci_lower, p.ci_upper - p.ci_lower);
+  EXPECT_LE(c.ci_lower, c.point);
+  EXPECT_GE(c.ci_upper, c.point);
+}
+
+TEST(ClusteredIntervalRegressionTest, ErrorProbabilityMatchesBinomialTail) {
+  // Per stream, glitches across the m i.i.d. rounds of a lifetime are
+  // ~Binomial(m, p_glitch), so P[>= g glitches] should agree with the
+  // exact binomial tail at the measured p_glitch. The cluster-robust CI
+  // must cover the binomial prediction.
+  const int n = 30;
+  const int m = 20;
+  const int g = 1;
+  RoundSimulator for_glitch = MakeIntervalSimulator(n, 23, /*legacy=*/false);
+  const double p_glitch = for_glitch.EstimateGlitchProbability(6000).point;
+  ASSERT_GT(p_glitch, 0.0);
+  const double predicted = core::BinomialTailExact(m, p_glitch, g);
+
+  RoundSimulator for_error = MakeIntervalSimulator(n, 29, /*legacy=*/false);
+  const ProbabilityEstimate estimate =
+      for_error.EstimateErrorProbability(m, g, /*lifetimes=*/100);
+  EXPECT_GE(predicted, estimate.ci_lower);
+  EXPECT_LE(predicted, estimate.ci_upper);
+  EXPECT_NEAR(estimate.point, predicted, 0.5 * predicted + 0.02);
+}
+
+// --------------------------------------------------------------------------
+// Disturbance determinism (dedicated RNG substream)
+
+TEST(DisturbanceTest, ConstantDelayShiftsRoundsByExactlyNDelay) {
+  // probability = 1 with a degenerate [d, d] delay adds exactly N * d to
+  // every round. The long round length keeps both runs glitch-free, so
+  // the arm states stay in lockstep and the identity is exact.
+  const int n = 20;
+  const double d = 0.01;
+  DisturbanceConfig constant;
+  constant.probability = 1.0;
+  constant.delay_min_s = d;
+  constant.delay_max_s = d;
+
+  SimulatorConfig config;
+  config.round_length_s = 10.0;
+  config.seed = 61;
+  config.disturbance = constant;
+  auto disturbed = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(disturbed.ok());
+  config.disturbance = DisturbanceConfig{};
+  auto clean = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(clean.ok());
+
+  for (int r = 0; r < 200; ++r) {
+    const double with_delay = disturbed->RunRound().total_service_time_s;
+    const double without = clean->RunRound().total_service_time_s;
+    EXPECT_NEAR(with_delay, without + n * d, 1e-9) << "round " << r;
+  }
+}
+
+TEST(DisturbanceTest, ZeroProbabilityTraceBitIdenticalToClean) {
+  // Enabling the disturbance machinery with probability 0 must not perturb
+  // the main RNG stream: the full round traces are bit-identical.
+  DisturbanceConfig off;
+  off.probability = 0.0;
+  off.delay_min_s = 0.05;  // would matter if any delay were drawn
+  off.delay_max_s = 0.5;
+
+  obs::RoundTraceRecorder disturbed_trace;
+  SimulatorConfig config;
+  config.seed = 67;
+  config.disturbance = off;
+  config.trace = &disturbed_trace;
+  auto disturbed = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(disturbed.ok());
+
+  obs::RoundTraceRecorder clean_trace;
+  config.disturbance = DisturbanceConfig{};
+  config.trace = &clean_trace;
+  auto clean = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(clean.ok());
+
+  for (int r = 0; r < 100; ++r) {
+    disturbed->RunRound();
+    clean->RunRound();
+  }
+  const std::vector<obs::RoundTraceEvent> a = disturbed_trace.Snapshot();
+  const std::vector<obs::RoundTraceEvent> b = clean_trace.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_EQ(a[i].service_time_s, b[i].service_time_s);  // bit-identical
+    EXPECT_EQ(a[i].seek_s, b[i].seek_s);
+    EXPECT_EQ(a[i].rotation_s, b[i].rotation_s);
+    EXPECT_EQ(a[i].transfer_s, b[i].transfer_s);
+    EXPECT_EQ(a[i].disturbances, 0);
+    EXPECT_EQ(a[i].zone_hits, b[i].zone_hits);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Observability wiring
+
+TEST(ObservabilityTest, HistogramMeanMatchesOutcomesExactly) {
+  obs::Registry registry;
+  SimulatorConfig config;
+  config.seed = 71;
+  config.metrics = &registry;
+  auto simulator = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(simulator.ok());
+
+  const int rounds = 500;
+  double sum = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    sum += simulator->RunRound().total_service_time_s;
+  }
+  const obs::HistogramSnapshot snapshot =
+      registry.GetHistogram("sim.round.service_time_s")->Snapshot();
+  EXPECT_EQ(snapshot.count, rounds);
+  EXPECT_NEAR(snapshot.mean(), sum / rounds, 1e-12);
+  EXPECT_EQ(registry.GetCounter("sim.rounds")->value(), rounds);
+  EXPECT_EQ(registry.GetCounter("sim.requests")->value(), 26 * rounds);
+  EXPECT_EQ(simulator->rounds_run(), rounds);
+}
+
+TEST(ObservabilityTest, TraceDecompositionIdentityHolds) {
+  // service == seek + rotation + transfer + disturbance for every event,
+  // including the charged return seek and injected delays.
+  DisturbanceConfig tcal;
+  tcal.probability = 0.1;
+  tcal.delay_min_s = 0.001;
+  tcal.delay_max_s = 0.01;
+  obs::RoundTraceRecorder trace;
+  SimulatorConfig config;
+  config.seed = 73;
+  config.sweep_policy = SweepPolicy::kResetAscending;
+  config.disturbance = tcal;
+  config.trace = &trace;
+  config.trace_source_id = 9;
+  auto simulator = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(simulator.ok());
+  for (int r = 0; r < 200; ++r) simulator->RunRound();
+
+  const std::vector<obs::RoundTraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 200u);
+  int64_t total_hits = 0;
+  for (const obs::RoundTraceEvent& event : events) {
+    EXPECT_EQ(event.source_id, 9);
+    EXPECT_EQ(event.num_requests, 26);
+    EXPECT_NEAR(event.service_time_s,
+                event.seek_s + event.rotation_s + event.transfer_s +
+                    event.disturbance_delay_s,
+                1e-9 * event.service_time_s + 1e-12);
+    ASSERT_EQ(event.zone_hits.size(),
+              static_cast<size_t>(disk::QuantumViking2100().num_zones()));
+    for (int32_t hits : event.zone_hits) total_hits += hits;
+  }
+  EXPECT_EQ(total_hits, 26 * 200);
+}
+
+TEST(ObservabilityTest, NullHooksBehaveIdenticallyToWired) {
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
+  SimulatorConfig config;
+  config.seed = 79;
+  config.metrics = &registry;
+  config.trace = &trace;
+  auto wired = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(wired.ok());
+  RoundSimulator bare = MakeSimulator(26, 79);
+  for (int r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(wired->RunRound().total_service_time_s,
+                     bare.RunRound().total_service_time_s);
+  }
 }
 
 }  // namespace
