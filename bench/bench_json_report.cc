@@ -1,7 +1,8 @@
 // Post-processes google-benchmark JSON output into the repo's checked-in
 // perf-trajectory file (BENCH_model_perf.json).
 //
-// Usage: bench_json_report <raw-google-benchmark.json> <output.json>
+// Usage: bench_json_report [--build-type=<type>] [--require-release]
+//            <raw-google-benchmark.json> <output.json>
 //
 // The raw file is the `--benchmark_format=json` dump of bench_model_perf;
 // this tool extracts the stable subset we track across PRs (per-benchmark
@@ -10,6 +11,14 @@
 // the trajectory file stay readable. Parsing is a small purpose-built
 // scanner for google-benchmark's flat JSON shape — no third-party JSON
 // dependency.
+//
+// Provenance: --build-type records zonestream's own CMAKE_BUILD_TYPE in
+// the output context (the raw dump's "library_build_type" describes only
+// the google-benchmark library, which can differ). Non-Release build
+// types are loudly warned about — and refused outright with
+// --require-release — so a debug-built trajectory can't silently become
+// the checked-in baseline again.
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -139,15 +148,51 @@ std::string FormatNumber(double value) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
+  std::string build_type;
+  bool require_release = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--build-type=", 0) == 0) {
+      build_type = arg.substr(std::string("--build-type=").size());
+    } else if (arg == "--require-release") {
+      require_release = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) {
     std::fprintf(stderr,
-                 "usage: %s <raw-google-benchmark.json> <output.json>\n",
+                 "usage: %s [--build-type=<type>] [--require-release] "
+                 "<raw-google-benchmark.json> <output.json>\n",
                  argv[0]);
     return 2;
   }
-  std::ifstream input(argv[1]);
+
+  std::string build_type_lower = build_type;
+  for (char& c : build_type_lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  const bool is_release = build_type_lower == "release";
+  if (!is_release) {
+    if (require_release) {
+      std::fprintf(stderr,
+                   "bench_json_report: refusing to write a trajectory from a "
+                   "'%s' build — rerun with CMAKE_BUILD_TYPE=Release (pass "
+                   "--build-type=Release once the build is reconfigured)\n",
+                   build_type.empty() ? "<unset>" : build_type.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bench_json_report: WARNING: build type is '%s', not "
+                 "Release — timings are not comparable to the checked-in "
+                 "baseline; the output is tagged accordingly\n",
+                 build_type.empty() ? "<unset>" : build_type.c_str());
+  }
+
+  std::ifstream input(positional[0]);
   if (!input) {
-    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    std::fprintf(stderr, "cannot read %s\n", positional[0]);
     return 1;
   }
   std::stringstream buffer;
@@ -156,7 +201,7 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> entries = BenchmarkObjects(raw);
   if (entries.empty()) {
-    std::fprintf(stderr, "no benchmarks found in %s\n", argv[1]);
+    std::fprintf(stderr, "no benchmarks found in %s\n", positional[0]);
     return 1;
   }
 
@@ -177,6 +222,12 @@ int main(int argc, char** argv) {
   if (const auto value = FindValue(raw, "library_build_type")) {
     if (!first_context) out << ",";
     out << "\n    \"library_build_type\": \"" << JsonEscape(*value) << "\"";
+    first_context = false;
+  }
+  if (!build_type.empty()) {
+    if (!first_context) out << ",";
+    out << "\n    \"zonestream_build_type\": \"" << JsonEscape(build_type)
+        << "\"";
     first_context = false;
   }
   out << "\n  },\n";
@@ -204,16 +255,16 @@ int main(int argc, char** argv) {
   }
   out << "\n  ]\n}\n";
 
-  std::ofstream output(argv[2]);
+  std::ofstream output(positional[1]);
   if (!output) {
-    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    std::fprintf(stderr, "cannot write %s\n", positional[1]);
     return 1;
   }
   output << out.str();
   if (!output.flush()) {
-    std::fprintf(stderr, "write to %s failed\n", argv[2]);
+    std::fprintf(stderr, "write to %s failed\n", positional[1]);
     return 1;
   }
-  std::printf("wrote %s (%zu benchmarks)\n", argv[2], entries.size());
+  std::printf("wrote %s (%zu benchmarks)\n", positional[1], entries.size());
   return 0;
 }

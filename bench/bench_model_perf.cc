@@ -4,6 +4,7 @@
 // change) is fast. google-benchmark microbenchmarks of every piece of that
 // pipeline.
 #include <memory>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -96,6 +97,65 @@ void BM_SimulatedRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedRound)->Arg(26);
+
+// The batched/scalar kernel A/B on the same Table 1 round: the explicit
+// flag pins each benchmark to one kernel regardless of the default.
+void BM_SimulatedRoundBatched(benchmark::State& state) {
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  config.seed = 1;
+  config.batched_kernel = true;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      static_cast<int>(state.range(0)),
+      sim::RoundSimulator::IidFactory(bench::Table1Sizes()), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator->RunRound().total_service_time_s);
+  }
+}
+BENCHMARK(BM_SimulatedRoundBatched)->Arg(26);
+
+void BM_SimulatedRoundScalar(benchmark::State& state) {
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  config.seed = 1;
+  config.batched_kernel = false;
+  auto simulator = sim::RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+      static_cast<int>(state.range(0)),
+      sim::RoundSimulator::IidFactory(bench::Table1Sizes()), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator->RunRound().total_service_time_s);
+  }
+}
+BENCHMARK(BM_SimulatedRoundScalar)->Arg(26);
+
+// One O(1) alias-table zone draw on the Table 1 geometry (the batched
+// kernel's inner sampler; compare with the binary-search draw inside
+// BM_SimulatedRoundScalar's position sampling).
+void BM_ZoneSampleAlias(benchmark::State& state) {
+  const disk::DiskGeometry geometry = disk::QuantumViking2100();
+  numeric::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry.SampleZoneAlias(rng.Uniform01()));
+  }
+}
+BENCHMARK(BM_ZoneSampleAlias);
+
+// One round's worth (arg) of Gamma fragment sizes through the cached
+// Marsaglia–Tsang batch sampler; reported per batch.
+void BM_GammaBatch(benchmark::State& state) {
+  const numeric::GammaBatchSampler sampler(
+      bench::kMeanSizeBytes * bench::kMeanSizeBytes / bench::kVarSizeBytes2,
+      bench::kVarSizeBytes2 / bench::kMeanSizeBytes);
+  numeric::Rng rng(1);
+  std::vector<double> out(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    sampler.Fill(&rng, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GammaBatch)->Arg(26);
 
 // Same round loop with the full observability stack attached (registry
 // counters + histograms + trace recorder). The delta against

@@ -12,6 +12,11 @@
 #                    bundled google-benchmark rejects the "0.1s" suffix
 #                    form); empty = library default
 #   BENCH_FILTER   - --benchmark_filter regex; empty = all benchmarks
+#   BUILD_TYPE     - zonestream's CMAKE_BUILD_TYPE, recorded in the output
+#                    context as provenance
+#   REQUIRE_RELEASE - ON makes bench_json_report refuse non-Release
+#                    BUILD_TYPEs (the checked-in trajectory must come from
+#                    a Release build)
 
 foreach(var BENCH_BINARY REPORT_BINARY RAW_JSON OUTPUT_JSON)
   if(NOT DEFINED ${var})
@@ -38,8 +43,16 @@ if(NOT bench_result EQUAL 0)
   message(FATAL_ERROR "bench_model_perf failed (exit ${bench_result})")
 endif()
 
+set(report_args)
+if(DEFINED BUILD_TYPE AND NOT BUILD_TYPE STREQUAL "")
+  list(APPEND report_args --build-type=${BUILD_TYPE})
+endif()
+if(DEFINED REQUIRE_RELEASE AND REQUIRE_RELEASE)
+  list(APPEND report_args --require-release)
+endif()
+
 execute_process(
-  COMMAND ${REPORT_BINARY} ${RAW_JSON} ${OUTPUT_JSON}
+  COMMAND ${REPORT_BINARY} ${report_args} ${RAW_JSON} ${OUTPUT_JSON}
   RESULT_VARIABLE report_result)
 if(NOT report_result EQUAL 0)
   message(FATAL_ERROR "bench_json_report failed (exit ${report_result})")

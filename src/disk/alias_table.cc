@@ -1,0 +1,66 @@
+#include "disk/alias_table.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace zonestream::disk {
+
+AliasTable AliasTable::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  ZS_CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    ZS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  ZS_CHECK_GT(total, 0.0);
+
+  AliasTable table;
+  table.threshold_.assign(n, 1.0);
+  table.alias_.resize(n);
+  for (size_t i = 0; i < n; ++i) table.alias_[i] = static_cast<int>(i);
+
+  // Vose's algorithm: scale weights so the mean bucket holds 1.0, then
+  // repeatedly pair an underfull bucket with an overfull donor. Index
+  // stacks (not queues) keep construction deterministic.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<int> small;
+  std::vector<int> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<int>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const int s = small.back();
+    small.pop_back();
+    const int l = large.back();
+    large.pop_back();
+    table.threshold_[s] = scaled[s];
+    table.alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are full buckets up to rounding; threshold 1.0 means the
+  // bucket always accepts itself.
+  for (int i : large) table.threshold_[i] = 1.0;
+  for (int i : small) table.threshold_[i] = 1.0;
+  return table;
+}
+
+std::vector<double> AliasTable::Probabilities() const {
+  const size_t n = threshold_.size();
+  std::vector<double> probabilities(n, 0.0);
+  const double bucket_mass = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    probabilities[i] += bucket_mass * threshold_[i];
+    probabilities[alias_[i]] += bucket_mass * (1.0 - threshold_[i]);
+  }
+  return probabilities;
+}
+
+}  // namespace zonestream::disk

@@ -84,6 +84,7 @@ common::StatusOr<DiskGeometry> DiskGeometry::Create(
   }
   // Guard against rounding drift in the prefix sums.
   geometry.cumulative_hit_.back() = 1.0;
+  geometry.BuildZoneAlias();
   return geometry;
 }
 
@@ -152,7 +153,15 @@ common::StatusOr<DiskGeometry> DiskGeometry::CreateFromZoneTable(
     geometry.cumulative_hit_[i] = cumulative;
   }
   geometry.cumulative_hit_.back() = 1.0;
+  geometry.BuildZoneAlias();
   return geometry;
+}
+
+void DiskGeometry::BuildZoneAlias() {
+  std::vector<double> weights;
+  weights.reserve(zones_.size());
+  for (const ZoneInfo& zi : zones_) weights.push_back(zi.hit_probability);
+  zone_alias_ = AliasTable::Build(weights);
 }
 
 const ZoneInfo& DiskGeometry::zone(int index) const {

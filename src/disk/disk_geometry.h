@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "disk/alias_table.h"
 #include "numeric/random.h"
 
 namespace zonestream::disk {
@@ -115,6 +116,15 @@ class DiskGeometry {
   // a zone).
   DiskPosition SampleUniformPosition(numeric::Rng* rng) const;
 
+  // O(1) zone draw over the same C_i/C hit probabilities via the
+  // precomputed alias table (the batched simulation kernel's sampler;
+  // replaces the per-sample CDF binary search). One uniform in, a 0-based
+  // zone index out.
+  int SampleZoneAlias(double u01) const { return zone_alias_.Sample(u01); }
+
+  // The zone-hit alias table itself (built once at geometry creation).
+  const AliasTable& zone_alias() const { return zone_alias_; }
+
   // Total stored bytes per cylinder-track sweep: C = sum_i C_i (the paper's
   // normalizing constant, one representative track per zone).
   double TotalTrackCapacity() const { return total_track_capacity_; }
@@ -122,9 +132,13 @@ class DiskGeometry {
  private:
   DiskGeometry() = default;
 
+  // Builds zone_alias_ from the zones' hit probabilities (both factories).
+  void BuildZoneAlias();
+
   DiskParameters params_;
   std::vector<ZoneInfo> zones_;
   std::vector<double> cumulative_hit_;  // prefix sums of hit probabilities
+  AliasTable zone_alias_;               // O(1) zone-hit sampling
   double total_track_capacity_ = 0.0;
 };
 

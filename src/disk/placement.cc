@@ -25,6 +25,7 @@ PlacementModel::PlacementModel(const PlacementConfig& config,
   }
   ZS_CHECK(std::fabs(sum - 1.0) < 1e-9);
   cumulative_.back() = 1.0;
+  component_alias_ = AliasTable::Build(probabilities_);
 }
 
 common::StatusOr<PlacementModel> PlacementModel::Create(

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "disk/alias_table.h"
 #include "disk/disk_geometry.h"
 #include "numeric/random.h"
 
@@ -71,6 +72,19 @@ class PlacementModel {
   DiskPosition SamplePosition(const DiskGeometry& geometry,
                               numeric::Rng* rng) const;
 
+  // O(1) component draw over the mixture probabilities (the batched
+  // kernel's sampler; same distribution as SamplePosition's CDF binary
+  // search but one multiply + compare per draw).
+  int SampleComponentAlias(double u01) const {
+    return component_alias_.Sample(u01);
+  }
+
+  // Zone hosting component i's (first) half, and the component's
+  // effective transfer rate — the batched kernel resolves a sampled
+  // component to (cylinder, rate) through these.
+  int ComponentZone(int component) const { return component_zones_[component]; }
+  double ComponentRate(int component) const { return rates_[component]; }
+
  private:
   PlacementModel(const PlacementConfig& config,
                  std::vector<double> probabilities, std::vector<double> rates,
@@ -81,6 +95,7 @@ class PlacementModel {
   std::vector<double> probabilities_;
   std::vector<double> rates_;
   std::vector<double> cumulative_;
+  AliasTable component_alias_;  // O(1) mixture-component sampling
   // Zone whose cylinder span hosts component i's (first) half.
   std::vector<int> component_zones_;
   double usable_capacity_fraction_;

@@ -26,15 +26,6 @@ common::StatusOr<SeekTimeModel> SeekTimeModel::Create(
   return model;
 }
 
-double SeekTimeModel::SeekTime(double distance) const {
-  if (distance <= 0.0) return 0.0;
-  if (distance < params_.threshold_cylinders) {
-    return params_.sqrt_intercept_s +
-           params_.sqrt_coefficient * std::sqrt(distance);
-  }
-  return params_.linear_intercept_s + params_.linear_coefficient * distance;
-}
-
 double SeekTimeModel::MaxSeekTime(int total_cylinders) const {
   ZS_CHECK_GT(total_cylinders, 0);
   return SeekTime(static_cast<double>(total_cylinders));

@@ -10,6 +10,8 @@
 #ifndef ZONESTREAM_DISK_SEEK_MODEL_H_
 #define ZONESTREAM_DISK_SEEK_MODEL_H_
 
+#include <cmath>
+
 #include "common/status.h"
 
 namespace zonestream::disk {
@@ -34,8 +36,17 @@ class SeekTimeModel {
   const SeekParameters& params() const { return params_; }
 
   // Seek time for a distance of `distance` cylinders; 0 for distance <= 0
-  // (no head movement).
-  double SeekTime(double distance) const;
+  // (no head movement). Inline: the simulation kernel calls this once per
+  // request per round, and the short-seek sqrt regime dominates SCAN
+  // sweeps (consecutive requests are cylinder-adjacent).
+  double SeekTime(double distance) const {
+    if (distance <= 0.0) return 0.0;
+    if (distance < params_.threshold_cylinders) {
+      return params_.sqrt_intercept_s +
+             params_.sqrt_coefficient * std::sqrt(distance);
+    }
+    return params_.linear_intercept_s + params_.linear_coefficient * distance;
+  }
 
   // Full-stroke seek time, seek(max_distance). The deterministic worst-case
   // baseline (eq. 4.1) uses this as T_seek^max.

@@ -56,7 +56,8 @@ MediaServer::MediaServer(const disk::DiskGeometry& geometry,
       phase_counts_(config.num_disks, 0),
       arm_cylinder_(config.num_disks, 0),
       ascending_(config.num_disks, true),
-      busy_fraction_(config.num_disks) {}
+      busy_fraction_(config.num_disks),
+      batch_scratch_(config.num_disks) {}
 
 common::StatusOr<MediaServer> MediaServer::Create(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
@@ -123,8 +124,10 @@ common::Status MediaServer::CloseStream(int stream_id) {
 }
 
 void MediaServer::RunRound() {
-  // Gather this round's request batch per disk.
-  std::vector<std::vector<sched::DiskRequest>> batches(config_.num_disks);
+  // Gather this round's request batch per disk into the reused scratch
+  // (clear keeps the capacity, so steady-state rounds allocate nothing).
+  std::vector<std::vector<sched::DiskRequest>>& batches = batch_scratch_;
+  for (auto& batch : batches) batch.clear();
   for (auto& [id, stream] : streams_) {
     const int disk_index = striping_.DiskForFragment(
         stream.phase, round_);

@@ -19,6 +19,7 @@
 #include "disk/seek_model.h"
 #include "numeric/random.h"
 #include "numeric/statistics.h"
+#include "sched/request.h"
 #include "server/striping.h"
 #include "workload/fragment_source.h"
 #include "workload/size_distribution.h"
@@ -144,6 +145,9 @@ class MediaServer {
   int64_t fragments_served_ = 0;
   int64_t total_glitches_ = 0;
   std::vector<numeric::RunningStats> busy_fraction_;
+  // Per-disk request batches, cleared (capacity kept) and refilled each
+  // round instead of reallocated.
+  std::vector<std::vector<sched::DiskRequest>> batch_scratch_;
 };
 
 }  // namespace zonestream::server

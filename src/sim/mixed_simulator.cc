@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "common/check.h"
@@ -23,7 +24,19 @@ MixedRoundSimulator::MixedRoundSimulator(
       continuous_sizes_(std::move(continuous_sizes)),
       discrete_sizes_(std::move(discrete_sizes)),
       config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  const size_t n = static_cast<size_t>(num_continuous_);
+  scratch_.u_zone.resize(n);
+  scratch_.u_cylinder.resize(n);
+  scratch_.cylinder.resize(n);
+  scratch_.zone.resize(n);
+  scratch_.rate_bps.resize(n);
+  scratch_.bytes.resize(n);
+  scratch_.rotation_s.resize(n);
+  scratch_.order.resize(n);
+  scratch_.sort_key.resize(n);
+  scratch_.zone_hits.resize(geometry_.num_zones());
+}
 
 common::StatusOr<MixedRoundSimulator> MixedRoundSimulator::Create(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
@@ -85,49 +98,16 @@ MixedRunResult MixedRoundSimulator::Run(int rounds) {
     result.max_queue_depth = std::max<int64_t>(
         result.max_queue_depth, static_cast<int64_t>(queue_.size()));
 
-    // Continuous batch: one SCAN sweep.
-    std::vector<sched::DiskRequest> batch;
-    batch.reserve(num_continuous_);
-    for (int s = 0; s < num_continuous_; ++s) {
-      const disk::DiskPosition position =
-          geometry_.SampleUniformPosition(&rng_);
-      sched::DiskRequest request;
-      request.stream_id = s;
-      request.cylinder = position.cylinder;
-      request.zone = position.zone;
-      request.transfer_rate_bps = position.transfer_rate_bps;
-      request.bytes = continuous_sizes_->Sample(&rng_);
-      request.rotational_latency_s =
-          rng_.Uniform(0.0, geometry_.rotation_time());
-      batch.push_back(request);
-    }
-    sched::SortForScan(&batch, ascending_
-                                   ? sched::SweepDirection::kAscending
-                                   : sched::SweepDirection::kDescending);
-    const sched::RoundTiming timing =
-        sched::ExecuteScanRound(seek_, batch, arm_cylinder_);
+    // Continuous batch: one SCAN sweep (batched or scalar kernel).
+    const ContinuousSweep sweep = RunContinuousSweep();
     result.continuous_requests += num_continuous_;
-    int arm = arm_cylinder_;
-    int round_glitches = 0;
-    for (size_t i = 0; i < timing.per_request.size(); ++i) {
-      if (timing.per_request[i].completion_s > config_.round_length_s) {
-        ++round_glitches;
-      } else {
-        arm = batch[i].cylinder;
-      }
-    }
-    result.continuous_glitches += round_glitches;
-    if (!timing.per_request.empty() &&
-        timing.total_service_time_s <= config_.round_length_s) {
-      arm = timing.final_arm_cylinder;
-    }
-    ascending_ = !ascending_;
+    result.continuous_glitches += sweep.glitches;
+    int arm = sweep.arm_after;
 
     // Leftover window: serve queued discrete requests FCFS until the
     // round boundary. Each pays an explicit seek from the current arm
     // position, a rotational latency and a zone-rate transfer.
-    double clock = std::fmin(timing.total_service_time_s,
-                             config_.round_length_s);
+    double clock = std::fmin(sweep.total_service_s, config_.round_length_s);
     leftover.Add(std::fmax(0.0, config_.round_length_s - clock));
     int64_t served_this_round = 0;
     while (!queue_.empty()) {
@@ -162,35 +142,25 @@ MixedRunResult MixedRoundSimulator::Run(int rounds) {
     arm_cylinder_ = arm;
 
     // Observability: one trace event per round for the continuous sweep
-    // plus the discrete-side tallies of its leftover window.
+    // plus the discrete-side tallies of its leftover window. Zone tallies
+    // were left in scratch_.zone_hits by the sweep.
     if (config_.trace != nullptr || config_.metrics != nullptr) {
-      double seek_sum = 0.0;
-      double rotation_sum = 0.0;
-      double transfer_sum = 0.0;
-      for (const sched::RequestTiming& rt : timing.per_request) {
-        seek_sum += rt.seek_s;
-        rotation_sum += rt.rotation_s;
-        transfer_sum += rt.transfer_s;
-      }
       const double leftover_s =
-          std::fmax(0.0, config_.round_length_s - timing.total_service_time_s);
+          std::fmax(0.0, config_.round_length_s - sweep.total_service_s);
       if (config_.trace != nullptr) {
         obs::RoundTraceEvent event;
         event.round = rounds_run_;
         event.source_id = config_.trace_source_id;
         event.num_requests = num_continuous_;
-        event.service_time_s = timing.total_service_time_s;
-        event.seek_s = seek_sum;
-        event.rotation_s = rotation_sum;
-        event.transfer_s = transfer_sum;
-        event.glitches = round_glitches;
-        event.overran =
-            timing.total_service_time_s > config_.round_length_s;
+        event.service_time_s = sweep.total_service_s;
+        event.seek_s = sweep.seek_sum;
+        event.rotation_s = sweep.rotation_sum;
+        event.transfer_s = sweep.transfer_sum;
+        event.glitches = sweep.glitches;
+        event.overran = sweep.total_service_s > config_.round_length_s;
         event.leftover_s = leftover_s;
-        event.zone_hits.assign(geometry_.num_zones(), 0);
-        for (const sched::DiskRequest& request : batch) {
-          ++event.zone_hits[request.zone];
-        }
+        event.zone_hits.assign(scratch_.zone_hits.begin(),
+                               scratch_.zone_hits.end());
         config_.trace->Record(std::move(event));
       }
       if (config_.metrics != nullptr) {
@@ -199,11 +169,11 @@ MixedRunResult MixedRoundSimulator::Run(int rounds) {
         registry->GetCounter("mixed.continuous_requests")
             ->Increment(num_continuous_);
         registry->GetCounter("mixed.continuous_glitches")
-            ->Increment(round_glitches);
+            ->Increment(sweep.glitches);
         registry->GetCounter("mixed.discrete_completed")
             ->Increment(served_this_round);
         registry->GetHistogram("mixed.round.continuous_service_s")
-            ->Record(timing.total_service_time_s);
+            ->Record(sweep.total_service_s);
         registry->GetHistogram("mixed.round.leftover_s")->Record(leftover_s);
         registry->GetGauge("mixed.queue_depth")
             ->Set(static_cast<double>(queue_.size()));
@@ -230,6 +200,134 @@ MixedRunResult MixedRoundSimulator::Run(int rounds) {
           : numeric::Percentile(std::move(response_samples), 0.95);
   result.mean_leftover_s = leftover.count() > 0 ? leftover.mean() : 0.0;
   return result;
+}
+
+MixedRoundSimulator::ContinuousSweep MixedRoundSimulator::RunContinuousSweep() {
+  return config_.batched_kernel ? RunContinuousSweepBatched()
+                                : RunContinuousSweepScalar();
+}
+
+MixedRoundSimulator::ContinuousSweep
+MixedRoundSimulator::RunContinuousSweepScalar() {
+  std::vector<sched::DiskRequest> batch;
+  batch.reserve(num_continuous_);
+  for (int s = 0; s < num_continuous_; ++s) {
+    const disk::DiskPosition position = geometry_.SampleUniformPosition(&rng_);
+    sched::DiskRequest request;
+    request.stream_id = s;
+    request.cylinder = position.cylinder;
+    request.zone = position.zone;
+    request.transfer_rate_bps = position.transfer_rate_bps;
+    request.bytes = continuous_sizes_->Sample(&rng_);
+    request.rotational_latency_s = rng_.Uniform(0.0, geometry_.rotation_time());
+    batch.push_back(request);
+  }
+  sched::SortForScan(&batch, ascending_ ? sched::SweepDirection::kAscending
+                                        : sched::SweepDirection::kDescending);
+  const sched::RoundTiming timing =
+      sched::ExecuteScanRound(seek_, batch, arm_cylinder_);
+
+  ContinuousSweep sweep;
+  sweep.total_service_s = timing.total_service_time_s;
+  int arm = arm_cylinder_;
+  for (size_t i = 0; i < timing.per_request.size(); ++i) {
+    if (timing.per_request[i].completion_s > config_.round_length_s) {
+      ++sweep.glitches;
+    } else {
+      arm = batch[i].cylinder;
+    }
+    sweep.seek_sum += timing.per_request[i].seek_s;
+    sweep.rotation_sum += timing.per_request[i].rotation_s;
+    sweep.transfer_sum += timing.per_request[i].transfer_s;
+  }
+  if (!timing.per_request.empty() &&
+      timing.total_service_time_s <= config_.round_length_s) {
+    arm = timing.final_arm_cylinder;
+  }
+  sweep.arm_after = arm;
+  ascending_ = !ascending_;
+
+  std::fill(scratch_.zone_hits.begin(), scratch_.zone_hits.end(), 0);
+  for (const sched::DiskRequest& request : batch) {
+    ++scratch_.zone_hits[request.zone];
+  }
+  return sweep;
+}
+
+MixedRoundSimulator::ContinuousSweep
+MixedRoundSimulator::RunContinuousSweepBatched() {
+  const int n = num_continuous_;
+  RoundScratch& s = scratch_;
+
+  // Whole-round batches: zone + cylinder uniforms (zones through the
+  // geometry's alias table), then sizes, then rotational latencies — same
+  // draw structure as RoundSimulator's batched kernel.
+  rng_.FillUniform01(s.u_zone.data(), n);
+  rng_.FillUniform01(s.u_cylinder.data(), n);
+  for (int i = 0; i < n; ++i) {
+    const int z = geometry_.SampleZoneAlias(s.u_zone[i]);
+    const disk::ZoneInfo& zi = geometry_.zone(z);
+    int offset = static_cast<int>(s.u_cylinder[i] * zi.num_cylinders);
+    if (offset >= zi.num_cylinders) offset = zi.num_cylinders - 1;
+    s.zone[i] = z;
+    s.cylinder[i] = zi.first_cylinder + offset;
+    s.rate_bps[i] = zi.transfer_rate_bps;
+  }
+  continuous_sizes_->FillSamples(&rng_, s.bytes.data(), n);
+  rng_.FillUniform(0.0, geometry_.rotation_time(), s.rotation_s.data(), n);
+
+  // SCAN order as one flat uint64 sort of (cylinder, index) keys (ties
+  // on the index keep issue order, matching the scalar kernel's stable
+  // sort; complemented cylinders give the descending sweep).
+  if (ascending_) {
+    for (int i = 0; i < n; ++i) {
+      s.sort_key[i] =
+          (static_cast<uint64_t>(static_cast<uint32_t>(s.cylinder[i]))
+           << 32) |
+          static_cast<uint32_t>(i);
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      s.sort_key[i] =
+          (static_cast<uint64_t>(~static_cast<uint32_t>(s.cylinder[i]))
+           << 32) |
+          static_cast<uint32_t>(i);
+    }
+  }
+  std::sort(s.sort_key.begin(), s.sort_key.end());
+  for (int i = 0; i < n; ++i) {
+    s.order[i] = static_cast<int>(s.sort_key[i] & 0xffffffffu);
+  }
+
+  // Fused sweep: clock accumulation, deadline checks and glitch-aware arm
+  // tracking in one pass.
+  ContinuousSweep sweep;
+  double clock = 0.0;
+  int arm = arm_cylinder_;
+  int glitch_arm = arm_cylinder_;
+  for (int pos = 0; pos < n; ++pos) {
+    const int i = s.order[pos];
+    const double seek = seek_.SeekTime(std::abs(s.cylinder[i] - arm));
+    const double transfer = s.bytes[i] / s.rate_bps[i];
+    clock += seek + s.rotation_s[i] + transfer;
+    arm = s.cylinder[i];
+    sweep.seek_sum += seek;
+    sweep.rotation_sum += s.rotation_s[i];
+    sweep.transfer_sum += transfer;
+    if (clock > config_.round_length_s) {
+      ++sweep.glitches;
+    } else {
+      glitch_arm = s.cylinder[i];
+    }
+  }
+  sweep.total_service_s = clock;
+  sweep.arm_after =
+      (n > 0 && clock <= config_.round_length_s) ? arm : glitch_arm;
+  ascending_ = !ascending_;
+
+  std::fill(s.zone_hits.begin(), s.zone_hits.end(), 0);
+  for (int i = 0; i < n; ++i) ++s.zone_hits[s.zone[i]];
+  return sweep;
 }
 
 }  // namespace zonestream::sim

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "disk/disk_geometry.h"
@@ -33,6 +34,13 @@ struct MixedSimulatorConfig {
   double round_length_s = 1.0;
   double discrete_arrival_rate_hz = 0.0;  // Poisson arrivals per second
   uint64_t seed = 42;
+
+  // Use the batched structure-of-arrays kernel for the continuous sweep
+  // (alias-table zone draws, whole-round uniform/Gamma batches, reused
+  // scratch — see SimulatorConfig::batched_kernel). The discrete leftover
+  // queue is data-dependent and always runs scalar. false preserves the
+  // pre-batching bit-exact per-seed sample paths.
+  bool batched_kernel = true;
 
   // Optional observability hooks (not owned; null = disabled). Metrics
   // land under the "mixed." prefix; each round emits one trace event for
@@ -86,6 +94,38 @@ class MixedRoundSimulator {
     double bytes = 0.0;
   };
 
+  // Result of one continuous SCAN sweep; zone tallies for the trace are
+  // left in scratch_.zone_hits.
+  struct ContinuousSweep {
+    double total_service_s = 0.0;
+    int glitches = 0;
+    int arm_after = 0;  // arm position per the glitch-aware policy
+    double seek_sum = 0.0;
+    double rotation_sum = 0.0;
+    double transfer_sum = 0.0;
+  };
+
+  // Reused per-round buffers for the batched continuous sweep.
+  struct RoundScratch {
+    std::vector<double> u_zone;
+    std::vector<double> u_cylinder;
+    std::vector<int> cylinder;
+    std::vector<int> zone;
+    std::vector<double> rate_bps;
+    std::vector<double> bytes;
+    std::vector<double> rotation_s;
+    std::vector<int> order;
+    // (cylinder, index) SCAN sort keys; see RoundSimulator::RoundScratch.
+    std::vector<uint64_t> sort_key;
+    std::vector<int32_t> zone_hits;
+  };
+
+  // Runs the continuous sweep with the kernel selected by
+  // config_.batched_kernel; advances rng_ and flips ascending_.
+  ContinuousSweep RunContinuousSweep();
+  ContinuousSweep RunContinuousSweepScalar();
+  ContinuousSweep RunContinuousSweepBatched();
+
   disk::DiskGeometry geometry_;
   disk::SeekTimeModel seek_;
   int num_continuous_;
@@ -98,6 +138,7 @@ class MixedRoundSimulator {
   std::deque<DiscreteRequest> queue_;
   double next_arrival_s_ = 0.0;
   int64_t rounds_run_ = 0;  // across Run() calls; indexes trace events
+  RoundScratch scratch_;
 };
 
 }  // namespace zonestream::sim

@@ -1,6 +1,7 @@
 #include "sim/round_simulator.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -53,6 +54,27 @@ RoundSimulator::RoundSimulator(
     }
     metrics_ = std::move(metrics);
   }
+  // Batched size draws need every stream on one shared i.i.d.
+  // distribution; anything else (per-stream families, AR(1) state) falls
+  // back to per-stream draws inside the batched kernel.
+  shared_iid_ = sources_.front()->iid_distribution();
+  for (const auto& source : sources_) {
+    if (source->iid_distribution() != shared_iid_) {
+      shared_iid_ = nullptr;
+      break;
+    }
+  }
+  const size_t n = static_cast<size_t>(num_streams_);
+  scratch_.u_zone.resize(n);
+  scratch_.u_cylinder.resize(n);
+  scratch_.cylinder.resize(n);
+  scratch_.zone.resize(n);
+  scratch_.rate_bps.resize(n);
+  scratch_.bytes.resize(n);
+  scratch_.rotation_s.resize(n);
+  scratch_.order.resize(n);
+  scratch_.sort_key.resize(n);
+  scratch_.zone_hits.resize(geometry_.num_zones());
 }
 
 common::StatusOr<RoundSimulator> RoundSimulator::Create(
@@ -90,6 +112,10 @@ FragmentSourceFactory RoundSimulator::IidFactory(
 }
 
 RoundOutcome RoundSimulator::RunRound() {
+  return config_.batched_kernel ? RunRoundBatched() : RunRoundScalar();
+}
+
+RoundOutcome RoundSimulator::RunRoundScalar() {
   // Issue one request per stream at a uniform-over-capacity position.
   std::vector<sched::DiskRequest> requests;
   requests.reserve(num_streams_);
@@ -178,45 +204,227 @@ RoundOutcome RoundSimulator::RunRound() {
       transfer_sum += rt.transfer_s;
     }
     rotation_sum -= disturbance_delay_s;
-    const int glitches = static_cast<int>(outcome.glitched_streams.size());
-    if (config_.trace != nullptr) {
-      obs::RoundTraceEvent event;
-      event.round = rounds_run_;
-      event.source_id = config_.trace_source_id;
-      event.num_requests = num_streams_;
-      event.service_time_s = outcome.total_service_time_s;
-      event.seek_s = seek_sum;
-      event.rotation_s = rotation_sum;
-      event.transfer_s = transfer_sum;
-      event.disturbance_delay_s = disturbance_delay_s;
-      event.disturbances = disturbances;
-      event.glitches = glitches;
-      event.overran = outcome.overran;
-      event.leftover_s = std::max(
-          0.0, config_.round_length_s - outcome.total_service_time_s);
-      event.zone_hits.assign(geometry_.num_zones(), 0);
-      for (const sched::DiskRequest& request : requests) {
-        ++event.zone_hits[request.zone];
-      }
-      config_.trace->Record(std::move(event));
+    std::fill(scratch_.zone_hits.begin(), scratch_.zone_hits.end(), 0);
+    for (const sched::DiskRequest& request : requests) {
+      ++scratch_.zone_hits[request.zone];
     }
-    if (metrics_.has_value()) {
-      metrics_->rounds->Increment();
-      metrics_->requests->Increment(num_streams_);
-      metrics_->glitches->Increment(glitches);
-      if (outcome.overran) metrics_->overruns->Increment();
-      metrics_->disturbances->Increment(disturbances);
-      metrics_->service_time_s->Record(outcome.total_service_time_s);
-      metrics_->seek_s->Record(seek_sum);
-      metrics_->rotation_s->Record(rotation_sum);
-      metrics_->transfer_s->Record(transfer_sum);
-      for (const sched::DiskRequest& request : requests) {
-        metrics_->zone_hits[request.zone]->Increment();
-      }
-    }
+    EmitRoundObservability(outcome, seek_sum, rotation_sum, transfer_sum,
+                           disturbance_delay_s, disturbances);
   }
   ++rounds_run_;
   return outcome;
+}
+
+RoundOutcome RoundSimulator::RunRoundBatched() {
+  const int n = num_streams_;
+  RoundScratch& s = scratch_;
+
+  // Positions. The default placement needs two uniforms per request —
+  // zone through the geometry's alias table, cylinder within the zone —
+  // drawn as two whole-round batches. A custom sampler is an opaque
+  // callback and falls back to per-stream calls.
+  if (!config_.position_sampler) {
+    rng_.FillUniform01(s.u_zone.data(), n);
+    rng_.FillUniform01(s.u_cylinder.data(), n);
+    for (int i = 0; i < n; ++i) {
+      const int z = geometry_.SampleZoneAlias(s.u_zone[i]);
+      const disk::ZoneInfo& zi = geometry_.zone(z);
+      int offset = static_cast<int>(s.u_cylinder[i] * zi.num_cylinders);
+      if (offset >= zi.num_cylinders) offset = zi.num_cylinders - 1;
+      s.zone[i] = z;
+      s.cylinder[i] = zi.first_cylinder + offset;
+      s.rate_bps[i] = zi.transfer_rate_bps;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const disk::DiskPosition position =
+          config_.position_sampler(geometry_, &rng_);
+      s.zone[i] = position.zone;
+      s.cylinder[i] = position.cylinder;
+      s.rate_bps[i] = position.transfer_rate_bps;
+    }
+  }
+
+  // Sizes: one batched fill when every stream shares one i.i.d.
+  // distribution (the Marsaglia–Tsang constants are then reused across
+  // the whole round), else per-stream draws.
+  if (shared_iid_ != nullptr) {
+    shared_iid_->FillSamples(&rng_, s.bytes.data(), n);
+  } else {
+    for (int i = 0; i < n; ++i) {
+      s.bytes[i] = sources_[i]->NextFragmentBytes(&rng_);
+    }
+  }
+
+  // Rotational latencies in one batch.
+  rng_.FillUniform(0.0, geometry_.rotation_time(), s.rotation_s.data(), n);
+
+  // Failure injection, bit-identical to the scalar kernel: the dedicated
+  // substream is consumed in the same per-request order.
+  int disturbances = 0;
+  double disturbance_delay_s = 0.0;
+  const DisturbanceConfig& disturbance = config_.disturbance;
+  if (disturbance.probability > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      if (disturbance_rng_.Uniform01() < disturbance.probability) {
+        const double delay = disturbance_rng_.Uniform(disturbance.delay_min_s,
+                                                      disturbance.delay_max_s);
+        s.rotation_s[i] += delay;
+        ++disturbances;
+        disturbance_delay_s += delay;
+      }
+    }
+  }
+
+  // Arm policy, identical to the scalar kernel.
+  double return_seek_s = 0.0;
+  sched::SweepDirection direction = sched::SweepDirection::kAscending;
+  if (config_.sweep_policy == SweepPolicy::kAlternate) {
+    direction = ascending_ ? sched::SweepDirection::kAscending
+                           : sched::SweepDirection::kDescending;
+  } else {
+    if (!config_.legacy_free_arm_reset && arm_cylinder_ != 0) {
+      return_seek_s = seek_.SeekTime(arm_cylinder_);
+    }
+    arm_cylinder_ = 0;
+  }
+
+  // Service order as an index permutation over the SoA (the requests
+  // themselves never move). For SCAN the permutation is one flat uint64
+  // sort of (cylinder, index) keys — bitwise-complemented cylinders give
+  // the descending sweep with the same ascending-index tie-break as the
+  // scalar kernel's stable sort.
+  switch (config_.ordering) {
+    case sched::OrderingPolicy::kFcfs:
+      for (int i = 0; i < n; ++i) s.order[i] = i;
+      break;
+    case sched::OrderingPolicy::kScan: {
+      if (direction == sched::SweepDirection::kAscending) {
+        for (int i = 0; i < n; ++i) {
+          s.sort_key[i] = (static_cast<uint64_t>(
+                               static_cast<uint32_t>(s.cylinder[i]))
+                           << 32) |
+                          static_cast<uint32_t>(i);
+        }
+      } else {
+        for (int i = 0; i < n; ++i) {
+          s.sort_key[i] = (static_cast<uint64_t>(
+                               ~static_cast<uint32_t>(s.cylinder[i]))
+                           << 32) |
+                          static_cast<uint32_t>(i);
+        }
+      }
+      std::sort(s.sort_key.begin(), s.sort_key.end());
+      for (int i = 0; i < n; ++i) {
+        s.order[i] = static_cast<int>(s.sort_key[i] & 0xffffffffu);
+      }
+      break;
+    }
+    case sched::OrderingPolicy::kSstf: {
+      for (int i = 0; i < n; ++i) s.order[i] = i;
+      int arm = arm_cylinder_;
+      for (int served = 0; served < n; ++served) {
+        int best = served;
+        int best_distance = std::abs(s.cylinder[s.order[served]] - arm);
+        for (int i = served + 1; i < n; ++i) {
+          const int distance = std::abs(s.cylinder[s.order[i]] - arm);
+          if (distance < best_distance) {
+            best = i;
+            best_distance = distance;
+          }
+        }
+        std::swap(s.order[served], s.order[best]);
+        arm = s.cylinder[s.order[served]];
+      }
+      break;
+    }
+  }
+
+  // One fused sweep: cumulative clock over seek + rotation + transfer
+  // (exactly as sched::ExecuteScanRound, without materializing request
+  // structs), with deadline checks folded into the same pass.
+  RoundOutcome outcome;
+  double clock = 0.0;
+  double seek_sum = return_seek_s;
+  double rotation_sum = 0.0;
+  double transfer_sum = 0.0;
+  int arm = arm_cylinder_;
+  int last_on_time_cylinder = arm_cylinder_;
+  for (int pos = 0; pos < n; ++pos) {
+    const int i = s.order[pos];
+    const double seek = seek_.SeekTime(std::abs(s.cylinder[i] - arm));
+    const double transfer = s.bytes[i] / s.rate_bps[i];
+    clock += seek + s.rotation_s[i] + transfer;
+    arm = s.cylinder[i];
+    seek_sum += seek;
+    rotation_sum += s.rotation_s[i];
+    transfer_sum += transfer;
+    if (return_seek_s + clock > config_.round_length_s) {
+      outcome.glitched_streams.push_back(i);  // stream id == SoA index
+    } else {
+      last_on_time_cylinder = s.cylinder[i];
+    }
+  }
+
+  outcome.total_service_time_s = return_seek_s + clock;
+  outcome.overran = outcome.total_service_time_s > config_.round_length_s;
+  arm_cylinder_ =
+      outcome.glitched_streams.empty() ? arm : last_on_time_cylinder;
+  ascending_ = !ascending_;
+
+  if (config_.trace != nullptr || metrics_.has_value()) {
+    rotation_sum -= disturbance_delay_s;
+    std::fill(s.zone_hits.begin(), s.zone_hits.end(), 0);
+    for (int i = 0; i < n; ++i) ++s.zone_hits[s.zone[i]];
+    EmitRoundObservability(outcome, seek_sum, rotation_sum, transfer_sum,
+                           disturbance_delay_s, disturbances);
+  }
+  ++rounds_run_;
+  return outcome;
+}
+
+void RoundSimulator::EmitRoundObservability(const RoundOutcome& outcome,
+                                            double seek_sum,
+                                            double rotation_sum,
+                                            double transfer_sum,
+                                            double disturbance_delay_s,
+                                            int disturbances) {
+  const int glitches = static_cast<int>(outcome.glitched_streams.size());
+  if (config_.trace != nullptr) {
+    obs::RoundTraceEvent event;
+    event.round = rounds_run_;
+    event.source_id = config_.trace_source_id;
+    event.num_requests = num_streams_;
+    event.service_time_s = outcome.total_service_time_s;
+    event.seek_s = seek_sum;
+    event.rotation_s = rotation_sum;
+    event.transfer_s = transfer_sum;
+    event.disturbance_delay_s = disturbance_delay_s;
+    event.disturbances = disturbances;
+    event.glitches = glitches;
+    event.overran = outcome.overran;
+    event.leftover_s =
+        std::max(0.0, config_.round_length_s - outcome.total_service_time_s);
+    event.zone_hits.assign(scratch_.zone_hits.begin(),
+                           scratch_.zone_hits.end());
+    config_.trace->Record(std::move(event));
+  }
+  if (metrics_.has_value()) {
+    metrics_->rounds->Increment();
+    metrics_->requests->Increment(num_streams_);
+    metrics_->glitches->Increment(glitches);
+    if (outcome.overran) metrics_->overruns->Increment();
+    metrics_->disturbances->Increment(disturbances);
+    metrics_->service_time_s->Record(outcome.total_service_time_s);
+    metrics_->seek_s->Record(seek_sum);
+    metrics_->rotation_s->Record(rotation_sum);
+    metrics_->transfer_s->Record(transfer_sum);
+    for (int z = 0; z < geometry_.num_zones(); ++z) {
+      if (scratch_.zone_hits[z] != 0) {
+        metrics_->zone_hits[z]->Increment(scratch_.zone_hits[z]);
+      }
+    }
+  }
 }
 
 ProbabilityEstimate RoundSimulator::EstimateLateProbability(int rounds) {

@@ -80,6 +80,20 @@ struct SimulatorConfig {
   PositionSampler position_sampler;  // null = uniform over capacity
   DisturbanceConfig disturbance;     // default: none
 
+  // Use the batched structure-of-arrays round kernel (default): per-round
+  // variates are drawn in batches (all positions, then all sizes, then
+  // all rotational latencies), zones come from the geometry's O(1) alias
+  // table, and all per-round state lives in scratch buffers reused across
+  // rounds — no allocation on the hot path. The batched and scalar
+  // kernels simulate the same model and are statistically
+  // indistinguishable (tests/sim/batch_kernel_test.cc), but they consume
+  // the main RNG stream in different orders, so individual sample paths
+  // differ for the same seed. Set false for the scalar reference kernel,
+  // which preserves today's bit-exact per-seed outputs (A/B ablation and
+  // golden-value regressions). Disturbance draws use a dedicated
+  // substream consumed identically by both kernels.
+  bool batched_kernel = true;
+
   // Legacy-compatibility switches preserving pre-bugfix behavior for
   // side-by-side comparison; both default to the corrected behavior.
   //
@@ -184,10 +198,40 @@ class RoundSimulator {
     std::vector<obs::Counter*> zone_hits;
   };
 
+  // Structure-of-arrays scratch for the batched kernel, sized once at
+  // construction and reused every round. zone_hits doubles as the
+  // preallocated per-round zone tally for the observability hooks (both
+  // kernels), replacing the old per-request counter increments and the
+  // per-round vector growth.
+  struct RoundScratch {
+    std::vector<double> u_zone;        // zone-draw uniforms
+    std::vector<double> u_cylinder;    // cylinder-draw uniforms
+    std::vector<int> cylinder;
+    std::vector<int> zone;
+    std::vector<double> rate_bps;
+    std::vector<double> bytes;
+    std::vector<double> rotation_s;    // rotational latency + injected delay
+    std::vector<int> order;            // service order (indices into the SoA)
+    // SCAN sort keys: cylinder (bit-reversed for descending sweeps) in the
+    // high 32 bits, SoA index in the low 32 — one flat uint64 sort
+    // replaces the comparator-indirect index sort.
+    std::vector<uint64_t> sort_key;
+    std::vector<int32_t> zone_hits;    // per-zone tallies, reset each round
+  };
+
   RoundSimulator(const disk::DiskGeometry& geometry,
                  const disk::SeekTimeModel& seek, int num_streams,
                  std::vector<std::unique_ptr<workload::FragmentSource>> sources,
                  const SimulatorConfig& config);
+
+  RoundOutcome RunRoundScalar();
+  RoundOutcome RunRoundBatched();
+
+  // Emits the per-round trace event and metric updates. Zone tallies are
+  // read from scratch_.zone_hits, which the caller must have filled.
+  void EmitRoundObservability(const RoundOutcome& outcome, double seek_sum,
+                              double rotation_sum, double transfer_sum,
+                              double disturbance_delay_s, int disturbances);
 
   disk::DiskGeometry geometry_;
   disk::SeekTimeModel seek_;
@@ -200,6 +244,11 @@ class RoundSimulator {
   bool ascending_ = true;
   int64_t rounds_run_ = 0;
   std::optional<Metrics> metrics_;
+  // Non-null iff every stream draws i.i.d. from this one distribution, in
+  // which case the batched kernel pulls a round's sizes in one
+  // FillSamples() call.
+  const workload::SizeDistribution* shared_iid_ = nullptr;
+  RoundScratch scratch_;
 };
 
 }  // namespace zonestream::sim

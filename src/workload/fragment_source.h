@@ -27,6 +27,13 @@ class FragmentSource {
   // Marginal moments (bytes, bytes^2) — what the admission model sees.
   virtual double mean() const = 0;
   virtual double variance() const = 0;
+
+  // Non-null iff the source draws i.i.d. from a fixed SizeDistribution
+  // with no cross-round state (so draws may be batched and reordered
+  // freely). The batched simulation kernel uses this to pull all of a
+  // round's sizes in one FillSamples() call; stateful sources (AR(1))
+  // return nullptr and fall back to per-stream NextFragmentBytes().
+  virtual const SizeDistribution* iid_distribution() const { return nullptr; }
 };
 
 // Independent draws from a SizeDistribution (the paper's model assumption).
@@ -37,6 +44,9 @@ class IidSizeSource final : public FragmentSource {
   double NextFragmentBytes(numeric::Rng* rng) override;
   double mean() const override { return distribution_->mean(); }
   double variance() const override { return distribution_->variance(); }
+  const SizeDistribution* iid_distribution() const override {
+    return distribution_.get();
+  }
 
  private:
   std::shared_ptr<const SizeDistribution> distribution_;

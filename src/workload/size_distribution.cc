@@ -9,6 +9,11 @@
 
 namespace zonestream::workload {
 
+void SizeDistribution::FillSamples(numeric::Rng* rng, double* out,
+                                   size_t n) const {
+  for (size_t i = 0; i < n; ++i) out[i] = Sample(rng);
+}
+
 double SizeDistribution::Mgf(double theta) const {
   ZS_CHECK(has_finite_mgf());
   ZS_CHECK_LT(theta, MgfThetaMax());
@@ -69,6 +74,11 @@ double GammaSizeDistribution::Quantile(double p) const {
 
 double GammaSizeDistribution::Sample(numeric::Rng* rng) const {
   return rng->Gamma(shape_, scale_);
+}
+
+void GammaSizeDistribution::FillSamples(numeric::Rng* rng, double* out,
+                                        size_t n) const {
+  batch_sampler_.Fill(rng, out, n);
 }
 
 double GammaSizeDistribution::Mgf(double theta) const {

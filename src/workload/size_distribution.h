@@ -46,6 +46,13 @@ class SizeDistribution {
   // Draws one fragment size.
   virtual double Sample(numeric::Rng* rng) const = 0;
 
+  // Fills out[0..n) with i.i.d. draws. The default loops Sample();
+  // families with cacheable sampling constants (Gamma) override it with a
+  // batched sampler. Batched and scalar draws are identically distributed
+  // but need not consume the Rng identically — callers that require
+  // bit-exact scalar sample paths must keep calling Sample().
+  virtual void FillSamples(numeric::Rng* rng, double* out, size_t n) const;
+
   // Whether E[e^{theta X}] is finite for some theta > 0. Chernoff bounds on
   // sums require a finite MGF on an interval (0, theta_max); the Lognormal
   // famously fails this, the truncated Pareto has bounded support and
@@ -78,6 +85,9 @@ class GammaSizeDistribution final : public SizeDistribution {
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Sample(numeric::Rng* rng) const override;
+  // Marsaglia–Tsang batch with the per-shape rejection constants reused
+  // across the whole batch (see numeric::GammaBatchSampler).
+  void FillSamples(numeric::Rng* rng, double* out, size_t n) const override;
   bool has_finite_mgf() const override { return true; }
   double MgfThetaMax() const override { return 1.0 / scale_; }
   // Closed form (1 - scale*theta)^{-shape}.
@@ -90,9 +100,10 @@ class GammaSizeDistribution final : public SizeDistribution {
 
  private:
   GammaSizeDistribution(double shape, double scale)
-      : shape_(shape), scale_(scale) {}
+      : shape_(shape), scale_(scale), batch_sampler_(shape, scale) {}
   double shape_;
   double scale_;
+  numeric::GammaBatchSampler batch_sampler_;
 };
 
 // Lognormal fragment sizes parameterized by the variate's mean/variance.

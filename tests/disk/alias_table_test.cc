@@ -1,0 +1,103 @@
+#include "disk/alias_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_geometry.h"
+#include "disk/presets.h"
+#include "numeric/random.h"
+#include "numeric/special_functions.h"
+
+namespace zonestream::disk {
+namespace {
+
+TEST(AliasTableTest, SingleBucketAlwaysReturnsZero) {
+  const AliasTable table = AliasTable::Build({3.0});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Sample(0.0), 0);
+  EXPECT_EQ(table.Sample(0.5), 0);
+  EXPECT_EQ(table.Sample(0.999999), 0);
+}
+
+TEST(AliasTableTest, ImpliedProbabilitiesMatchNormalizedWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 0.0, 10.0};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  const AliasTable table = AliasTable::Build(weights);
+  const std::vector<double> implied = table.Probabilities();
+  ASSERT_EQ(implied.size(), weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(implied[i], weights[i] / total, 1e-12) << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, UniformGridSweepCoversEveryIndexProportionally) {
+  // Deterministic sweep: feeding an equally spaced grid of uniforms must
+  // reproduce each index's probability to within one grid cell.
+  const std::vector<double> weights = {0.05, 0.25, 0.5, 0.2};
+  const AliasTable table = AliasTable::Build(weights);
+  const int grid = 100000;
+  std::vector<int> hits(weights.size(), 0);
+  for (int i = 0; i < grid; ++i) {
+    ++hits[table.Sample((i + 0.5) / grid)];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / grid, weights[i], 2.0 / grid)
+        << "index " << i;
+  }
+}
+
+// Chi-square goodness of fit of alias-sampled zone frequencies against the
+// exact hit probabilities C_i/C on the Table 1 disk. With Z-1 = 14 degrees
+// of freedom the 99.9% quantile is ~36.1; RegularizedGammaP gives the CDF.
+TEST(AliasTableTest, ZoneFrequenciesMatchExactHitProbabilities) {
+  const DiskGeometry geometry = QuantumViking2100();
+  const AliasTable& table = geometry.zone_alias();
+  ASSERT_EQ(static_cast<int>(table.size()), geometry.num_zones());
+
+  numeric::Rng rng(20260806);
+  const int samples = 200000;
+  std::vector<int64_t> hits(geometry.num_zones(), 0);
+  for (int i = 0; i < samples; ++i) {
+    ++hits[table.Sample(&rng)];
+  }
+  double chi2 = 0.0;
+  for (int z = 0; z < geometry.num_zones(); ++z) {
+    const double expected = geometry.zone(z).hit_probability * samples;
+    ASSERT_GT(expected, 5.0);  // chi-square validity
+    const double delta = static_cast<double>(hits[z]) - expected;
+    chi2 += delta * delta / expected;
+  }
+  const double dof = geometry.num_zones() - 1;
+  const double p_value = 1.0 - numeric::RegularizedGammaP(dof / 2.0, chi2 / 2.0);
+  EXPECT_GT(p_value, 1e-3) << "chi2 = " << chi2;
+}
+
+// The alias table and the CDF binary search sample the same distribution:
+// compare zone frequencies from the two samplers on a common uniform
+// stream (not the same draws — SampleUniformPosition also consumes a
+// cylinder draw — but the same count).
+TEST(AliasTableTest, AgreesWithCdfSamplerInDistribution) {
+  const DiskGeometry geometry = QuantumViking2100();
+  numeric::Rng alias_rng(7);
+  numeric::Rng cdf_rng(7777);
+  const int samples = 100000;
+  std::vector<int64_t> alias_hits(geometry.num_zones(), 0);
+  std::vector<int64_t> cdf_hits(geometry.num_zones(), 0);
+  for (int i = 0; i < samples; ++i) {
+    ++alias_hits[geometry.SampleZoneAlias(alias_rng.Uniform01())];
+    ++cdf_hits[geometry.SampleUniformPosition(&cdf_rng).zone];
+  }
+  for (int z = 0; z < geometry.num_zones(); ++z) {
+    const double alias_freq = static_cast<double>(alias_hits[z]) / samples;
+    const double cdf_freq = static_cast<double>(cdf_hits[z]) / samples;
+    EXPECT_NEAR(alias_freq, cdf_freq, 0.01) << "zone " << z;
+    EXPECT_NEAR(alias_freq, geometry.zone(z).hit_probability, 0.01)
+        << "zone " << z;
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::disk

@@ -117,6 +117,33 @@ TEST(PlacementTest, SamplePositionsFollowTheMixture) {
   }
 }
 
+TEST(PlacementTest, ComponentAliasMatchesMixtureProbabilities) {
+  const DiskGeometry viking = QuantumViking2100();
+  PlacementConfig config;
+  config.strategy = PlacementStrategy::kTrackPairing;
+  auto placement = PlacementModel::Create(viking, config);
+  ASSERT_TRUE(placement.ok());
+  const std::vector<double>& probabilities = placement->probabilities();
+  numeric::Rng rng(9);
+  std::vector<int> counts(probabilities.size(), 0);
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    const int component = placement->SampleComponentAlias(rng.Uniform01());
+    ASSERT_GE(component, 0);
+    ASSERT_LT(component, static_cast<int>(probabilities.size()));
+    ++counts[component];
+  }
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, probabilities[i],
+                0.01);
+    const int zone = placement->ComponentZone(static_cast<int>(i));
+    ASSERT_GE(zone, 0);
+    ASSERT_LT(zone, viking.num_zones());
+    EXPECT_DOUBLE_EQ(placement->ComponentRate(static_cast<int>(i)),
+                     placement->rates()[i]);
+  }
+}
+
 TEST(PlacementTest, EvenZoneCountPairsCleanly) {
   DiskParameters params = QuantumViking2100Parameters();
   params.zones = 14;
