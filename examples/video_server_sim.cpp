@@ -13,8 +13,17 @@
 // With --metrics-out=FILE, the run is instrumented with the observability
 // layer and the final registry snapshot is written to FILE as JSON (see
 // docs/OBSERVABILITY.md for the schema and metric names).
+//
+// Fault injection and graceful degradation (docs/FAULTS.md):
+//   --fault=SPEC         inject faults, e.g.
+//                        "slowdown:enter=0.01,exit=0.2,delay_max=0.05"
+//   --fault-disk=D       apply the spec to disk D only (default: all)
+//   --degrade=BOUND      defend this per-round glitch-rate bound by
+//                        shedding streams when it is violated
+//   --retries=R          re-issue deadline-cut fragments up to R times
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -23,6 +32,8 @@
 #include "core/admission.h"
 #include "core/service_time_model.h"
 #include "disk/presets.h"
+#include "fault/degradation.h"
+#include "fault/fault_spec.h"
 #include "numeric/random.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -36,11 +47,26 @@ using namespace zonestream;  // example code; libraries never do this
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string fault_text;
+  int fault_disk = -1;
+  double degrade_bound = -1.0;
+  int retries = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+      fault_text = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--fault-disk=", 13) == 0) {
+      fault_disk = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--degrade=", 10) == 0) {
+      degrade_bound = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      retries = std::atoi(argv[i] + 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics-out=FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--metrics-out=FILE] [--fault=SPEC] "
+                   "[--fault-disk=D] [--degrade=BOUND] [--retries=R]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -98,6 +124,30 @@ int main(int argc, char** argv) {
     server_config.metrics = &registry;
     server_config.trace = &trace;
   }
+  if (!fault_text.empty()) {
+    auto spec = fault::ParseFaultSpec(fault_text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--fault: %s\n",
+                   spec.status().message().c_str());
+      return 2;
+    }
+    server_config.faults = *spec;
+    server_config.fault_disk = fault_disk;
+    std::printf("Fault injection: %s (disk %s)\n",
+                fault::FormatFaultSpec(server_config.faults).c_str(),
+                fault_disk < 0 ? "all" : std::to_string(fault_disk).c_str());
+  }
+  if (degrade_bound > 0.0) {
+    fault::DegradationPolicy policy;
+    policy.glitch_rate_bound = degrade_bound;
+    policy.window_rounds = 20;
+    policy.trigger_windows = 2;
+    policy.recovery_windows = 3;
+    server_config.degradation = policy;
+    std::printf("Degradation controller armed: bound %.4g/stream-round\n",
+                degrade_bound);
+  }
+  server_config.max_fragment_retries = retries;
   auto server = server::MediaServer::Create(viking, seek, server_config);
   if (!server.ok()) return 1;
 
@@ -178,9 +228,43 @@ int main(int argc, char** argv) {
       static_cast<long long>(finished_streams),
       static_cast<long long>(finished_glitches));
 
+  const std::vector<fault::DegradationEvent> degradation_events =
+      server->degradation_events();
+  if (!fault_text.empty() || degrade_bound > 0.0 || retries > 0) {
+    std::printf(
+        "\nDegradation: final state %s, %lld streams shed, %lld fragments "
+        "retried, %lld dropped, admissions %s\n",
+        fault::DegradationStateName(server->degradation_state()),
+        static_cast<long long>(stats.streams_shed),
+        static_cast<long long>(stats.fragments_retried),
+        static_cast<long long>(stats.fragments_dropped),
+        server->admissions_open() ? "open" : "closed");
+    for (const fault::DegradationEvent& event : degradation_events) {
+      std::printf("  round %lld: %s -> %s (shed %d, window rate %.5f)\n",
+                  static_cast<long long>(event.round),
+                  fault::DegradationStateName(event.from),
+                  fault::DegradationStateName(event.to), event.shed_streams,
+                  event.window_glitch_rate);
+    }
+  }
+
   if (!metrics_out.empty()) {
+    std::string degradation_json = "[";
+    for (size_t i = 0; i < degradation_events.size(); ++i) {
+      const fault::DegradationEvent& event = degradation_events[i];
+      if (i > 0) degradation_json += ",";
+      degradation_json +=
+          "{\"round\":" + std::to_string(event.round) + ",\"from\":\"" +
+          fault::DegradationStateName(event.from) + "\",\"to\":\"" +
+          fault::DegradationStateName(event.to) +
+          "\",\"shed_streams\":" + std::to_string(event.shed_streams) +
+          ",\"window_glitch_rate\":" +
+          std::to_string(event.window_glitch_rate) + "}";
+    }
+    degradation_json += "]";
     const std::string json = "{\"schema\":\"zonestream-metrics-v1\","
-                             "\"metrics\":" +
+                             "\"degradation_events\":" + degradation_json +
+                             ",\"metrics\":" +
                              obs::RegistryToJson(registry.Snapshot()) + "}\n";
     std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
     if (f == nullptr) {

@@ -17,11 +17,14 @@ double LogBinomialCoefficient(int m, int k) {
 }  // namespace
 
 double BinomialTailChernoff(int m, double p, int g) {
-  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(m, 0);
   ZS_CHECK_GE(g, 0);
-  ZS_CHECK_LE(g, m);
   ZS_CHECK_GE(p, 0.0);
   ZS_CHECK_LE(p, 1.0);
+  // m == 0: a zero-round lifetime has X = 0 surely, so P[X >= g] is 1 for
+  // g == 0 and 0 for any g > 0 (g <= m is only meaningful for m > 0).
+  if (m == 0) return (g == 0) ? 1.0 : 0.0;
+  ZS_CHECK_LE(g, m);
   if (p == 0.0) return (g == 0) ? 1.0 : 0.0;
   if (g == 0) return 1.0;  // P[X >= 0] = 1
   const double mm = static_cast<double>(m);
@@ -37,11 +40,12 @@ double BinomialTailChernoff(int m, double p, int g) {
 }
 
 double BinomialTailExact(int m, double p, int g) {
-  ZS_CHECK_GT(m, 0);
+  ZS_CHECK_GE(m, 0);
   ZS_CHECK_GE(g, 0);
-  ZS_CHECK_LE(g, m);
   ZS_CHECK_GE(p, 0.0);
   ZS_CHECK_LE(p, 1.0);
+  if (m == 0) return (g == 0) ? 1.0 : 0.0;  // X = 0 surely, as above
+  ZS_CHECK_LE(g, m);
   if (g == 0) return 1.0;
   if (p == 0.0) return 0.0;
   if (p == 1.0) return 1.0;

@@ -18,11 +18,14 @@ namespace zonestream::core {
 // Hagerup-Rüb Chernoff bound on the upper tail of a Binomial(m, p):
 // P[X >= g] <= (mp/g)^g ((m - mp)/(m - g))^{m-g}, valid for g/m > p.
 // Returns 1 when g/m <= p (the bound is vacuous there) and 0 when p == 0.
-// Evaluated in log space; exact at g == m only in the limit.
+// A zero-round lifetime (m == 0, which forces g == 0) has no glitches
+// surely, so the tail is 1. Evaluated in log space; exact at g == m only
+// in the limit.
 double BinomialTailChernoff(int m, double p, int g);
 
 // Exact binomial upper tail P[X >= g] by direct log-space summation.
-// Intended for validation and small/medium m (cost O(m - g)).
+// Intended for validation and small/medium m (cost O(m - g)); the m == 0
+// degenerate case matches BinomialTailChernoff.
 double BinomialTailExact(int m, double p, int g);
 
 // Analytic glitch model for one disk.

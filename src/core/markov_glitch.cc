@@ -32,9 +32,9 @@ common::StatusOr<MarkovGlitchModel> MarkovGlitchModel::FromMarginal(
   if (p_glitch < 0.0 || p_glitch > 1.0) {
     return common::Status::InvalidArgument("p_glitch must lie in [0, 1]");
   }
-  if (heavy_fraction <= 0.0 || heavy_fraction >= 1.0) {
+  if (heavy_fraction < 0.0 || heavy_fraction > 1.0) {
     return common::Status::InvalidArgument(
-        "heavy_fraction must lie in (0, 1)");
+        "heavy_fraction must lie in [0, 1]");
   }
   if (heavy_over_light < 1.0) {
     return common::Status::InvalidArgument("heavy_over_light must be >= 1");
@@ -42,6 +42,20 @@ common::StatusOr<MarkovGlitchModel> MarkovGlitchModel::FromMarginal(
   if (mean_heavy_run_rounds < 1.0) {
     return common::Status::InvalidArgument(
         "mean heavy run must be >= 1 round");
+  }
+  // Degenerate corners — never heavy, always heavy, or states with equal
+  // glitch probability — are all i.i.d. glitches at rate p_glitch. The
+  // modulation carries no information there, so collapse to a two-state
+  // chain whose states are indistinguishable (the binomial model) rather
+  // than solving the marginal equation at its singular points.
+  if (heavy_fraction == 0.0 || heavy_fraction == 1.0 ||
+      heavy_over_light == 1.0) {
+    MarkovGlitchParams params;
+    params.heavy_to_light = 1.0 / mean_heavy_run_rounds;
+    params.light_to_heavy = 1.0 / mean_heavy_run_rounds;
+    params.glitch_light = p_glitch;
+    params.glitch_heavy = p_glitch;
+    return Create(params);
   }
   // Marginal: p = pi_h * p_h + (1 - pi_h) * p_l with p_h = r * p_l.
   const double pi_h = heavy_fraction;

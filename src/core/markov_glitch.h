@@ -45,6 +45,13 @@ class MarkovGlitchModel {
   // spent in heavy scenes, the glitch-probability ratio heavy/light, and
   // the mean heavy-scene length in rounds. Solves for the state-level
   // parameters so the *marginal* matches p_glitch exactly.
+  //
+  // Degenerate corners collapse cleanly to the plain binomial model
+  // instead of erroring: heavy_fraction 0 (never heavy), heavy_fraction 1
+  // (always heavy), and heavy_over_light == 1 (states indistinguishable)
+  // all describe i.i.d. glitches at rate p_glitch, so the returned model
+  // has glitch_light == glitch_heavy == p_glitch and ErrorProbability
+  // equals the exact binomial tail.
   static common::StatusOr<MarkovGlitchModel> FromMarginal(
       double p_glitch, double heavy_fraction, double heavy_over_light,
       double mean_heavy_run_rounds);

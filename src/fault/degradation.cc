@@ -1,0 +1,229 @@
+#include "fault/degradation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "core/transfer_models.h"
+#include "obs/metrics.h"
+
+namespace zonestream::fault {
+
+namespace {
+
+// Transition log cap; after this the controller keeps counting via the
+// metrics but stops appending (a flapping controller must not OOM).
+constexpr size_t kMaxEvents = 4096;
+
+}  // namespace
+
+const char* DegradationStateName(DegradationState state) {
+  switch (state) {
+    case DegradationState::kNormal:
+      return "normal";
+    case DegradationState::kDegraded:
+      return "degraded";
+    case DegradationState::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+DegradationController::DegradationController(const DegradationPolicy& policy,
+                                             obs::Registry* metrics,
+                                             const std::string& metric_prefix)
+    : policy_(policy) {
+  policy_.glitch_rate_bound = std::max(policy_.glitch_rate_bound, 0.0);
+  policy_.window_rounds = std::max(policy_.window_rounds, 1);
+  policy_.trigger_windows = std::max(policy_.trigger_windows, 1);
+  policy_.recovery_windows = std::max(policy_.recovery_windows, 1);
+  policy_.recovery_margin =
+      std::clamp(policy_.recovery_margin, 0.0, 1.0);
+  policy_.min_streams = std::max(policy_.min_streams, 0);
+  policy_.max_shed_fraction = std::clamp(policy_.max_shed_fraction, 0.0, 1.0);
+  if (metrics != nullptr) {
+    state_gauge_ = metrics->GetGauge(metric_prefix + ".state");
+    trips_ = metrics->GetCounter(metric_prefix + ".trips");
+    shed_streams_ = metrics->GetCounter(metric_prefix + ".shed_streams");
+    windows_violated_ =
+        metrics->GetCounter(metric_prefix + ".windows_violated");
+    state_gauge_->Set(0.0);
+  }
+}
+
+void DegradationController::Transition(DegradationState to, int shed,
+                                       double rate) {
+  if (events_.size() < kMaxEvents) {
+    events_.push_back(DegradationEvent{rounds_observed_, state_, to, shed,
+                                       rate});
+  }
+  state_ = to;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<double>(static_cast<int>(to)));
+  }
+}
+
+int DegradationController::ShedTarget(const WindowSummary& window) const {
+  int target = -1;
+  if (policy_.rearmor) target = policy_.rearmor(window);
+  if (target < 0) {
+    // Proportional fallback: the measured rate scales roughly with the
+    // admitted load near the operating point, so keeping bound/rate of
+    // the streams is a first-order fix; the next window corrects the
+    // remainder (the §3.3 rate is super-linear in N, so this errs toward
+    // keeping too many, which the trigger edge then handles).
+    const double rate = std::max(window.glitch_rate, 1e-12);
+    target = static_cast<int>(std::floor(window.active_streams *
+                                         policy_.glitch_rate_bound / rate));
+  }
+  const int floor_streams = std::min(policy_.min_streams,
+                                     window.active_streams);
+  const int max_shed = static_cast<int>(
+      std::ceil(window.active_streams * policy_.max_shed_fraction));
+  target = std::max(target, window.active_streams - max_shed);
+  return std::clamp(target, floor_streams, window.active_streams);
+}
+
+DegradationCommand DegradationController::ObserveRound(int active_streams,
+                                                       int glitched_streams,
+                                                       bool overran) {
+  ZS_CHECK_GE(active_streams, 0);
+  ZS_CHECK_GE(glitched_streams, 0);
+  ++rounds_observed_;
+  ++window_rounds_seen_;
+  window_stream_rounds_ += active_streams;
+  window_glitches_ += glitched_streams;
+  if (overran) ++window_overruns_;
+  last_active_streams_ = active_streams;
+
+  DegradationCommand command;
+  command.admissions_open = state_ != DegradationState::kDegraded;
+  if (window_rounds_seen_ < policy_.window_rounds) return command;
+
+  // Window boundary: evaluate and reset the accumulators.
+  WindowSummary window;
+  window.end_round = rounds_observed_;
+  window.rounds = window_rounds_seen_;
+  window.glitch_rate =
+      window_stream_rounds_ > 0
+          ? static_cast<double>(window_glitches_) /
+                static_cast<double>(window_stream_rounds_)
+          : 0.0;
+  window.overrun_rate = static_cast<double>(window_overruns_) /
+                        static_cast<double>(window_rounds_seen_);
+  window.active_streams = last_active_streams_;
+  window_rounds_seen_ = 0;
+  window_stream_rounds_ = 0;
+  window_glitches_ = 0;
+  window_overruns_ = 0;
+  command.window_closed = true;
+
+  const bool violating = window.glitch_rate > policy_.glitch_rate_bound;
+  const bool clean = window.glitch_rate <=
+                     policy_.recovery_margin * policy_.glitch_rate_bound;
+  if (violating && windows_violated_ != nullptr) {
+    windows_violated_->Increment();
+  }
+
+  switch (state_) {
+    case DegradationState::kNormal: {
+      if (!violating) {
+        violating_windows_ = 0;
+        break;
+      }
+      if (++violating_windows_ < policy_.trigger_windows) break;
+      // Trip: shed down to the re-armored target and close admissions.
+      const int target = ShedTarget(window);
+      command.shed_streams = window.active_streams - target;
+      violating_windows_ = 0;
+      clean_windows_ = 0;
+      Transition(DegradationState::kDegraded, command.shed_streams,
+                 window.glitch_rate);
+      if (trips_ != nullptr) trips_->Increment();
+      if (shed_streams_ != nullptr && command.shed_streams > 0) {
+        shed_streams_->Increment(command.shed_streams);
+      }
+      command.admissions_open = false;
+      break;
+    }
+    case DegradationState::kDegraded: {
+      if (violating) {
+        // Still over the bound a full window after shedding: shed again
+        // (each shed is window-spaced, which is the flap guard on the way
+        // down).
+        clean_windows_ = 0;
+        const int target = ShedTarget(window);
+        command.shed_streams = window.active_streams - target;
+        if (command.shed_streams > 0 && events_.size() < kMaxEvents) {
+          events_.push_back(DegradationEvent{
+              rounds_observed_, state_, state_, command.shed_streams,
+              window.glitch_rate});
+        }
+        if (shed_streams_ != nullptr && command.shed_streams > 0) {
+          shed_streams_->Increment(command.shed_streams);
+        }
+      } else if (clean) {
+        if (++clean_windows_ >= policy_.recovery_windows) {
+          clean_windows_ = 0;
+          Transition(DegradationState::kRecovering, 0, window.glitch_rate);
+        }
+      } else {
+        clean_windows_ = 0;
+      }
+      command.admissions_open = state_ != DegradationState::kDegraded;
+      break;
+    }
+    case DegradationState::kRecovering: {
+      if (violating) {
+        // Relapse: back to degraded immediately — no second trigger
+        // debounce on a disk already known to misbehave.
+        clean_windows_ = 0;
+        const int target = ShedTarget(window);
+        command.shed_streams = window.active_streams - target;
+        Transition(DegradationState::kDegraded, command.shed_streams,
+                   window.glitch_rate);
+        if (trips_ != nullptr) trips_->Increment();
+        if (shed_streams_ != nullptr && command.shed_streams > 0) {
+          shed_streams_->Increment(command.shed_streams);
+        }
+        command.admissions_open = false;
+      } else if (clean && ++clean_windows_ >= policy_.recovery_windows) {
+        clean_windows_ = 0;
+        Transition(DegradationState::kNormal, 0, window.glitch_rate);
+      }
+      break;
+    }
+  }
+  return command;
+}
+
+common::StatusOr<int> RearmoredStreamLimit(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    double fragment_mean_bytes, double fragment_variance_bytes2,
+    double extra_delay_mean_s, double extra_delay_second_moment_s2,
+    double round_length_s, int m, int g, double epsilon) {
+  if (extra_delay_mean_s < 0.0 || extra_delay_second_moment_s2 < 0.0) {
+    return common::Status::InvalidArgument(
+        "extra-delay moments must be non-negative");
+  }
+  const double extra_variance =
+      extra_delay_second_moment_s2 - extra_delay_mean_s * extra_delay_mean_s;
+  if (extra_variance < 0.0) {
+    return common::Status::InvalidArgument(
+        "extra-delay second moment below the squared mean");
+  }
+  auto clean_transfer = core::GammaTransferModel::ForMultiZone(
+      geometry, fragment_mean_bytes, fragment_variance_bytes2);
+  if (!clean_transfer.ok()) return clean_transfer.status();
+  auto inflated = core::ServiceTimeModel::FromTransferMoments(
+      seek, geometry.cylinders(), geometry.rotation_time(),
+      clean_transfer->mean() + extra_delay_mean_s,
+      clean_transfer->variance() + extra_variance);
+  if (!inflated.ok()) return inflated.status();
+  return core::MaxStreamsByGlitchRate(*inflated, round_length_s, m, g,
+                                      epsilon);
+}
+
+}  // namespace zonestream::fault

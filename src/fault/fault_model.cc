@@ -1,0 +1,302 @@
+#include "fault/fault_model.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace zonestream::fault {
+
+namespace {
+
+// Tag for the fault subsystem's RNG substream family ("flt"). Model i
+// draws from SubstreamSeed(SubstreamSeed(seed, kFaultSubstream), i), so
+// fault draws never touch the caller's main stream and each model is
+// independent of how many others are configured.
+constexpr uint64_t kFaultSubstream = 0x666c74;
+
+common::Status CheckProbability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    return common::Status::InvalidArgument(std::string(what) +
+                                           " must lie in [0, 1]");
+  }
+  return common::Status::Ok();
+}
+
+common::Status CheckDelayRange(double lo, double hi) {
+  if (lo < 0.0 || hi < lo) {
+    return common::Status::InvalidArgument(
+        "delay range must satisfy 0 <= delay_min_s <= delay_max_s");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+// --- MarkovSlowdownFault ---------------------------------------------------
+
+common::StatusOr<std::unique_ptr<MarkovSlowdownFault>>
+MarkovSlowdownFault::Create(const MarkovSlowdownSpec& spec) {
+  auto status = CheckProbability(spec.enter_per_round, "enter_per_round");
+  if (!status.ok()) return status;
+  status = CheckProbability(spec.exit_per_round, "exit_per_round");
+  if (!status.ok()) return status;
+  status = CheckProbability(spec.per_request_probability,
+                            "per_request_probability");
+  if (!status.ok()) return status;
+  status = CheckDelayRange(spec.delay_min_s, spec.delay_max_s);
+  if (!status.ok()) return status;
+  if ((spec.force_from_round < 0) != (spec.force_until_round < 0) ||
+      (spec.force_from_round >= 0 &&
+       spec.force_until_round <= spec.force_from_round)) {
+    return common::Status::InvalidArgument(
+        "forced window needs force_from_round < force_until_round (or both "
+        "-1)");
+  }
+  return std::unique_ptr<MarkovSlowdownFault>(new MarkovSlowdownFault(spec));
+}
+
+void MarkovSlowdownFault::BeginRound(int /*num_requests*/,
+                                     numeric::Rng* rng) {
+  ++round_;
+  // One draw per round regardless of state keeps the substream position a
+  // pure function of the round index, so forced windows and state flips
+  // never shift later draws.
+  const double u = rng->Uniform01();
+  if (slow_) {
+    if (u < spec_.exit_per_round) slow_ = false;
+  } else {
+    if (u < spec_.enter_per_round) slow_ = true;
+  }
+}
+
+bool MarkovSlowdownFault::active() const {
+  if (spec_.force_from_round >= 0 && round_ >= spec_.force_from_round &&
+      round_ < spec_.force_until_round) {
+    return true;
+  }
+  return slow_;
+}
+
+double MarkovSlowdownFault::DelayFor(const RequestFaultContext& /*context*/,
+                                     numeric::Rng* rng) {
+  // Fixed two-draw consumption per request, slow or not: DelayFor shares
+  // the model's substream with the epoch chain, so a state-dependent draw
+  // count would let a forced window (or the epoch state itself) shift
+  // every later BeginRound draw — exactly what the header rules out.
+  const double hit = rng->Uniform01();
+  const double u = rng->Uniform01();
+  if (!active() || hit >= spec_.per_request_probability) return 0.0;
+  return spec_.delay_min_s + (spec_.delay_max_s - spec_.delay_min_s) * u;
+}
+
+// --- ZoneDropoutFault ------------------------------------------------------
+
+common::StatusOr<std::unique_ptr<ZoneDropoutFault>> ZoneDropoutFault::Create(
+    const ZoneDropoutSpec& spec, int num_zones) {
+  if (num_zones <= 0) {
+    return common::Status::InvalidArgument("num_zones must be positive");
+  }
+  auto status = CheckProbability(spec.fail_per_round, "fail_per_round");
+  if (!status.ok()) return status;
+  status = CheckProbability(spec.recover_per_round, "recover_per_round");
+  if (!status.ok()) return status;
+  if (spec.rate_factor <= 0.0 || spec.rate_factor > 1.0) {
+    return common::Status::InvalidArgument(
+        "rate_factor must lie in (0, 1] (a dropped zone still transfers, "
+        "just slower; use disk_failure for a dead disk)");
+  }
+  return std::unique_ptr<ZoneDropoutFault>(
+      new ZoneDropoutFault(spec, num_zones));
+}
+
+void ZoneDropoutFault::BeginRound(int /*num_requests*/, numeric::Rng* rng) {
+  // One draw per zone per round, healthy or not: fixed consumption keeps
+  // the substream aligned with the round index.
+  for (size_t z = 0; z < zone_failed_.size(); ++z) {
+    const double u = rng->Uniform01();
+    if (zone_failed_[z]) {
+      if (u < spec_.recover_per_round) {
+        zone_failed_[z] = 0;
+        --failed_zones_;
+      }
+    } else if (u < spec_.fail_per_round) {
+      zone_failed_[z] = 1;
+      ++failed_zones_;
+    }
+  }
+}
+
+double ZoneDropoutFault::RateMultiplier(int zone) const {
+  ZS_CHECK_GE(zone, 0);
+  ZS_CHECK_LT(static_cast<size_t>(zone), zone_failed_.size());
+  return zone_failed_[zone] ? spec_.rate_factor : 1.0;
+}
+
+// --- CorrelatedBurstFault --------------------------------------------------
+
+common::StatusOr<std::unique_ptr<CorrelatedBurstFault>>
+CorrelatedBurstFault::Create(const CorrelatedBurstSpec& spec) {
+  auto status = CheckProbability(spec.burst_per_round, "burst_per_round");
+  if (!status.ok()) return status;
+  if (spec.burst_length <= 0) {
+    return common::Status::InvalidArgument("burst_length must be positive");
+  }
+  status = CheckDelayRange(spec.delay_min_s, spec.delay_max_s);
+  if (!status.ok()) return status;
+  return std::unique_ptr<CorrelatedBurstFault>(
+      new CorrelatedBurstFault(spec));
+}
+
+void CorrelatedBurstFault::BeginRound(int num_requests, numeric::Rng* rng) {
+  burst_start_ = -1;
+  if (rng->Uniform01() < spec_.burst_per_round && num_requests > 0) {
+    burst_start_ = static_cast<int>(
+        rng->UniformIndex(static_cast<uint64_t>(num_requests)));
+  }
+}
+
+double CorrelatedBurstFault::DelayFor(const RequestFaultContext& context,
+                                      numeric::Rng* rng) {
+  if (burst_start_ < 0) return 0.0;
+  if (context.request_index < burst_start_ ||
+      context.request_index >= burst_start_ + spec_.burst_length) {
+    return 0.0;
+  }
+  return rng->Uniform(spec_.delay_min_s, spec_.delay_max_s);
+}
+
+// --- DiskFailureFault ------------------------------------------------------
+
+common::StatusOr<std::unique_ptr<DiskFailureFault>> DiskFailureFault::Create(
+    const DiskFailureSpec& spec) {
+  auto status = CheckProbability(spec.fail_per_round, "fail_per_round");
+  if (!status.ok()) return status;
+  if (spec.fail_per_round == 0.0 && spec.fail_at_round < 0) {
+    return common::Status::InvalidArgument(
+        "disk failure needs fail_per_round > 0 or fail_at_round >= 0");
+  }
+  if (spec.repair_after_rounds == 0) {
+    return common::Status::InvalidArgument(
+        "repair_after_rounds must be positive (or -1 for permanent)");
+  }
+  return std::unique_ptr<DiskFailureFault>(new DiskFailureFault(spec));
+}
+
+void DiskFailureFault::BeginRound(int /*num_requests*/, numeric::Rng* rng) {
+  ++round_;
+  // Fixed one-draw-per-round consumption, as in MarkovSlowdownFault.
+  const double u = rng->Uniform01();
+  if (failed_) {
+    ++failed_rounds_;
+    if (spec_.repair_after_rounds > 0 &&
+        failed_rounds_ >= spec_.repair_after_rounds) {
+      failed_ = false;
+      failed_rounds_ = 0;
+    }
+    return;
+  }
+  if (round_ == spec_.fail_at_round || u < spec_.fail_per_round) {
+    failed_ = true;
+    failed_rounds_ = 0;
+  }
+}
+
+// --- FaultInjector ---------------------------------------------------------
+
+FaultInjector::FaultInjector(std::vector<std::unique_ptr<FaultModel>> models,
+                             uint64_t seed, obs::Registry* metrics,
+                             const std::string& metric_prefix) {
+  const uint64_t family = numeric::SubstreamSeed(seed, kFaultSubstream);
+  slots_.reserve(models.size());
+  for (size_t i = 0; i < models.size(); ++i) {
+    slots_.push_back(Slot{std::move(models[i]),
+                          numeric::Rng(numeric::SubstreamSeed(family, i))});
+  }
+  if (metrics != nullptr) {
+    rounds_active_ = metrics->GetCounter(metric_prefix + ".rounds_active");
+    delays_injected_ =
+        metrics->GetCounter(metric_prefix + ".delays_injected");
+    disk_failed_rounds_ =
+        metrics->GetCounter(metric_prefix + ".disk_failed_rounds");
+    delay_s_ = metrics->GetHistogram(metric_prefix + ".delay_s");
+  }
+}
+
+common::StatusOr<std::unique_ptr<FaultInjector>> FaultInjector::Create(
+    const FaultSpec& spec, int num_zones, uint64_t seed,
+    obs::Registry* metrics, const std::string& metric_prefix) {
+  std::vector<std::unique_ptr<FaultModel>> models;
+  for (const MarkovSlowdownSpec& s : spec.slowdowns) {
+    auto model = MarkovSlowdownFault::Create(s);
+    if (!model.ok()) return model.status();
+    models.push_back(*std::move(model));
+  }
+  for (const ZoneDropoutSpec& s : spec.zone_dropouts) {
+    auto model = ZoneDropoutFault::Create(s, num_zones);
+    if (!model.ok()) return model.status();
+    models.push_back(*std::move(model));
+  }
+  for (const CorrelatedBurstSpec& s : spec.bursts) {
+    auto model = CorrelatedBurstFault::Create(s);
+    if (!model.ok()) return model.status();
+    models.push_back(*std::move(model));
+  }
+  for (const DiskFailureSpec& s : spec.disk_failures) {
+    auto model = DiskFailureFault::Create(s);
+    if (!model.ok()) return model.status();
+    models.push_back(*std::move(model));
+  }
+  return std::unique_ptr<FaultInjector>(
+      new FaultInjector(std::move(models), seed, metrics, metric_prefix));
+}
+
+void FaultInjector::BeginRound(int num_requests) {
+  ++rounds_begun_;
+  for (Slot& slot : slots_) {
+    slot.model->BeginRound(num_requests, &slot.rng);
+  }
+  if (rounds_active_ != nullptr && any_active()) {
+    rounds_active_->Increment();
+  }
+  if (disk_failed_rounds_ != nullptr && disk_failed()) {
+    disk_failed_rounds_->Increment();
+  }
+}
+
+double FaultInjector::DelayFor(const RequestFaultContext& context) {
+  double delay = 0.0;
+  for (Slot& slot : slots_) {
+    delay += slot.model->DelayFor(context, &slot.rng);
+  }
+  if (delay > 0.0) {
+    if (delays_injected_ != nullptr) delays_injected_->Increment();
+    if (delay_s_ != nullptr) delay_s_->Record(delay);
+  }
+  return delay;
+}
+
+double FaultInjector::RateMultiplier(int zone) const {
+  double multiplier = 1.0;
+  for (const Slot& slot : slots_) {
+    multiplier *= slot.model->RateMultiplier(zone);
+  }
+  ZS_CHECK_GT(multiplier, 0.0);
+  return multiplier;
+}
+
+bool FaultInjector::disk_failed() const {
+  for (const Slot& slot : slots_) {
+    if (slot.model->disk_failed()) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::any_active() const {
+  for (const Slot& slot : slots_) {
+    if (slot.model->active()) return true;
+  }
+  return false;
+}
+
+}  // namespace zonestream::fault

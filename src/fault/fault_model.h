@@ -1,0 +1,271 @@
+// Composable fault injection for the simulators and servers.
+//
+// The paper's guarantees are *stochastic*: §3.3 trades a tiny, quantified
+// per-stream failure probability for throughput. Validating that contract
+// under realistic misbehavior needs faults in realistic shapes, not just
+// the i.i.d. per-request delays of sim::DisturbanceConfig. This module
+// provides a small algebra of fault models:
+//
+//   * MarkovSlowdownFault    — two-state (normal/slow) epochs at round
+//     granularity, the temporal analogue of core::MarkovGlitchModel:
+//     thermal recalibration storms, vibration bursts, background scrubs.
+//   * ZoneDropoutFault       — zones independently drop to a remapped
+//     (derated) transfer rate and later recover: media defects, head
+//     degradation confined to a radial band.
+//   * CorrelatedBurstFault   — a contiguous run of one round's requests
+//     all pick up extra delay: bus resets, queue stalls.
+//   * DiskFailureFault       — the whole disk stops serving (optionally
+//     repaired later): the failure-domain case striped arrays must
+//     survive (server::PlanArrayDegraded).
+//
+// Every model draws from its own numeric::Rng substream owned by the
+// FaultInjector, so configuring zero models consumes zero randomness and
+// clean runs stay bit-identical to a build without this subsystem; adding
+// a model never perturbs another model's draws either.
+#ifndef ZONESTREAM_FAULT_FAULT_MODEL_H_
+#define ZONESTREAM_FAULT_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "numeric/random.h"
+
+namespace zonestream::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace zonestream::obs
+
+namespace zonestream::fault {
+
+// Everything a fault model may condition a per-request decision on.
+struct RequestFaultContext {
+  int request_index = 0;  // position in issue order (0-based)
+  int stream_id = 0;
+  int zone = 0;
+  int cylinder = 0;
+};
+
+// One source of faults. Stateful (epoch machines advance at round
+// boundaries); the owning FaultInjector hands each model its own RNG.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  virtual const char* name() const = 0;
+
+  // Advances epoch state at the round boundary. `num_requests` is the
+  // number of requests the coming round will issue.
+  virtual void BeginRound(int num_requests, numeric::Rng* rng) = 0;
+
+  // Extra service delay (seconds, >= 0) injected into this request.
+  virtual double DelayFor(const RequestFaultContext& context,
+                          numeric::Rng* rng) {
+    (void)context;
+    (void)rng;
+    return 0.0;
+  }
+
+  // Multiplier in (0, 1] on the zone's transfer rate for this round
+  // (< 1 models a degraded / remapped zone).
+  virtual double RateMultiplier(int zone) const {
+    (void)zone;
+    return 1.0;
+  }
+
+  // Whole-disk failure: no request is served this round.
+  virtual bool disk_failed() const { return false; }
+
+  // True while the model is currently disturbing the disk.
+  virtual bool active() const = 0;
+};
+
+// --- Markov-modulated slowdown ---------------------------------------------
+
+struct MarkovSlowdownSpec {
+  // Per-round-boundary switching probabilities of the two-state chain.
+  double enter_per_round = 0.0;  // P[normal -> slow]
+  double exit_per_round = 0.0;   // P[slow -> normal]
+  // Within a slow epoch, each request independently picks up a delay
+  // uniform in [delay_min_s, delay_max_s] with this probability.
+  double per_request_probability = 1.0;
+  double delay_min_s = 0.0;
+  double delay_max_s = 0.0;
+  // Deterministic epoch window for experiments: the model is forced slow
+  // on rounds [force_from_round, force_until_round). -1 disables. The
+  // stochastic chain still runs (and consumes its draws) underneath, so
+  // enabling a forced window never shifts later stochastic epochs.
+  int64_t force_from_round = -1;
+  int64_t force_until_round = -1;
+};
+
+class MarkovSlowdownFault final : public FaultModel {
+ public:
+  static common::StatusOr<std::unique_ptr<MarkovSlowdownFault>> Create(
+      const MarkovSlowdownSpec& spec);
+
+  const char* name() const override { return "markov_slowdown"; }
+  void BeginRound(int num_requests, numeric::Rng* rng) override;
+  double DelayFor(const RequestFaultContext& context,
+                  numeric::Rng* rng) override;
+  bool active() const override;
+
+ private:
+  explicit MarkovSlowdownFault(const MarkovSlowdownSpec& spec)
+      : spec_(spec) {}
+  MarkovSlowdownSpec spec_;
+  bool slow_ = false;     // stochastic chain state
+  int64_t round_ = -1;    // rounds begun so far - 1
+};
+
+// --- Zone dropout ----------------------------------------------------------
+
+struct ZoneDropoutSpec {
+  double fail_per_round = 0.0;     // per healthy zone, per round
+  double recover_per_round = 0.0;  // per failed zone, per round (0 = never)
+  // Remapped transfer rate of a dropped zone, as a fraction of nominal.
+  double rate_factor = 0.5;        // must lie in (0, 1]
+};
+
+class ZoneDropoutFault final : public FaultModel {
+ public:
+  static common::StatusOr<std::unique_ptr<ZoneDropoutFault>> Create(
+      const ZoneDropoutSpec& spec, int num_zones);
+
+  const char* name() const override { return "zone_dropout"; }
+  void BeginRound(int num_requests, numeric::Rng* rng) override;
+  double RateMultiplier(int zone) const override;
+  bool active() const override { return failed_zones_ > 0; }
+  int failed_zones() const { return failed_zones_; }
+
+ private:
+  ZoneDropoutFault(const ZoneDropoutSpec& spec, int num_zones)
+      : spec_(spec), zone_failed_(num_zones, 0) {}
+  ZoneDropoutSpec spec_;
+  std::vector<uint8_t> zone_failed_;
+  int failed_zones_ = 0;
+};
+
+// --- Correlated delay burst ------------------------------------------------
+
+struct CorrelatedBurstSpec {
+  double burst_per_round = 0.0;  // P[a burst fires this round]
+  int burst_length = 1;          // consecutive requests (issue order) hit
+  double delay_min_s = 0.0;
+  double delay_max_s = 0.0;      // each hit request delays U[min, max]
+};
+
+class CorrelatedBurstFault final : public FaultModel {
+ public:
+  static common::StatusOr<std::unique_ptr<CorrelatedBurstFault>> Create(
+      const CorrelatedBurstSpec& spec);
+
+  const char* name() const override { return "correlated_burst"; }
+  void BeginRound(int num_requests, numeric::Rng* rng) override;
+  double DelayFor(const RequestFaultContext& context,
+                  numeric::Rng* rng) override;
+  bool active() const override { return burst_start_ >= 0; }
+
+ private:
+  explicit CorrelatedBurstFault(const CorrelatedBurstSpec& spec)
+      : spec_(spec) {}
+  CorrelatedBurstSpec spec_;
+  int burst_start_ = -1;  // -1: no burst this round
+};
+
+// --- Whole-disk failure ----------------------------------------------------
+
+struct DiskFailureSpec {
+  double fail_per_round = 0.0;      // geometric failure hazard
+  int64_t fail_at_round = -1;       // deterministic failure round (-1 off)
+  int64_t repair_after_rounds = -1; // rounds until repaired (-1 = permanent)
+};
+
+class DiskFailureFault final : public FaultModel {
+ public:
+  static common::StatusOr<std::unique_ptr<DiskFailureFault>> Create(
+      const DiskFailureSpec& spec);
+
+  const char* name() const override { return "disk_failure"; }
+  void BeginRound(int num_requests, numeric::Rng* rng) override;
+  bool disk_failed() const override { return failed_; }
+  bool active() const override { return failed_; }
+
+ private:
+  explicit DiskFailureFault(const DiskFailureSpec& spec) : spec_(spec) {}
+  DiskFailureSpec spec_;
+  bool failed_ = false;
+  int64_t round_ = -1;
+  int64_t failed_rounds_ = 0;  // consecutive rounds spent failed
+};
+
+// --- Composition -----------------------------------------------------------
+
+// Plain-data description of a fault mix; copyable, so configs that embed
+// it (sim::SimulatorConfig, server::MediaServerConfig) stay value types.
+// An empty spec injects nothing and consumes no randomness.
+struct FaultSpec {
+  std::vector<MarkovSlowdownSpec> slowdowns;
+  std::vector<ZoneDropoutSpec> zone_dropouts;
+  std::vector<CorrelatedBurstSpec> bursts;
+  std::vector<DiskFailureSpec> disk_failures;
+
+  bool empty() const {
+    return slowdowns.empty() && zone_dropouts.empty() && bursts.empty() &&
+           disk_failures.empty();
+  }
+};
+
+// Owns a set of fault models plus one dedicated RNG substream per model
+// (SubstreamSeed(SubstreamSeed(seed, kFaultSubstream), model ordinal)), and
+// composes their per-round effects: delays add, rate multipliers multiply,
+// disk failure is the OR. Metrics (optional, not owned) land under
+// "<prefix>." — see docs/FAULTS.md for the schema.
+class FaultInjector {
+ public:
+  // Validates `spec` and builds the models. `num_zones` sizes the zone
+  // dropout state; `seed` is the *base* seed (the caller's), from which
+  // the fault substreams are derived.
+  static common::StatusOr<std::unique_ptr<FaultInjector>> Create(
+      const FaultSpec& spec, int num_zones, uint64_t seed,
+      obs::Registry* metrics = nullptr,
+      const std::string& metric_prefix = "fault");
+
+  // Advances every model's epoch state for the coming round.
+  void BeginRound(int num_requests);
+
+  // Total injected delay for one request (sum over models). Call in issue
+  // order, exactly once per request, for reproducible substream use.
+  double DelayFor(const RequestFaultContext& context);
+
+  // Product of the models' zone-rate multipliers; always > 0.
+  double RateMultiplier(int zone) const;
+
+  bool disk_failed() const;
+  bool any_active() const;
+  int64_t rounds_begun() const { return rounds_begun_; }
+
+ private:
+  FaultInjector(std::vector<std::unique_ptr<FaultModel>> models,
+                uint64_t seed, obs::Registry* metrics,
+                const std::string& metric_prefix);
+
+  struct Slot {
+    std::unique_ptr<FaultModel> model;
+    numeric::Rng rng;
+  };
+  std::vector<Slot> slots_;
+  int64_t rounds_begun_ = 0;
+  // Metric handles (null when disabled).
+  obs::Counter* rounds_active_ = nullptr;
+  obs::Counter* delays_injected_ = nullptr;
+  obs::Counter* disk_failed_rounds_ = nullptr;
+  obs::Histogram* delay_s_ = nullptr;
+};
+
+}  // namespace zonestream::fault
+
+#endif  // ZONESTREAM_FAULT_FAULT_MODEL_H_

@@ -1,0 +1,200 @@
+#include "fault/fault_spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+namespace zonestream::fault {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(separator, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+// Key=value list of one clause, with duplicate and syntax checking.
+common::StatusOr<std::map<std::string, std::string>> ParsePairs(
+    const std::string& clause, const std::string& body) {
+  std::map<std::string, std::string> pairs;
+  if (body.empty()) return pairs;
+  for (const std::string& item : Split(body, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return common::Status::InvalidArgument(
+          "fault spec: expected key=value in '" + clause + "', got '" +
+          item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    if (!pairs.emplace(key, item.substr(eq + 1)).second) {
+      return common::Status::InvalidArgument(
+          "fault spec: duplicate key '" + key + "' in '" + clause + "'");
+    }
+  }
+  return pairs;
+}
+
+// Typed accessors that consume recognized keys, so leftovers can be
+// reported as unknown.
+common::Status TakeDouble(std::map<std::string, std::string>* pairs,
+                          const std::string& key, double* out) {
+  auto it = pairs->find(key);
+  if (it == pairs->end()) return common::Status::Ok();
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return common::Status::InvalidArgument("fault spec: bad number for '" +
+                                           key + "': " + it->second);
+  }
+  *out = value;
+  pairs->erase(it);
+  return common::Status::Ok();
+}
+
+common::Status TakeInt64(std::map<std::string, std::string>* pairs,
+                         const std::string& key, int64_t* out) {
+  double value = static_cast<double>(*out);
+  auto status = TakeDouble(pairs, key, &value);
+  if (!status.ok()) return status;
+  *out = static_cast<int64_t>(value);
+  return common::Status::Ok();
+}
+
+common::Status TakeInt(std::map<std::string, std::string>* pairs,
+                       const std::string& key, int* out) {
+  int64_t value = *out;
+  auto status = TakeInt64(pairs, key, &value);
+  if (!status.ok()) return status;
+  *out = static_cast<int>(value);
+  return common::Status::Ok();
+}
+
+common::Status CheckDrained(const std::map<std::string, std::string>& pairs,
+                            const std::string& clause) {
+  if (pairs.empty()) return common::Status::Ok();
+  return common::Status::InvalidArgument("fault spec: unknown key '" +
+                                         pairs.begin()->first + "' in '" +
+                                         clause + "'");
+}
+
+std::string Num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+common::StatusOr<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& clause : Split(text, ';')) {
+    if (clause.empty()) continue;
+    const size_t colon = clause.find(':');
+    const std::string model = clause.substr(0, colon);
+    const std::string body =
+        colon == std::string::npos ? "" : clause.substr(colon + 1);
+    auto pairs = ParsePairs(clause, body);
+    if (!pairs.ok()) return pairs.status();
+    common::Status status = common::Status::Ok();
+    if (model == "slowdown") {
+      MarkovSlowdownSpec s;
+      if (status.ok()) status = TakeDouble(&*pairs, "enter", &s.enter_per_round);
+      if (status.ok()) status = TakeDouble(&*pairs, "exit", &s.exit_per_round);
+      if (status.ok())
+        status = TakeDouble(&*pairs, "prob", &s.per_request_probability);
+      if (status.ok()) status = TakeDouble(&*pairs, "delay_min", &s.delay_min_s);
+      if (status.ok()) status = TakeDouble(&*pairs, "delay_max", &s.delay_max_s);
+      if (status.ok()) status = TakeInt64(&*pairs, "from", &s.force_from_round);
+      if (status.ok()) status = TakeInt64(&*pairs, "until", &s.force_until_round);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (!status.ok()) return status;
+      spec.slowdowns.push_back(s);
+    } else if (model == "zone_dropout") {
+      ZoneDropoutSpec s;
+      if (status.ok()) status = TakeDouble(&*pairs, "fail", &s.fail_per_round);
+      if (status.ok())
+        status = TakeDouble(&*pairs, "recover", &s.recover_per_round);
+      if (status.ok()) status = TakeDouble(&*pairs, "rate_factor", &s.rate_factor);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (!status.ok()) return status;
+      spec.zone_dropouts.push_back(s);
+    } else if (model == "burst") {
+      CorrelatedBurstSpec s;
+      if (status.ok()) status = TakeDouble(&*pairs, "prob", &s.burst_per_round);
+      if (status.ok()) status = TakeInt(&*pairs, "len", &s.burst_length);
+      if (status.ok()) status = TakeDouble(&*pairs, "delay_min", &s.delay_min_s);
+      if (status.ok()) status = TakeDouble(&*pairs, "delay_max", &s.delay_max_s);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (!status.ok()) return status;
+      spec.bursts.push_back(s);
+    } else if (model == "disk_failure") {
+      DiskFailureSpec s;
+      if (status.ok()) status = TakeDouble(&*pairs, "hazard", &s.fail_per_round);
+      if (status.ok()) status = TakeInt64(&*pairs, "at", &s.fail_at_round);
+      if (status.ok())
+        status = TakeInt64(&*pairs, "repair", &s.repair_after_rounds);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (!status.ok()) return status;
+      spec.disk_failures.push_back(s);
+    } else {
+      return common::Status::InvalidArgument(
+          "fault spec: unknown model '" + model +
+          "' (expected slowdown, zone_dropout, burst, or disk_failure)");
+    }
+  }
+  return spec;
+}
+
+std::string FormatFaultSpec(const FaultSpec& spec) {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += ';';
+    out += text;
+  };
+  for (const MarkovSlowdownSpec& s : spec.slowdowns) {
+    std::string c = "slowdown:enter=" + Num(s.enter_per_round) +
+                    ",exit=" + Num(s.exit_per_round) +
+                    ",prob=" + Num(s.per_request_probability) +
+                    ",delay_min=" + Num(s.delay_min_s) +
+                    ",delay_max=" + Num(s.delay_max_s);
+    if (s.force_from_round >= 0) {
+      c += ",from=" + std::to_string(s.force_from_round) +
+           ",until=" + std::to_string(s.force_until_round);
+    }
+    clause(c);
+  }
+  for (const ZoneDropoutSpec& s : spec.zone_dropouts) {
+    clause("zone_dropout:fail=" + Num(s.fail_per_round) +
+           ",recover=" + Num(s.recover_per_round) +
+           ",rate_factor=" + Num(s.rate_factor));
+  }
+  for (const CorrelatedBurstSpec& s : spec.bursts) {
+    clause("burst:prob=" + Num(s.burst_per_round) +
+           ",len=" + std::to_string(s.burst_length) +
+           ",delay_min=" + Num(s.delay_min_s) +
+           ",delay_max=" + Num(s.delay_max_s));
+  }
+  for (const DiskFailureSpec& s : spec.disk_failures) {
+    std::string c = "disk_failure:hazard=" + Num(s.fail_per_round);
+    if (s.fail_at_round >= 0) c += ",at=" + std::to_string(s.fail_at_round);
+    if (s.repair_after_rounds >= 0) {
+      c += ",repair=" + std::to_string(s.repair_after_rounds);
+    }
+    clause(c);
+  }
+  return out;
+}
+
+}  // namespace zonestream::fault

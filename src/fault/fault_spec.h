@@ -1,0 +1,35 @@
+// Textual fault-mix specification, for CLI flags and config files.
+//
+// A spec string is a ';'-separated list of model clauses, each
+// "<model>:<key>=<value>,<key>=<value>,...". Models and keys:
+//
+//   slowdown:     enter, exit, prob, delay_min, delay_max, from, until
+//   zone_dropout: fail, recover, rate_factor
+//   burst:        prob, len, delay_min, delay_max
+//   disk_failure: hazard, at, repair
+//
+// Example (the integration demo's slowdown epoch):
+//   --fault="slowdown:delay_min=0.05,delay_max=0.3,from=200,until=400"
+//
+// Numeric validation is deferred to the model Create() functions, so the
+// parser and the programmatic API reject identical inputs identically.
+#ifndef ZONESTREAM_FAULT_FAULT_SPEC_H_
+#define ZONESTREAM_FAULT_FAULT_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "fault/fault_model.h"
+
+namespace zonestream::fault {
+
+// Parses a spec string. The empty string yields an empty FaultSpec.
+common::StatusOr<FaultSpec> ParseFaultSpec(const std::string& text);
+
+// Renders a spec back to the parseable textual form (round-trips through
+// ParseFaultSpec up to float formatting).
+std::string FormatFaultSpec(const FaultSpec& spec);
+
+}  // namespace zonestream::fault
+
+#endif  // ZONESTREAM_FAULT_FAULT_SPEC_H_

@@ -113,8 +113,13 @@ std::string TraceEventToJson(const RoundTraceEvent& event) {
   out += ",\"transfer_s\":" + JsonDouble(event.transfer_s);
   out += ",\"disturbance_delay_s\":" + JsonDouble(event.disturbance_delay_s);
   out += ",\"disturbances\":" + std::to_string(event.disturbances);
+  out += ",\"fault_delay_s\":" + JsonDouble(event.fault_delay_s);
+  out += ",\"faulted_requests\":" + std::to_string(event.faulted_requests);
   out += ",\"glitches\":" + std::to_string(event.glitches);
   out += std::string(",\"overran\":") + (event.overran ? "true" : "false");
+  out += std::string(",\"disk_failed\":") +
+         (event.disk_failed ? "true" : "false");
+  out += ",\"truncated_requests\":" + std::to_string(event.truncated_requests);
   out += ",\"leftover_s\":" + JsonDouble(event.leftover_s);
   out += ",\"zone_hits\":[";
   for (size_t z = 0; z < event.zone_hits.size(); ++z) {
@@ -137,7 +142,8 @@ common::Status WriteTraceJsonLines(const std::vector<RoundTraceEvent>& events,
 
 std::string TraceCsvHeader() {
   return "round,source_id,num_requests,service_time_s,seek_s,rotation_s,"
-         "transfer_s,disturbance_delay_s,disturbances,glitches,overran,"
+         "transfer_s,disturbance_delay_s,disturbances,fault_delay_s,"
+         "faulted_requests,glitches,overran,disk_failed,truncated_requests,"
          "leftover_s,zone_hits";
 }
 
@@ -152,8 +158,12 @@ std::string TraceEventToCsvRow(const RoundTraceEvent& event) {
   out += ',' + JsonDouble(event.transfer_s);
   out += ',' + JsonDouble(event.disturbance_delay_s);
   out += ',' + std::to_string(event.disturbances);
+  out += ',' + JsonDouble(event.fault_delay_s);
+  out += ',' + std::to_string(event.faulted_requests);
   out += ',' + std::to_string(event.glitches);
   out += event.overran ? ",1" : ",0";
+  out += event.disk_failed ? ",1" : ",0";
+  out += ',' + std::to_string(event.truncated_requests);
   out += ',' + JsonDouble(event.leftover_s);
   out += ',';
   for (size_t z = 0; z < event.zone_hits.size(); ++z) {

@@ -6,6 +6,12 @@
 
 namespace zonestream::obs {
 
+double RoundTraceImbalance(const RoundTraceEvent& event) {
+  return event.service_time_s -
+         (event.seek_s + event.rotation_s + event.transfer_s +
+          event.disturbance_delay_s + event.fault_delay_s);
+}
+
 RoundTraceRecorder::RoundTraceRecorder(size_t capacity)
     : capacity_(capacity) {
   ZS_CHECK_GT(capacity, 0u);

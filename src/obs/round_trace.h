@@ -17,8 +17,11 @@
 namespace zonestream::obs {
 
 // One disk sweep. The decomposition identity
-//   service_time_s == seek_s + rotation_s + transfer_s + disturbance_delay_s
-// holds to floating-point roundoff for every event the simulators emit.
+//   service_time_s == seek_s + rotation_s + transfer_s
+//                     + disturbance_delay_s + fault_delay_s
+// holds to floating-point roundoff for every event the simulators emit —
+// including deadline-truncated rounds, where every component is charged at
+// its truncated length (RoundTraceImbalance measures the residual).
 struct RoundTraceEvent {
   int64_t round = 0;      // round index within the emitting source
   int32_t source_id = 0;  // disk index / replication id (emitter-defined)
@@ -27,13 +30,22 @@ struct RoundTraceEvent {
   double seek_s = 0.0;  // includes the return seek under one-directional SCAN
   double rotation_s = 0.0;
   double transfer_s = 0.0;
-  double disturbance_delay_s = 0.0;  // injected failure delay (sim only)
+  double disturbance_delay_s = 0.0;  // injected i.i.d. disturbance delay
   int32_t disturbances = 0;          // requests that drew an injected delay
+  double fault_delay_s = 0.0;        // delay injected by fault:: models
+  int32_t faulted_requests = 0;      // requests that drew a fault delay
   int32_t glitches = 0;              // requests completing past the deadline
-  bool overran = false;              // service_time_s > round length
+  bool overran = false;              // deadline missed (see emitter docs)
+  bool disk_failed = false;          // whole-disk fault: nothing served
+  int32_t truncated_requests = 0;    // requests cut/skipped at the deadline
   double leftover_s = 0.0;           // idle time until the round boundary
   std::vector<int32_t> zone_hits;    // requests per zone, indexed by zone id
 };
+
+// Residual of the decomposition identity, service_time_s minus the summed
+// components; |imbalance| should sit at floating-point roundoff for every
+// simulator-emitted event (asserted by the trace tests).
+double RoundTraceImbalance(const RoundTraceEvent& event);
 
 // Bounded, thread-safe sink of RoundTraceEvents. When the capacity is
 // reached new events are counted as dropped rather than overwriting old

@@ -111,4 +111,77 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
   return plan;
 }
 
+common::StatusOr<ArrayPlan> PlanArrayDegraded(
+    const std::vector<DiskGroup>& groups, const std::vector<int>& failed_disks,
+    double fragment_mean_bytes, double fragment_variance_bytes2,
+    const ArrayQos& qos, common::ThreadPool* pool, obs::Registry* metrics) {
+  if (groups.empty()) {
+    return common::Status::InvalidArgument("array has no disk groups");
+  }
+  if (failed_disks.size() != groups.size()) {
+    return common::Status::InvalidArgument(
+        "failed_disks must be parallel to the disk groups");
+  }
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (failed_disks[i] < 0 || failed_disks[i] > groups[i].count) {
+      return common::Status::InvalidArgument(
+          "failed disk count for group '" + groups[i].name +
+          "' must lie in [0, count]");
+    }
+  }
+  if (qos.round_length_s <= 0.0 || qos.late_tolerance <= 0.0 ||
+      qos.late_tolerance >= 1.0) {
+    return common::Status::InvalidArgument("invalid QoS contract");
+  }
+
+  obs::Histogram* plan_latency =
+      metrics != nullptr
+          ? metrics->GetHistogram("server.array_planner.group_plan_s")
+          : nullptr;
+  std::vector<GroupResult> results(groups.size());
+  common::ParallelFor(
+      static_cast<int64_t>(groups.size()),
+      [&](int64_t i) {
+        obs::ScopedTimer timer(plan_latency);
+        results[i] = PlanGroup(groups[i], fragment_mean_bytes,
+                               fragment_variance_bytes2, qos);
+      },
+      pool);
+
+  // Same deterministic reduction as PlanArray, over the survivors. A
+  // fully-failed group keeps its per-disk limit in the plan but no longer
+  // drags the striped capacity down or contributes disks.
+  ArrayPlan plan;
+  plan.per_disk_limits.reserve(groups.size());
+  int surviving_disks = 0;
+  int weakest_surviving_limit = 0;
+  bool any_survivor = false;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (!results[i].status.ok()) return results[i].status;
+    const int limit = results[i].limit;
+    plan.per_disk_limits.push_back(limit);
+    const int survivors = groups[i].count - failed_disks[i];
+    if (survivors <= 0) continue;
+    plan.partitioned_capacity += limit * survivors;
+    surviving_disks += survivors;
+    weakest_surviving_limit = any_survivor
+                                  ? std::min(weakest_surviving_limit, limit)
+                                  : limit;
+    any_survivor = true;
+  }
+  plan.striped_capacity = weakest_surviving_limit * surviving_disks;
+  if (metrics != nullptr) {
+    int total_failed = 0;
+    for (const int failed : failed_disks) total_failed += failed;
+    metrics->GetCounter("server.array_planner.degraded_plans")->Increment();
+    metrics->GetGauge("server.array_planner.failed_disks")
+        ->Set(static_cast<double>(total_failed));
+    metrics->GetGauge("server.array_planner.degraded_striped_capacity")
+        ->Set(static_cast<double>(plan.striped_capacity));
+    metrics->GetGauge("server.array_planner.degraded_partitioned_capacity")
+        ->Set(static_cast<double>(plan.partitioned_capacity));
+  }
+  return plan;
+}
+
 }  // namespace zonestream::server

@@ -66,6 +66,21 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
                                       common::ThreadPool* pool = nullptr,
                                       obs::Registry* metrics = nullptr);
 
+// Re-plans the array after whole-disk failures: `failed_disks[i]` disks
+// of group i (0 <= failed <= count) are out of service. Per-disk limits
+// are unchanged (they are a property of the drive model, not the array),
+// but both capacities are recomputed over the survivors — striped
+// capacity is the weakest *surviving* group's limit times the surviving
+// disk count, so losing the last disk of the weakest group can raise the
+// per-disk cap even as total capacity falls. An array with no surviving
+// disks plans to zero capacity rather than erroring, so a degradation
+// loop can call this unconditionally.
+common::StatusOr<ArrayPlan> PlanArrayDegraded(
+    const std::vector<DiskGroup>& groups, const std::vector<int>& failed_disks,
+    double fragment_mean_bytes, double fragment_variance_bytes2,
+    const ArrayQos& qos, common::ThreadPool* pool = nullptr,
+    obs::Registry* metrics = nullptr);
+
 }  // namespace zonestream::server
 
 #endif  // ZONESTREAM_SERVER_ARRAY_PLANNER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -11,6 +12,16 @@
 #include "sched/scan.h"
 
 namespace zonestream::server {
+
+namespace {
+
+// Substream-family tag for the per-disk fault injectors ("fsrv"): disk d's
+// injector is seeded with SubstreamSeed(SubstreamSeed(seed, tag), d), so
+// server faults never touch the request-drawing stream and each disk's
+// fault process is independent.
+constexpr uint64_t kServerFaultSubstream = 0x66737276;
+
+}  // namespace
 
 common::StatusOr<MediaServerConfig> MediaServer::PlanConfig(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
@@ -45,9 +56,10 @@ common::StatusOr<MediaServerConfig> MediaServer::PlanConfig(
   return config;
 }
 
-MediaServer::MediaServer(const disk::DiskGeometry& geometry,
-                         const disk::SeekTimeModel& seek,
-                         const MediaServerConfig& config)
+MediaServer::MediaServer(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    const MediaServerConfig& config,
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors)
     : geometry_(geometry),
       seek_(seek),
       config_(config),
@@ -56,8 +68,14 @@ MediaServer::MediaServer(const disk::DiskGeometry& geometry,
       phase_counts_(config.num_disks, 0),
       arm_cylinder_(config.num_disks, 0),
       ascending_(config.num_disks, true),
+      fault_injectors_(std::move(injectors)),
       busy_fraction_(config.num_disks),
-      batch_scratch_(config.num_disks) {}
+      batch_scratch_(config.num_disks) {
+  if (config_.degradation.has_value()) {
+    degradation_ = std::make_unique<fault::DegradationController>(
+        *config_.degradation, config_.metrics, "server.degradation");
+  }
+}
 
 common::StatusOr<MediaServer> MediaServer::Create(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
@@ -73,13 +91,55 @@ common::StatusOr<MediaServer> MediaServer::Create(
         "per_disk_stream_limit must be positive (derive it from the "
         "admission model)");
   }
-  return MediaServer(geometry, seek, config);
+  if (config.fault_disk != -1 &&
+      (config.fault_disk < 0 || config.fault_disk >= config.num_disks)) {
+    return common::Status::InvalidArgument(
+        "fault_disk must be -1 (all disks) or a valid disk index");
+  }
+  if (config.max_fragment_retries < 0) {
+    return common::Status::InvalidArgument(
+        "max_fragment_retries must be non-negative");
+  }
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  if (!config.faults.empty()) {
+    injectors.resize(static_cast<size_t>(config.num_disks));
+    const uint64_t family =
+        numeric::SubstreamSeed(config.seed, kServerFaultSubstream);
+    for (int d = 0; d < config.num_disks; ++d) {
+      if (config.fault_disk != -1 && config.fault_disk != d) continue;
+      auto injector = fault::FaultInjector::Create(
+          config.faults, geometry.num_zones(),
+          numeric::SubstreamSeed(family, static_cast<uint64_t>(d)),
+          config.metrics, "server.fault.disk" + std::to_string(d));
+      if (!injector.ok()) return injector.status();
+      injectors[static_cast<size_t>(d)] = *std::move(injector);
+    }
+  }
+  return MediaServer(geometry, seek, config, std::move(injectors));
 }
 
 common::StatusOr<int> MediaServer::OpenStream(
     std::shared_ptr<const workload::SizeDistribution> sizes) {
+  return OpenStream(std::move(sizes), 0);
+}
+
+common::StatusOr<int> MediaServer::OpenStream(
+    std::shared_ptr<const workload::SizeDistribution> sizes,
+    int priority_class) {
   if (sizes == nullptr) {
     return common::Status::InvalidArgument("size distribution is null");
+  }
+  if (priority_class < 0) {
+    return common::Status::InvalidArgument(
+        "priority_class must be non-negative");
+  }
+  if (!admissions_open_) {
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.admission.rejected_degraded")
+          ->Increment();
+    }
+    return common::Status::ResourceExhausted(
+        "admission control: server is degraded, admissions closed");
   }
   // Least-loaded phase; rejecting when it is full enforces the per-disk
   // limit exactly (every disk serves one phase's streams per round).
@@ -96,6 +156,7 @@ common::StatusOr<int> MediaServer::OpenStream(
   }
   StreamState state;
   state.phase = phase;
+  state.priority_class = priority_class;
   state.source = std::make_unique<workload::IidSizeSource>(std::move(sizes));
   const int id = static_cast<int>(next_stream_id_++);
   streams_.emplace(id, std::move(state));
@@ -123,7 +184,36 @@ common::Status MediaServer::CloseStream(int stream_id) {
   return common::Status::Ok();
 }
 
+void MediaServer::RecordGlitch(int stream_id, double fragment_bytes) {
+  auto it = streams_.find(stream_id);
+  ZS_CHECK(it != streams_.end());
+  StreamState& stream = it->second;
+  stream.stats.glitches++;
+  total_glitches_++;
+  if (config_.max_fragment_retries <= 0) return;
+  if (stream.retry_attempts < config_.max_fragment_retries) {
+    // Re-issue the cut fragment next round instead of a fresh one.
+    stream.retry_bytes = fragment_bytes;
+    stream.retry_attempts++;
+    stream.stats.retries++;
+    fragments_retried_++;
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.fragments.retried")->Increment();
+    }
+  } else {
+    // Retry budget exhausted: drop the fragment and move on.
+    stream.retry_bytes = -1.0;
+    stream.retry_attempts = 0;
+    stream.stats.drops++;
+    fragments_dropped_++;
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.fragments.dropped")->Increment();
+    }
+  }
+}
+
 void MediaServer::RunRound() {
+  const int active_at_start = static_cast<int>(streams_.size());
   // Gather this round's request batch per disk into the reused scratch
   // (clear keeps the capacity, so steady-state rounds allocate nothing).
   std::vector<std::vector<sched::DiskRequest>>& batches = batch_scratch_;
@@ -137,16 +227,92 @@ void MediaServer::RunRound() {
     request.cylinder = position.cylinder;
     request.zone = position.zone;
     request.transfer_rate_bps = position.transfer_rate_bps;
-    request.bytes = stream.source->NextFragmentBytes(&rng_);
+    if (stream.retry_bytes >= 0.0) {
+      // A deadline-cut fragment awaiting re-issue: same size, fresh
+      // position (no size draw, so the retry never shifts other streams'
+      // draws — they happen per stream in map order either way).
+      request.bytes = stream.retry_bytes;
+      stream.retry_bytes = -1.0;
+    } else {
+      request.bytes = stream.source->NextFragmentBytes(&rng_);
+      stream.next_fragment++;
+    }
     request.rotational_latency_s = rng_.Uniform(0.0, geometry_.rotation_time());
     batches[disk_index].push_back(request);
-    stream.next_fragment++;
     stream.stats.rounds_served++;
   }
 
   // Serve every disk's batch with its own SCAN sweep.
+  int round_glitches = 0;
+  bool round_overran = false;
   for (int d = 0; d < config_.num_disks; ++d) {
     std::vector<sched::DiskRequest>& batch = batches[d];
+    fault::FaultInjector* injector =
+        static_cast<size_t>(d) < fault_injectors_.size()
+            ? fault_injectors_[static_cast<size_t>(d)].get()
+            : nullptr;
+    double fault_delay_s = 0.0;
+    int faulted_requests = 0;
+    bool disk_failed = false;
+    if (injector != nullptr) {
+      injector->BeginRound(static_cast<int>(batch.size()));
+      disk_failed = injector->disk_failed();
+      if (!disk_failed) {
+        // Fault delays ride in the rotational-latency slot, consulted in
+        // issue order (pre-SCAN-sort) as the simulators do.
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const fault::RequestFaultContext context{
+              static_cast<int>(i), batch[i].stream_id, batch[i].zone,
+              batch[i].cylinder};
+          const double delay = injector->DelayFor(context);
+          if (delay > 0.0) {
+            batch[i].rotational_latency_s += delay;
+            ++faulted_requests;
+            fault_delay_s += delay;
+          }
+          batch[i].transfer_rate_bps *=
+              injector->RateMultiplier(batch[i].zone);
+        }
+      }
+    }
+
+    if (disk_failed) {
+      // Nothing is served: every stream scheduled on this disk glitches
+      // and the retry policy decides each fragment's fate. The arm stays
+      // put and the disk idles for the round.
+      for (const sched::DiskRequest& request : batch) {
+        ++round_glitches;
+        RecordGlitch(request.stream_id, request.bytes);
+      }
+      busy_fraction_[d].Add(0.0);
+      ascending_[d] = !ascending_[d];
+      if (config_.metrics != nullptr) {
+        obs::Registry* registry = config_.metrics;
+        registry->GetCounter("server.requests")
+            ->Increment(static_cast<int64_t>(batch.size()));
+        registry->GetCounter("server.glitches")
+            ->Increment(static_cast<int64_t>(batch.size()));
+        registry->GetHistogram("server.disk.service_time_s")->Record(0.0);
+        registry->GetHistogram("server.disk.utilization")->Record(0.0);
+      }
+      if (config_.trace != nullptr) {
+        obs::RoundTraceEvent event;
+        event.round = round_;
+        event.source_id = d;
+        event.num_requests = static_cast<int>(batch.size());
+        event.glitches = static_cast<int>(batch.size());
+        event.disk_failed = true;
+        event.truncated_requests = static_cast<int>(batch.size());
+        event.leftover_s = config_.round_length_s;
+        event.zone_hits.assign(geometry_.num_zones(), 0);
+        for (const sched::DiskRequest& request : batch) {
+          ++event.zone_hits[request.zone];
+        }
+        config_.trace->Record(std::move(event));
+      }
+      continue;
+    }
+
     const sched::SweepDirection direction =
         ascending_[d] ? sched::SweepDirection::kAscending
                       : sched::SweepDirection::kDescending;
@@ -162,21 +328,23 @@ void MediaServer::RunRound() {
     for (size_t i = 0; i < timing.per_request.size(); ++i) {
       if (timing.per_request[i].completion_s > config_.round_length_s) {
         ++disk_glitches;
-        auto it = streams_.find(timing.per_request[i].stream_id);
-        ZS_CHECK(it != streams_.end());
-        it->second.stats.glitches++;
-        total_glitches_++;
+        RecordGlitch(timing.per_request[i].stream_id, batch[i].bytes);
       } else {
         last_on_time_cylinder = batch[i].cylinder;
         fragments_served_++;
       }
+    }
+    round_glitches += disk_glitches;
+    if (timing.total_service_time_s > config_.round_length_s) {
+      round_overran = true;
     }
     arm_cylinder_[d] = disk_glitches > 0 ? last_on_time_cylinder
                                          : timing.final_arm_cylinder;
     ascending_[d] = !ascending_[d];
 
     // Observability: per-(round, disk) metrics and one trace event with
-    // source_id = disk index.
+    // source_id = disk index. Injected fault delays ride in the rotation
+    // slot, so they are subtracted back out of the rotation component.
     if (config_.metrics != nullptr || config_.trace != nullptr) {
       double seek_sum = 0.0;
       double rotation_sum = 0.0;
@@ -186,6 +354,7 @@ void MediaServer::RunRound() {
         rotation_sum += rt.rotation_s;
         transfer_sum += rt.transfer_s;
       }
+      rotation_sum -= fault_delay_s;
       if (config_.metrics != nullptr) {
         obs::Registry* registry = config_.metrics;
         registry->GetCounter("server.requests")
@@ -211,6 +380,8 @@ void MediaServer::RunRound() {
         event.seek_s = seek_sum;
         event.rotation_s = rotation_sum;
         event.transfer_s = transfer_sum;
+        event.fault_delay_s = fault_delay_s;
+        event.faulted_requests = faulted_requests;
         event.glitches = disk_glitches;
         event.overran = timing.total_service_time_s > config_.round_length_s;
         event.leftover_s = std::fmax(
@@ -227,6 +398,39 @@ void MediaServer::RunRound() {
     config_.metrics->GetCounter("server.rounds")->Increment();
   }
   ++round_;
+
+  // Degradation: feed the round's measurements to the controller and
+  // carry out its orders. Runs after round_ advances so shed streams drop
+  // out starting with the next round's batches.
+  if (degradation_ != nullptr) {
+    const fault::DegradationCommand command = degradation_->ObserveRound(
+        active_at_start, round_glitches, round_overran);
+    admissions_open_ = command.admissions_open;
+    if (command.shed_streams > 0) ShedStreams(command.shed_streams);
+  }
+}
+
+void MediaServer::ShedStreams(int count) {
+  // Victims: lowest priority class first; within a class, newest stream
+  // (highest id) first, so long-lived viewers survive a shed.
+  std::vector<std::pair<int, int>> candidates;  // (priority_class, id)
+  candidates.reserve(streams_.size());
+  for (const auto& [id, stream] : streams_) {
+    candidates.emplace_back(stream.priority_class, id);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second > b.second;
+            });
+  const int to_shed = std::min<int>(count, static_cast<int>(candidates.size()));
+  for (int i = 0; i < to_shed; ++i) {
+    ZS_CHECK(CloseStream(candidates[static_cast<size_t>(i)].second).ok());
+    streams_shed_++;
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.streams.shed")->Increment();
+    }
+  }
 }
 
 void MediaServer::RunRounds(int rounds) {
@@ -248,6 +452,9 @@ ServerStats MediaServer::GetServerStats() const {
   stats.rounds = round_;
   stats.fragments_served = fragments_served_;
   stats.glitches = total_glitches_;
+  stats.fragments_retried = fragments_retried_;
+  stats.fragments_dropped = fragments_dropped_;
+  stats.streams_shed = streams_shed_;
   stats.disk_utilization.reserve(config_.num_disks);
   for (const numeric::RunningStats& busy : busy_fraction_) {
     stats.disk_utilization.push_back(busy.count() > 0 ? busy.mean() : 0.0);

@@ -11,12 +11,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "core/admission.h"
 #include "disk/disk_geometry.h"
 #include "disk/seek_model.h"
+#include "fault/degradation.h"
+#include "fault/fault_model.h"
 #include "numeric/random.h"
 #include "numeric/statistics.h"
 #include "sched/request.h"
@@ -42,6 +45,31 @@ struct MediaServerConfig {
   int per_disk_stream_limit = 0;
   uint64_t seed = 42;
 
+  // Structured fault injection (fault/fault_model.h). Each disk runs an
+  // independent FaultInjector built from this spec, seeded from a
+  // per-disk substream of `seed`, so faults on one disk never perturb
+  // another disk's draws and the empty default consumes no randomness
+  // (clean runs stay bit-identical). Injector metrics land under
+  // "server.fault.disk<d>.".
+  fault::FaultSpec faults;
+  // Which disk runs `faults`: -1 (default) applies the spec to every
+  // disk; otherwise only this disk index misbehaves — the single-bad-disk
+  // scenario degradation and array re-planning are built for.
+  int fault_disk = -1;
+
+  // Graceful degradation (fault/degradation.h). When set, a
+  // DegradationController watches the measured per-stream glitch rate
+  // each round; on sustained violation it closes admissions and sheds
+  // streams (lowest priority_class first, newest first within a class)
+  // until the §3.3 bound holds again, with hysteresis at both edges.
+  std::optional<fault::DegradationPolicy> degradation;
+
+  // Bounded retry of fragments cut at the round deadline: a glitched
+  // fragment is re-issued (same size, fresh position) in the stream's
+  // following rounds up to this many attempts, then dropped for good.
+  // 0 (default) preserves the historical drop-immediately behavior.
+  int max_fragment_retries = 0;
+
   // Optional observability hooks (not owned; null = disabled). Metrics
   // land under the "server." prefix (admission decisions, per-round disk
   // service times, glitches); `trace` receives one obs::RoundTraceEvent
@@ -55,6 +83,8 @@ struct MediaServerConfig {
 struct StreamStats {
   int64_t rounds_served = 0;
   int64_t glitches = 0;
+  int64_t retries = 0;  // deadline-cut fragments re-issued
+  int64_t drops = 0;    // fragments dropped after exhausting retries
 };
 
 // Server-wide counters.
@@ -62,6 +92,9 @@ struct ServerStats {
   int64_t rounds = 0;
   int64_t fragments_served = 0;
   int64_t glitches = 0;
+  int64_t fragments_retried = 0;
+  int64_t fragments_dropped = 0;
+  int64_t streams_shed = 0;  // closed by the degradation controller
   // Mean busy fraction (sweep time / round length) per disk.
   std::vector<double> disk_utilization;
 };
@@ -98,6 +131,13 @@ class MediaServer {
   common::StatusOr<int> OpenStream(
       std::shared_ptr<const workload::SizeDistribution> sizes);
 
+  // As above, with an explicit priority class. Classes only matter under
+  // degradation: when the controller sheds load, lower-numbered classes
+  // go first (class 0 is best-effort; the plain OpenStream overload).
+  common::StatusOr<int> OpenStream(
+      std::shared_ptr<const workload::SizeDistribution> sizes,
+      int priority_class);
+
   // Closes an open stream.
   common::Status CloseStream(int stream_id);
 
@@ -117,17 +157,41 @@ class MediaServer {
   }
   int64_t current_round() const { return round_; }
 
+  // Degradation surface. With no controller configured, the state is
+  // kNormal, the event log empty, and admissions always open.
+  bool admissions_open() const { return admissions_open_; }
+  fault::DegradationState degradation_state() const {
+    return degradation_ != nullptr ? degradation_->state()
+                                   : fault::DegradationState::kNormal;
+  }
+  std::vector<fault::DegradationEvent> degradation_events() const {
+    return degradation_ != nullptr ? degradation_->events()
+                                   : std::vector<fault::DegradationEvent>{};
+  }
+
  private:
   struct StreamState {
     int phase = 0;  // disk in round r is (phase + r) mod num_disks
+    int priority_class = 0;
     int64_t next_fragment = 0;
     std::unique_ptr<workload::IidSizeSource> source;
+    // Deadline-cut fragment awaiting re-issue (< 0: none pending).
+    double retry_bytes = -1.0;
+    int retry_attempts = 0;
     StreamStats stats;
   };
 
   MediaServer(const disk::DiskGeometry& geometry,
               const disk::SeekTimeModel& seek,
-              const MediaServerConfig& config);
+              const MediaServerConfig& config,
+              std::vector<std::unique_ptr<fault::FaultInjector>> injectors);
+
+  // Applies retry/drop bookkeeping for one glitched fragment.
+  void RecordGlitch(int stream_id, double fragment_bytes);
+
+  // Closes `count` streams, lowest priority class first (newest first
+  // within a class), on the degradation controller's orders.
+  void ShedStreams(int count);
 
   disk::DiskGeometry geometry_;
   disk::SeekTimeModel seek_;
@@ -141,9 +205,16 @@ class MediaServer {
   // Per-disk arm state.
   std::vector<int> arm_cylinder_;
   std::vector<bool> ascending_;
+  // Fault & degradation machinery (empty / null when not configured).
+  std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
+  std::unique_ptr<fault::DegradationController> degradation_;
+  bool admissions_open_ = true;
   // Aggregates.
   int64_t fragments_served_ = 0;
   int64_t total_glitches_ = 0;
+  int64_t fragments_retried_ = 0;
+  int64_t fragments_dropped_ = 0;
+  int64_t streams_shed_ = 0;
   std::vector<numeric::RunningStats> busy_fraction_;
   // Per-disk request batches, cleared (capacity kept) and refilled each
   // round instead of reallocated.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <numeric>
 #include <string>
 #include <utility>
 
@@ -25,6 +26,7 @@ RoundSimulator::RoundSimulator(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
     int num_streams,
     std::vector<std::unique_ptr<workload::FragmentSource>> sources,
+    std::unique_ptr<fault::FaultInjector> fault_injector,
     const SimulatorConfig& config)
     : geometry_(geometry),
       seek_(seek),
@@ -33,7 +35,8 @@ RoundSimulator::RoundSimulator(
       config_(config),
       rng_(config.seed),
       disturbance_rng_(
-          numeric::SubstreamSeed(config.seed, kDisturbanceSubstream)) {
+          numeric::SubstreamSeed(config.seed, kDisturbanceSubstream)),
+      fault_injector_(std::move(fault_injector)) {
   if (config_.metrics != nullptr) {
     obs::Registry* registry = config_.metrics;
     Metrics metrics;
@@ -99,8 +102,16 @@ common::StatusOr<RoundSimulator> RoundSimulator::Create(
     }
     sources.push_back(std::move(source));
   }
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    auto created = fault::FaultInjector::Create(
+        config.faults, geometry.num_zones(), config.seed, config.metrics,
+        "sim.fault");
+    if (!created.ok()) return created.status();
+    injector = *std::move(created);
+  }
   return RoundSimulator(geometry, seek, num_streams, std::move(sources),
-                        config);
+                        std::move(injector), config);
 }
 
 FragmentSourceFactory RoundSimulator::IidFactory(
@@ -112,15 +123,27 @@ FragmentSourceFactory RoundSimulator::IidFactory(
 }
 
 RoundOutcome RoundSimulator::RunRound() {
+  // The fault models advance at the round boundary, before any request is
+  // drawn; a failed disk still draws its round (see FinishDiskFailedRound).
+  if (fault_injector_ != nullptr) fault_injector_->BeginRound(num_streams_);
   return config_.batched_kernel ? RunRoundBatched() : RunRoundScalar();
 }
 
 RoundOutcome RoundSimulator::RunRoundScalar() {
+  const bool disk_failed =
+      fault_injector_ != nullptr && fault_injector_->disk_failed();
+  const bool track_delays = config_.truncate_at_deadline;
+  if (track_delays) {
+    scratch_.dist_delay_s.assign(num_streams_, 0.0);
+    scratch_.fault_delay_s.assign(num_streams_, 0.0);
+  }
   // Issue one request per stream at a uniform-over-capacity position.
   std::vector<sched::DiskRequest> requests;
   requests.reserve(num_streams_);
   int disturbances = 0;
   double disturbance_delay_s = 0.0;
+  double fault_delay_s = 0.0;
+  int faulted_requests = 0;
   for (int stream = 0; stream < num_streams_; ++stream) {
     const disk::DiskPosition position =
         config_.position_sampler
@@ -145,8 +168,32 @@ RoundOutcome RoundSimulator::RunRoundScalar() {
       request.rotational_latency_s += delay;
       ++disturbances;
       disturbance_delay_s += delay;
+      if (track_delays) scratch_.dist_delay_s[stream] = delay;
+    }
+    // Structured faults, same additive slot, consulted in issue order so
+    // both kernels consume the fault substreams identically. A failed
+    // disk serves nothing, so no per-request fault draws happen there.
+    if (fault_injector_ != nullptr && !disk_failed) {
+      const fault::RequestFaultContext context{stream, stream, request.zone,
+                                               request.cylinder};
+      const double delay = fault_injector_->DelayFor(context);
+      if (delay > 0.0) {
+        request.rotational_latency_s += delay;
+        ++faulted_requests;
+        fault_delay_s += delay;
+        if (track_delays) scratch_.fault_delay_s[stream] = delay;
+      }
+      request.transfer_rate_bps *=
+          fault_injector_->RateMultiplier(request.zone);
     }
     requests.push_back(request);
+  }
+  if (disk_failed) {
+    std::fill(scratch_.zone_hits.begin(), scratch_.zone_hits.end(), 0);
+    for (const sched::DiskRequest& request : requests) {
+      ++scratch_.zone_hits[request.zone];
+    }
+    return FinishDiskFailedRound();
   }
 
   // Arm policy. One-directional SCAN must return the arm to cylinder 0
@@ -191,25 +238,44 @@ RoundOutcome RoundSimulator::RunRoundScalar() {
   ascending_ = !ascending_;
 
   // Observability: per-round decomposition into the trace sink and the
-  // metric registry. The injected disturbance delay rides in the rotation
-  // slot of the per-request timings, so it is subtracted back out to keep
-  // seek + rotation + transfer + disturbance == service time.
+  // metric registry. The injected disturbance and fault delays ride in
+  // the rotation slot of the per-request timings, so they are subtracted
+  // back out to keep seek + rotation + transfer + disturbance + fault ==
+  // service time.
   if (config_.trace != nullptr || metrics_.has_value()) {
-    double seek_sum = return_seek_s;
-    double rotation_sum = 0.0;
-    double transfer_sum = 0.0;
+    RoundBreakdown breakdown;
+    breakdown.seek_s = return_seek_s;
     for (const sched::RequestTiming& rt : timing.per_request) {
-      seek_sum += rt.seek_s;
-      rotation_sum += rt.rotation_s;
-      transfer_sum += rt.transfer_s;
+      breakdown.seek_s += rt.seek_s;
+      breakdown.rotation_s += rt.rotation_s;
+      breakdown.transfer_s += rt.transfer_s;
     }
-    rotation_sum -= disturbance_delay_s;
+    breakdown.rotation_s -= disturbance_delay_s + fault_delay_s;
+    breakdown.disturbance_delay_s = disturbance_delay_s;
+    breakdown.disturbances = disturbances;
+    breakdown.fault_delay_s = fault_delay_s;
+    breakdown.faulted_requests = faulted_requests;
+    breakdown.service_time_s = outcome.total_service_time_s;
+    if (config_.truncate_at_deadline && outcome.overran) {
+      const size_t n = timing.per_request.size();
+      std::vector<int> order(n);
+      std::vector<double> seek_by_pos(n);
+      std::vector<double> rotation_by_pos(n);
+      std::vector<double> transfer_by_pos(n);
+      for (size_t i = 0; i < n; ++i) {
+        order[i] = requests[i].stream_id;
+        seek_by_pos[i] = timing.per_request[i].seek_s;
+        rotation_by_pos[i] = timing.per_request[i].rotation_s;
+        transfer_by_pos[i] = timing.per_request[i].transfer_s;
+      }
+      TruncateBreakdown(&breakdown, order, seek_by_pos, rotation_by_pos,
+                        transfer_by_pos, return_seek_s);
+    }
     std::fill(scratch_.zone_hits.begin(), scratch_.zone_hits.end(), 0);
     for (const sched::DiskRequest& request : requests) {
       ++scratch_.zone_hits[request.zone];
     }
-    EmitRoundObservability(outcome, seek_sum, rotation_sum, transfer_sum,
-                           disturbance_delay_s, disturbances);
+    EmitRoundObservability(outcome, breakdown);
   }
   ++rounds_run_;
   return outcome;
@@ -218,6 +284,13 @@ RoundOutcome RoundSimulator::RunRoundScalar() {
 RoundOutcome RoundSimulator::RunRoundBatched() {
   const int n = num_streams_;
   RoundScratch& s = scratch_;
+  const bool disk_failed =
+      fault_injector_ != nullptr && fault_injector_->disk_failed();
+  const bool track_delays = config_.truncate_at_deadline;
+  if (track_delays) {
+    s.dist_delay_s.assign(static_cast<size_t>(n), 0.0);
+    s.fault_delay_s.assign(static_cast<size_t>(n), 0.0);
+  }
 
   // Positions. The default placement needs two uniforms per request —
   // zone through the geometry's alias table, cylinder within the zone —
@@ -272,8 +345,33 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
         s.rotation_s[i] += delay;
         ++disturbances;
         disturbance_delay_s += delay;
+        if (track_delays) s.dist_delay_s[i] = delay;
       }
     }
+  }
+
+  // Structured faults, consumed in the same issue order as the scalar
+  // kernel so the fault substream positions match across kernels.
+  double fault_delay_s = 0.0;
+  int faulted_requests = 0;
+  if (fault_injector_ != nullptr && !disk_failed) {
+    for (int i = 0; i < n; ++i) {
+      const fault::RequestFaultContext context{i, i, s.zone[i],
+                                               s.cylinder[i]};
+      const double delay = fault_injector_->DelayFor(context);
+      if (delay > 0.0) {
+        s.rotation_s[i] += delay;
+        ++faulted_requests;
+        fault_delay_s += delay;
+        if (track_delays) s.fault_delay_s[i] = delay;
+      }
+      s.rate_bps[i] *= fault_injector_->RateMultiplier(s.zone[i]);
+    }
+  }
+  if (disk_failed) {
+    std::fill(s.zone_hits.begin(), s.zone_hits.end(), 0);
+    for (int i = 0; i < n; ++i) ++s.zone_hits[s.zone[i]];
+    return FinishDiskFailedRound();
   }
 
   // Arm policy, identical to the scalar kernel.
@@ -348,6 +446,7 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
   double seek_sum = return_seek_s;
   double rotation_sum = 0.0;
   double transfer_sum = 0.0;
+  const int sweep_start_arm = arm_cylinder_;
   int arm = arm_cylinder_;
   int last_on_time_cylinder = arm_cylinder_;
   for (int pos = 0; pos < n; ++pos) {
@@ -373,38 +472,133 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
   ascending_ = !ascending_;
 
   if (config_.trace != nullptr || metrics_.has_value()) {
-    rotation_sum -= disturbance_delay_s;
+    RoundBreakdown breakdown;
+    breakdown.seek_s = seek_sum;
+    breakdown.rotation_s =
+        rotation_sum - disturbance_delay_s - fault_delay_s;
+    breakdown.transfer_s = transfer_sum;
+    breakdown.disturbance_delay_s = disturbance_delay_s;
+    breakdown.disturbances = disturbances;
+    breakdown.fault_delay_s = fault_delay_s;
+    breakdown.faulted_requests = faulted_requests;
+    breakdown.service_time_s = outcome.total_service_time_s;
+    if (config_.truncate_at_deadline && outcome.overran) {
+      // Rebuild the per-position phase lengths by replaying the sweep's
+      // arm walk (cheap relative to a traced overrun round).
+      std::vector<double> seek_by_pos(static_cast<size_t>(n));
+      std::vector<double> rotation_by_pos(static_cast<size_t>(n));
+      std::vector<double> transfer_by_pos(static_cast<size_t>(n));
+      int replay_arm = sweep_start_arm;
+      for (int pos = 0; pos < n; ++pos) {
+        const int i = s.order[pos];
+        seek_by_pos[pos] =
+            seek_.SeekTime(std::abs(s.cylinder[i] - replay_arm));
+        rotation_by_pos[pos] = s.rotation_s[i];
+        transfer_by_pos[pos] = s.bytes[i] / s.rate_bps[i];
+        replay_arm = s.cylinder[i];
+      }
+      TruncateBreakdown(&breakdown, s.order, seek_by_pos, rotation_by_pos,
+                        transfer_by_pos, return_seek_s);
+    }
     std::fill(s.zone_hits.begin(), s.zone_hits.end(), 0);
     for (int i = 0; i < n; ++i) ++s.zone_hits[s.zone[i]];
-    EmitRoundObservability(outcome, seek_sum, rotation_sum, transfer_sum,
-                           disturbance_delay_s, disturbances);
+    EmitRoundObservability(outcome, breakdown);
   }
   ++rounds_run_;
   return outcome;
 }
 
+RoundOutcome RoundSimulator::FinishDiskFailedRound() {
+  // No request is served: every stream glitches, the disk is idle for the
+  // whole round, and the arm stays where the last healthy round left it.
+  RoundOutcome outcome;
+  outcome.total_service_time_s = 0.0;
+  outcome.overran = false;
+  outcome.glitched_streams.resize(static_cast<size_t>(num_streams_));
+  std::iota(outcome.glitched_streams.begin(), outcome.glitched_streams.end(),
+            0);
+  ascending_ = !ascending_;
+  if (config_.trace != nullptr || metrics_.has_value()) {
+    RoundBreakdown breakdown;
+    breakdown.disk_failed = true;
+    breakdown.truncated_requests = num_streams_;
+    EmitRoundObservability(outcome, breakdown);
+  }
+  ++rounds_run_;
+  return outcome;
+}
+
+void RoundSimulator::TruncateBreakdown(
+    RoundBreakdown* breakdown, const std::vector<int>& order,
+    const std::vector<double>& seek_by_pos,
+    const std::vector<double>& rotation_by_pos,
+    const std::vector<double>& transfer_by_pos, double return_seek_s) const {
+  // Walk the sweep once more, clipping each phase against the time left
+  // before the deadline. `rotation_by_pos` includes the injected delays
+  // (that is the slot they ride in), so the base rotation is recovered by
+  // subtracting the per-stream delay records.
+  double remaining = config_.round_length_s;
+  bool cut = false;
+  const auto charge = [&remaining, &cut](double length, double* sum) {
+    const double clamped = std::max(length, 0.0);
+    const double take = std::min(clamped, remaining);
+    remaining -= take;
+    *sum += take;
+    if (take < clamped) cut = true;
+  };
+  double seek_sum = 0.0;
+  double rotation_sum = 0.0;
+  double transfer_sum = 0.0;
+  double disturbance_sum = 0.0;
+  double fault_sum = 0.0;
+  int truncated = 0;
+  charge(return_seek_s, &seek_sum);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const int stream = order[pos];
+    const double dist_delay = scratch_.dist_delay_s[stream];
+    const double fault_delay = scratch_.fault_delay_s[stream];
+    cut = false;
+    charge(seek_by_pos[pos], &seek_sum);
+    charge(rotation_by_pos[pos] - dist_delay - fault_delay, &rotation_sum);
+    charge(dist_delay, &disturbance_sum);
+    charge(fault_delay, &fault_sum);
+    charge(transfer_by_pos[pos], &transfer_sum);
+    if (cut) ++truncated;
+  }
+  breakdown->seek_s = seek_sum;
+  breakdown->rotation_s = rotation_sum;
+  breakdown->transfer_s = transfer_sum;
+  breakdown->disturbance_delay_s = disturbance_sum;
+  breakdown->fault_delay_s = fault_sum;
+  breakdown->truncated_requests = truncated;
+  // Summed in the exact order of the trace invariant, so the recorded
+  // event's imbalance is identically zero.
+  breakdown->service_time_s = seek_sum + rotation_sum + transfer_sum +
+                              disturbance_sum + fault_sum;
+}
+
 void RoundSimulator::EmitRoundObservability(const RoundOutcome& outcome,
-                                            double seek_sum,
-                                            double rotation_sum,
-                                            double transfer_sum,
-                                            double disturbance_delay_s,
-                                            int disturbances) {
+                                            const RoundBreakdown& breakdown) {
   const int glitches = static_cast<int>(outcome.glitched_streams.size());
   if (config_.trace != nullptr) {
     obs::RoundTraceEvent event;
     event.round = rounds_run_;
     event.source_id = config_.trace_source_id;
     event.num_requests = num_streams_;
-    event.service_time_s = outcome.total_service_time_s;
-    event.seek_s = seek_sum;
-    event.rotation_s = rotation_sum;
-    event.transfer_s = transfer_sum;
-    event.disturbance_delay_s = disturbance_delay_s;
-    event.disturbances = disturbances;
+    event.service_time_s = breakdown.service_time_s;
+    event.seek_s = breakdown.seek_s;
+    event.rotation_s = breakdown.rotation_s;
+    event.transfer_s = breakdown.transfer_s;
+    event.disturbance_delay_s = breakdown.disturbance_delay_s;
+    event.disturbances = breakdown.disturbances;
+    event.fault_delay_s = breakdown.fault_delay_s;
+    event.faulted_requests = breakdown.faulted_requests;
     event.glitches = glitches;
     event.overran = outcome.overran;
+    event.disk_failed = breakdown.disk_failed;
+    event.truncated_requests = breakdown.truncated_requests;
     event.leftover_s =
-        std::max(0.0, config_.round_length_s - outcome.total_service_time_s);
+        std::max(0.0, config_.round_length_s - breakdown.service_time_s);
     event.zone_hits.assign(scratch_.zone_hits.begin(),
                            scratch_.zone_hits.end());
     config_.trace->Record(std::move(event));
@@ -414,11 +608,11 @@ void RoundSimulator::EmitRoundObservability(const RoundOutcome& outcome,
     metrics_->requests->Increment(num_streams_);
     metrics_->glitches->Increment(glitches);
     if (outcome.overran) metrics_->overruns->Increment();
-    metrics_->disturbances->Increment(disturbances);
-    metrics_->service_time_s->Record(outcome.total_service_time_s);
-    metrics_->seek_s->Record(seek_sum);
-    metrics_->rotation_s->Record(rotation_sum);
-    metrics_->transfer_s->Record(transfer_sum);
+    metrics_->disturbances->Increment(breakdown.disturbances);
+    metrics_->service_time_s->Record(breakdown.service_time_s);
+    metrics_->seek_s->Record(breakdown.seek_s);
+    metrics_->rotation_s->Record(breakdown.rotation_s);
+    metrics_->transfer_s->Record(breakdown.transfer_s);
     for (int z = 0; z < geometry_.num_zones(); ++z) {
       if (scratch_.zone_hits[z] != 0) {
         metrics_->zone_hits[z]->Increment(scratch_.zone_hits[z]);

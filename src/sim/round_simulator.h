@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "disk/disk_geometry.h"
 #include "disk/seek_model.h"
+#include "fault/fault_model.h"
 #include "numeric/statistics.h"
 #include "sched/ordering.h"
 #include "sched/scan.h"
@@ -79,6 +80,32 @@ struct SimulatorConfig {
   sched::OrderingPolicy ordering = sched::OrderingPolicy::kScan;
   PositionSampler position_sampler;  // null = uniform over capacity
   DisturbanceConfig disturbance;     // default: none
+
+  // Structured fault injection (fault/fault_model.h): Markov-modulated
+  // slowdown epochs, zone dropouts with remapped rates, correlated
+  // per-request delay bursts, whole-disk failure. Each configured model
+  // draws from a dedicated RNG substream derived from `seed`, so the
+  // empty default consumes no randomness and leaves every run
+  // bit-identical to a fault-free build; adding one model never perturbs
+  // another's draws. On a disk-failed round the requests are still drawn
+  // (stream sources advance; main-stream consumption stays a pure
+  // function of the round index) but nothing is served: every stream
+  // glitches and the trace event carries disk_failed = true.
+  fault::FaultSpec faults;
+
+  // Deadline-cut accounting for the per-round trace. The physical disk
+  // stops at the round boundary, so a trace row claiming more busy time
+  // than the round holds is an accounting fiction. With this set, trace
+  // events charge each component at its truncated length — the straddling
+  // request is cut mid-phase in service order (seek, rotation,
+  // disturbance, fault delay, transfer) and later requests are charged
+  // zero — so service_time_s <= round_length_s always, the decomposition
+  // identity still holds exactly, and truncated_requests counts the cut
+  // plus skipped requests. RoundOutcome (and thus every estimator,
+  // glitch set, arm dynamic and RNG draw) still uses the untruncated
+  // hypothetical sweep time, so enabling this changes trace accounting
+  // only. Default off, preserving the historical trace values.
+  bool truncate_at_deadline = false;
 
   // Use the batched structure-of-arrays round kernel (default): per-round
   // variates are drawn in batches (all positions, then all sizes, then
@@ -217,21 +244,56 @@ class RoundSimulator {
     // replaces the comparator-indirect index sort.
     std::vector<uint64_t> sort_key;
     std::vector<int32_t> zone_hits;    // per-zone tallies, reset each round
+    // Per-stream injected delays, tracked only when truncate_at_deadline
+    // needs the phase-level breakdown of the cut request.
+    std::vector<double> dist_delay_s;
+    std::vector<double> fault_delay_s;
+  };
+
+  // Per-round component sums handed to the observability sink.
+  struct RoundBreakdown {
+    double seek_s = 0.0;
+    double rotation_s = 0.0;  // base rotation, injected delays excluded
+    double transfer_s = 0.0;
+    double disturbance_delay_s = 0.0;
+    int disturbances = 0;
+    double fault_delay_s = 0.0;
+    int faulted_requests = 0;
+    bool disk_failed = false;
+    int truncated_requests = 0;
+    // Trace-facing service time; equals the outcome's untruncated sweep
+    // time unless truncate_at_deadline clipped it to the round length.
+    double service_time_s = 0.0;
   };
 
   RoundSimulator(const disk::DiskGeometry& geometry,
                  const disk::SeekTimeModel& seek, int num_streams,
                  std::vector<std::unique_ptr<workload::FragmentSource>> sources,
+                 std::unique_ptr<fault::FaultInjector> fault_injector,
                  const SimulatorConfig& config);
 
   RoundOutcome RunRoundScalar();
   RoundOutcome RunRoundBatched();
 
+  // Completes a round on a failed disk: requests were drawn (the caller
+  // tallied scratch_.zone_hits) but nothing is served — every stream
+  // glitches and the trace event carries disk_failed = true.
+  RoundOutcome FinishDiskFailedRound();
+
+  // Rewrites `breakdown` so every component is charged at its truncated
+  // length against the round deadline (see truncate_at_deadline). Phase
+  // lengths are read back per stream id from the scratch delay arrays.
+  void TruncateBreakdown(RoundBreakdown* breakdown,
+                         const std::vector<int>& order,
+                         const std::vector<double>& seek_by_pos,
+                         const std::vector<double>& rotation_by_pos,
+                         const std::vector<double>& transfer_by_pos,
+                         double return_seek_s) const;
+
   // Emits the per-round trace event and metric updates. Zone tallies are
   // read from scratch_.zone_hits, which the caller must have filled.
-  void EmitRoundObservability(const RoundOutcome& outcome, double seek_sum,
-                              double rotation_sum, double transfer_sum,
-                              double disturbance_delay_s, int disturbances);
+  void EmitRoundObservability(const RoundOutcome& outcome,
+                              const RoundBreakdown& breakdown);
 
   disk::DiskGeometry geometry_;
   disk::SeekTimeModel seek_;
@@ -240,6 +302,8 @@ class RoundSimulator {
   SimulatorConfig config_;
   numeric::Rng rng_;
   numeric::Rng disturbance_rng_;
+  // Null when config_.faults is empty (the common case).
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   int arm_cylinder_ = 0;
   bool ascending_ = true;
   int64_t rounds_run_ = 0;

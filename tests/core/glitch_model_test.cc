@@ -37,6 +37,59 @@ TEST(BinomialTailTest, ChernoffEdgeCases) {
   EXPECT_NEAR(bound, std::pow(0.1, 10), 1e-12);
 }
 
+TEST(BinomialTailTest, ZeroRoundLifetimeIsWellDefined) {
+  // m == 0 (a stream admitted for zero rounds) used to crash on the
+  // g <= m check before the degenerate case was handled. X = 0 surely.
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(0, 0.3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(0, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(0, 1.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(0, 0.3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTailExact(0, 0.3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailExact(0, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailExact(0, 1.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailExact(0, 0.3, 1), 0.0);
+  // Both public entry points of eq. 3.3.5 must survive m == 0 too.
+  EXPECT_DOUBLE_EQ(GlitchModel::ErrorBoundForGlitchProbability(0.3, 0, 0),
+                   1.0);
+  const ServiceTimeModel model = TestModel();
+  const GlitchModel glitch(&model);
+  EXPECT_DOUBLE_EQ(glitch.ErrorBound(10, 1.0, /*m=*/0, /*g=*/0), 1.0);
+}
+
+TEST(BinomialTailTest, ChernoffVacuousExactlyWhereExactCanExceedIt) {
+  // For g/m <= p the Chernoff form is meaningless; the implementation
+  // must return exactly 1, which trivially dominates the exact tail
+  // across the whole vacuous region.
+  const int m = 40;
+  const double p = 0.3;
+  for (int g = 0; g <= static_cast<int>(m * p); ++g) {
+    EXPECT_DOUBLE_EQ(BinomialTailChernoff(m, p, g), 1.0) << "g=" << g;
+    EXPECT_LE(BinomialTailExact(m, p, g), 1.0) << "g=" << g;
+  }
+  // First g above the mean: the bound engages and is a true bound.
+  const int g_above = static_cast<int>(m * p) + 1;
+  const double chernoff = BinomialTailChernoff(m, p, g_above);
+  EXPECT_LT(chernoff, 1.0);
+  EXPECT_GE(chernoff, BinomialTailExact(m, p, g_above));
+}
+
+TEST(BinomialTailTest, GEqualsMBoundaryAgrees) {
+  // At g == m the tail is exactly p^m and the Chernoff form degenerates
+  // to the same value, for any p (including the vacuous p == 1).
+  for (const double p : {0.05, 0.3, 0.9}) {
+    for (const int m : {1, 2, 7, 25}) {
+      EXPECT_NEAR(BinomialTailExact(m, p, m), std::pow(p, m),
+                  1e-12 * std::pow(p, m))
+          << "p=" << p << " m=" << m;
+      EXPECT_NEAR(BinomialTailChernoff(m, p, m), std::pow(p, m),
+                  1e-12 * std::pow(p, m))
+          << "p=" << p << " m=" << m;
+    }
+  }
+  EXPECT_DOUBLE_EQ(BinomialTailExact(5, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailChernoff(5, 1.0, 5), 1.0);
+}
+
 TEST(BinomialTailTest, ExactEdgeCases) {
   EXPECT_DOUBLE_EQ(BinomialTailExact(10, 0.3, 0), 1.0);
   EXPECT_DOUBLE_EQ(BinomialTailExact(10, 0.0, 3), 0.0);

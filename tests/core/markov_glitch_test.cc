@@ -61,6 +61,35 @@ TEST(MarkovGlitchTest, FromMarginalMatchesRequestedMarginal) {
   }
 }
 
+TEST(MarkovGlitchTest, FromMarginalDegenerateCornersCollapseToBinomial) {
+  // heavy_fraction 0 or 1 and heavy_over_light == 1 are singular points
+  // of the marginal solve (they used to error or divide by zero); each
+  // describes i.i.d. glitches, so FromMarginal must return a model whose
+  // tail equals the exact binomial at the requested marginal.
+  constexpr double kP = 0.004;
+  constexpr int kM = 600;
+  const struct {
+    double heavy_fraction;
+    double heavy_over_light;
+  } corners[] = {{0.0, 5.0}, {1.0, 5.0}, {0.3, 1.0}, {0.0, 1.0}, {1.0, 1.0}};
+  for (const auto& corner : corners) {
+    auto model = MarkovGlitchModel::FromMarginal(
+        kP, corner.heavy_fraction, corner.heavy_over_light,
+        /*mean_heavy_run_rounds=*/25.0);
+    ASSERT_TRUE(model.ok()) << corner.heavy_fraction << " "
+                            << corner.heavy_over_light;
+    EXPECT_DOUBLE_EQ(model->params().glitch_light, kP);
+    EXPECT_DOUBLE_EQ(model->params().glitch_heavy, kP);
+    EXPECT_NEAR(model->marginal_glitch_probability(), kP, 1e-15);
+    for (int g : {1, 4, 9}) {
+      EXPECT_NEAR(model->ErrorProbability(kM, g),
+                  BinomialTailExact(kM, kP, g), 1e-10)
+          << corner.heavy_fraction << " " << corner.heavy_over_light << " g="
+          << g;
+    }
+  }
+}
+
 TEST(MarkovGlitchTest, FromMarginalRejectsImpossibleCombos) {
   // Ratio so extreme the heavy state would exceed probability 1.
   EXPECT_FALSE(MarkovGlitchModel::FromMarginal(0.5, 0.01, 1000.0, 10.0).ok());

@@ -1,0 +1,247 @@
+#include "fault/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "obs/metrics.h"
+
+namespace zonestream::fault {
+namespace {
+
+// window_rounds=2, trip after 2 violating windows, recover after 2 clean
+// windows at half the bound — small numbers so every edge is reachable in
+// a few ObserveRound calls.
+DegradationPolicy TestPolicy() {
+  DegradationPolicy policy;
+  policy.glitch_rate_bound = 0.05;
+  policy.window_rounds = 2;
+  policy.trigger_windows = 2;
+  policy.recovery_windows = 2;
+  policy.recovery_margin = 0.5;
+  policy.min_streams = 1;
+  policy.max_shed_fraction = 0.5;
+  return policy;
+}
+
+// Feeds `windows` whole windows with a fixed per-round observation.
+DegradationCommand FeedWindows(DegradationController* controller,
+                               int windows, int active, int glitched,
+                               bool overran = false) {
+  DegradationCommand last;
+  for (int w = 0; w < windows; ++w) {
+    for (int r = 0; r < controller->policy().window_rounds; ++r) {
+      last = controller->ObserveRound(active, glitched, overran);
+    }
+  }
+  return last;
+}
+
+TEST(DegradationStateNameTest, NamesAllStates) {
+  EXPECT_STREQ(DegradationStateName(DegradationState::kNormal), "normal");
+  EXPECT_STREQ(DegradationStateName(DegradationState::kDegraded),
+               "degraded");
+  EXPECT_STREQ(DegradationStateName(DegradationState::kRecovering),
+               "recovering");
+}
+
+TEST(DegradationControllerTest, StaysNormalUnderCleanLoad) {
+  DegradationController controller(TestPolicy());
+  const DegradationCommand command =
+      FeedWindows(&controller, 10, /*active=*/20, /*glitched=*/0);
+  EXPECT_EQ(controller.state(), DegradationState::kNormal);
+  EXPECT_EQ(command.shed_streams, 0);
+  EXPECT_TRUE(command.admissions_open);
+  EXPECT_TRUE(controller.events().empty());
+}
+
+TEST(DegradationControllerTest, TripsOnlyAfterConsecutiveViolations) {
+  DegradationController controller(TestPolicy());
+  // rate = 1/10 = 0.1 > bound 0.05: violating, but one window is not
+  // enough to trip.
+  FeedWindows(&controller, 1, /*active=*/10, /*glitched=*/1);
+  EXPECT_EQ(controller.state(), DegradationState::kNormal);
+  // A clean window in between resets the trigger debounce.
+  FeedWindows(&controller, 1, 10, 0);
+  FeedWindows(&controller, 1, 10, 1);
+  EXPECT_EQ(controller.state(), DegradationState::kNormal);
+  // Second *consecutive* violating window trips.
+  const DegradationCommand command = FeedWindows(&controller, 1, 10, 1);
+  EXPECT_EQ(controller.state(), DegradationState::kDegraded);
+  EXPECT_FALSE(command.admissions_open);
+  // Proportional fallback: keep floor(10 * 0.05 / 0.1) = 5, shed 5.
+  EXPECT_EQ(command.shed_streams, 5);
+  ASSERT_EQ(controller.events().size(), 1u);
+  EXPECT_EQ(controller.events()[0].from, DegradationState::kNormal);
+  EXPECT_EQ(controller.events()[0].to, DegradationState::kDegraded);
+  EXPECT_EQ(controller.events()[0].shed_streams, 5);
+}
+
+TEST(DegradationControllerTest, RecoversThroughRecoveringWithHysteresis) {
+  DegradationController controller(TestPolicy());
+  FeedWindows(&controller, 2, 10, 1);  // trip
+  ASSERT_EQ(controller.state(), DegradationState::kDegraded);
+  // One clean window is not enough (recovery_windows = 2).
+  FeedWindows(&controller, 1, 5, 0);
+  EXPECT_EQ(controller.state(), DegradationState::kDegraded);
+  // A mid-band window (above margin*bound, below bound) resets the clean
+  // streak: rate = 2/50 = 0.04 vs band (0.025, 0.05].
+  FeedWindows(&controller, 1, 25, 1);
+  FeedWindows(&controller, 1, 5, 0);
+  EXPECT_EQ(controller.state(), DegradationState::kDegraded);
+  DegradationCommand command = FeedWindows(&controller, 1, 5, 0);
+  EXPECT_EQ(controller.state(), DegradationState::kRecovering);
+  EXPECT_TRUE(command.admissions_open);
+  // Two more clean windows finish the recovery.
+  command = FeedWindows(&controller, 2, 5, 0);
+  EXPECT_EQ(controller.state(), DegradationState::kNormal);
+  EXPECT_TRUE(command.admissions_open);
+}
+
+TEST(DegradationControllerTest, RelapseFromRecoveringTripsImmediately) {
+  obs::Registry metrics;
+  DegradationController controller(TestPolicy(), &metrics, "t.deg");
+  FeedWindows(&controller, 2, 10, 1);  // trip
+  FeedWindows(&controller, 2, 5, 0);   // -> recovering
+  ASSERT_EQ(controller.state(), DegradationState::kRecovering);
+  // A single violating window relapses — no trigger_windows debounce.
+  const DegradationCommand command = FeedWindows(&controller, 1, 5, 1);
+  EXPECT_EQ(controller.state(), DegradationState::kDegraded);
+  EXPECT_FALSE(command.admissions_open);
+  EXPECT_GT(command.shed_streams, 0);
+  EXPECT_EQ(metrics.GetCounter("t.deg.trips")->value(), 2);
+  EXPECT_EQ(metrics.GetGauge("t.deg.state")->value(), 1.0);
+}
+
+TEST(DegradationControllerTest, KeepsSheddingWhileDegradedAndViolating) {
+  DegradationController controller(TestPolicy());
+  FeedWindows(&controller, 2, 10, 1);  // trip, shed to 5
+  // Still violating a full window later: shed again from the new level.
+  const DegradationCommand command = FeedWindows(&controller, 1, 5, 1);
+  EXPECT_EQ(controller.state(), DegradationState::kDegraded);
+  // rate = 2/10 = 0.2; proportional target floor(5 * 0.05/0.2) = 1, but
+  // max_shed_fraction = 0.5 caps the shed at ceil(5 * 0.5) = 3.
+  EXPECT_EQ(command.shed_streams, 3);
+}
+
+TEST(DegradationControllerTest, ShedRespectsMinStreamsFloor) {
+  DegradationPolicy policy = TestPolicy();
+  policy.min_streams = 4;
+  policy.max_shed_fraction = 1.0;  // the floor is the only guard
+  policy.rearmor = [](const WindowSummary&) { return 0; };
+  DegradationController controller(policy);
+  const DegradationCommand command = FeedWindows(&controller, 2, 10, 1);
+  EXPECT_EQ(command.shed_streams, 6);  // kept 4, never below min_streams
+}
+
+TEST(DegradationControllerTest, RearmorHookOverridesProportionalTarget) {
+  DegradationPolicy policy = TestPolicy();
+  policy.max_shed_fraction = 1.0;
+  WindowSummary seen;
+  policy.rearmor = [&seen](const WindowSummary& window) {
+    seen = window;
+    return 7;
+  };
+  DegradationController controller(policy);
+  const DegradationCommand command =
+      FeedWindows(&controller, 2, /*active=*/10, /*glitched=*/1,
+                  /*overran=*/true);
+  EXPECT_EQ(command.shed_streams, 3);  // 10 - hook target 7
+  EXPECT_EQ(seen.active_streams, 10);
+  EXPECT_EQ(seen.rounds, 2);
+  EXPECT_DOUBLE_EQ(seen.glitch_rate, 0.1);
+  EXPECT_DOUBLE_EQ(seen.overrun_rate, 1.0);
+}
+
+TEST(DegradationControllerTest, NegativeHookResultFallsBackToProportional) {
+  DegradationPolicy policy = TestPolicy();
+  policy.rearmor = [](const WindowSummary&) { return -1; };
+  DegradationController controller(policy);
+  const DegradationCommand command = FeedWindows(&controller, 2, 10, 1);
+  EXPECT_EQ(command.shed_streams, 5);  // same as the no-hook fallback
+}
+
+TEST(DegradationControllerTest, ClampsNonsensicalPolicyInsteadOfCrashing) {
+  DegradationPolicy policy;
+  policy.glitch_rate_bound = -1.0;
+  policy.window_rounds = 0;
+  policy.trigger_windows = -3;
+  policy.recovery_windows = 0;
+  policy.recovery_margin = 7.0;
+  policy.max_shed_fraction = -2.0;
+  DegradationController controller(policy);
+  EXPECT_EQ(controller.policy().window_rounds, 1);
+  EXPECT_EQ(controller.policy().trigger_windows, 1);
+  EXPECT_EQ(controller.policy().recovery_windows, 1);
+  EXPECT_EQ(controller.policy().recovery_margin, 1.0);
+  EXPECT_EQ(controller.policy().max_shed_fraction, 0.0);
+  // bound 0 + max_shed_fraction 0: every window violates but nothing can
+  // be shed; the controller must still run without crashing.
+  const DegradationCommand command =
+      controller.ObserveRound(/*active_streams=*/3, /*glitched_streams=*/1,
+                              /*overran=*/false);
+  EXPECT_EQ(controller.state(), DegradationState::kDegraded);
+  EXPECT_EQ(command.shed_streams, 0);
+}
+
+TEST(DegradationControllerTest, ZeroActiveStreamsWindowCountsAsClean) {
+  DegradationController controller(TestPolicy());
+  const DegradationCommand command = FeedWindows(&controller, 3, 0, 0);
+  EXPECT_EQ(controller.state(), DegradationState::kNormal);
+  EXPECT_TRUE(command.window_closed);
+}
+
+// --- RearmoredStreamLimit --------------------------------------------------
+
+TEST(RearmoredStreamLimitTest, ZeroExtraDelayMatchesCleanAdmission) {
+  const disk::DiskGeometry geometry = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  constexpr double kMean = 200e3;
+  constexpr double kVariance = 1e10;
+  auto clean_model =
+      core::ServiceTimeModel::ForMultiZoneDisk(geometry, seek, kMean,
+                                               kVariance);
+  ASSERT_TRUE(clean_model.ok());
+  const int clean_limit = core::MaxStreamsByGlitchRate(
+      *clean_model, /*t=*/1.0, /*m=*/1200, /*g=*/3, /*epsilon=*/1e-6);
+  auto rearmored = RearmoredStreamLimit(
+      geometry, seek, kMean, kVariance, /*extra_delay_mean_s=*/0.0,
+      /*extra_delay_second_moment_s2=*/0.0, /*round_length_s=*/1.0,
+      /*m=*/1200, /*g=*/3, /*epsilon=*/1e-6);
+  ASSERT_TRUE(rearmored.ok());
+  EXPECT_EQ(*rearmored, clean_limit);
+  EXPECT_GT(*rearmored, 0);
+}
+
+TEST(RearmoredStreamLimitTest, ExtraDelayShrinksTheLimit) {
+  const disk::DiskGeometry geometry = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  auto clean = RearmoredStreamLimit(geometry, seek, 200e3, 1e10, 0.0, 0.0,
+                                    1.0, 1200, 3, 1e-6);
+  // A 20 ms mean disturbance with matching spread costs real streams.
+  auto inflated = RearmoredStreamLimit(geometry, seek, 200e3, 1e10, 0.02,
+                                       0.02 * 0.02 + 1e-4, 1.0, 1200, 3,
+                                       1e-6);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(inflated.ok());
+  EXPECT_LT(*inflated, *clean);
+  EXPECT_GE(*inflated, 0);
+}
+
+TEST(RearmoredStreamLimitTest, RejectsInconsistentMoments) {
+  const disk::DiskGeometry geometry = disk::QuantumViking2100();
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  EXPECT_FALSE(RearmoredStreamLimit(geometry, seek, 200e3, 1e10, -0.01,
+                                    0.01, 1.0, 1200, 3, 1e-6)
+                   .ok());
+  // Second moment below the squared mean implies negative variance.
+  EXPECT_FALSE(RearmoredStreamLimit(geometry, seek, 200e3, 1e10, 0.1, 0.001,
+                                    1.0, 1200, 3, 1e-6)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace zonestream::fault

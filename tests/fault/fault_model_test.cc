@@ -1,0 +1,358 @@
+#include "fault/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "numeric/random.h"
+#include "obs/metrics.h"
+
+namespace zonestream::fault {
+namespace {
+
+constexpr uint64_t kSeed = 4242;
+
+RequestFaultContext MakeContext(int index) {
+  RequestFaultContext context;
+  context.request_index = index;
+  context.stream_id = index;
+  context.zone = 0;
+  context.cylinder = 100;
+  return context;
+}
+
+// --- Spec validation -------------------------------------------------------
+
+TEST(MarkovSlowdownFaultTest, RejectsInvalidSpecs) {
+  MarkovSlowdownSpec spec;
+  spec.enter_per_round = 1.5;
+  EXPECT_FALSE(MarkovSlowdownFault::Create(spec).ok());
+  spec = {};
+  spec.exit_per_round = -0.1;
+  EXPECT_FALSE(MarkovSlowdownFault::Create(spec).ok());
+  spec = {};
+  spec.delay_min_s = 0.2;
+  spec.delay_max_s = 0.1;
+  EXPECT_FALSE(MarkovSlowdownFault::Create(spec).ok());
+  spec = {};
+  spec.force_from_round = 5;  // until missing
+  EXPECT_FALSE(MarkovSlowdownFault::Create(spec).ok());
+  spec = {};
+  spec.force_from_round = 5;
+  spec.force_until_round = 5;  // empty window
+  EXPECT_FALSE(MarkovSlowdownFault::Create(spec).ok());
+}
+
+TEST(ZoneDropoutFaultTest, RejectsInvalidSpecs) {
+  ZoneDropoutSpec spec;
+  EXPECT_FALSE(ZoneDropoutFault::Create(spec, 0).ok());
+  spec.rate_factor = 0.0;
+  EXPECT_FALSE(ZoneDropoutFault::Create(spec, 4).ok());
+  spec.rate_factor = 1.5;
+  EXPECT_FALSE(ZoneDropoutFault::Create(spec, 4).ok());
+  spec.rate_factor = 0.5;
+  spec.fail_per_round = 2.0;
+  EXPECT_FALSE(ZoneDropoutFault::Create(spec, 4).ok());
+}
+
+TEST(CorrelatedBurstFaultTest, RejectsInvalidSpecs) {
+  CorrelatedBurstSpec spec;
+  spec.burst_length = 0;
+  EXPECT_FALSE(CorrelatedBurstFault::Create(spec).ok());
+  spec = {};
+  spec.burst_per_round = -1.0;
+  EXPECT_FALSE(CorrelatedBurstFault::Create(spec).ok());
+  spec = {};
+  spec.delay_min_s = 1.0;
+  spec.delay_max_s = 0.5;
+  EXPECT_FALSE(CorrelatedBurstFault::Create(spec).ok());
+}
+
+TEST(DiskFailureFaultTest, RejectsInvalidSpecs) {
+  DiskFailureSpec spec;  // neither hazard nor deterministic round
+  EXPECT_FALSE(DiskFailureFault::Create(spec).ok());
+  spec.fail_per_round = 0.1;
+  spec.repair_after_rounds = 0;
+  EXPECT_FALSE(DiskFailureFault::Create(spec).ok());
+}
+
+// --- Model behavior --------------------------------------------------------
+
+TEST(MarkovSlowdownFaultTest, ForcedWindowBoundsAreExact) {
+  MarkovSlowdownSpec spec;
+  spec.per_request_probability = 1.0;
+  spec.delay_min_s = 0.01;
+  spec.delay_max_s = 0.02;
+  spec.force_from_round = 2;
+  spec.force_until_round = 4;
+  auto model = MarkovSlowdownFault::Create(spec);
+  ASSERT_TRUE(model.ok());
+  numeric::Rng rng(kSeed);
+  for (int round = 0; round < 6; ++round) {
+    (*model)->BeginRound(/*num_requests=*/1, &rng);
+    const bool in_window = round >= 2 && round < 4;
+    EXPECT_EQ((*model)->active(), in_window) << "round " << round;
+    const double delay = (*model)->DelayFor(MakeContext(0), &rng);
+    if (in_window) {
+      EXPECT_GE(delay, spec.delay_min_s);
+      EXPECT_LT(delay, spec.delay_max_s);
+    } else {
+      EXPECT_EQ(delay, 0.0);
+    }
+  }
+}
+
+TEST(MarkovSlowdownFaultTest, ForcedWindowDoesNotShiftStochasticChain) {
+  MarkovSlowdownSpec stochastic;
+  stochastic.enter_per_round = 0.5;
+  stochastic.exit_per_round = 0.5;
+  MarkovSlowdownSpec forced = stochastic;
+  forced.per_request_probability = 0.0;  // window adds no delay draws
+  forced.force_from_round = 0;
+  forced.force_until_round = 3;
+  auto a = MarkovSlowdownFault::Create(stochastic);
+  auto b = MarkovSlowdownFault::Create(forced);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  numeric::Rng rng_a(kSeed);
+  numeric::Rng rng_b(kSeed);
+  // Both models see the same call pattern (one BeginRound plus one
+  // DelayFor per request, as the FaultInjector guarantees). DelayFor
+  // consumption is fixed regardless of the active state, so the forced
+  // window never shifts the epoch chain: after it ends, both chains must
+  // agree round for round.
+  for (int round = 0; round < 50; ++round) {
+    (*a)->BeginRound(/*num_requests=*/4, &rng_a);
+    (*b)->BeginRound(/*num_requests=*/4, &rng_b);
+    for (int i = 0; i < 4; ++i) {
+      (void)(*a)->DelayFor(MakeContext(i), &rng_a);
+      (void)(*b)->DelayFor(MakeContext(i), &rng_b);
+    }
+    if (round >= 3) {
+      EXPECT_EQ((*a)->active(), (*b)->active()) << "round " << round;
+    }
+  }
+}
+
+TEST(ZoneDropoutFaultTest, DropsAndDeratesZones) {
+  ZoneDropoutSpec spec;
+  spec.fail_per_round = 1.0;
+  spec.recover_per_round = 0.0;
+  spec.rate_factor = 0.25;
+  auto model = ZoneDropoutFault::Create(spec, /*num_zones=*/3);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE((*model)->active());
+  for (int zone = 0; zone < 3; ++zone) {
+    EXPECT_EQ((*model)->RateMultiplier(zone), 1.0);
+  }
+  numeric::Rng rng(kSeed);
+  (*model)->BeginRound(/*num_requests=*/1, &rng);
+  EXPECT_TRUE((*model)->active());
+  EXPECT_EQ((*model)->failed_zones(), 3);
+  for (int zone = 0; zone < 3; ++zone) {
+    EXPECT_EQ((*model)->RateMultiplier(zone), 0.25);
+  }
+}
+
+TEST(ZoneDropoutFaultTest, ZonesRecover) {
+  ZoneDropoutSpec spec;
+  spec.fail_per_round = 1.0;
+  spec.recover_per_round = 1.0;
+  spec.rate_factor = 0.5;
+  auto model = ZoneDropoutFault::Create(spec, /*num_zones=*/2);
+  ASSERT_TRUE(model.ok());
+  numeric::Rng rng(kSeed);
+  (*model)->BeginRound(1, &rng);
+  EXPECT_EQ((*model)->failed_zones(), 2);
+  (*model)->BeginRound(1, &rng);  // every failed zone recovers
+  EXPECT_EQ((*model)->failed_zones(), 0);
+  EXPECT_FALSE((*model)->active());
+  EXPECT_EQ((*model)->RateMultiplier(0), 1.0);
+}
+
+TEST(CorrelatedBurstFaultTest, HitsExactlyOneContiguousRun) {
+  CorrelatedBurstSpec spec;
+  spec.burst_per_round = 1.0;
+  spec.burst_length = 3;
+  spec.delay_min_s = 0.005;
+  spec.delay_max_s = 0.01;
+  auto model = CorrelatedBurstFault::Create(spec);
+  ASSERT_TRUE(model.ok());
+  numeric::Rng rng(kSeed);
+  constexpr int kRequests = 10;
+  (*model)->BeginRound(kRequests, &rng);
+  ASSERT_TRUE((*model)->active());
+  int first_hit = -1;
+  int hits = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const double delay = (*model)->DelayFor(MakeContext(i), &rng);
+    if (delay > 0.0) {
+      if (first_hit < 0) first_hit = i;
+      ++hits;
+      EXPECT_GE(delay, spec.delay_min_s);
+      EXPECT_LT(delay, spec.delay_max_s);
+      EXPECT_LT(i, first_hit + spec.burst_length);  // contiguous
+    }
+  }
+  ASSERT_GE(first_hit, 0);
+  // The run may be cut short by the end of the round, never extended.
+  EXPECT_EQ(hits, std::min(spec.burst_length, kRequests - first_hit));
+}
+
+TEST(DiskFailureFaultTest, DeterministicFailureAndRepairSchedule) {
+  DiskFailureSpec spec;
+  spec.fail_at_round = 2;
+  spec.repair_after_rounds = 3;
+  auto model = DiskFailureFault::Create(spec);
+  ASSERT_TRUE(model.ok());
+  numeric::Rng rng(kSeed);
+  std::vector<bool> failed;
+  for (int round = 0; round < 7; ++round) {
+    (*model)->BeginRound(1, &rng);
+    failed.push_back((*model)->disk_failed());
+  }
+  EXPECT_EQ(failed, (std::vector<bool>{false, false, true, true, true,
+                                       false, false}));
+}
+
+TEST(DiskFailureFaultTest, HazardOneFailsImmediatelyAndPermanently) {
+  DiskFailureSpec spec;
+  spec.fail_per_round = 1.0;
+  auto model = DiskFailureFault::Create(spec);
+  ASSERT_TRUE(model.ok());
+  numeric::Rng rng(kSeed);
+  for (int round = 0; round < 4; ++round) {
+    (*model)->BeginRound(1, &rng);
+    EXPECT_TRUE((*model)->disk_failed());
+  }
+}
+
+// --- FaultInjector composition ---------------------------------------------
+
+FaultSpec AlwaysSlowSpec(double delay_s) {
+  MarkovSlowdownSpec slowdown;
+  slowdown.per_request_probability = 1.0;
+  slowdown.delay_min_s = delay_s;
+  slowdown.delay_max_s = delay_s;  // degenerate uniform: exact delay
+  slowdown.force_from_round = 0;
+  slowdown.force_until_round = 1u << 30;
+  FaultSpec spec;
+  spec.slowdowns.push_back(slowdown);
+  return spec;
+}
+
+TEST(FaultInjectorTest, EmptySpecIsNeutralAndConsumesNothing) {
+  FaultSpec spec;
+  EXPECT_TRUE(spec.empty());
+  auto injector = FaultInjector::Create(spec, /*num_zones=*/4, kSeed);
+  ASSERT_TRUE(injector.ok());
+  (*injector)->BeginRound(10);
+  EXPECT_EQ((*injector)->DelayFor(MakeContext(0)), 0.0);
+  EXPECT_EQ((*injector)->RateMultiplier(2), 1.0);
+  EXPECT_FALSE((*injector)->disk_failed());
+  EXPECT_FALSE((*injector)->any_active());
+}
+
+TEST(FaultInjectorTest, DelaysAddAcrossModels) {
+  FaultSpec spec = AlwaysSlowSpec(0.01);
+  spec.slowdowns.push_back(AlwaysSlowSpec(0.02).slowdowns[0]);
+  auto injector = FaultInjector::Create(spec, 4, kSeed);
+  ASSERT_TRUE(injector.ok());
+  (*injector)->BeginRound(1);
+  EXPECT_DOUBLE_EQ((*injector)->DelayFor(MakeContext(0)), 0.03);
+}
+
+TEST(FaultInjectorTest, RateMultipliersMultiplyAcrossModels) {
+  ZoneDropoutSpec dropout;
+  dropout.fail_per_round = 1.0;
+  dropout.rate_factor = 0.5;
+  FaultSpec spec;
+  spec.zone_dropouts.push_back(dropout);
+  spec.zone_dropouts.push_back(dropout);
+  auto injector = FaultInjector::Create(spec, 2, kSeed);
+  ASSERT_TRUE(injector.ok());
+  (*injector)->BeginRound(1);
+  EXPECT_DOUBLE_EQ((*injector)->RateMultiplier(0), 0.25);
+  EXPECT_DOUBLE_EQ((*injector)->RateMultiplier(1), 0.25);
+}
+
+TEST(FaultInjectorTest, SameSeedReproducesDelaysExactly) {
+  MarkovSlowdownSpec slowdown;
+  slowdown.enter_per_round = 0.3;
+  slowdown.exit_per_round = 0.3;
+  slowdown.per_request_probability = 0.5;
+  slowdown.delay_min_s = 0.001;
+  slowdown.delay_max_s = 0.1;
+  FaultSpec spec;
+  spec.slowdowns.push_back(slowdown);
+  auto a = FaultInjector::Create(spec, 4, kSeed);
+  auto b = FaultInjector::Create(spec, 4, kSeed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int round = 0; round < 100; ++round) {
+    (*a)->BeginRound(8);
+    (*b)->BeginRound(8);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ((*a)->DelayFor(MakeContext(i)),
+                (*b)->DelayFor(MakeContext(i)));  // bit-exact
+    }
+  }
+}
+
+TEST(FaultInjectorTest, AddingAModelDoesNotPerturbAnothersSubstream) {
+  MarkovSlowdownSpec slowdown;
+  slowdown.enter_per_round = 0.3;
+  slowdown.exit_per_round = 0.3;
+  slowdown.per_request_probability = 1.0;
+  slowdown.delay_min_s = 0.001;
+  slowdown.delay_max_s = 0.1;
+  FaultSpec alone;
+  alone.slowdowns.push_back(slowdown);
+  FaultSpec with_failure = alone;
+  DiskFailureSpec failure;
+  failure.fail_at_round = 1u << 30;  // never fires in this test
+  with_failure.disk_failures.push_back(failure);
+  auto a = FaultInjector::Create(alone, 4, kSeed);
+  auto b = FaultInjector::Create(with_failure, 4, kSeed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The slowdown is model ordinal 0 in both injectors, so its dedicated
+  // substream — and therefore every delay it injects — is identical.
+  for (int round = 0; round < 100; ++round) {
+    (*a)->BeginRound(4);
+    (*b)->BeginRound(4);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ((*a)->DelayFor(MakeContext(i)),
+                (*b)->DelayFor(MakeContext(i)));
+    }
+  }
+}
+
+TEST(FaultInjectorTest, PropagatesModelValidationErrors) {
+  FaultSpec spec;
+  spec.zone_dropouts.push_back(ZoneDropoutSpec{0.1, 0.1, 0.0});
+  EXPECT_FALSE(FaultInjector::Create(spec, 4, kSeed).ok());
+}
+
+TEST(FaultInjectorTest, RecordsMetrics) {
+  obs::Registry metrics;
+  FaultSpec spec = AlwaysSlowSpec(0.01);
+  DiskFailureSpec failure;
+  failure.fail_at_round = 2;
+  spec.disk_failures.push_back(failure);
+  auto injector = FaultInjector::Create(spec, 4, kSeed, &metrics, "t.fault");
+  ASSERT_TRUE(injector.ok());
+  for (int round = 0; round < 3; ++round) {
+    (*injector)->BeginRound(2);
+    (*injector)->DelayFor(MakeContext(0));
+    (*injector)->DelayFor(MakeContext(1));
+  }
+  EXPECT_EQ(metrics.GetCounter("t.fault.rounds_active")->value(), 3);
+  EXPECT_EQ(metrics.GetCounter("t.fault.delays_injected")->value(), 6);
+  EXPECT_EQ(metrics.GetCounter("t.fault.disk_failed_rounds")->value(), 1);
+}
+
+}  // namespace
+}  // namespace zonestream::fault

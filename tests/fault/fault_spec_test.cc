@@ -1,0 +1,93 @@
+#include "fault/fault_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zonestream::fault {
+namespace {
+
+TEST(ParseFaultSpecTest, EmptyStringYieldsEmptySpec) {
+  auto spec = ParseFaultSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->empty());
+}
+
+TEST(ParseFaultSpecTest, ParsesSlowdownClause) {
+  auto spec = ParseFaultSpec(
+      "slowdown:enter=0.1,exit=0.25,prob=0.5,delay_min=0.05,delay_max=0.3,"
+      "from=200,until=400");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->slowdowns.size(), 1u);
+  const MarkovSlowdownSpec& s = spec->slowdowns[0];
+  EXPECT_EQ(s.enter_per_round, 0.1);
+  EXPECT_EQ(s.exit_per_round, 0.25);
+  EXPECT_EQ(s.per_request_probability, 0.5);
+  EXPECT_EQ(s.delay_min_s, 0.05);
+  EXPECT_EQ(s.delay_max_s, 0.3);
+  EXPECT_EQ(s.force_from_round, 200);
+  EXPECT_EQ(s.force_until_round, 400);
+}
+
+TEST(ParseFaultSpecTest, ParsesAllModelsFromOneString) {
+  auto spec = ParseFaultSpec(
+      "slowdown:enter=0.01,exit=0.2;"
+      "zone_dropout:fail=0.001,recover=0.05,rate_factor=0.5;"
+      "burst:prob=0.02,len=4,delay_min=0.01,delay_max=0.05;"
+      "disk_failure:hazard=0.0001,repair=50");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->slowdowns.size(), 1u);
+  EXPECT_EQ(spec->zone_dropouts.size(), 1u);
+  EXPECT_EQ(spec->bursts.size(), 1u);
+  EXPECT_EQ(spec->disk_failures.size(), 1u);
+  EXPECT_EQ(spec->zone_dropouts[0].rate_factor, 0.5);
+  EXPECT_EQ(spec->bursts[0].burst_length, 4);
+  EXPECT_EQ(spec->disk_failures[0].repair_after_rounds, 50);
+}
+
+TEST(ParseFaultSpecTest, UnsetKeysKeepDefaults) {
+  auto spec = ParseFaultSpec("burst:prob=0.5");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->bursts.size(), 1u);
+  EXPECT_EQ(spec->bursts[0].burst_length, 1);  // struct default
+  EXPECT_EQ(spec->bursts[0].delay_min_s, 0.0);
+}
+
+TEST(ParseFaultSpecTest, RepeatedClausesAccumulate) {
+  auto spec = ParseFaultSpec("burst:prob=0.1;burst:prob=0.2");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->bursts.size(), 2u);
+  EXPECT_EQ(spec->bursts[0].burst_per_round, 0.1);
+  EXPECT_EQ(spec->bursts[1].burst_per_round, 0.2);
+}
+
+TEST(ParseFaultSpecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFaultSpec("thermal:prob=0.1").ok());      // unknown model
+  EXPECT_FALSE(ParseFaultSpec("burst:length=3").ok());        // unknown key
+  EXPECT_FALSE(ParseFaultSpec("burst:prob=0.1,prob=0.2").ok());  // duplicate
+  EXPECT_FALSE(ParseFaultSpec("burst:prob=abc").ok());        // bad number
+  EXPECT_FALSE(ParseFaultSpec("burst:prob").ok());            // missing '='
+}
+
+TEST(FormatFaultSpecTest, RoundTripsThroughParse) {
+  const std::string text =
+      "slowdown:enter=0.01,exit=0.2,prob=1,delay_min=0.05,delay_max=0.3,"
+      "from=200,until=400;"
+      "zone_dropout:fail=0.001,recover=0.05,rate_factor=0.5;"
+      "burst:prob=0.02,len=4,delay_min=0.01,delay_max=0.05;"
+      "disk_failure:hazard=0.0001,repair=50";
+  auto spec = ParseFaultSpec(text);
+  ASSERT_TRUE(spec.ok());
+  const std::string formatted = FormatFaultSpec(*spec);
+  auto reparsed = ParseFaultSpec(formatted);
+  ASSERT_TRUE(reparsed.ok());
+  // Format is canonical: formatting the reparsed spec is a fixed point.
+  EXPECT_EQ(FormatFaultSpec(*reparsed), formatted);
+}
+
+TEST(FormatFaultSpecTest, EmptySpecFormatsToEmptyString) {
+  EXPECT_EQ(FormatFaultSpec(FaultSpec{}), "");
+}
+
+}  // namespace
+}  // namespace zonestream::fault

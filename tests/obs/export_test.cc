@@ -59,8 +59,12 @@ RoundTraceEvent MakeEvent() {
   event.transfer_s = 0.375;
   event.disturbance_delay_s = 0.0;
   event.disturbances = 0;
+  event.fault_delay_s = 0.0625;
+  event.faulted_requests = 3;
   event.glitches = 1;
   event.overran = true;
+  event.disk_failed = false;
+  event.truncated_requests = 2;
   event.leftover_s = 0.25;
   event.zone_hits = {7, 13};
   return event;
@@ -111,10 +115,22 @@ TEST(ExportJsonTest, TraceEventToJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"source_id\":2"), std::string::npos);
   EXPECT_NE(json.find("\"num_requests\":20"), std::string::npos);
   EXPECT_NE(json.find("\"service_time_s\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_delay_s\":0.0625"), std::string::npos);
+  EXPECT_NE(json.find("\"faulted_requests\":3"), std::string::npos);
   EXPECT_NE(json.find("\"glitches\":1"), std::string::npos);
   EXPECT_NE(json.find("\"overran\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"disk_failed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"truncated_requests\":2"), std::string::npos);
   EXPECT_NE(json.find("\"zone_hits\":[7,13]"), std::string::npos);
   EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+TEST(ExportJsonTest, TraceEventToJsonSerializesDiskFailure) {
+  RoundTraceEvent event = MakeEvent();
+  event.disk_failed = true;
+  const std::string json = TraceEventToJson(event);
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"disk_failed\":true"), std::string::npos);
 }
 
 TEST(ExportJsonTest, WriteTraceJsonLinesWritesOneObjectPerLine) {
@@ -143,6 +159,10 @@ TEST(ExportCsvTest, HeaderAndRowsHaveMatchingColumns) {
   };
   EXPECT_EQ(count_commas(header), count_commas(row));
   EXPECT_EQ(header.substr(0, 6), "round,");
+  EXPECT_NE(header.find(",fault_delay_s,faulted_requests,"),
+            std::string::npos);
+  EXPECT_NE(header.find(",disk_failed,truncated_requests,"),
+            std::string::npos);
   // zone_hits flattened with ';' so it stays one CSV column.
   EXPECT_NE(row.find("7;13"), std::string::npos);
 }

@@ -21,6 +21,28 @@ RoundTraceEvent MakeEvent(int64_t round) {
   return event;
 }
 
+TEST(RoundTraceImbalanceTest, BalancedEventHasZeroImbalance) {
+  RoundTraceEvent event = MakeEvent(0);
+  // 0.5 == 0.2 + 0.1 + 0.2 with no disturbance or fault delay.
+  EXPECT_EQ(RoundTraceImbalance(event), 0.0);
+}
+
+TEST(RoundTraceImbalanceTest, FaultDelayCountsTowardTheDecomposition) {
+  RoundTraceEvent event = MakeEvent(0);
+  event.fault_delay_s = 0.125;
+  event.service_time_s += 0.125;
+  EXPECT_EQ(RoundTraceImbalance(event), 0.0);
+  // Dropping the fault delay from the total exposes the residual.
+  event.service_time_s -= 0.125;
+  EXPECT_DOUBLE_EQ(RoundTraceImbalance(event), -0.125);
+}
+
+TEST(RoundTraceImbalanceTest, DetectsUnaccountedServiceTime) {
+  RoundTraceEvent event = MakeEvent(0);
+  event.service_time_s = 0.75;  // 0.25 s nobody charged
+  EXPECT_DOUBLE_EQ(RoundTraceImbalance(event), 0.25);
+}
+
 TEST(RoundTraceRecorderTest, RecordsInOrder) {
   RoundTraceRecorder recorder;
   for (int64_t r = 0; r < 10; ++r) recorder.Record(MakeEvent(r));

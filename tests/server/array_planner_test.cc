@@ -108,5 +108,93 @@ TEST(ArrayPlannerObservabilityTest, MetricsDoNotChangeThePlan) {
   EXPECT_EQ(bare->partitioned_capacity, wired->partitioned_capacity);
 }
 
+// ---------------------------------------------------------------------------
+// Degraded re-planning after whole-disk failures
+
+TEST(ArrayPlannerDegradedTest, Validation) {
+  EXPECT_FALSE(PlanArrayDegraded({}, {}, 200e3, 1e10, ArrayQos{}).ok());
+  // failed_disks must be parallel to the groups.
+  EXPECT_FALSE(
+      PlanArrayDegraded({VikingGroup(2)}, {0, 0}, 200e3, 1e10, ArrayQos{})
+          .ok());
+  // Failed count out of [0, count].
+  EXPECT_FALSE(
+      PlanArrayDegraded({VikingGroup(2)}, {-1}, 200e3, 1e10, ArrayQos{}).ok());
+  EXPECT_FALSE(
+      PlanArrayDegraded({VikingGroup(2)}, {3}, 200e3, 1e10, ArrayQos{}).ok());
+}
+
+TEST(ArrayPlannerDegradedTest, NoFailuresMatchesHealthyPlan) {
+  const auto healthy =
+      PlanArray({VikingGroup(4), SmallGroup(4)}, 200e3, 1e10, ArrayQos{});
+  const auto degraded = PlanArrayDegraded({VikingGroup(4), SmallGroup(4)},
+                                          {0, 0}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->per_disk_limits, healthy->per_disk_limits);
+  EXPECT_EQ(degraded->striped_capacity, healthy->striped_capacity);
+  EXPECT_EQ(degraded->partitioned_capacity, healthy->partitioned_capacity);
+}
+
+TEST(ArrayPlannerDegradedTest, StripedCapacityUsesOnlySurvivors) {
+  // Losing every slow disk removes the weakest group from the striped
+  // reduction: the per-disk cap RISES to the Vikings' limit even as the
+  // array shrinks — the non-obvious consequence the API documents.
+  const auto healthy =
+      PlanArray({VikingGroup(4), SmallGroup(4)}, 200e3, 1e10, ArrayQos{});
+  const auto degraded = PlanArrayDegraded({VikingGroup(4), SmallGroup(4)},
+                                          {0, 4}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(degraded.ok());
+  const int viking = healthy->per_disk_limits[0];
+  const int small = healthy->per_disk_limits[1];
+  // Limits are a property of the drive model: unchanged, even for the
+  // fully-failed group.
+  EXPECT_EQ(degraded->per_disk_limits, healthy->per_disk_limits);
+  EXPECT_EQ(healthy->striped_capacity, 8 * small);
+  EXPECT_EQ(degraded->striped_capacity, 4 * viking);
+  EXPECT_EQ(degraded->partitioned_capacity, 4 * viking);
+}
+
+TEST(ArrayPlannerDegradedTest, PartialFailuresScaleEachGroup) {
+  const auto degraded = PlanArrayDegraded({VikingGroup(4), SmallGroup(4)},
+                                          {1, 2}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(degraded.ok());
+  const int viking = degraded->per_disk_limits[0];
+  const int small = degraded->per_disk_limits[1];
+  EXPECT_EQ(degraded->partitioned_capacity, 3 * viking + 2 * small);
+  EXPECT_EQ(degraded->striped_capacity, 5 * small);
+}
+
+TEST(ArrayPlannerDegradedTest, TotalLossPlansToZeroWithoutErroring) {
+  const auto degraded = PlanArrayDegraded({VikingGroup(2), SmallGroup(3)},
+                                          {2, 3}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->striped_capacity, 0);
+  EXPECT_EQ(degraded->partitioned_capacity, 0);
+  ASSERT_EQ(degraded->per_disk_limits.size(), 2u);
+  EXPECT_GT(degraded->per_disk_limits[0], 0);
+}
+
+TEST(ArrayPlannerDegradedTest, RecordsDegradedMetrics) {
+  obs::Registry registry;
+  const auto degraded =
+      PlanArrayDegraded({VikingGroup(4), SmallGroup(4)}, {1, 4}, 200e3, 1e10,
+                        ArrayQos{}, nullptr, &registry);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(
+      registry.GetCounter("server.array_planner.degraded_plans")->value(), 1);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("server.array_planner.failed_disks")->value(), 5.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("server.array_planner.degraded_striped_capacity")
+          ->value(),
+      degraded->striped_capacity);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("server.array_planner.degraded_partitioned_capacity")
+          ->value(),
+      degraded->partitioned_capacity);
+}
+
 }  // namespace
 }  // namespace zonestream::server

@@ -263,5 +263,330 @@ TEST(MediaServerObservabilityTest, NullHooksDoNotChangeBehavior) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection, retry/drop policy, and graceful degradation
+
+// The exact moments used by the clean-path goldens (variance 1e10 ==
+// Table1Sizes, but pinned separately so a Table1 change cannot silently
+// move the golden).
+std::shared_ptr<const workload::GammaSizeDistribution> GoldenSizes() {
+  return std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 1e10));
+}
+
+TEST(MediaServerGoldenTest, CleanPathServerStatsArePinned) {
+  // Bit-level golden: a server with no fault config must reproduce the
+  // pre-fault-subsystem sample path exactly. EXPECT_EQ on the double is
+  // deliberate — any drift in draw order or arithmetic is a regression.
+  MediaServer server = MakeServer(3, 25, 777);
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(server.OpenStream(GoldenSizes()).ok()) << i;
+  }
+  server.RunRounds(200);
+  const ServerStats stats = server.GetServerStats();
+  EXPECT_EQ(stats.rounds, 200);
+  EXPECT_EQ(stats.fragments_served, 14000);
+  EXPECT_EQ(stats.glitches, 0);
+  double util_sum = 0.0;
+  for (double util : stats.disk_utilization) util_sum += util;
+  EXPECT_EQ(util_sum, 2.0678644729294664);
+}
+
+TEST(MediaServerFaultTest, CreateRejectsBadFaultConfig) {
+  MediaServerConfig config;
+  config.num_disks = 2;
+  config.per_disk_stream_limit = 5;
+  config.fault_disk = 2;  // out of range
+  EXPECT_FALSE(MediaServer::Create(disk::QuantumViking2100(),
+                                   disk::QuantumViking2100Seek(), config)
+                   .ok());
+  config.fault_disk = -1;
+  config.max_fragment_retries = -1;
+  EXPECT_FALSE(MediaServer::Create(disk::QuantumViking2100(),
+                                   disk::QuantumViking2100Seek(), config)
+                   .ok());
+  config.max_fragment_retries = 0;
+  fault::MarkovSlowdownSpec bad;
+  bad.enter_per_round = -0.1;  // model validation must propagate
+  config.faults.slowdowns.push_back(bad);
+  EXPECT_FALSE(MediaServer::Create(disk::QuantumViking2100(),
+                                   disk::QuantumViking2100Seek(), config)
+                   .ok());
+}
+
+TEST(MediaServerFaultTest, RetryThenDropFollowsTheBudget) {
+  // A permanently failed single disk glitches the lone stream's fragment
+  // every round, so the retry ledger is fully deterministic: with a
+  // budget of 2 the cycle is retry, retry, drop.
+  obs::Registry registry;
+  MediaServerConfig config;
+  config.num_disks = 1;
+  config.per_disk_stream_limit = 5;
+  config.max_fragment_retries = 2;
+  config.metrics = &registry;
+  fault::DiskFailureSpec failure;
+  failure.fail_at_round = 0;  // fail immediately, never repair
+  config.faults.disk_failures.push_back(failure);
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+  const auto id = server->OpenStream(Table1Sizes());
+  ASSERT_TRUE(id.ok());
+  server->RunRounds(6);
+
+  const ServerStats stats = server->GetServerStats();
+  EXPECT_EQ(stats.glitches, 6);
+  EXPECT_EQ(stats.fragments_served, 0);
+  EXPECT_EQ(stats.fragments_retried, 4);
+  EXPECT_EQ(stats.fragments_dropped, 2);
+  const auto stream = server->GetStreamStats(*id);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->rounds_served, 6);
+  EXPECT_EQ(stream->glitches, 6);
+  EXPECT_EQ(stream->retries, 4);
+  EXPECT_EQ(stream->drops, 2);
+  EXPECT_EQ(registry.GetCounter("server.fragments.retried")->value(), 4);
+  EXPECT_EQ(registry.GetCounter("server.fragments.dropped")->value(), 2);
+  EXPECT_EQ(
+      registry.GetCounter("server.fault.disk0.disk_failed_rounds")->value(),
+      6);
+}
+
+TEST(MediaServerFaultTest, ZeroRetryBudgetKeepsHistoricalDropBehavior) {
+  MediaServerConfig config;
+  config.num_disks = 1;
+  config.per_disk_stream_limit = 5;
+  fault::DiskFailureSpec failure;
+  failure.fail_at_round = 0;
+  config.faults.disk_failures.push_back(failure);
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->OpenStream(Table1Sizes()).ok());
+  server->RunRounds(4);
+  const ServerStats stats = server->GetServerStats();
+  EXPECT_EQ(stats.glitches, 4);
+  EXPECT_EQ(stats.fragments_retried, 0);
+  EXPECT_EQ(stats.fragments_dropped, 0);
+}
+
+TEST(MediaServerFaultTest, TargetedDiskFailureOnlyHurtsThatDisk) {
+  // fault_disk = 0 with a deterministic outage on rounds [2, 5): only
+  // disk 0's batches glitch, disk 1 keeps serving, and the trace marks
+  // exactly the failed (round, disk) events.
+  obs::Registry registry;
+  obs::RoundTraceRecorder trace;
+  MediaServerConfig config;
+  config.num_disks = 2;
+  config.per_disk_stream_limit = 5;
+  config.fault_disk = 0;
+  fault::DiskFailureSpec failure;
+  failure.fail_at_round = 2;
+  failure.repair_after_rounds = 3;
+  config.faults.disk_failures.push_back(failure);
+  config.metrics = &registry;
+  config.trace = &trace;
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server->OpenStream(Table1Sizes()).ok());
+  }
+  server->RunRounds(10);
+
+  // 2 streams hit the failed disk on each of the 3 outage rounds.
+  const ServerStats stats = server->GetServerStats();
+  EXPECT_EQ(stats.glitches, 2 * 3);
+  EXPECT_EQ(stats.fragments_served, 4 * 10 - 2 * 3);
+  EXPECT_EQ(
+      registry.GetCounter("server.fault.disk0.disk_failed_rounds")->value(),
+      3);
+  EXPECT_EQ(
+      registry.GetCounter("server.fault.disk1.disk_failed_rounds")->value(),
+      0);
+
+  int failed_events = 0;
+  for (const obs::RoundTraceEvent& event : trace.Snapshot()) {
+    if (event.source_id != 0) {
+      EXPECT_FALSE(event.disk_failed) << event.round;
+      continue;
+    }
+    const bool in_outage = event.round >= 2 && event.round < 5;
+    EXPECT_EQ(event.disk_failed, in_outage) << event.round;
+    if (!in_outage) continue;
+    ++failed_events;
+    EXPECT_EQ(event.glitches, event.num_requests);
+    EXPECT_EQ(event.truncated_requests, event.num_requests);
+    EXPECT_DOUBLE_EQ(event.service_time_s, 0.0);
+    EXPECT_DOUBLE_EQ(event.leftover_s, 1.0);
+  }
+  EXPECT_EQ(failed_events, 3);
+}
+
+TEST(MediaServerDegradationTest, ShedsLowestClassNewestFirst) {
+  // A hook pinning the re-armored target to 4 makes the trip shed
+  // exactly 2 streams; the victims must be the two newest class-0
+  // streams, never the class-1 ones.
+  MediaServerConfig config;
+  config.num_disks = 1;
+  config.per_disk_stream_limit = 10;
+  fault::MarkovSlowdownSpec slow;
+  slow.per_request_probability = 1.0;
+  slow.delay_min_s = 0.2;
+  slow.delay_max_s = 0.2;
+  slow.force_from_round = 0;
+  slow.force_until_round = int64_t{1} << 30;
+  config.faults.slowdowns.push_back(slow);
+  fault::DegradationPolicy policy;
+  policy.glitch_rate_bound = 1e-3;
+  policy.window_rounds = 5;
+  policy.trigger_windows = 1;
+  policy.max_shed_fraction = 0.5;
+  policy.rearmor = [](const fault::WindowSummary&) { return 4; };
+  config.degradation = policy;
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+  std::vector<int> premium, best_effort;
+  for (int i = 0; i < 3; ++i) {
+    premium.push_back(*server->OpenStream(Table1Sizes(), /*priority_class=*/1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    best_effort.push_back(*server->OpenStream(Table1Sizes()));
+  }
+  server->RunRounds(5);  // exactly one (violating) window
+
+  EXPECT_EQ(server->degradation_state(), fault::DegradationState::kDegraded);
+  EXPECT_EQ(server->GetServerStats().streams_shed, 2);
+  EXPECT_EQ(server->active_streams(), 4);
+  // Victims: the two newest best-effort streams. The oldest best-effort
+  // stream and every premium stream survive.
+  EXPECT_FALSE(server->GetStreamStats(best_effort[2]).ok());
+  EXPECT_FALSE(server->GetStreamStats(best_effort[1]).ok());
+  EXPECT_TRUE(server->GetStreamStats(best_effort[0]).ok());
+  for (int id : premium) EXPECT_TRUE(server->GetStreamStats(id).ok());
+}
+
+TEST(MediaServerDegradationTest, SlowdownEpochTripsShedsAndRecovers) {
+  // The ISSUE's acceptance scenario: a Markov slowdown epoch strikes
+  // mid-run, the controller trips and sheds until the measured glitch
+  // rate is back under the defended bound, admissions close while
+  // degraded, and after the epoch the server recovers to kNormal with
+  // admissions open.
+  obs::Registry registry;
+  MediaServerConfig config;
+  config.num_disks = 1;
+  config.per_disk_stream_limit = 30;
+  config.seed = 11;
+  config.metrics = &registry;
+  fault::MarkovSlowdownSpec slow;
+  slow.per_request_probability = 1.0;
+  slow.delay_min_s = 0.05;
+  slow.delay_max_s = 0.05;
+  slow.force_from_round = 60;
+  slow.force_until_round = 120;
+  config.faults.slowdowns.push_back(slow);
+  fault::DegradationPolicy policy;
+  policy.glitch_rate_bound = 0.02;
+  policy.window_rounds = 10;
+  policy.trigger_windows = 2;
+  policy.recovery_windows = 2;
+  policy.recovery_margin = 0.5;
+  policy.min_streams = 4;
+  policy.max_shed_fraction = 0.5;
+  config.degradation = policy;
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(server->OpenStream(Table1Sizes()).ok()) << i;
+  }
+
+  bool saw_closed_admissions = false;
+  bool rejected_while_degraded = false;
+  int64_t glitches_at_200 = 0;
+  int active_at_200 = 0;
+  for (int round = 0; round < 300; ++round) {
+    server->RunRound();
+    if (!server->admissions_open() && !saw_closed_admissions) {
+      saw_closed_admissions = true;
+      const auto refused = server->OpenStream(Table1Sizes());
+      ASSERT_FALSE(refused.ok());
+      EXPECT_EQ(refused.status().code(),
+                common::StatusCode::kResourceExhausted);
+      rejected_while_degraded = true;
+    }
+    if (round == 199) {
+      glitches_at_200 = server->GetServerStats().glitches;
+      active_at_200 = server->active_streams();
+    }
+  }
+
+  // Before the epoch: clean. During: the controller tripped and shed.
+  const ServerStats stats = server->GetServerStats();
+  EXPECT_GT(stats.glitches, 0);
+  EXPECT_GT(stats.streams_shed, 0);
+  EXPECT_LT(server->active_streams(), 25);
+  EXPECT_GE(server->active_streams(), policy.min_streams);
+  EXPECT_TRUE(saw_closed_admissions);
+  EXPECT_TRUE(rejected_while_degraded);
+  EXPECT_GE(
+      registry.GetCounter("server.admission.rejected_degraded")->value(), 1);
+
+  // The event log shows a trip into kDegraded during the epoch window.
+  bool tripped_in_epoch = false;
+  for (const fault::DegradationEvent& event : server->degradation_events()) {
+    if (event.to == fault::DegradationState::kDegraded && event.round >= 60 &&
+        event.round <= 140) {
+      tripped_in_epoch = true;
+      EXPECT_GT(event.window_glitch_rate, policy.glitch_rate_bound);
+    }
+  }
+  EXPECT_TRUE(tripped_in_epoch);
+
+  // After the epoch and the shed, service is back under the bound and
+  // the hysteresis has walked the controller home.
+  EXPECT_EQ(server->degradation_state(), fault::DegradationState::kNormal);
+  EXPECT_TRUE(server->admissions_open());
+  const double late_glitch_rate =
+      static_cast<double>(stats.glitches - glitches_at_200) /
+      (100.0 * active_at_200);
+  EXPECT_LE(late_glitch_rate, policy.glitch_rate_bound);
+}
+
+TEST(MediaServerFaultTest, InertFaultConfigKeepsStatsBitIdentical) {
+  // A configured-but-never-firing model must not perturb the serving
+  // path: the request stream and fault substreams are independent.
+  MediaServerConfig config;
+  config.num_disks = 2;
+  config.per_disk_stream_limit = 13;
+  config.seed = 99;
+  fault::MarkovSlowdownSpec inert;
+  inert.enter_per_round = 0.0;
+  inert.exit_per_round = 1.0;
+  inert.per_request_probability = 1.0;
+  inert.delay_min_s = 0.05;
+  inert.delay_max_s = 0.5;
+  config.faults.slowdowns.push_back(inert);
+  auto faulty = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(faulty.ok());
+  MediaServer clean = MakeServer(2, 13, 99);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(faulty->OpenStream(Table1Sizes()).ok());
+    ASSERT_TRUE(clean.OpenStream(Table1Sizes()).ok());
+  }
+  faulty->RunRounds(60);
+  clean.RunRounds(60);
+  const ServerStats a = faulty->GetServerStats();
+  const ServerStats b = clean.GetServerStats();
+  EXPECT_EQ(a.fragments_served, b.fragments_served);
+  EXPECT_EQ(a.glitches, b.glitches);
+  ASSERT_EQ(a.disk_utilization.size(), b.disk_utilization.size());
+  for (size_t d = 0; d < a.disk_utilization.size(); ++d) {
+    EXPECT_DOUBLE_EQ(a.disk_utilization[d], b.disk_utilization[d]);
+  }
+}
+
 }  // namespace
 }  // namespace zonestream::server

@@ -536,6 +536,254 @@ TEST(ObservabilityTest, TraceDecompositionIdentityHolds) {
   EXPECT_EQ(total_hits, 26 * 200);
 }
 
+// --------------------------------------------------------------------------
+// Structured fault injection
+
+// Every fault test runs under both round kernels.
+class FaultKernelTest : public ::testing::TestWithParam<bool> {
+ protected:
+  RoundSimulator MakeFaulty(int n, SimulatorConfig config) {
+    config.batched_kernel = GetParam();
+    auto simulator = RoundSimulator::Create(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(), n,
+        RoundSimulator::IidFactory(Table1Sizes()), config);
+    ZS_CHECK(simulator.ok());
+    return *std::move(simulator);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, FaultKernelTest, ::testing::Bool());
+
+TEST_P(FaultKernelTest, InertFaultModelTraceBitIdenticalToClean) {
+  // A configured slowdown that never activates (enter probability 0) runs
+  // the whole injection path — BeginRound, per-request DelayFor, rate
+  // multipliers — yet must not perturb the main stream: full traces stay
+  // bit-identical to the fault-free run.
+  fault::MarkovSlowdownSpec inert;
+  inert.enter_per_round = 0.0;
+  inert.exit_per_round = 1.0;
+  inert.delay_min_s = 0.05;  // would matter if any delay were injected
+  inert.delay_max_s = 0.5;
+
+  obs::RoundTraceRecorder faulty_trace;
+  SimulatorConfig config;
+  config.seed = 83;
+  config.trace = &faulty_trace;
+  config.faults.slowdowns.push_back(inert);
+  RoundSimulator faulty = MakeFaulty(26, config);
+
+  obs::RoundTraceRecorder clean_trace;
+  config.faults = fault::FaultSpec{};
+  config.trace = &clean_trace;
+  RoundSimulator clean = MakeFaulty(26, config);
+
+  for (int r = 0; r < 100; ++r) {
+    faulty.RunRound();
+    clean.RunRound();
+  }
+  const std::vector<obs::RoundTraceEvent> a = faulty_trace.Snapshot();
+  const std::vector<obs::RoundTraceEvent> b = clean_trace.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].service_time_s, b[i].service_time_s);  // bit-identical
+    EXPECT_EQ(a[i].seek_s, b[i].seek_s);
+    EXPECT_EQ(a[i].rotation_s, b[i].rotation_s);
+    EXPECT_EQ(a[i].transfer_s, b[i].transfer_s);
+    EXPECT_EQ(a[i].fault_delay_s, 0.0);
+    EXPECT_EQ(a[i].faulted_requests, 0);
+    EXPECT_FALSE(a[i].disk_failed);
+    EXPECT_EQ(a[i].zone_hits, b[i].zone_hits);
+  }
+}
+
+TEST_P(FaultKernelTest, ForcedSlowdownEpochShowsUpExactlyInTrace) {
+  fault::MarkovSlowdownSpec slowdown;
+  slowdown.per_request_probability = 1.0;
+  slowdown.delay_min_s = 0.01;
+  slowdown.delay_max_s = 0.01;  // degenerate: every request +10 ms exactly
+  slowdown.force_from_round = 10;
+  slowdown.force_until_round = 20;
+
+  obs::RoundTraceRecorder trace;
+  SimulatorConfig config;
+  config.seed = 89;
+  config.trace = &trace;
+  config.faults.slowdowns.push_back(slowdown);
+  // Light load: even with the epoch's extra delay no round overruns, so
+  // the arm trajectory never depends on deadline cuts and the fault's
+  // effect is purely additive.
+  constexpr int kStreams = 10;
+  RoundSimulator faulty = MakeFaulty(kStreams, config);
+
+  config.faults = fault::FaultSpec{};
+  config.trace = nullptr;
+  RoundSimulator clean = MakeFaulty(kStreams, config);
+
+  for (int r = 0; r < 30; ++r) {
+    const RoundOutcome with_fault = faulty.RunRound();
+    const RoundOutcome without = clean.RunRound();
+    ASSERT_FALSE(with_fault.overran) << "round " << r;
+    const bool in_window = r >= 10 && r < 20;
+    // The epoch adds exactly num_streams * 10 ms of busy time; outside the
+    // window the sample paths coincide bit for bit.
+    if (in_window) {
+      EXPECT_NEAR(with_fault.total_service_time_s,
+                  without.total_service_time_s + kStreams * 0.01, 1e-9)
+          << "round " << r;
+    } else {
+      EXPECT_EQ(with_fault.total_service_time_s,
+                without.total_service_time_s)
+          << "round " << r;
+    }
+  }
+  const std::vector<obs::RoundTraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 30u);
+  for (int r = 0; r < 30; ++r) {
+    const bool in_window = r >= 10 && r < 20;
+    EXPECT_EQ(events[r].faulted_requests, in_window ? kStreams : 0)
+        << "round " << r;
+    EXPECT_NEAR(events[r].fault_delay_s, in_window ? kStreams * 0.01 : 0.0,
+                1e-12)
+        << "round " << r;
+    // The decomposition identity holds with the fault component in place.
+    EXPECT_NEAR(obs::RoundTraceImbalance(events[r]), 0.0,
+                1e-9 * events[r].service_time_s + 1e-12)
+        << "round " << r;
+  }
+}
+
+TEST_P(FaultKernelTest, DiskFailedRoundsGlitchEveryStreamAndServeNothing) {
+  fault::DiskFailureSpec failure;
+  failure.fail_at_round = 5;
+  failure.repair_after_rounds = 3;
+
+  obs::RoundTraceRecorder trace;
+  obs::Registry metrics;
+  SimulatorConfig config;
+  config.seed = 97;
+  config.trace = &trace;
+  config.metrics = &metrics;
+  config.faults.disk_failures.push_back(failure);
+  constexpr int kStreams = 20;
+  RoundSimulator simulator = MakeFaulty(kStreams, config);
+
+  for (int r = 0; r < 12; ++r) {
+    const RoundOutcome outcome = simulator.RunRound();
+    const bool failed = r >= 5 && r < 8;
+    if (failed) {
+      EXPECT_EQ(outcome.total_service_time_s, 0.0) << "round " << r;
+      EXPECT_FALSE(outcome.overran);
+      ASSERT_EQ(outcome.glitched_streams.size(),
+                static_cast<size_t>(kStreams));
+      for (int s = 0; s < kStreams; ++s) {
+        EXPECT_EQ(outcome.glitched_streams[s], s);
+      }
+    } else {
+      EXPECT_GT(outcome.total_service_time_s, 0.0) << "round " << r;
+    }
+  }
+  const std::vector<obs::RoundTraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 12u);
+  for (int r = 0; r < 12; ++r) {
+    const bool failed = r >= 5 && r < 8;
+    EXPECT_EQ(events[r].disk_failed, failed) << "round " << r;
+    EXPECT_EQ(events[r].num_requests, kStreams);
+    if (failed) {
+      EXPECT_EQ(events[r].truncated_requests, kStreams);
+      EXPECT_EQ(events[r].leftover_s, 1.0);  // idle for the whole round
+      // The round's requests were still drawn (the zone tallies prove it)
+      // even though nothing was served.
+      int32_t hits = 0;
+      for (int32_t h : events[r].zone_hits) hits += h;
+      EXPECT_EQ(hits, kStreams);
+    }
+  }
+  EXPECT_EQ(metrics.GetCounter("sim.fault.disk_failed_rounds")->value(), 3);
+}
+
+// --------------------------------------------------------------------------
+// Deadline truncation accounting
+
+class TruncationKernelTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, TruncationKernelTest,
+                         ::testing::Bool());
+
+TEST_P(TruncationKernelTest, TruncatedTraceRespectsDeadlineAndInvariant) {
+  // Overloaded disk (far past the admissible limit) with disturbances and
+  // a permanent slowdown, so the cut lands in varied phases.
+  DisturbanceConfig tcal;
+  tcal.probability = 0.1;
+  tcal.delay_min_s = 0.001;
+  tcal.delay_max_s = 0.01;
+  fault::MarkovSlowdownSpec slowdown;
+  slowdown.per_request_probability = 0.3;
+  slowdown.delay_min_s = 0.001;
+  slowdown.delay_max_s = 0.02;
+  slowdown.force_from_round = 0;
+  slowdown.force_until_round = 1 << 20;
+
+  obs::RoundTraceRecorder trace;
+  SimulatorConfig config;
+  config.seed = 101;
+  config.batched_kernel = GetParam();
+  config.truncate_at_deadline = true;
+  config.disturbance = tcal;
+  config.faults.slowdowns.push_back(slowdown);
+  config.trace = &trace;
+  auto truncating = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 40,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(truncating.ok());
+
+  obs::RoundTraceRecorder full_trace;
+  config.truncate_at_deadline = false;
+  config.trace = &full_trace;
+  auto untruncated = RoundSimulator::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 40,
+      RoundSimulator::IidFactory(Table1Sizes()), config);
+  ASSERT_TRUE(untruncated.ok());
+
+  int overruns = 0;
+  for (int r = 0; r < 150; ++r) {
+    const RoundOutcome a = truncating->RunRound();
+    const RoundOutcome b = untruncated->RunRound();
+    // Truncation is trace accounting only: outcomes stay bit-identical.
+    EXPECT_EQ(a.total_service_time_s, b.total_service_time_s);
+    EXPECT_EQ(a.overran, b.overran);
+    EXPECT_EQ(a.glitched_streams, b.glitched_streams);
+    overruns += a.overran;
+  }
+  ASSERT_GT(overruns, 0);  // the load must actually overrun
+
+  const std::vector<obs::RoundTraceEvent> cut = trace.Snapshot();
+  const std::vector<obs::RoundTraceEvent> full = full_trace.Snapshot();
+  ASSERT_EQ(cut.size(), 150u);
+  for (size_t i = 0; i < cut.size(); ++i) {
+    // Truncated components are summed in the invariant's order, so the
+    // residual is identically zero, not just small.
+    EXPECT_EQ(obs::RoundTraceImbalance(cut[i]), 0.0) << "round " << i;
+    // Regrouping the per-phase takes into category sums costs at most a
+    // few ulps against the sequentially-clipped round length.
+    EXPECT_LE(cut[i].service_time_s, 1.0 + 1e-12) << "round " << i;
+    if (cut[i].overran) {
+      EXPECT_GE(cut[i].truncated_requests, 1) << "round " << i;
+      EXPECT_NEAR(cut[i].leftover_s, 0.0, 1e-12) << "round " << i;
+      EXPECT_LT(cut[i].service_time_s, full[i].service_time_s);
+    } else {
+      // Non-overrun rows never engage the truncation path: bit-identical
+      // to the historical trace values.
+      EXPECT_EQ(cut[i].truncated_requests, 0);
+      EXPECT_EQ(cut[i].service_time_s, full[i].service_time_s);
+      EXPECT_EQ(cut[i].seek_s, full[i].seek_s);
+      EXPECT_EQ(cut[i].rotation_s, full[i].rotation_s);
+      EXPECT_EQ(cut[i].transfer_s, full[i].transfer_s);
+      EXPECT_EQ(cut[i].disturbance_delay_s, full[i].disturbance_delay_s);
+      EXPECT_EQ(cut[i].fault_delay_s, full[i].fault_delay_s);
+    }
+  }
+}
+
 TEST(ObservabilityTest, NullHooksBehaveIdenticallyToWired) {
   obs::Registry registry;
   obs::RoundTraceRecorder trace;
