@@ -21,10 +21,22 @@
 //   --degrade=BOUND      defend this per-round glitch-rate bound by
 //                        shedding streams when it is violated
 //   --retries=R          re-issue deadline-cut fragments up to R times
+//
+// Crash-safe checkpointing and deterministic resume (docs/RECOVERY.md):
+//   --rounds=N           simulate N rounds (default 1200)
+//   --checkpoint-every=K write a snapshot every K rounds
+//   --checkpoint-dir=DIR directory for snapshot files (default ".")
+//   --resume-from=PATH   resume from a snapshot file, or from the newest
+//                        good snapshot in a checkpoint directory
+//   --replay-verify      instead of one run, prove the checkpoint round-
+//                        trips: run the scenario twice (fresh vs resumed
+//                        from a mid-run snapshot) and require bit-identical
+//                        trace events and metrics
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +50,10 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
+#include "recovery/blob.h"
+#include "recovery/checkpoint.h"
+#include "recovery/replay.h"
+#include "recovery/snapshot.h"
 #include "server/media_server.h"
 #include "workload/fragmentation.h"
 #include "workload/size_distribution.h"
@@ -45,12 +61,247 @@
 
 using namespace zonestream;  // example code; libraries never do this
 
+namespace {
+
+// App-private snapshot section holding the churn loop's own state (the
+// library snapshots the server; the viewer arrival/departure process
+// lives out here and must survive a crash too for bit-identical resume).
+constexpr char kChurnSection[] = "app.video_server_sim";
+constexpr uint32_t kChurnSectionVersion = 1;
+
+struct ChurnState {
+  numeric::Rng rng{5};
+  std::vector<int> active;
+  int64_t rejected = 0;
+  int64_t finished_streams = 0;
+  int64_t finished_glitches = 0;
+  int64_t next_round = 0;  // first round not yet simulated
+};
+
+std::string EncodeChurnState(const ChurnState& churn) {
+  recovery::BlobWriter out;
+  out.PutU32(kChurnSectionVersion);
+  out.PutString(churn.rng.SaveState());
+  out.PutI64(churn.next_round);
+  out.PutU64(churn.active.size());
+  for (int id : churn.active) out.PutI64(id);
+  out.PutI64(churn.rejected);
+  out.PutI64(churn.finished_streams);
+  out.PutI64(churn.finished_glitches);
+  return out.Release();
+}
+
+common::Status DecodeChurnState(const std::string& payload,
+                                ChurnState* out) {
+  recovery::BlobReader in(payload);
+  const uint32_t version = in.TakeU32();
+  if (in.ok() && version != kChurnSectionVersion) {
+    return common::Status::InvalidArgument(
+        "unsupported video_server_sim churn-state version " +
+        std::to_string(version));
+  }
+  ChurnState churn;
+  const std::string rng_state = in.TakeString();
+  churn.next_round = in.TakeI64();
+  const uint64_t count = in.TakeU64();
+  if (!in.ok() || count > in.remaining() / 8) {
+    return common::Status::InvalidArgument(
+        "video_server_sim churn state is truncated");
+  }
+  churn.active.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    churn.active.push_back(static_cast<int>(in.TakeI64()));
+  }
+  churn.rejected = in.TakeI64();
+  churn.finished_streams = in.TakeI64();
+  churn.finished_glitches = in.TakeI64();
+  if (!in.AtEnd() || churn.next_round < 0 || churn.rejected < 0 ||
+      churn.finished_streams < 0 || churn.finished_glitches < 0) {
+    return common::Status::InvalidArgument(
+        "malformed video_server_sim churn state");
+  }
+  if (auto status = churn.rng.LoadState(rng_state); !status.ok()) {
+    return status;
+  }
+  *out = std::move(churn);
+  return common::Status::Ok();
+}
+
+recovery::Snapshot MakeSnapshot(const server::MediaServer& server,
+                                const obs::Registry* registry,
+                                const ChurnState& churn, uint64_t seed) {
+  recovery::Snapshot snapshot;
+  snapshot.meta.round = churn.next_round;
+  snapshot.meta.base_seed = seed;
+  snapshot.meta.producer = "video_server_sim";
+  snapshot.server = server.ExportState();
+  if (registry != nullptr) snapshot.registry = registry->ExportState();
+  snapshot.app_sections[kChurnSection] = EncodeChurnState(churn);
+  return snapshot;
+}
+
+common::Status RestoreFromSnapshot(
+    const recovery::Snapshot& snapshot,
+    const std::shared_ptr<const workload::SizeDistribution>& sizes,
+    server::MediaServer* server, obs::Registry* registry,
+    ChurnState* churn) {
+  if (!snapshot.server.has_value()) {
+    return common::Status::InvalidArgument(
+        "snapshot has no server section (not a video_server_sim snapshot?)");
+  }
+  const auto app = snapshot.app_sections.find(kChurnSection);
+  if (app == snapshot.app_sections.end()) {
+    return common::Status::InvalidArgument(
+        "snapshot has no '" + std::string(kChurnSection) + "' section");
+  }
+  ChurnState restored;
+  if (auto status = DecodeChurnState(app->second, &restored); !status.ok()) {
+    return status;
+  }
+  // Every stream in this scenario draws from the one shared library-wide
+  // size distribution, so the resolver ignores the per-stream state.
+  if (auto status = server->RestoreState(
+          *snapshot.server,
+          [&sizes](const server::StreamSnapshotState&) { return sizes; });
+      !status.ok()) {
+    return status;
+  }
+  if (registry != nullptr && snapshot.registry.has_value()) {
+    if (auto status = registry->ImportState(*snapshot.registry);
+        !status.ok()) {
+      return status;
+    }
+  }
+  *churn = std::move(restored);
+  return common::Status::Ok();
+}
+
+// Simulates rounds [churn->next_round, total_rounds): viewers join at ~6
+// per round until the server is full and leave with probability 1/1200
+// per round (20-minute mean sessions). Optionally writes a checkpoint
+// every `checkpoint_every` rounds and/or captures an in-memory snapshot
+// just before round `capture_at_round` (for --replay-verify).
+common::Status RunChurnRounds(
+    server::MediaServer* server, ChurnState* churn,
+    const std::shared_ptr<const workload::SizeDistribution>& sizes,
+    int64_t total_rounds, const obs::Registry* registry, uint64_t seed,
+    recovery::CheckpointWriter* writer, int64_t checkpoint_every,
+    int64_t capture_at_round, recovery::Snapshot* captured) {
+  for (int64_t round = churn->next_round; round < total_rounds; ++round) {
+    if (captured != nullptr && round == capture_at_round) {
+      *captured = MakeSnapshot(*server, registry, *churn, seed);
+    }
+    for (int arrivals = 0; arrivals < 6; ++arrivals) {
+      auto id = server->OpenStream(sizes);
+      if (id.ok()) {
+        churn->active.push_back(*id);
+      } else {
+        ++churn->rejected;
+      }
+    }
+    for (size_t i = 0; i < churn->active.size();) {
+      if (churn->rng.Uniform01() < 1.0 / 1200.0) {
+        const auto stats = server->GetStreamStats(churn->active[i]);
+        if (stats.ok()) {
+          ++churn->finished_streams;
+          churn->finished_glitches += stats->glitches;
+        }
+        (void)server->CloseStream(churn->active[i]);
+        churn->active[i] = churn->active.back();
+        churn->active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    server->RunRound();
+    churn->next_round = round + 1;
+    if (writer != nullptr && checkpoint_every > 0 &&
+        churn->next_round % checkpoint_every == 0) {
+      auto path = writer->Write(MakeSnapshot(*server, registry, *churn, seed));
+      if (!path.ok()) return path.status();
+    }
+  }
+  return common::Status::Ok();
+}
+
+// --replay-verify: run the configured scenario fresh (capturing a
+// snapshot at the halfway round), then again resumed from that snapshot
+// after a round-trip through the wire encoding, and demand bit-identical
+// trace tails and final metric registries.
+int RunReplayVerify(const disk::DiskGeometry& viking,
+                    const disk::SeekTimeModel& seek,
+                    const server::MediaServerConfig& base_config,
+                    const std::shared_ptr<const workload::SizeDistribution>&
+                        sizes,
+                    int64_t total_rounds) {
+  const int64_t capture_round = total_rounds / 2;
+  const auto run = [&](const recovery::Snapshot* resume_from)
+      -> common::StatusOr<recovery::ReplayArtifacts> {
+    obs::Registry registry;
+    obs::RoundTraceRecorder trace;
+    server::MediaServerConfig config = base_config;
+    config.metrics = &registry;
+    config.trace = &trace;
+    auto server = server::MediaServer::Create(viking, seek, config);
+    if (!server.ok()) return server.status();
+    ChurnState churn;
+    recovery::ReplayArtifacts artifacts;
+    if (resume_from != nullptr) {
+      if (auto status = RestoreFromSnapshot(*resume_from, sizes, &*server,
+                                            &registry, &churn);
+          !status.ok()) {
+        return status;
+      }
+    }
+    // Each round appends exactly one trace event per disk, so the tail
+    // (events after the capture round) starts at a known index.
+    const size_t tail_start =
+        resume_from != nullptr
+            ? 0
+            : static_cast<size_t>(capture_round) *
+                  static_cast<size_t>(config.num_disks);
+    if (auto status = RunChurnRounds(
+            &*server, &churn, sizes, total_rounds, &registry, config.seed,
+            /*writer=*/nullptr, /*checkpoint_every=*/0,
+            resume_from == nullptr ? capture_round : -1,
+            resume_from == nullptr ? &artifacts.snapshot : nullptr);
+        !status.ok()) {
+      return status;
+    }
+    const std::vector<obs::RoundTraceEvent> events = trace.Snapshot();
+    artifacts.tail_events.assign(events.begin() + tail_start, events.end());
+    artifacts.final_registry = registry.ExportState();
+    return artifacts;
+  };
+  const auto status = recovery::VerifyReplay(
+      [&run] { return run(nullptr); },
+      [&run](const recovery::Snapshot& snapshot) { return run(&snapshot); });
+  if (!status.ok()) {
+    std::fprintf(stderr, "replay-verify FAILED: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "replay-verify PASSED: snapshot at round %lld of %lld resumes "
+      "bit-identically (trace events and metrics match exactly)\n",
+      static_cast<long long>(capture_round),
+      static_cast<long long>(total_rounds));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string fault_text;
+  std::string checkpoint_dir;
+  std::string resume_from;
   int fault_disk = -1;
   double degrade_bound = -1.0;
   int retries = 0;
+  int64_t total_rounds = 1200;
+  int64_t checkpoint_every = 0;
+  bool replay_verify = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
@@ -62,13 +313,30 @@ int main(int argc, char** argv) {
       degrade_bound = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
       retries = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      total_rounds = std::atoll(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      checkpoint_every = std::atoll(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      checkpoint_dir = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--resume-from=", 14) == 0) {
+      resume_from = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--replay-verify") == 0) {
+      replay_verify = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics-out=FILE] [--fault=SPEC] "
-                   "[--fault-disk=D] [--degrade=BOUND] [--retries=R]\n",
+                   "[--fault-disk=D] [--degrade=BOUND] [--retries=R]\n"
+                   "          [--rounds=N] [--checkpoint-every=K] "
+                   "[--checkpoint-dir=DIR]\n"
+                   "          [--resume-from=FILE|DIR] [--replay-verify]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (total_rounds <= 0) {
+    std::fprintf(stderr, "--rounds must be positive\n");
+    return 2;
   }
   // --- 1. Content preparation -------------------------------------------
   workload::VbrTraceConfig trace_config;
@@ -148,53 +416,102 @@ int main(int argc, char** argv) {
                 degrade_bound);
   }
   server_config.max_fragment_retries = retries;
+
+  const std::shared_ptr<const workload::SizeDistribution> sizes =
+      std::make_shared<workload::GammaSizeDistribution>(
+          *workload::GammaSizeDistribution::Create(moments.mean_bytes,
+                                                   moments.variance_bytes2));
+
+  if (replay_verify) {
+    return RunReplayVerify(viking, seek, server_config, sizes, total_rounds);
+  }
+
   auto server = server::MediaServer::Create(viking, seek, server_config);
   if (!server.ok()) return 1;
 
-  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
-      *workload::GammaSizeDistribution::Create(moments.mean_bytes,
-                                               moments.variance_bytes2));
-  numeric::Rng churn_rng(5);
-  std::vector<int> active;
-  int rejected = 0;
-  int64_t finished_streams = 0;
-  int64_t finished_glitches = 0;
-  const int total_rounds = 1200;
-  for (int round = 0; round < total_rounds; ++round) {
-    // Viewers join at ~6 per round until the server is full, and leave
-    // with probability 1/1200 per round (20-minute mean sessions).
-    for (int arrivals = 0; arrivals < 6; ++arrivals) {
-      auto id = server->OpenStream(sizes);
-      if (id.ok()) {
-        active.push_back(*id);
-      } else {
-        ++rejected;
+  ChurnState churn;
+  if (!resume_from.empty()) {
+    // A directory means "newest good snapshot in it"; anything else is
+    // taken as a snapshot file path.
+    common::StatusOr<recovery::Snapshot> snapshot =
+        common::Status::InvalidArgument("unset");
+    auto listing = recovery::ListSnapshotFiles(resume_from);
+    if (listing.ok()) {
+      auto loaded = recovery::LoadLatestGoodSnapshot(resume_from);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "--resume-from: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
       }
-    }
-    for (size_t i = 0; i < active.size();) {
-      if (churn_rng.Uniform01() < 1.0 / 1200.0) {
-        const auto stats = server->GetStreamStats(active[i]);
-        if (stats.ok()) {
-          ++finished_streams;
-          finished_glitches += stats->glitches;
-        }
-        (void)server->CloseStream(active[i]);
-        active[i] = active.back();
-        active.pop_back();
-      } else {
-        ++i;
+      for (const std::string& warning : loaded->rejected) {
+        std::fprintf(stderr, "--resume-from: skipped corrupt snapshot: %s\n",
+                     warning.c_str());
       }
+      std::printf("Resuming from %s\n", loaded->path.c_str());
+      snapshot = std::move(loaded->snapshot);
+    } else {
+      snapshot = recovery::LoadSnapshotFile(resume_from);
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "--resume-from: %s\n",
+                     snapshot.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("Resuming from %s\n", resume_from.c_str());
     }
-    server->RunRound();
+    if (auto status = RestoreFromSnapshot(
+            *snapshot, sizes, &*server,
+            metrics_out.empty() ? nullptr : &registry, &churn);
+        !status.ok()) {
+      std::fprintf(stderr, "--resume-from: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Restored state at round %lld (%zu active streams)\n",
+                static_cast<long long>(churn.next_round),
+                churn.active.size());
+    if (churn.next_round >= total_rounds) {
+      std::fprintf(stderr,
+                   "snapshot is already at round %lld; nothing to resume "
+                   "(use --rounds to extend the run)\n",
+                   static_cast<long long>(churn.next_round));
+      return 2;
+    }
+  }
+
+  std::unique_ptr<recovery::CheckpointWriter> writer;
+  if (checkpoint_every > 0) {
+    recovery::CheckpointWriterOptions options;
+    options.directory = checkpoint_dir.empty() ? "." : checkpoint_dir;
+    auto created = recovery::CheckpointWriter::Create(options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "--checkpoint-dir: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    writer = std::make_unique<recovery::CheckpointWriter>(
+        std::move(*created));
+    std::printf("Checkpointing every %lld rounds to %s\n",
+                static_cast<long long>(checkpoint_every),
+                options.directory.c_str());
+  }
+
+  if (auto status = RunChurnRounds(
+          &*server, &churn, sizes, total_rounds,
+          metrics_out.empty() ? nullptr : &registry, server_config.seed,
+          writer.get(), checkpoint_every, /*capture_at_round=*/-1,
+          /*captured=*/nullptr);
+      !status.ok()) {
+    std::fprintf(stderr, "checkpoint write failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
   }
 
   // --- 5. Delivered QoS ---------------------------------------------------
   const server::ServerStats stats = server->GetServerStats();
   std::printf(
-      "\nAfter %lld rounds: %d active streams (cap %d), %d arrivals "
+      "\nAfter %lld rounds: %d active streams (cap %d), %lld arrivals "
       "rejected by admission control\n",
       static_cast<long long>(stats.rounds), server->active_streams(),
-      server->max_streams(), rejected);
+      server->max_streams(), static_cast<long long>(churn.rejected));
   std::printf("Fragments served: %lld, glitches: %lld (rate %.5f%%)\n",
               static_cast<long long>(stats.fragments_served),
               static_cast<long long>(stats.glitches),
@@ -213,7 +530,7 @@ int main(int argc, char** argv) {
   // QoS contract check over streams still active at the end.
   int worst_glitches = 0;
   int violators = 0;
-  for (int id : active) {
+  for (int id : churn.active) {
     const auto stream_stats = server->GetStreamStats(id);
     if (!stream_stats.ok()) continue;
     worst_glitches = std::max<int>(worst_glitches,
@@ -224,9 +541,9 @@ int main(int argc, char** argv) {
       "\nQoS: worst active stream saw %d glitches (contract: <%d); %d of "
       "%zu active streams violated the contract; %lld finished streams "
       "accumulated %lld glitches.\n",
-      worst_glitches, tolerated_glitches, violators, active.size(),
-      static_cast<long long>(finished_streams),
-      static_cast<long long>(finished_glitches));
+      worst_glitches, tolerated_glitches, violators, churn.active.size(),
+      static_cast<long long>(churn.finished_streams),
+      static_cast<long long>(churn.finished_glitches));
 
   const std::vector<fault::DegradationEvent> degradation_events =
       server->degradation_events();

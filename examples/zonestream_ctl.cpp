@@ -6,11 +6,18 @@
 //                                          simulate the planned deployment
 //                                          and print a metrics snapshot
 //
+//   zonestream_ctl snapshot inspect <file>
+//                                          validate and describe a
+//                                          checkpoint snapshot
+//
 // The config format is documented in src/server/server_config.h; the
 // template is the paper's Table 1 deployment. The `stats` subcommand runs
 // one disk at the planned per-disk stream limit for `rounds` rounds
 // (default 200) with the observability layer attached and prints the
 // registry snapshot (see docs/OBSERVABILITY.md for the metric names).
+// `snapshot inspect` decodes a zonestream-snapshot-v1 file (checksum and
+// all — a corrupt file is reported, not described) and prints its
+// producer, round, seed, and section inventory (docs/RECOVERY.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +26,8 @@
 
 #include "common/table_printer.h"
 #include "obs/export.h"
+#include "recovery/checkpoint.h"
+#include "recovery/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
 #include "server/server_config.h"
@@ -106,14 +115,35 @@ int RunStats(const server::ServerSpec& spec, const server::ServerPlan& plan,
   return 0;
 }
 
+// `snapshot inspect` subcommand: fully validate a snapshot file and
+// print what it holds.
+int InspectSnapshot(const char* path) {
+  const auto snapshot = recovery::LoadSnapshotFile(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot inspect: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", recovery::DescribeSnapshot(*snapshot).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* const usage =
-      "usage: %s --template | <config-file> | stats <config-file> [rounds]\n";
+      "usage: %s --template | <config-file> | stats <config-file> [rounds]"
+      " | snapshot inspect <file>\n";
   if (argc < 2) {
     std::fprintf(stderr, usage, argv[0]);
     return 2;
+  }
+  if (std::strcmp(argv[1], "snapshot") == 0) {
+    if (argc != 4 || std::strcmp(argv[2], "inspect") != 0) {
+      std::fprintf(stderr, usage, argv[0]);
+      return 2;
+    }
+    return InspectSnapshot(argv[3]);
   }
   if (std::strcmp(argv[1], "--template") == 0) {
     if (argc != 2) {

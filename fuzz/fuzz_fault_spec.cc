@@ -1,0 +1,34 @@
+// Fuzz target for ParseFaultSpec: arbitrary spec strings must produce a
+// parsed spec or a structured error — no throw, abort, or UB. Accepted
+// specs must round-trip through FormatFaultSpec.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto spec = zonestream::fault::ParseFaultSpec(text);
+  if (spec.ok()) {
+    const std::string formatted = zonestream::fault::FormatFaultSpec(*spec);
+    if (!zonestream::fault::ParseFaultSpec(formatted).ok()) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}
+
+#ifndef ZS_HAVE_LIBFUZZER
+#include "fuzz_driver.h"
+
+int main(int argc, char** argv) {
+  return zonestream::fuzz::RunStandaloneDriver(
+      argc, argv,
+      {"slowdown:enter=0.01,exit=0.2,prob=1,delay_min=0.05,delay_max=0.3,"
+       "from=200,until=400;"
+       "zone_dropout:fail=0.001,recover=0.05,rate_factor=0.5;"
+       "burst:prob=0.02,len=4,delay_min=0.01,delay_max=0.05;"
+       "disk_failure:hazard=0.0001,at=25,repair=50"});
+}
+#endif

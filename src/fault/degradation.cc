@@ -199,6 +199,53 @@ DegradationCommand DegradationController::ObserveRound(int active_streams,
   return command;
 }
 
+DegradationControllerState DegradationController::ExportState() const {
+  DegradationControllerState state;
+  state.state = state_;
+  state.rounds_observed = rounds_observed_;
+  state.window_rounds_seen = window_rounds_seen_;
+  state.window_stream_rounds = window_stream_rounds_;
+  state.window_glitches = window_glitches_;
+  state.window_overruns = window_overruns_;
+  state.last_active_streams = last_active_streams_;
+  state.violating_windows = violating_windows_;
+  state.clean_windows = clean_windows_;
+  state.events = events_;
+  return state;
+}
+
+common::Status DegradationController::ImportState(
+    const DegradationControllerState& state) {
+  const int s = static_cast<int>(state.state);
+  if (s < 0 || s > 2) {
+    return common::Status::InvalidArgument(
+        "degradation state machine position out of range");
+  }
+  if (state.rounds_observed < 0 || state.window_rounds_seen < 0 ||
+      state.window_stream_rounds < 0 || state.window_glitches < 0 ||
+      state.window_overruns < 0 || state.violating_windows < 0 ||
+      state.clean_windows < 0 ||
+      state.window_rounds_seen > state.rounds_observed) {
+    return common::Status::InvalidArgument(
+        "degradation controller counters must be non-negative with the "
+        "open window no longer than the observed history");
+  }
+  state_ = state.state;
+  rounds_observed_ = state.rounds_observed;
+  window_rounds_seen_ = state.window_rounds_seen;
+  window_stream_rounds_ = state.window_stream_rounds;
+  window_glitches_ = state.window_glitches;
+  window_overruns_ = state.window_overruns;
+  last_active_streams_ = state.last_active_streams;
+  violating_windows_ = state.violating_windows;
+  clean_windows_ = state.clean_windows;
+  events_ = state.events;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<double>(static_cast<int>(state_)));
+  }
+  return common::Status::Ok();
+}
+
 common::StatusOr<int> RearmoredStreamLimit(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
     double fragment_mean_bytes, double fragment_variance_bytes2,

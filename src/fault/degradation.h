@@ -99,6 +99,23 @@ struct DegradationEvent {
   double window_glitch_rate = 0.0;
 };
 
+// Complete restartable state of a DegradationController: the state
+// machine position, the open window's accumulators, both hysteresis
+// counters, and the event log — everything ObserveRound consults, so a
+// restore continues the controller bit-identically mid-window.
+struct DegradationControllerState {
+  DegradationState state = DegradationState::kNormal;
+  int64_t rounds_observed = 0;
+  int64_t window_rounds_seen = 0;
+  int64_t window_stream_rounds = 0;
+  int64_t window_glitches = 0;
+  int64_t window_overruns = 0;
+  int last_active_streams = 0;
+  int violating_windows = 0;
+  int clean_windows = 0;
+  std::vector<DegradationEvent> events;
+};
+
 // Single-threaded controller; drive it from the server's round loop.
 class DegradationController {
  public:
@@ -118,6 +135,12 @@ class DegradationController {
   const std::vector<DegradationEvent>& events() const { return events_; }
   int64_t rounds_observed() const { return rounds_observed_; }
   const DegradationPolicy& policy() const { return policy_; }
+
+  // Checkpoint support: restoring an exported state onto a controller
+  // built from the same policy continues it bit-identically (the policy
+  // itself — including the rearmor hook — is reconstructed, not saved).
+  DegradationControllerState ExportState() const;
+  common::Status ImportState(const DegradationControllerState& state);
 
  private:
   void Transition(DegradationState to, int shed, double rate);

@@ -1,5 +1,6 @@
 #include "fault/fault_model.h"
 
+#include <bit>
 #include <utility>
 
 #include "common/check.h"
@@ -29,6 +30,12 @@ common::Status CheckDelayRange(double lo, double hi) {
         "delay range must satisfy 0 <= delay_min_s <= delay_max_s");
   }
   return common::Status::Ok();
+}
+
+common::Status BadStateSize(const char* model, size_t got, size_t want) {
+  return common::Status::InvalidArgument(
+      std::string(model) + " state has " + std::to_string(got) +
+      " words, expected " + std::to_string(want));
 }
 
 }  // namespace
@@ -90,6 +97,23 @@ double MarkovSlowdownFault::DelayFor(const RequestFaultContext& /*context*/,
   return spec_.delay_min_s + (spec_.delay_max_s - spec_.delay_min_s) * u;
 }
 
+void MarkovSlowdownFault::ExportState(std::vector<uint64_t>* out) const {
+  out->push_back(slow_ ? 1 : 0);
+  out->push_back(static_cast<uint64_t>(round_));
+}
+
+common::Status MarkovSlowdownFault::ImportState(
+    const std::vector<uint64_t>& state) {
+  if (state.size() != 2) return BadStateSize(name(), state.size(), 2);
+  if (state[0] > 1) {
+    return common::Status::InvalidArgument(
+        "markov_slowdown state: slow flag must be 0 or 1");
+  }
+  slow_ = state[0] == 1;
+  round_ = static_cast<int64_t>(state[1]);
+  return common::Status::Ok();
+}
+
 // --- ZoneDropoutFault ------------------------------------------------------
 
 common::StatusOr<std::unique_ptr<ZoneDropoutFault>> ZoneDropoutFault::Create(
@@ -133,6 +157,30 @@ double ZoneDropoutFault::RateMultiplier(int zone) const {
   return zone_failed_[zone] ? spec_.rate_factor : 1.0;
 }
 
+void ZoneDropoutFault::ExportState(std::vector<uint64_t>* out) const {
+  for (uint8_t failed : zone_failed_) out->push_back(failed);
+}
+
+common::Status ZoneDropoutFault::ImportState(
+    const std::vector<uint64_t>& state) {
+  if (state.size() != zone_failed_.size()) {
+    return BadStateSize(name(), state.size(), zone_failed_.size());
+  }
+  int failed = 0;
+  for (uint64_t word : state) {
+    if (word > 1) {
+      return common::Status::InvalidArgument(
+          "zone_dropout state: zone flags must be 0 or 1");
+    }
+    failed += static_cast<int>(word);
+  }
+  for (size_t z = 0; z < state.size(); ++z) {
+    zone_failed_[z] = static_cast<uint8_t>(state[z]);
+  }
+  failed_zones_ = failed;
+  return common::Status::Ok();
+}
+
 // --- CorrelatedBurstFault --------------------------------------------------
 
 common::StatusOr<std::unique_ptr<CorrelatedBurstFault>>
@@ -164,6 +212,22 @@ double CorrelatedBurstFault::DelayFor(const RequestFaultContext& context,
     return 0.0;
   }
   return rng->Uniform(spec_.delay_min_s, spec_.delay_max_s);
+}
+
+void CorrelatedBurstFault::ExportState(std::vector<uint64_t>* out) const {
+  out->push_back(static_cast<uint64_t>(static_cast<int64_t>(burst_start_)));
+}
+
+common::Status CorrelatedBurstFault::ImportState(
+    const std::vector<uint64_t>& state) {
+  if (state.size() != 1) return BadStateSize(name(), state.size(), 1);
+  const int64_t start = static_cast<int64_t>(state[0]);
+  if (start < -1 || start > 1'000'000'000) {
+    return common::Status::InvalidArgument(
+        "correlated_burst state: burst_start out of range");
+  }
+  burst_start_ = static_cast<int>(start);
+  return common::Status::Ok();
 }
 
 // --- DiskFailureFault ------------------------------------------------------
@@ -200,6 +264,25 @@ void DiskFailureFault::BeginRound(int /*num_requests*/, numeric::Rng* rng) {
     failed_ = true;
     failed_rounds_ = 0;
   }
+}
+
+void DiskFailureFault::ExportState(std::vector<uint64_t>* out) const {
+  out->push_back(failed_ ? 1 : 0);
+  out->push_back(static_cast<uint64_t>(round_));
+  out->push_back(static_cast<uint64_t>(failed_rounds_));
+}
+
+common::Status DiskFailureFault::ImportState(
+    const std::vector<uint64_t>& state) {
+  if (state.size() != 3) return BadStateSize(name(), state.size(), 3);
+  if (state[0] > 1) {
+    return common::Status::InvalidArgument(
+        "disk_failure state: failed flag must be 0 or 1");
+  }
+  failed_ = state[0] == 1;
+  round_ = static_cast<int64_t>(state[1]);
+  failed_rounds_ = static_cast<int64_t>(state[2]);
+  return common::Status::Ok();
 }
 
 // --- FaultInjector ---------------------------------------------------------
@@ -297,6 +380,57 @@ bool FaultInjector::any_active() const {
     if (slot.model->active()) return true;
   }
   return false;
+}
+
+FaultInjectorState FaultInjector::ExportState() const {
+  FaultInjectorState state;
+  state.model_names.reserve(slots_.size());
+  state.model_states.reserve(slots_.size());
+  state.rng_states.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    state.model_names.emplace_back(slot.model->name());
+    state.model_states.emplace_back();
+    slot.model->ExportState(&state.model_states.back());
+    state.rng_states.push_back(slot.rng.SaveState());
+  }
+  state.rounds_begun = rounds_begun_;
+  return state;
+}
+
+common::Status FaultInjector::ImportState(const FaultInjectorState& state) {
+  if (state.model_names.size() != slots_.size() ||
+      state.model_states.size() != slots_.size() ||
+      state.rng_states.size() != slots_.size()) {
+    return common::Status::InvalidArgument(
+        "fault injector state describes " +
+        std::to_string(state.model_names.size()) + " models, injector has " +
+        std::to_string(slots_.size()));
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (state.model_names[i] != slots_[i].model->name()) {
+      return common::Status::InvalidArgument(
+          "fault injector state model " + std::to_string(i) + " is '" +
+          state.model_names[i] + "', injector has '" +
+          slots_[i].model->name() + "' (spec mismatch)");
+    }
+  }
+  // Parse the RNG states into scratch copies first: a malformed RNG
+  // string is the only per-slot failure that cannot be detected before
+  // its model has already been touched.
+  std::vector<numeric::Rng> rngs;
+  rngs.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    rngs.emplace_back(0);
+    auto status = rngs.back().LoadState(state.rng_states[i]);
+    if (!status.ok()) return status;
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    auto status = slots_[i].model->ImportState(state.model_states[i]);
+    if (!status.ok()) return status;
+    slots_[i].rng = rngs[i];
+  }
+  rounds_begun_ = state.rounds_begun;
+  return common::Status::Ok();
 }
 
 }  // namespace zonestream::fault

@@ -81,6 +81,17 @@ class FaultModel {
 
   // True while the model is currently disturbing the disk.
   virtual bool active() const = 0;
+
+  // Checkpoint support: appends the model's mutable epoch state as raw
+  // 64-bit words (doubles bit-cast, signed values two's-complement). The
+  // spec itself is NOT exported — restore happens onto a model rebuilt
+  // from the same spec, and the injector cross-checks model identity by
+  // name() before importing.
+  virtual void ExportState(std::vector<uint64_t>* out) const = 0;
+
+  // Restores a state produced by ExportState on a same-spec model.
+  // Rejects word counts or values outside the model's schema.
+  virtual common::Status ImportState(const std::vector<uint64_t>& state) = 0;
 };
 
 // --- Markov-modulated slowdown ---------------------------------------------
@@ -112,6 +123,8 @@ class MarkovSlowdownFault final : public FaultModel {
   double DelayFor(const RequestFaultContext& context,
                   numeric::Rng* rng) override;
   bool active() const override;
+  void ExportState(std::vector<uint64_t>* out) const override;
+  common::Status ImportState(const std::vector<uint64_t>& state) override;
 
  private:
   explicit MarkovSlowdownFault(const MarkovSlowdownSpec& spec)
@@ -140,6 +153,8 @@ class ZoneDropoutFault final : public FaultModel {
   double RateMultiplier(int zone) const override;
   bool active() const override { return failed_zones_ > 0; }
   int failed_zones() const { return failed_zones_; }
+  void ExportState(std::vector<uint64_t>* out) const override;
+  common::Status ImportState(const std::vector<uint64_t>& state) override;
 
  private:
   ZoneDropoutFault(const ZoneDropoutSpec& spec, int num_zones)
@@ -168,6 +183,8 @@ class CorrelatedBurstFault final : public FaultModel {
   double DelayFor(const RequestFaultContext& context,
                   numeric::Rng* rng) override;
   bool active() const override { return burst_start_ >= 0; }
+  void ExportState(std::vector<uint64_t>* out) const override;
+  common::Status ImportState(const std::vector<uint64_t>& state) override;
 
  private:
   explicit CorrelatedBurstFault(const CorrelatedBurstSpec& spec)
@@ -193,6 +210,8 @@ class DiskFailureFault final : public FaultModel {
   void BeginRound(int num_requests, numeric::Rng* rng) override;
   bool disk_failed() const override { return failed_; }
   bool active() const override { return failed_; }
+  void ExportState(std::vector<uint64_t>* out) const override;
+  common::Status ImportState(const std::vector<uint64_t>& state) override;
 
  private:
   explicit DiskFailureFault(const DiskFailureSpec& spec) : spec_(spec) {}
@@ -217,6 +236,18 @@ struct FaultSpec {
     return slowdowns.empty() && zone_dropouts.empty() && bursts.empty() &&
            disk_failures.empty();
   }
+};
+
+// Complete restartable state of a FaultInjector: per-model epoch state,
+// the exact position of every per-model RNG substream, and the round
+// count. Model names travel along so a restore onto an injector built
+// from a different spec fails loudly instead of silently misassigning
+// substreams.
+struct FaultInjectorState {
+  std::vector<std::string> model_names;
+  std::vector<std::vector<uint64_t>> model_states;
+  std::vector<std::string> rng_states;  // numeric::Rng::SaveState per model
+  int64_t rounds_begun = 0;
 };
 
 // Owns a set of fault models plus one dedicated RNG substream per model
@@ -247,6 +278,14 @@ class FaultInjector {
   bool disk_failed() const;
   bool any_active() const;
   int64_t rounds_begun() const { return rounds_begun_; }
+
+  // Checkpoint support. ExportState captures everything BeginRound /
+  // DelayFor consult: restoring it onto an injector freshly built from
+  // the same (spec, num_zones, seed) makes the continuation bit-identical
+  // to an uninterrupted run. Import cross-checks the model list by name
+  // and restores nothing on mismatch.
+  FaultInjectorState ExportState() const;
+  common::Status ImportState(const FaultInjectorState& state);
 
  private:
   FaultInjector(std::vector<std::unique_ptr<FaultModel>> models,

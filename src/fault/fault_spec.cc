@@ -1,7 +1,10 @@
 #include "fault/fault_spec.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -52,30 +55,62 @@ common::Status TakeDouble(std::map<std::string, std::string>* pairs,
   auto it = pairs->find(key);
   if (it == pairs->end()) return common::Status::Ok();
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     return common::Status::InvalidArgument("fault spec: bad number for '" +
-                                           key + "': " + it->second);
+                                           key + "': '" + it->second + "'");
+  }
+  // strtod happily parses "inf"/"nan" and silently saturates overflowing
+  // literals; none of those are meaningful fault parameters.
+  if (!std::isfinite(value) || errno == ERANGE) {
+    return common::Status::InvalidArgument(
+        "fault spec: value for '" + key + "' must be finite, got '" +
+        it->second + "'");
   }
   *out = value;
   pairs->erase(it);
   return common::Status::Ok();
 }
 
+// Integer keys are parsed as integers — not through double, whose cast
+// back to int64 is undefined for out-of-range values and would silently
+// truncate fractions.
 common::Status TakeInt64(std::map<std::string, std::string>* pairs,
                          const std::string& key, int64_t* out) {
-  double value = static_cast<double>(*out);
-  auto status = TakeDouble(pairs, key, &value);
-  if (!status.ok()) return status;
+  auto it = pairs->find(key);
+  if (it == pairs->end()) return common::Status::Ok();
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return common::Status::InvalidArgument("fault spec: bad integer for '" +
+                                           key + "': '" + it->second + "'");
+  }
+  if (errno == ERANGE) {
+    return common::Status::InvalidArgument(
+        "fault spec: integer for '" + key + "' out of range: '" + it->second +
+        "'");
+  }
   *out = static_cast<int64_t>(value);
+  pairs->erase(it);
   return common::Status::Ok();
 }
 
 common::Status TakeInt(std::map<std::string, std::string>* pairs,
                        const std::string& key, int* out) {
+  // Report against the token before it is consumed by TakeInt64.
+  auto it = pairs->find(key);
+  const std::string token = it != pairs->end() ? it->second : "";
   int64_t value = *out;
   auto status = TakeInt64(pairs, key, &value);
   if (!status.ok()) return status;
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return common::Status::InvalidArgument(
+        "fault spec: integer for '" + key + "' out of range: '" + token +
+        "'");
+  }
   *out = static_cast<int>(value);
   return common::Status::Ok();
 }

@@ -1,6 +1,7 @@
 #include "numeric/random.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -62,6 +63,33 @@ double Rng::Exponential(double mean) {
   ZS_CHECK_GT(mean, 0.0);
   std::exponential_distribution<double> dist(1.0 / mean);
   return dist(engine_);
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+common::Status Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    return common::Status::InvalidArgument(
+        "Rng::LoadState: malformed engine state");
+  }
+  // The standard stream extraction accepts a valid prefix; insist the
+  // state is exactly one engine serialization (trailing whitespace only)
+  // so a truncated or concatenated snapshot field cannot slip through.
+  std::string trailing;
+  in >> trailing;
+  if (!trailing.empty()) {
+    return common::Status::InvalidArgument(
+        "Rng::LoadState: trailing bytes after engine state");
+  }
+  engine_ = engine;
+  return common::Status::Ok();
 }
 
 void Rng::FillUniform01(double* out, size_t n) {

@@ -18,6 +18,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <random>
+#include <string>
+
+#include "common/status.h"
 
 namespace zonestream::numeric {
 
@@ -78,6 +81,22 @@ class Rng {
 
   // Access to the underlying engine for std:: distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  // Exact state export for checkpoint/restore: the COMPLETE state of an
+  // Rng is its mt19937_64 engine (312 words + stream position), captured
+  // via the standard textual serialization, which round-trips exactly.
+  // Nothing else persists across calls: every std:: distribution used by
+  // the samplers above is constructed per call (so e.g. the Gaussian
+  // spare a long-lived std::normal_distribution would cache never
+  // survives a call), GammaBatchSampler is immutable after construction,
+  // and the ziggurat tables are constants. LoadState(SaveState()) on any
+  // Rng therefore reproduces the continuation bit-identically for every
+  // sampler (asserted in tests/numeric/random_test.cc).
+  std::string SaveState() const;
+
+  // Restores a state produced by SaveState. Rejects malformed input
+  // without modifying the engine.
+  common::Status LoadState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -39,6 +39,24 @@ void RunningStats::Merge(const RunningStats& other) {
   max_ = std::fmax(max_, other.max_);
 }
 
+RunningStatsState RunningStats::ExportState() const {
+  RunningStatsState state;
+  state.count = count_;
+  state.mean = mean_;
+  state.m2 = m2_;
+  state.min = min_;
+  state.max = max_;
+  return state;
+}
+
+void RunningStats::ImportState(const RunningStatsState& state) {
+  count_ = state.count;
+  mean_ = state.mean;
+  m2_ = state.m2;
+  min_ = state.min;
+  max_ = state.max;
+}
+
 double RunningStats::mean() const { return mean_; }
 
 double RunningStats::variance() const {

@@ -10,6 +10,16 @@
 
 namespace zonestream::numeric {
 
+// Raw accumulator fields of a RunningStats, for exact checkpoint /
+// restore (mean/m2 are the Welford internals, not derived statistics).
+struct RunningStatsState {
+  int64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 // Numerically stable running mean/variance/min/max (Welford's algorithm).
 class RunningStats {
  public:
@@ -20,6 +30,11 @@ class RunningStats {
 
   // Merges another accumulator into this one (parallel reduction).
   void Merge(const RunningStats& other);
+
+  // Exact state capture/restore; ImportState(ExportState()) is the
+  // identity and continued Add() sequences stay bit-identical.
+  RunningStatsState ExportState() const;
+  void ImportState(const RunningStatsState& state);
 
   int64_t count() const { return count_; }
   double mean() const;

@@ -85,6 +85,43 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snapshot;
 }
 
+HistogramState Histogram::ExportState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramState state;
+  state.buckets = buckets_;
+  state.count = count_;
+  state.sum = sum_;
+  state.min = min_;
+  state.max = max_;
+  return state;
+}
+
+common::Status Histogram::ImportState(const HistogramState& state) {
+  if (state.buckets.size() != static_cast<size_t>(kNumBuckets)) {
+    return common::Status::InvalidArgument(
+        "histogram state has wrong bucket count");
+  }
+  int64_t total = 0;
+  for (int64_t bucket : state.buckets) {
+    if (bucket < 0) {
+      return common::Status::InvalidArgument(
+          "histogram state has a negative bucket count");
+    }
+    total += bucket;
+  }
+  if (total != state.count || state.count < 0) {
+    return common::Status::InvalidArgument(
+        "histogram state count disagrees with bucket totals");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_ = state.buckets;
+  count_ = state.count;
+  sum_ = state.sum;
+  min_ = state.min;
+  max_ = state.max;
+  return common::Status::Ok();
+}
+
 bool Registry::IsValidName(const std::string& name) {
   if (name.empty() || name.front() == '.' || name.back() == '.') return false;
   bool prev_dot = false;
@@ -168,6 +205,109 @@ RegistrySnapshot Registry::Snapshot() const {
     snapshot.histograms.emplace_back(name, histogram->Snapshot());
   }
   return snapshot;
+}
+
+RegistryState Registry::ExportState() const {
+  // Same two-phase structure as Snapshot(): stable pointers under the
+  // registry lock, then per-metric reads under each metric's own
+  // synchronization.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, counter.get());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.emplace_back(name, gauge.get());
+    }
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  RegistryState state;
+  state.counters.reserve(counters.size());
+  for (const auto& [name, counter] : counters) {
+    state.counters.emplace_back(name, counter->value());
+  }
+  state.gauges.reserve(gauges.size());
+  for (const auto& [name, gauge] : gauges) {
+    state.gauges.emplace_back(name, gauge->value());
+  }
+  state.histograms.reserve(histograms.size());
+  for (const auto& [name, histogram] : histograms) {
+    state.histograms.emplace_back(name, histogram->ExportState());
+  }
+  return state;
+}
+
+common::Status Registry::ImportState(const RegistryState& state) {
+  // Validate every name and its kind before mutating anything, so a
+  // corrupt state never half-restores the registry. (Get* ZS_CHECKs on a
+  // kind conflict; restore must reject, not abort.)
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : state.counters) {
+      (void)value;
+      if (!IsValidName(name)) {
+        return common::Status::InvalidArgument(
+            "registry state has invalid counter name '" + name + "'");
+      }
+      if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+        return common::Status::InvalidArgument(
+            "registry state counter '" + name +
+            "' is already registered as another metric kind");
+      }
+    }
+    for (const auto& [name, value] : state.gauges) {
+      (void)value;
+      if (!IsValidName(name)) {
+        return common::Status::InvalidArgument(
+            "registry state has invalid gauge name '" + name + "'");
+      }
+      if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+        return common::Status::InvalidArgument(
+            "registry state gauge '" + name +
+            "' is already registered as another metric kind");
+      }
+    }
+    for (const auto& [name, histogram] : state.histograms) {
+      (void)histogram;
+      if (!IsValidName(name)) {
+        return common::Status::InvalidArgument(
+            "registry state has invalid histogram name '" + name + "'");
+      }
+      if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+        return common::Status::InvalidArgument(
+            "registry state histogram '" + name +
+            "' is already registered as another metric kind");
+      }
+    }
+  }
+  // Validate histogram payloads against a scratch instance before any
+  // restore reaches a live metric.
+  for (const auto& [name, histogram] : state.histograms) {
+    Histogram scratch;
+    if (auto status = scratch.ImportState(histogram); !status.ok()) {
+      return common::Status::InvalidArgument("registry state histogram '" +
+                                             name + "': " + status.message());
+    }
+  }
+  for (const auto& [name, value] : state.counters) {
+    GetCounter(name)->RestoreValue(value);
+  }
+  for (const auto& [name, value] : state.gauges) {
+    GetGauge(name)->Set(value);
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    auto status = GetHistogram(name)->ImportState(histogram);
+    ZS_CHECK(status.ok());  // payload validated above
+  }
+  return common::Status::Ok();
 }
 
 }  // namespace zonestream::obs

@@ -24,7 +24,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace zonestream::obs {
 
@@ -40,6 +43,11 @@ class Counter {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  // Checkpoint restore only: overwrites the count. Not for hot paths.
+  void RestoreValue(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> value_{0};
@@ -78,6 +86,20 @@ struct HistogramSnapshot {
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
 };
 
+// Exact state of one Histogram, for checkpoint/restore. Unlike
+// HistogramSnapshot (whose quantiles are derived and lossy), this carries
+// the raw bucket counts, so restoring it reproduces every future
+// Snapshot() bit-identically. Buckets are run-length friendly via the
+// sparse (index, count) encoding used by the snapshot codec; in memory
+// the vector is dense with Histogram::kNumBuckets entries.
+struct HistogramState {
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 // Log-bucketed histogram for positive durations/sizes. Bucket boundaries
 // grow geometrically (kBucketsPerOctave buckets per power of two), giving
 // <= ~9% relative quantile error over [kMinValue, kMaxValue); values at or
@@ -104,6 +126,12 @@ class Histogram {
 
   int64_t count() const;
 
+  // Exact bucket-level state capture/restore. ImportState rejects a
+  // wrong-size bucket vector, negative counts, or a total that does not
+  // match `count`. Thread-safe.
+  HistogramState ExportState() const;
+  common::Status ImportState(const HistogramState& state);
+
   // Lower edge of bucket `i` (i >= 1; bucket 0 is the underflow bucket).
   static double BucketLowerBound(int i);
 
@@ -126,6 +154,14 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
+// Exact state of a whole Registry, for checkpoint/restore. Same shape as
+// RegistrySnapshot but with lossless histograms.
+struct RegistryState {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramState>> histograms;
+};
+
 // Owns metrics keyed by hierarchical dot-path names. Get*() registers on
 // first use and returns a pointer that stays valid for the Registry's
 // lifetime, so instrumented code resolves each metric once and then works
@@ -145,6 +181,17 @@ class Registry {
   Histogram* GetHistogram(const std::string& name);
 
   RegistrySnapshot Snapshot() const;
+
+  // Checkpoint support. ExportState is a lossless Snapshot; ImportState
+  // registers any missing metrics and overwrites the values of existing
+  // ones (metrics present in the registry but absent from the state are
+  // left untouched — the caller restores into a freshly instrumented
+  // registry, where handles already exist at their zero values). Fails
+  // without side effects on an invalid name or a name already registered
+  // as a different metric kind; fails per-histogram on malformed bucket
+  // state.
+  RegistryState ExportState() const;
+  common::Status ImportState(const RegistryState& state);
 
  private:
   mutable std::mutex mutex_;

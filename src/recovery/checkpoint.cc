@@ -1,0 +1,299 @@
+#include "recovery/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+namespace zonestream::recovery {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSnapshotExtension[] = ".zsnap";
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Parses "<basename>-<seq>.zsnap"; returns false when `filename` does
+// not match the scheme exactly (digits only in the sequence field).
+bool ParseSequence(const std::string& filename, const std::string& basename,
+                  uint64_t* sequence) {
+  const std::string prefix = basename + "-";
+  if (filename.size() <= prefix.size() + std::strlen(kSnapshotExtension)) {
+    return false;
+  }
+  if (filename.compare(0, prefix.size(), prefix) != 0) return false;
+  if (filename.size() < std::strlen(kSnapshotExtension) ||
+      filename.compare(filename.size() - std::strlen(kSnapshotExtension),
+                       std::string::npos, kSnapshotExtension) != 0) {
+    return false;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(),
+      filename.size() - prefix.size() - std::strlen(kSnapshotExtension));
+  if (digits.empty() || digits.size() > 19) return false;
+  uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *sequence = value;
+  return true;
+}
+
+std::string SequenceFileName(const std::string& basename, uint64_t sequence) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%012llu",
+                static_cast<unsigned long long>(sequence));
+  return basename + "-" + digits + kSnapshotExtension;
+}
+
+// Writes `data` to `path` and fsyncs the file descriptor, so the bytes
+// are on stable storage before the caller renames the file into place.
+common::Status WriteFileDurably(const std::string& path,
+                                const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return common::Status::Internal(ErrnoMessage("open " + path));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = ErrnoMessage("write " + path);
+      ::close(fd);
+      ::unlink(path.c_str());
+      return common::Status::Internal(message);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string message = ErrnoMessage("fsync " + path);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return common::Status::Internal(message);
+  }
+  if (::close(fd) != 0) {
+    return common::Status::Internal(ErrnoMessage("close " + path));
+  }
+  return common::Status::Ok();
+}
+
+// fsyncs a directory so a completed rename survives power loss.
+common::Status SyncDirectory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return common::Status::Internal(ErrnoMessage("open dir " + directory));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return common::Status::Internal(ErrnoMessage("fsync dir " + directory));
+  }
+  return common::Status::Ok();
+}
+
+// Sequence-sorted (sequence, filename) pairs in `directory`.
+common::StatusOr<std::vector<std::pair<uint64_t, std::string>>>
+ListSequenced(const std::string& directory, const std::string& basename) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return common::Status::NotFound("checkpoint directory '" + directory +
+                                    "' does not exist");
+  }
+  std::vector<std::pair<uint64_t, std::string>> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    uint64_t sequence = 0;
+    if (ParseSequence(name, basename, &sequence)) {
+      files.emplace_back(sequence, entry.path().string());
+    }
+  }
+  if (ec) {
+    return common::Status::Internal("failed to list '" + directory +
+                                    "': " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+common::StatusOr<CheckpointWriter> CheckpointWriter::Create(
+    const CheckpointWriterOptions& options) {
+  if (options.directory.empty()) {
+    return common::Status::InvalidArgument(
+        "checkpoint directory must be non-empty");
+  }
+  if (options.keep < 1) {
+    return common::Status::InvalidArgument(
+        "checkpoint retention must keep at least one snapshot");
+  }
+  if (options.basename.empty() ||
+      options.basename.find('/') != std::string::npos) {
+    return common::Status::InvalidArgument(
+        "checkpoint basename must be a non-empty file name stem");
+  }
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return common::Status::Internal("failed to create '" +
+                                    options.directory + "': " + ec.message());
+  }
+  CheckpointWriter writer(options);
+  auto existing = ListSequenced(options.directory, options.basename);
+  if (!existing.ok()) return existing.status();
+  if (!existing->empty()) {
+    writer.next_sequence_ = existing->back().first + 1;
+  }
+  return writer;
+}
+
+common::StatusOr<std::string> CheckpointWriter::Write(
+    const Snapshot& snapshot) {
+  const std::string encoded = EncodeSnapshot(snapshot);
+  const std::string final_name =
+      SequenceFileName(options_.basename, next_sequence_);
+  const fs::path final_path = fs::path(options_.directory) / final_name;
+  // The temp file lives in the same directory (rename must not cross
+  // filesystems) and is pid-tagged so a crashed predecessor's leftover
+  // never collides.
+  const fs::path tmp_path =
+      fs::path(options_.directory) /
+      ("." + final_name + ".tmp." + std::to_string(::getpid()));
+  if (auto status = WriteFileDurably(tmp_path.string(), encoded);
+      !status.ok()) {
+    return status;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const std::string message =
+        ErrnoMessage("rename " + tmp_path.string());
+    ::unlink(tmp_path.c_str());
+    return common::Status::Internal(message);
+  }
+  if (auto status = SyncDirectory(options_.directory); !status.ok()) {
+    return status;
+  }
+  ++next_sequence_;
+
+  // Retention: drop everything but the newest `keep` snapshots. Best
+  // effort — a failed unlink must not fail the checkpoint that already
+  // landed.
+  auto files = ListSequenced(options_.directory, options_.basename);
+  if (files.ok() && files->size() > static_cast<size_t>(options_.keep)) {
+    const size_t excess = files->size() - static_cast<size_t>(options_.keep);
+    for (size_t i = 0; i < excess; ++i) {
+      ::unlink((*files)[i].second.c_str());
+    }
+  }
+  return final_path.string();
+}
+
+common::StatusOr<std::vector<std::string>> ListSnapshotFiles(
+    const std::string& directory) {
+  // Accept any basename: group by the writer scheme "<stem>-<seq>.zsnap"
+  // with the default stem, falling back to every *.zsnap file sorted by
+  // name so hand-renamed snapshots still list.
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return common::Status::NotFound("checkpoint directory '" + directory +
+                                    "' does not exist");
+  }
+  std::vector<std::pair<uint64_t, std::string>> sequenced;
+  std::vector<std::string> unsequenced;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < std::strlen(kSnapshotExtension) ||
+        name.compare(name.size() - std::strlen(kSnapshotExtension),
+                     std::string::npos, kSnapshotExtension) != 0) {
+      continue;
+    }
+    const size_t dash = name.rfind('-');
+    uint64_t sequence = 0;
+    if (dash != std::string::npos && dash > 0 &&
+        ParseSequence(name, name.substr(0, dash), &sequence)) {
+      sequenced.emplace_back(sequence, entry.path().string());
+    } else {
+      unsequenced.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return common::Status::Internal("failed to list '" + directory +
+                                    "': " + ec.message());
+  }
+  std::sort(sequenced.begin(), sequenced.end());
+  std::sort(unsequenced.begin(), unsequenced.end());
+  std::vector<std::string> files;
+  files.reserve(sequenced.size() + unsequenced.size());
+  for (auto& [sequence, path] : sequenced) {
+    (void)sequence;
+    files.push_back(std::move(path));
+  }
+  for (std::string& path : unsequenced) files.push_back(std::move(path));
+  return files;
+}
+
+common::StatusOr<Snapshot> LoadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::NotFound("cannot open snapshot file '" + path +
+                                    "'");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return common::Status::Internal("failed to read snapshot file '" + path +
+                                    "'");
+  }
+  auto snapshot = DecodeSnapshot(bytes);
+  if (!snapshot.ok()) {
+    return common::Status::InvalidArgument("snapshot file '" + path +
+                                           "': " + snapshot.status().message());
+  }
+  return snapshot;
+}
+
+common::StatusOr<LoadedSnapshot> LoadLatestGoodSnapshot(
+    const std::string& directory) {
+  auto files = ListSnapshotFiles(directory);
+  if (!files.ok()) return files.status();
+  if (files->empty()) {
+    return common::Status::NotFound("no snapshot files in '" + directory +
+                                    "'");
+  }
+  LoadedSnapshot loaded;
+  for (auto it = files->rbegin(); it != files->rend(); ++it) {
+    auto snapshot = LoadSnapshotFile(*it);
+    if (snapshot.ok()) {
+      loaded.snapshot = *std::move(snapshot);
+      loaded.path = *it;
+      return loaded;
+    }
+    loaded.rejected.push_back(snapshot.status().message());
+  }
+  std::string message = "every snapshot in '" + directory + "' is corrupt:";
+  for (const std::string& rejected : loaded.rejected) {
+    message += "\n  " + rejected;
+  }
+  return common::Status::InvalidArgument(message);
+}
+
+}  // namespace zonestream::recovery

@@ -1,0 +1,83 @@
+// Durable checkpoint files on top of the snapshot container.
+//
+// CheckpointWriter makes each checkpoint crash-atomic: the container is
+// written to a temporary file in the same directory, fsynced, renamed
+// into place, and the directory fsynced — a reader never observes a
+// half-written snapshot, only the previous one or the new one. Retention
+// keeps the last K snapshots so one corrupt tail file (the likely
+// outcome of dying mid-write on filesystems without atomic rename
+// durability) still leaves good ancestors behind;
+// LoadLatestGoodSnapshot walks newest-first and skips anything that
+// fails validation.
+#ifndef ZONESTREAM_RECOVERY_CHECKPOINT_H_
+#define ZONESTREAM_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "recovery/snapshot.h"
+
+namespace zonestream::recovery {
+
+struct CheckpointWriterOptions {
+  std::string directory;
+  // Snapshots retained after each write; older ones are deleted. >= 1.
+  int keep = 3;
+  // File name stem: files are "<basename>-<seq>.zsnap".
+  std::string basename = "snapshot";
+};
+
+// Writes numbered snapshot files with atomic replace + bounded
+// retention. Not thread-safe; one writer per directory.
+class CheckpointWriter {
+ public:
+  // Creates the directory if missing and resumes numbering after any
+  // snapshots already present (so a resumed run never overwrites the
+  // snapshot it restored from).
+  static common::StatusOr<CheckpointWriter> Create(
+      const CheckpointWriterOptions& options);
+
+  // Encodes, durably writes, and rotates. Returns the final path.
+  common::StatusOr<std::string> Write(const Snapshot& snapshot);
+
+  uint64_t next_sequence() const { return next_sequence_; }
+
+ private:
+  explicit CheckpointWriter(CheckpointWriterOptions options)
+      : options_(std::move(options)) {}
+
+  CheckpointWriterOptions options_;
+  uint64_t next_sequence_ = 0;
+};
+
+// Snapshot files in `directory` matching the writer's naming scheme,
+// sorted oldest-first by sequence number. Missing directory is an error;
+// an existing-but-empty directory yields an empty list.
+common::StatusOr<std::vector<std::string>> ListSnapshotFiles(
+    const std::string& directory);
+
+// Reads and decodes one snapshot file.
+common::StatusOr<Snapshot> LoadSnapshotFile(const std::string& path);
+
+// Result of a newest-first recovery scan.
+struct LoadedSnapshot {
+  Snapshot snapshot;
+  std::string path;            // file the snapshot came from
+  // Files newer than `path` that failed to load, each with its error —
+  // the caller should surface these (a corrupt newest snapshot is worth
+  // a warning even when an older one saves the run).
+  std::vector<std::string> rejected;
+};
+
+// Walks the directory's snapshots newest-first, returning the first one
+// that decodes cleanly. NotFound when the directory holds no snapshot
+// files at all; InvalidArgument when snapshots exist but every one is
+// corrupt.
+common::StatusOr<LoadedSnapshot> LoadLatestGoodSnapshot(
+    const std::string& directory);
+
+}  // namespace zonestream::recovery
+
+#endif  // ZONESTREAM_RECOVERY_CHECKPOINT_H_

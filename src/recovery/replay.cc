@@ -1,0 +1,152 @@
+#include "recovery/replay.h"
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+namespace zonestream::recovery {
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+common::Status Diverged(size_t index, const std::string& field) {
+  return common::Status::InvalidArgument(
+      "replay diverged at trace event " + std::to_string(index) +
+      ", field '" + field + "'");
+}
+
+}  // namespace
+
+common::Status CompareTraces(
+    const std::vector<obs::RoundTraceEvent>& expected,
+    const std::vector<obs::RoundTraceEvent>& actual) {
+  if (expected.size() != actual.size()) {
+    return common::Status::InvalidArgument(
+        "replay produced " + std::to_string(actual.size()) +
+        " trace events, expected " + std::to_string(expected.size()));
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const obs::RoundTraceEvent& e = expected[i];
+    const obs::RoundTraceEvent& a = actual[i];
+    if (e.round != a.round) return Diverged(i, "round");
+    if (e.source_id != a.source_id) return Diverged(i, "source_id");
+    if (e.num_requests != a.num_requests) return Diverged(i, "num_requests");
+    if (!SameBits(e.service_time_s, a.service_time_s)) {
+      return Diverged(i, "service_time_s");
+    }
+    if (!SameBits(e.seek_s, a.seek_s)) return Diverged(i, "seek_s");
+    if (!SameBits(e.rotation_s, a.rotation_s)) {
+      return Diverged(i, "rotation_s");
+    }
+    if (!SameBits(e.transfer_s, a.transfer_s)) {
+      return Diverged(i, "transfer_s");
+    }
+    if (!SameBits(e.disturbance_delay_s, a.disturbance_delay_s)) {
+      return Diverged(i, "disturbance_delay_s");
+    }
+    if (e.disturbances != a.disturbances) return Diverged(i, "disturbances");
+    if (!SameBits(e.fault_delay_s, a.fault_delay_s)) {
+      return Diverged(i, "fault_delay_s");
+    }
+    if (e.faulted_requests != a.faulted_requests) {
+      return Diverged(i, "faulted_requests");
+    }
+    if (e.glitches != a.glitches) return Diverged(i, "glitches");
+    if (e.overran != a.overran) return Diverged(i, "overran");
+    if (e.disk_failed != a.disk_failed) return Diverged(i, "disk_failed");
+    if (e.truncated_requests != a.truncated_requests) {
+      return Diverged(i, "truncated_requests");
+    }
+    if (!SameBits(e.leftover_s, a.leftover_s)) {
+      return Diverged(i, "leftover_s");
+    }
+    if (e.zone_hits != a.zone_hits) return Diverged(i, "zone_hits");
+  }
+  return common::Status::Ok();
+}
+
+common::Status CompareRegistries(const obs::RegistryState& expected,
+                                 const obs::RegistryState& actual) {
+  if (expected.counters.size() != actual.counters.size()) {
+    return common::Status::InvalidArgument(
+        "replay registry has " + std::to_string(actual.counters.size()) +
+        " counters, expected " + std::to_string(expected.counters.size()));
+  }
+  for (size_t i = 0; i < expected.counters.size(); ++i) {
+    if (expected.counters[i].first != actual.counters[i].first) {
+      return common::Status::InvalidArgument(
+          "replay registry counter name mismatch: '" +
+          actual.counters[i].first + "' vs expected '" +
+          expected.counters[i].first + "'");
+    }
+    if (expected.counters[i].second != actual.counters[i].second) {
+      return common::Status::InvalidArgument(
+          "replay diverged on counter '" + expected.counters[i].first +
+          "': " + std::to_string(actual.counters[i].second) +
+          " vs expected " + std::to_string(expected.counters[i].second));
+    }
+  }
+  if (expected.gauges.size() != actual.gauges.size()) {
+    return common::Status::InvalidArgument(
+        "replay registry has " + std::to_string(actual.gauges.size()) +
+        " gauges, expected " + std::to_string(expected.gauges.size()));
+  }
+  for (size_t i = 0; i < expected.gauges.size(); ++i) {
+    if (expected.gauges[i].first != actual.gauges[i].first) {
+      return common::Status::InvalidArgument(
+          "replay registry gauge name mismatch: '" + actual.gauges[i].first +
+          "' vs expected '" + expected.gauges[i].first + "'");
+    }
+    if (!SameBits(expected.gauges[i].second, actual.gauges[i].second)) {
+      return common::Status::InvalidArgument(
+          "replay diverged on gauge '" + expected.gauges[i].first + "'");
+    }
+  }
+  if (expected.histograms.size() != actual.histograms.size()) {
+    return common::Status::InvalidArgument(
+        "replay registry has " + std::to_string(actual.histograms.size()) +
+        " histograms, expected " +
+        std::to_string(expected.histograms.size()));
+  }
+  for (size_t i = 0; i < expected.histograms.size(); ++i) {
+    const auto& [ename, ehist] = expected.histograms[i];
+    const auto& [aname, ahist] = actual.histograms[i];
+    if (ename != aname) {
+      return common::Status::InvalidArgument(
+          "replay registry histogram name mismatch: '" + aname +
+          "' vs expected '" + ename + "'");
+    }
+    if (ehist.buckets != ahist.buckets || ehist.count != ahist.count ||
+        !SameBits(ehist.sum, ahist.sum) || !SameBits(ehist.min, ahist.min) ||
+        !SameBits(ehist.max, ahist.max)) {
+      return common::Status::InvalidArgument(
+          "replay diverged on histogram '" + ename + "'");
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status VerifyReplay(const ReferenceRunner& reference,
+                            const ResumeRunner& resume) {
+  auto reference_run = reference();
+  if (!reference_run.ok()) return reference_run.status();
+  // Round-trip the snapshot through the wire format so the codec is part
+  // of what gets verified.
+  const std::string encoded = EncodeSnapshot(reference_run->snapshot);
+  auto decoded = DecodeSnapshot(encoded);
+  if (!decoded.ok()) return decoded.status();
+  auto resumed_run = resume(*decoded);
+  if (!resumed_run.ok()) return resumed_run.status();
+  if (auto status = CompareTraces(reference_run->tail_events,
+                                  resumed_run->tail_events);
+      !status.ok()) {
+    return status;
+  }
+  return CompareRegistries(reference_run->final_registry,
+                           resumed_run->final_registry);
+}
+
+}  // namespace zonestream::recovery

@@ -1,0 +1,68 @@
+// Deterministic-replay verification: proves a snapshot actually captures
+// everything, by re-executing from it and demanding bit-identical
+// observable behavior.
+//
+// The harness compares two executions of the same scenario:
+//
+//   reference: fresh state --(rounds 0..C)--> snapshot --(C..T)--> tail A
+//   resumed:   restore(snapshot)            ----------(C..T)--> tail B
+//
+// and asserts tail A == tail B exactly — every trace event field
+// bit-identical (doubles compared by bit pattern, so even NaN payloads
+// and signed zeros must match) and the final metric registries equal.
+// Any divergence means some mutable state escaped the snapshot, which is
+// precisely the bug class this subsystem exists to rule out.
+#ifndef ZONESTREAM_RECOVERY_REPLAY_H_
+#define ZONESTREAM_RECOVERY_REPLAY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/round_trace.h"
+#include "recovery/snapshot.h"
+
+namespace zonestream::recovery {
+
+// Exact comparison of two trace-event sequences. Returns InvalidArgument
+// naming the first divergent event index and field. Doubles are compared
+// by bit pattern.
+common::Status CompareTraces(const std::vector<obs::RoundTraceEvent>& expected,
+                             const std::vector<obs::RoundTraceEvent>& actual);
+
+// Exact comparison of two registry states (names, kinds, counter values,
+// gauge bits, histogram buckets and moments). Returns InvalidArgument
+// naming the first divergent metric.
+common::Status CompareRegistries(const obs::RegistryState& expected,
+                                 const obs::RegistryState& actual);
+
+// What one verification run produced: the snapshot it took at the
+// checkpoint round, the trace events recorded *after* that round, and
+// the final registry.
+struct ReplayArtifacts {
+  Snapshot snapshot;
+  std::vector<obs::RoundTraceEvent> tail_events;
+  obs::RegistryState final_registry;
+};
+
+// Drives a scenario from scratch through all rounds, snapshotting at the
+// agreed checkpoint round.
+using ReferenceRunner = std::function<common::StatusOr<ReplayArtifacts>()>;
+
+// Restores the given snapshot and drives the remaining rounds. The
+// returned artifacts' `snapshot` field is ignored.
+using ResumeRunner =
+    std::function<common::StatusOr<ReplayArtifacts>(const Snapshot&)>;
+
+// Runs reference, round-trips its snapshot through the container
+// encoding (so serialization itself is under test, not just the state
+// structs), resumes from the decoded copy, and compares tails and final
+// registries exactly.
+common::Status VerifyReplay(const ReferenceRunner& reference,
+                            const ResumeRunner& resume);
+
+}  // namespace zonestream::recovery
+
+#endif  // ZONESTREAM_RECOVERY_REPLAY_H_

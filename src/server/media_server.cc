@@ -447,6 +447,190 @@ common::StatusOr<StreamStats> MediaServer::GetStreamStats(
   return it->second.stats;
 }
 
+MediaServerState MediaServer::ExportState() const {
+  MediaServerState state;
+  state.rng_state = rng_.SaveState();
+  state.round = round_;
+  state.next_stream_id = next_stream_id_;
+  state.streams.reserve(streams_.size());
+  for (const auto& [id, stream] : streams_) {
+    StreamSnapshotState snapshot;
+    snapshot.stream_id = id;
+    snapshot.phase = stream.phase;
+    snapshot.priority_class = stream.priority_class;
+    snapshot.next_fragment = stream.next_fragment;
+    snapshot.retry_bytes = stream.retry_bytes;
+    snapshot.retry_attempts = stream.retry_attempts;
+    snapshot.stats = stream.stats;
+    state.streams.push_back(snapshot);
+  }
+  state.arm_cylinder.assign(arm_cylinder_.begin(), arm_cylinder_.end());
+  state.ascending.reserve(ascending_.size());
+  for (const bool ascending : ascending_) {
+    state.ascending.push_back(ascending ? 1 : 0);
+  }
+  for (int d = 0; d < config_.num_disks; ++d) {
+    const bool present = static_cast<size_t>(d) < fault_injectors_.size() &&
+                         fault_injectors_[static_cast<size_t>(d)] != nullptr;
+    state.injector_present.push_back(present ? 1 : 0);
+    if (present) {
+      state.fault_injectors.push_back(
+          fault_injectors_[static_cast<size_t>(d)]->ExportState());
+    }
+  }
+  state.has_degradation = degradation_ != nullptr;
+  if (degradation_ != nullptr) state.degradation = degradation_->ExportState();
+  state.admissions_open = admissions_open_;
+  state.fragments_served = fragments_served_;
+  state.total_glitches = total_glitches_;
+  state.fragments_retried = fragments_retried_;
+  state.fragments_dropped = fragments_dropped_;
+  state.streams_shed = streams_shed_;
+  state.busy_fraction.reserve(busy_fraction_.size());
+  for (const numeric::RunningStats& busy : busy_fraction_) {
+    state.busy_fraction.push_back(busy.ExportState());
+  }
+  return state;
+}
+
+common::Status MediaServer::RestoreState(
+    const MediaServerState& state, const StreamDistributionResolver& resolver) {
+  const size_t disks = static_cast<size_t>(config_.num_disks);
+  if (state.arm_cylinder.size() != disks || state.ascending.size() != disks ||
+      state.injector_present.size() != disks ||
+      state.busy_fraction.size() != disks) {
+    return common::Status::InvalidArgument(
+        "server state per-disk vectors do not match num_disks");
+  }
+  if (state.round < 0 || state.next_stream_id < 0 ||
+      state.fragments_served < 0 || state.total_glitches < 0 ||
+      state.fragments_retried < 0 || state.fragments_dropped < 0 ||
+      state.streams_shed < 0) {
+    return common::Status::InvalidArgument(
+        "server state counters must be non-negative");
+  }
+  size_t present_count = 0;
+  for (size_t d = 0; d < disks; ++d) {
+    if (state.arm_cylinder[d] < 0 ||
+        state.arm_cylinder[d] >= geometry_.cylinders()) {
+      return common::Status::InvalidArgument(
+          "server state arm cylinder out of the disk's range");
+    }
+    if (state.ascending[d] > 1 || state.injector_present[d] > 1) {
+      return common::Status::InvalidArgument(
+          "server state boolean flags must be 0 or 1");
+    }
+    const bool actual = d < fault_injectors_.size() &&
+                        fault_injectors_[d] != nullptr;
+    if ((state.injector_present[d] != 0) != actual) {
+      return common::Status::InvalidArgument(
+          "server state fault-injector layout does not match the config "
+          "(was the snapshot taken with a different fault spec?)");
+    }
+    if (state.injector_present[d] != 0) ++present_count;
+  }
+  if (state.fault_injectors.size() != present_count) {
+    return common::Status::InvalidArgument(
+        "server state fault-injector count does not match the presence "
+        "flags");
+  }
+  if (state.has_degradation != (degradation_ != nullptr)) {
+    return common::Status::InvalidArgument(
+        "server state degradation presence does not match the config");
+  }
+  // Rebuild the stream map (and derived phase counts) against the
+  // config's admission limits before touching any member.
+  std::vector<int> phase_counts(disks, 0);
+  std::map<int, StreamState> streams;
+  for (const StreamSnapshotState& snapshot : state.streams) {
+    if (snapshot.stream_id < 0 || snapshot.stream_id >= state.next_stream_id) {
+      return common::Status::InvalidArgument(
+          "server state stream id outside [0, next_stream_id)");
+    }
+    if (snapshot.phase < 0 || snapshot.phase >= config_.num_disks) {
+      return common::Status::InvalidArgument(
+          "server state stream phase out of range");
+    }
+    if (snapshot.priority_class < 0 || snapshot.next_fragment < 0 ||
+        snapshot.retry_attempts < 0 ||
+        snapshot.retry_attempts > config_.max_fragment_retries ||
+        snapshot.stats.rounds_served < 0 || snapshot.stats.glitches < 0 ||
+        snapshot.stats.retries < 0 || snapshot.stats.drops < 0) {
+      return common::Status::InvalidArgument(
+          "server state stream counters out of range");
+    }
+    if (++phase_counts[static_cast<size_t>(snapshot.phase)] >
+        config_.per_disk_stream_limit) {
+      return common::Status::InvalidArgument(
+          "server state carries more streams on one phase than the "
+          "admission limit allows");
+    }
+    std::shared_ptr<const workload::SizeDistribution> distribution =
+        resolver ? resolver(snapshot) : nullptr;
+    if (distribution == nullptr) {
+      return common::Status::InvalidArgument(
+          "no size distribution resolved for stream " +
+          std::to_string(snapshot.stream_id));
+    }
+    StreamState stream;
+    stream.phase = snapshot.phase;
+    stream.priority_class = snapshot.priority_class;
+    stream.next_fragment = snapshot.next_fragment;
+    stream.source =
+        std::make_unique<workload::IidSizeSource>(std::move(distribution));
+    stream.retry_bytes = snapshot.retry_bytes;
+    stream.retry_attempts = snapshot.retry_attempts;
+    stream.stats = snapshot.stats;
+    if (!streams.emplace(snapshot.stream_id, std::move(stream)).second) {
+      return common::Status::InvalidArgument(
+          "server state carries duplicate stream id " +
+          std::to_string(snapshot.stream_id));
+    }
+  }
+  numeric::Rng rng(config_.seed);
+  if (auto status = rng.LoadState(state.rng_state); !status.ok()) {
+    return status;
+  }
+  // Sub-component imports validate before mutating themselves, so running
+  // them before the scalar commit keeps a failed restore from leaving the
+  // server's own fields half-written.
+  size_t next_injector = 0;
+  for (size_t d = 0; d < disks; ++d) {
+    if (state.injector_present[d] == 0) continue;
+    if (auto status = fault_injectors_[d]->ImportState(
+            state.fault_injectors[next_injector++]);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (degradation_ != nullptr) {
+    if (auto status = degradation_->ImportState(state.degradation);
+        !status.ok()) {
+      return status;
+    }
+  }
+  rng_ = rng;
+  round_ = state.round;
+  next_stream_id_ = state.next_stream_id;
+  streams_ = std::move(streams);
+  phase_counts_ = std::move(phase_counts);
+  arm_cylinder_.assign(state.arm_cylinder.begin(), state.arm_cylinder.end());
+  ascending_.clear();
+  for (const uint8_t ascending : state.ascending) {
+    ascending_.push_back(ascending != 0);
+  }
+  admissions_open_ = state.admissions_open;
+  fragments_served_ = state.fragments_served;
+  total_glitches_ = state.total_glitches;
+  fragments_retried_ = state.fragments_retried;
+  fragments_dropped_ = state.fragments_dropped;
+  streams_shed_ = state.streams_shed;
+  for (size_t d = 0; d < disks; ++d) {
+    busy_fraction_[d].ImportState(state.busy_fraction[d]);
+  }
+  return common::Status::Ok();
+}
+
 ServerStats MediaServer::GetServerStats() const {
   ServerStats stats;
   stats.rounds = round_;

@@ -9,9 +9,11 @@
 #define ZONESTREAM_SERVER_MEDIA_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -99,6 +101,55 @@ struct ServerStats {
   std::vector<double> disk_utilization;
 };
 
+// Checkpointed state of one open stream. The fragment-size distribution
+// itself is not serialized (it may be an arbitrary SizeDistribution
+// object); RestoreState re-binds each stream to a distribution through
+// the caller's resolver.
+struct StreamSnapshotState {
+  int stream_id = 0;
+  int phase = 0;
+  int priority_class = 0;
+  int64_t next_fragment = 0;
+  double retry_bytes = -1.0;  // < 0: no fragment awaiting re-issue
+  int retry_attempts = 0;
+  StreamStats stats;
+};
+
+// Complete restartable state of a MediaServer: the request RNG position,
+// round/stream-id counters, every open stream, per-disk arm state,
+// per-disk fault injector states, the degradation controller, and all
+// aggregate counters. Restoring it onto a server freshly Created from the
+// same (geometry, seek, config) continues the run bit-identically.
+// phase_counts_ is derived from the streams; metric values live in the
+// obs::Registry and are restored separately via Registry::ImportState.
+struct MediaServerState {
+  std::string rng_state;  // numeric::Rng::SaveState
+  int64_t round = 0;
+  int64_t next_stream_id = 0;
+  std::vector<StreamSnapshotState> streams;
+  std::vector<int64_t> arm_cylinder;        // one per disk
+  std::vector<uint8_t> ascending;           // one per disk (0/1)
+  std::vector<uint8_t> injector_present;    // one per disk (0/1)
+  // States of the present injectors, in ascending disk order.
+  std::vector<fault::FaultInjectorState> fault_injectors;
+  bool has_degradation = false;
+  fault::DegradationControllerState degradation;
+  bool admissions_open = true;
+  int64_t fragments_served = 0;
+  int64_t total_glitches = 0;
+  int64_t fragments_retried = 0;
+  int64_t fragments_dropped = 0;
+  int64_t streams_shed = 0;
+  std::vector<numeric::RunningStatsState> busy_fraction;  // one per disk
+};
+
+// Maps a checkpointed stream back to its fragment-size distribution at
+// restore time (the snapshot records stream identity, not the
+// distribution object). Returning null fails the restore.
+using StreamDistributionResolver =
+    std::function<std::shared_ptr<const workload::SizeDistribution>(
+        const StreamSnapshotState& stream)>;
+
 // The server. Not thread-safe; drive it from one scheduler thread as the
 // paper's architecture does.
 class MediaServer {
@@ -168,6 +219,17 @@ class MediaServer {
     return degradation_ != nullptr ? degradation_->events()
                                    : std::vector<fault::DegradationEvent>{};
   }
+
+  // Checkpoint support. ExportState captures everything RunRound /
+  // OpenStream consult; RestoreState applies it to a server freshly
+  // Created from the same (geometry, seek, config), re-binding each
+  // stream's size distribution through `resolver`. Validates shape
+  // (per-disk vector sizes, phases and arm cylinders in range, per-phase
+  // occupancy within the admission limit, fault/degradation presence
+  // matching the config) and restores nothing on mismatch.
+  MediaServerState ExportState() const;
+  common::Status RestoreState(const MediaServerState& state,
+                              const StreamDistributionResolver& resolver);
 
  private:
   struct StreamState {

@@ -1,7 +1,9 @@
 #include "server/server_config.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <fstream>
 #include <sstream>
 
@@ -61,6 +63,12 @@ class SpecReader {
           "key '" + key + "' in [" + section + "] is not a number: '" +
           *value + "'");
     }
+    // strtod accepts "inf"/"nan" spellings; no config knob means either.
+    if (!std::isfinite(parsed)) {
+      return common::Status::InvalidArgument(
+          "key '" + key + "' in [" + section + "] must be finite: '" +
+          *value + "'");
+    }
     return parsed;
   }
 
@@ -68,6 +76,13 @@ class SpecReader {
                                const std::string& key) const {
     auto value = GetDouble(section, key);
     if (!value.ok()) return value.status();
+    // Range-check before the cast: double -> int conversion of an
+    // out-of-range value is undefined behavior, not saturation.
+    if (*value < static_cast<double>(std::numeric_limits<int>::min()) ||
+        *value > static_cast<double>(std::numeric_limits<int>::max())) {
+      return common::Status::InvalidArgument(
+          "key '" + key + "' in [" + section + "] is out of integer range");
+    }
     const int as_int = static_cast<int>(*value);
     if (static_cast<double>(as_int) != *value) {
       return common::Status::InvalidArgument(

@@ -621,6 +621,73 @@ void RoundSimulator::EmitRoundObservability(const RoundOutcome& outcome,
   }
 }
 
+RoundSimulatorState RoundSimulator::ExportState() const {
+  RoundSimulatorState state;
+  state.rng_state = rng_.SaveState();
+  state.disturbance_rng_state = disturbance_rng_.SaveState();
+  state.has_fault_injector = fault_injector_ != nullptr;
+  if (fault_injector_ != nullptr) {
+    state.fault_injector = fault_injector_->ExportState();
+  }
+  state.arm_cylinder = arm_cylinder_;
+  state.ascending = ascending_;
+  state.rounds_run = rounds_run_;
+  state.source_states.reserve(sources_.size());
+  for (const auto& source : sources_) {
+    std::vector<uint64_t> words;
+    source->ExportState(&words);
+    state.source_states.push_back(std::move(words));
+  }
+  return state;
+}
+
+common::Status RoundSimulator::ImportState(const RoundSimulatorState& state) {
+  if (state.source_states.size() != sources_.size()) {
+    return common::Status::InvalidArgument(
+        "simulator state stream count does not match num_streams");
+  }
+  if (state.arm_cylinder < 0 || state.arm_cylinder >= geometry_.cylinders()) {
+    return common::Status::InvalidArgument(
+        "simulator state arm cylinder out of the disk's range");
+  }
+  if (state.rounds_run < 0) {
+    return common::Status::InvalidArgument(
+        "simulator state round counter must be non-negative");
+  }
+  if (state.has_fault_injector != (fault_injector_ != nullptr)) {
+    return common::Status::InvalidArgument(
+        "simulator state fault-injector presence does not match the config "
+        "(was the snapshot taken with a different fault spec?)");
+  }
+  numeric::Rng rng(config_.seed);
+  if (auto status = rng.LoadState(state.rng_state); !status.ok()) {
+    return status;
+  }
+  numeric::Rng disturbance_rng(config_.seed);
+  if (auto status = disturbance_rng.LoadState(state.disturbance_rng_state);
+      !status.ok()) {
+    return status;
+  }
+  if (fault_injector_ != nullptr) {
+    if (auto status = fault_injector_->ImportState(state.fault_injector);
+        !status.ok()) {
+      return status;
+    }
+  }
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (auto status = sources_[i]->ImportState(state.source_states[i]);
+        !status.ok()) {
+      return status;
+    }
+  }
+  rng_ = rng;
+  disturbance_rng_ = disturbance_rng;
+  arm_cylinder_ = state.arm_cylinder;
+  ascending_ = state.ascending;
+  rounds_run_ = state.rounds_run;
+  return common::Status::Ok();
+}
+
 ProbabilityEstimate RoundSimulator::EstimateLateProbability(int rounds) {
   ZS_CHECK_GT(rounds, 0);
   int64_t overruns = 0;

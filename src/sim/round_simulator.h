@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -161,6 +162,23 @@ struct ProbabilityEstimate {
   int64_t trials = 0;
 };
 
+// Complete restartable state of a RoundSimulator: both RNG positions
+// (main + disturbance substream), the fault injector (when configured),
+// the arm state, the round counter, and each stream source's cross-round
+// state. Restoring it onto a simulator freshly Created with the same
+// (geometry, seek, num_streams, factory, config) continues the run
+// bit-identically under either kernel.
+struct RoundSimulatorState {
+  std::string rng_state;              // numeric::Rng::SaveState
+  std::string disturbance_rng_state;  // ditto, dedicated substream
+  bool has_fault_injector = false;
+  fault::FaultInjectorState fault_injector;
+  int arm_cylinder = 0;
+  bool ascending = true;
+  int64_t rounds_run = 0;
+  std::vector<std::vector<uint64_t>> source_states;  // one per stream
+};
+
 // Single-disk round simulator. Not thread-safe; use one per thread with
 // distinct seeds.
 class RoundSimulator {
@@ -208,6 +226,12 @@ class RoundSimulator {
   int num_streams() const { return num_streams_; }
   const SimulatorConfig& config() const { return config_; }
   int64_t rounds_run() const { return rounds_run_; }
+
+  // Checkpoint support: see RoundSimulatorState. ImportState validates
+  // shape (stream count, arm cylinder in range, fault presence matching
+  // the config) before mutating anything it can avoid mutating.
+  RoundSimulatorState ExportState() const;
+  common::Status ImportState(const RoundSimulatorState& state);
 
  private:
   // Metric handles resolved once at construction (see docs/OBSERVABILITY.md

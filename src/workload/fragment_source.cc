@@ -1,5 +1,6 @@
 #include "workload/fragment_source.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -43,6 +44,21 @@ double Ar1SizeSource::NextFragmentBytes(numeric::Rng* rng) {
   double u = numeric::NormalCdf(z_);
   u = std::fmin(std::fmax(u, 1e-12), 1.0 - 1e-12);
   return distribution_->Quantile(u);
+}
+
+void Ar1SizeSource::ExportState(std::vector<uint64_t>* out) const {
+  out->push_back(has_state_ ? 1 : 0);
+  out->push_back(std::bit_cast<uint64_t>(z_));
+}
+
+common::Status Ar1SizeSource::ImportState(const std::vector<uint64_t>& state) {
+  if (state.size() != 2 || state[0] > 1) {
+    return common::Status::InvalidArgument(
+        "Ar1SizeSource state must be (has_state in {0,1}, latent z)");
+  }
+  has_state_ = state[0] == 1;
+  z_ = std::bit_cast<double>(state[1]);
+  return common::Status::Ok();
 }
 
 }  // namespace zonestream::workload

@@ -8,7 +8,9 @@
 #ifndef ZONESTREAM_WORKLOAD_FRAGMENT_SOURCE_H_
 #define ZONESTREAM_WORKLOAD_FRAGMENT_SOURCE_H_
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "numeric/random.h"
@@ -34,6 +36,22 @@ class FragmentSource {
   // round's sizes in one FillSamples() call; stateful sources (AR(1))
   // return nullptr and fall back to per-stream NextFragmentBytes().
   virtual const SizeDistribution* iid_distribution() const { return nullptr; }
+
+  // Checkpoint support: appends the source's cross-round state (if any)
+  // as raw 64-bit words (doubles bit-cast). The default is the empty
+  // stateless export, which is exact for i.i.d. sources — their whole
+  // sample path lives in the caller's Rng. Stateful sources (AR(1)'s
+  // latent value, a trace's replay position) override both methods.
+  virtual void ExportState(std::vector<uint64_t>* out) const { (void)out; }
+
+  // Restores a state produced by ExportState on an identically configured
+  // source. Rejects a word count that does not match the source's schema.
+  virtual common::Status ImportState(const std::vector<uint64_t>& state) {
+    return state.empty() ? common::Status::Ok()
+                         : common::Status::InvalidArgument(
+                               "stateless fragment source given a non-empty "
+                               "state to import");
+  }
 };
 
 // Independent draws from a SizeDistribution (the paper's model assumption).
@@ -66,6 +84,10 @@ class Ar1SizeSource final : public FragmentSource {
   double mean() const override { return distribution_->mean(); }
   double variance() const override { return distribution_->variance(); }
   double rho() const { return rho_; }
+
+  // Cross-round state: the latent AR(1) value (the copula's "memory").
+  void ExportState(std::vector<uint64_t>* out) const override;
+  common::Status ImportState(const std::vector<uint64_t>& state) override;
 
  private:
   Ar1SizeSource(std::shared_ptr<const SizeDistribution> distribution,

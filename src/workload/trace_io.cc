@@ -1,6 +1,7 @@
 #include "workload/trace_io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,13 @@ common::StatusOr<std::vector<double>> ParseSizeTrace(
     if (errno != 0 || end == nullptr || *end != '\0') {
       return common::Status::InvalidArgument(
           "unparsable trace entry at line " + std::to_string(line_number) +
+          ": '" + line + "'");
+    }
+    // strtod parses "inf"/"nan"; neither is a fragment size, and an
+    // infinite entry would poison every downstream moment.
+    if (!std::isfinite(value)) {
+      return common::Status::InvalidArgument(
+          "non-finite fragment size at line " + std::to_string(line_number) +
           ": '" + line + "'");
     }
     if (value <= 0.0) {
@@ -105,9 +113,9 @@ common::StatusOr<TraceSource> TraceSource::Create(std::vector<double> trace,
     return common::Status::InvalidArgument("trace must be non-empty");
   }
   for (double size : trace) {
-    if (size <= 0.0) {
+    if (!std::isfinite(size) || size <= 0.0) {
       return common::Status::InvalidArgument(
-          "trace entries must be positive");
+          "trace entries must be positive and finite");
     }
   }
   return TraceSource(std::move(trace), start_offset);
@@ -117,6 +125,19 @@ double TraceSource::NextFragmentBytes(numeric::Rng* /*rng*/) {
   const double size = trace_[position_];
   position_ = (position_ + 1) % trace_.size();
   return size;
+}
+
+void TraceSource::ExportState(std::vector<uint64_t>* out) const {
+  out->push_back(static_cast<uint64_t>(position_));
+}
+
+common::Status TraceSource::ImportState(const std::vector<uint64_t>& state) {
+  if (state.size() != 1 || state[0] >= trace_.size()) {
+    return common::Status::InvalidArgument(
+        "TraceSource state must be a single in-range replay position");
+  }
+  position_ = static_cast<size_t>(state[0]);
+  return common::Status::Ok();
 }
 
 }  // namespace zonestream::workload

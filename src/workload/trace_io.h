@@ -53,6 +53,10 @@ class TraceSource final : public FragmentSource {
   double mean() const override { return moments_.mean_bytes; }
   double variance() const override { return moments_.variance_bytes2; }
 
+  // Cross-round state: the replay position within the looping trace.
+  void ExportState(std::vector<uint64_t>* out) const override;
+  common::Status ImportState(const std::vector<uint64_t>& state) override;
+
  private:
   TraceSource(std::vector<double> trace, size_t start_offset);
 

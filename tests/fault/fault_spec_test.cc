@@ -69,6 +69,36 @@ TEST(ParseFaultSpecTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseFaultSpec("burst:prob").ok());            // missing '='
 }
 
+TEST(ParseFaultSpecTest, RejectsNonFiniteAndOverflowingNumbers) {
+  // strtod parses these happily; the spec parser must not.
+  EXPECT_FALSE(ParseFaultSpec("burst:prob=inf").ok());
+  EXPECT_FALSE(ParseFaultSpec("burst:prob=-inf").ok());
+  EXPECT_FALSE(ParseFaultSpec("burst:prob=nan").ok());
+  EXPECT_FALSE(ParseFaultSpec("slowdown:delay_max=1e999").ok());  // ERANGE
+  // The error names the offending token, not just the key.
+  const auto status = ParseFaultSpec("burst:prob=nan").status();
+  EXPECT_NE(status.message().find("nan"), std::string::npos);
+  EXPECT_NE(status.message().find("prob"), std::string::npos);
+}
+
+TEST(ParseFaultSpecTest, RejectsNonIntegerAndOutOfRangeInts) {
+  // Integer keys are parsed as integers: fractions must not silently
+  // truncate, and values beyond the target width must not wrap.
+  EXPECT_FALSE(ParseFaultSpec("burst:len=2.5").ok());
+  EXPECT_FALSE(ParseFaultSpec("burst:len=1e3").ok());
+  EXPECT_FALSE(ParseFaultSpec("burst:len=99999999999999999999").ok());
+  EXPECT_FALSE(ParseFaultSpec("burst:len=3000000000").ok());  // > INT_MAX
+  EXPECT_FALSE(ParseFaultSpec("disk_failure:at=12.0").ok());
+  EXPECT_FALSE(ParseFaultSpec("slowdown:from=abc").ok());
+  const auto status = ParseFaultSpec("burst:len=3000000000").status();
+  EXPECT_NE(status.message().find("3000000000"), std::string::npos);
+  // Plain integer literals still parse.
+  auto spec = ParseFaultSpec("disk_failure:at=25,repair=10");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->disk_failures[0].fail_at_round, 25);
+  EXPECT_EQ(spec->disk_failures[0].repair_after_rounds, 10);
+}
+
 TEST(FormatFaultSpecTest, RoundTripsThroughParse) {
   const std::string text =
       "slowdown:enter=0.01,exit=0.2,prob=1,delay_min=0.05,delay_max=0.3,"

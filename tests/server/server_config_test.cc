@@ -138,6 +138,34 @@ TEST(ServerSpecTest, RejectsBadValues) {
                    .ok());
 }
 
+TEST(ServerSpecTest, RejectsNonFiniteAndOverflowingValues) {
+  const auto replace = [](const std::string& from, const std::string& to) {
+    std::string config = DefaultConfigTemplate();
+    const size_t pos = config.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    config.replace(pos, from.size(), to);
+    return config;
+  };
+  // strtod-accepted spellings that are not meaningful config values.
+  EXPECT_FALSE(
+      ParseServerSpec(replace("round_s = 1.0", "round_s = inf")).ok());
+  EXPECT_FALSE(
+      ParseServerSpec(replace("round_s = 1.0", "round_s = nan")).ok());
+  EXPECT_FALSE(ParseServerSpec(replace("fragment_mean_kb = 200",
+                                       "fragment_mean_kb = 1e999"))
+                   .ok());
+  // Integer keys: values beyond int range must not wrap through the
+  // double -> int cast, and fractions must be rejected.
+  EXPECT_FALSE(
+      ParseServerSpec(replace("disks = 4", "disks = 1e300")).ok());
+  EXPECT_FALSE(
+      ParseServerSpec(replace("disks = 4", "disks = 2.5")).ok());
+  // The error message names the offending key.
+  const auto status =
+      ParseServerSpec(replace("round_s = 1.0", "round_s = inf")).status();
+  EXPECT_NE(status.message().find("round_s"), std::string::npos);
+}
+
 TEST(ServerSpecTest, MissingSectionsReported) {
   const auto spec = ParseServerSpec("[disk]\npreset = quantum_viking_2100\n");
   ASSERT_FALSE(spec.ok());

@@ -1,6 +1,7 @@
 #include "workload/trace_io.h"
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -38,6 +39,17 @@ TEST(ParseSizeTraceTest, RejectsTrailingGarbageOnLine) {
 TEST(ParseSizeTraceTest, RejectsNonPositive) {
   EXPECT_FALSE(ParseSizeTrace("123\n-5\n").ok());
   EXPECT_FALSE(ParseSizeTrace("0\n").ok());
+}
+
+TEST(ParseSizeTraceTest, RejectsNonFiniteEntries) {
+  // strtod accepts "inf"/"nan" spellings; a trace must not, and the
+  // error must name the line.
+  const auto inf = ParseSizeTrace("123\ninf\n");
+  EXPECT_FALSE(inf.ok());
+  EXPECT_NE(inf.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseSizeTrace("nan\n").ok());
+  EXPECT_FALSE(ParseSizeTrace("-infinity\n").ok());
+  EXPECT_FALSE(ParseSizeTrace("1e999\n").ok());  // overflows to infinity
 }
 
 TEST(ParseSizeTraceTest, RejectsEmpty) {
@@ -78,6 +90,11 @@ TEST(MeasureTraceMomentsTest, KnownValues) {
 TEST(TraceSourceTest, CreateValidation) {
   EXPECT_FALSE(TraceSource::Create({}).ok());
   EXPECT_FALSE(TraceSource::Create({100.0, -1.0}).ok());
+  EXPECT_FALSE(
+      TraceSource::Create({100.0, std::numeric_limits<double>::infinity()})
+          .ok());
+  EXPECT_FALSE(
+      TraceSource::Create({std::numeric_limits<double>::quiet_NaN()}).ok());
 }
 
 TEST(TraceSourceTest, ReplaysInOrderAndWraps) {
