@@ -17,7 +17,16 @@
 // the google-benchmark library, which can differ). Non-Release build
 // types are loudly warned about — and refused outright with
 // --require-release — so a debug-built trajectory can't silently become
-// the checked-in baseline again.
+// the checked-in baseline again. --require-release also rejects a
+// non-release google-benchmark library (its timing loops wrap every
+// measurement); --allow-debug-library waives that one check for hosts
+// whose distro benchmark package was configured without
+// CMAKE_BUILD_TYPE=Release and cannot be rebuilt — the library tag still
+// lands in the output context either way.
+//
+// The raw dump's custom context "zonestream_threads" (added by
+// bench_model_perf's main) is surfaced as a numeric "num_threads" so a
+// trajectory line is attributable to its parallelism.
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -150,6 +159,7 @@ std::string FormatNumber(double value) {
 int main(int argc, char** argv) {
   std::string build_type;
   bool require_release = false;
+  bool allow_debug_library = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -157,6 +167,8 @@ int main(int argc, char** argv) {
       build_type = arg.substr(std::string("--build-type=").size());
     } else if (arg == "--require-release") {
       require_release = true;
+    } else if (arg == "--allow-debug-library") {
+      allow_debug_library = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -164,6 +176,7 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: %s [--build-type=<type>] [--require-release] "
+                 "[--allow-debug-library] "
                  "<raw-google-benchmark.json> <output.json>\n",
                  argv[0]);
     return 2;
@@ -199,6 +212,27 @@ int main(int argc, char** argv) {
   buffer << input.rdbuf();
   const std::string raw = buffer.str();
 
+  const std::string library_build_type =
+      FindValue(raw, "library_build_type").value_or("");
+  if (library_build_type != "release") {
+    if (require_release && !allow_debug_library) {
+      std::fprintf(
+          stderr,
+          "bench_json_report: refusing to write a trajectory timed by a "
+          "'%s' google-benchmark library — rebuild the benchmark library "
+          "Release, or pass --allow-debug-library to accept the harness "
+          "overhead (the tag is recorded in the output context)\n",
+          library_build_type.empty() ? "<unset>" : library_build_type.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bench_json_report: WARNING: google-benchmark library build "
+                 "type is '%s', not release — harness overhead may differ "
+                 "from a release-built library\n",
+                 library_build_type.empty() ? "<unset>"
+                                            : library_build_type.c_str());
+  }
+
   const std::vector<std::string> entries = BenchmarkObjects(raw);
   if (entries.empty()) {
     std::fprintf(stderr, "no benchmarks found in %s\n", positional[0]);
@@ -217,6 +251,17 @@ int main(int argc, char** argv) {
       if (!first_context) out << ",";
       out << "\n    \"" << key << "\": " << FormatNumber(*value);
       first_context = false;
+    }
+  }
+  // Custom context entries are emitted by google-benchmark as strings;
+  // the pool width is numeric by construction.
+  if (const auto threads = FindValue(raw, "zonestream_threads")) {
+    try {
+      const double value = std::stod(*threads);
+      if (!first_context) out << ",";
+      out << "\n    \"num_threads\": " << FormatNumber(value);
+      first_context = false;
+    } catch (...) {
     }
   }
   if (const auto value = FindValue(raw, "library_build_type")) {

@@ -4,6 +4,7 @@
 // change) is fast. google-benchmark microbenchmarks of every piece of that
 // pipeline.
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -14,6 +15,7 @@
 #include "core/glitch_model.h"
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
+#include "sim/importance_sampling.h"
 #include "sim/replication.h"
 
 namespace zonestream {
@@ -198,6 +200,52 @@ void BM_ReplicatedLateProbability(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplicatedLateProbability)->Arg(8)->Arg(40);
 
+// Thread-scaling curve of the same replicated batch on explicit pool
+// sizes (arg0 = replications, arg1 = threads). The estimate is
+// bit-identical across the whole curve; only wall time moves. On a
+// single-core host the >1 entries measure scheduling overhead.
+void BM_ReplicatedLateProbabilityThreads(benchmark::State& state) {
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  common::ThreadPool pool(static_cast<int>(state.range(1)));
+  sim::ReplicationOptions options;
+  options.replications = static_cast<int>(state.range(0));
+  options.pool = &pool;
+  for (auto _ : state) {
+    auto estimate = sim::EstimateLateProbabilityReplicated(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 26,
+        sim::RoundSimulator::IidFactory(bench::Table1Sizes()), config,
+        /*rounds_per_replication=*/25, options);
+    benchmark::DoNotOptimize(estimate.ok());
+  }
+}
+BENCHMARK(BM_ReplicatedLateProbabilityThreads)
+    ->Args({40, 1})
+    ->Args({40, 2})
+    ->Args({40, 4});
+
+// Deep-tail p_error (n=24, p_late ~ 7e-6) through the tilted estimator —
+// the rare-event path's cost per resolved tail. Each iteration runs
+// 8 x 500 importance-sampled rounds (plus one nominal warm-up round per
+// sample) and maps the glitch estimate through the exact binomial tail;
+// the naive estimator would need ~10^7 rounds for the same CI.
+void BM_ImportanceSampledErrorProbability(benchmark::State& state) {
+  sim::SimulatorConfig config;
+  config.round_length_s = bench::kRoundLengthS;
+  sim::ReplicationOptions replication;
+  replication.replications = 8;
+  sim::ImportanceSamplingOptions options;
+  for (auto _ : state) {
+    auto estimate = sim::EstimateErrorProbabilityIS(
+        disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
+        static_cast<int>(state.range(0)), bench::Table1Sizes(), config,
+        bench::kRoundsPerStream, bench::kToleratedGlitches,
+        /*rounds_per_replication=*/500, replication, options);
+    benchmark::DoNotOptimize(estimate.ok());
+  }
+}
+BENCHMARK(BM_ImportanceSampledErrorProbability)->Arg(24);
+
 void BM_ModelBuild(benchmark::State& state) {
   for (auto _ : state) {
     auto model = core::ServiceTimeModel::ForMultiZoneDisk(
@@ -211,4 +259,17 @@ BENCHMARK(BM_ModelBuild);
 }  // namespace
 }  // namespace zonestream
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records the pool width the
+// replicated estimators will use (workers + caller, after any
+// ZONESTREAM_THREADS override) in the JSON context, so a trajectory line
+// is attributable to its parallelism.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "zonestream_threads",
+      std::to_string(zonestream::common::ThreadPool::DefaultThreads()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

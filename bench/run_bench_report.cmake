@@ -16,7 +16,12 @@
 #                    context as provenance
 #   REQUIRE_RELEASE - ON makes bench_json_report refuse non-Release
 #                    BUILD_TYPEs (the checked-in trajectory must come from
-#                    a Release build)
+#                    a Release build) and a non-release google-benchmark
+#                    library
+#   ALLOW_DEBUG_LIBRARY - ON waives only the library half of
+#                    REQUIRE_RELEASE, for hosts whose distro benchmark
+#                    package reports a non-release build type and cannot
+#                    be rebuilt; the tag still lands in the output context
 
 foreach(var BENCH_BINARY REPORT_BINARY RAW_JSON OUTPUT_JSON)
   if(NOT DEFINED ${var})
@@ -49,6 +54,9 @@ if(DEFINED BUILD_TYPE AND NOT BUILD_TYPE STREQUAL "")
 endif()
 if(DEFINED REQUIRE_RELEASE AND REQUIRE_RELEASE)
   list(APPEND report_args --require-release)
+endif()
+if(DEFINED ALLOW_DEBUG_LIBRARY AND ALLOW_DEBUG_LIBRARY)
+  list(APPEND report_args --allow-debug-library)
 endif()
 
 execute_process(

@@ -8,6 +8,7 @@
 //  3. Run the admission pipeline on the calibrated drive and compare with
 //     the linear-ramp approximation the paper would use.
 #include <cstdio>
+#include <random>
 #include <vector>
 
 #include "common/table_printer.h"

@@ -22,6 +22,13 @@
 //                        shedding streams when it is violated
 //   --retries=R          re-issue deadline-cut fragments up to R times
 //
+// Rare-event analysis (docs/PERFORMANCE.md, "Variance reduction"):
+//   --rare-event=SPEC    instead of simulating, estimate the deep-tail
+//                        p_error for this content library by importance
+//                        sampling, e.g. "streams=30,rounds=20000,reps=8"
+//                        (streams defaults to the derived admission
+//                        limit; see sim/rare_event_spec.h for all keys)
+//
 // Crash-safe checkpointing and deterministic resume (docs/RECOVERY.md):
 //   --rounds=N           simulate N rounds (default 1200)
 //   --checkpoint-every=K write a snapshot every K rounds
@@ -42,6 +49,7 @@
 
 #include "common/table_printer.h"
 #include "core/admission.h"
+#include "core/glitch_model.h"
 #include "core/service_time_model.h"
 #include "disk/presets.h"
 #include "fault/degradation.h"
@@ -55,6 +63,8 @@
 #include "recovery/replay.h"
 #include "recovery/snapshot.h"
 #include "server/media_server.h"
+#include "sim/importance_sampling.h"
+#include "sim/rare_event_spec.h"
 #include "workload/fragmentation.h"
 #include "workload/size_distribution.h"
 #include "workload/vbr_trace.h"
@@ -289,6 +299,56 @@ int RunReplayVerify(const disk::DiskGeometry& viking,
   return 0;
 }
 
+// --rare-event=SPEC: instead of running the churn simulation, estimate
+// the deep-tail p_error of this content library's workload by importance
+// sampling (sim/importance_sampling.h) and compare it with the analytic
+// bound the admission decision was based on. This answers "how much
+// headroom does the derived limit actually have" — the analytic bound is
+// conservative, and the naive simulation cannot see probabilities below
+// ~1/lifetimes.
+int RunRareEvent(const disk::DiskGeometry& viking,
+                 const disk::SeekTimeModel& seek,
+                 const core::ServiceTimeModel& model,
+                 const std::shared_ptr<const workload::SizeDistribution>&
+                     sizes,
+                 double round_length, int per_disk_limit,
+                 const sim::RareEventSpec& spec) {
+  const int streams = spec.streams > 0 ? spec.streams : per_disk_limit;
+  const core::GlitchModel glitch_model(&model);
+  const double analytic = glitch_model.ErrorBound(
+      streams, round_length, spec.lifetime_rounds, spec.tolerated_glitches);
+
+  sim::SimulatorConfig config;
+  config.round_length_s = round_length;
+  sim::ReplicationOptions replication;
+  replication.replications = spec.replications;
+  replication.base_seed = spec.base_seed;
+  const auto estimate = sim::EstimateErrorProbabilityIS(
+      viking, seek, streams, sizes, config, spec.lifetime_rounds,
+      spec.tolerated_glitches, spec.rounds_per_replication, replication,
+      spec.options);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "--rare-event: %s\n",
+                 estimate.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nRare-event analysis (%s):\n"
+      "  P[>=%d glitches in %d rounds] at N=%d streams/disk\n"
+      "  analytic bound     %.3e\n"
+      "  IS estimate        %.3e  [%.3e, %.3e] at %.0f%% confidence\n"
+      "  per-round glitch p %.3e  (theta* = %.2f, ESS %.0f of %lld "
+      "rounds, E[w] = %.3f)\n",
+      FormatRareEventSpec(spec).c_str(), spec.tolerated_glitches,
+      spec.lifetime_rounds, streams, analytic, estimate->point,
+      estimate->ci_lower, estimate->ci_upper,
+      100.0 * spec.options.confidence, estimate->glitch.point,
+      estimate->glitch.theta, estimate->glitch.ess,
+      static_cast<long long>(estimate->glitch.rounds),
+      estimate->glitch.weight_mean);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,6 +356,8 @@ int main(int argc, char** argv) {
   std::string fault_text;
   std::string checkpoint_dir;
   std::string resume_from;
+  std::string rare_event_text;
+  bool rare_event = false;
   int fault_disk = -1;
   double degrade_bound = -1.0;
   int retries = 0;
@@ -323,13 +385,19 @@ int main(int argc, char** argv) {
       resume_from = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--replay-verify") == 0) {
       replay_verify = true;
+    } else if (std::strncmp(argv[i], "--rare-event=", 13) == 0) {
+      rare_event_text = argv[i] + 13;
+      rare_event = true;
+    } else if (std::strcmp(argv[i], "--rare-event") == 0) {
+      rare_event = true;  // empty spec: all defaults
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics-out=FILE] [--fault=SPEC] "
                    "[--fault-disk=D] [--degrade=BOUND] [--retries=R]\n"
                    "          [--rounds=N] [--checkpoint-every=K] "
                    "[--checkpoint-dir=DIR]\n"
-                   "          [--resume-from=FILE|DIR] [--replay-verify]\n",
+                   "          [--resume-from=FILE|DIR] [--replay-verify] "
+                   "[--rare-event[=SPEC]]\n",
                    argv[0]);
       return 2;
     }
@@ -379,6 +447,21 @@ int main(int argc, char** argv) {
       "Admission model: <=%d streams/disk keep P[>%d glitches in %d "
       "rounds] under 1%%\n",
       per_disk_limit, tolerated_glitches, rounds_per_stream);
+
+  if (rare_event) {
+    auto spec = sim::ParseRareEventSpec(rare_event_text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--rare-event: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    const std::shared_ptr<const workload::SizeDistribution> rare_sizes =
+        std::make_shared<workload::GammaSizeDistribution>(
+            *workload::GammaSizeDistribution::Create(
+                moments.mean_bytes, moments.variance_bytes2));
+    return RunRareEvent(viking, seek, *model, rare_sizes, round_length,
+                        per_disk_limit, *spec);
+  }
 
   // --- 4. Run the striped server with churn ------------------------------
   obs::Registry registry;

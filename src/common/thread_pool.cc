@@ -66,10 +66,11 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::RunStatBlock(const std::function<void(int64_t)>& body,
-                              int64_t begin, int64_t end) {
+void ThreadPool::RunStatBlock(
+    const std::function<void(int64_t, int64_t)>& body, int64_t begin,
+    int64_t end) {
   const auto start = std::chrono::steady_clock::now();
-  for (int64_t i = begin; i < end; ++i) body(i);
+  body(begin, end);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -86,6 +87,13 @@ void ThreadPool::RunStatBlock(const std::function<void(int64_t)>& body,
 
 void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& body) {
+  ParallelForBlocks(count, [&body](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::ParallelForBlocks(
+    int64_t count, const std::function<void(int64_t, int64_t)>& body) {
   if (count <= 0) return;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -182,6 +190,13 @@ ThreadPool& ThreadPool::Global() {
 void ParallelFor(int64_t count, const std::function<void(int64_t)>& body,
                  ThreadPool* pool) {
   (pool != nullptr ? *pool : ThreadPool::Global()).ParallelFor(count, body);
+}
+
+void ParallelForBlocks(int64_t count,
+                       const std::function<void(int64_t, int64_t)>& body,
+                       ThreadPool* pool) {
+  (pool != nullptr ? *pool : ThreadPool::Global())
+      .ParallelForBlocks(count, body);
 }
 
 }  // namespace zonestream::common

@@ -60,6 +60,15 @@ class ThreadPool {
   // any) is rethrown on the calling thread after the loop drains.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& body);
 
+  // Block-granular variant: body(begin, end) receives each contiguous
+  // block of the same static partition ParallelFor uses, so callers can
+  // hoist per-thread state (a reusable simulator, a scratch arena) out
+  // of the per-index loop. Iteration results must still depend only on
+  // the index, never on the block boundaries, to keep every thread count
+  // bit-identical.
+  void ParallelForBlocks(int64_t count,
+                         const std::function<void(int64_t, int64_t)>& body);
+
   // std::thread::hardware_concurrency(), clamped to >= 1 and overridable
   // with the ZONESTREAM_THREADS environment variable.
   static int DefaultThreads();
@@ -80,9 +89,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  // Times body over [begin, end), updates stats, notifies the observer.
-  void RunStatBlock(const std::function<void(int64_t)>& body, int64_t begin,
-                    int64_t end);
+  // Times body(begin, end), updates stats, notifies the observer.
+  void RunStatBlock(const std::function<void(int64_t, int64_t)>& body,
+                    int64_t begin, int64_t end);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -101,6 +110,11 @@ class ThreadPool {
 // ThreadPool::Global() when pool is null.
 void ParallelFor(int64_t count, const std::function<void(int64_t)>& body,
                  ThreadPool* pool = nullptr);
+
+// Block-granular convenience wrapper (see ThreadPool::ParallelForBlocks).
+void ParallelForBlocks(int64_t count,
+                       const std::function<void(int64_t, int64_t)>& body,
+                       ThreadPool* pool = nullptr);
 
 }  // namespace zonestream::common
 

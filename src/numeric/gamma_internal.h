@@ -1,0 +1,82 @@
+// Shared internals of the batched Gamma sampler: the 128-layer ziggurat
+// normal source and the scalar Marsaglia–Tsang rejection draw. Split out
+// of random.cc so the speculative SIMD sampler (random_simd.cc) can fall
+// back to the EXACT scalar routines — lane deviations must consume the
+// engine word-for-word like the scalar path, or the sequences diverge.
+//
+// Everything here is an implementation detail of GammaBatchSampler; do
+// not call it directly.
+#ifndef ZONESTREAM_NUMERIC_GAMMA_INTERNAL_H_
+#define ZONESTREAM_NUMERIC_GAMMA_INTERNAL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "numeric/random.h"
+
+namespace zonestream::numeric::internal {
+
+// Standard-normal draws via Marsaglia–Tsang's 128-layer ziggurat: one
+// 64-bit engine draw yields the layer index (low 7 bits) and the
+// position uniform (high 53 bits, disjoint), and ~98.9% of draws accept
+// with a single table compare — no log/sqrt on the common path, which is
+// what makes the batched Gamma sampler cheap. The wedge (~1%) pays one
+// exp; the tail (<0.03%) falls back to exponential rejection.
+struct ZigguratTables {
+  double x[129];  // layer right edges, x[0] = base strip edge, x[128] = 0
+  double f[129];  // f[i] = exp(-x[i]^2 / 2)
+};
+
+const ZigguratTables& NormalZiggurat();
+
+inline double ZigguratNormal(Rng* rng, const ZigguratTables& t) {
+  for (;;) {
+    const uint64_t bits = rng->engine()();
+    const int i = static_cast<int>(bits & 127u);
+    // Signed uniform in [-1, 1) from the high 53 bits (disjoint from the
+    // layer bits).
+    const double u =
+        static_cast<double>(bits >> 11) * 0x1.0p-52 - 1.0;
+    const double x = u * t.x[i];
+    if (std::abs(x) < t.x[i + 1]) return x;  // inside the layer: ~98.9%
+    if (i == 0) {
+      // Base-strip tail (|x| > r): exponential rejection.
+      const double r = t.x[1];
+      double xx;
+      double yy;
+      do {
+        xx = -std::log(rng->Uniform01()) / r;
+        yy = -std::log(rng->Uniform01());
+      } while (yy + yy < xx * xx);
+      return u < 0.0 ? -(r + xx) : r + xx;
+    }
+    // Wedge between the layer cap and the density.
+    if (t.f[i] + rng->Uniform01() * (t.f[i + 1] - t.f[i]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+  }
+}
+
+// One Marsaglia–Tsang Gamma(d + 1/3, 1) draw given cached (d, c).
+inline double MarsagliaTsangDraw(Rng* rng, const ZigguratTables& t, double d,
+                                 double c) {
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = ZigguratNormal(rng, t);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->Uniform01();
+    const double x2 = x * x;
+    // Cheap squeeze first, exact log acceptance second.
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace zonestream::numeric::internal
+
+#endif  // ZONESTREAM_NUMERIC_GAMMA_INTERNAL_H_

@@ -1,0 +1,28 @@
+// Internal bulk kernels for the MT19937-64 engine: the 312-word block
+// twist and the output tempering transform, runtime-dispatched across
+// the SIMD tiers (numeric/simd.h). Both transforms are pure integer
+// bitwise arithmetic, so every tier produces identical words — the
+// dispatch is invisible to callers and to checkpoints.
+#ifndef ZONESTREAM_NUMERIC_MT_KERNELS_H_
+#define ZONESTREAM_NUMERIC_MT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zonestream::numeric::internal {
+
+// Computes one full MT19937-64 twist of the 312-word block src into
+// dst. dst == src performs the standard in-place update; dst != src
+// leaves src untouched (the shadow-block path used by peeks). In both
+// cases entries at or past index 156 read the already-produced new
+// words from dst, matching the classical recurrence.
+void MtTwistBlock(const uint64_t* src, uint64_t* dst);
+
+// dst[i] = Temper(src[i]) for i in [0, n): the MT19937-64 output
+// tempering (shift/mask xors). src and dst may alias exactly or not at
+// all; partial overlap is undefined.
+void MtTemperRange(const uint64_t* src, uint64_t* dst, size_t n);
+
+}  // namespace zonestream::numeric::internal
+
+#endif  // ZONESTREAM_NUMERIC_MT_KERNELS_H_

@@ -1,9 +1,12 @@
 #include "numeric/random.h"
 
 #include <cmath>
+#include <random>
 #include <sstream>
 
 #include "common/check.h"
+#include "numeric/gamma_internal.h"
+#include "numeric/random_simd.h"
 
 namespace zonestream::numeric {
 
@@ -73,7 +76,7 @@ std::string Rng::SaveState() const {
 
 common::Status Rng::LoadState(const std::string& state) {
   std::istringstream in(state);
-  std::mt19937_64 engine;
+  Mt19937_64 engine;
   in >> engine;
   if (in.fail()) {
     return common::Status::InvalidArgument(
@@ -92,10 +95,27 @@ common::Status Rng::LoadState(const std::string& state) {
   return common::Status::Ok();
 }
 
+namespace {
+
+// Stack-buffer chunk for bulk word pulls: big enough that a typical
+// round's fill is one FillRaw call, small enough to stay cache-resident.
+constexpr size_t kRawChunk = 256;
+
+}  // namespace
+
 void Rng::FillUniform01(double* out, size_t n) {
   ZS_CHECK(out != nullptr || n == 0);
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  uint64_t raw[kRawChunk];
+  while (n > 0) {
+    const size_t take = n < kRawChunk ? n : kRawChunk;
+    engine_.FillRaw(raw, take);
+    if (!internal::UniformFromRawWide(raw, out, take)) {
+      for (size_t i = 0; i < take; ++i) {
+        out[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+      }
+    }
+    out += take;
+    n -= take;
   }
 }
 
@@ -103,8 +123,17 @@ void Rng::FillUniform(double lo, double hi, double* out, size_t n) {
   ZS_CHECK_LE(lo, hi);
   ZS_CHECK(out != nullptr || n == 0);
   const double width = hi - lo;
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = lo + width * (static_cast<double>(engine_() >> 11) * 0x1.0p-53);
+  uint64_t raw[kRawChunk];
+  while (n > 0) {
+    const size_t take = n < kRawChunk ? n : kRawChunk;
+    engine_.FillRaw(raw, take);
+    if (!internal::UniformAffineFromRawWide(raw, lo, width, out, take)) {
+      for (size_t i = 0; i < take; ++i) {
+        out[i] = lo + width * (static_cast<double>(raw[i] >> 11) * 0x1.0p-53);
+      }
+    }
+    out += take;
+    n -= take;
   }
 }
 
@@ -118,18 +147,7 @@ GammaBatchSampler::GammaBatchSampler(double shape, double scale)
   inv_shape_ = shape >= 1.0 ? 0.0 : 1.0 / shape;
 }
 
-namespace {
-
-// Standard-normal draws via Marsaglia–Tsang's 128-layer ziggurat: one
-// 64-bit engine draw yields the layer index (low 7 bits) and the
-// position uniform (high 53 bits, disjoint), and ~98.9% of draws accept
-// with a single table compare — no log/sqrt on the common path, which is
-// what makes the batched Gamma sampler cheap. The wedge (~1%) pays one
-// exp; the tail (<0.03%) falls back to exponential rejection.
-struct ZigguratTables {
-  double x[129];  // layer right edges, x[0] = base strip edge, x[128] = 0
-  double f[129];  // f[i] = exp(-x[i]^2 / 2)
-};
+namespace internal {
 
 const ZigguratTables& NormalZiggurat() {
   static const ZigguratTables tables = [] {
@@ -154,68 +172,26 @@ const ZigguratTables& NormalZiggurat() {
   return tables;
 }
 
-inline double ZigguratNormal(Rng* rng, const ZigguratTables& t) {
-  for (;;) {
-    const uint64_t bits = rng->engine()();
-    const int i = static_cast<int>(bits & 127u);
-    // Signed uniform in [-1, 1) from the high 53 bits (disjoint from the
-    // layer bits).
-    const double u =
-        static_cast<double>(bits >> 11) * 0x1.0p-52 - 1.0;
-    const double x = u * t.x[i];
-    if (std::abs(x) < t.x[i + 1]) return x;  // inside the layer: ~98.9%
-    if (i == 0) {
-      // Base-strip tail (|x| > r): exponential rejection.
-      const double r = t.x[1];
-      double xx;
-      double yy;
-      do {
-        xx = -std::log(rng->Uniform01()) / r;
-        yy = -std::log(rng->Uniform01());
-      } while (yy + yy < xx * xx);
-      return u < 0.0 ? -(r + xx) : r + xx;
-    }
-    // Wedge between the layer cap and the density.
-    if (t.f[i] + rng->Uniform01() * (t.f[i + 1] - t.f[i]) <
-        std::exp(-0.5 * x * x)) {
-      return x;
-    }
-  }
-}
-
-// One Marsaglia–Tsang Gamma(d + 1/3, 1) draw given cached (d, c).
-inline double MarsagliaTsangDraw(Rng* rng, const ZigguratTables& t, double d,
-                                 double c) {
-  for (;;) {
-    double x;
-    double v;
-    do {
-      x = ZigguratNormal(rng, t);
-      v = 1.0 + c * x;
-    } while (v <= 0.0);
-    v = v * v * v;
-    const double u = rng->Uniform01();
-    const double x2 = x * x;
-    // Cheap squeeze first, exact log acceptance second.
-    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
-    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return d * v;
-  }
-}
-
-}  // namespace
+}  // namespace internal
 
 void GammaBatchSampler::Fill(Rng* rng, double* out, size_t n) const {
   ZS_CHECK(rng != nullptr);
   ZS_CHECK(out != nullptr || n == 0);
-  const ZigguratTables& tables = NormalZiggurat();
+  const internal::ZigguratTables& tables = internal::NormalZiggurat();
   if (inv_shape_ == 0.0) {
+    // Shape >= 1: the speculative wide sampler reproduces the scalar
+    // rejection walk bit-exactly (numeric/random_simd.h); it handles the
+    // whole batch when a SIMD tier is active.
+    if (internal::GammaFillWide(rng, tables, d_, c_, scale_, out, n)) {
+      return;
+    }
     for (size_t i = 0; i < n; ++i) {
-      out[i] = scale_ * MarsagliaTsangDraw(rng, tables, d_, c_);
+      out[i] = scale_ * internal::MarsagliaTsangDraw(rng, tables, d_, c_);
     }
   } else {
     // shape < 1: Gamma(shape) = Gamma(shape + 1) * U^{1/shape}.
     for (size_t i = 0; i < n; ++i) {
-      const double g = MarsagliaTsangDraw(rng, tables, d_, c_);
+      const double g = internal::MarsagliaTsangDraw(rng, tables, d_, c_);
       out[i] = scale_ * g * std::pow(rng->Uniform01(), inv_shape_);
     }
   }

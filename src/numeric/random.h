@@ -1,11 +1,13 @@
 // Random number generation for the detailed disk simulator and the
 // synthetic VBR workload generator.
 //
-// A thin facade over std::mt19937_64 with the samplers the paper's
-// validation needs: uniform (rotational latency, placement), Gamma
-// (fragment sizes), and alternatives for the distribution-family ablation
-// (lognormal, truncated Pareto). Seeded deterministically so every bench
-// and test is reproducible.
+// A thin facade over numeric::Mt19937_64 — a drop-in MT19937-64 engine
+// producing the exact std::mt19937_64 sequence and serialization, with
+// bulk/peek interfaces the SIMD samplers need — with the samplers the
+// paper's validation needs: uniform (rotational latency, placement),
+// Gamma (fragment sizes), and alternatives for the distribution-family
+// ablation (lognormal, truncated Pareto). Seeded deterministically so
+// every bench and test is reproducible.
 //
 // Batched draws (FillUniform01 / FillUniform / GammaBatchSampler) serve
 // the simulation kernel's structure-of-arrays hot path: one call fills a
@@ -17,10 +19,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <random>
 #include <string>
 
 #include "common/status.h"
+#include "numeric/mt19937_64.h"
 
 namespace zonestream::numeric {
 
@@ -79,8 +81,9 @@ class Rng {
   // Fills out[0..n) with i.i.d. Uniform[lo, hi) draws.
   void FillUniform(double lo, double hi, double* out, size_t n);
 
-  // Access to the underlying engine for std:: distributions.
-  std::mt19937_64& engine() { return engine_; }
+  // Access to the underlying engine for std:: distributions and for the
+  // bulk/peek word interfaces (FillRaw / PeekRaw / AdvanceRaw).
+  Mt19937_64& engine() { return engine_; }
 
   // Exact state export for checkpoint/restore: the COMPLETE state of an
   // Rng is its mt19937_64 engine (312 words + stream position), captured
@@ -99,7 +102,7 @@ class Rng {
   common::Status LoadState(const std::string& state);
 
  private:
-  std::mt19937_64 engine_;
+  Mt19937_64 engine_;
 };
 
 // Batched Gamma(shape, scale) sampler with the Marsaglia–Tsang rejection

@@ -1,0 +1,332 @@
+#include "numeric/random_simd.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "numeric/simd.h"
+
+#if defined(ZS_SIMD_ENABLED) && defined(__x86_64__)
+#include <immintrin.h>
+#define ZS_SIMD_X86 1
+#endif
+
+namespace zonestream::numeric::internal {
+
+namespace {
+
+// Finishes one block after the vector stage found a deviation (or a
+// squeeze miss needing the exact log test). Lane j's nominal words are
+// buf[2j] (ziggurat) and buf[2j+1] (squeeze uniform); an accepted lane
+// consumed exactly those two. Returns the number of draws produced into
+// out (accepted prefix, plus the deviating draw re-run through the exact
+// scalar routine).
+//
+// The acceptance tests replay the scalar routine's arithmetic on the
+// lane values the vector stage computed (bit-identical by construction):
+// zig/vpos/squeeze are the vector verdicts, v3/u2/x2 the lane scalars.
+inline size_t CommitLanes(Rng* rng, const ZigguratTables& t, double d,
+                          double c, double scale, double* out, unsigned zig,
+                          unsigned vpos, unsigned squeeze, const double* v3,
+                          const double* u2, const double* x2, size_t lanes) {
+  size_t j = 0;
+  for (; j < lanes; ++j) {
+    const unsigned bit = 1u << j;
+    if ((zig & bit) && (vpos & bit)) {
+      if ((squeeze & bit) ||
+          std::log(u2[j]) < 0.5 * x2[j] + d * (1.0 - v3[j] + std::log(v3[j]))) {
+        out[j] = scale * (d * v3[j]);
+        continue;
+      }
+    }
+    break;  // lane j deviates from the nominal two-word path
+  }
+  rng->engine().AdvanceRaw(2 * j);
+  if (j == lanes) return lanes;
+  // The engine now sits exactly where the scalar walk would read lane
+  // j's first word; the scalar routine consumes whatever the rejection
+  // path needs.
+  out[j] = scale * MarsagliaTsangDraw(rng, t, d, c);
+  return j + 1;
+}
+
+#ifdef ZS_SIMD_X86
+
+// ------------------------------ AVX-512 ------------------------------
+// 8 lanes. AVX-512DQ has native unsigned 64-bit -> double conversion,
+// which is exact for the 53-bit values the sampler feeds it.
+__attribute__((target("avx512f,avx512dq")))
+size_t GammaFillAvx512(Rng* rng, const ZigguratTables& t, double d, double c,
+                       double scale, double* out, size_t n) {
+  const __m512i idx_even =
+      _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m512i idx_odd = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+  const __m512i k127 = _mm512_set1_epi64(127);
+  const __m512i kOne64 = _mm512_set1_epi64(1);
+  const __m512d kScale52 = _mm512_set1_pd(0x1.0p-52);
+  const __m512d kScale53 = _mm512_set1_pd(0x1.0p-53);
+  const __m512d kOne = _mm512_set1_pd(1.0);
+  const __m512d kC = _mm512_set1_pd(c);
+  const __m512d kSqueeze = _mm512_set1_pd(0.0331);
+  const __m512d kAbsMask =
+      _mm512_castsi512_pd(_mm512_set1_epi64(0x7fffffffffffffffll));
+  const __m512d kD = _mm512_set1_pd(d);
+  const __m512d kOut = _mm512_set1_pd(scale);
+
+  size_t produced = 0;
+  alignas(64) uint64_t buf[16];
+  alignas(64) double v3a[8];
+  alignas(64) double u2a[8];
+  alignas(64) double x2a[8];
+  while (n - produced >= 8) {
+    rng->engine().PeekRaw(buf, 16);
+    const __m512i w0 = _mm512_load_si512(buf);
+    const __m512i w1 = _mm512_load_si512(buf + 8);
+    const __m512i bits = _mm512_permutex2var_epi64(w0, idx_even, w1);
+    const __m512i uw = _mm512_permutex2var_epi64(w0, idx_odd, w1);
+
+    // Ziggurat candidate: layer i from the low 7 bits, position uniform
+    // from the high 53 (exactly the scalar expressions).
+    const __m512i iv = _mm512_and_si512(bits, k127);
+    const __m512d xi = _mm512_i64gather_pd(iv, t.x, 8);
+    const __m512d xi1 =
+        _mm512_i64gather_pd(_mm512_add_epi64(iv, kOne64), t.x, 8);
+    const __m512d ud = _mm512_cvtepu64_pd(_mm512_srli_epi64(bits, 11));
+    const __m512d u = _mm512_sub_pd(_mm512_mul_pd(ud, kScale52), kOne);
+    const __m512d x = _mm512_mul_pd(u, xi);
+    const __mmask8 zig = _mm512_cmp_pd_mask(_mm512_and_pd(x, kAbsMask), xi1,
+                                            _CMP_LT_OQ);
+
+    // Marsaglia–Tsang candidate: v = (1 + c x)^3, squeeze against the
+    // second word's uniform.
+    const __m512d v = _mm512_add_pd(kOne, _mm512_mul_pd(kC, x));
+    const __mmask8 vpos =
+        _mm512_cmp_pd_mask(v, _mm512_setzero_pd(), _CMP_GT_OQ);
+    const __m512d v3 = _mm512_mul_pd(_mm512_mul_pd(v, v), v);
+    const __m512d u2 =
+        _mm512_mul_pd(_mm512_cvtepu64_pd(_mm512_srli_epi64(uw, 11)),
+                      kScale53);
+    const __m512d x2 = _mm512_mul_pd(x, x);
+    const __m512d squeeze_bound = _mm512_sub_pd(
+        kOne, _mm512_mul_pd(_mm512_mul_pd(kSqueeze, x2), x2));
+    const __mmask8 squeeze = _mm512_cmp_pd_mask(u2, squeeze_bound,
+                                                _CMP_LT_OQ);
+
+    const __mmask8 fast = zig & vpos & squeeze;
+    if (fast == 0xffu) {
+      _mm512_storeu_pd(out + produced,
+                       _mm512_mul_pd(kOut, _mm512_mul_pd(kD, v3)));
+      rng->engine().AdvanceRaw(16);
+      produced += 8;
+      continue;
+    }
+    _mm512_store_pd(v3a, v3);
+    _mm512_store_pd(u2a, u2);
+    _mm512_store_pd(x2a, x2);
+    produced += CommitLanes(rng, t, d, c, scale, out + produced, zig, vpos,
+                            squeeze, v3a, u2a, x2a, 8);
+  }
+  return produced;
+}
+
+// ------------------------------- AVX2 --------------------------------
+// 4 lanes. AVX2 lacks u64 -> f64 conversion; the 53-bit values convert
+// exactly through a 32:21 split (each half converts exactly, and their
+// recombination lo + hi * 2^32 is an exact integer sum below 2^53).
+__attribute__((target("avx2")))
+inline __m256d CvtU53ToPd(__m256i w) {
+  const __m256i lo_mask = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i exp52 = _mm256_set1_epi64x(0x4330000000000000ll);
+  const __m256d bias52 = _mm256_set1_pd(0x1.0p52);
+  const __m256d two32 = _mm256_set1_pd(0x1.0p32);
+  const __m256i lo = _mm256_and_si256(w, lo_mask);
+  const __m256i hi = _mm256_srli_epi64(w, 32);
+  const __m256d lod =
+      _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(lo, exp52)), bias52);
+  const __m256d hid =
+      _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(hi, exp52)), bias52);
+  return _mm256_add_pd(lod, _mm256_mul_pd(hid, two32));
+}
+
+__attribute__((target("avx2")))
+size_t GammaFillAvx2(Rng* rng, const ZigguratTables& t, double d, double c,
+                     double scale, double* out, size_t n) {
+  const __m256i k127 = _mm256_set1_epi64x(127);
+  const __m256i kOne64 = _mm256_set1_epi64x(1);
+  const __m256d kScale52 = _mm256_set1_pd(0x1.0p-52);
+  const __m256d kScale53 = _mm256_set1_pd(0x1.0p-53);
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  const __m256d kC = _mm256_set1_pd(c);
+  const __m256d kSqueeze = _mm256_set1_pd(0.0331);
+  const __m256d kAbsMask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
+  const __m256d kD = _mm256_set1_pd(d);
+  const __m256d kOut = _mm256_set1_pd(scale);
+
+  size_t produced = 0;
+  alignas(32) uint64_t buf[8];
+  alignas(32) uint64_t bits_a[4];
+  alignas(32) uint64_t uw_a[4];
+  alignas(32) double v3a[4];
+  alignas(32) double u2a[4];
+  alignas(32) double x2a[4];
+  while (n - produced >= 4) {
+    rng->engine().PeekRaw(buf, 8);
+    bits_a[0] = buf[0];
+    bits_a[1] = buf[2];
+    bits_a[2] = buf[4];
+    bits_a[3] = buf[6];
+    uw_a[0] = buf[1];
+    uw_a[1] = buf[3];
+    uw_a[2] = buf[5];
+    uw_a[3] = buf[7];
+    const __m256i bits = _mm256_load_si256((const __m256i*)bits_a);
+    const __m256i uw = _mm256_load_si256((const __m256i*)uw_a);
+
+    const __m256i iv = _mm256_and_si256(bits, k127);
+    const __m256d xi = _mm256_i64gather_pd(t.x, iv, 8);
+    const __m256d xi1 =
+        _mm256_i64gather_pd(t.x, _mm256_add_epi64(iv, kOne64), 8);
+    const __m256d ud = CvtU53ToPd(_mm256_srli_epi64(bits, 11));
+    const __m256d u = _mm256_sub_pd(_mm256_mul_pd(ud, kScale52), kOne);
+    const __m256d x = _mm256_mul_pd(u, xi);
+    const __m256d zig_v =
+        _mm256_cmp_pd(_mm256_and_pd(x, kAbsMask), xi1, _CMP_LT_OQ);
+
+    const __m256d v = _mm256_add_pd(kOne, _mm256_mul_pd(kC, x));
+    const __m256d vpos_v =
+        _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_GT_OQ);
+    const __m256d v3 = _mm256_mul_pd(_mm256_mul_pd(v, v), v);
+    const __m256d u2 =
+        _mm256_mul_pd(CvtU53ToPd(_mm256_srli_epi64(uw, 11)), kScale53);
+    const __m256d x2 = _mm256_mul_pd(x, x);
+    const __m256d squeeze_bound = _mm256_sub_pd(
+        kOne, _mm256_mul_pd(_mm256_mul_pd(kSqueeze, x2), x2));
+    const __m256d squeeze_v = _mm256_cmp_pd(u2, squeeze_bound, _CMP_LT_OQ);
+
+    const unsigned zig = (unsigned)_mm256_movemask_pd(zig_v);
+    const unsigned vpos = (unsigned)_mm256_movemask_pd(vpos_v);
+    const unsigned squeeze = (unsigned)_mm256_movemask_pd(squeeze_v);
+    const unsigned fast = zig & vpos & squeeze;
+    if (fast == 0xfu) {
+      _mm256_storeu_pd(out + produced,
+                       _mm256_mul_pd(kOut, _mm256_mul_pd(kD, v3)));
+      rng->engine().AdvanceRaw(8);
+      produced += 4;
+      continue;
+    }
+    _mm256_store_pd(v3a, v3);
+    _mm256_store_pd(u2a, u2);
+    _mm256_store_pd(x2a, x2);
+    produced += CommitLanes(rng, t, d, c, scale, out + produced, zig, vpos,
+                            squeeze, v3a, u2a, x2a, 4);
+  }
+  return produced;
+}
+
+// Uniform conversion kernels: identical arithmetic to the scalar loops
+// in Rng::FillUniform01 / Rng::FillUniform — srl 11, exact u64 -> f64
+// conversion, multiply by 2^-53, then (affine case) multiply by the
+// width and add the offset, each step correctly rounded with no FMA
+// contraction — so the wide path is bit-identical by construction.
+__attribute__((target("avx512f,avx512dq")))
+void Uniform01FromRawAvx512(const uint64_t* raw, double* out, size_t n) {
+  const __m512d scale = _mm512_set1_pd(0x1.0p-53);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i bits =
+        _mm512_srli_epi64(_mm512_loadu_si512(raw + i), 11);
+    _mm512_storeu_pd(out + i,
+                     _mm512_mul_pd(_mm512_cvtepu64_pd(bits), scale));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+  }
+}
+
+__attribute__((target("avx512f,avx512dq")))
+void UniformAffineFromRawAvx512(const uint64_t* raw, double lo, double width,
+                                double* out, size_t n) {
+  const __m512d scale = _mm512_set1_pd(0x1.0p-53);
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vwidth = _mm512_set1_pd(width);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i bits =
+        _mm512_srli_epi64(_mm512_loadu_si512(raw + i), 11);
+    const __m512d u = _mm512_mul_pd(_mm512_cvtepu64_pd(bits), scale);
+    _mm512_storeu_pd(out + i, _mm512_add_pd(vlo, _mm512_mul_pd(vwidth, u)));
+  }
+  for (; i < n; ++i) {
+    out[i] = lo + width * (static_cast<double>(raw[i] >> 11) * 0x1.0p-53);
+  }
+}
+
+#endif  // ZS_SIMD_X86
+
+}  // namespace
+
+bool UniformFromRawWide(const uint64_t* raw, double* out, size_t n) {
+#ifdef ZS_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx512) {
+    Uniform01FromRawAvx512(raw, out, n);
+    return true;
+  }
+#else
+  (void)raw;
+  (void)out;
+  (void)n;
+#endif
+  return false;
+}
+
+bool UniformAffineFromRawWide(const uint64_t* raw, double lo, double width,
+                              double* out, size_t n) {
+#ifdef ZS_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx512) {
+    UniformAffineFromRawAvx512(raw, lo, width, out, n);
+    return true;
+  }
+#else
+  (void)raw;
+  (void)lo;
+  (void)width;
+  (void)out;
+  (void)n;
+#endif
+  return false;
+}
+
+bool GammaFillWide(Rng* rng, const ZigguratTables& t, double d, double c,
+                   double scale, double* out, size_t n) {
+#ifdef ZS_SIMD_X86
+  if (n < 8) return false;  // block setup would outweigh the win
+  size_t produced;
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      produced = GammaFillAvx512(rng, t, d, c, scale, out, n);
+      break;
+    case SimdTier::kAvx2:
+      produced = GammaFillAvx2(rng, t, d, c, scale, out, n);
+      break;
+    case SimdTier::kScalar:
+    default:
+      return false;
+  }
+  // Tail shorter than a block: plain scalar draws (identical consumption).
+  for (; produced < n; ++produced) {
+    out[produced] = scale * MarsagliaTsangDraw(rng, t, d, c);
+  }
+  return true;
+#else
+  (void)rng;
+  (void)t;
+  (void)d;
+  (void)c;
+  (void)scale;
+  (void)out;
+  (void)n;
+  return false;
+#endif
+}
+
+}  // namespace zonestream::numeric::internal

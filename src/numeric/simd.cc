@@ -1,0 +1,48 @@
+#include "numeric/simd.h"
+
+namespace zonestream::numeric {
+
+namespace {
+
+SimdTier Detect() {
+#if defined(ZS_SIMD_ENABLED) && defined(__x86_64__)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return SimdTier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kScalar;
+}
+
+// Cap applied by ForceSimdTier; kAvx512 means "no cap".
+SimdTier g_cap = SimdTier::kAvx512;
+
+}  // namespace
+
+SimdTier DetectedSimdTier() {
+  static const SimdTier tier = Detect();
+  return tier;
+}
+
+SimdTier ActiveSimdTier() {
+  const SimdTier detected = DetectedSimdTier();
+  return static_cast<int>(g_cap) < static_cast<int>(detected) ? g_cap
+                                                              : detected;
+}
+
+void ForceSimdTier(SimdTier tier) { g_cap = tier; }
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace zonestream::numeric

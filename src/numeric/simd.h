@@ -1,0 +1,46 @@
+// Runtime SIMD dispatch for the numeric hot paths.
+//
+// The accelerated paths (numeric/random_simd.h, the simulator's fused
+// sweep) are compiled per-ISA behind function-level target attributes and
+// selected once at runtime from CPUID — the library binary itself stays a
+// baseline x86-64 build. Every tier computes BIT-IDENTICAL results to the
+// scalar reference: the wide code uses only correctly-rounded operations
+// (add/mul/div/sqrt, exact integer-to-double conversions) in the exact
+// scalar evaluation order, and never fuses multiply-add (the baseline
+// scalar build has no FMA, so fusing would change roundings). Tier choice
+// therefore affects throughput only; goldens and checkpoints are
+// tier-independent (tests/sim/simd_kernel_test.cc).
+//
+// Compile-time master switch: the ZS_ENABLE_SIMD CMake option (default
+// ON) defines ZS_SIMD_ENABLED; without it every query returns kScalar and
+// the wide paths are not compiled at all (non-x86 or minimal builds).
+#ifndef ZONESTREAM_NUMERIC_SIMD_H_
+#define ZONESTREAM_NUMERIC_SIMD_H_
+
+namespace zonestream::numeric {
+
+// Instruction-set tiers, ordered: higher tiers imply the lower ones.
+enum class SimdTier {
+  kScalar = 0,  // baseline x86-64 (or ZS_ENABLE_SIMD=OFF)
+  kAvx2 = 1,    // AVX2 (4-lane f64 vectors, no FMA used)
+  kAvx512 = 2,  // AVX-512 F+DQ (8-lane f64, native u64<->f64 converts)
+};
+
+// Highest tier the running CPU supports (detected once, cached).
+SimdTier DetectedSimdTier();
+
+// The tier the accelerated paths actually use: DetectedSimdTier() unless
+// lowered by ForceSimdTier.
+SimdTier ActiveSimdTier();
+
+// Caps the active tier (for tests and A/B timing): the effective tier is
+// min(tier, DetectedSimdTier()). Not thread-safe against concurrent
+// sampling — call before spawning workers.
+void ForceSimdTier(SimdTier tier);
+
+// "scalar" / "avx2" / "avx512".
+const char* SimdTierName(SimdTier tier);
+
+}  // namespace zonestream::numeric
+
+#endif  // ZONESTREAM_NUMERIC_SIMD_H_

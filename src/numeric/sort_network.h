@@ -1,0 +1,29 @@
+// Branch-free small-array sort for the simulator's per-round SCAN
+// ordering. std::sort on a fresh random permutation costs ~45 cycles
+// per key in branch mispredictions alone at n ~ 26; a data-oblivious
+// sorting network runs the same comparisons every round (min/max pairs,
+// no data-dependent branches), so it sorts small batches several times
+// faster. Dispatches across the SIMD tiers (numeric/simd.h): a bitonic
+// network over 16-lane AVX-512 / 8-lane AVX2 registers, or an unrolled
+// Batcher odd-even merge network in scalar code. A sort's output is the
+// unique ascending permutation, so every tier (and std::sort) agrees
+// bit-for-bit whenever keys are distinct.
+#ifndef ZONESTREAM_NUMERIC_SORT_NETWORK_H_
+#define ZONESTREAM_NUMERIC_SORT_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zonestream::numeric {
+
+// Largest array SortU32Network accepts (one padded bitonic block).
+inline constexpr size_t kSortNetworkMaxN = 32;
+
+// Sorts keys[0..n) ascending; n must be at most kSortNetworkMaxN.
+// Internally pads to 32 lanes with UINT32_MAX sentinels, so keys equal
+// to UINT32_MAX still sort correctly (sentinels are merely appended).
+void SortU32Network(uint32_t* keys, size_t n);
+
+}  // namespace zonestream::numeric
+
+#endif  // ZONESTREAM_NUMERIC_SORT_NETWORK_H_

@@ -1,0 +1,684 @@
+#include "sim/importance_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "core/glitch_model.h"
+#include "core/service_time_model.h"
+#include "numeric/sort_network.h"
+#include "numeric/special_functions.h"
+#include "obs/metrics.h"
+#include "sim/batch_kernels.h"
+
+namespace zonestream::sim {
+
+namespace {
+
+// Same disturbance substream index as RoundSimulator, so a theta == 0
+// sampler consumes both streams exactly like the batched kernel.
+constexpr uint64_t kDisturbanceSubstream = 0x64697374;  // "dist"
+
+// Keep the tilt strictly inside the admissible domain: at theta ->
+// theta_max the innermost zone's tilted Gamma scale diverges and the
+// weights blow up. The analytic theta* always sits below the pole, but
+// the moment-matched model's pole can differ slightly from the exact
+// mixture's, so the clamp is a real guard, not just belt-and-braces.
+constexpr double kThetaMaxMargin = 0.95;
+
+// log of the uniform-on-[0,len] MGF, log((e^{theta len} - 1)/(theta len)),
+// evaluated stably (len > 0, theta > 0).
+double UniformLogMgf(double theta, double len) {
+  const double x = theta * len;
+  return std::log(std::expm1(x)) - std::log(x);
+}
+
+common::Status ValidateConfig(const SimulatorConfig& config,
+                              const ImportanceSamplingOptions& options) {
+  if (config.round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (config.ordering != sched::OrderingPolicy::kScan) {
+    return common::Status::InvalidArgument(
+        "importance sampling supports SCAN ordering only");
+  }
+  if (config.position_sampler != nullptr) {
+    return common::Status::InvalidArgument(
+        "importance sampling requires the default uniform-over-capacity "
+        "placement (the zone tilt owns the position law)");
+  }
+  if (!config.faults.empty()) {
+    return common::Status::InvalidArgument(
+        "importance sampling does not support structured fault injection");
+  }
+  if (options.theta < 0.0) {
+    return common::Status::InvalidArgument("theta must be non-negative");
+  }
+  if (options.strata < 1) {
+    return common::Status::InvalidArgument("strata must be >= 1");
+  }
+  if (options.nominal_warmup_rounds < 0) {
+    return common::Status::InvalidArgument(
+        "nominal_warmup_rounds must be >= 0");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return common::Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  const DisturbanceConfig& disturbance = config.disturbance;
+  if (disturbance.probability < 0.0 || disturbance.probability > 1.0 ||
+      disturbance.delay_min_s > disturbance.delay_max_s ||
+      disturbance.delay_min_s < 0.0) {
+    return common::Status::InvalidArgument("invalid disturbance config");
+  }
+  return common::Status::Ok();
+}
+
+const workload::GammaSizeDistribution* AsGamma(
+    const workload::SizeDistribution* sizes) {
+  return dynamic_cast<const workload::GammaSizeDistribution*>(sizes);
+}
+
+}  // namespace
+
+common::StatusOr<double> AutoTiltParameter(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, const workload::SizeDistribution& sizes,
+    double round_length_s) {
+  if (num_streams <= 0) {
+    return common::Status::InvalidArgument("num_streams must be positive");
+  }
+  if (round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      geometry, seek, sizes.mean(), sizes.variance());
+  if (!model.ok()) return model.status();
+  const core::ChernoffResult bound =
+      model->LateBound(num_streams, round_length_s);
+  if (bound.theta_star <= 0.0) return 0.0;  // not a right-tail event
+  // The exact simulator-side pole is the innermost zone's: R_min / scale.
+  const double scale = sizes.variance() / sizes.mean();
+  const double exact_theta_max = geometry.MinTransferRate() / scale;
+  return std::min(bound.theta_star, kThetaMaxMargin * exact_theta_max);
+}
+
+ImportanceSampler::ImportanceSampler(const disk::DiskGeometry& geometry,
+                                     const disk::SeekTimeModel& seek,
+                                     int num_streams, double shape,
+                                     double scale,
+                                     const SimulatorConfig& config,
+                                     const ImportanceSamplingOptions& options)
+    : geometry_(geometry),
+      seek_(seek),
+      num_streams_(num_streams),
+      shape_(shape),
+      scale_(scale),
+      config_(config),
+      options_(options),
+      rng_(config.seed),
+      disturbance_rng_(
+          numeric::SubstreamSeed(config.seed, kDisturbanceSubstream)),
+      unit_gamma_(shape, 1.0) {
+  theta_ = options.theta;
+  theta_max_ = geometry_.MinTransferRate() / scale_;
+  const int zones = geometry_.num_zones();
+  tilted_time_scale_.resize(zones);
+  if (theta_ > 0.0) {
+    rot_expm1_ = std::expm1(theta_ * geometry_.rotation_time());
+    log_mgf_rot_ = UniformLogMgf(theta_, geometry_.rotation_time());
+    // M_trans(theta) = sum_z p_z (1 - theta s_z)^{-k} with s_z = s / R_z
+    // the zone's transfer-time Gamma scale; the tilted zone law weights
+    // each zone by its own MGF factor.
+    std::vector<double> tilted_weights(zones);
+    double mgf_trans = 0.0;
+    for (int z = 0; z < zones; ++z) {
+      const disk::ZoneInfo& zi = geometry_.zone(z);
+      const double s_z = scale_ / zi.transfer_rate_bps;
+      const double pole = 1.0 - theta_ * s_z;
+      ZS_CHECK_GT(pole, 0.0);
+      const double mgf_z = std::pow(pole, -shape_);
+      tilted_weights[z] = zi.hit_probability * mgf_z;
+      mgf_trans += tilted_weights[z];
+      tilted_time_scale_[z] = s_z / pole;
+    }
+    log_mgf_trans_ = std::log(mgf_trans);
+    tilted_zone_alias_ = disk::AliasTable::Build(tilted_weights);
+    const DisturbanceConfig& disturbance = config_.disturbance;
+    tilt_disturbance_ =
+        options_.tilt_disturbance && disturbance.probability > 0.0;
+    if (tilt_disturbance_) {
+      const double a = disturbance.delay_min_s;
+      const double b = disturbance.delay_max_s;
+      const double mgf_u =
+          b > a ? std::exp(UniformLogMgf(theta_, b - a) + theta_ * a)
+                : std::exp(theta_ * a);
+      const double mgf_dist = (1.0 - disturbance.probability) +
+                              disturbance.probability * mgf_u;
+      log_mgf_dist_ = std::log(mgf_dist);
+      tilted_dist_probability_ = disturbance.probability * mgf_u / mgf_dist;
+      dist_expm1_ = std::expm1(theta_ * (b - a));
+    }
+  } else {
+    // theta == 0: the untilted model — unit weights, the geometry's own
+    // zone law, the nominal Gamma scale.
+    for (int z = 0; z < zones; ++z) {
+      tilted_time_scale_[z] = scale_ / geometry_.zone(z).transfer_rate_bps;
+    }
+    tilted_zone_alias_ = geometry_.zone_alias();
+  }
+  nominal_time_scale_.resize(zones);
+  for (int z = 0; z < zones; ++z) {
+    nominal_time_scale_[z] = scale_ / geometry_.zone(z).transfer_rate_bps;
+  }
+  psi_ = log_mgf_rot_ + log_mgf_trans_ + log_mgf_dist_;
+
+  if (config_.metrics != nullptr) {
+    is_rounds_ = config_.metrics->GetCounter("sim.is.rounds");
+    is_overruns_ = config_.metrics->GetCounter("sim.is.overruns");
+    is_log_weight_ = config_.metrics->GetHistogram("sim.is.log_weight");
+  }
+
+  const size_t n = static_cast<size_t>(num_streams_);
+  const size_t rounds_per_sample =
+      static_cast<size_t>(options_.nominal_warmup_rounds) + 1;
+  scratch_.u_all.resize(rounds_per_sample * 3 * n);
+  scratch_.zone.resize(n);
+  scratch_.cylinder.resize(n);
+  scratch_.unit_gamma.resize(n);
+  scratch_.rotation_s.resize(n);
+  scratch_.transfer_time_s.resize(n);
+  scratch_.order.resize(n);
+  scratch_.sort_key.resize(n);
+  scratch_.seek_dist.resize(n);
+  scratch_.seek_time_s.resize(n);
+}
+
+common::StatusOr<ImportanceSampler> ImportanceSampler::Create(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const SimulatorConfig& config, const ImportanceSamplingOptions& options) {
+  if (num_streams <= 0) {
+    return common::Status::InvalidArgument("num_streams must be positive");
+  }
+  if (sizes == nullptr) {
+    return common::Status::InvalidArgument("size distribution is null");
+  }
+  if (auto status = ValidateConfig(config, options); !status.ok()) {
+    return status;
+  }
+  const workload::GammaSizeDistribution* gamma = AsGamma(sizes.get());
+  if (gamma == nullptr) {
+    return common::Status::InvalidArgument(
+        "importance sampling requires Gamma fragment sizes (the exponential "
+        "tilt of the zone mixture is closed-form only for the Gamma family)");
+  }
+  const double exact_theta_max =
+      geometry.MinTransferRate() / gamma->scale();
+  if (options.theta >= exact_theta_max) {
+    return common::Status::InvalidArgument(
+        "theta is at or beyond the transfer MGF pole min_z R_z / scale");
+  }
+  return ImportanceSampler(geometry, seek, num_streams, gamma->shape(),
+                           gamma->scale(), config, options);
+}
+
+void ImportanceSampler::ResetForReplication(uint64_t seed) {
+  config_.seed = seed;
+  rng_ = numeric::Rng(seed);
+  disturbance_rng_ =
+      numeric::Rng(numeric::SubstreamSeed(seed, kDisturbanceSubstream));
+  arm_cylinder_ = 0;
+  ascending_ = true;
+  samples_run_ = 0;
+}
+
+double ImportanceSampler::Reflect(double u) {
+  const double reflected = 1.0 - u;
+  // 1 - 0.0 == 1.0 lies outside [0, 1); fold it to the largest double
+  // below 1 so the alias table and cylinder offsets stay in range.
+  return reflected < 1.0 ? reflected : 0x1.fffffffffffffp-1;
+}
+
+TiltedRoundOutcome ImportanceSampler::RunRound() {
+  const int n = num_streams_;
+  Scratch& s = scratch_;
+  const int warmups = options_.nominal_warmup_rounds;
+  const size_t per_round = 3 * static_cast<size_t>(n);
+  const size_t total_u = (static_cast<size_t>(warmups) + 1) * per_round;
+
+  // Uniform draws for the whole sample (warm-ups + measured round) in one
+  // engine pass. An antithetic odd sample reflects the previous sample's
+  // uniforms in place instead of consuming the engine; stratification of
+  // the measured round's leading rotation uniform happens on the fresh
+  // draw (the reflection then lands in the mirrored stratum, which over
+  // a full cycle covers the strata equally).
+  const bool fresh = !options_.antithetic || (samples_run_ % 2 == 0);
+  double* const u_measured_rot =
+      s.u_all.data() + static_cast<size_t>(warmups) * per_round + 2 * n;
+  if (fresh) {
+    rng_.FillUniform01(s.u_all.data(), total_u);
+    if (options_.strata > 1) {
+      const int64_t cycle =
+          options_.antithetic ? samples_run_ / 2 : samples_run_;
+      const double stratum = static_cast<double>(cycle % options_.strata);
+      u_measured_rot[0] =
+          (stratum + u_measured_rot[0]) / static_cast<double>(options_.strata);
+    }
+  } else {
+    for (size_t i = 0; i < total_u; ++i) s.u_all[i] = Reflect(s.u_all[i]);
+  }
+
+  // Every sample is i.i.d.: restart the arm, replay the nominal warm-up
+  // rounds, then measure the tilted round.
+  arm_cylinder_ = 0;
+  ascending_ = true;
+  TiltedRoundOutcome outcome;
+  double log_weight = 0.0;
+  for (int w = 0; w < warmups; ++w) {
+    const double* u_round = s.u_all.data() + static_cast<size_t>(w) * per_round;
+    RunOneRound(u_round, u_round + 2 * n, /*tilted=*/false, &outcome,
+                &log_weight);
+  }
+  {
+    const double* u_round =
+        s.u_all.data() + static_cast<size_t>(warmups) * per_round;
+    RunOneRound(u_round, u_round + 2 * n, /*tilted=*/true, &outcome,
+                &log_weight);
+  }
+  outcome.log_weight = log_weight;
+
+  if (is_rounds_ != nullptr) {
+    is_rounds_->Increment();
+    if (outcome.overran) is_overruns_->Increment();
+    is_log_weight_->Record(outcome.log_weight);
+  }
+  ++samples_run_;
+  return outcome;
+}
+
+void ImportanceSampler::RunOneRound(const double* u_pos, const double* u_rot,
+                                    bool tilted, TiltedRoundOutcome* outcome,
+                                    double* log_weight) {
+  const int n = num_streams_;
+  Scratch& s = scratch_;
+  const bool tilt_active = tilted && theta_ > 0.0;
+
+  // Positions; the measured round uses the tilted zone law, warm-ups the
+  // nominal one. Cylinder-within-zone is the nominal uniform either way
+  // (its conditional law is untilted and cancels in the likelihood
+  // ratio).
+  {
+    const double* u_zone = u_pos;
+    const double* u_cylinder = u_pos + n;
+    const disk::AliasTable& alias =
+        tilt_active ? tilted_zone_alias_ : geometry_.zone_alias();
+    const disk::ZoneInfo* zones = &geometry_.zone(0);
+    for (int i = 0; i < n; ++i) {
+      const int z = alias.Sample(u_zone[i]);
+      const disk::ZoneInfo& zi = zones[z];
+      int offset = static_cast<int>(u_cylinder[i] * zi.num_cylinders);
+      if (offset >= zi.num_cylinders) offset = zi.num_cylinders - 1;
+      s.zone[i] = z;
+      s.cylinder[i] = zi.first_cylinder + offset;
+    }
+  }
+
+  // Transfers: one Gamma(k, 1) batch, scaled per request by the zone's
+  // transfer-time scale (tilted s_z / (1 - theta s_z) on the measured
+  // round). The sum of the tilted times feeds the weight.
+  unit_gamma_.Fill(&rng_, s.unit_gamma.data(), static_cast<size_t>(n));
+  const std::vector<double>& time_scale =
+      tilt_active ? tilted_time_scale_ : nominal_time_scale_;
+  double transfer_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = s.unit_gamma[i] * time_scale[s.zone[i]];
+    s.transfer_time_s[i] = t;
+    transfer_sum += t;
+  }
+
+  // Rotational latencies; the measured round draws from the tilted
+  // uniform via the inverse CDF log1p(u (e^{theta ROT} - 1)) / theta.
+  double rotation_sum = 0.0;
+  if (tilt_active) {
+    for (int i = 0; i < n; ++i) {
+      const double r = std::log1p(u_rot[i] * rot_expm1_) / theta_;
+      s.rotation_s[i] = r;
+      rotation_sum += r;
+    }
+  } else {
+    const double rotation_time = geometry_.rotation_time();
+    for (int i = 0; i < n; ++i) {
+      const double r = u_rot[i] * rotation_time;
+      s.rotation_s[i] = r;
+      rotation_sum += r;
+    }
+  }
+
+  // Disturbances from the dedicated substream, tilted when configured
+  // (Bernoulli probability and uniform delay both shifted; one event
+  // uniform + one delay uniform per firing, exactly the simulator's
+  // consumption pattern).
+  double tilted_dist_sum = 0.0;
+  const DisturbanceConfig& disturbance = config_.disturbance;
+  if (disturbance.probability > 0.0) {
+    const bool tilt_dist = tilt_active && tilt_disturbance_;
+    const double event_p =
+        tilt_dist ? tilted_dist_probability_ : disturbance.probability;
+    for (int i = 0; i < n; ++i) {
+      if (disturbance_rng_.Uniform01() < event_p) {
+        double delay;
+        if (tilt_dist && disturbance.delay_max_s > disturbance.delay_min_s) {
+          const double u = disturbance_rng_.Uniform01();
+          delay = disturbance.delay_min_s +
+                  std::log1p(u * dist_expm1_) / theta_;
+        } else {
+          delay = disturbance_rng_.Uniform(disturbance.delay_min_s,
+                                           disturbance.delay_max_s);
+        }
+        s.rotation_s[i] += delay;
+        if (tilt_dist) tilted_dist_sum += delay;
+      }
+    }
+  }
+
+  // Arm policy and SCAN ordering, exactly as RunRoundBatched.
+  double return_seek_s = 0.0;
+  bool ascending_sweep = true;
+  if (config_.sweep_policy == SweepPolicy::kAlternate) {
+    ascending_sweep = ascending_;
+  } else {
+    if (!config_.legacy_free_arm_reset && arm_cylinder_ != 0) {
+      return_seek_s = seek_.SeekTime(arm_cylinder_);
+    }
+    arm_cylinder_ = 0;
+  }
+  const bool network_ok = n <= static_cast<int>(numeric::kSortNetworkMaxN) &&
+                          geometry_.cylinders() < (1 << 26);
+  if (network_ok) {
+    uint32_t keys[numeric::kSortNetworkMaxN];
+    constexpr uint32_t kCylMask = (1u << 26) - 1u;
+    if (ascending_sweep) {
+      for (int i = 0; i < n; ++i) {
+        keys[i] = (static_cast<uint32_t>(s.cylinder[i]) << 6) |
+                  static_cast<uint32_t>(i);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        keys[i] =
+            ((~static_cast<uint32_t>(s.cylinder[i]) & kCylMask) << 6) |
+            static_cast<uint32_t>(i);
+      }
+    }
+    numeric::SortU32Network(keys, static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      s.order[i] = static_cast<int>(keys[i] & 0x3fu);
+    }
+  } else {
+    if (ascending_sweep) {
+      for (int i = 0; i < n; ++i) {
+        s.sort_key[i] =
+            (static_cast<uint64_t>(static_cast<uint32_t>(s.cylinder[i]))
+             << 32) |
+            static_cast<uint32_t>(i);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        s.sort_key[i] =
+            (static_cast<uint64_t>(~static_cast<uint32_t>(s.cylinder[i]))
+             << 32) |
+            static_cast<uint32_t>(i);
+      }
+    }
+    std::sort(s.sort_key.begin(), s.sort_key.end());
+    for (int i = 0; i < n; ++i) {
+      s.order[i] = static_cast<int>(s.sort_key[i] & 0xffffffffu);
+    }
+  }
+
+  // Seeks over the arm walk (untilted — their law is a deterministic
+  // function of the positions, already accounted by the zone tilt).
+  {
+    int walk_arm = arm_cylinder_;
+    for (int pos = 0; pos < n; ++pos) {
+      const int cylinder = s.cylinder[s.order[pos]];
+      s.seek_dist[pos] = std::abs(cylinder - walk_arm);
+      walk_arm = cylinder;
+    }
+  }
+  internal::SeekTimes(seek_, s.seek_dist.data(), s.seek_time_s.data(),
+                      static_cast<size_t>(n));
+
+  // The deadline sweep. Warm-up rounds overwrite these fields; only the
+  // measured (final) round's values survive in the caller's outcome.
+  outcome->glitched_streams = 0;
+  double clock = 0.0;
+  int last_on_time_cylinder = arm_cylinder_;
+  for (int pos = 0; pos < n; ++pos) {
+    const int i = s.order[pos];
+    clock += s.seek_time_s[pos] + s.rotation_s[i] + s.transfer_time_s[i];
+    if (return_seek_s + clock > config_.round_length_s) {
+      ++outcome->glitched_streams;
+    } else {
+      last_on_time_cylinder = s.cylinder[i];
+    }
+  }
+  outcome->total_service_time_s = return_seek_s + clock;
+  outcome->overran = outcome->total_service_time_s > config_.round_length_s;
+  arm_cylinder_ = outcome->glitched_streams == 0
+                      ? s.cylinder[s.order[n - 1]]
+                      : last_on_time_cylinder;
+  ascending_ = !ascending_;
+
+  if (tilt_active) {
+    *log_weight += static_cast<double>(n) * psi_ -
+                   theta_ * (rotation_sum + transfer_sum + tilted_dist_sum);
+  }
+}
+
+namespace {
+
+// Per-replication weighted tallies, reduced in replication order. With
+// v_r the round payload in [0, 1] (overrun indicator or glitch fraction)
+// and w_r the likelihood ratio, both estimators and their delta-method
+// variances are functions of these five sums.
+struct WeightedTally {
+  int64_t rounds = 0;
+  double sum_w = 0.0;    // sum w
+  double sum_w2 = 0.0;   // sum w^2
+  double sum_y = 0.0;    // sum w v
+  double sum_y2 = 0.0;   // sum (w v)^2
+  double sum_wy = 0.0;   // sum w^2 v (for the self-normalized variance)
+};
+
+common::Status ValidateISSharding(const ReplicationOptions& replication,
+                                  int rounds_per_replication,
+                                  const ImportanceSamplingOptions& options) {
+  if (replication.replications <= 0) {
+    return common::Status::InvalidArgument("replications must be positive");
+  }
+  if (rounds_per_replication <= 0) {
+    return common::Status::InvalidArgument(
+        "rounds_per_replication must be positive");
+  }
+  if (options.antithetic && rounds_per_replication % 2 != 0) {
+    return common::Status::InvalidArgument(
+        "antithetic sampling needs an even rounds_per_replication");
+  }
+  const int cycles = options.antithetic ? rounds_per_replication / 2
+                                        : rounds_per_replication;
+  if (options.strata > 1 && cycles % options.strata != 0) {
+    return common::Status::InvalidArgument(
+        "strata must divide the per-replication round (or antithetic pair) "
+        "count");
+  }
+  return common::Status::Ok();
+}
+
+// Runs the sharded tilted rounds and reduces the weighted tallies into an
+// estimate. `payload` maps a TiltedRoundOutcome to the value in [0, 1]
+// whose weighted mean is being estimated.
+template <typename Payload>
+common::StatusOr<ImportanceSampleEstimate> RunReplicatedIS(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const SimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& replication,
+    const ImportanceSamplingOptions& options, Payload&& payload) {
+  if (auto status =
+          ValidateISSharding(replication, rounds_per_replication, options);
+      !status.ok()) {
+    return status;
+  }
+  ImportanceSamplingOptions resolved = options;
+  if (resolved.theta == 0.0) {
+    auto theta = AutoTiltParameter(geometry, seek, num_streams, *sizes,
+                                   config.round_length_s);
+    if (!theta.ok()) return theta.status();
+    resolved.theta = *theta;
+  }
+  // Probe construction validates every argument once; per-block creation
+  // below then cannot fail.
+  auto probe = ImportanceSampler::Create(geometry, seek, num_streams, sizes,
+                                         config, resolved);
+  if (!probe.ok()) return probe.status();
+
+  std::vector<WeightedTally> tallies(replication.replications);
+  common::ParallelForBlocks(
+      replication.replications,
+      [&](int64_t begin, int64_t end) {
+        auto sampler = ImportanceSampler::Create(geometry, seek, num_streams,
+                                                 sizes, config, resolved);
+        ZS_CHECK(sampler.ok());
+        for (int64_t r = begin; r < end; ++r) {
+          sampler->ResetForReplication(numeric::SubstreamSeed(
+              replication.base_seed, static_cast<uint64_t>(r)));
+          WeightedTally& tally = tallies[r];
+          for (int round = 0; round < rounds_per_replication; ++round) {
+            const TiltedRoundOutcome outcome = sampler->RunRound();
+            const double w = std::exp(outcome.log_weight);
+            const double v = payload(outcome);
+            const double y = w * v;
+            ++tally.rounds;
+            tally.sum_w += w;
+            tally.sum_w2 += w * w;
+            tally.sum_y += y;
+            tally.sum_y2 += y * y;
+            tally.sum_wy += w * y;
+          }
+        }
+      },
+      replication.pool);
+
+  WeightedTally total;  // fixed replication order: deterministic
+  for (const WeightedTally& tally : tallies) {
+    total.rounds += tally.rounds;
+    total.sum_w += tally.sum_w;
+    total.sum_w2 += tally.sum_w2;
+    total.sum_y += tally.sum_y;
+    total.sum_y2 += tally.sum_y2;
+    total.sum_wy += tally.sum_wy;
+  }
+
+  const double count = static_cast<double>(total.rounds);
+  ImportanceSampleEstimate estimate;
+  estimate.rounds = total.rounds;
+  estimate.theta = probe->theta();
+  estimate.weight_mean = total.sum_w / count;
+  estimate.weight_variance =
+      total.rounds > 1
+          ? std::max(0.0, (total.sum_w2 - total.sum_w * total.sum_w / count) /
+                              (count - 1.0))
+          : 0.0;
+  estimate.ess = total.sum_w2 > 0.0
+                     ? total.sum_w * total.sum_w / total.sum_w2
+                     : 0.0;
+
+  const double z =
+      numeric::NormalQuantile(0.5 + 0.5 * options.confidence);
+  double point;
+  double se;
+  if (options.self_normalized && total.sum_w > 0.0) {
+    // p = sum(w v) / sum(w); delta-method variance
+    // Var ~ sum(w (v - p))^2 / sum(w)^2 expanded in the tracked sums.
+    point = total.sum_y / total.sum_w;
+    const double resid = total.sum_y2 - 2.0 * point * total.sum_wy +
+                         point * point * total.sum_w2;
+    se = std::sqrt(std::max(0.0, resid)) / total.sum_w;
+  } else {
+    // Horvitz-Thompson: the i.i.d. sample is y_r = w_r v_r with mean p.
+    point = total.sum_y / count;
+    const double variance =
+        total.rounds > 1
+            ? std::max(0.0,
+                       (total.sum_y2 - total.sum_y * total.sum_y / count) /
+                           (count - 1.0))
+            : 0.0;
+    se = std::sqrt(variance / count);
+  }
+  estimate.point = point;
+  estimate.ci_lower = std::max(0.0, point - z * se);
+  estimate.ci_upper = std::min(1.0, point + z * se);
+  return estimate;
+}
+
+}  // namespace
+
+common::StatusOr<ImportanceSampleEstimate> EstimateLateProbabilityIS(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const SimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& replication,
+    const ImportanceSamplingOptions& options) {
+  return RunReplicatedIS(geometry, seek, num_streams, std::move(sizes),
+                         config, rounds_per_replication, replication, options,
+                         [](const TiltedRoundOutcome& outcome) {
+                           return outcome.overran ? 1.0 : 0.0;
+                         });
+}
+
+common::StatusOr<ImportanceSampleEstimate> EstimateGlitchProbabilityIS(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const SimulatorConfig& config, int rounds_per_replication,
+    const ReplicationOptions& replication,
+    const ImportanceSamplingOptions& options) {
+  const double inv_streams = 1.0 / static_cast<double>(num_streams);
+  return RunReplicatedIS(geometry, seek, num_streams, std::move(sizes),
+                         config, rounds_per_replication, replication, options,
+                         [inv_streams](const TiltedRoundOutcome& outcome) {
+                           return static_cast<double>(
+                                      outcome.glitched_streams) *
+                                  inv_streams;
+                         });
+}
+
+common::StatusOr<ErrorProbabilityISEstimate> EstimateErrorProbabilityIS(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    int num_streams, std::shared_ptr<const workload::SizeDistribution> sizes,
+    const SimulatorConfig& config, int m, int g, int rounds_per_replication,
+    const ReplicationOptions& replication,
+    const ImportanceSamplingOptions& options) {
+  if (m <= 0 || g < 0) {
+    return common::Status::InvalidArgument(
+        "lifetime length m must be positive and glitch budget g >= 0");
+  }
+  auto glitch = EstimateGlitchProbabilityIS(geometry, seek, num_streams,
+                                            std::move(sizes), config,
+                                            rounds_per_replication,
+                                            replication, options);
+  if (!glitch.ok()) return glitch.status();
+  ErrorProbabilityISEstimate estimate;
+  estimate.glitch = *glitch;
+  estimate.m = m;
+  estimate.g = g;
+  // BinomialTailExact is nondecreasing in p, so the CI endpoints map
+  // directly (eq. 3.3.4 at the simulated per-round probability).
+  estimate.point = core::BinomialTailExact(m, glitch->point, g);
+  estimate.ci_lower = core::BinomialTailExact(m, glitch->ci_lower, g);
+  estimate.ci_upper = core::BinomialTailExact(m, glitch->ci_upper, g);
+  return estimate;
+}
+
+}  // namespace zonestream::sim

@@ -1,6 +1,7 @@
 #include "sim/replication.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
@@ -22,25 +23,44 @@ common::Status ValidateSharding(const ReplicationOptions& options,
   return common::Status::Ok();
 }
 
-// Runs one RoundSimulator replication and hands each round's outcome to
-// `tally`. Creation cannot fail here: the caller validated the arguments
-// by constructing a probe simulator with identical inputs.
+// Runs replications [begin, end) — one contiguous ParallelForBlocks
+// block — and hands each round's outcome to `tally(replication,
+// outcome)`. When the configuration supports it (shared i.i.d. sizes, no
+// fault injector — the common Monte Carlo setup), one simulator instance
+// serves the whole block and is rewound per replication, skipping a full
+// construction (sources, scratch, metric resolution) per shard; rewound
+// outcomes are bit-identical to a fresh instance's, so results do not
+// depend on the block partition. Creation cannot fail here: the caller
+// validated the arguments by constructing a probe simulator with
+// identical inputs.
 template <typename Tally>
-void RunReplication(const disk::DiskGeometry& geometry,
-                    const disk::SeekTimeModel& seek, int num_streams,
-                    const FragmentSourceFactory& source_factory,
-                    const SimulatorConfig& config, uint64_t base_seed,
-                    int64_t replication, int rounds, Tally&& tally) {
-  SimulatorConfig replication_config = config;
-  replication_config.seed =
-      numeric::SubstreamSeed(base_seed, static_cast<uint64_t>(replication));
-  // Any obs hooks in `config` are shared across replications (they are
-  // thread-safe); the source id tells the trace events apart.
-  replication_config.trace_source_id = static_cast<int>(replication);
-  auto simulator = RoundSimulator::Create(geometry, seek, num_streams,
-                                          source_factory, replication_config);
-  ZS_CHECK(simulator.ok());
-  for (int r = 0; r < rounds; ++r) tally(simulator->RunRound());
+void RunReplicationBlock(const disk::DiskGeometry& geometry,
+                         const disk::SeekTimeModel& seek, int num_streams,
+                         const FragmentSourceFactory& source_factory,
+                         const SimulatorConfig& config, uint64_t base_seed,
+                         int64_t begin, int64_t end, int rounds,
+                         Tally&& tally) {
+  std::optional<common::StatusOr<RoundSimulator>> holder;
+  for (int64_t replication = begin; replication < end; ++replication) {
+    const uint64_t seed =
+        numeric::SubstreamSeed(base_seed, static_cast<uint64_t>(replication));
+    // Any obs hooks in `config` are shared across replications (they are
+    // thread-safe); the source id tells the trace events apart.
+    const int source_id = static_cast<int>(replication);
+    if (holder.has_value() && (*holder)->SupportsReplicationReset()) {
+      (*holder)->ResetForReplication(seed, source_id);
+    } else {
+      SimulatorConfig replication_config = config;
+      replication_config.seed = seed;
+      replication_config.trace_source_id = source_id;
+      holder.emplace(RoundSimulator::Create(geometry, seek, num_streams,
+                                            source_factory,
+                                            replication_config));
+      ZS_CHECK(holder->ok());
+    }
+    RoundSimulator& simulator = **holder;
+    for (int r = 0; r < rounds; ++r) tally(replication, simulator.RunRound());
+  }
 }
 
 }  // namespace
@@ -59,17 +79,16 @@ common::StatusOr<ProbabilityEstimate> EstimateLateProbabilityReplicated(
   if (!probe.ok()) return probe.status();
 
   std::vector<int64_t> overruns(options.replications, 0);
-  common::ParallelFor(
+  common::ParallelForBlocks(
       options.replications,
-      [&](int64_t replication) {
-        int64_t count = 0;
-        RunReplication(geometry, seek, num_streams, source_factory, config,
-                       options.base_seed, replication,
-                       rounds_per_replication,
-                       [&count](const RoundOutcome& outcome) {
-                         if (outcome.overran) ++count;
-                       });
-        overruns[replication] = count;
+      [&](int64_t begin, int64_t end) {
+        RunReplicationBlock(geometry, seek, num_streams, source_factory,
+                            config, options.base_seed, begin, end,
+                            rounds_per_replication,
+                            [&overruns](int64_t replication,
+                                        const RoundOutcome& outcome) {
+                              if (outcome.overran) ++overruns[replication];
+                            });
       },
       options.pool);
 
@@ -102,23 +121,20 @@ common::StatusOr<ProbabilityEstimate> EstimateGlitchProbabilityReplicated(
   // RoundSimulator::EstimateGlitchProbability).
   std::vector<int64_t> glitch_events(options.replications, 0);
   std::vector<numeric::RunningStats> round_fractions(options.replications);
-  common::ParallelFor(
+  common::ParallelForBlocks(
       options.replications,
-      [&](int64_t replication) {
-        int64_t count = 0;
-        numeric::RunningStats fractions;
-        RunReplication(geometry, seek, num_streams, source_factory, config,
-                       options.base_seed, replication,
-                       rounds_per_replication,
-                       [&](const RoundOutcome& outcome) {
-                         const int64_t glitched = static_cast<int64_t>(
-                             outcome.glitched_streams.size());
-                         count += glitched;
-                         fractions.Add(static_cast<double>(glitched) /
-                                       static_cast<double>(num_streams));
-                       });
-        glitch_events[replication] = count;
-        round_fractions[replication] = fractions;
+      [&](int64_t begin, int64_t end) {
+        RunReplicationBlock(
+            geometry, seek, num_streams, source_factory, config,
+            options.base_seed, begin, end, rounds_per_replication,
+            [&](int64_t replication, const RoundOutcome& outcome) {
+              const int64_t glitched =
+                  static_cast<int64_t>(outcome.glitched_streams.size());
+              glitch_events[replication] += glitched;
+              round_fractions[replication].Add(
+                  static_cast<double>(glitched) /
+                  static_cast<double>(num_streams));
+            });
       },
       options.pool);
 
@@ -162,17 +178,17 @@ common::StatusOr<numeric::RunningStats> SampleServiceTimesReplicated(
   if (!probe.ok()) return probe.status();
 
   std::vector<numeric::RunningStats> per_replication(options.replications);
-  common::ParallelFor(
+  common::ParallelForBlocks(
       options.replications,
-      [&](int64_t replication) {
-        numeric::RunningStats stats;
-        RunReplication(geometry, seek, num_streams, source_factory, config,
-                       options.base_seed, replication,
-                       rounds_per_replication,
-                       [&stats](const RoundOutcome& outcome) {
-                         stats.Add(outcome.total_service_time_s);
-                       });
-        per_replication[replication] = stats;
+      [&](int64_t begin, int64_t end) {
+        RunReplicationBlock(geometry, seek, num_streams, source_factory,
+                            config, options.base_seed, begin, end,
+                            rounds_per_replication,
+                            [&per_replication](int64_t replication,
+                                               const RoundOutcome& outcome) {
+                              per_replication[replication].Add(
+                                  outcome.total_service_time_s);
+                            });
       },
       options.pool);
 

@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "numeric/random.h"
+#include "numeric/sort_network.h"
+#include "sim/batch_kernels.h"
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
 
@@ -68,8 +70,7 @@ RoundSimulator::RoundSimulator(
     }
   }
   const size_t n = static_cast<size_t>(num_streams_);
-  scratch_.u_zone.resize(n);
-  scratch_.u_cylinder.resize(n);
+  scratch_.u_pos.resize(2 * n);
   scratch_.cylinder.resize(n);
   scratch_.zone.resize(n);
   scratch_.rate_bps.resize(n);
@@ -77,6 +78,9 @@ RoundSimulator::RoundSimulator(
   scratch_.rotation_s.resize(n);
   scratch_.order.resize(n);
   scratch_.sort_key.resize(n);
+  scratch_.transfer_time_s.resize(n);
+  scratch_.seek_dist.resize(n);
+  scratch_.seek_time_s.resize(n);
   scratch_.zone_hits.resize(geometry_.num_zones());
 }
 
@@ -297,16 +301,25 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
   // drawn as two whole-round batches. A custom sampler is an opaque
   // callback and falls back to per-stream calls.
   if (!config_.position_sampler) {
-    rng_.FillUniform01(s.u_zone.data(), n);
-    rng_.FillUniform01(s.u_cylinder.data(), n);
+    rng_.FillUniform01(s.u_pos.data(), 2 * static_cast<size_t>(n));
+    const double* u_zone = s.u_pos.data();
+    const double* u_cylinder = s.u_pos.data() + n;
+    // Hoisted table pointers: the zone array is contiguous, so indexing
+    // it directly avoids a cross-TU accessor call (and its bounds
+    // checks) per request on the hottest loop in the simulator.
+    const disk::AliasTable& alias = geometry_.zone_alias();
+    const disk::ZoneInfo* zones = &geometry_.zone(0);
+    int* zone = s.zone.data();
+    int* cylinder = s.cylinder.data();
+    double* rate_bps = s.rate_bps.data();
     for (int i = 0; i < n; ++i) {
-      const int z = geometry_.SampleZoneAlias(s.u_zone[i]);
-      const disk::ZoneInfo& zi = geometry_.zone(z);
-      int offset = static_cast<int>(s.u_cylinder[i] * zi.num_cylinders);
+      const int z = alias.Sample(u_zone[i]);
+      const disk::ZoneInfo& zi = zones[z];
+      int offset = static_cast<int>(u_cylinder[i] * zi.num_cylinders);
       if (offset >= zi.num_cylinders) offset = zi.num_cylinders - 1;
-      s.zone[i] = z;
-      s.cylinder[i] = zi.first_cylinder + offset;
-      s.rate_bps[i] = zi.transfer_rate_bps;
+      zone[i] = z;
+      cylinder[i] = zi.first_cylinder + offset;
+      rate_bps[i] = zi.transfer_rate_bps;
     }
   } else {
     for (int i = 0; i < n; ++i) {
@@ -397,7 +410,39 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
       for (int i = 0; i < n; ++i) s.order[i] = i;
       break;
     case sched::OrderingPolicy::kScan: {
-      if (direction == sched::SweepDirection::kAscending) {
+      // Keys are unique (the index lives in the low bits), so any sort
+      // yields the same ascending permutation; the algorithm cannot
+      // change results. The common case — at most 32 streams on a disk
+      // with fewer than 2^26 cylinders — packs (cylinder, index) into
+      // 32 bits and runs a branch-free sorting network, several times
+      // faster than std::sort on a fresh random permutation per round.
+      const bool network_ok =
+          n <= static_cast<int>(numeric::kSortNetworkMaxN) &&
+          geometry_.cylinders() < (1 << 26);
+      const bool ascending =
+          direction == sched::SweepDirection::kAscending;
+      if (network_ok) {
+        uint32_t keys[numeric::kSortNetworkMaxN];
+        constexpr uint32_t kCylMask = (1u << 26) - 1u;
+        if (ascending) {
+          for (int i = 0; i < n; ++i) {
+            keys[i] = (static_cast<uint32_t>(s.cylinder[i]) << 6) |
+                      static_cast<uint32_t>(i);
+          }
+        } else {
+          for (int i = 0; i < n; ++i) {
+            keys[i] = ((~static_cast<uint32_t>(s.cylinder[i]) & kCylMask)
+                       << 6) |
+                      static_cast<uint32_t>(i);
+          }
+        }
+        numeric::SortU32Network(keys, static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          s.order[i] = static_cast<int>(keys[i] & 0x3fu);
+        }
+        break;
+      }
+      if (ascending) {
         for (int i = 0; i < n; ++i) {
           s.sort_key[i] = (static_cast<uint64_t>(
                                static_cast<uint32_t>(s.cylinder[i]))
@@ -438,26 +483,33 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
     }
   }
 
-  // One fused sweep: cumulative clock over seek + rotation + transfer
-  // (exactly as sched::ExecuteScanRound, without materializing request
-  // structs), with deadline checks folded into the same pass.
+  // Per-request terms of the sweep, evaluated wide before the strictly-
+  // ordered walk (sim/batch_kernels.h): transfers in SoA index order,
+  // seeks in service order over the arm walk's distances (an integer
+  // recurrence, cheap to peel off). Element-wise arithmetic is order-
+  // independent, so this is the scalar sweep's values exactly.
+  internal::TransferTimes(s.bytes.data(), s.rate_bps.data(),
+                          s.transfer_time_s.data(), static_cast<size_t>(n));
+  {
+    int walk_arm = arm_cylinder_;
+    for (int pos = 0; pos < n; ++pos) {
+      const int cylinder = s.cylinder[s.order[pos]];
+      s.seek_dist[pos] = std::abs(cylinder - walk_arm);
+      walk_arm = cylinder;
+    }
+  }
+  internal::SeekTimes(seek_, s.seek_dist.data(), s.seek_time_s.data(),
+                      static_cast<size_t>(n));
+
+  // The fused sweep proper: cumulative clock over seek + rotation +
+  // transfer (exactly as sched::ExecuteScanRound, without materializing
+  // request structs), with deadline checks folded into the same pass.
   RoundOutcome outcome;
   double clock = 0.0;
-  double seek_sum = return_seek_s;
-  double rotation_sum = 0.0;
-  double transfer_sum = 0.0;
-  const int sweep_start_arm = arm_cylinder_;
-  int arm = arm_cylinder_;
   int last_on_time_cylinder = arm_cylinder_;
   for (int pos = 0; pos < n; ++pos) {
     const int i = s.order[pos];
-    const double seek = seek_.SeekTime(std::abs(s.cylinder[i] - arm));
-    const double transfer = s.bytes[i] / s.rate_bps[i];
-    clock += seek + s.rotation_s[i] + transfer;
-    arm = s.cylinder[i];
-    seek_sum += seek;
-    rotation_sum += s.rotation_s[i];
-    transfer_sum += transfer;
+    clock += s.seek_time_s[pos] + s.rotation_s[i] + s.transfer_time_s[i];
     if (return_seek_s + clock > config_.round_length_s) {
       outcome.glitched_streams.push_back(i);  // stream id == SoA index
     } else {
@@ -467,11 +519,24 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
 
   outcome.total_service_time_s = return_seek_s + clock;
   outcome.overran = outcome.total_service_time_s > config_.round_length_s;
-  arm_cylinder_ =
-      outcome.glitched_streams.empty() ? arm : last_on_time_cylinder;
+  arm_cylinder_ = outcome.glitched_streams.empty()
+                      ? s.cylinder[s.order[n - 1]]
+                      : last_on_time_cylinder;
   ascending_ = !ascending_;
 
   if (config_.trace != nullptr || metrics_.has_value()) {
+    // Phase sums only feed the observability sink, so they accumulate
+    // here — in the same service order as before — rather than inside
+    // the hot sweep.
+    double seek_sum = return_seek_s;
+    double rotation_sum = 0.0;
+    double transfer_sum = 0.0;
+    for (int pos = 0; pos < n; ++pos) {
+      const int i = s.order[pos];
+      seek_sum += s.seek_time_s[pos];
+      rotation_sum += s.rotation_s[i];
+      transfer_sum += s.transfer_time_s[i];
+    }
     RoundBreakdown breakdown;
     breakdown.seek_s = seek_sum;
     breakdown.rotation_s =
@@ -483,19 +548,16 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
     breakdown.faulted_requests = faulted_requests;
     breakdown.service_time_s = outcome.total_service_time_s;
     if (config_.truncate_at_deadline && outcome.overran) {
-      // Rebuild the per-position phase lengths by replaying the sweep's
-      // arm walk (cheap relative to a traced overrun round).
+      // Per-position phase lengths are already materialized; only the
+      // rotation column needs gathering into service order.
       std::vector<double> seek_by_pos(static_cast<size_t>(n));
       std::vector<double> rotation_by_pos(static_cast<size_t>(n));
       std::vector<double> transfer_by_pos(static_cast<size_t>(n));
-      int replay_arm = sweep_start_arm;
       for (int pos = 0; pos < n; ++pos) {
         const int i = s.order[pos];
-        seek_by_pos[pos] =
-            seek_.SeekTime(std::abs(s.cylinder[i] - replay_arm));
+        seek_by_pos[pos] = s.seek_time_s[pos];
         rotation_by_pos[pos] = s.rotation_s[i];
-        transfer_by_pos[pos] = s.bytes[i] / s.rate_bps[i];
-        replay_arm = s.cylinder[i];
+        transfer_by_pos[pos] = s.transfer_time_s[i];
       }
       TruncateBreakdown(&breakdown, s.order, seek_by_pos, rotation_by_pos,
                         transfer_by_pos, return_seek_s);
@@ -506,6 +568,19 @@ RoundOutcome RoundSimulator::RunRoundBatched() {
   }
   ++rounds_run_;
   return outcome;
+}
+
+void RoundSimulator::ResetForReplication(uint64_t seed,
+                                         int trace_source_id) {
+  ZS_CHECK(SupportsReplicationReset());
+  config_.seed = seed;
+  config_.trace_source_id = trace_source_id;
+  rng_ = numeric::Rng(seed);
+  disturbance_rng_ =
+      numeric::Rng(numeric::SubstreamSeed(seed, kDisturbanceSubstream));
+  arm_cylinder_ = 0;
+  ascending_ = true;
+  rounds_run_ = 0;
 }
 
 RoundOutcome RoundSimulator::FinishDiskFailedRound() {

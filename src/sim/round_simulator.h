@@ -227,6 +227,24 @@ class RoundSimulator {
   const SimulatorConfig& config() const { return config_; }
   int64_t rounds_run() const { return rounds_run_; }
 
+  // True when the simulator holds no cross-round state outside its RNG
+  // streams and the arm position — every stream on one shared i.i.d.
+  // size distribution and no fault injector. Replication drivers may
+  // then rewind one instance per shard with ResetForReplication()
+  // instead of paying a full construction (sources, scratch, metric
+  // resolution) per replication.
+  bool SupportsReplicationReset() const {
+    return shared_iid_ != nullptr && fault_injector_ == nullptr;
+  }
+
+  // Rewinds to the state of a freshly-constructed simulator whose config
+  // seed is `seed` and trace source id is `trace_source_id`: both RNG
+  // substreams restart, the arm returns to cylinder 0, the sweep to
+  // ascending, the round counter to zero. Requires
+  // SupportsReplicationReset(); round outcomes after the reset are
+  // bit-identical to a new instance's.
+  void ResetForReplication(uint64_t seed, int trace_source_id);
+
   // Checkpoint support: see RoundSimulatorState. ImportState validates
   // shape (stream count, arm cylinder in range, fault presence matching
   // the config) before mutating anything it can avoid mutating.
@@ -255,8 +273,11 @@ class RoundSimulator {
   // kernels), replacing the old per-request counter increments and the
   // per-round vector growth.
   struct RoundScratch {
-    std::vector<double> u_zone;        // zone-draw uniforms
-    std::vector<double> u_cylinder;    // cylinder-draw uniforms
+    // Position-draw uniforms, one contiguous block of 2n so the round
+    // fills them with a single engine pass: zone draws in [0, n),
+    // cylinder draws in [n, 2n) — the same words, in the same order, as
+    // the former back-to-back per-array fills.
+    std::vector<double> u_pos;
     std::vector<int> cylinder;
     std::vector<int> zone;
     std::vector<double> rate_bps;
@@ -267,6 +288,12 @@ class RoundSimulator {
     // high 32 bits, SoA index in the low 32 — one flat uint64 sort
     // replaces the comparator-indirect index sort.
     std::vector<uint64_t> sort_key;
+    // Wide-kernel staging for the sweep (sim/batch_kernels.h):
+    // per-stream transfer times (SoA index order), and per-position seek
+    // distances/times (service order).
+    std::vector<double> transfer_time_s;
+    std::vector<double> seek_dist;
+    std::vector<double> seek_time_s;
     std::vector<int32_t> zone_hits;    // per-zone tallies, reset each round
     // Per-stream injected delays, tracked only when truncate_at_deadline
     // needs the phase-level breakdown of the cut request.

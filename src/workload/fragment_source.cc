@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <random>
 
 #include "common/check.h"
 #include "numeric/special_functions.h"

@@ -1,6 +1,7 @@
 #include "workload/vbr_trace.h"
 
 #include <cmath>
+#include <random>
 
 #include "common/check.h"
 #include "numeric/special_functions.h"

@@ -1,6 +1,7 @@
 #include "disk/seek_calibration.h"
 
 #include <cmath>
+#include <random>
 
 #include <gtest/gtest.h>
 

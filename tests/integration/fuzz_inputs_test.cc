@@ -7,6 +7,7 @@
 
 #include "numeric/random.h"
 #include "server/server_config.h"
+#include "sim/rare_event_spec.h"
 #include "workload/trace_io.h"
 
 namespace zonestream {
@@ -65,6 +66,38 @@ TEST(FuzzTest, ParseServerSpecSurvivesMutatedTemplate) {
     const auto spec = server::ParseServerSpec(mutated);
     if (spec.ok()) {
       (void)server::BuildServerPlan(*spec);
+    }
+  }
+}
+
+TEST(FuzzTest, ParseRareEventSpecNeverCrashes) {
+  numeric::Rng rng(606);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = RandomText(&rng, 1 + rng.UniformIndex(200));
+    const auto spec = sim::ParseRareEventSpec(text);
+    if (spec.ok()) {
+      // Whatever parsed must round-trip through its own formatter.
+      EXPECT_TRUE(
+          sim::ParseRareEventSpec(sim::FormatRareEventSpec(*spec)).ok())
+          << text;
+    }
+  }
+}
+
+TEST(FuzzTest, ParseRareEventSpecSurvivesMutatedTemplate) {
+  numeric::Rng rng(707);
+  const std::string base =
+      sim::FormatRareEventSpec(sim::RareEventSpec());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    const size_t pos = rng.UniformIndex(mutated.size());
+    mutated[pos] =
+        "abcdefghijklmnopqrstuvwxyz0123456789=,.-"[rng.UniformIndex(40)];
+    const auto spec = sim::ParseRareEventSpec(mutated);
+    if (spec.ok()) {
+      EXPECT_TRUE(
+          sim::ParseRareEventSpec(sim::FormatRareEventSpec(*spec)).ok())
+          << mutated;
     }
   }
 }

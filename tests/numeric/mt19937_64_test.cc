@@ -1,0 +1,192 @@
+// Pins numeric::Mt19937_64 to std::mt19937_64: identical output
+// sequence, identical textual serialization, interchangeable snapshots —
+// plus the bulk/peek interfaces the SIMD samplers rely on.
+#include "numeric/mt19937_64.h"
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace zonestream::numeric {
+namespace {
+
+TEST(Mt19937_64Test, MatchesStdSequenceAcrossBlockBoundaries) {
+  // 2000 draws cross the 312-word regeneration boundary six times.
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{42},
+                              uint64_t{0xdeadbeefcafeull}}) {
+    std::mt19937_64 reference(seed);
+    Mt19937_64 engine(seed);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(engine(), reference()) << "seed " << seed << " draw " << i;
+    }
+  }
+}
+
+TEST(Mt19937_64Test, DefaultSeedMatchesStd) {
+  std::mt19937_64 reference;
+  Mt19937_64 engine;
+  for (int i = 0; i < 700; ++i) ASSERT_EQ(engine(), reference());
+}
+
+TEST(Mt19937_64Test, KnownTenThousandthDraw) {
+  // The classical reference value: the 10000th draw of mt19937_64
+  // seeded with the default seed.
+  Mt19937_64 engine;
+  uint64_t last = 0;
+  for (int i = 0; i < 10000; ++i) last = engine();
+  EXPECT_EQ(last, 9981545732273789042ull);
+}
+
+TEST(Mt19937_64Test, SerializationTextMatchesStdAtEveryPhase) {
+  for (const int draws : {0, 1, 5, 311, 312, 313, 1000}) {
+    std::mt19937_64 reference(99);
+    Mt19937_64 engine(99);
+    for (int i = 0; i < draws; ++i) {
+      reference();
+      engine();
+    }
+    std::ostringstream ref_out;
+    ref_out << reference;
+    std::ostringstream out;
+    out << engine;
+    EXPECT_EQ(out.str(), ref_out.str()) << "after " << draws << " draws";
+  }
+}
+
+TEST(Mt19937_64Test, RestoresFromStdSerialization) {
+  std::mt19937_64 reference(7);
+  for (int i = 0; i < 500; ++i) reference();
+  std::ostringstream saved;
+  saved << reference;
+
+  Mt19937_64 engine;
+  std::istringstream in(saved.str());
+  in >> engine;
+  ASSERT_FALSE(in.fail());
+  for (int i = 0; i < 700; ++i) ASSERT_EQ(engine(), reference());
+}
+
+TEST(Mt19937_64Test, StdRestoresFromOurSerialization) {
+  Mt19937_64 engine(1234);
+  for (int i = 0; i < 500; ++i) engine();
+  std::ostringstream saved;
+  saved << engine;
+
+  std::mt19937_64 reference;
+  std::istringstream in(saved.str());
+  in >> reference;
+  ASSERT_FALSE(in.fail());
+  for (int i = 0; i < 700; ++i) ASSERT_EQ(reference(), engine());
+}
+
+TEST(Mt19937_64Test, RejectsMalformedSerialization) {
+  Mt19937_64 engine(5);
+  std::istringstream in("12 34 garbage");
+  in >> engine;
+  EXPECT_TRUE(in.fail());
+}
+
+TEST(Mt19937_64Test, FillRawMatchesSingleDraws) {
+  Mt19937_64 reference(2024);
+  Mt19937_64 engine(2024);
+  // Odd-sized chunks so fills start and end at awkward block offsets.
+  std::vector<uint64_t> buffer(613);
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    engine.FillRaw(buffer.data(), buffer.size());
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      ASSERT_EQ(buffer[i], reference()) << "chunk " << chunk << " i " << i;
+    }
+  }
+}
+
+TEST(Mt19937_64Test, PeekDoesNotConsume) {
+  Mt19937_64 engine(77);
+  // Position the stream near the end of a block so the peek window
+  // straddles the boundary.
+  for (int i = 0; i < 305; ++i) engine();
+  uint64_t peeked[16];
+  engine.PeekRaw(peeked, 16);
+  uint64_t peeked_again[16];
+  engine.PeekRaw(peeked_again, 16);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(peeked[i], peeked_again[i]);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(engine(), peeked[i]);
+}
+
+TEST(Mt19937_64Test, PeekAdvanceReplaysExactly) {
+  Mt19937_64 reference(31337);
+  std::vector<uint64_t> expected(4000);
+  reference.FillRaw(expected.data(), expected.size());
+
+  // Consume the same stream through an adversarial mix of peeks,
+  // partial advances and direct draws.
+  Mt19937_64 engine(31337);
+  size_t pos = 0;
+  uint64_t window[16];
+  int step = 0;
+  while (pos + 32 < expected.size()) {
+    engine.PeekRaw(window, 16);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(window[i], expected[pos + i]) << "peek at " << pos;
+    }
+    const size_t commit = 1 + (step * 7) % 16;  // 1..16, varying
+    engine.AdvanceRaw(commit);
+    pos += commit;
+    if (step % 3 == 0) {
+      ASSERT_EQ(engine(), expected[pos]) << "draw at " << pos;
+      ++pos;
+    }
+    ++step;
+  }
+}
+
+TEST(Mt19937_64Test, AdvanceToExactBlockBoundary) {
+  Mt19937_64 reference(9);
+  Mt19937_64 engine(9);
+  for (int i = 0; i < 312 - 16; ++i) {
+    reference();
+    engine();
+  }
+  uint64_t window[16];
+  engine.PeekRaw(window, 16);
+  engine.AdvanceRaw(16);  // lands exactly at p == 312
+  for (int i = 0; i < 16; ++i) reference();
+  for (int i = 0; i < 650; ++i) ASSERT_EQ(engine(), reference());
+}
+
+TEST(Mt19937_64Test, EqualityFollowsState) {
+  Mt19937_64 a(11);
+  Mt19937_64 b(11);
+  EXPECT_EQ(a, b);
+  a();
+  EXPECT_NE(a, b);
+  b();
+  EXPECT_EQ(a, b);
+  // Peeking is not an observable state change.
+  uint64_t window[8];
+  a.PeekRaw(window, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mt19937_64Test, WorksWithStdDistributions) {
+  // The engine satisfies UniformRandomBitGenerator; std distributions
+  // over it must match those over std::mt19937_64 exactly.
+  std::mt19937_64 reference(55);
+  Mt19937_64 engine(55);
+  std::normal_distribution<double> ref_normal(0.0, 1.0);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(normal(engine), ref_normal(reference));
+  }
+  std::uniform_int_distribution<uint64_t> ref_index(0, 999);
+  std::uniform_int_distribution<uint64_t> index(0, 999);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(index(engine), ref_index(reference));
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::numeric
