@@ -13,8 +13,10 @@
 #include "common/thread_pool.h"
 #include "core/admission.h"
 #include "core/glitch_model.h"
+#include "fault/fault_model.h"
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
+#include "server/media_server.h"
 #include "sim/importance_sampling.h"
 #include "sim/replication.h"
 
@@ -245,6 +247,41 @@ void BM_ImportanceSampledErrorProbability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ImportanceSampledErrorProbability)->Arg(24);
+
+// One degraded parity-array round: N streams per data phase on a 3-disk
+// RAID-5 MediaServer with disk 0 down for good, so every round pays the
+// full degraded tax — reconstruction fan-out to both survivors plus the
+// repair throttle's reconstruction reads (the rebuild target is sized to
+// never finish). This is the serving-path cost the degraded admission
+// bound (core::MaxStreamsByLateProbabilityDegraded) budgets for.
+void BM_DegradedRound(benchmark::State& state) {
+  server::MediaServerConfig config;
+  config.num_disks = 3;
+  config.round_length_s = bench::kRoundLengthS;
+  config.per_disk_stream_limit = static_cast<int>(state.range(0));
+  config.seed = 1;
+  config.parity = true;
+  fault::DiskFailureSpec failure;
+  failure.fail_at_round = 0;  // permanent
+  config.faults.disk_failures.push_back(failure);
+  config.fault_disk = 0;
+  server::RepairPolicy repair;
+  repair.throttle_per_round = 4;
+  repair.total_stripes = int64_t{1} << 40;  // stays degraded forever
+  repair.read_bytes = bench::kMeanSizeBytes;
+  config.repair = repair;
+  auto server = server::MediaServer::Create(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), config);
+  ZS_CHECK(server.ok());
+  for (int i = 0; i < server->max_streams(); ++i) {
+    ZS_CHECK(server->OpenStream(bench::Table1Sizes()).ok());
+  }
+  for (auto _ : state) {
+    server->RunRound();
+    benchmark::DoNotOptimize(server->current_round());
+  }
+}
+BENCHMARK(BM_DegradedRound)->Arg(13);
 
 void BM_ModelBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -361,6 +361,9 @@ int main(int argc, char** argv) {
   int fault_disk = -1;
   double degrade_bound = -1.0;
   int retries = 0;
+  bool parity = false;
+  int repair_throttle = 0;
+  int64_t repair_stripes = 5000;
   int64_t total_rounds = 1200;
   int64_t checkpoint_every = 0;
   bool replay_verify = false;
@@ -375,6 +378,12 @@ int main(int argc, char** argv) {
       degrade_bound = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
       retries = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--parity") == 0) {
+      parity = true;
+    } else if (std::strncmp(argv[i], "--repair-throttle=", 18) == 0) {
+      repair_throttle = std::atoi(argv[i] + 18);
+    } else if (std::strncmp(argv[i], "--repair-stripes=", 17) == 0) {
+      repair_stripes = std::atoll(argv[i] + 17);
     } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
       total_rounds = std::atoll(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
@@ -394,6 +403,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--metrics-out=FILE] [--fault=SPEC] "
                    "[--fault-disk=D] [--degrade=BOUND] [--retries=R]\n"
+                   "          [--parity] [--repair-throttle=T] "
+                   "[--repair-stripes=S]\n"
                    "          [--rounds=N] [--checkpoint-every=K] "
                    "[--checkpoint-dir=DIR]\n"
                    "          [--resume-from=FILE|DIR] [--replay-verify] "
@@ -499,6 +510,42 @@ int main(int argc, char** argv) {
                 degrade_bound);
   }
   server_config.max_fragment_retries = retries;
+  if (repair_throttle > 0 && !parity) {
+    std::fprintf(stderr, "--repair-throttle requires --parity\n");
+    return 2;
+  }
+  if (parity) {
+    server_config.parity = true;
+    std::printf(
+        "Parity striping: RAID-5 over %d disks, %d data phases, capacity "
+        "%d streams\n",
+        server_config.num_disks, server_config.num_disks - 1,
+        (server_config.num_disks - 1) * per_disk_limit);
+    if (repair_throttle > 0) {
+      server::RepairPolicy repair;
+      repair.throttle_per_round = repair_throttle;
+      repair.total_stripes = repair_stripes;
+      repair.read_bytes = moments.mean_bytes;
+      server_config.repair = repair;
+      // Hold degraded service to the bound that still meets the QoS
+      // contract while each survivor absorbs reconstruction fan-out plus
+      // the repair throttle share (§3.2 with 2N + R requests per disk).
+      auto degraded_limit = server::MediaServer::PlanDegradedLimit(
+          viking, seek, moments.mean_bytes, moments.variance_bytes2,
+          round_length, 0.01, repair);
+      if (!degraded_limit.ok()) {
+        std::fprintf(stderr, "--repair-throttle: %s\n",
+                     degraded_limit.status().ToString().c_str());
+        return 2;
+      }
+      server_config.degraded_per_disk_stream_limit = *degraded_limit;
+      std::printf(
+          "Repair: %d stripes/round onto the spare (%lld stripes total), "
+          "degraded admission <=%d streams/disk\n",
+          repair_throttle, static_cast<long long>(repair_stripes),
+          *degraded_limit);
+    }
+  }
 
   const std::shared_ptr<const workload::SizeDistribution> sizes =
       std::make_shared<workload::GammaSizeDistribution>(
@@ -627,6 +674,24 @@ int main(int argc, char** argv) {
       worst_glitches, tolerated_glitches, violators, churn.active.size(),
       static_cast<long long>(churn.finished_streams),
       static_cast<long long>(churn.finished_glitches));
+
+  if (parity) {
+    std::printf(
+        "\nParity/repair: %lld fragments reconstructed via degraded "
+        "reads, %lld rounds degraded, %lld stripes rebuilt",
+        static_cast<long long>(stats.reconstructed_fragments),
+        static_cast<long long>(stats.rounds_degraded),
+        static_cast<long long>(stats.repair_stripes_rebuilt));
+    if (server->rebuild_active()) {
+      std::printf(" (rebuild of disk %d still running)\n",
+                  server->rebuild_target_disk());
+    } else if (stats.repair_stripes_rebuilt > 0) {
+      std::printf(" (disk %d restored onto its spare)\n",
+                  server->rebuild_target_disk());
+    } else {
+      std::printf("\n");
+    }
+  }
 
   const std::vector<fault::DegradationEvent> degradation_events =
       server->degradation_events();

@@ -62,6 +62,11 @@ int PrintPlan(const server::ServerSpec& spec, const server::ServerPlan& plan) {
                 std::to_string(plan.total_streams)});
   table.AddRow({"b_late at the limit",
                 common::FormatProbability(plan.late_bound_at_limit)});
+  if (plan.degraded_streams_per_disk >= 0) {
+    table.AddRow({"degraded streams per disk (repair " +
+                      std::to_string(spec.repair_throttle) + "/round)",
+                  std::to_string(plan.degraded_streams_per_disk)});
+  }
   table.Print();
   return 0;
 }

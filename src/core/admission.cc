@@ -83,6 +83,28 @@ int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
   return LimitFromValues(values, epsilon);
 }
 
+int MaxStreamsByLateProbabilityDegraded(const ServiceTimeModel& model,
+                                        double t, double delta,
+                                        int repair_requests, int n_cap) {
+  ZS_CHECK_GT(t, 0.0);
+  ZS_CHECK_GT(delta, 0.0);
+  ZS_CHECK_GE(repair_requests, 0);
+  ZS_CHECK_GT(n_cap, 0);
+  // A survivor's worst round carries 2N + R requests (own phase, the
+  // failed disk's phase, and the repair throttle share). b_late is
+  // monotone in the request count, so scan N ascending and stop at the
+  // first violation. LateBoundScan is warm-start-correct for any query
+  // order, including this stride-2 sequence.
+  LateBoundScan scan(&model, t);
+  int n_max = 0;
+  for (int n = 1; n <= n_cap; ++n) {
+    const double bound = scan.LateBound(2 * n + repair_requests).bound;
+    if (bound > delta) break;
+    n_max = n;
+  }
+  return n_max;
+}
+
 int MaxStreamsByCombinedCriteria(const ServiceTimeModel& model, double t,
                                  double delta, int m, int g, double epsilon,
                                  int n_cap) {

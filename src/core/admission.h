@@ -32,6 +32,24 @@ int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
 int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
                            int g, double epsilon, int n_cap = 4096);
 
+// Degraded-mode admission bound for a rotating-parity array rebuilding a
+// failed disk (ROADMAP item 1). While one disk of a RAID-5 array is down,
+// every surviving disk serves in the worst round its own N stream reads
+// PLUS up to N reconstruction reads standing in for the failed disk PLUS
+// `repair_requests` throttled rebuild reads, all inside the same round of
+// length t. The paper's per-disk Chernoff machinery applies unchanged to
+// that inflated request count, so the safe level is the largest N with
+//   b_late(2N + repair_requests, t) <= delta.
+// Returns 0 when even N=1 violates the tolerance (the operator must pause
+// repair or shed to zero). `repair_requests` may be 0 (degraded, repair
+// paused). Repair reads are modeled with the same service-time
+// distribution as stream reads; size repair reads near the mean fragment
+// (RepairPolicy::read_bytes) to keep that faithful.
+int MaxStreamsByLateProbabilityDegraded(const ServiceTimeModel& model,
+                                        double t, double delta,
+                                        int repair_requests,
+                                        int n_cap = 4096);
+
 // Largest N satisfying BOTH contracts simultaneously: b_late(N, t) <=
 // delta AND p_error(N, t, m, g) <= epsilon. Operators often want the
 // per-round guarantee for interactive feel plus the per-stream guarantee

@@ -175,6 +175,17 @@ void EncodeServer(const server::MediaServerState& state, BlobWriter* out) {
   for (const numeric::RunningStatsState& busy : state.busy_fraction) {
     EncodeRunningStats(busy, out);
   }
+  // Parity/repair fields (snapshot version 2).
+  out->PutU64(state.spare_active.size());
+  for (const uint8_t spare : state.spare_active) out->PutU8(spare);
+  out->PutBool(state.repair_present);
+  if (state.repair_present) {
+    out->PutBool(state.repair.active);
+    out->PutI64(state.repair.target_disk);
+    out->PutI64(state.repair.stripes_rebuilt);
+  }
+  out->PutI64(state.reconstructed_fragments);
+  out->PutI64(state.rounds_degraded);
 }
 
 server::MediaServerState DecodeServer(BlobReader* in) {
@@ -238,6 +249,20 @@ server::MediaServerState DecodeServer(BlobReader* in) {
   for (uint64_t i = 0; i < busy; ++i) {
     state.busy_fraction.push_back(DecodeRunningStats(in));
   }
+  uint64_t spares = in->TakeU64();
+  if (spares > in->remaining()) in->Fail();
+  if (!in->ok()) return state;
+  for (uint64_t i = 0; i < spares; ++i) {
+    state.spare_active.push_back(in->TakeU8());
+  }
+  state.repair_present = in->TakeBool();
+  if (state.repair_present) {
+    state.repair.active = in->TakeBool();
+    state.repair.target_disk = static_cast<int>(in->TakeI64());
+    state.repair.stripes_rebuilt = in->TakeI64();
+  }
+  state.reconstructed_fragments = in->TakeI64();
+  state.rounds_degraded = in->TakeI64();
   return state;
 }
 
@@ -549,6 +574,32 @@ std::string DescribeSnapshot(const Snapshot& snapshot) {
            " streams, round " + std::to_string(snapshot.server->round) +
            ", " + std::to_string(snapshot.server->arm_cylinder.size()) +
            " disks\n";
+    int spares = 0;
+    for (const uint8_t spare : snapshot.server->spare_active) {
+      if (spare != 0) ++spares;
+    }
+    if (snapshot.server->repair_present) {
+      const server::RepairControllerState& repair = snapshot.server->repair;
+      out += "  repair:   ";
+      if (repair.active) {
+        out += "rebuilding disk " + std::to_string(repair.target_disk) +
+               ", " + std::to_string(repair.stripes_rebuilt) +
+               " stripes done";
+      } else if (repair.stripes_rebuilt > 0) {
+        out += "complete (" + std::to_string(repair.stripes_rebuilt) +
+               " stripes)";
+      } else {
+        out += "idle";
+      }
+      out += ", " + std::to_string(spares) + " spare(s) active, " +
+             std::to_string(snapshot.server->rounds_degraded) +
+             " degraded round(s)\n";
+    } else if (spares > 0 || snapshot.server->rounds_degraded > 0) {
+      out += "  repair:   " + std::to_string(spares) +
+             " spare(s) active, " +
+             std::to_string(snapshot.server->rounds_degraded) +
+             " degraded round(s)\n";
+    }
   }
   if (snapshot.simulator.has_value()) {
     out += "  sim:      " +

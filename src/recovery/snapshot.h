@@ -37,8 +37,15 @@
 namespace zonestream::recovery {
 
 // Eight magic bytes (the length is explicit: the literal embeds a NUL).
+// The magic names the container *family*; the version field below tracks
+// the payload format. Version history:
+//   1 — original PR 5 format.
+//   2 — server section gained parity/repair fields (spare flags, repair
+//       progress, degraded counters). Version-1 files are rejected with a
+//       clear "unsupported snapshot version" error rather than risking a
+//       silent misparse of the appended fields.
 inline constexpr std::string_view kSnapshotMagic{"ZSNAPv1\0", 8};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 // Informational header — never consulted by restore logic, but lets
 // `zonestream_ctl snapshot inspect` describe a file without the config

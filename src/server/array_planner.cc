@@ -169,6 +169,13 @@ common::StatusOr<ArrayPlan> PlanArrayDegraded(
                                   : limit;
     any_survivor = true;
   }
+  if (!any_survivor) {
+    // Total loss: a zero-capacity "plan" here used to mask the fact that
+    // there is no array left to place anything on; make the caller face
+    // it as a structured error instead of a silently-empty plan.
+    return common::Status::FailedPrecondition(
+        "no surviving disks: every disk of every group has failed");
+  }
   plan.striped_capacity = weakest_surviving_limit * surviving_disks;
   if (metrics != nullptr) {
     int total_failed = 0;

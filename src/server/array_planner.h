@@ -73,8 +73,14 @@ common::StatusOr<ArrayPlan> PlanArray(const std::vector<DiskGroup>& groups,
 // capacity is the weakest *surviving* group's limit times the surviving
 // disk count, so losing the last disk of the weakest group can raise the
 // per-disk cap even as total capacity falls. An array with no surviving
-// disks plans to zero capacity rather than erroring, so a degradation
-// loop can call this unconditionally.
+// disks returns FailedPrecondition (there is nothing left to plan onto);
+// a degradation loop should treat that as "shed everything", not retry.
+//
+// The returned limits stay indexed by ORIGINAL group order, and capacity
+// is a count, never a renumbering: survivors keep their original disk
+// indices (see the stable-mapping contract in server/striping.h). Do not
+// rebuild a striping object with the survivor count when applying a
+// degraded plan.
 common::StatusOr<ArrayPlan> PlanArrayDegraded(
     const std::vector<DiskGroup>& groups, const std::vector<int>& failed_disks,
     double fragment_mean_bytes, double fragment_variance_bytes2,

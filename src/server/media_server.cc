@@ -21,6 +21,11 @@ namespace {
 // fault process is independent.
 constexpr uint64_t kServerFaultSubstream = 0x66737276;
 
+// Repair stripe-rebuild job j rides in the round's batches as stream id
+// kRepairStreamIdBase - j; negative ids survive the SCAN sort and are
+// decoded back to the job on completion. Stream ids are always >= 0.
+constexpr int kRepairStreamIdBase = -1;
+
 }  // namespace
 
 common::StatusOr<MediaServerConfig> MediaServer::PlanConfig(
@@ -56,6 +61,28 @@ common::StatusOr<MediaServerConfig> MediaServer::PlanConfig(
   return config;
 }
 
+common::StatusOr<int> MediaServer::PlanDegradedLimit(
+    const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+    double fragment_mean_bytes, double fragment_variance_bytes2,
+    double round_length_s, double late_tolerance,
+    const RepairPolicy& repair) {
+  if (round_length_s <= 0.0) {
+    return common::Status::InvalidArgument("round length must be positive");
+  }
+  if (late_tolerance <= 0.0 || late_tolerance >= 1.0) {
+    return common::Status::InvalidArgument(
+        "late tolerance must be in (0, 1)");
+  }
+  if (auto status = ValidateRepairPolicy(repair); !status.ok()) {
+    return status;
+  }
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      geometry, seek, fragment_mean_bytes, fragment_variance_bytes2);
+  if (!model.ok()) return model.status();
+  return core::MaxStreamsByLateProbabilityDegraded(
+      *model, round_length_s, late_tolerance, repair.throttle_per_round);
+}
+
 MediaServer::MediaServer(
     const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
     const MediaServerConfig& config,
@@ -65,12 +92,20 @@ MediaServer::MediaServer(
       config_(config),
       striping_(config.num_disks),
       rng_(config.seed),
-      phase_counts_(config.num_disks, 0),
+      phase_counts_(config.parity ? config.num_disks - 1 : config.num_disks,
+                    0),
       arm_cylinder_(config.num_disks, 0),
       ascending_(config.num_disks, true),
       fault_injectors_(std::move(injectors)),
+      spare_active_(config.num_disks, 0),
       busy_fraction_(config.num_disks),
-      batch_scratch_(config.num_disks) {
+      batch_scratch_(config.num_disks),
+      round_failed_(config.num_disks, 0) {
+  if (config_.parity) parity_striping_.emplace(config_.num_disks);
+  if (config_.repair.has_value()) {
+    repair_ =
+        std::make_unique<RepairController>(*config_.repair, config_.metrics);
+  }
   if (config_.degradation.has_value()) {
     degradation_ = std::make_unique<fault::DegradationController>(
         *config_.degradation, config_.metrics, "server.degradation");
@@ -99,6 +134,28 @@ common::StatusOr<MediaServer> MediaServer::Create(
   if (config.max_fragment_retries < 0) {
     return common::Status::InvalidArgument(
         "max_fragment_retries must be non-negative");
+  }
+  if (config.parity && config.num_disks < 2) {
+    return common::Status::InvalidArgument(
+        "parity striping needs at least 2 disks");
+  }
+  if (config.degraded_per_disk_stream_limit < 0) {
+    return common::Status::InvalidArgument(
+        "degraded_per_disk_stream_limit must be non-negative");
+  }
+  if (config.degraded_per_disk_stream_limit > 0 && !config.parity) {
+    return common::Status::InvalidArgument(
+        "degraded_per_disk_stream_limit requires parity striping");
+  }
+  if (config.repair.has_value()) {
+    if (!config.parity) {
+      return common::Status::InvalidArgument(
+          "repair requires parity striping (there is nothing to rebuild "
+          "from without parity)");
+    }
+    if (auto status = ValidateRepairPolicy(*config.repair); !status.ok()) {
+      return status;
+    }
   }
   std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
   if (!config.faults.empty()) {
@@ -143,11 +200,13 @@ common::StatusOr<int> MediaServer::OpenStream(
   }
   // Least-loaded phase; rejecting when it is full enforces the per-disk
   // limit exactly (every disk serves one phase's streams per round).
+  // While a parity array is degraded, the degraded-mode limit applies,
+  // so new admissions never push a survivor past the rebuilding bound.
   int phase = 0;
-  for (int p = 1; p < config_.num_disks; ++p) {
+  for (int p = 1; p < NumPhases(); ++p) {
     if (phase_counts_[p] < phase_counts_[phase]) phase = p;
   }
-  if (phase_counts_[phase] >= config_.per_disk_stream_limit) {
+  if (phase_counts_[phase] >= EffectivePhaseLimit()) {
     if (config_.metrics != nullptr) {
       config_.metrics->GetCounter("server.admission.rejected")->Increment();
     }
@@ -214,49 +273,166 @@ void MediaServer::RecordGlitch(int stream_id, double fragment_bytes) {
 
 void MediaServer::RunRound() {
   const int active_at_start = static_cast<int>(streams_.size());
+
+  // Failure census. Every injector opens its round here — BeginRound
+  // draws only from the injector's own per-disk substreams, so hoisting
+  // it ahead of batch building leaves all request draws untouched — and
+  // declares the stream load the disk is scheduled to carry (degraded
+  // fan-out and repair reads appended below are served, and eligible for
+  // per-request fault delays, but are not part of the declared load). A
+  // disk whose spare took over reports healthy regardless of its dead
+  // predecessor's injector.
+  std::fill(round_failed_.begin(), round_failed_.end(), 0);
+  int failed_count = 0;
+  int failed_disk = -1;
+  for (int d = 0; d < config_.num_disks; ++d) {
+    fault::FaultInjector* injector = InjectorFor(d);
+    if (injector == nullptr) continue;
+    injector->BeginRound(PlannedPrimaryLoad(d));
+    if (injector->disk_failed() && spare_active_[static_cast<size_t>(d)] == 0) {
+      round_failed_[static_cast<size_t>(d)] = 1;
+      if (failed_count == 0) failed_disk = d;
+      ++failed_count;
+    }
+  }
+
+  // Parity-mode failure transitions, before batches are built so this
+  // round already runs with the degraded stream set and an armed rebuild.
+  if (config_.parity) {
+    degraded_now_ = failed_count > 0;
+    if (degraded_now_ && !degraded_prev_) ShedToDegradedLimit();
+    if (repair_ != nullptr) {
+      if (failed_count == 0 && repair_->active()) {
+        // The target healed on its own (transient fault): data intact.
+        repair_->Cancel();
+      } else if (failed_count == 1 &&
+                 (!repair_->active() ||
+                  repair_->target_disk() != failed_disk)) {
+        repair_->StartRebuild(failed_disk);
+      }
+      // Two or more disks down: an armed rebuild stays active but claims
+      // no budget (reconstruction needs all D-1 peers of the target).
+    }
+    degraded_prev_ = degraded_now_;
+  }
+
   // Gather this round's request batch per disk into the reused scratch
   // (clear keeps the capacity, so steady-state rounds allocate nothing).
   std::vector<std::vector<sched::DiskRequest>>& batches = batch_scratch_;
   for (auto& batch : batches) batch.clear();
-  for (auto& [id, stream] : streams_) {
-    const int disk_index = striping_.DiskForFragment(
-        stream.phase, round_);
+  recon_scratch_.clear();
+  const auto emit = [&](int disk, int stream_id, double bytes) {
     const disk::DiskPosition position = geometry_.SampleUniformPosition(&rng_);
     sched::DiskRequest request;
-    request.stream_id = id;
+    request.stream_id = stream_id;
     request.cylinder = position.cylinder;
     request.zone = position.zone;
     request.transfer_rate_bps = position.transfer_rate_bps;
+    request.bytes = bytes;
+    request.rotational_latency_s = rng_.Uniform(0.0, geometry_.rotation_time());
+    batches[static_cast<size_t>(disk)].push_back(request);
+  };
+  for (auto& [id, stream] : streams_) {
+    if (!config_.parity) {
+      const int disk_index = striping_.DiskForFragment(
+          stream.phase, round_);
+      const disk::DiskPosition position =
+          geometry_.SampleUniformPosition(&rng_);
+      sched::DiskRequest request;
+      request.stream_id = id;
+      request.cylinder = position.cylinder;
+      request.zone = position.zone;
+      request.transfer_rate_bps = position.transfer_rate_bps;
+      if (stream.retry_bytes >= 0.0) {
+        // A deadline-cut fragment awaiting re-issue: same size, fresh
+        // position (no size draw, so the retry never shifts other streams'
+        // draws — they happen per stream in map order either way).
+        request.bytes = stream.retry_bytes;
+        stream.retry_bytes = -1.0;
+      } else {
+        request.bytes = stream.source->NextFragmentBytes(&rng_);
+        stream.next_fragment++;
+        // A fresh fragment closes out any retried predecessor that made
+        // its deadline: the retry budget is per fragment, not per stream.
+        stream.retry_attempts = 0;
+      }
+      request.rotational_latency_s =
+          rng_.Uniform(0.0, geometry_.rotation_time());
+      batches[disk_index].push_back(request);
+      stream.stats.rounds_served++;
+      continue;
+    }
+    // Parity layout: stripe row = round index; phase j's unit lives on
+    // the row's j-th data disk.
+    const int home_disk =
+        parity_striping_->DataDiskForFragment(stream.phase, round_);
+    double bytes;
     if (stream.retry_bytes >= 0.0) {
-      // A deadline-cut fragment awaiting re-issue: same size, fresh
-      // position (no size draw, so the retry never shifts other streams'
-      // draws — they happen per stream in map order either way).
-      request.bytes = stream.retry_bytes;
+      bytes = stream.retry_bytes;
       stream.retry_bytes = -1.0;
     } else {
-      request.bytes = stream.source->NextFragmentBytes(&rng_);
+      bytes = stream.source->NextFragmentBytes(&rng_);
       stream.next_fragment++;
+      stream.retry_attempts = 0;
     }
-    request.rotational_latency_s = rng_.Uniform(0.0, geometry_.rotation_time());
-    batches[disk_index].push_back(request);
+    if (round_failed_[static_cast<size_t>(home_disk)] == 0) {
+      emit(home_disk, id, bytes);
+    } else if (failed_count == 1) {
+      // Degraded read: reconstruct the lost unit from the stripe row's
+      // D-1 survivors. The fragment's fate is resolved after all sweeps
+      // (on time only if every reconstruction read is).
+      for (int d = 0; d < config_.num_disks; ++d) {
+        if (d == home_disk) continue;
+        emit(d, id, bytes);
+      }
+      recon_scratch_.emplace(id, ReconOutcome{bytes, false});
+    } else {
+      // Two or more disks down: reconstruction is impossible, so the
+      // fragment rides the failed home disk's batch and glitches through
+      // the standard disk-failed retry/drop path.
+      emit(home_disk, id, bytes);
+    }
     stream.stats.rounds_served++;
+  }
+  if (!recon_scratch_.empty() && config_.metrics != nullptr) {
+    config_.metrics->GetCounter("server.repair.reconstruction_reads")
+        ->Increment(static_cast<int64_t>(recon_scratch_.size()) *
+                    (config_.num_disks - 1));
+  }
+
+  // Repair-as-a-workload: claim this round's throttled stripe-rebuild
+  // budget and schedule its reconstruction reads through the same SCAN
+  // sweeps as stream I/O. Only a single-failure round with the rebuild
+  // target down can make progress.
+  int repair_jobs = 0;
+  if (config_.parity && repair_ != nullptr && repair_->active() &&
+      failed_count == 1 && failed_disk == repair_->target_disk()) {
+    repair_jobs = repair_->ClaimRoundBudget();
+    repair_job_late_.assign(static_cast<size_t>(repair_jobs), 0);
+    for (int j = 0; j < repair_jobs; ++j) {
+      for (int d = 0; d < config_.num_disks; ++d) {
+        if (d == failed_disk) continue;
+        emit(d, kRepairStreamIdBase - j, repair_->policy().read_bytes);
+      }
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.repair.reads")
+          ->Increment(static_cast<int64_t>(repair_jobs) *
+                      (config_.num_disks - 1));
+    }
   }
 
   // Serve every disk's batch with its own SCAN sweep.
-  int round_glitches = 0;
+  int round_glitches = 0;  // stream *fragments* judged late this round
   bool round_overran = false;
+  int repair_reads_late = 0;
   for (int d = 0; d < config_.num_disks; ++d) {
     std::vector<sched::DiskRequest>& batch = batches[d];
-    fault::FaultInjector* injector =
-        static_cast<size_t>(d) < fault_injectors_.size()
-            ? fault_injectors_[static_cast<size_t>(d)].get()
-            : nullptr;
+    fault::FaultInjector* injector = InjectorFor(d);
     double fault_delay_s = 0.0;
     int faulted_requests = 0;
-    bool disk_failed = false;
-    if (injector != nullptr) {
-      injector->BeginRound(static_cast<int>(batch.size()));
-      disk_failed = injector->disk_failed();
+    const bool disk_failed = round_failed_[static_cast<size_t>(d)] != 0;
+    if (injector != nullptr && spare_active_[static_cast<size_t>(d)] == 0) {
       if (!disk_failed) {
         // Fault delays ride in the rotational-latency slot, consulted in
         // issue order (pre-SCAN-sort) as the simulators do.
@@ -324,23 +500,57 @@ void MediaServer::RunRound() {
         config_.round_length_s);
 
     int last_on_time_cylinder = arm_cylinder_[d];
-    int disk_glitches = 0;
+    int disk_glitches = 0;       // late stream requests (trace/metrics)
+    int disk_repair_reads = 0;
+    int disk_repair_late = 0;
+    double repair_busy_s = 0.0;  // repair share of this disk's sweep
     for (size_t i = 0; i < timing.per_request.size(); ++i) {
-      if (timing.per_request[i].completion_s > config_.round_length_s) {
+      const sched::RequestTiming& rt = timing.per_request[i];
+      const bool late = rt.completion_s > config_.round_length_s;
+      if (rt.stream_id < 0) {
+        // Repair read for stripe-rebuild job (kRepairStreamIdBase - id).
+        const int job = kRepairStreamIdBase - rt.stream_id;
+        ++disk_repair_reads;
+        repair_busy_s += rt.seek_s + rt.rotation_s + rt.transfer_s;
+        if (late) {
+          repair_job_late_[static_cast<size_t>(job)] = 1;
+          ++disk_repair_late;
+          ++repair_reads_late;
+        } else {
+          last_on_time_cylinder = batch[i].cylinder;
+        }
+        continue;
+      }
+      if (late) {
         ++disk_glitches;
-        RecordGlitch(timing.per_request[i].stream_id, batch[i].bytes);
+        const auto recon = recon_scratch_.find(rt.stream_id);
+        if (recon != recon_scratch_.end()) {
+          // One late reconstruction read spoils the whole fragment; the
+          // ledger entry is charged once, after all sweeps.
+          recon->second.late = true;
+        } else {
+          ++round_glitches;
+          RecordGlitch(rt.stream_id, batch[i].bytes);
+        }
       } else {
         last_on_time_cylinder = batch[i].cylinder;
-        fragments_served_++;
+        if (recon_scratch_.empty() ||
+            recon_scratch_.find(rt.stream_id) == recon_scratch_.end()) {
+          fragments_served_++;
+        }
       }
     }
-    round_glitches += disk_glitches;
     if (timing.total_service_time_s > config_.round_length_s) {
       round_overran = true;
     }
-    arm_cylinder_[d] = disk_glitches > 0 ? last_on_time_cylinder
-                                         : timing.final_arm_cylinder;
+    arm_cylinder_[d] = disk_glitches + disk_repair_late > 0
+                           ? last_on_time_cylinder
+                           : timing.final_arm_cylinder;
     ascending_[d] = !ascending_[d];
+    if (disk_repair_reads > 0 && config_.metrics != nullptr) {
+      config_.metrics->GetHistogram("server.repair.disk_time_s")
+          ->Record(repair_busy_s);
+    }
 
     // Observability: per-(round, disk) metrics and one trace event with
     // source_id = disk index. Injected fault delays ride in the rotation
@@ -394,6 +604,58 @@ void MediaServer::RunRound() {
       }
     }
   }
+  // Resolve degraded fragments: on time only if every surviving disk's
+  // reconstruction read met the deadline.
+  for (const auto& [id, outcome] : recon_scratch_) {
+    if (outcome.late) {
+      ++round_glitches;
+      RecordGlitch(id, outcome.bytes);
+    } else {
+      fragments_served_++;
+      reconstructed_fragments_++;
+      if (config_.metrics != nullptr) {
+        config_.metrics->GetCounter("server.repair.reconstructed_fragments")
+            ->Increment();
+      }
+    }
+  }
+
+  // Account this round's rebuild progress. A stripe counts only when all
+  // of its reconstruction reads were on time; incomplete jobs need no
+  // carry state — later rounds simply claim those stripes again.
+  if (repair_jobs > 0) {
+    if (repair_reads_late > 0 && config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.repair.read_glitches")
+          ->Increment(repair_reads_late);
+    }
+    int completed = 0;
+    for (const uint8_t late : repair_job_late_) {
+      if (late == 0) ++completed;
+    }
+    const int target = repair_->target_disk();
+    if (repair_->RecordRoundOutcome(completed)) {
+      // Rebuild done: the spare takes the failed disk's slot. Clear the
+      // degraded flag right away (not at the next census) so admission
+      // and the degraded limit lift as soon as the array is whole.
+      spare_active_[static_cast<size_t>(target)] = 1;
+      round_failed_[static_cast<size_t>(target)] = 0;
+      degraded_now_ = false;
+      for (const uint8_t failed : round_failed_) {
+        if (failed != 0) degraded_now_ = true;
+      }
+      // Keep the edge detector honest: a *new* failure next round is a
+      // fresh degraded edge and must shed again.
+      degraded_prev_ = degraded_now_;
+    }
+  }
+  if (config_.parity && failed_count > 0) {
+    rounds_degraded_++;
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("server.repair.rounds_degraded")
+          ->Increment();
+    }
+  }
+
   if (config_.metrics != nullptr) {
     config_.metrics->GetCounter("server.rounds")->Increment();
   }
@@ -431,6 +693,54 @@ void MediaServer::ShedStreams(int count) {
       config_.metrics->GetCounter("server.streams.shed")->Increment();
     }
   }
+}
+
+void MediaServer::ShedToDegradedLimit() {
+  const int limit = EffectivePhaseLimit();
+  for (int p = 0; p < NumPhases(); ++p) {
+    int excess = phase_counts_[static_cast<size_t>(p)] - limit;
+    if (excess <= 0) continue;
+    // Same victim order as ShedStreams, restricted to this phase: lowest
+    // priority class first, newest first within a class.
+    std::vector<std::pair<int, int>> candidates;  // (priority_class, id)
+    for (const auto& [id, stream] : streams_) {
+      if (stream.phase == p) candidates.emplace_back(stream.priority_class, id);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second > b.second;
+              });
+    for (int i = 0; i < excess; ++i) {
+      ZS_CHECK(CloseStream(candidates[static_cast<size_t>(i)].second).ok());
+      streams_shed_++;
+      if (config_.metrics != nullptr) {
+        config_.metrics->GetCounter("server.streams.shed")->Increment();
+      }
+    }
+  }
+}
+
+int MediaServer::EffectivePhaseLimit() const {
+  if (config_.parity && degraded_now_ &&
+      config_.degraded_per_disk_stream_limit > 0) {
+    return std::min(config_.per_disk_stream_limit,
+                    config_.degraded_per_disk_stream_limit);
+  }
+  return config_.per_disk_stream_limit;
+}
+
+int MediaServer::PlannedPrimaryLoad(int disk) const {
+  if (config_.parity) {
+    const int phase = parity_striping_->PhaseForDisk(disk, round_);
+    return phase >= 0 ? phase_counts_[static_cast<size_t>(phase)] : 0;
+  }
+  // Round-robin: disk (phase + r) mod D serves phase ((disk - r) mod D).
+  const int64_t num_disks = config_.num_disks;
+  const int phase = static_cast<int>(
+      ((static_cast<int64_t>(disk) - round_) % num_disks + num_disks) %
+      num_disks);
+  return phase_counts_[static_cast<size_t>(phase)];
 }
 
 void MediaServer::RunRounds(int rounds) {
@@ -490,6 +800,11 @@ MediaServerState MediaServer::ExportState() const {
   for (const numeric::RunningStats& busy : busy_fraction_) {
     state.busy_fraction.push_back(busy.ExportState());
   }
+  state.spare_active.assign(spare_active_.begin(), spare_active_.end());
+  state.repair_present = repair_ != nullptr;
+  if (repair_ != nullptr) state.repair = repair_->ExportState();
+  state.reconstructed_fragments = reconstructed_fragments_;
+  state.rounds_degraded = rounds_degraded_;
   return state;
 }
 
@@ -498,16 +813,38 @@ common::Status MediaServer::RestoreState(
   const size_t disks = static_cast<size_t>(config_.num_disks);
   if (state.arm_cylinder.size() != disks || state.ascending.size() != disks ||
       state.injector_present.size() != disks ||
-      state.busy_fraction.size() != disks) {
+      state.busy_fraction.size() != disks ||
+      state.spare_active.size() != disks) {
     return common::Status::InvalidArgument(
         "server state per-disk vectors do not match num_disks");
   }
   if (state.round < 0 || state.next_stream_id < 0 ||
       state.fragments_served < 0 || state.total_glitches < 0 ||
       state.fragments_retried < 0 || state.fragments_dropped < 0 ||
-      state.streams_shed < 0) {
+      state.streams_shed < 0 || state.reconstructed_fragments < 0 ||
+      state.rounds_degraded < 0) {
     return common::Status::InvalidArgument(
         "server state counters must be non-negative");
+  }
+  if (state.repair_present != (repair_ != nullptr)) {
+    return common::Status::InvalidArgument(
+        "server state repair presence does not match the config");
+  }
+  if (state.repair_present &&
+      (state.repair.target_disk < -1 ||
+       state.repair.target_disk >= config_.num_disks)) {
+    return common::Status::InvalidArgument(
+        "server state repair target disk out of range");
+  }
+  for (const uint8_t spare : state.spare_active) {
+    if (spare > 1) {
+      return common::Status::InvalidArgument(
+          "server state boolean flags must be 0 or 1");
+    }
+    if (spare != 0 && !config_.parity) {
+      return common::Status::InvalidArgument(
+          "server state carries an active spare without parity striping");
+    }
   }
   size_t present_count = 0;
   for (size_t d = 0; d < disks; ++d) {
@@ -540,14 +877,14 @@ common::Status MediaServer::RestoreState(
   }
   // Rebuild the stream map (and derived phase counts) against the
   // config's admission limits before touching any member.
-  std::vector<int> phase_counts(disks, 0);
+  std::vector<int> phase_counts(static_cast<size_t>(NumPhases()), 0);
   std::map<int, StreamState> streams;
   for (const StreamSnapshotState& snapshot : state.streams) {
     if (snapshot.stream_id < 0 || snapshot.stream_id >= state.next_stream_id) {
       return common::Status::InvalidArgument(
           "server state stream id outside [0, next_stream_id)");
     }
-    if (snapshot.phase < 0 || snapshot.phase >= config_.num_disks) {
+    if (snapshot.phase < 0 || snapshot.phase >= NumPhases()) {
       return common::Status::InvalidArgument(
           "server state stream phase out of range");
     }
@@ -609,6 +946,11 @@ common::Status MediaServer::RestoreState(
       return status;
     }
   }
+  if (repair_ != nullptr) {
+    if (auto status = repair_->ImportState(state.repair); !status.ok()) {
+      return status;
+    }
+  }
   rng_ = rng;
   round_ = state.round;
   next_stream_id_ = state.next_stream_id;
@@ -628,6 +970,24 @@ common::Status MediaServer::RestoreState(
   for (size_t d = 0; d < disks; ++d) {
     busy_fraction_[d].ImportState(state.busy_fraction[d]);
   }
+  spare_active_.assign(state.spare_active.begin(), state.spare_active.end());
+  reconstructed_fragments_ = state.reconstructed_fragments;
+  rounds_degraded_ = state.rounds_degraded;
+  // The degraded census is derived state: recompute it from the restored
+  // injectors and spares (failure flags only change inside BeginRound, so
+  // this reproduces the value the exporting server held).
+  degraded_now_ = false;
+  if (config_.parity) {
+    for (size_t d = 0; d < disks; ++d) {
+      const fault::FaultInjector* injector = InjectorFor(static_cast<int>(d));
+      if (injector != nullptr && injector->disk_failed() &&
+          spare_active_[d] == 0) {
+        degraded_now_ = true;
+        break;
+      }
+    }
+  }
+  degraded_prev_ = degraded_now_;
   return common::Status::Ok();
 }
 
@@ -639,6 +999,10 @@ ServerStats MediaServer::GetServerStats() const {
   stats.fragments_retried = fragments_retried_;
   stats.fragments_dropped = fragments_dropped_;
   stats.streams_shed = streams_shed_;
+  stats.reconstructed_fragments = reconstructed_fragments_;
+  stats.repair_stripes_rebuilt =
+      repair_ != nullptr ? repair_->stripes_rebuilt() : 0;
+  stats.rounds_degraded = rounds_degraded_;
   stats.disk_utilization.reserve(config_.num_disks);
   for (const numeric::RunningStats& busy : busy_fraction_) {
     stats.disk_utilization.push_back(busy.count() > 0 ? busy.mean() : 0.0);

@@ -25,6 +25,8 @@
 #include "numeric/random.h"
 #include "numeric/statistics.h"
 #include "sched/request.h"
+#include "server/parity_striping.h"
+#include "server/repair.h"
 #include "server/striping.h"
 #include "workload/fragment_source.h"
 #include "workload/size_distribution.h"
@@ -72,6 +74,41 @@ struct MediaServerConfig {
   // 0 (default) preserves the historical drop-immediately behavior.
   int max_fragment_retries = 0;
 
+  // RAID-5 rotating-parity striping (server/parity_striping.h). With
+  // parity on, each service round is one stripe row: the D disks carry
+  // D-1 data phases plus a parity unit that rotates one disk per round,
+  // so streaming capacity is (num_disks - 1) * per_disk_stream_limit.
+  // The payoff: a single failed disk no longer glitches its streams —
+  // their fragments are reconstructed by one read on every surviving
+  // disk (a fragment is on time only if all D-1 reconstruction reads
+  // are). Requires num_disks >= 2. With two or more disks down the
+  // stripe cannot be reconstructed and the failed disks' streams glitch
+  // through the usual retry/drop ledger.
+  bool parity = false;
+
+  // Online rebuild onto a hot spare (server/repair.h). Requires parity.
+  // When a disk fails, a RepairController claims up to
+  // repair->throttle_per_round stripe-rebuild jobs per round — each one
+  // reconstruction read on every surviving disk, SCAN-scheduled in the
+  // same round as stream I/O so repair and streams contend for round
+  // time — until repair->total_stripes stripes are rebuilt. The spare
+  // then takes the failed disk's slot and the array serves intact
+  // again. If the disk heals on its own first (a transient fault), the
+  // rebuild is cancelled. Progress rides in snapshots (recovery::) for
+  // bit-identical resume mid-rebuild.
+  std::optional<RepairPolicy> repair;
+
+  // Per-disk stream limit enforced while the array is degraded (some
+  // disk failed and not yet rebuilt onto its spare). 0 keeps
+  // per_disk_stream_limit. Derive it from PlanDegradedLimit /
+  // core::MaxStreamsByLateProbabilityDegraded so P(late) <= delta holds
+  // while each survivor absorbs the failed disk's reconstruction reads
+  // plus the repair throttle share; on entering degraded mode the
+  // server sheds each phase down to this limit (lowest priority class
+  // first, newest first) and holds new admissions to it. Requires
+  // parity.
+  int degraded_per_disk_stream_limit = 0;
+
   // Optional observability hooks (not owned; null = disabled). Metrics
   // land under the "server." prefix (admission decisions, per-round disk
   // service times, glitches); `trace` receives one obs::RoundTraceEvent
@@ -97,6 +134,10 @@ struct ServerStats {
   int64_t fragments_retried = 0;
   int64_t fragments_dropped = 0;
   int64_t streams_shed = 0;  // closed by the degradation controller
+  // Parity/repair surface (all zero without parity striping).
+  int64_t reconstructed_fragments = 0;  // served via degraded parity reads
+  int64_t repair_stripes_rebuilt = 0;
+  int64_t rounds_degraded = 0;  // rounds served with a failed disk
   // Mean busy fraction (sweep time / round length) per disk.
   std::vector<double> disk_utilization;
 };
@@ -141,6 +182,13 @@ struct MediaServerState {
   int64_t fragments_dropped = 0;
   int64_t streams_shed = 0;
   std::vector<numeric::RunningStatsState> busy_fraction;  // one per disk
+  // Parity/repair machinery (defaults describe a non-parity server, so
+  // pre-parity snapshot producers round-trip unchanged).
+  std::vector<uint8_t> spare_active;  // one per disk (0/1)
+  bool repair_present = false;        // RepairController configured
+  RepairControllerState repair;       // meaningful when repair_present
+  int64_t reconstructed_fragments = 0;
+  int64_t rounds_degraded = 0;
 };
 
 // Maps a checkpointed stream back to its fragment-size distribution at
@@ -168,6 +216,20 @@ class MediaServer {
       double fragment_mean_bytes, double fragment_variance_bytes2,
       int num_disks, double round_length_s, double late_tolerance,
       uint64_t seed = 42);
+
+  // Degraded-mode companion to PlanConfig: the largest per-disk stream
+  // level N with b_late(2N + throttle, t) <= late_tolerance — safe while
+  // one disk of a parity array is down and each survivor serves its own
+  // phase, the failed disk's reconstruction reads, and the repair
+  // throttle share (core::MaxStreamsByLateProbabilityDegraded). Wire the
+  // result into MediaServerConfig::degraded_per_disk_stream_limit.
+  // Returns the limit, possibly 0 (degraded service meeting the
+  // tolerance is impossible; pause repair or relax the contract).
+  static common::StatusOr<int> PlanDegradedLimit(
+      const disk::DiskGeometry& geometry, const disk::SeekTimeModel& seek,
+      double fragment_mean_bytes, double fragment_variance_bytes2,
+      double round_length_s, double late_tolerance,
+      const RepairPolicy& repair);
 
   // Admission-controlled stream open. Fragment sizes are drawn from
   // `sizes`; the stream plays forever until CloseStream. Returns the stream
@@ -203,10 +265,29 @@ class MediaServer {
   ServerStats GetServerStats() const;
 
   int active_streams() const { return static_cast<int>(streams_.size()); }
+  // Server-wide admission capacity: one phase per data disk. Parity
+  // arrays give one disk per round to the rotating parity unit, so only
+  // num_disks - 1 phases carry streams.
   int max_streams() const {
-    return config_.num_disks * config_.per_disk_stream_limit;
+    return NumPhases() * config_.per_disk_stream_limit;
   }
   int64_t current_round() const { return round_; }
+
+  // Parity/repair surface. Degraded means some disk is failed and not
+  // yet rebuilt onto its spare (always false without parity striping).
+  bool degraded() const { return degraded_now_; }
+  bool rebuild_active() const {
+    return repair_ != nullptr && repair_->active();
+  }
+  int rebuild_target_disk() const {
+    return repair_ != nullptr ? repair_->target_disk() : -1;
+  }
+  int64_t repair_stripes_rebuilt() const {
+    return repair_ != nullptr ? repair_->stripes_rebuilt() : 0;
+  }
+  bool spare_active(int disk) const {
+    return spare_active_[static_cast<size_t>(disk)] != 0;
+  }
 
   // Degradation surface. With no controller configured, the state is
   // kNormal, the event log empty, and admissions always open.
@@ -255,10 +336,36 @@ class MediaServer {
   // within a class), on the degradation controller's orders.
   void ShedStreams(int count);
 
+  // On entering degraded mode: sheds every phase down to the effective
+  // per-phase limit (same victim order as ShedStreams, per phase).
+  void ShedToDegradedLimit();
+
+  // Stream-carrying phases: D round-robin, D-1 under parity.
+  int NumPhases() const {
+    return config_.parity ? config_.num_disks - 1 : config_.num_disks;
+  }
+
+  // Per-phase admission limit in force right now (the degraded limit
+  // while the parity array is degraded, if one is configured).
+  int EffectivePhaseLimit() const;
+
+  // Disk d's fault injector, or null.
+  fault::FaultInjector* InjectorFor(int disk) const {
+    return static_cast<size_t>(disk) < fault_injectors_.size()
+               ? fault_injectors_[static_cast<size_t>(disk)].get()
+               : nullptr;
+  }
+
+  // Stream requests disk `disk` is scheduled to carry this round before
+  // any degraded fan-out or repair reads (the fault injectors' declared
+  // per-round load).
+  int PlannedPrimaryLoad(int disk) const;
+
   disk::DiskGeometry geometry_;
   disk::SeekTimeModel seek_;
   MediaServerConfig config_;
   RoundRobinStriping striping_;
+  std::optional<ParityStriping> parity_striping_;  // set when config_.parity
   numeric::Rng rng_;
   int64_t round_ = 0;
   int64_t next_stream_id_ = 0;
@@ -271,6 +378,15 @@ class MediaServer {
   std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
   std::unique_ptr<fault::DegradationController> degradation_;
   bool admissions_open_ = true;
+  // Parity/repair machinery. A disk whose spare_active_ flag is set has
+  // been rebuilt onto its hot spare: its injector keeps ticking (so
+  // snapshots keep their shape) but no longer affects service.
+  std::unique_ptr<RepairController> repair_;
+  std::vector<uint8_t> spare_active_;
+  bool degraded_now_ = false;   // last census: some disk effectively failed
+  bool degraded_prev_ = false;  // previous round's census (shed edge)
+  int64_t reconstructed_fragments_ = 0;
+  int64_t rounds_degraded_ = 0;
   // Aggregates.
   int64_t fragments_served_ = 0;
   int64_t total_glitches_ = 0;
@@ -281,6 +397,14 @@ class MediaServer {
   // Per-disk request batches, cleared (capacity kept) and refilled each
   // round instead of reallocated.
   std::vector<std::vector<sched::DiskRequest>> batch_scratch_;
+  // Per-round scratch for the degraded/repair paths (empty otherwise).
+  struct ReconOutcome {
+    double bytes = 0.0;
+    bool late = false;
+  };
+  std::map<int, ReconOutcome> recon_scratch_;  // fanned-out stream -> fate
+  std::vector<uint8_t> round_failed_;          // this round's failure census
+  std::vector<uint8_t> repair_job_late_;       // per claimed rebuild job
 };
 
 }  // namespace zonestream::server

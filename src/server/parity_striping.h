@@ -1,0 +1,81 @@
+// RAID-5 rotating-parity striping over D disks (ROADMAP item 1).
+//
+// Extends the coarse-grained round-robin layout (§2.1, striping.h) with a
+// parity stripe unit: stripe row s holds D-1 data units plus one parity
+// unit, and the parity unit rotates one disk per row (left-symmetric
+// layout) so parity I/O never concentrates on a single spindle. The
+// server identifies stripe rows with service rounds: in round r every
+// stream reads its fragment from row r's layout, so the D-1 data phases
+// map to the D-1 non-parity disks and the parity disk serves no stream
+// read that round (the array's streaming capacity is (D-1)/D of raw —
+// the classic RAID-5 read geometry).
+//
+// Degraded reads: when one disk is down, a fragment that lived on it is
+// reconstructed by XOR from the stripe row's D-1 surviving units — one
+// read on every surviving disk. When the *parity* disk of a row is the
+// failed one, the row's data is fully intact and no reconstruction is
+// needed at all.
+//
+// Stable-mapping contract: like RoundRobinStriping, this object is a pure
+// function of the ORIGINAL array width D. Failed disks keep their slot
+// (they simply stop serving); never re-instantiate the layout with the
+// survivor count, which would silently remap every in-flight stream's
+// fragment→disk chain.
+#ifndef ZONESTREAM_SERVER_PARITY_STRIPING_H_
+#define ZONESTREAM_SERVER_PARITY_STRIPING_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace zonestream::server {
+
+// Left-symmetric rotating-parity fragment-to-disk mapping.
+class ParityStriping {
+ public:
+  explicit ParityStriping(int num_disks) : num_disks_(num_disks) {
+    ZS_CHECK_GE(num_disks, 2);
+  }
+
+  int num_disks() const { return num_disks_; }
+
+  // Data phases per stripe row (one disk per row holds parity).
+  int num_data_phases() const { return num_disks_ - 1; }
+
+  // Disk holding stripe row `stripe`'s parity unit: rotates backwards one
+  // disk per row (row 0 -> disk D-1, row 1 -> disk D-2, ...).
+  int ParityDiskForStripe(int64_t stripe) const {
+    ZS_CHECK_GE(stripe, 0);
+    const int64_t d = num_disks_;
+    return static_cast<int>(((-1 - stripe) % d + d) % d);
+  }
+
+  // Disk holding data phase `phase`'s unit of stripe row `stripe`. Phases
+  // shift in lockstep with the parity rotation, so a stream visits every
+  // disk cyclically and never lands on the row's parity disk.
+  int DataDiskForFragment(int phase, int64_t stripe) const {
+    ZS_CHECK_GE(phase, 0);
+    ZS_CHECK_LT(phase, num_data_phases());
+    ZS_CHECK_GE(stripe, 0);
+    const int64_t d = num_disks_;
+    return static_cast<int>(((phase - stripe) % d + d) % d);
+  }
+
+  // Inverse of DataDiskForFragment: the data phase disk `disk` serves in
+  // stripe row `stripe`, or -1 when `disk` holds that row's parity.
+  int PhaseForDisk(int disk, int64_t stripe) const {
+    ZS_CHECK_GE(disk, 0);
+    ZS_CHECK_LT(disk, num_disks_);
+    ZS_CHECK_GE(stripe, 0);
+    const int64_t d = num_disks_;
+    const int phase = static_cast<int>(((disk + stripe) % d + d) % d);
+    return phase == num_disks_ - 1 ? -1 : phase;
+  }
+
+ private:
+  int num_disks_;
+};
+
+}  // namespace zonestream::server
+
+#endif  // ZONESTREAM_SERVER_PARITY_STRIPING_H_

@@ -255,6 +255,18 @@ common::StatusOr<ServerSpec> ParseServerSpec(const std::string& content) {
   }
   spec.num_disks = *disks;
 
+  // [repair] (optional): enables degraded-mode planning for a parity
+  // array rebuilding at this throttle.
+  if (reader.Has("repair", "throttle")) {
+    auto throttle = reader.GetInt("repair", "throttle");
+    if (!throttle.ok()) return throttle.status();
+    if (*throttle <= 0) {
+      return common::Status::InvalidArgument(
+          "repair throttle must be positive");
+    }
+    spec.repair_throttle = *throttle;
+  }
+
   // Cross-validate the disk description by constructing the models.
   auto geometry = disk::DiskGeometry::Create(spec.disk_parameters);
   if (!geometry.ok()) return geometry.status();
@@ -297,6 +309,10 @@ common::StatusOr<ServerPlan> BuildServerPlan(const ServerSpec& spec) {
       plan.streams_per_disk > 0
           ? model->LateBound(plan.streams_per_disk, spec.round_length_s).bound
           : 0.0;
+  if (spec.repair_throttle > 0) {
+    plan.degraded_streams_per_disk = core::MaxStreamsByLateProbabilityDegraded(
+        *model, spec.round_length_s, spec.tolerance, spec.repair_throttle);
+  }
   return plan;
 }
 
@@ -329,7 +345,12 @@ std::string DefaultConfigTemplate() {
       "tolerance = 0.01\n"
       "\n"
       "[server]\n"
-      "disks = 4\n";
+      "disks = 4\n"
+      "\n"
+      "# Uncomment to also plan the degraded-mode limit for a parity\n"
+      "# array rebuilding at this many stripes per round:\n"
+      "# [repair]\n"
+      "# throttle = 4\n";
 }
 
 }  // namespace zonestream::server

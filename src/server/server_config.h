@@ -54,6 +54,9 @@ struct ServerSpec {
   int tolerated_glitches = 12;
   double tolerance = 0.01;
   int num_disks = 1;
+  // Optional [repair] section: stripe-rebuild jobs per round for a
+  // parity array's online rebuild. 0 = no degraded-mode planning.
+  int repair_throttle = 0;
 };
 
 // The derived admission plan.
@@ -61,6 +64,11 @@ struct ServerPlan {
   int streams_per_disk = 0;
   int total_streams = 0;
   double late_bound_at_limit = 0.0;  // b_late at the per-disk limit
+  // Per-disk limit safe while one disk of a parity array is down and
+  // rebuilding (each survivor carries 2N + throttle requests; see
+  // core::MaxStreamsByLateProbabilityDegraded, always planned against
+  // b_late <= tolerance). -1 when the spec has no [repair] section.
+  int degraded_streams_per_disk = -1;
 };
 
 // Low-level parsed representation: section -> key -> value. Exposed for

@@ -6,6 +6,21 @@
 // the load is balanced across disks. Placement *within* a disk is random
 // (uniform over stored bytes), which §3.3 requires so that glitch events
 // hit streams independently across rounds.
+//
+// Stable-mapping contract: a striping object is a pure function of the
+// ORIGINAL array width D, and D encodes where data physically lives — so
+// the same object (or one built with the same D) must be used for a
+// stream's whole lifetime. After a disk failure, the failed disk KEEPS
+// its slot: survivors serve their own positions and the failed slot's
+// requests fail (or, under parity striping, are reconstructed). Never
+// re-instantiate the layout with the survivor count to "renumber" disks
+// — (d0 + k) mod (D-1) silently remaps every in-flight stream's
+// fragment→disk chain onto disks that do not hold its data. The same
+// applies to StartDiskForStream: ordinal mod D changes meaning if D
+// shrinks mid-run. PlanArrayDegraded intentionally returns per-disk
+// limits indexed by ORIGINAL disk index (failed disks pinned to 0) for
+// this reason; see server/array_planner.h and the regression test
+// StripingTest.MappingStableAcrossMidRunFailure.
 #ifndef ZONESTREAM_SERVER_STRIPING_H_
 #define ZONESTREAM_SERVER_STRIPING_H_
 

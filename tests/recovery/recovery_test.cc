@@ -182,7 +182,9 @@ TEST(SnapshotTest, CheckpointRoundtripSmoke) {
 
 TEST(SnapshotTest, DescribeNamesSections) {
   const std::string text = DescribeSnapshot(MetaOnlySnapshot());
-  EXPECT_NE(text.find("zonestream-snapshot-v1"), std::string::npos);
+  EXPECT_NE(text.find("zonestream-snapshot-v" +
+                      std::to_string(kSnapshotVersion)),
+            std::string::npos);
   EXPECT_NE(text.find("recovery_test"), std::string::npos);
   EXPECT_NE(text.find("app.test"), std::string::npos);
 }

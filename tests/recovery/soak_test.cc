@@ -44,10 +44,28 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr int kNumDisks = 2;
+constexpr int kParityNumDisks = 3;  // parity-rebuild scenario width
 constexpr int64_t kTotalRounds = 60;
 constexpr int64_t kCheckpointEvery = 10;
 constexpr int64_t kKillAtRound = 25;  // after 2 checkpoints, mid-interval
+// Parity scenario: disk 0 fails for good at round 5 and the rebuild
+// (1 stripe/round, 40 stripes) spans rounds 5..44 — so the SIGKILL at
+// round 25 and the resume both land strictly mid-rebuild, and the tail
+// still covers the spare promotion and the post-rebuild intact rounds.
+constexpr int64_t kParityFailAtRound = 5;
+constexpr int64_t kParityTotalStripes = 40;
 constexpr char kChurnSection[] = "app.soak_test";
+
+// Which checkpointed scenario a cell runs.
+enum class Scenario {
+  kClean,         // 2 disks, no faults
+  kFaulted,       // 2 disks, slowdown/burst faults + degradation
+  kParityRebuild  // 3-disk parity array, permanent failure + rebuild
+};
+
+int DisksFor(Scenario scenario) {
+  return scenario == Scenario::kParityRebuild ? kParityNumDisks : kNumDisks;
+}
 
 const char* FaultSpecText(bool with_faults) {
   return with_faults
@@ -65,13 +83,13 @@ std::shared_ptr<const workload::GammaSizeDistribution> Sizes() {
 // scenario exercises the "bit-identical at every thread count" contract
 // end to end: the child plans on `threads` workers, and the limit (thus
 // the whole run) must not depend on that.
-int PlannedPerDiskLimit(int threads) {
+int PlannedPerDiskLimit(int threads, Scenario scenario) {
   common::ThreadPool pool(threads);
   server::DiskGroup group;
   group.name = "viking";
   group.disk_parameters = disk::QuantumViking2100Parameters();
   group.seek_parameters = disk::QuantumViking2100SeekParameters();
-  group.count = kNumDisks;
+  group.count = DisksFor(scenario);
   server::ArrayQos qos;
   qos.round_length_s = 1.0;
   qos.late_tolerance = 0.01;
@@ -82,15 +100,15 @@ int PlannedPerDiskLimit(int threads) {
 }
 
 server::MediaServerConfig ScenarioConfig(int per_disk_limit,
-                                         bool with_faults,
+                                         Scenario scenario,
                                          obs::Registry* registry,
                                          obs::RoundTraceRecorder* trace) {
   server::MediaServerConfig config;
-  config.num_disks = kNumDisks;
+  config.num_disks = DisksFor(scenario);
   config.round_length_s = 1.0;
   config.per_disk_stream_limit = per_disk_limit;
   config.seed = 31337;
-  if (with_faults) {
+  if (scenario == Scenario::kFaulted) {
     auto spec = fault::ParseFaultSpec(FaultSpecText(true));
     ZS_CHECK(spec.ok());
     config.faults = *spec;
@@ -100,6 +118,20 @@ server::MediaServerConfig ScenarioConfig(int per_disk_limit,
     policy.trigger_windows = 1;
     policy.recovery_windows = 2;
     config.degradation = policy;
+    config.max_fragment_retries = 1;
+  } else if (scenario == Scenario::kParityRebuild) {
+    config.parity = true;
+    fault::DiskFailureSpec failure;
+    failure.fail_at_round = kParityFailAtRound;  // permanent
+    config.faults.disk_failures.push_back(failure);
+    config.fault_disk = 0;
+    server::RepairPolicy repair;
+    repair.throttle_per_round = 1;
+    repair.total_stripes = kParityTotalStripes;
+    repair.read_bytes = 200e3;
+    config.repair = repair;
+    config.degraded_per_disk_stream_limit =
+        per_disk_limit > 1 ? per_disk_limit / 2 : per_disk_limit;
     config.max_fragment_retries = 1;
   }
   config.metrics = registry;
@@ -178,13 +210,13 @@ void ChurnRound(server::MediaServer* server, ChurnState* churn) {
 // Child body: run the checkpointed scenario and die abruptly at
 // kKillAtRound. Never returns.
 [[noreturn]] void ChildRunAndDie(const std::string& dir, int threads,
-                                 bool with_faults) {
-  const int limit = PlannedPerDiskLimit(threads);
+                                 Scenario scenario) {
+  const int limit = PlannedPerDiskLimit(threads, scenario);
   obs::Registry registry;
   obs::RoundTraceRecorder trace;
   auto server = server::MediaServer::Create(
       disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
-      ScenarioConfig(limit, with_faults, &registry, &trace));
+      ScenarioConfig(limit, scenario, &registry, &trace));
   if (!server.ok()) _exit(3);
   CheckpointWriterOptions options;
   options.directory = dir;
@@ -205,11 +237,12 @@ void ChurnRound(server::MediaServer* server, ChurnState* churn) {
   _exit(4);  // survived past the kill round: the test will flag this
 }
 
-void KillAndResumeBitIdentical(int threads, bool with_faults) {
+void KillAndResumeBitIdentical(int threads, Scenario scenario) {
   const std::string dir =
       (fs::temp_directory_path() /
        ("zs_soak_" + std::to_string(threads) + "_" +
-        std::to_string(with_faults) + "_" + std::to_string(getpid())))
+        std::to_string(static_cast<int>(scenario)) + "_" +
+        std::to_string(getpid())))
           .string();
   fs::remove_all(dir);
   fs::create_directories(dir);
@@ -218,7 +251,7 @@ void KillAndResumeBitIdentical(int threads, bool with_faults) {
   const pid_t child = fork();
   ASSERT_GE(child, 0) << "fork failed";
   if (child == 0) {
-    ChildRunAndDie(dir, threads, with_faults);  // never returns
+    ChildRunAndDie(dir, threads, scenario);  // never returns
   }
   int wait_status = 0;
   ASSERT_EQ(waitpid(child, &wait_status, 0), child);
@@ -227,14 +260,14 @@ void KillAndResumeBitIdentical(int threads, bool with_faults) {
   ASSERT_EQ(WTERMSIG(wait_status), SIGKILL);
 
   // --- uninterrupted reference run -------------------------------------
-  const int limit = PlannedPerDiskLimit(threads);
+  const int limit = PlannedPerDiskLimit(threads, scenario);
   // The planner contract: the limit is identical at every thread count.
-  ASSERT_EQ(limit, PlannedPerDiskLimit(1));
+  ASSERT_EQ(limit, PlannedPerDiskLimit(1, scenario));
   obs::Registry reference_registry;
   obs::RoundTraceRecorder reference_trace;
   auto reference = server::MediaServer::Create(
       disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
-      ScenarioConfig(limit, with_faults, &reference_registry,
+      ScenarioConfig(limit, scenario, &reference_registry,
                      &reference_trace));
   ASSERT_TRUE(reference.ok());
   ChurnState reference_churn;
@@ -256,7 +289,7 @@ void KillAndResumeBitIdentical(int threads, bool with_faults) {
   obs::RoundTraceRecorder resumed_trace;
   auto resumed = server::MediaServer::Create(
       disk::QuantumViking2100(), disk::QuantumViking2100Seek(),
-      ScenarioConfig(limit, with_faults, &resumed_registry,
+      ScenarioConfig(limit, scenario, &resumed_registry,
                      &resumed_trace));
   ASSERT_TRUE(resumed.ok());
   ASSERT_TRUE(loaded->snapshot.server.has_value());
@@ -283,7 +316,8 @@ void KillAndResumeBitIdentical(int threads, bool with_faults) {
   // --- bit-identical continuation --------------------------------------
   const auto all = reference_trace.Snapshot();
   const size_t tail_start =
-      static_cast<size_t>(restored_round) * kNumDisks;
+      static_cast<size_t>(restored_round) *
+      static_cast<size_t>(DisksFor(scenario));
   ASSERT_LE(tail_start, all.size());
   const std::vector<obs::RoundTraceEvent> expected(
       all.begin() + static_cast<ptrdiff_t>(tail_start), all.end());
@@ -300,19 +334,30 @@ void KillAndResumeBitIdentical(int threads, bool with_faults) {
 }
 
 TEST(KillAndResumeSoakTest, SingleThreadClean) {
-  KillAndResumeBitIdentical(/*threads=*/1, /*with_faults=*/false);
+  KillAndResumeBitIdentical(/*threads=*/1, Scenario::kClean);
 }
 
 TEST(KillAndResumeSoakTest, SingleThreadFaulted) {
-  KillAndResumeBitIdentical(/*threads=*/1, /*with_faults=*/true);
+  KillAndResumeBitIdentical(/*threads=*/1, Scenario::kFaulted);
 }
 
 TEST(KillAndResumeSoakTest, MultiThreadClean) {
-  KillAndResumeBitIdentical(/*threads=*/4, /*with_faults=*/false);
+  KillAndResumeBitIdentical(/*threads=*/4, Scenario::kClean);
 }
 
 TEST(KillAndResumeSoakTest, MultiThreadFaulted) {
-  KillAndResumeBitIdentical(/*threads=*/4, /*with_faults=*/true);
+  KillAndResumeBitIdentical(/*threads=*/4, Scenario::kFaulted);
+}
+
+// SIGKILL strikes mid-rebuild; the resume must pick the repair progress
+// out of the snapshot and finish the rebuild bit-identically (including
+// the spare promotion round and the intact rounds after it).
+TEST(KillAndResumeSoakTest, SingleThreadParityRebuild) {
+  KillAndResumeBitIdentical(/*threads=*/1, Scenario::kParityRebuild);
+}
+
+TEST(KillAndResumeSoakTest, MultiThreadParityRebuild) {
+  KillAndResumeBitIdentical(/*threads=*/4, Scenario::kParityRebuild);
 }
 
 }  // namespace

@@ -166,14 +166,45 @@ TEST(ArrayPlannerDegradedTest, PartialFailuresScaleEachGroup) {
   EXPECT_EQ(degraded->striped_capacity, 5 * small);
 }
 
-TEST(ArrayPlannerDegradedTest, TotalLossPlansToZeroWithoutErroring) {
+TEST(ArrayPlannerDegradedTest, TotalLossReturnsFailedPrecondition) {
+  // Zero survivors used to "plan to zero" silently; an empty array is a
+  // structured error now so degradation loops cannot mistake total loss
+  // for an admissible (if empty) plan.
   const auto degraded = PlanArrayDegraded({VikingGroup(2), SmallGroup(3)},
                                           {2, 3}, 200e3, 1e10, ArrayQos{});
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.status().code(),
+            common::StatusCode::kFailedPrecondition);
+  EXPECT_NE(degraded.status().message().find("no surviving disks"),
+            std::string::npos);
+}
+
+TEST(ArrayPlannerDegradedTest, OneSurvivorKeepsItsGroupLimit) {
+  // Exactly one disk left: striped capacity collapses to that disk's own
+  // per-disk limit (1 x limit), and the weakest-survivor rule must pick
+  // the surviving group even when a *weaker* group is fully failed.
+  const auto intact =
+      PlanArray({VikingGroup(2), SmallGroup(3)}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(intact.ok());
+  const auto degraded = PlanArrayDegraded({VikingGroup(2), SmallGroup(3)},
+                                          {1, 3}, 200e3, 1e10, ArrayQos{});
   ASSERT_TRUE(degraded.ok());
-  EXPECT_EQ(degraded->striped_capacity, 0);
-  EXPECT_EQ(degraded->partitioned_capacity, 0);
   ASSERT_EQ(degraded->per_disk_limits.size(), 2u);
-  EXPECT_GT(degraded->per_disk_limits[0], 0);
+  EXPECT_EQ(degraded->per_disk_limits, intact->per_disk_limits);
+  EXPECT_EQ(degraded->striped_capacity, degraded->per_disk_limits[0]);
+  EXPECT_EQ(degraded->partitioned_capacity, degraded->per_disk_limits[0]);
+  EXPECT_GT(degraded->striped_capacity, 0);
+}
+
+TEST(ArrayPlannerDegradedTest, OneSurvivorInWeakestGroup) {
+  // The lone survivor is in the *weak* group: capacity is its (smaller)
+  // limit, not the failed fast group's.
+  const auto degraded = PlanArrayDegraded({VikingGroup(2), SmallGroup(3)},
+                                          {2, 2}, 200e3, 1e10, ArrayQos{});
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_EQ(degraded->per_disk_limits.size(), 2u);
+  EXPECT_EQ(degraded->striped_capacity, degraded->per_disk_limits[1]);
+  EXPECT_EQ(degraded->partitioned_capacity, degraded->per_disk_limits[1]);
 }
 
 TEST(ArrayPlannerDegradedTest, RecordsDegradedMetrics) {

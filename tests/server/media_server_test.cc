@@ -352,6 +352,46 @@ TEST(MediaServerFaultTest, RetryThenDropFollowsTheBudget) {
       6);
 }
 
+TEST(MediaServerFaultTest, RetryBudgetResetsPerFragment) {
+  // Regression: the retry ledger used to reset only on a *drop*, so a
+  // fragment that glitched, was retried, and then served successfully
+  // left retry_attempts charged against the stream. The next outage —
+  // possibly hours later, on a different fragment — then burned through
+  // a budget it never used. Two separated one-round outages with a
+  // budget of 1 expose it: the buggy ledger retries once and drops the
+  // second fragment; the correct one retries both and drops nothing.
+  MediaServerConfig config;
+  config.num_disks = 1;
+  config.per_disk_stream_limit = 5;
+  config.max_fragment_retries = 1;
+  fault::DiskFailureSpec first;
+  first.fail_at_round = 0;
+  first.repair_after_rounds = 1;  // outage round 0 only
+  fault::DiskFailureSpec second;
+  second.fail_at_round = 3;
+  second.repair_after_rounds = 1;  // outage round 3 only
+  config.faults.disk_failures.push_back(first);
+  config.faults.disk_failures.push_back(second);
+  auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                    disk::QuantumViking2100Seek(), config);
+  ASSERT_TRUE(server.ok());
+  const auto id = server->OpenStream(Table1Sizes());
+  ASSERT_TRUE(id.ok());
+  // Round 0: glitch -> retry. Round 1: retry served. Round 2: fresh
+  // fragment (ledger must reset here). Round 3: glitch -> retry again.
+  // Round 4: retry served. Round 5: fresh fragment served.
+  server->RunRounds(6);
+  const ServerStats stats = server->GetServerStats();
+  EXPECT_EQ(stats.glitches, 2);
+  EXPECT_EQ(stats.fragments_retried, 2);
+  EXPECT_EQ(stats.fragments_dropped, 0);
+  EXPECT_EQ(stats.fragments_served, 4);
+  const auto stream = server->GetStreamStats(*id);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->retries, 2);
+  EXPECT_EQ(stream->drops, 0);
+}
+
 TEST(MediaServerFaultTest, ZeroRetryBudgetKeepsHistoricalDropBehavior) {
   MediaServerConfig config;
   config.num_disks = 1;

@@ -72,6 +72,31 @@ TEST(ServerSpecTest, LateProbabilityCriterion) {
   EXPECT_EQ(plan->streams_per_disk, 26);  // the paper's N_max^plate
 }
 
+TEST(ServerSpecTest, RepairSectionPlansDegradedLimit) {
+  std::string config = DefaultConfigTemplate();
+  config += "[repair]\nthrottle = 4\n";
+  const auto spec = ParseServerSpec(config);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->repair_throttle, 4);
+  const auto plan = BuildServerPlan(*spec);
+  ASSERT_TRUE(plan.ok());
+  // A degraded survivor carries both its phase and the failed disk's,
+  // plus the repair reads — far fewer streams fit.
+  EXPECT_GT(plan->degraded_streams_per_disk, 0);
+  EXPECT_LT(plan->degraded_streams_per_disk, plan->streams_per_disk);
+
+  // Without the section, the plan marks degraded planning as absent.
+  const auto base_plan = BuildServerPlan(*ParseServerSpec(
+      DefaultConfigTemplate()));
+  ASSERT_TRUE(base_plan.ok());
+  EXPECT_EQ(base_plan->degraded_streams_per_disk, -1);
+
+  // A non-positive throttle is rejected at parse time.
+  std::string bad = DefaultConfigTemplate();
+  bad += "[repair]\nthrottle = 0\n";
+  EXPECT_FALSE(ParseServerSpec(bad).ok());
+}
+
 TEST(ServerSpecTest, ExplicitDiskDescription) {
   const auto spec = ParseServerSpec(
       "[disk]\n"

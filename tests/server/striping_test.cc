@@ -1,8 +1,14 @@
 #include "server/striping.h"
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "disk/presets.h"
+#include "obs/round_trace.h"
+#include "server/media_server.h"
+#include "workload/size_distribution.h"
 
 namespace zonestream::server {
 namespace {
@@ -55,6 +61,92 @@ TEST(StripingTest, BalancedStartsKeepPerRoundLoadBalanced) {
     for (int l : load) {
       EXPECT_GE(l, streams / disks);
       EXPECT_LE(l, (streams + disks - 1) / disks);
+    }
+  }
+}
+
+// The stable-mapping contract (striping.h): a striping object describes
+// the *layout*, which is a function of the array's original width D and
+// never of the current survivor census. Rebuilding the object with the
+// survivor count — the tempting "renumber around the hole" move — remaps
+// every stream's data, which on a real array means reading garbage.
+TEST(StripingTest, RenumberingAroundAFailedDiskRemapsEverything) {
+  const RoundRobinStriping original(4);
+  const RoundRobinStriping renumbered(3);  // what NOT to do after a failure
+  int moved = 0;
+  for (int64_t s = 0; s < 12; ++s) {
+    for (int64_t k = 0; k < 12; ++k) {
+      const int start = original.StartDiskForStream(s);
+      if (original.DiskForFragment(start, k) !=
+          renumbered.DiskForFragment(renumbered.StartDiskForStream(s), k)) {
+        ++moved;
+      }
+    }
+  }
+  // Most placements move — the renumbered layout is a different layout.
+  EXPECT_GT(moved, 70);
+}
+
+// Regression for the renumbering hazard at the server level: a mid-run
+// disk failure (and recovery) must not disturb which disk any stream's
+// fragments land on. Two identically-seeded servers — one clean, one
+// with a disk-2 outage over rounds [3, 6) — must issue bit-identical
+// batches to the surviving disks the entire run, and to disk 2 again
+// after it heals.
+TEST(StripingTest, MappingStableAcrossMidRunFailure) {
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 100e3 * 100e3));
+  auto make = [&](bool with_failure, obs::RoundTraceRecorder* trace) {
+    MediaServerConfig config;
+    config.num_disks = 3;
+    config.round_length_s = 1.0;
+    config.per_disk_stream_limit = 4;
+    config.seed = 42;
+    if (with_failure) {
+      fault::DiskFailureSpec failure;
+      failure.fail_at_round = 3;
+      failure.repair_after_rounds = 3;
+      config.faults.disk_failures.push_back(failure);
+      config.fault_disk = 2;
+    }
+    config.trace = trace;
+    auto server = MediaServer::Create(disk::QuantumViking2100(),
+                                      disk::QuantumViking2100Seek(), config);
+    ZS_CHECK(server.ok());
+    MediaServer s = *std::move(server);
+    for (int i = 0; i < 6; ++i) ZS_CHECK(s.OpenStream(sizes).ok());
+    return s;
+  };
+
+  obs::RoundTraceRecorder clean_trace;
+  obs::RoundTraceRecorder faulty_trace;
+  MediaServer clean = make(false, &clean_trace);
+  MediaServer faulty = make(true, &faulty_trace);
+  clean.RunRounds(10);
+  faulty.RunRounds(10);
+
+  const std::vector<obs::RoundTraceEvent> clean_events =
+      clean_trace.Snapshot();
+  const std::vector<obs::RoundTraceEvent> faulty_events =
+      faulty_trace.Snapshot();
+  ASSERT_EQ(clean_events.size(), faulty_events.size());
+  for (size_t i = 0; i < clean_events.size(); ++i) {
+    const obs::RoundTraceEvent& a = clean_events[i];
+    const obs::RoundTraceEvent& b = faulty_events[i];
+    ASSERT_EQ(a.round, b.round);
+    ASSERT_EQ(a.source_id, b.source_id);
+    // Same streams on the same disk every round — including disk 2 once
+    // it heals. A renumbering bug would shuffle num_requests (and every
+    // survivor's service time with it). Disk 2's own service times may
+    // differ after the outage (failed rounds park its arm), so only the
+    // request *count* is pinned there; the survivors must be bitwise
+    // untouched.
+    EXPECT_EQ(a.num_requests, b.num_requests) << "event " << i;
+    if (b.source_id != 2) {
+      EXPECT_EQ(a.service_time_s, b.service_time_s) << "event " << i;
+      EXPECT_EQ(a.glitches, b.glitches) << "event " << i;
+    } else if (b.round >= 3 && b.round < 6) {
+      EXPECT_TRUE(b.disk_failed) << "event " << i;
     }
   }
 }
