@@ -214,7 +214,8 @@ int main(int argc, char** argv) {
 
   const std::string library_build_type =
       FindValue(raw, "library_build_type").value_or("");
-  if (library_build_type != "release") {
+  const bool debug_library = library_build_type != "release";
+  if (debug_library) {
     if (require_release && !allow_debug_library) {
       std::fprintf(
           stderr,
@@ -275,6 +276,17 @@ int main(int argc, char** argv) {
         << "\"";
     first_context = false;
   }
+  // A debug-library waiver must be loud in the artifact itself, not just
+  // on the stderr of whoever regenerated it: anyone diffing the
+  // trajectory sees the caveat next to the numbers it taints.
+  if (debug_library && allow_debug_library) {
+    if (!first_context) out << ",";
+    out << "\n    \"warning\": \"timed by a non-release google-benchmark "
+           "library (--allow-debug-library): harness overhead inflates "
+           "absolute timings; compare only against entries carrying this "
+           "same tag\"";
+    first_context = false;
+  }
   out << "\n  },\n";
   out << "  \"benchmarks\": [\n";
   bool first_entry = true;
@@ -294,8 +306,16 @@ int main(int argc, char** argv) {
         << ", \"real_time_ns\": "
         << FormatNumber(ToNanoseconds(*real_time, unit))
         << ", \"cpu_time_ns\": "
-        << FormatNumber(ToNanoseconds(cpu_time.value_or(*real_time), unit))
-        << "}";
+        << FormatNumber(ToNanoseconds(cpu_time.value_or(*real_time), unit));
+    // Counter passthrough: throughput plus the admission service's
+    // latency percentiles (already in their final units — counters are
+    // not scaled by time_unit).
+    for (const char* counter : {"items_per_second", "p50_ns", "p99_ns"}) {
+      if (const auto value = FindNumber(entry, counter)) {
+        out << ", \"" << counter << "\": " << FormatNumber(*value);
+      }
+    }
+    out << "}";
     first_entry = false;
   }
   out << "\n  ]\n}\n";

@@ -17,6 +17,8 @@
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
 #include "server/media_server.h"
+#include "service/admission_service.h"
+#include "service/rcu.h"
 #include "sim/importance_sampling.h"
 #include "sim/replication.h"
 
@@ -282,6 +284,83 @@ void BM_DegradedRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DegradedRound)->Arg(13);
+
+// The flattened lock-free table probe (core::AdmissionTableSnapshot) on
+// the same 4-row table as BM_AdmissionTableLookup. The pair bounds what
+// the RCU-published serving fast path pays for the probe itself — the
+// service contract is "within 2x of the raw row lookup".
+void BM_AdmissionSnapshotLookup(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  const auto table = core::AdmissionTable::Build(
+      model, core::AdmissionCriterion::kLateProbability,
+      bench::kRoundLengthS, {0.001, 0.01, 0.05, 0.1});
+  const core::AdmissionTableSnapshot snapshot(*table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.MaxStreams(0.02));
+  }
+}
+BENCHMARK(BM_AdmissionSnapshotLookup);
+
+// One RCU read-side critical section (enter + read + exit) through the
+// thread-local reader cache — the fixed fee every admission fast-path
+// operation pays on top of the table probe.
+void BM_RcuReadGuard(benchmark::State& state) {
+  service::RcuDomain domain;
+  service::RcuPtr<int> value(&domain);
+  value.Publish(std::make_unique<int>(42));
+  for (auto _ : state) {
+    service::RcuReadGuard guard(&domain);
+    benchmark::DoNotOptimize(*value.Read());
+  }
+}
+BENCHMARK(BM_RcuReadGuard);
+
+// Experiment P2 — the million-session control plane's headline: full
+// admit + teardown cycles against a shared AdmissionService from 1/2/4
+// threads (lock-free registry insert/erase, occupancy CAS, RCU-guarded
+// limit probe, latency accumulator — the daemon's entire fast path
+// except socket I/O). items_per_second counts operations (2 per cycle);
+// p50_ns/p99_ns are admit latency percentiles from the service's own
+// lock-free accumulator. On a single-core host the >1-thread entries
+// measure contention overhead, not scaling.
+void BM_AdmissionServiceThroughput(benchmark::State& state) {
+  static std::unique_ptr<service::AdmissionService> svc;
+  static obs::Registry* registry = nullptr;
+  if (state.thread_index() == 0) {
+    registry = new obs::Registry();
+    service::AdmissionServiceConfig config;
+    config.classes = {{"gold", 0.001}, {"silver", 0.01}, {"bronze", 0.05}};
+    config.registry.capacity = 1 << 20;
+    config.metrics = registry;
+    auto created = service::AdmissionService::Create(config);
+    ZS_CHECK(created.ok());
+    svc = std::move(*created);
+    // Limits far above thread count x live sessions: the cycle measures
+    // the accept path, never the (cheaper) capacity-reject path.
+    ZS_CHECK(svc->PublishLimits({1 << 20, 1 << 20, 1 << 20}).ok());
+  }
+  const uint32_t class_index =
+      static_cast<uint32_t>(state.thread_index()) % 3;
+  for (auto _ : state) {
+    const service::ServiceOutcome admitted = svc->Admit(0, class_index);
+    benchmark::DoNotOptimize(admitted.session_id);
+    const service::ServiceOutcome torn = svc->Teardown(admitted.session_id);
+    benchmark::DoNotOptimize(torn.result);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (state.thread_index() == 0) {
+    state.counters["p50_ns"] = svc->LatencyQuantile(0.5) * 1e9;
+    state.counters["p99_ns"] = svc->LatencyQuantile(0.99) * 1e9;
+    svc.reset();
+    delete registry;
+    registry = nullptr;
+  }
+}
+BENCHMARK(BM_AdmissionServiceThroughput)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
 
 void BM_ModelBuild(benchmark::State& state) {
   for (auto _ : state) {

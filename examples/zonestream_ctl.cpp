@@ -10,6 +10,20 @@
 //                                          validate and describe a
 //                                          checkpoint snapshot
 //
+//   zonestream_ctl admitd <op> --socket PATH [args]
+//                                          drive a running
+//                                          zonestream_admitd; ops:
+//     ping
+//     admit --class N | --tolerance T [--session ID]
+//     teardown --session ID
+//     transition --session ID --class N
+//     stats                               per-class occupancy + the
+//                                         service.* metrics tables
+//     checkpoint                          ask the daemon to write a
+//                                         durable snapshot now
+//     digest                              canonical state digest
+//     shutdown
+//
 // The config format is documented in src/server/server_config.h; the
 // template is the paper's Table 1 deployment. The `stats` subcommand runs
 // one disk at the planned per-disk stream limit for `rounds` rounds
@@ -18,6 +32,7 @@
 // `snapshot inspect` decodes a zonestream-snapshot-v1 file (checksum and
 // all — a corrupt file is reported, not described) and prints its
 // producer, round, seed, and section inventory (docs/RECOVERY.md).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +46,9 @@
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
 #include "server/server_config.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/stats_format.h"
 #include "sim/round_simulator.h"
 #include "workload/size_distribution.h"
 
@@ -133,15 +151,149 @@ int InspectSnapshot(const char* path) {
   return 0;
 }
 
+// `admitd` subcommands: one request against a running zonestream_admitd.
+int PrintOutcome(const char* op,
+                 const common::StatusOr<service::Response>& response) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "admitd %s: %s\n", op,
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s session=%llu class=%u occupancy=%lld/%lld\n", op,
+              service::WireStatusName(response->status),
+              static_cast<unsigned long long>(response->session_id),
+              response->class_index,
+              static_cast<long long>(response->occupancy),
+              static_cast<long long>(response->limit));
+  return response->status == service::WireStatus::kOk ? 0 : 1;
+}
+
+int RunAdmitd(int argc, char** argv) {
+  const char* const usage =
+      "usage: %s admitd <ping|admit|teardown|transition|stats|checkpoint|"
+      "digest|shutdown> --socket PATH [--session ID] [--class N] "
+      "[--tolerance T]\n";
+  if (argc < 3) {
+    std::fprintf(stderr, usage, argv[0]);
+    return 2;
+  }
+  const std::string op = argv[2];
+  std::string socket;
+  uint64_t session = 0;
+  int class_index = -1;
+  double tolerance = -1.0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--socket" && value != nullptr) {
+      socket = value;
+      ++i;
+    } else if (flag == "--session" && value != nullptr) {
+      session = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (flag == "--class" && value != nullptr) {
+      class_index = std::atoi(value);
+      ++i;
+    } else if (flag == "--tolerance" && value != nullptr) {
+      tolerance = std::atof(value);
+      ++i;
+    } else {
+      std::fprintf(stderr, usage, argv[0]);
+      return 2;
+    }
+  }
+  if (socket.empty()) {
+    std::fprintf(stderr, "admitd: --socket is required\n");
+    return 2;
+  }
+  auto client = service::AdmitClient::Connect(socket);
+  if (!client.ok()) {
+    std::fprintf(stderr, "admitd: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  if (op == "ping") {
+    const auto response = (*client)->Ping();
+    if (response.ok() && response->status == service::WireStatus::kOk) {
+      std::printf("pong\n");
+      return 0;
+    }
+    return PrintOutcome("ping", response);
+  }
+  if (op == "admit") {
+    if (class_index >= 0) {
+      return PrintOutcome("admit", (*client)->AdmitClass(
+                                       session,
+                                       static_cast<uint32_t>(class_index)));
+    }
+    if (tolerance >= 0.0) {
+      return PrintOutcome("admit",
+                          (*client)->AdmitTolerance(session, tolerance));
+    }
+    std::fprintf(stderr, "admit needs --class N or --tolerance T\n");
+    return 2;
+  }
+  if (op == "teardown") {
+    return PrintOutcome("teardown", (*client)->Teardown(session));
+  }
+  if (op == "transition") {
+    if (class_index < 0) {
+      std::fprintf(stderr, "transition needs --class N\n");
+      return 2;
+    }
+    return PrintOutcome(
+        "transition",
+        (*client)->Transition(session, static_cast<uint32_t>(class_index)));
+  }
+  if (op == "stats") {
+    const auto stats = (*client)->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "admitd stats: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", service::FormatServiceStats(*stats).c_str());
+    return 0;
+  }
+  if (op == "checkpoint") {
+    const auto response = (*client)->Checkpoint();
+    if (response.ok() && response->status == service::WireStatus::kOk) {
+      std::printf("checkpoint: %s (digest %016llx)\n",
+                  response->payload.c_str(),
+                  static_cast<unsigned long long>(response->digest));
+      return 0;
+    }
+    return PrintOutcome("checkpoint", response);
+  }
+  if (op == "digest") {
+    const auto response = (*client)->Digest();
+    if (response.ok() && response->status == service::WireStatus::kOk) {
+      std::printf("digest: %016llx (%lld sessions)\n",
+                  static_cast<unsigned long long>(response->digest),
+                  static_cast<long long>(response->occupancy));
+      return 0;
+    }
+    return PrintOutcome("digest", response);
+  }
+  if (op == "shutdown") {
+    return PrintOutcome("shutdown", (*client)->Shutdown());
+  }
+  std::fprintf(stderr, usage, argv[0]);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* const usage =
       "usage: %s --template | <config-file> | stats <config-file> [rounds]"
-      " | snapshot inspect <file>\n";
+      " | snapshot inspect <file> | admitd <op> --socket PATH\n";
   if (argc < 2) {
     std::fprintf(stderr, usage, argv[0]);
     return 2;
+  }
+  if (std::strcmp(argv[1], "admitd") == 0) {
+    return RunAdmitd(argc, argv);
   }
   if (std::strcmp(argv[1], "snapshot") == 0) {
     if (argc != 4 || std::strcmp(argv[2], "inspect") != 0) {

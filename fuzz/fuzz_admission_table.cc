@@ -1,0 +1,66 @@
+// Fuzz target for the admission-table text parser: tables are built
+// offline and shipped to serving hosts (docs/SERVICE.md), so the daemon's
+// Deserialize must return a clean error — never crash or trip a
+// sanitizer — for arbitrarily damaged files.
+//
+// Built with -DZS_HAVE_LIBFUZZER under Clang this is a libFuzzer target;
+// under other toolchains fuzz_driver.h supplies a main() that replays
+// file corpora and runs a deterministic mutation loop over seed inputs.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/admission.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto table = zonestream::core::AdmissionTable::Deserialize(text);
+  if (table.ok()) {
+    // Accepted inputs must round-trip: Serialize output is the canonical
+    // form, and it must itself parse back to an equivalent table.
+    const std::string canonical = table->Serialize();
+    const auto restored =
+        zonestream::core::AdmissionTable::Deserialize(canonical);
+    if (!restored.ok()) __builtin_trap();
+    if (restored->rows().size() != table->rows().size()) __builtin_trap();
+    // The lookup contract must hold on whatever parsed: equality selects
+    // the row at both ends, below-all returns 0.
+    if (!table->rows().empty()) {
+      const auto& rows = table->rows();
+      if (table->MaxStreams(rows.front().tolerance) !=
+          rows.front().n_max) {
+        __builtin_trap();
+      }
+      if (table->MaxStreams(rows.back().tolerance) != rows.back().n_max) {
+        __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}
+
+#ifndef ZS_HAVE_LIBFUZZER
+#include "fuzz_driver.h"
+
+int main(int argc, char** argv) {
+  // Seed with a well-formed table (one per criterion) so mutations
+  // explore the row parser and validation, not just the magic line.
+  const std::string late_table =
+      "zonestream-admission-table v1\n"
+      "criterion late_probability\n"
+      "round_length 1\n"
+      "rows 3\n"
+      "0.001 8\n"
+      "0.01 14\n"
+      "0.05 20\n";
+  const std::string glitch_table =
+      "zonestream-admission-table v1\n"
+      "criterion glitch_rate\n"
+      "round_length 0.5\n"
+      "rows 2\n"
+      "0.0001 12\n"
+      "0.01 28\n";
+  return zonestream::fuzz::RunStandaloneDriver(argc, argv,
+                                               {late_table, glitch_table});
+}
+#endif

@@ -1,10 +1,10 @@
-#include "recovery/blob.h"
+#include "common/blob.h"
 
 #include <array>
 #include <bit>
 #include <cstring>
 
-namespace zonestream::recovery {
+namespace zonestream::common {
 
 namespace {
 
@@ -139,4 +139,4 @@ std::vector<uint64_t> BlobReader::TakeWords() {
   return words;
 }
 
-}  // namespace zonestream::recovery
+}  // namespace zonestream::common

@@ -172,10 +172,21 @@ common::StatusOr<AdmissionTable> AdmissionTable::Build(
   return AdmissionTable(criterion, t, std::move(rows));
 }
 
+AdmissionTableSnapshot::AdmissionTableSnapshot(const AdmissionTable& table)
+    : criterion_(table.criterion()), round_length_s_(table.round_length()) {
+  tolerances_.reserve(table.rows().size());
+  limits_.reserve(table.rows().size());
+  for (const AdmissionTableRow& row : table.rows()) {
+    tolerances_.push_back(row.tolerance);
+    limits_.push_back(row.n_max);
+  }
+}
+
 int AdmissionTable::MaxStreams(double tolerance) const {
-  // Strictest tabulated row that does not exceed the requested tolerance:
+  // Loosest tabulated row that does not exceed the requested tolerance:
   // rows are ascending in tolerance (and, by monotonicity, in n_max), so
-  // take the last row with row.tolerance <= tolerance.
+  // take the last row with row.tolerance <= tolerance — the `>=`
+  // contract (equality selects the row, including the smallest row).
   const auto first_above = std::upper_bound(
       rows_.begin(), rows_.end(), tolerance,
       [](double requested, const AdmissionTableRow& row) {
@@ -231,7 +242,7 @@ common::StatusOr<AdmissionTable> AdmissionTable::Deserialize(
   }
   double round_length = 0.0;
   if (!(stream >> key >> round_length) || key != "round_length" ||
-      round_length <= 0.0) {
+      !std::isfinite(round_length) || round_length <= 0.0) {
     return common::Status::InvalidArgument("missing/invalid round_length");
   }
   size_t row_count = 0;
@@ -249,11 +260,14 @@ common::StatusOr<AdmissionTable> AdmissionTable::Deserialize(
           "truncated table: expected " + std::to_string(row_count) +
           " rows, got " + std::to_string(i));
     }
-    if (row.tolerance <= previous_tolerance || row.tolerance >= 1.0 ||
-        row.n_max < 0) {
+    // The isfinite check is load-bearing: a NaN tolerance compares false
+    // against both bounds below and would otherwise slip through into a
+    // table whose binary search misbehaves.
+    if (!std::isfinite(row.tolerance) || row.tolerance <= previous_tolerance ||
+        row.tolerance >= 1.0 || row.n_max < 0) {
       return common::Status::InvalidArgument(
           "invalid row " + std::to_string(i) +
-          " (tolerances must be ascending in (0,1), n_max >= 0)");
+          " (tolerances must be finite, ascending in (0,1), n_max >= 0)");
     }
     previous_tolerance = row.tolerance;
     rows.push_back(row);

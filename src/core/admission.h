@@ -11,6 +11,7 @@
 #ifndef ZONESTREAM_CORE_ADMISSION_H_
 #define ZONESTREAM_CORE_ADMISSION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -100,8 +101,16 @@ class AdmissionTable {
       std::vector<double> tolerances, int m = 0, int g = 0,
       const AdmissionBuildOptions& options = {});
 
-  // N_max for the strictest tabulated tolerance >= `tolerance`; 0 if the
-  // requested tolerance is below every tabulated row.
+  // N_max for the loosest tabulated row whose tolerance does not exceed
+  // the request — i.e. the largest tabulated tolerance with
+  // `tolerance >= row.tolerance`. The comparison is `>=`, not `>`: a
+  // request EXACTLY equal to a tabulated tolerance selects that row, at
+  // both ends of the table (a request equal to the smallest row returns
+  // that row's limit, not 0). Returns 0 only when the request is
+  // strictly below every tabulated row (no row enforces a contract at
+  // least as strict as asked). AdmissionTableSnapshot::MaxStreams and
+  // AdmissionController honor the identical contract; boundary behavior
+  // is pinned by tests on every path.
   int MaxStreams(double tolerance) const;
 
   const std::vector<AdmissionTableRow>& rows() const { return rows_; }
@@ -129,6 +138,57 @@ class AdmissionTable {
   AdmissionCriterion criterion_;
   double round_length_s_;
   std::vector<AdmissionTableRow> rows_;  // ascending tolerance
+};
+
+// Immutable, flattened view of an AdmissionTable for lock-free serving
+// fast paths (src/service/). The tolerance keys and limits live in two
+// contiguous arrays (16 bytes per row, no row structs, no indirection),
+// so a lookup is one cache-resident branchless-ish binary search; a
+// whole deployment table (tens of rows) fits in a cache line or two.
+//
+// The object is deeply immutable after construction and therefore safe
+// to read from any number of threads with no synchronization; the
+// admission service publishes fresh snapshots through an RCU pointer
+// swap when the table is rebuilt (docs/SERVICE.md).
+class AdmissionTableSnapshot {
+ public:
+  // Flattens `table` (rows ascending in tolerance, as AdmissionTable
+  // guarantees).
+  explicit AdmissionTableSnapshot(const AdmissionTable& table);
+
+  // Empty snapshot: every lookup returns 0.
+  AdmissionTableSnapshot() = default;
+
+  // Same `>=` contract as AdmissionTable::MaxStreams: the limit of the
+  // largest tabulated tolerance <= `tolerance` (equality selects the
+  // row), 0 when the request is strictly below every row.
+  int MaxStreams(double tolerance) const {
+    // Branch-light binary search for "first row with row.tolerance >
+    // tolerance" over the flat key array.
+    size_t lo = 0;
+    size_t hi = tolerances_.size();
+    while (lo < hi) {
+      const size_t mid = lo + ((hi - lo) >> 1);
+      if (tolerances_[mid] <= tolerance) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == 0 ? 0 : limits_[lo - 1];
+  }
+
+  size_t size() const { return tolerances_.size(); }
+  double tolerance_at(size_t i) const { return tolerances_[i]; }
+  int32_t limit_at(size_t i) const { return limits_[i]; }
+  AdmissionCriterion criterion() const { return criterion_; }
+  double round_length() const { return round_length_s_; }
+
+ private:
+  AdmissionCriterion criterion_ = AdmissionCriterion::kLateProbability;
+  double round_length_s_ = 0.0;
+  std::vector<double> tolerances_;  // ascending keys
+  std::vector<int32_t> limits_;     // limits_[i] = N_max of tolerances_[i]
 };
 
 // Run-time admission controller: O(1) admit/release against a precomputed

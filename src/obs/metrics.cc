@@ -7,7 +7,7 @@
 
 namespace zonestream::obs {
 
-int Histogram::BucketIndex(double value) const {
+int Histogram::BucketIndexFor(double value) {
   if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the underflow bucket
   const double octaves = std::log2(value / kMinValue);
   if (octaves < 0.0) return 1;
@@ -26,7 +26,7 @@ double Histogram::BucketLowerBound(int i) {
 
 void Histogram::Record(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ++buckets_[BucketIndex(value)];
+  ++buckets_[BucketIndexFor(value)];
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -119,6 +119,38 @@ common::Status Histogram::ImportState(const HistogramState& state) {
   sum_ = state.sum;
   min_ = state.min;
   max_ = state.max;
+  return common::Status::Ok();
+}
+
+common::Status Histogram::MergeState(const HistogramState& delta) {
+  if (delta.buckets.size() != static_cast<size_t>(kNumBuckets)) {
+    return common::Status::InvalidArgument(
+        "histogram delta has wrong bucket count");
+  }
+  int64_t total = 0;
+  for (int64_t bucket : delta.buckets) {
+    if (bucket < 0) {
+      return common::Status::InvalidArgument(
+          "histogram delta has a negative bucket count");
+    }
+    total += bucket;
+  }
+  if (total != delta.count || delta.count < 0) {
+    return common::Status::InvalidArgument(
+        "histogram delta count disagrees with bucket totals");
+  }
+  if (delta.count == 0) return common::Status::Ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += delta.buckets[i];
+  if (count_ == 0) {
+    min_ = delta.min;
+    max_ = delta.max;
+  } else {
+    min_ = std::fmin(min_, delta.min);
+    max_ = std::fmax(max_, delta.max);
+  }
+  count_ += delta.count;
+  sum_ += delta.sum;
   return common::Status::Ok();
 }
 

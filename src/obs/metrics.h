@@ -132,11 +132,24 @@ class Histogram {
   HistogramState ExportState() const;
   common::Status ImportState(const HistogramState& state);
 
+  // Adds `delta` (a partial HistogramState with the same validity rules
+  // as ImportState) INTO the current state instead of replacing it.
+  // Lets lock-free mirrors (e.g. the admission service's relaxed-atomic
+  // latency accumulator, which shares this bucket geometry via
+  // BucketIndexFor) drain periodically into a registry histogram without
+  // ever taking this mutex on their hot path. `delta.min`/`delta.max`
+  // only tighten the extrema and are ignored when delta.count == 0.
+  // Thread-safe; fails without side effects on malformed input.
+  common::Status MergeState(const HistogramState& delta);
+
   // Lower edge of bucket `i` (i >= 1; bucket 0 is the underflow bucket).
   static double BucketLowerBound(int i);
 
+  // The bucket `value` lands in: pure function of the class constants,
+  // public so external accumulators can mirror the bucket geometry.
+  static int BucketIndexFor(double value);
+
  private:
-  int BucketIndex(double value) const;
   double QuantileLocked(double q) const;  // requires mutex_ held
 
   mutable std::mutex mutex_;

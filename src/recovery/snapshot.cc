@@ -15,6 +15,7 @@ constexpr std::string_view kSectionMeta = "meta";
 constexpr std::string_view kSectionServer = "server";
 constexpr std::string_view kSectionSimulator = "sim";
 constexpr std::string_view kSectionRegistry = "registry";
+constexpr std::string_view kSectionService = "service";
 
 // --- component codecs ------------------------------------------------------
 //
@@ -435,6 +436,13 @@ std::string EncodeSnapshot(const Snapshot& snapshot) {
     EncodeRegistry(*snapshot.registry, &writer);
     sections.emplace_back(std::string(kSectionRegistry), writer.Release());
   }
+  if (snapshot.service.has_value()) {
+    // The section payload is the canonical service-state encoding,
+    // verbatim — one codec, one digest, shared with the live daemon.
+    sections.emplace_back(
+        std::string(kSectionService),
+        service::EncodeAdmissionServiceState(*snapshot.service));
+  }
   for (const auto& [name, payload] : snapshot.app_sections) {
     sections.emplace_back(name, payload);
   }
@@ -532,6 +540,17 @@ common::StatusOr<Snapshot> DecodeSnapshot(std::string_view bytes) {
         return status;
       }
       snapshot.registry = std::move(state);
+    } else if (name == kSectionService) {
+      if (snapshot.service.has_value()) {
+        return common::Status::InvalidArgument(
+            "snapshot carries duplicate 'service' sections");
+      }
+      auto state = service::DecodeAdmissionServiceState(payload);
+      if (!state.ok()) {
+        return common::Status::InvalidArgument(
+            "snapshot section 'service': " + state.status().message());
+      }
+      snapshot.service = std::move(state).value();
     } else {
       if (!snapshot.app_sections.emplace(name, payload).second) {
         return common::Status::InvalidArgument(
@@ -565,6 +584,7 @@ std::string DescribeSnapshot(const Snapshot& snapshot) {
   if (snapshot.server.has_value()) out += " server";
   if (snapshot.simulator.has_value()) out += " sim";
   if (snapshot.registry.has_value()) out += " registry";
+  if (snapshot.service.has_value()) out += " service";
   for (const auto& [name, payload] : snapshot.app_sections) {
     out += " " + name + "(" + std::to_string(payload.size()) + "B)";
   }
@@ -614,6 +634,17 @@ std::string DescribeSnapshot(const Snapshot& snapshot) {
            " gauges, " +
            std::to_string(snapshot.registry->histograms.size()) +
            " histograms\n";
+  }
+  if (snapshot.service.has_value()) {
+    out += "  service:  " +
+           std::to_string(snapshot.service->sessions.size()) +
+           " sessions, " +
+           std::to_string(snapshot.service->class_limits.size()) +
+           " classes, limits v" +
+           std::to_string(snapshot.service->limits_version) + ", digest " +
+           std::to_string(
+               service::AdmissionServiceStateDigest(*snapshot.service)) +
+           "\n";
   }
   return out;
 }

@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "server/media_server.h"
+#include "service/admission_service.h"
 #include "sim/round_simulator.h"
 
 namespace zonestream::recovery {
@@ -44,8 +45,14 @@ namespace zonestream::recovery {
 //       progress, degraded counters). Version-1 files are rejected with a
 //       clear "unsupported snapshot version" error rather than risking a
 //       silent misparse of the appended fields.
+//   3 — added the 'service' section: the admission-service control
+//       plane (session registry, per-class limits, published table).
+//       The payload is byte-for-byte the canonical
+//       service::EncodeAdmissionServiceState encoding, so the daemon's
+//       live Digest() and the snapshot section digest agree by
+//       construction. Older versions are rejected per the v1 precedent.
 inline constexpr std::string_view kSnapshotMagic{"ZSNAPv1\0", 8};
-inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersion = 3;
 
 // Informational header — never consulted by restore logic, but lets
 // `zonestream_ctl snapshot inspect` describe a file without the config
@@ -64,6 +71,7 @@ struct Snapshot {
   std::optional<server::MediaServerState> server;
   std::optional<sim::RoundSimulatorState> simulator;
   std::optional<obs::RegistryState> registry;
+  std::optional<service::AdmissionServiceState> service;
   // Raw payloads of sections this library does not interpret, keyed by
   // section name. Producers should prefix their names with "app." to
   // stay clear of future library sections.

@@ -314,6 +314,7 @@ void MediaServer::RunRound() {
       // no budget (reconstruction needs all D-1 peers of the target).
     }
     degraded_prev_ = degraded_now_;
+    NotifyLimitChangeIfNeeded();
   }
 
   // Gather this round's request batch per disk into the reused scratch
@@ -646,6 +647,7 @@ void MediaServer::RunRound() {
       // Keep the edge detector honest: a *new* failure next round is a
       // fresh degraded edge and must shed again.
       degraded_prev_ = degraded_now_;
+      NotifyLimitChangeIfNeeded();
     }
   }
   if (config_.parity && failed_count > 0) {
@@ -728,6 +730,20 @@ int MediaServer::EffectivePhaseLimit() const {
                     config_.degraded_per_disk_stream_limit);
   }
   return config_.per_disk_stream_limit;
+}
+
+void MediaServer::SetLimitChangeCallback(LimitChangeCallback callback) {
+  limit_change_callback_ = std::move(callback);
+  last_notified_limit_ = -1;  // force the registration-time notification
+  NotifyLimitChangeIfNeeded();
+}
+
+void MediaServer::NotifyLimitChangeIfNeeded() {
+  if (!limit_change_callback_) return;
+  const int limit = EffectivePhaseLimit();
+  if (limit == last_notified_limit_) return;
+  last_notified_limit_ = limit;
+  limit_change_callback_(limit, NumPhases(), degraded_now_);
 }
 
 int MediaServer::PlannedPrimaryLoad(int disk) const {
@@ -988,6 +1004,7 @@ common::Status MediaServer::RestoreState(
     }
   }
   degraded_prev_ = degraded_now_;
+  NotifyLimitChangeIfNeeded();
   return common::Status::Ok();
 }
 

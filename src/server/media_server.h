@@ -312,6 +312,19 @@ class MediaServer {
   common::Status RestoreState(const MediaServerState& state,
                               const StreamDistributionResolver& resolver);
 
+  // Limit-change publication. The callback fires whenever the per-phase
+  // admission limit in force changes — entering degraded mode (the
+  // configured degraded limit kicks in), rebuild completion lifting it,
+  // or a RestoreState that lands in a different mode. It also fires once
+  // at registration with the current limit, so a subscriber (e.g. an
+  // admission-service daemon scaling its published class limits) starts
+  // synchronized without a separate bootstrap read. Invoked from the
+  // scheduler thread; keep it cheap and re-entrancy-free (do not call
+  // back into this MediaServer from inside the callback).
+  using LimitChangeCallback =
+      std::function<void(int per_phase_limit, int num_phases, bool degraded)>;
+  void SetLimitChangeCallback(LimitChangeCallback callback);
+
  private:
   struct StreamState {
     int phase = 0;  // disk in round r is (phase + r) mod num_disks
@@ -349,6 +362,10 @@ class MediaServer {
   // while the parity array is degraded, if one is configured).
   int EffectivePhaseLimit() const;
 
+  // Fires limit_change_callback_ if EffectivePhaseLimit() moved since the
+  // last notification. Call after any degraded_now_ transition.
+  void NotifyLimitChangeIfNeeded();
+
   // Disk d's fault injector, or null.
   fault::FaultInjector* InjectorFor(int disk) const {
     return static_cast<size_t>(disk) < fault_injectors_.size()
@@ -385,6 +402,9 @@ class MediaServer {
   std::vector<uint8_t> spare_active_;
   bool degraded_now_ = false;   // last census: some disk effectively failed
   bool degraded_prev_ = false;  // previous round's census (shed edge)
+  // Limit-change publication (null / -1 until SetLimitChangeCallback).
+  LimitChangeCallback limit_change_callback_;
+  int last_notified_limit_ = -1;
   int64_t reconstructed_fragments_ = 0;
   int64_t rounds_degraded_ = 0;
   // Aggregates.

@@ -1,0 +1,170 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace zonestream::service {
+
+namespace {
+
+common::Status ErrnoStatus(const std::string& what) {
+  return common::Status::InvalidArgument(what + ": " +
+                                         std::strerror(errno));
+}
+
+common::Status SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return common::Status::Ok();
+}
+
+common::Status RecvAll(int fd, char* buffer, size_t size) {
+  size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, buffer + received, size - received, 0);
+    if (n == 0) {
+      return common::Status::InvalidArgument("daemon closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::StatusOr<std::unique_ptr<AdmitClient>> AdmitClient::Connect(
+    const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return common::Status::InvalidArgument("bad socket path");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const auto status = ErrnoStatus("connect " + socket_path);
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<AdmitClient>(new AdmitClient(fd));
+}
+
+AdmitClient::~AdmitClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+common::StatusOr<Response> AdmitClient::Call(const Request& request) {
+  std::string frame;
+  AppendFrame(&frame, EncodeRequest(request));
+  if (auto status = SendAll(fd_, frame); !status.ok()) return status;
+
+  char prefix[4];
+  if (auto status = RecvAll(fd_, prefix, sizeof(prefix)); !status.ok()) {
+    return status;
+  }
+  const uint32_t length =
+      static_cast<uint32_t>(static_cast<uint8_t>(prefix[0])) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(prefix[1])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(prefix[2])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(prefix[3])) << 24);
+  if (length > kMaxFrameBytes) {
+    return common::Status::InvalidArgument("oversized response frame");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    if (auto status = RecvAll(fd_, payload.data(), length); !status.ok()) {
+      return status;
+    }
+  }
+  return DecodeResponse(payload);
+}
+
+common::StatusOr<Response> AdmitClient::Ping() {
+  Request request;
+  request.op = OpCode::kPing;
+  return Call(request);
+}
+
+common::StatusOr<Response> AdmitClient::AdmitClass(uint64_t session_id,
+                                                   uint32_t class_index) {
+  Request request;
+  request.op = OpCode::kAdmitClass;
+  request.session_id = session_id;
+  request.class_index = class_index;
+  return Call(request);
+}
+
+common::StatusOr<Response> AdmitClient::AdmitTolerance(uint64_t session_id,
+                                                       double tolerance) {
+  Request request;
+  request.op = OpCode::kAdmitTolerance;
+  request.session_id = session_id;
+  request.tolerance = tolerance;
+  return Call(request);
+}
+
+common::StatusOr<Response> AdmitClient::Teardown(uint64_t session_id) {
+  Request request;
+  request.op = OpCode::kTeardown;
+  request.session_id = session_id;
+  return Call(request);
+}
+
+common::StatusOr<Response> AdmitClient::Transition(uint64_t session_id,
+                                                   uint32_t new_class_index) {
+  Request request;
+  request.op = OpCode::kTransition;
+  request.session_id = session_id;
+  request.class_index = new_class_index;
+  return Call(request);
+}
+
+common::StatusOr<ServiceStats> AdmitClient::Stats() {
+  Request request;
+  request.op = OpCode::kStats;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response.value().status != WireStatus::kOk) {
+    return common::Status::InvalidArgument(
+        std::string("stats failed: ") +
+        WireStatusName(response.value().status));
+  }
+  return DecodeServiceStats(response.value().payload);
+}
+
+common::StatusOr<Response> AdmitClient::Checkpoint() {
+  Request request;
+  request.op = OpCode::kCheckpoint;
+  return Call(request);
+}
+
+common::StatusOr<Response> AdmitClient::Digest() {
+  Request request;
+  request.op = OpCode::kDigest;
+  return Call(request);
+}
+
+common::StatusOr<Response> AdmitClient::Shutdown() {
+  Request request;
+  request.op = OpCode::kShutdown;
+  return Call(request);
+}
+
+}  // namespace zonestream::service

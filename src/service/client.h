@@ -1,0 +1,51 @@
+// Blocking client for zonestream_admitd (used by zonestream_ctl and the
+// end-to-end tests). One connection, one in-flight request at a time —
+// which also gives the per-session serialization the service requires.
+#ifndef ZONESTREAM_SERVICE_CLIENT_H_
+#define ZONESTREAM_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace zonestream::service {
+
+class AdmitClient {
+ public:
+  static common::StatusOr<std::unique_ptr<AdmitClient>> Connect(
+      const std::string& socket_path);
+
+  ~AdmitClient();
+
+  AdmitClient(const AdmitClient&) = delete;
+  AdmitClient& operator=(const AdmitClient&) = delete;
+
+  // Sends one request frame and blocks for the response.
+  common::StatusOr<Response> Call(const Request& request);
+
+  // Convenience wrappers.
+  common::StatusOr<Response> Ping();
+  common::StatusOr<Response> AdmitClass(uint64_t session_id,
+                                        uint32_t class_index);
+  common::StatusOr<Response> AdmitTolerance(uint64_t session_id,
+                                            double tolerance);
+  common::StatusOr<Response> Teardown(uint64_t session_id);
+  common::StatusOr<Response> Transition(uint64_t session_id,
+                                        uint32_t new_class_index);
+  common::StatusOr<ServiceStats> Stats();
+  common::StatusOr<Response> Checkpoint();
+  common::StatusOr<Response> Digest();
+  common::StatusOr<Response> Shutdown();
+
+ private:
+  explicit AdmitClient(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
+}  // namespace zonestream::service
+
+#endif  // ZONESTREAM_SERVICE_CLIENT_H_

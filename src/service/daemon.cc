@@ -1,0 +1,276 @@
+#include "service/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace zonestream::service {
+
+namespace {
+
+common::Status ErrnoStatus(const std::string& what) {
+  return common::Status::InvalidArgument(what + ": " +
+                                         std::strerror(errno));
+}
+
+}  // namespace
+
+common::StatusOr<std::unique_ptr<AdmitDaemon>> AdmitDaemon::Create(
+    AdmissionService* service, const DaemonOptions& options) {
+  if (options.socket_path.empty()) {
+    return common::Status::InvalidArgument("socket_path must be set");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return common::Status::InvalidArgument("socket_path too long for AF_UNIX");
+  }
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+
+  auto daemon =
+      std::unique_ptr<AdmitDaemon>(new AdmitDaemon(service, options));
+  daemon->listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (daemon->listen_fd_ < 0) return ErrnoStatus("socket");
+  ::unlink(options.socket_path.c_str());  // stale socket from a crash
+  if (::bind(daemon->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind " + options.socket_path);
+  }
+  if (::listen(daemon->listen_fd_, options.listen_backlog) != 0) {
+    return ErrnoStatus("listen");
+  }
+  return daemon;
+}
+
+AdmitDaemon::~AdmitDaemon() {
+  for (Connection& connection : connections_) {
+    if (connection.fd >= 0) ::close(connection.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void AdmitDaemon::AcceptPending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN or transient error: try next poll
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      ::close(fd);  // over the connection cap: shed
+      continue;
+    }
+    Connection connection;
+    connection.fd = fd;
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void AdmitDaemon::ReadFrom(Connection& connection) {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(connection.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      connection.in.append(buffer, static_cast<size_t>(n));
+      // Cap the per-connection input buffer: a client may batch
+      // frames, but unbounded buffering is a memory DoS.
+      if (connection.in.size() > 4 * (kMaxFrameBytes + 4)) break;
+      continue;
+    }
+    if (n == 0) {
+      connection.drop = true;  // peer closed
+    }
+    break;  // EAGAIN or error
+  }
+  HandleFrames(connection);
+}
+
+void AdmitDaemon::HandleFrames(Connection& connection) {
+  size_t offset = 0;
+  for (;;) {
+    size_t consumed = 0;
+    std::string_view payload;
+    const FrameParse parse = NextFrame(
+        std::string_view(connection.in).substr(offset), &consumed, &payload);
+    if (parse == FrameParse::kError) {
+      connection.drop = true;
+      break;
+    }
+    if (parse == FrameParse::kNeedMore) break;
+    Response response;
+    const auto request = DecodeRequest(payload);
+    if (!request.ok()) {
+      // Answer with the decode error, then drop: a peer that framed a
+      // non-request payload is broken or hostile, and later frames on
+      // the same connection are not worth trusting.
+      response.status = WireStatus::kMalformedRequest;
+      response.payload = request.status().message();
+      ++requests_served_;
+      AppendFrame(&connection.out, EncodeResponse(response));
+      connection.drop = true;
+      offset += consumed;
+      break;
+    }
+    response = HandleRequest(request.value());
+    ++requests_served_;
+    AppendFrame(&connection.out, EncodeResponse(response));
+    offset += consumed;
+  }
+  if (offset > 0) connection.in.erase(0, offset);
+}
+
+Response AdmitDaemon::HandleRequest(const Request& request) {
+  Response response;
+  switch (request.op) {
+    case OpCode::kPing:
+      break;
+    case OpCode::kAdmitClass: {
+      const ServiceOutcome outcome =
+          service_->Admit(request.session_id, request.class_index);
+      response.status = WireStatusFromResult(outcome.result);
+      response.session_id = outcome.session_id;
+      response.class_index = outcome.class_index;
+      response.occupancy = outcome.occupancy;
+      response.limit = outcome.limit;
+      break;
+    }
+    case OpCode::kAdmitTolerance: {
+      const ServiceOutcome outcome =
+          service_->AdmitByTolerance(request.session_id, request.tolerance);
+      response.status = WireStatusFromResult(outcome.result);
+      response.session_id = outcome.session_id;
+      response.class_index = outcome.class_index;
+      response.occupancy = outcome.occupancy;
+      response.limit = outcome.limit;
+      break;
+    }
+    case OpCode::kTeardown: {
+      const ServiceOutcome outcome = service_->Teardown(request.session_id);
+      response.status = WireStatusFromResult(outcome.result);
+      response.session_id = outcome.session_id;
+      response.class_index = outcome.class_index;
+      response.occupancy = outcome.occupancy;
+      break;
+    }
+    case OpCode::kTransition: {
+      const ServiceOutcome outcome =
+          service_->Transition(request.session_id, request.class_index);
+      response.status = WireStatusFromResult(outcome.result);
+      response.session_id = outcome.session_id;
+      response.class_index = outcome.class_index;
+      response.occupancy = outcome.occupancy;
+      response.limit = outcome.limit;
+      break;
+    }
+    case OpCode::kStats: {
+      service_->FlushObservability();
+      response.payload = EncodeServiceStats(service_->Stats());
+      break;
+    }
+    case OpCode::kCheckpoint: {
+      if (!checkpoint_) {
+        response.status = WireStatus::kUnsupportedOp;
+        response.payload = "no checkpoint callback configured";
+        break;
+      }
+      const auto path = checkpoint_();
+      if (!path.ok()) {
+        response.status = WireStatus::kInternalError;
+        response.payload = path.status().message();
+        break;
+      }
+      response.digest = service_->Digest();
+      response.payload = path.value();
+      break;
+    }
+    case OpCode::kDigest:
+      response.digest = service_->Digest();
+      // Live-session count rides along so `zonestream_ctl admitd digest`
+      // can report both without a second round trip.
+      response.occupancy =
+          static_cast<int64_t>(service_->registry().live());
+      break;
+    case OpCode::kShutdown:
+      RequestShutdown();
+      break;
+  }
+  return response;
+}
+
+void AdmitDaemon::WriteTo(Connection& connection) {
+  while (!connection.out.empty()) {
+    const ssize_t n = ::send(connection.fd, connection.out.data(),
+                             connection.out.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      connection.drop = true;
+      return;
+    }
+    connection.out.erase(0, static_cast<size_t>(n));
+  }
+}
+
+bool AdmitDaemon::PollOnce(int timeout_ms) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    // Flush what's already queued, then stop.
+    for (Connection& connection : connections_) WriteTo(connection);
+    return false;
+  }
+  std::vector<pollfd> fds;
+  fds.reserve(connections_.size() + 1);
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const Connection& connection : connections_) {
+    short events = POLLIN;
+    if (!connection.out.empty()) events |= POLLOUT;
+    fds.push_back({connection.fd, events, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0 && errno != EINTR) return !shutdown_.load();
+  if (ready > 0) {
+    // Serve only the connections that were actually polled: accepting
+    // first would grow connections_ past the pollfd array and misindex
+    // (or read past) fds for the tail entries.
+    const size_t polled = fds.size() - 1;
+    for (size_t i = 0; i < polled; ++i) {
+      Connection& connection = connections_[i];
+      const short revents = fds[i + 1].revents;
+      if ((revents & (POLLERR | POLLHUP)) != 0 && connection.out.empty()) {
+        connection.drop = true;
+      }
+      if ((revents & POLLIN) != 0) ReadFrom(connection);
+      if (!connection.out.empty()) WriteTo(connection);
+    }
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+  }
+  // Reap dropped connections whose output drained.
+  for (size_t i = 0; i < connections_.size();) {
+    Connection& connection = connections_[i];
+    if (connection.drop && connection.out.empty()) {
+      ::close(connection.fd);
+      connections_.erase(connections_.begin() +
+                         static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+common::Status AdmitDaemon::Serve() {
+  int64_t iterations = 0;
+  while (PollOnce(options_.poll_interval_ms)) {
+    // Amortize the flush: every poll round under load would re-walk the
+    // bucket array per request batch for no observability gain.
+    if (++iterations % 16 == 0) service_->FlushObservability();
+  }
+  // Final flush so a checkpoint-at-exit sees current metrics.
+  service_->FlushObservability();
+  return common::Status::Ok();
+}
+
+}  // namespace zonestream::service

@@ -1,0 +1,104 @@
+// zonestream_admitd's event loop: a unix-domain-socket front-end over an
+// AdmissionService.
+//
+// The loop is deliberately single-threaded (poll() over the listener and
+// every connection, nonblocking I/O, per-connection in/out buffers).
+// The admission fast path is lock-free, so serving throughput scales by
+// running CLIENTS in parallel against the shared AdmissionService — the
+// daemon thread only shovels frames; benchmarks drive the service
+// directly from N threads (BM_AdmissionServiceThroughput). One thread
+// also gives the mutation serialization the registry wants per session
+// id for free, and avoids churning RCU reader slots through short-lived
+// connection threads.
+//
+// Checkpointing is injected by the binary (examples/zonestream_admitd)
+// so this library does not depend on recovery/: the daemon exposes the
+// kCheckpoint op and calls whatever callback main() wired in.
+#ifndef ZONESTREAM_SERVICE_DAEMON_H_
+#define ZONESTREAM_SERVICE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/admission_service.h"
+#include "service/protocol.h"
+
+namespace zonestream::service {
+
+struct DaemonOptions {
+  std::string socket_path;
+  int max_connections = 64;
+  int listen_backlog = 16;
+  // Poll timeout for Serve(); also the cadence of the periodic
+  // observability flush.
+  int poll_interval_ms = 100;
+};
+
+class AdmitDaemon {
+ public:
+  // Returns the checkpoint file path on success.
+  using CheckpointFn = std::function<common::StatusOr<std::string>()>;
+
+  // Binds and listens on options.socket_path (unlinking a stale socket
+  // file first). `service` must outlive the daemon.
+  static common::StatusOr<std::unique_ptr<AdmitDaemon>> Create(
+      AdmissionService* service, const DaemonOptions& options);
+
+  ~AdmitDaemon();
+
+  AdmitDaemon(const AdmitDaemon&) = delete;
+  AdmitDaemon& operator=(const AdmitDaemon&) = delete;
+
+  void SetCheckpointCallback(CheckpointFn callback) {
+    checkpoint_ = std::move(callback);
+  }
+
+  // Serves until RequestShutdown() or a kShutdown request.
+  common::Status Serve();
+
+  // One poll iteration (for tests and custom loops). Returns false once
+  // shutdown has been requested and all pending output is flushed.
+  bool PollOnce(int timeout_ms);
+
+  // Safe from signal handlers and other threads.
+  void RequestShutdown() {
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool drop = false;  // protocol error: close after flushing out
+  };
+
+  AdmitDaemon(AdmissionService* service, const DaemonOptions& options)
+      : service_(service), options_(options) {}
+
+  void AcceptPending();
+  void ReadFrom(Connection& connection);
+  void WriteTo(Connection& connection);
+  Response HandleRequest(const Request& request);
+  void HandleFrames(Connection& connection);
+
+  AdmissionService* service_;
+  DaemonOptions options_;
+  int listen_fd_ = -1;
+  std::vector<Connection> connections_;
+  std::atomic<bool> shutdown_{false};
+  int64_t requests_served_ = 0;
+  CheckpointFn checkpoint_;
+};
+
+}  // namespace zonestream::service
+
+#endif  // ZONESTREAM_SERVICE_DAEMON_H_

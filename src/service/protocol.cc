@@ -1,0 +1,219 @@
+#include "service/protocol.h"
+
+#include <cmath>
+
+#include "common/blob.h"
+#include "common/check.h"
+
+namespace zonestream::service {
+
+WireStatus WireStatusFromResult(ServiceResult result) {
+  switch (result) {
+    case ServiceResult::kOk:
+      return WireStatus::kOk;
+    case ServiceResult::kRejectedCapacity:
+      return WireStatus::kRejectedCapacity;
+    case ServiceResult::kDuplicate:
+      return WireStatus::kDuplicate;
+    case ServiceResult::kNotFound:
+      return WireStatus::kNotFound;
+    case ServiceResult::kUnknownClass:
+      return WireStatus::kUnknownClass;
+    case ServiceResult::kRegistryFull:
+      return WireStatus::kRegistryFull;
+    case ServiceResult::kInvalidSession:
+      return WireStatus::kInvalidSession;
+  }
+  return WireStatus::kInternalError;
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kRejectedCapacity:
+      return "rejected_capacity";
+    case WireStatus::kDuplicate:
+      return "duplicate";
+    case WireStatus::kNotFound:
+      return "not_found";
+    case WireStatus::kUnknownClass:
+      return "unknown_class";
+    case WireStatus::kRegistryFull:
+      return "registry_full";
+    case WireStatus::kInvalidSession:
+      return "invalid_session";
+    case WireStatus::kMalformedRequest:
+      return "malformed_request";
+    case WireStatus::kInternalError:
+      return "internal_error";
+    case WireStatus::kUnsupportedOp:
+      return "unsupported_op";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const Request& request) {
+  common::BlobWriter writer;
+  writer.PutU8(static_cast<uint8_t>(request.op));
+  writer.PutU64(request.session_id);
+  writer.PutU32(request.class_index);
+  writer.PutF64(request.tolerance);
+  return writer.Release();
+}
+
+common::StatusOr<Request> DecodeRequest(std::string_view payload) {
+  common::BlobReader reader(payload);
+  Request request;
+  const uint8_t op = reader.TakeU8();
+  request.session_id = reader.TakeU64();
+  request.class_index = reader.TakeU32();
+  request.tolerance = reader.TakeF64();
+  if (!reader.AtEnd()) {
+    return common::Status::InvalidArgument(
+        "request frame: truncated or trailing bytes");
+  }
+  if (op < static_cast<uint8_t>(OpCode::kPing) ||
+      op > static_cast<uint8_t>(OpCode::kShutdown)) {
+    return common::Status::InvalidArgument("request frame: unknown opcode " +
+                                           std::to_string(op));
+  }
+  request.op = static_cast<OpCode>(op);
+  if (request.op == OpCode::kAdmitTolerance &&
+      !std::isfinite(request.tolerance)) {
+    return common::Status::InvalidArgument(
+        "request frame: non-finite tolerance");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  common::BlobWriter writer;
+  writer.PutU8(static_cast<uint8_t>(response.status));
+  writer.PutU64(response.session_id);
+  writer.PutU32(response.class_index);
+  writer.PutI64(response.occupancy);
+  writer.PutI64(response.limit);
+  writer.PutU64(response.digest);
+  writer.PutString(response.payload);
+  return writer.Release();
+}
+
+common::StatusOr<Response> DecodeResponse(std::string_view payload) {
+  common::BlobReader reader(payload);
+  Response response;
+  const uint8_t status = reader.TakeU8();
+  response.session_id = reader.TakeU64();
+  response.class_index = reader.TakeU32();
+  response.occupancy = reader.TakeI64();
+  response.limit = reader.TakeI64();
+  response.digest = reader.TakeU64();
+  response.payload = reader.TakeString();
+  if (!reader.AtEnd()) {
+    return common::Status::InvalidArgument(
+        "response frame: truncated or trailing bytes");
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kUnsupportedOp)) {
+    return common::Status::InvalidArgument(
+        "response frame: unknown status " + std::to_string(status));
+  }
+  response.status = static_cast<WireStatus>(status);
+  return response;
+}
+
+std::string EncodeServiceStats(const ServiceStats& stats) {
+  common::BlobWriter writer;
+  writer.PutI64(stats.live_sessions);
+  writer.PutU64(stats.limits_version);
+  writer.PutI64(stats.limit_scale);
+  writer.PutU64(stats.table_rows);
+  writer.PutU64(stats.classes.size());
+  for (const ServiceClassStats& cls : stats.classes) {
+    writer.PutString(cls.name);
+    writer.PutF64(cls.tolerance);
+    writer.PutI64(cls.occupancy);
+    writer.PutI64(cls.limit);
+  }
+  writer.PutI64(stats.registry.live);
+  writer.PutI64(stats.registry.capacity);
+  writer.PutU64(static_cast<uint64_t>(stats.registry.shards));
+  // shard_live's length is encoded separately from `shards`: they agree
+  // for a snapshot taken by Stats(), but the codec must not decode
+  // garbage for a hand-built struct where they differ.
+  writer.PutU64(stats.registry.shard_live.size());
+  for (int64_t live : stats.registry.shard_live) writer.PutI64(live);
+  return writer.Release();
+}
+
+common::StatusOr<ServiceStats> DecodeServiceStats(std::string_view payload) {
+  common::BlobReader reader(payload);
+  ServiceStats stats;
+  stats.live_sessions = reader.TakeI64();
+  stats.limits_version = reader.TakeU64();
+  stats.limit_scale = reader.TakeI64();
+  stats.table_rows = reader.TakeU64();
+  const uint64_t class_count = reader.TakeU64();
+  if (!reader.ok() || class_count > reader.remaining() / 25) {
+    return common::Status::InvalidArgument(
+        "stats payload: class count exceeds payload");
+  }
+  stats.classes.reserve(class_count);
+  for (uint64_t i = 0; i < class_count; ++i) {
+    ServiceClassStats cls;
+    cls.name = reader.TakeString();
+    cls.tolerance = reader.TakeF64();
+    cls.occupancy = reader.TakeI64();
+    cls.limit = reader.TakeI64();
+    stats.classes.push_back(std::move(cls));
+  }
+  stats.registry.live = reader.TakeI64();
+  stats.registry.capacity = reader.TakeI64();
+  const uint64_t shards = reader.TakeU64();
+  const uint64_t shard_entries = reader.TakeU64();
+  if (!reader.ok() || shard_entries > reader.remaining() / 8) {
+    return common::Status::InvalidArgument(
+        "stats payload: shard count exceeds payload");
+  }
+  stats.registry.shards = static_cast<int>(shards);
+  stats.registry.shard_live.reserve(shard_entries);
+  for (uint64_t s = 0; s < shard_entries; ++s) {
+    stats.registry.shard_live.push_back(reader.TakeI64());
+  }
+  if (!reader.AtEnd()) {
+    return common::Status::InvalidArgument(
+        "stats payload: truncated or trailing bytes");
+  }
+  return stats;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  ZS_CHECK_LE(payload.size(), static_cast<size_t>(kMaxFrameBytes));
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(length & 0xff);
+  prefix[1] = static_cast<char>((length >> 8) & 0xff);
+  prefix[2] = static_cast<char>((length >> 16) & 0xff);
+  prefix[3] = static_cast<char>((length >> 24) & 0xff);
+  out->append(prefix, 4);
+  out->append(payload.data(), payload.size());
+}
+
+FrameParse NextFrame(std::string_view buffer, size_t* consumed,
+                     std::string_view* payload) {
+  *consumed = 0;
+  if (buffer.size() < 4) return FrameParse::kNeedMore;
+  const uint32_t length =
+      static_cast<uint32_t>(static_cast<uint8_t>(buffer[0])) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(buffer[1])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(buffer[2])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(buffer[3])) << 24);
+  if (length > kMaxFrameBytes) return FrameParse::kError;
+  if (buffer.size() < 4 + static_cast<size_t>(length)) {
+    return FrameParse::kNeedMore;
+  }
+  *payload = buffer.substr(4, length);
+  *consumed = 4 + static_cast<size_t>(length);
+  return FrameParse::kFrame;
+}
+
+}  // namespace zonestream::service

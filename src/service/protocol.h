@@ -1,0 +1,104 @@
+// Wire protocol for the admission daemon (zonestream_admitd).
+//
+// Transport framing: every message is a u32 little-endian payload length
+// followed by that many payload bytes. Frames above kMaxFrameBytes are a
+// protocol error (the daemon drops the connection rather than buffering
+// an attacker-chosen length). Payloads are BlobWriter/BlobReader
+// encodings, so every decode path inherits the hardened sticky-error
+// reader: truncated, oversized, or bit-flipped frames decode to a
+// malformed-request error, never UB.
+//
+// Requests carry an opcode plus a fixed argument set; responses are one
+// uniform shape (status + session fields + an op-specific payload blob)
+// so client dispatch stays trivial. The stats payload is its own nested
+// encoding (EncodeServiceStats) rendered by zonestream_ctl.
+#ifndef ZONESTREAM_SERVICE_PROTOCOL_H_
+#define ZONESTREAM_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/admission_service.h"
+
+namespace zonestream::service {
+
+// Hard ceiling on one frame's payload. Stats responses dominate sizing:
+// ~64 bytes per class plus ~8 per shard stays far below this for any
+// sane configuration.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 16;
+
+enum class OpCode : uint8_t {
+  kPing = 1,
+  kAdmitClass = 2,
+  kAdmitTolerance = 3,
+  kTeardown = 4,
+  kTransition = 5,
+  kStats = 6,
+  kCheckpoint = 7,
+  kDigest = 8,
+  kShutdown = 9,
+};
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kRejectedCapacity = 1,
+  kDuplicate = 2,
+  kNotFound = 3,
+  kUnknownClass = 4,
+  kRegistryFull = 5,
+  kInvalidSession = 6,
+  kMalformedRequest = 7,
+  kInternalError = 8,
+  kUnsupportedOp = 9,
+};
+
+WireStatus WireStatusFromResult(ServiceResult result);
+const char* WireStatusName(WireStatus status);
+
+struct Request {
+  OpCode op = OpCode::kPing;
+  uint64_t session_id = 0;
+  uint32_t class_index = 0;
+  double tolerance = 0.0;
+};
+
+struct Response {
+  WireStatus status = WireStatus::kOk;
+  uint64_t session_id = 0;
+  uint32_t class_index = 0;
+  int64_t occupancy = 0;
+  int64_t limit = 0;
+  uint64_t digest = 0;
+  // Op-specific: stats encoding (kStats), checkpoint path (kCheckpoint),
+  // or a human-readable error detail.
+  std::string payload;
+};
+
+std::string EncodeRequest(const Request& request);
+common::StatusOr<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+common::StatusOr<Response> DecodeResponse(std::string_view payload);
+
+std::string EncodeServiceStats(const ServiceStats& stats);
+common::StatusOr<ServiceStats> DecodeServiceStats(std::string_view payload);
+
+// Appends one length-prefixed frame to `out`. ZS_CHECKs the size cap
+// (all in-tree payloads are bounded well below it).
+void AppendFrame(std::string* out, std::string_view payload);
+
+enum class FrameParse : uint8_t {
+  kNeedMore,  // buffer holds a partial frame; read more bytes
+  kFrame,     // *payload points into buffer; *consumed bytes used
+  kError,     // declared length exceeds kMaxFrameBytes; drop connection
+};
+
+// Incremental frame extraction for the daemon's nonblocking reads.
+FrameParse NextFrame(std::string_view buffer, size_t* consumed,
+                     std::string_view* payload);
+
+}  // namespace zonestream::service
+
+#endif  // ZONESTREAM_SERVICE_PROTOCOL_H_

@@ -1,0 +1,191 @@
+#include "service/rcu.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace zonestream::service {
+
+namespace {
+
+// Live-domain registry: maps domain id -> domain for the thread-exit
+// slot-release path, which must tolerate the domain dying first.
+// Intentionally leaked (function-local static pointer) so thread_local
+// destructors running during process teardown can still use it.
+struct DomainRegistry {
+  std::mutex mutex;
+  std::unordered_map<uint64_t, RcuDomain*> live;
+};
+
+DomainRegistry& Registry() {
+  static DomainRegistry* registry = new DomainRegistry();
+  return *registry;
+}
+
+uint64_t NextDomainId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread domain -> slot cache. Entries persist across guards (the
+// whole point: the steady-state guard is cache-hit, no atomics beyond
+// the Enter/Exit stores). Slots still owned at thread exit are handed
+// back through the registry.
+struct ReaderCache {
+  static constexpr int kEntries = 8;
+  struct Entry {
+    uint64_t domain_id = 0;
+    RcuDomain* domain = nullptr;
+    int slot = -1;
+    int active_guards = 0;
+  };
+  Entry entries[kEntries];
+
+  ~ReaderCache() {
+    for (Entry& e : entries) {
+      if (e.slot >= 0) {
+        ZS_CHECK_EQ(e.active_guards, 0);  // guards cannot outlive the thread
+        RcuDomain::ReleaseSlotIfAlive(e.domain_id, e.slot);
+      }
+    }
+  }
+};
+
+thread_local ReaderCache g_reader_cache;
+
+}  // namespace
+
+RcuDomain::RcuDomain() : id_(NextDomainId()) {
+  DomainRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.live.emplace(id_, this);
+}
+
+RcuDomain::~RcuDomain() {
+  DomainRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.live.erase(id_);
+  // Stale cache entries in other threads resolve through the registry
+  // and find nothing; their slots die with the domain.
+}
+
+int RcuDomain::AcquireSlot() {
+  for (int i = 0; i < kMaxReaders; ++i) {
+    uint8_t expected = 0;
+    if (slots_[i].used.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+      ZS_CHECK_EQ(slots_[i].epoch.load(std::memory_order_relaxed), 0u);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void RcuDomain::ReleaseSlot(int slot) {
+  ZS_CHECK_GE(slot, 0);
+  ZS_CHECK_LT(slot, kMaxReaders);
+  ZS_CHECK_EQ(slots_[slot].epoch.load(std::memory_order_relaxed), 0u);
+  slots_[slot].used.store(0, std::memory_order_release);
+}
+
+void RcuDomain::Enter(int slot) {
+  // seq_cst on both: see the ordering argument in the header.
+  const uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+  slots_[slot].epoch.store(epoch, std::memory_order_seq_cst);
+}
+
+void RcuDomain::Exit(int slot) {
+  slots_[slot].epoch.store(0, std::memory_order_release);
+}
+
+void RcuDomain::Synchronize() {
+  const uint64_t target =
+      epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  for (int i = 0; i < kMaxReaders; ++i) {
+    // Scan every slot regardless of `used`: a slot being released
+    // concurrently already stamped 0, and skipping on a stale `used`
+    // read would race with acquisition. 256 loads on the rare writer
+    // path is nothing.
+    for (;;) {
+      const uint64_t epoch =
+          slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (epoch == 0 || epoch >= target) break;
+    }
+  }
+}
+
+void RcuDomain::ReleaseSlotIfAlive(uint64_t domain_id, int slot) {
+  DomainRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.live.find(domain_id);
+  if (it != registry.live.end()) it->second->ReleaseSlot(slot);
+}
+
+RcuReadGuard::RcuReadGuard(RcuDomain* domain)
+    : domain_(domain), slot_(-1), transient_(false) {
+  ReaderCache& cache = g_reader_cache;
+  ReaderCache::Entry* empty = nullptr;
+  ReaderCache::Entry* evictable = nullptr;
+  for (ReaderCache::Entry& e : cache.entries) {
+    if (e.slot >= 0 && e.domain_id == domain->id()) {
+      // Fast path: this thread already owns a slot in this domain. Only
+      // the OUTERMOST guard stamps the slot: a nested Enter would
+      // re-stamp with the current epoch, and a stamp >= a concurrent
+      // Synchronize's target releases that writer — freeing the pointer
+      // the outer guard is still reading.
+      slot_ = e.slot;
+      if (e.active_guards++ == 0) domain_->Enter(slot_);
+      return;
+    }
+    if (e.slot < 0 && empty == nullptr) empty = &e;
+    if (e.slot >= 0 && e.active_guards == 0 && evictable == nullptr) {
+      evictable = &e;
+    }
+  }
+  ReaderCache::Entry* entry = empty != nullptr ? empty : evictable;
+  if (entry != nullptr) {
+    if (entry->slot >= 0) {
+      // Evict an idle entry for another domain (possibly already dead).
+      RcuDomain::ReleaseSlotIfAlive(entry->domain_id, entry->slot);
+      entry->slot = -1;
+    }
+    const int slot = domain->AcquireSlot();
+    if (slot >= 0) {
+      entry->domain_id = domain->id();
+      entry->domain = domain;
+      entry->slot = slot;
+      entry->active_guards = 1;
+      slot_ = slot;
+      domain_->Enter(slot_);
+      return;
+    }
+  }
+  // Cache full of active entries, or the domain is out of slots (more
+  // than kMaxReaders live reader threads — a configuration error for the
+  // admission daemon, but degrade instead of crashing): take a slot for
+  // this guard alone.
+  slot_ = domain->AcquireSlot();
+  ZS_CHECK_GE(slot_, 0);  // > kMaxReaders simultaneous guards: unsupported
+  transient_ = true;
+  domain_->Enter(slot_);
+}
+
+RcuReadGuard::~RcuReadGuard() {
+  if (transient_) {
+    domain_->Exit(slot_);
+    domain_->ReleaseSlot(slot_);
+    return;
+  }
+  ReaderCache& cache = g_reader_cache;
+  for (ReaderCache::Entry& e : cache.entries) {
+    if (e.slot == slot_ && e.domain_id == domain_->id()) {
+      // Mirror of the constructor: the critical section ends only when
+      // the OUTERMOST guard on this slot is destroyed.
+      if (--e.active_guards == 0) domain_->Exit(slot_);
+      return;
+    }
+  }
+  ZS_CHECK(false);  // cached guard's entry vanished
+}
+
+}  // namespace zonestream::service

@@ -1,0 +1,166 @@
+// Epoch-based read-copy-update for the admission fast path.
+//
+// The admission service answers every admit from an immutable snapshot
+// (core::AdmissionTableSnapshot flattened with the per-class limits).
+// Snapshots are rebuilt rarely (limit changes, table republish) but read
+// millions of times per second, so the reader side must be wait-free and
+// write-free: no locks, no reference-count ping-pong between cores, no
+// atomic RMW on shared cache lines. Classic RCU fits exactly.
+//
+// Design: each reader thread owns one cache-line-aligned slot in the
+// domain. Entering a read-side critical section stores the domain's
+// current epoch into the slot; leaving stores 0. The writer swaps the
+// shared pointer, bumps the epoch, then spins until every slot is either
+// quiescent (0) or stamped with an epoch >= the bump — at which point no
+// reader can still hold the old pointer and it is safe to delete.
+//
+// Memory-ordering argument (everything seq_cst on the reconciliation
+// edges, which is cheap here because readers write only their OWN line):
+// reader does  [R1] e = epoch.load  [R2] slot.store(e)  [R3] p = ptr.load;
+// writer does  [W1] ptr.store(new)  [W2] epoch.fetch_add  [W3] slot.load.
+// Suppose the writer's scan [W3] misses a reader (sees 0 or >= target).
+// If it saw >= target, [R1] came after [W2] in the seq_cst total order,
+// so [R3] after [W1]: the reader holds the NEW pointer. If it saw 0, the
+// reader's [R2] is either before [W3] and already overwritten by an Exit
+// (critical section over — fine), or after [W3] in the total order; then
+// [R1] is after... [R1] precedes [R2], but [R2] after [W3] after [W2]
+// does not order [R1] after [W2]. The store [R2] being invisible to [W3]
+// means [R2] is after [W3] in the coherence order of that slot, and
+// since all ops are seq_cst, [R2] after [W3] in the single total order S.
+// [R3] follows [R2] in S (same thread), [W1] precedes [W2] precedes [W3]
+// in S, so [R3] after [W1]: again the reader loads the NEW pointer.
+// Either way no reader the scan skipped can be using the old pointer.
+//
+// Reader slots are a fixed array (kMaxReaders); a thread-local cache maps
+// domain -> slot so the steady-state read side is two uncontended stores
+// and two loads, all on lines owned by this thread. Slots are returned at
+// thread exit through a global live-domain registry, so short-lived
+// threads cannot leak the domain dry.
+#ifndef ZONESTREAM_SERVICE_RCU_H_
+#define ZONESTREAM_SERVICE_RCU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace zonestream::service {
+
+// One reconciliation domain. Readers and writers of any number of RcuPtrs
+// may share a domain; Synchronize() then waits for the union of their
+// critical sections, which is the usual RCU trade (coarse domains = fewer
+// slots, slightly longer grace periods).
+class RcuDomain {
+ public:
+  // Upper bound on threads concurrently holding reader slots. Slots are
+  // released at thread exit, so this bounds LIVE reader threads, not
+  // thread churn over the process lifetime.
+  static constexpr int kMaxReaders = 256;
+
+  RcuDomain();
+  ~RcuDomain();
+
+  RcuDomain(const RcuDomain&) = delete;
+  RcuDomain& operator=(const RcuDomain&) = delete;
+
+  // Stable process-unique id; keys the thread-local slot cache and the
+  // live-domain registry.
+  uint64_t id() const { return id_; }
+
+  // Claims a reader slot, -1 when all kMaxReaders are taken. Slot
+  // lifetime is managed by RcuReadGuard's thread-local cache; call these
+  // directly only in tests.
+  int AcquireSlot();
+  void ReleaseSlot(int slot);
+
+  // Marks slot as inside a read-side critical section (stamps the current
+  // epoch). Wait-free: one seq_cst load + one seq_cst store to a line
+  // owned by the calling thread.
+  void Enter(int slot);
+  // Marks slot quiescent.
+  void Exit(int slot);
+
+  // Waits until every read-side critical section that could observe
+  // pre-Synchronize state has finished. Writer-side only; spins (grace
+  // periods here are nanoseconds-to-microseconds, and the daemon writer
+  // path is rare).
+  void Synchronize();
+
+  // Releases `slot` of the domain with `domain_id` IF that domain is
+  // still alive. Thread-exit path: the domain may already be destroyed,
+  // which is exactly why this goes through the registry instead of a raw
+  // pointer.
+  static void ReleaseSlotIfAlive(uint64_t domain_id, int slot);
+
+ private:
+  struct alignas(64) Slot {
+    // 0 = quiescent; otherwise the epoch stamped at Enter().
+    std::atomic<uint64_t> epoch{0};
+    // Slot ownership claim, toggled by Acquire/ReleaseSlot.
+    std::atomic<uint8_t> used{0};
+  };
+
+  uint64_t id_;
+  std::atomic<uint64_t> epoch_{1};
+  Slot slots_[kMaxReaders];
+};
+
+// RAII read-side critical section. Resolves the calling thread's slot for
+// `domain` from a small thread-local cache (slow path: slot acquisition
+// and cache fill, which happens once per thread per domain).
+class RcuReadGuard {
+ public:
+  explicit RcuReadGuard(RcuDomain* domain);
+  ~RcuReadGuard();
+
+  RcuReadGuard(const RcuReadGuard&) = delete;
+  RcuReadGuard& operator=(const RcuReadGuard&) = delete;
+
+ private:
+  RcuDomain* domain_;
+  int slot_;
+  // True when the thread-local cache was full and the slot was acquired
+  // just for this guard (released in the destructor).
+  bool transient_;
+};
+
+// Read-mostly pointer. Read() inside an RcuReadGuard of the same domain
+// returns a pointer guaranteed valid until the guard is destroyed;
+// Publish() swaps in a replacement and reclaims the old value after a
+// grace period. Publishers are serialized internally.
+template <typename T>
+class RcuPtr {
+ public:
+  explicit RcuPtr(RcuDomain* domain, std::unique_ptr<T> initial = nullptr)
+      : domain_(domain), ptr_(initial.release()) {}
+
+  ~RcuPtr() {
+    // Owner's contract: no readers may be in flight at destruction.
+    delete ptr_.load(std::memory_order_seq_cst);
+  }
+
+  RcuPtr(const RcuPtr&) = delete;
+  RcuPtr& operator=(const RcuPtr&) = delete;
+
+  // Caller must hold a live RcuReadGuard on this RcuPtr's domain for as
+  // long as the returned pointer is used.
+  const T* Read() const { return ptr_.load(std::memory_order_seq_cst); }
+
+  // Swaps `next` in, waits one grace period, deletes the old value. Safe
+  // from any thread; concurrent publishers queue on an internal mutex.
+  void Publish(std::unique_ptr<T> next) {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    T* old = ptr_.exchange(next.release(), std::memory_order_seq_cst);
+    domain_->Synchronize();
+    delete old;
+  }
+
+ private:
+  RcuDomain* domain_;
+  std::atomic<T*> ptr_;
+  std::mutex publish_mutex_;
+};
+
+}  // namespace zonestream::service
+
+#endif  // ZONESTREAM_SERVICE_RCU_H_

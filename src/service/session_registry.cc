@@ -1,0 +1,318 @@
+#include "service/session_registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace zonestream::service {
+
+namespace {
+
+constexpr uint32_t kNoRecord = ~uint32_t{0};
+
+uint64_t RoundUpPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  for (int shift = 1; shift < 64; shift <<= 1) v |= v >> shift;
+  return v + 1;
+}
+
+int Log2Pow2(uint64_t v) {
+  int bits = 0;
+  while ((uint64_t{1} << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+uint64_t SessionRegistry::Mix(uint64_t id) {
+  // SplitMix64 finalizer: full-avalanche, so sequential session ids
+  // spread evenly over shards and probe starts.
+  uint64_t z = id + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+common::StatusOr<std::unique_ptr<SessionRegistry>> SessionRegistry::Create(
+    const SessionRegistryOptions& options) {
+  if (options.shards < 1 || options.shards > 65536) {
+    return common::Status::InvalidArgument(
+        "session registry shards must be in [1, 65536]");
+  }
+  if (options.capacity < 1 || options.capacity > (int64_t{1} << 31)) {
+    return common::Status::InvalidArgument(
+        "session registry capacity must be in [1, 2^31]");
+  }
+  const uint64_t shard_count =
+      RoundUpPow2(static_cast<uint64_t>(options.shards));
+  const uint64_t per_shard_min =
+      (static_cast<uint64_t>(options.capacity) + shard_count - 1) /
+      shard_count;
+  const uint64_t slots_per_shard =
+      std::max<uint64_t>(64, RoundUpPow2(per_shard_min));
+
+  auto registry = std::unique_ptr<SessionRegistry>(new SessionRegistry());
+  registry->shard_mask_ = shard_count - 1;
+  registry->shard_bits_ = Log2Pow2(shard_count);
+  registry->slot_mask_ = slots_per_shard - 1;
+  registry->shards_.reserve(shard_count);
+  for (uint64_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots = std::vector<Slot>(slots_per_shard);
+    shard->records = std::vector<Record>(slots_per_shard);
+    // Thread every record onto the free list (1-based links, 0 = end).
+    for (uint64_t r = 0; r < slots_per_shard; ++r) {
+      shard->records[r].next_free.store(
+          r + 1 < slots_per_shard ? static_cast<uint32_t>(r + 2) : 0,
+          std::memory_order_relaxed);
+    }
+    shard->free_head.store(1, std::memory_order_relaxed);
+    registry->shards_.push_back(std::move(shard));
+  }
+  return registry;
+}
+
+int64_t SessionRegistry::capacity() const {
+  return static_cast<int64_t>(shards_.size()) *
+         static_cast<int64_t>(slot_mask_ + 1);
+}
+
+uint32_t SessionRegistry::PopFree(Shard& shard) {
+  uint64_t head = shard.free_head.load(std::memory_order_acquire);
+  while (head != 0) {
+    const uint32_t index = static_cast<uint32_t>(head & 0xffffffffull) - 1;
+    const uint32_t next =
+        shard.records[index].next_free.load(std::memory_order_relaxed);
+    // Bump the tag on every successful pop so a recycled head value
+    // cannot satisfy a stale CAS (ABA).
+    const uint64_t tag = (head >> 32) + 1;
+    const uint64_t next_head = next == 0 ? 0 : ((tag << 32) | next);
+    if (shard.free_head.compare_exchange_weak(head, next_head,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      return index;
+    }
+  }
+  return kNoRecord;
+}
+
+void SessionRegistry::PushFree(Shard& shard, uint32_t record_index) {
+  uint64_t head = shard.free_head.load(std::memory_order_relaxed);
+  for (;;) {
+    shard.records[record_index].next_free.store(
+        static_cast<uint32_t>(head & 0xffffffffull),
+        std::memory_order_relaxed);
+    const uint64_t tag = (head >> 32) + 1;
+    const uint64_t next_head = (tag << 32) | (record_index + 1);
+    if (shard.free_head.compare_exchange_weak(head, next_head,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+RegistryResult SessionRegistry::Insert(uint64_t session_id,
+                                       uint32_t class_index,
+                                       int64_t admit_seq) {
+  if (session_id < kMinSessionId || session_id > kMaxSessionId) {
+    return RegistryResult::kNotFound;  // sentinel ids are never live
+  }
+  const uint64_t hash = Mix(session_id);
+  Shard& shard = ShardFor(hash);
+  // Reserve the record first: a full shard rejects before touching the
+  // table, and the record is private (invisible to readers) until the
+  // slot key publishes it.
+  const uint32_t record = PopFree(shard);
+  if (record == kNoRecord) return RegistryResult::kFull;
+  shard.records[record].class_index.store(class_index,
+                                          std::memory_order_relaxed);
+  shard.records[record].admit_seq.store(admit_seq,
+                                        std::memory_order_relaxed);
+
+  const uint64_t start = (hash >> shard_bits_) & slot_mask_;
+  for (;;) {  // restart on lost CAS races with other inserters
+    uint64_t claim_index = ~uint64_t{0};
+    uint64_t claim_expected = kEmpty;
+    bool duplicate = false;
+    for (uint64_t probe = 0; probe <= slot_mask_; ++probe) {
+      const uint64_t i = (start + probe) & slot_mask_;
+      const uint64_t key =
+          shard.slots[i].key.load(std::memory_order_acquire);
+      if (key == session_id) {
+        duplicate = true;
+        break;
+      }
+      if (key == kTombstone && claim_index == ~uint64_t{0}) {
+        claim_index = i;
+        claim_expected = kTombstone;
+      }
+      if (key == kEmpty) {
+        if (claim_index == ~uint64_t{0}) {
+          claim_index = i;
+          claim_expected = kEmpty;
+        }
+        break;
+      }
+      // kBusy or another id: keep probing.
+    }
+    if (duplicate) {
+      PushFree(shard, record);
+      return RegistryResult::kDuplicate;
+    }
+    if (claim_index == ~uint64_t{0}) {
+      // No empty or tombstone slot on the whole ring (can only happen
+      // transiently when concurrent inserts hold every remaining slot
+      // busy; records bound live sessions to the same count as slots).
+      PushFree(shard, record);
+      return RegistryResult::kFull;
+    }
+    // Two-phase publish: claim the slot with kBusy, link the record,
+    // then expose the key. Readers that load the final key therefore
+    // always see the linked record (release/acquire on `key`).
+    uint64_t expected = claim_expected;
+    if (!shard.slots[claim_index].key.compare_exchange_strong(
+            expected, kBusy, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      continue;  // another inserter took the slot; rescan
+    }
+    shard.slots[claim_index].record.store(record,
+                                          std::memory_order_relaxed);
+    shard.slots[claim_index].key.store(session_id,
+                                       std::memory_order_release);
+    shard.live.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return RegistryResult::kOk;
+  }
+}
+
+RegistryResult SessionRegistry::Erase(uint64_t session_id,
+                                      uint32_t* class_index_out,
+                                      int64_t* admit_seq_out) {
+  if (session_id < kMinSessionId || session_id > kMaxSessionId) {
+    return RegistryResult::kNotFound;
+  }
+  const uint64_t hash = Mix(session_id);
+  Shard& shard = ShardFor(hash);
+  const uint64_t start = (hash >> shard_bits_) & slot_mask_;
+  for (uint64_t probe = 0; probe <= slot_mask_; ++probe) {
+    const uint64_t i = (start + probe) & slot_mask_;
+    const uint64_t key = shard.slots[i].key.load(std::memory_order_acquire);
+    if (key == kEmpty) return RegistryResult::kNotFound;
+    if (key != session_id) continue;
+    // Per-id operations are externally serialized, so this thread owns
+    // the session: no CAS needed on the key, and the record cannot be
+    // recycled under us until we push it back below.
+    const uint32_t record =
+        shard.slots[i].record.load(std::memory_order_relaxed);
+    if (class_index_out != nullptr) {
+      *class_index_out =
+          shard.records[record].class_index.load(std::memory_order_relaxed);
+    }
+    if (admit_seq_out != nullptr) {
+      *admit_seq_out =
+          shard.records[record].admit_seq.load(std::memory_order_relaxed);
+    }
+    shard.slots[i].key.store(kTombstone, std::memory_order_release);
+    PushFree(shard, record);
+    shard.live.fetch_sub(1, std::memory_order_relaxed);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    return RegistryResult::kOk;
+  }
+  return RegistryResult::kNotFound;
+}
+
+RegistryResult SessionRegistry::Lookup(uint64_t session_id,
+                                       uint32_t* class_index_out,
+                                       int64_t* admit_seq_out) const {
+  if (session_id < kMinSessionId || session_id > kMaxSessionId) {
+    return RegistryResult::kNotFound;
+  }
+  const uint64_t hash = Mix(session_id);
+  const Shard& shard = ShardFor(hash);
+  const uint64_t start = (hash >> shard_bits_) & slot_mask_;
+  for (uint64_t probe = 0; probe <= slot_mask_; ++probe) {
+    const uint64_t i = (start + probe) & slot_mask_;
+    const uint64_t key = shard.slots[i].key.load(std::memory_order_acquire);
+    if (key == kEmpty) return RegistryResult::kNotFound;
+    if (key != session_id) continue;
+    const uint32_t record =
+        shard.slots[i].record.load(std::memory_order_relaxed);
+    const uint32_t class_index =
+        shard.records[record].class_index.load(std::memory_order_acquire);
+    const int64_t admit_seq =
+        shard.records[record].admit_seq.load(std::memory_order_relaxed);
+    // Re-check the key: a teardown racing this lookup may have recycled
+    // the record mid-read. A changed key invalidates the read; rescan
+    // (the session may have moved or died).
+    if (shard.slots[i].key.load(std::memory_order_acquire) != session_id) {
+      return RegistryResult::kNotFound;
+    }
+    if (class_index_out != nullptr) *class_index_out = class_index;
+    if (admit_seq_out != nullptr) *admit_seq_out = admit_seq;
+    return RegistryResult::kOk;
+  }
+  return RegistryResult::kNotFound;
+}
+
+RegistryResult SessionRegistry::UpdateClass(uint64_t session_id,
+                                            uint32_t new_class_index,
+                                            uint32_t* old_class_index_out) {
+  if (session_id < kMinSessionId || session_id > kMaxSessionId) {
+    return RegistryResult::kNotFound;
+  }
+  const uint64_t hash = Mix(session_id);
+  Shard& shard = ShardFor(hash);
+  const uint64_t start = (hash >> shard_bits_) & slot_mask_;
+  for (uint64_t probe = 0; probe <= slot_mask_; ++probe) {
+    const uint64_t i = (start + probe) & slot_mask_;
+    const uint64_t key = shard.slots[i].key.load(std::memory_order_acquire);
+    if (key == kEmpty) return RegistryResult::kNotFound;
+    if (key != session_id) continue;
+    const uint32_t record =
+        shard.slots[i].record.load(std::memory_order_relaxed);
+    const uint32_t old_class = shard.records[record].class_index.exchange(
+        new_class_index, std::memory_order_acq_rel);
+    if (old_class_index_out != nullptr) *old_class_index_out = old_class;
+    return RegistryResult::kOk;
+  }
+  return RegistryResult::kNotFound;
+}
+
+void SessionRegistry::ForEachSession(
+    const std::function<void(uint64_t, uint32_t, int64_t)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->sweep_mutex);
+    for (uint64_t i = 0; i <= slot_mask_; ++i) {
+      const uint64_t key =
+          shard->slots[i].key.load(std::memory_order_acquire);
+      if (key == kEmpty || key == kTombstone || key == kBusy) continue;
+      const uint32_t record =
+          shard->slots[i].record.load(std::memory_order_relaxed);
+      const uint32_t class_index =
+          shard->records[record].class_index.load(std::memory_order_acquire);
+      const int64_t admit_seq =
+          shard->records[record].admit_seq.load(std::memory_order_relaxed);
+      // Key re-check, same reasoning as Lookup.
+      if (shard->slots[i].key.load(std::memory_order_acquire) != key) {
+        continue;
+      }
+      fn(key, class_index, admit_seq);
+    }
+  }
+}
+
+RegistryStats SessionRegistry::Stats() const {
+  RegistryStats stats;
+  stats.live = live();
+  stats.capacity = capacity();
+  stats.shards = shards();
+  stats.shard_live.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.shard_live.push_back(shard->live.load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+}  // namespace zonestream::service

@@ -1,0 +1,164 @@
+// Sharded stream-session registry sized for millions of live sessions.
+//
+// Layout: the id space is split across 2^k shards by hash. Each shard is
+// a fixed-capacity open-addressing table (linear probing, power-of-two
+// slots) whose slots hold {key, record index}; session records live in a
+// per-shard slab threaded through an intrusive free list, so steady-state
+// admit/teardown touches no allocator at all — capacity is reserved once
+// at Create() and recycled forever after.
+//
+// Concurrency: the common operations (Insert/Erase/Lookup/UpdateClass)
+// are lock-free — key claims go through CAS on the slot key, record
+// recycling through a tagged Treiber stack (the tag defeats ABA). The
+// per-shard mutex exists ONLY for the slow paths (ForEachSession, Stats)
+// and is never touched by the fast path. Operations on DIFFERENT session
+// ids may run fully concurrently from any number of threads; operations
+// on the SAME id must be externally serialized (the admission service
+// guarantees this per session — a session's admit, transitions, and
+// teardown come from one connection at a time), except Lookup, which may
+// race anything and returns either the before or after state.
+//
+// Capacity sizing: the table stops accepting inserts at `capacity` live
+// sessions, but open addressing wants headroom — size capacity at 2x the
+// expected live peak so probe chains stay short (tombstones from churn
+// are recycled in place along the probe path).
+#ifndef ZONESTREAM_SERVICE_SESSION_REGISTRY_H_
+#define ZONESTREAM_SERVICE_SESSION_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zonestream::service {
+
+struct SessionRegistryOptions {
+  // Number of shards; rounded up to a power of two, min 1. More shards =
+  // less CAS contention and finer slow-path locking.
+  int shards = 64;
+  // Total session slots across all shards; rounded up so every shard
+  // holds a power-of-two slot count >= 64.
+  int64_t capacity = 1 << 20;
+};
+
+enum class RegistryResult : uint8_t {
+  kOk = 0,
+  kDuplicate,
+  kNotFound,
+  kFull,
+};
+
+struct RegistryStats {
+  int64_t live = 0;
+  int64_t capacity = 0;
+  int shards = 0;
+  std::vector<int64_t> shard_live;  // one entry per shard
+};
+
+class SessionRegistry {
+ public:
+  // Valid session ids. 0, ~0 and ~0-1 are reserved slot sentinels
+  // (empty / tombstone / mid-publish).
+  static constexpr uint64_t kMinSessionId = 1;
+  static constexpr uint64_t kMaxSessionId = ~uint64_t{0} - 2;
+
+  static common::StatusOr<std::unique_ptr<SessionRegistry>> Create(
+      const SessionRegistryOptions& options);
+
+  // Registers `session_id` with the given class and admit sequence
+  // number. kDuplicate when the id is already live, kFull when the
+  // owning shard has no free records.
+  RegistryResult Insert(uint64_t session_id, uint32_t class_index,
+                        int64_t admit_seq);
+
+  // Removes `session_id`, reporting the class it held (for occupancy
+  // release). Outputs may be null.
+  RegistryResult Erase(uint64_t session_id, uint32_t* class_index_out,
+                       int64_t* admit_seq_out);
+
+  RegistryResult Lookup(uint64_t session_id, uint32_t* class_index_out,
+                        int64_t* admit_seq_out) const;
+
+  // VCR-style class transition: atomically swaps the session's class,
+  // reporting the old one. The session keeps its identity and admit_seq.
+  RegistryResult UpdateClass(uint64_t session_id, uint32_t new_class_index,
+                             uint32_t* old_class_index_out);
+
+  int64_t live() const { return live_.load(std::memory_order_relaxed); }
+  int64_t capacity() const;
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  // Slow path: visits every live session (id, class, admit_seq) one
+  // shard at a time under that shard's lock. Sessions inserted or erased
+  // concurrently may or may not be seen; use quiesced for exact results
+  // (checkpointing quiesces by construction — the daemon is
+  // single-threaded for mutations).
+  void ForEachSession(
+      const std::function<void(uint64_t session_id, uint32_t class_index,
+                               int64_t admit_seq)>& fn) const;
+
+  RegistryStats Stats() const;
+
+ private:
+  // Slot key sentinels. kBusy marks a slot claimed by an in-flight
+  // insert whose record is not linked yet; probers treat it as occupied.
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kTombstone = ~uint64_t{0};
+  static constexpr uint64_t kBusy = ~uint64_t{0} - 1;
+
+  struct Slot {
+    std::atomic<uint64_t> key{kEmpty};
+    std::atomic<uint32_t> record{0};
+  };
+
+  // One session's payload; recycled through the shard free list. The
+  // free-list link is intrusive (`next_free`), so the record needs no
+  // out-of-band node and teardown frees nothing.
+  struct Record {
+    std::atomic<uint32_t> class_index{0};
+    // 1-based free-list link; 0 = end of list. Atomic because a Treiber
+    // pop reads the link of a node a racing pop may already be
+    // recycling (the CAS then fails, but the read itself must be clean).
+    std::atomic<uint32_t> next_free{0};
+    std::atomic<int64_t> admit_seq{0};
+  };
+
+  struct Shard {
+    std::vector<Slot> slots;       // power-of-two
+    std::vector<Record> records;   // same count as slots
+    // Treiber-stack head: (tag << 32) | (record index + 1); 0 = empty.
+    // The 32-bit tag increments per pop, defeating ABA on recycle.
+    std::atomic<uint64_t> free_head{0};
+    std::atomic<int64_t> live{0};
+    // Slow-path lock (ForEachSession / Stats); never on the fast path.
+    mutable std::mutex sweep_mutex;
+  };
+
+  SessionRegistry() = default;
+
+  static uint64_t Mix(uint64_t id);
+  Shard& ShardFor(uint64_t hash) {
+    return *shards_[hash & shard_mask_];
+  }
+  const Shard& ShardFor(uint64_t hash) const {
+    return *shards_[hash & shard_mask_];
+  }
+
+  static uint32_t PopFree(Shard& shard);
+  static void PushFree(Shard& shard, uint32_t record_index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+  int shard_bits_ = 0;      // log2(shard count); in-shard probes use the
+                            // hash bits above the shard-selection bits
+  uint64_t slot_mask_ = 0;  // per-shard (all shards equal-sized)
+  std::atomic<int64_t> live_{0};
+};
+
+}  // namespace zonestream::service
+
+#endif  // ZONESTREAM_SERVICE_SESSION_REGISTRY_H_

@@ -1,6 +1,7 @@
 #include "core/admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -148,6 +149,78 @@ TEST(AdmissionTableTest, LookupPicksStrictestSatisfiedRow) {
   // Above all rows: the loosest row applies.
   EXPECT_EQ(table->MaxStreams(0.5),
             MaxStreamsByLateProbability(model, 1.0, 0.05));
+}
+
+// The `>=` boundary contract (admission.h): a request EXACTLY equal to a
+// tabulated tolerance selects that row, at BOTH ends of the table; only a
+// request strictly below every row returns 0. Pinned on every lookup
+// path — table, snapshot, controller here; the service path is pinned in
+// tests/service/. A hand-written table keeps the tolerances exact.
+common::StatusOr<AdmissionTable> BoundaryTable() {
+  return AdmissionTable::Deserialize(
+      "zonestream-admission-table v1\n"
+      "criterion late_probability\n"
+      "round_length 1\n"
+      "rows 3\n"
+      "0.001 8\n"
+      "0.01 14\n"
+      "0.05 20\n");
+}
+
+TEST(AdmissionTableTest, BoundaryContractAtBothEnds) {
+  const auto table = BoundaryTable();
+  ASSERT_TRUE(table.ok());
+  // Strict end: equality selects the strictest row; one ulp below it
+  // selects nothing.
+  EXPECT_EQ(table->MaxStreams(0.001), 8);
+  EXPECT_EQ(table->MaxStreams(std::nextafter(0.001, 0.0)), 0);
+  // Interior row: equality selects it; one ulp below falls to the
+  // stricter neighbor.
+  EXPECT_EQ(table->MaxStreams(0.01), 14);
+  EXPECT_EQ(table->MaxStreams(std::nextafter(0.01, 0.0)), 8);
+  // Loose end: equality selects the loosest row, and so does anything
+  // above it.
+  EXPECT_EQ(table->MaxStreams(0.05), 20);
+  EXPECT_EQ(table->MaxStreams(std::nextafter(0.05, 1.0)), 20);
+  EXPECT_EQ(table->MaxStreams(1.0), 20);
+}
+
+TEST(AdmissionTableSnapshotTest, BoundaryContractMatchesTable) {
+  const auto table = BoundaryTable();
+  ASSERT_TRUE(table.ok());
+  const AdmissionTableSnapshot snapshot(*table);
+  ASSERT_EQ(snapshot.size(), 3u);
+  for (double tolerance :
+       {std::nextafter(0.001, 0.0), 0.001, std::nextafter(0.001, 1.0),
+        std::nextafter(0.01, 0.0), 0.01, 0.02, std::nextafter(0.05, 0.0),
+        0.05, std::nextafter(0.05, 1.0), 1.0}) {
+    EXPECT_EQ(snapshot.MaxStreams(tolerance), table->MaxStreams(tolerance))
+        << tolerance;
+  }
+  EXPECT_EQ(snapshot.MaxStreams(0.001), 8);
+  EXPECT_EQ(snapshot.MaxStreams(std::nextafter(0.001, 0.0)), 0);
+  EXPECT_EQ(snapshot.MaxStreams(0.05), 20);
+}
+
+TEST(AdmissionTableSnapshotTest, EmptySnapshotReturnsZero) {
+  const AdmissionTableSnapshot snapshot;
+  EXPECT_EQ(snapshot.size(), 0u);
+  EXPECT_EQ(snapshot.MaxStreams(0.01), 0);
+  EXPECT_EQ(snapshot.MaxStreams(1.0), 0);
+}
+
+TEST(AdmissionControllerTest, BoundaryContractAtBothEnds) {
+  const auto table = BoundaryTable();
+  ASSERT_TRUE(table.ok());
+  // Exactly the strictest row: that row's limit, not 0.
+  EXPECT_EQ(AdmissionController(*table, 0.001).max_streams(), 8);
+  // One ulp below every row: limit 0, every admit rejected.
+  AdmissionController below(*table, std::nextafter(0.001, 0.0));
+  EXPECT_EQ(below.max_streams(), 0);
+  EXPECT_FALSE(below.TryAdmit());
+  // Exactly the loosest row, and above it.
+  EXPECT_EQ(AdmissionController(*table, 0.05).max_streams(), 20);
+  EXPECT_EQ(AdmissionController(*table, 0.9).max_streams(), 20);
 }
 
 TEST(AdmissionTableTest, SerializeRoundTrip) {

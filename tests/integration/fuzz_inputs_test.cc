@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/admission.h"
 #include "numeric/random.h"
 #include "server/server_config.h"
+#include "service/admission_service.h"
 #include "sim/rare_event_spec.h"
 #include "workload/trace_io.h"
 
@@ -147,6 +149,104 @@ TEST(FuzzTest, ValidTraceAmongNoiseLines) {
     } else {
       EXPECT_FALSE(result.ok());
     }
+  }
+}
+
+// Arbitrary binary bytes (not just printable text) for the binary codecs.
+std::string RandomBytes(numeric::Rng* rng, int length) {
+  std::string bytes(length, '\0');
+  for (char& byte : bytes) {
+    byte = static_cast<char>(rng->UniformIndex(256));
+  }
+  return bytes;
+}
+
+TEST(FuzzTest, AdmissionTableDeserializeNeverCrashes) {
+  numeric::Rng rng(808);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = RandomText(&rng, 1 + rng.UniformIndex(300));
+    const auto table = core::AdmissionTable::Deserialize(text);
+    if (table.ok()) {
+      // Whatever parsed must round-trip through its canonical form.
+      EXPECT_TRUE(
+          core::AdmissionTable::Deserialize(table->Serialize()).ok())
+          << text;
+    }
+  }
+}
+
+TEST(FuzzTest, AdmissionTableDeserializeSurvivesMutatedTemplate) {
+  // Single-character mutations of a valid shipped table: parse must
+  // succeed or fail cleanly, and success must preserve the `>=` lookup
+  // contract at both ends of whatever rows survived.
+  numeric::Rng rng(909);
+  const std::string base =
+      "zonestream-admission-table v1\n"
+      "criterion late_probability\n"
+      "round_length 1\n"
+      "rows 3\n"
+      "0.001 8\n"
+      "0.01 14\n"
+      "0.05 20\n";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = base;
+    const size_t pos = rng.UniformIndex(mutated.size());
+    mutated[pos] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 .-+eE\n"[rng.UniformIndex(43)];
+    const auto table = core::AdmissionTable::Deserialize(mutated);
+    if (table.ok() && !table->rows().empty()) {
+      const auto& rows = table->rows();
+      EXPECT_EQ(table->MaxStreams(rows.front().tolerance),
+                rows.front().n_max)
+          << mutated;
+      EXPECT_EQ(table->MaxStreams(rows.back().tolerance), rows.back().n_max)
+          << mutated;
+    }
+  }
+}
+
+TEST(FuzzTest, DecodeAdmissionServiceStateNeverCrashes) {
+  numeric::Rng rng(1010);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string bytes = RandomBytes(&rng, 1 + rng.UniformIndex(400));
+    const auto state = service::DecodeAdmissionServiceState(bytes);
+    if (state.ok()) {
+      // Accepted bytes must re-encode to something that decodes with the
+      // same digest.
+      const std::string encoded = service::EncodeAdmissionServiceState(*state);
+      const auto redecoded = service::DecodeAdmissionServiceState(encoded);
+      ASSERT_TRUE(redecoded.ok());
+      EXPECT_EQ(service::AdmissionServiceStateDigest(*redecoded),
+                service::AdmissionServiceStateDigest(*state));
+    }
+  }
+}
+
+TEST(FuzzTest, DecodeAdmissionServiceStateSurvivesMutatedEncoding) {
+  // Mutations of a real encoded state exercise the deep decoder paths
+  // (session list, class limits) that pure noise rarely reaches.
+  service::AdmissionServiceState base;
+  base.next_session_id = 42;
+  base.next_admit_seq = 17;
+  base.limits_version = 3;
+  base.limit_scale = 2;
+  base.table_text = "zonestream-admission-table v1\n";
+  base.class_limits = {8, 14, 20};
+  base.sessions = {{1, 0, 1}, {5, 1, 2}, {9, 2, 3}};
+  const std::string encoded = service::EncodeAdmissionServiceState(base);
+  numeric::Rng rng(1111);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = encoded;
+    const int edits = 1 + rng.UniformIndex(4);
+    for (int e = 0; e < edits; ++e) {
+      mutated[rng.UniformIndex(mutated.size())] =
+          static_cast<char>(rng.UniformIndex(256));
+    }
+    (void)service::DecodeAdmissionServiceState(mutated);  // must not crash
+  }
+  // Truncations at every length.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    (void)service::DecodeAdmissionServiceState(encoded.substr(0, len));
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -147,6 +148,120 @@ TEST(HistogramTest, ConcurrentRecordsAreLossless) {
   // The running sum accumulates fp roundoff over 40k additions; the mean
   // is sum/count, not re-derived from buckets.
   EXPECT_NEAR(snapshot.mean(), 1e-3, 1e-12);
+}
+
+TEST(HistogramTest, BucketIndexForMirrorsRecordGeometry) {
+  // BucketIndexFor is public so lock-free external accumulators (the
+  // admission service's latency mirror) can share the bucket geometry;
+  // it must agree with Record's own placement everywhere.
+  EXPECT_EQ(Histogram::BucketIndexFor(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndexFor(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndexFor(
+                std::numeric_limits<double>::quiet_NaN()),
+            0);
+  EXPECT_EQ(Histogram::BucketIndexFor(1e-12), 1);  // below kMinValue clamps
+  EXPECT_EQ(Histogram::BucketIndexFor(Histogram::kMinValue), 1);
+  EXPECT_EQ(Histogram::BucketIndexFor(1e9),
+            Histogram::kNumBuckets - 1);  // above kMaxValue clamps
+  // Every bucket's lower edge maps into that bucket, and one ulp short
+  // of the next edge stays in it.
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    const double lo = Histogram::BucketLowerBound(i);
+    const int at_edge = Histogram::BucketIndexFor(lo);
+    // Edges are computed through exp2/log2; allow the index to land on
+    // the edge bucket or its predecessor at the boundary, never further.
+    EXPECT_GE(at_edge, i - 1) << i;
+    EXPECT_LE(at_edge, i) << i;
+    if (i + 1 < Histogram::kNumBuckets) {
+      const double below_next =
+          std::nextafter(Histogram::BucketLowerBound(i + 1), 0.0);
+      EXPECT_GE(Histogram::BucketIndexFor(below_next), i) << i;
+      EXPECT_LE(Histogram::BucketIndexFor(below_next), i + 1) << i;
+    }
+  }
+  // The contract the admission service relies on: a recorded value and
+  // an externally bucketed value agree on the resulting distribution.
+  Histogram recorded;
+  Histogram merged;
+  HistogramState delta;
+  delta.buckets.assign(Histogram::kNumBuckets, 0);
+  for (double value : {1e-8, 3e-6, 1e-4, 0.02, 0.5, 7.0, 900.0}) {
+    recorded.Record(value);
+    ++delta.buckets[Histogram::BucketIndexFor(value)];
+    ++delta.count;
+    delta.sum += value;
+    delta.min = delta.count == 1 ? value : std::fmin(delta.min, value);
+    delta.max = delta.count == 1 ? value : std::fmax(delta.max, value);
+  }
+  ASSERT_TRUE(merged.MergeState(delta).ok());
+  const HistogramSnapshot a = recorded.Snapshot();
+  const HistogramSnapshot b = merged.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(HistogramTest, MergeStateAccumulatesIntoExistingState) {
+  Histogram histogram;
+  histogram.Record(0.5);
+  histogram.Record(2.0);
+
+  HistogramState delta;
+  delta.buckets.assign(Histogram::kNumBuckets, 0);
+  delta.buckets[Histogram::BucketIndexFor(8.0)] = 2;
+  delta.count = 2;
+  delta.sum = 16.0;
+  delta.min = 8.0;
+  delta.max = 8.0;
+  ASSERT_TRUE(histogram.MergeState(delta).ok());
+
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 4);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 18.5);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);  // delta only tightens extrema
+  EXPECT_DOUBLE_EQ(snapshot.max, 8.0);
+
+  // Merging into an empty histogram adopts the delta's extrema.
+  Histogram empty;
+  ASSERT_TRUE(empty.MergeState(delta).ok());
+  const HistogramSnapshot adopted = empty.Snapshot();
+  EXPECT_DOUBLE_EQ(adopted.min, 8.0);
+  EXPECT_DOUBLE_EQ(adopted.max, 8.0);
+}
+
+TEST(HistogramTest, MergeStateRejectsMalformedDeltaWithoutSideEffects) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  const HistogramSnapshot before = histogram.Snapshot();
+
+  HistogramState wrong_size;
+  wrong_size.buckets.assign(3, 0);
+  EXPECT_FALSE(histogram.MergeState(wrong_size).ok());
+
+  HistogramState negative;
+  negative.buckets.assign(Histogram::kNumBuckets, 0);
+  negative.buckets[5] = -1;
+  EXPECT_FALSE(histogram.MergeState(negative).ok());
+
+  HistogramState mismatch;
+  mismatch.buckets.assign(Histogram::kNumBuckets, 0);
+  mismatch.buckets[5] = 1;
+  mismatch.count = 2;  // disagrees with bucket total
+  EXPECT_FALSE(histogram.MergeState(mismatch).ok());
+
+  // A zero-count delta is a no-op (its min/max are ignored).
+  HistogramState zero;
+  zero.buckets.assign(Histogram::kNumBuckets, 0);
+  zero.min = -100.0;
+  zero.max = 100.0;
+  EXPECT_TRUE(histogram.MergeState(zero).ok());
+
+  const HistogramSnapshot after = histogram.Snapshot();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_DOUBLE_EQ(after.sum, before.sum);
+  EXPECT_DOUBLE_EQ(after.min, before.min);
+  EXPECT_DOUBLE_EQ(after.max, before.max);
 }
 
 TEST(RegistryTest, ValidatesNames) {

@@ -434,6 +434,49 @@ TEST(MediaServerParityTest, DegradedLimitShedsAndGatesAdmission) {
             common::StatusCode::kResourceExhausted);
 }
 
+TEST(MediaServerParityTest, LimitChangeCallbackTracksDegradedTransitions) {
+  MediaServerConfig config = ParityConfig(3, 4);
+  config.degraded_per_disk_stream_limit = 2;
+  fault::DiskFailureSpec failure;
+  failure.fail_at_round = 1;  // permanent; the rebuild heals it
+  config.faults.disk_failures.push_back(failure);
+  config.fault_disk = 2;
+  config.repair = RepairPolicy{4, 8, 200e3};  // 8 stripes at 4/round
+  MediaServer server = MakeParityServer(config);
+  ASSERT_TRUE(server.OpenStream(Table1Sizes()).ok());
+
+  struct Event {
+    int limit;
+    int phases;
+    bool degraded;
+  };
+  std::vector<Event> events;
+  server.SetLimitChangeCallback([&](int limit, int phases, bool degraded) {
+    events.push_back({limit, phases, degraded});
+  });
+  // Registration fires synchronously with the current (healthy) limit, so
+  // a subscriber needs no separate bootstrap read.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].limit, 4);
+  EXPECT_EQ(events[0].phases, 2);  // 3 parity disks -> 2 data phases
+  EXPECT_FALSE(events[0].degraded);
+
+  server.RunRound();  // round 0: healthy, limit unchanged -> no event
+  EXPECT_EQ(events.size(), 1u);
+
+  server.RunRound();  // round 1: failure -> degraded limit kicks in
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].limit, 2);
+  EXPECT_TRUE(events[1].degraded);
+
+  server.RunRounds(6);  // rebuild completes, spare promoted, limit lifted
+  EXPECT_FALSE(server.degraded());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].limit, 4);
+  EXPECT_EQ(events[2].phases, 2);
+  EXPECT_FALSE(events[2].degraded);
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot round-trip mid-rebuild.
 

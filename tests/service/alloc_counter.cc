@@ -1,0 +1,91 @@
+#include "alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace zonestream::testing {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_count{0};
+
+inline void Count() {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
+
+void ArmAllocCounter() {
+  internal::g_count.store(0, std::memory_order_relaxed);
+  internal::g_armed.store(true, std::memory_order_seq_cst);
+}
+
+int64_t DisarmAllocCounter() {
+  internal::g_armed.store(false, std::memory_order_seq_cst);
+  return internal::g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace zonestream::testing
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  zonestream::testing::internal::Count();
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::align_val_t align) {
+  zonestream::testing::internal::Count();
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* ptr = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+// Global replacements: malloc/free passthrough that bumps the counter
+// while armed. Every delete form frees with the allocator its new used
+// (malloc or aligned_alloc — both freed by free() on this platform).
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  zonestream::testing::internal::Count();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  zonestream::testing::internal::Count();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, align);
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}

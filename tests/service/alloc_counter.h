@@ -1,0 +1,23 @@
+// Global-allocation counting hook for the service test binary.
+//
+// alloc_counter.cc replaces the global operator new/delete family with a
+// malloc passthrough that bumps a counter while counting is armed. The
+// admission service's steady-state claim ("admit/teardown/transition
+// perform no heap allocation") is pinned by arming the counter around a
+// churn loop and asserting zero.
+#ifndef ZONESTREAM_TESTS_SERVICE_ALLOC_COUNTER_H_
+#define ZONESTREAM_TESTS_SERVICE_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace zonestream::testing {
+
+// Starts counting allocations on ALL threads (the hook is global).
+void ArmAllocCounter();
+// Stops counting and returns the number of operator-new calls observed
+// since ArmAllocCounter().
+int64_t DisarmAllocCounter();
+
+}  // namespace zonestream::testing
+
+#endif  // ZONESTREAM_TESTS_SERVICE_ALLOC_COUNTER_H_

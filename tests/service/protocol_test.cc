@@ -1,0 +1,224 @@
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "service/admission_service.h"
+
+namespace zonestream::service {
+namespace {
+
+TEST(ProtocolRequestTest, RoundTripsEveryOp) {
+  for (const OpCode op :
+       {OpCode::kPing, OpCode::kAdmitClass, OpCode::kAdmitTolerance,
+        OpCode::kTeardown, OpCode::kTransition, OpCode::kStats,
+        OpCode::kCheckpoint, OpCode::kDigest, OpCode::kShutdown}) {
+    Request request;
+    request.op = op;
+    request.session_id = 0x0123456789abcdefULL;
+    request.class_index = 7;
+    request.tolerance = 0.0125;
+    const std::string encoded = EncodeRequest(request);
+    const auto decoded = DecodeRequest(encoded);
+    ASSERT_TRUE(decoded.ok()) << static_cast<int>(op);
+    EXPECT_EQ(decoded->op, op);
+    EXPECT_EQ(decoded->session_id, request.session_id);
+    EXPECT_EQ(decoded->class_index, request.class_index);
+    EXPECT_EQ(decoded->tolerance, request.tolerance);
+  }
+}
+
+TEST(ProtocolResponseTest, RoundTripsWithPayload) {
+  Response response;
+  response.status = WireStatus::kRejectedCapacity;
+  response.session_id = 42;
+  response.class_index = 2;
+  response.occupancy = 100;
+  response.limit = 100;
+  response.digest = 0xdeadbeefcafef00dULL;
+  response.payload = std::string("checkpoint\0path", 15);  // embedded NUL
+  const std::string encoded = EncodeResponse(response);
+  const auto decoded = DecodeResponse(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status, WireStatus::kRejectedCapacity);
+  EXPECT_EQ(decoded->session_id, 42u);
+  EXPECT_EQ(decoded->class_index, 2u);
+  EXPECT_EQ(decoded->occupancy, 100);
+  EXPECT_EQ(decoded->limit, 100);
+  EXPECT_EQ(decoded->digest, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(decoded->payload, response.payload);
+}
+
+TEST(ProtocolStatsTest, RoundTripsServiceStats) {
+  ServiceStats stats;
+  stats.live_sessions = 12345;
+  stats.limits_version = 9;
+  stats.limit_scale = 4;
+  stats.table_rows = 3;
+  stats.classes = {{"gold", 0.001, 10, 32}, {"bronze", 0.05, 2, 80}};
+  stats.registry.live = 12345;
+  stats.registry.capacity = 1 << 20;
+  stats.registry.shards = 64;
+  stats.registry.shard_live = {100, 200, 300};
+  const std::string encoded = EncodeServiceStats(stats);
+  const auto decoded = DecodeServiceStats(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->live_sessions, 12345);
+  EXPECT_EQ(decoded->limits_version, 9u);
+  EXPECT_EQ(decoded->limit_scale, 4);
+  EXPECT_EQ(decoded->table_rows, 3u);
+  ASSERT_EQ(decoded->classes.size(), 2u);
+  EXPECT_EQ(decoded->classes[0].name, "gold");
+  EXPECT_EQ(decoded->classes[0].tolerance, 0.001);
+  EXPECT_EQ(decoded->classes[0].occupancy, 10);
+  EXPECT_EQ(decoded->classes[0].limit, 32);
+  EXPECT_EQ(decoded->classes[1].name, "bronze");
+  ASSERT_EQ(decoded->registry.shard_live.size(), 3u);
+  EXPECT_EQ(decoded->registry.shard_live[2], 300);
+}
+
+// --- Hostile inputs: every decode path must fail cleanly, never crash.
+
+TEST(ProtocolHostileTest, RequestDecodeSurvivesTruncationAndBitFlips) {
+  Request request;
+  request.op = OpCode::kAdmitTolerance;
+  request.session_id = 77;
+  request.tolerance = 0.01;
+  const std::string encoded = EncodeRequest(request);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    (void)DecodeRequest(std::string_view(encoded.data(), cut));
+  }
+  for (size_t flip = 0; flip < encoded.size(); ++flip) {
+    for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string mutated = encoded;
+      mutated[flip] = static_cast<char>(mutated[flip] ^ mask);
+      (void)DecodeRequest(mutated);
+    }
+  }
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeRequest(std::string(1000, '\xff')).ok());
+}
+
+TEST(ProtocolHostileTest, RequestDecodeRejectsUnknownOp) {
+  Request request;
+  request.op = OpCode::kPing;
+  std::string encoded = EncodeRequest(request);
+  // The opcode is the first encoded byte after any tag bytes; brute-force
+  // every single-byte opcode value instead of assuming the offset.
+  bool rejected_any = false;
+  for (int op = 0; op < 256; ++op) {
+    std::string mutated = encoded;
+    for (char& c : mutated) {
+      if (static_cast<uint8_t>(c) == static_cast<uint8_t>(OpCode::kPing)) {
+        c = static_cast<char>(op);
+        break;
+      }
+    }
+    const auto decoded = DecodeRequest(mutated);
+    if (!decoded.ok()) rejected_any = true;
+  }
+  EXPECT_TRUE(rejected_any);
+}
+
+TEST(ProtocolHostileTest, ResponseAndStatsDecodeSurviveGarbage) {
+  Response response;
+  response.payload = "x";
+  const std::string encoded = EncodeResponse(response);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    (void)DecodeResponse(std::string_view(encoded.data(), cut));
+  }
+  EXPECT_FALSE(DecodeResponse("").ok());
+  EXPECT_FALSE(DecodeServiceStats("").ok());
+  EXPECT_FALSE(DecodeServiceStats(std::string(64, '\x7f')).ok());
+  // A stats blob claiming a giant class vector must fail on bounds, not
+  // allocate unbounded memory.
+  ServiceStats stats;
+  stats.classes = {{"a", 0.5, 0, 0}};
+  std::string stats_encoded = EncodeServiceStats(stats);
+  for (size_t flip = 0; flip < stats_encoded.size(); ++flip) {
+    std::string mutated = stats_encoded;
+    mutated[flip] = static_cast<char>(mutated[flip] ^ 0xff);
+    (void)DecodeServiceStats(mutated);
+  }
+}
+
+TEST(ProtocolFrameTest, AppendAndExtract) {
+  std::string buffer;
+  AppendFrame(&buffer, "hello");
+  AppendFrame(&buffer, "");
+  AppendFrame(&buffer, "world!");
+
+  size_t consumed = 0;
+  std::string_view payload;
+  std::string_view rest = buffer;
+
+  ASSERT_EQ(NextFrame(rest, &consumed, &payload), FrameParse::kFrame);
+  EXPECT_EQ(payload, "hello");
+  rest.remove_prefix(consumed);
+
+  ASSERT_EQ(NextFrame(rest, &consumed, &payload), FrameParse::kFrame);
+  EXPECT_EQ(payload, "");
+  rest.remove_prefix(consumed);
+
+  ASSERT_EQ(NextFrame(rest, &consumed, &payload), FrameParse::kFrame);
+  EXPECT_EQ(payload, "world!");
+  rest.remove_prefix(consumed);
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(ProtocolFrameTest, PartialFramesNeedMore) {
+  std::string buffer;
+  AppendFrame(&buffer, "payload");
+  size_t consumed = 0;
+  std::string_view payload;
+  // Every strict prefix of a frame is incomplete.
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    EXPECT_EQ(NextFrame(std::string_view(buffer.data(), len), &consumed,
+                        &payload),
+              FrameParse::kNeedMore)
+        << "prefix " << len;
+  }
+}
+
+TEST(ProtocolFrameTest, OversizedLengthIsAnError) {
+  // A 4-byte little-endian length just above the cap.
+  const uint32_t huge = kMaxFrameBytes + 1;
+  std::string buffer;
+  buffer.push_back(static_cast<char>(huge & 0xff));
+  buffer.push_back(static_cast<char>((huge >> 8) & 0xff));
+  buffer.push_back(static_cast<char>((huge >> 16) & 0xff));
+  buffer.push_back(static_cast<char>((huge >> 24) & 0xff));
+  size_t consumed = 0;
+  std::string_view payload;
+  EXPECT_EQ(NextFrame(buffer, &consumed, &payload), FrameParse::kError);
+
+  // The cap itself is still legal.
+  const uint32_t max = kMaxFrameBytes;
+  std::string ok_buffer;
+  ok_buffer.push_back(static_cast<char>(max & 0xff));
+  ok_buffer.push_back(static_cast<char>((max >> 8) & 0xff));
+  ok_buffer.push_back(static_cast<char>((max >> 16) & 0xff));
+  ok_buffer.push_back(static_cast<char>((max >> 24) & 0xff));
+  EXPECT_EQ(NextFrame(ok_buffer, &consumed, &payload),
+            FrameParse::kNeedMore);
+}
+
+TEST(ProtocolTest, WireStatusCoversEveryServiceResult) {
+  for (const ServiceResult result :
+       {ServiceResult::kOk, ServiceResult::kRejectedCapacity,
+        ServiceResult::kDuplicate, ServiceResult::kNotFound,
+        ServiceResult::kUnknownClass, ServiceResult::kRegistryFull,
+        ServiceResult::kInvalidSession}) {
+    const WireStatus status = WireStatusFromResult(result);
+    EXPECT_STRNE(WireStatusName(status), "unknown");
+  }
+  EXPECT_STREQ(WireStatusName(WireStatus::kOk), "ok");
+  EXPECT_STREQ(WireStatusName(WireStatus::kMalformedRequest),
+               "malformed_request");
+}
+
+}  // namespace
+}  // namespace zonestream::service

@@ -1,0 +1,217 @@
+// End-to-end churn + crash/recovery soak for the admission service: many
+// admit/teardown/transition cycles with limits republishes interleaved,
+// checkpointed through the real recovery stack (CheckpointWriter ->
+// LoadLatestGoodSnapshot), restored into a fresh service, and pinned
+// bit-identical by digest — then the restored service must continue the
+// exact same trajectory.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "recovery/checkpoint.h"
+#include "recovery/snapshot.h"
+#include "service/admission_service.h"
+
+namespace zonestream::service {
+namespace {
+
+std::unique_ptr<AdmissionService> MakeService() {
+  AdmissionServiceConfig config;
+  config.classes = {{"gold", 0.001}, {"silver", 0.01}, {"bronze", 0.05}};
+  config.registry.shards = 8;
+  config.registry.capacity = 1 << 14;
+  auto service = AdmissionService::Create(config);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+core::AdmissionTable SoakTable() {
+  auto table = core::AdmissionTable::Deserialize(
+      "zonestream-admission-table v1\n"
+      "criterion late_probability\n"
+      "round_length 1\n"
+      "rows 3\n"
+      "0.001 8\n"
+      "0.01 14\n"
+      "0.05 26\n");
+  EXPECT_TRUE(table.ok());
+  return *table;
+}
+
+TEST(ServiceSoakTest, ChurnCheckpointRestoreBitIdentity) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("zs_service_soak_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  auto service = MakeService();
+  service->PublishTable(SoakTable());
+  service->PublishScale(64);  // limits large enough for the churn below
+
+  // Deterministic churn: a seeded RNG drives admits, teardowns,
+  // transitions, and periodic limit republishes.
+  std::mt19937_64 rng(20260808);
+  std::vector<uint64_t> live;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t dice = rng();
+    switch (dice % 4) {
+      case 0:
+      case 1: {  // admit (auto-assign)
+        const ServiceOutcome outcome =
+            service->Admit(0, static_cast<uint32_t>(dice % 3));
+        if (outcome.result == ServiceResult::kOk) {
+          live.push_back(outcome.session_id);
+        }
+        break;
+      }
+      case 2: {  // teardown a random live session
+        if (live.empty()) break;
+        const size_t pick = dice % live.size();
+        ASSERT_EQ(service->Teardown(live[pick]).result, ServiceResult::kOk);
+        live[pick] = live.back();
+        live.pop_back();
+        break;
+      }
+      case 3: {  // transition a random live session
+        if (live.empty()) break;
+        const size_t pick = dice % live.size();
+        const ServiceOutcome outcome = service->Transition(
+            live[pick], static_cast<uint32_t>((dice >> 8) % 3));
+        ASSERT_NE(outcome.result, ServiceResult::kNotFound);
+        break;
+      }
+    }
+    if (step % 5000 == 4999) service->PublishScale(64 + step / 5000);
+  }
+  const ReconcileReport drift = service->ReconcileOccupancy();
+  ASSERT_EQ(drift.total_drift, 0);
+
+  // Checkpoint through the real writer.
+  recovery::CheckpointWriterOptions writer_options;
+  writer_options.directory = dir;
+  writer_options.basename = "soak";
+  auto writer = recovery::CheckpointWriter::Create(writer_options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  recovery::Snapshot snapshot;
+  snapshot.meta.producer = "service_soak_test";
+  snapshot.service = service->ExportState();
+  const auto path = writer->Write(snapshot);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+
+  const uint64_t digest_before = service->Digest();
+
+  // "Crash": recover from disk into a fresh service.
+  auto loaded = recovery::LoadLatestGoodSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->rejected.empty());
+  ASSERT_TRUE(loaded->snapshot.service.has_value());
+  auto restored = MakeService();
+  ASSERT_TRUE(restored->RestoreState(*loaded->snapshot.service).ok());
+  EXPECT_EQ(restored->Digest(), digest_before);
+
+  // Both services now continue the same deterministic trajectory and
+  // must stay bit-identical at every step.
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t dice = rng();
+    if (dice % 3 == 0 && !live.empty()) {
+      const size_t pick = dice % live.size();
+      const ServiceOutcome a = service->Teardown(live[pick]);
+      const ServiceOutcome b = restored->Teardown(live[pick]);
+      ASSERT_EQ(a.result, b.result);
+      ASSERT_EQ(a.occupancy, b.occupancy);
+      if (a.result == ServiceResult::kOk) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    } else {
+      const ServiceOutcome a = service->Admit(0, static_cast<uint32_t>(dice % 3));
+      const ServiceOutcome b =
+          restored->Admit(0, static_cast<uint32_t>(dice % 3));
+      ASSERT_EQ(a.result, b.result);
+      ASSERT_EQ(a.session_id, b.session_id);
+      ASSERT_EQ(a.occupancy, b.occupancy);
+      if (a.result == ServiceResult::kOk) live.push_back(a.session_id);
+    }
+    if (step % 500 == 499) {
+      ASSERT_EQ(service->Digest(), restored->Digest()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(service->Digest(), restored->Digest());
+
+  // The registries agree on the exact live set, not just the digest.
+  std::set<uint64_t> original_sessions;
+  std::set<uint64_t> restored_sessions;
+  service->registry().ForEachSession(
+      [&](uint64_t id, uint32_t, int64_t) { original_sessions.insert(id); });
+  restored->registry().ForEachSession(
+      [&](uint64_t id, uint32_t, int64_t) { restored_sessions.insert(id); });
+  EXPECT_EQ(original_sessions, restored_sessions);
+
+  std::filesystem::remove_all(dir);
+}
+
+// A corrupted newest checkpoint must fall back to the previous good one
+// (the service section survives the container's newest-first scan).
+TEST(ServiceSoakTest, CorruptNewestSnapshotFallsBack) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("zs_service_fallback_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  auto service = MakeService();
+  ASSERT_TRUE(service->PublishLimits({100, 100, 100}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(service->Admit(0, static_cast<uint32_t>(i % 3)).result,
+              ServiceResult::kOk);
+  }
+  recovery::CheckpointWriterOptions writer_options;
+  writer_options.directory = dir;
+  writer_options.basename = "soak";
+  auto writer = recovery::CheckpointWriter::Create(writer_options);
+  ASSERT_TRUE(writer.ok());
+  recovery::Snapshot snapshot;
+  snapshot.service = service->ExportState();
+  ASSERT_TRUE(writer->Write(snapshot).ok());
+  const uint64_t good_digest = service->Digest();
+
+  // Second checkpoint with more sessions, then corrupt it on disk.
+  ASSERT_EQ(service->Admit(0, 0).result, ServiceResult::kOk);
+  snapshot.service = service->ExportState();
+  const auto newest = writer->Write(snapshot);
+  ASSERT_TRUE(newest.ok());
+  {
+    std::FILE* f = std::fopen(newest->c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    const int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    std::fseek(f, 40, SEEK_SET);
+    std::fputc(byte ^ 0xff, f);  // guaranteed bit flip
+    std::fclose(f);
+  }
+
+  auto loaded = recovery::LoadLatestGoodSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rejected.size(), 1u);
+  ASSERT_TRUE(loaded->snapshot.service.has_value());
+  auto restored = MakeService();
+  ASSERT_TRUE(restored->RestoreState(*loaded->snapshot.service).ok());
+  EXPECT_EQ(restored->Digest(), good_digest);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace zonestream::service

@@ -1,0 +1,248 @@
+#include "service/session_registry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace zonestream::service {
+namespace {
+
+SessionRegistryOptions SmallOptions() {
+  SessionRegistryOptions options;
+  options.shards = 4;
+  options.capacity = 1024;
+  return options;
+}
+
+TEST(SessionRegistryTest, CreateValidatesOptions) {
+  SessionRegistryOptions options;
+  options.shards = 0;
+  EXPECT_FALSE(SessionRegistry::Create(options).ok());
+  options.shards = 4;
+  options.capacity = 0;
+  EXPECT_FALSE(SessionRegistry::Create(options).ok());
+}
+
+TEST(SessionRegistryTest, ShardsRoundUpToPowerOfTwo) {
+  SessionRegistryOptions options;
+  options.shards = 5;
+  options.capacity = 1000;
+  auto registry = SessionRegistry::Create(options);
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ((*registry)->shards(), 8);
+  // Capacity never shrinks below the request.
+  EXPECT_GE((*registry)->capacity(), 1000);
+}
+
+TEST(SessionRegistryTest, InsertLookupErase) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ((*registry)->Insert(42, 3, 100), RegistryResult::kOk);
+  EXPECT_EQ((*registry)->live(), 1);
+
+  uint32_t class_index = 0;
+  int64_t admit_seq = 0;
+  EXPECT_EQ((*registry)->Lookup(42, &class_index, &admit_seq),
+            RegistryResult::kOk);
+  EXPECT_EQ(class_index, 3u);
+  EXPECT_EQ(admit_seq, 100);
+
+  EXPECT_EQ((*registry)->Erase(42, &class_index, &admit_seq),
+            RegistryResult::kOk);
+  EXPECT_EQ(class_index, 3u);
+  EXPECT_EQ((*registry)->live(), 0);
+  EXPECT_EQ((*registry)->Lookup(42, nullptr, nullptr),
+            RegistryResult::kNotFound);
+}
+
+TEST(SessionRegistryTest, DuplicateInsertRejected) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ((*registry)->Insert(7, 0, 1), RegistryResult::kOk);
+  EXPECT_EQ((*registry)->Insert(7, 1, 2), RegistryResult::kDuplicate);
+  // The original record is untouched.
+  uint32_t class_index = 99;
+  EXPECT_EQ((*registry)->Lookup(7, &class_index, nullptr),
+            RegistryResult::kOk);
+  EXPECT_EQ(class_index, 0u);
+}
+
+TEST(SessionRegistryTest, EraseMissingIsNotFound) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ((*registry)->Erase(1, nullptr, nullptr),
+            RegistryResult::kNotFound);
+}
+
+TEST(SessionRegistryTest, UpdateClassSwapsInPlace) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  ASSERT_EQ((*registry)->Insert(9, 1, 5), RegistryResult::kOk);
+  uint32_t old_class = 99;
+  EXPECT_EQ((*registry)->UpdateClass(9, 2, &old_class), RegistryResult::kOk);
+  EXPECT_EQ(old_class, 1u);
+  uint32_t class_index = 0;
+  int64_t admit_seq = 0;
+  ASSERT_EQ((*registry)->Lookup(9, &class_index, &admit_seq),
+            RegistryResult::kOk);
+  EXPECT_EQ(class_index, 2u);
+  EXPECT_EQ(admit_seq, 5);  // identity preserved
+  EXPECT_EQ((*registry)->UpdateClass(10, 1, &old_class),
+            RegistryResult::kNotFound);
+}
+
+TEST(SessionRegistryTest, TombstoneSlotsAreRecycled) {
+  SessionRegistryOptions options;
+  options.shards = 1;
+  options.capacity = 64;  // one shard of 64 slots
+  auto registry = SessionRegistry::Create(options);
+  ASSERT_TRUE(registry.ok());
+  // Churn far past the slot count through one shard: every erase leaves
+  // a tombstone, so without in-place recycling the probe chains would
+  // wrap and inserts would fail.
+  for (uint64_t round = 0; round < 50; ++round) {
+    for (uint64_t i = 1; i <= 32; ++i) {
+      const uint64_t id = round * 1000 + i;
+      ASSERT_EQ((*registry)->Insert(id, 0, 0), RegistryResult::kOk)
+          << "round " << round << " id " << id;
+    }
+    for (uint64_t i = 1; i <= 32; ++i) {
+      const uint64_t id = round * 1000 + i;
+      ASSERT_EQ((*registry)->Erase(id, nullptr, nullptr),
+                RegistryResult::kOk);
+    }
+  }
+  EXPECT_EQ((*registry)->live(), 0);
+}
+
+TEST(SessionRegistryTest, FullShardRejectsCleanly) {
+  SessionRegistryOptions options;
+  options.shards = 1;
+  options.capacity = 64;
+  auto registry = SessionRegistry::Create(options);
+  ASSERT_TRUE(registry.ok());
+  const int64_t capacity = (*registry)->capacity();
+  int64_t admitted = 0;
+  uint64_t id = 1;
+  while (admitted < capacity) {
+    ASSERT_EQ((*registry)->Insert(id++, 0, 0), RegistryResult::kOk);
+    ++admitted;
+  }
+  EXPECT_EQ((*registry)->Insert(id, 0, 0), RegistryResult::kFull);
+  // Freeing one slot re-opens admission.
+  ASSERT_EQ((*registry)->Erase(1, nullptr, nullptr), RegistryResult::kOk);
+  EXPECT_EQ((*registry)->Insert(id, 0, 0), RegistryResult::kOk);
+}
+
+TEST(SessionRegistryTest, ForEachSessionSeesExactlyTheLiveSet) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  std::set<uint64_t> expected;
+  for (uint64_t id = 1; id <= 200; ++id) {
+    ASSERT_EQ((*registry)->Insert(id, static_cast<uint32_t>(id % 3),
+                                  static_cast<int64_t>(id)),
+              RegistryResult::kOk);
+    expected.insert(id);
+  }
+  for (uint64_t id = 1; id <= 200; id += 2) {
+    ASSERT_EQ((*registry)->Erase(id, nullptr, nullptr), RegistryResult::kOk);
+    expected.erase(id);
+  }
+  std::set<uint64_t> seen;
+  (*registry)->ForEachSession(
+      [&](uint64_t id, uint32_t class_index, int64_t admit_seq) {
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate visit of " << id;
+        EXPECT_EQ(class_index, id % 3);
+        EXPECT_EQ(admit_seq, static_cast<int64_t>(id));
+      });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(SessionRegistryTest, StatsSumsShards) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  for (uint64_t id = 1; id <= 100; ++id) {
+    ASSERT_EQ((*registry)->Insert(id, 0, 0), RegistryResult::kOk);
+  }
+  const RegistryStats stats = (*registry)->Stats();
+  EXPECT_EQ(stats.live, 100);
+  EXPECT_EQ(stats.shards, 4);
+  ASSERT_EQ(stats.shard_live.size(), 4u);
+  int64_t total = 0;
+  for (const int64_t live : stats.shard_live) total += live;
+  EXPECT_EQ(total, 100);
+}
+
+TEST(SessionRegistryTest, BoundarySessionIds) {
+  auto registry = SessionRegistry::Create(SmallOptions());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ((*registry)->Insert(SessionRegistry::kMinSessionId, 0, 0),
+            RegistryResult::kOk);
+  EXPECT_EQ((*registry)->Insert(SessionRegistry::kMaxSessionId, 0, 0),
+            RegistryResult::kOk);
+  EXPECT_EQ((*registry)->Lookup(SessionRegistry::kMinSessionId, nullptr,
+                                nullptr),
+            RegistryResult::kOk);
+  EXPECT_EQ((*registry)->Lookup(SessionRegistry::kMaxSessionId, nullptr,
+                                nullptr),
+            RegistryResult::kOk);
+}
+
+// Concurrency: disjoint id ranges per thread (the registry's contract:
+// same-id operations are externally serialized; different ids race
+// freely). Each thread churns insert/lookup/erase over its own range.
+TEST(SessionRegistryStressTest, DisjointIdChurn) {
+  SessionRegistryOptions options;
+  options.shards = 8;
+  options.capacity = 1 << 14;
+  auto registry = SessionRegistry::Create(options);
+  ASSERT_TRUE(registry.ok());
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kIdsPerThread = 512;
+  constexpr int kRounds = 40;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const uint64_t base = 1 + static_cast<uint64_t>(t) * kIdsPerThread;
+      for (int round = 0; round < kRounds && !failed.load(); ++round) {
+        for (uint64_t i = 0; i < kIdsPerThread; ++i) {
+          if ((*registry)->Insert(base + i, static_cast<uint32_t>(t),
+                                  round) != RegistryResult::kOk) {
+            failed.store(true);
+            return;
+          }
+        }
+        for (uint64_t i = 0; i < kIdsPerThread; ++i) {
+          uint32_t class_index = ~0u;
+          if ((*registry)->Lookup(base + i, &class_index, nullptr) !=
+                  RegistryResult::kOk ||
+              class_index != static_cast<uint32_t>(t)) {
+            failed.store(true);
+            return;
+          }
+        }
+        for (uint64_t i = 0; i < kIdsPerThread; ++i) {
+          uint32_t class_index = ~0u;
+          if ((*registry)->Erase(base + i, &class_index, nullptr) !=
+                  RegistryResult::kOk ||
+              class_index != static_cast<uint32_t>(t)) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ((*registry)->live(), 0);
+}
+
+}  // namespace
+}  // namespace zonestream::service
