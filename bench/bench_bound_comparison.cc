@@ -1,0 +1,53 @@
+// Experiment E12 — the five-way admission-engine comparison (ROADMAP
+// item 2): deterministic worst case, the paper's Chernoff bound, the
+// saddlepoint estimate, the stochastic-network-calculus engine, and
+// Monte Carlo (naive for moderate tolerances, importance-sampled deep
+// tails), across the preset disks and the delta grid.
+//
+// The Chernoff and SNC columns must agree within +-1 stream on every
+// cell — the two engines evaluate the same Legendre transform through
+// disjoint optimizer stacks, so agreement end-to-end cross-checks both
+// (docs/BOUNDS.md). The second table swaps in Bachmat's SCAN seek bound
+// (analytic columns only; the simulator is seek-bound-agnostic, so the
+// MC column would just repeat the first table's). Output at effort 1 is
+// pinned as bench/golden/bound_comparison.txt by the
+// bound_comparison_golden ctest entry.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/bound_comparison.h"
+
+namespace zonestream {
+namespace {
+
+void RunBoundComparisonBench() {
+  sim::BoundComparisonOptions options;
+  options.mc_rounds_per_replication = bench::ScaledCount(4096);
+  options.is_rounds_per_replication = bench::ScaledCount(1024);
+
+  auto cells = sim::RunBoundComparison(options);
+  ZS_CHECK(cells.ok());
+  std::fputs(sim::RenderBoundComparison(*cells, options).c_str(), stdout);
+
+  std::printf("\n");
+  sim::BoundComparisonOptions bachmat = options;
+  bachmat.seek_bound = core::SeekBoundKind::kBachmat;
+  bachmat.run_monte_carlo = false;
+  auto bachmat_cells = sim::RunBoundComparison(bachmat);
+  ZS_CHECK(bachmat_cells.ok());
+  std::fputs(sim::RenderBoundComparison(*bachmat_cells, bachmat).c_str(),
+             stdout);
+
+  std::printf("\n");
+  auto mix = sim::RunMixComparison(/*cbr_streams=*/12, options);
+  ZS_CHECK(mix.ok());
+  std::fputs(sim::RenderMixComparison(*mix).c_str(), stdout);
+}
+
+}  // namespace
+}  // namespace zonestream
+
+int main() {
+  zonestream::RunBoundComparisonBench();
+  return 0;
+}

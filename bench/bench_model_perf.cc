@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/admission.h"
 #include "core/glitch_model.h"
+#include "core/snc.h"
 #include "fault/fault_model.h"
 #include "obs/metrics.h"
 #include "obs/round_trace.h"
@@ -42,6 +43,15 @@ void BM_MaxStreamsByLateProbability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxStreamsByLateProbability);
+
+void BM_SncMaxStreams(benchmark::State& state) {
+  const core::ServiceTimeModel model = bench::Table1Model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::SncMaxStreams(model, bench::kRoundLengthS, 0.01));
+  }
+}
+BENCHMARK(BM_SncMaxStreams);
 
 void BM_ErrorBound(benchmark::State& state) {
   const core::ServiceTimeModel model = bench::Table1Model();

@@ -1,0 +1,42 @@
+# Runs a bench binary with ZONESTREAM_BENCH_EFFORT pinned and diffs its
+# stdout against a checked-in golden. Driven as `cmake -P` by golden
+# ctest entries (e.g. bound_comparison_golden).
+#
+# Required -D variables:
+#   BENCH_BINARY - the bench executable
+#   OUTPUT_FILE  - where to write the captured stdout (build tree)
+#   GOLDEN_FILE  - the checked-in golden to compare against
+# Optional:
+#   EFFORT       - ZONESTREAM_BENCH_EFFORT value; default 1 (the goldens
+#                  are captured at effort 1 so CI cost stays bounded)
+
+foreach(var BENCH_BINARY OUTPUT_FILE GOLDEN_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden_diff.cmake: ${var} is required")
+  endif()
+endforeach()
+if(NOT DEFINED EFFORT OR EFFORT STREQUAL "")
+  set(EFFORT 1)
+endif()
+
+message(STATUS "Running ${BENCH_BINARY} (effort ${EFFORT})")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env ZONESTREAM_BENCH_EFFORT=${EFFORT}
+          ${BENCH_BINARY}
+  OUTPUT_FILE ${OUTPUT_FILE}
+  RESULT_VARIABLE bench_result)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BINARY} failed (exit ${bench_result})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUTPUT_FILE} ${GOLDEN_FILE}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  execute_process(COMMAND diff -u ${GOLDEN_FILE} ${OUTPUT_FILE})
+  message(FATAL_ERROR
+    "Output differs from golden ${GOLDEN_FILE}. If the change is "
+    "intentional, regenerate per bench/golden/README.md and review the "
+    "diff like a test golden.")
+endif()
+message(STATUS "Output matches ${GOLDEN_FILE}")

@@ -10,6 +10,12 @@
 //                                          validate and describe a
 //                                          checkpoint snapshot
 //
+//   zonestream_ctl compare [--bachmat] [--no-mc]
+//                                          table N_max from every engine
+//                                          (worst case, Chernoff,
+//                                          saddlepoint, SNC, Monte Carlo)
+//                                          across the preset disks
+//
 //   zonestream_ctl admitd <op> --socket PATH [args]
 //                                          drive a running
 //                                          zonestream_admitd; ops:
@@ -32,6 +38,9 @@
 // `snapshot inspect` decodes a zonestream-snapshot-v1 file (checksum and
 // all — a corrupt file is reported, not described) and prints its
 // producer, round, seed, and section inventory (docs/RECOVERY.md).
+// `compare` renders the five-way admission-engine comparison of
+// docs/BOUNDS.md on the Table 1 workload: --bachmat swaps the seek term
+// to Bachmat's SCAN bound, --no-mc skips the (slow) Monte Carlo column.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +58,7 @@
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/stats_format.h"
+#include "sim/bound_comparison.h"
 #include "sim/round_simulator.h"
 #include "workload/size_distribution.h"
 
@@ -282,18 +292,47 @@ int RunAdmitd(int argc, char** argv) {
   return 2;
 }
 
+// `compare` subcommand: the five-way N_max comparison on the Table 1
+// workload (docs/BOUNDS.md), across the preset disks and delta grid.
+int RunCompare(int argc, char** argv) {
+  sim::BoundComparisonOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bachmat") == 0) {
+      options.seek_bound = core::SeekBoundKind::kBachmat;
+    } else if (std::strcmp(argv[i], "--no-mc") == 0) {
+      options.run_monte_carlo = false;
+    } else {
+      std::fprintf(stderr, "usage: %s compare [--bachmat] [--no-mc]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  auto cells = sim::RunBoundComparison(options);
+  if (!cells.ok()) {
+    std::fprintf(stderr, "comparison error: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(sim::RenderBoundComparison(*cells, options).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* const usage =
       "usage: %s --template | <config-file> | stats <config-file> [rounds]"
-      " | snapshot inspect <file> | admitd <op> --socket PATH\n";
+      " | compare [--bachmat] [--no-mc] | snapshot inspect <file>"
+      " | admitd <op> --socket PATH\n";
   if (argc < 2) {
     std::fprintf(stderr, usage, argv[0]);
     return 2;
   }
   if (std::strcmp(argv[1], "admitd") == 0) {
     return RunAdmitd(argc, argv);
+  }
+  if (std::strcmp(argv[1], "compare") == 0) {
+    return RunCompare(argc, argv);
   }
   if (std::strcmp(argv[1], "snapshot") == 0) {
     if (argc != 4 || std::strcmp(argv[2], "inspect") != 0) {

@@ -59,24 +59,59 @@ int LimitFromValues(const std::vector<double>& values, double tolerance) {
 
 }  // namespace
 
-int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
-                                double delta, int n_cap) {
-  ZS_CHECK_GT(t, 0.0);
-  ZS_CHECK_GT(delta, 0.0);
+const char* AdmissionQueryErrorName(AdmissionQueryError error) {
+  switch (error) {
+    case AdmissionQueryError::kOk:
+      return "ok";
+    case AdmissionQueryError::kInvalidRoundLength:
+      return "invalid_round_length";
+    case AdmissionQueryError::kInvalidTolerance:
+      return "invalid_tolerance";
+    case AdmissionQueryError::kVacuousTolerance:
+      return "vacuous_tolerance";
+  }
+  return "unknown";
+}
+
+AdmissionQueryError ValidateAdmissionQuery(double t, double delta) {
+  // NaN comparisons are all false, so NaN t / delta fall through to the
+  // negated checks below — classify explicitly first.
+  if (!(t > 0.0) || !std::isfinite(t)) {
+    return AdmissionQueryError::kInvalidRoundLength;
+  }
+  if (std::isnan(delta) || delta <= 0.0) {
+    return AdmissionQueryError::kInvalidTolerance;
+  }
+  if (delta >= 1.0) return AdmissionQueryError::kVacuousTolerance;
+  return AdmissionQueryError::kOk;
+}
+
+MaxStreamsResult MaxStreamsByLateProbabilityChecked(
+    const ServiceTimeModel& model, double t, double delta, int n_cap) {
   ZS_CHECK_GT(n_cap, 0);
+  MaxStreamsResult result;
+  result.error = ValidateAdmissionQuery(t, delta);
+  if (result.error != AdmissionQueryError::kOk) return result;
   LateBoundScan scan(&model, t);
   const std::vector<double> values = ScanQualityValues(
       &scan, AdmissionCriterion::kLateProbability, 0, 0, delta, n_cap);
-  return LimitFromValues(values, delta);
+  result.n_max = LimitFromValues(values, delta);
+  return result;
+}
+
+int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
+                                double delta, int n_cap) {
+  return MaxStreamsByLateProbabilityChecked(model, t, delta, n_cap).n_max;
 }
 
 int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
                            int g, double epsilon, int n_cap) {
-  ZS_CHECK_GT(t, 0.0);
   ZS_CHECK_GT(m, 0);
   ZS_CHECK_GE(g, 0);
-  ZS_CHECK_GT(epsilon, 0.0);
   ZS_CHECK_GT(n_cap, 0);
+  if (ValidateAdmissionQuery(t, epsilon) != AdmissionQueryError::kOk) {
+    return 0;
+  }
   LateBoundScan scan(&model, t);
   const std::vector<double> values = ScanQualityValues(
       &scan, AdmissionCriterion::kGlitchRate, m, g, epsilon, n_cap);
@@ -86,10 +121,11 @@ int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
 int MaxStreamsByLateProbabilityDegraded(const ServiceTimeModel& model,
                                         double t, double delta,
                                         int repair_requests, int n_cap) {
-  ZS_CHECK_GT(t, 0.0);
-  ZS_CHECK_GT(delta, 0.0);
   ZS_CHECK_GE(repair_requests, 0);
   ZS_CHECK_GT(n_cap, 0);
+  if (ValidateAdmissionQuery(t, delta) != AdmissionQueryError::kOk) {
+    return 0;
+  }
   // A survivor's worst round carries 2N + R requests (own phase, the
   // failed disk's phase, and the repair throttle share). b_late is
   // monotone in the request count, so scan N ascending and stop at the
@@ -136,6 +172,10 @@ common::StatusOr<AdmissionTable> AdmissionTable::Build(
     return common::Status::InvalidArgument("n_cap must be positive");
   }
 
+  // The scans below charge the configured seek term; equidistant mode is
+  // a field copy, so the extra model costs nothing in the default case.
+  const ServiceTimeModel effective = model.WithSeekBound(options.seek_bound);
+
   std::vector<AdmissionTableRow> rows(tolerances.size());
   if (options.warm_start) {
     // Fast path: the per-n quality values are tolerance-independent, so
@@ -143,7 +183,7 @@ common::StatusOr<AdmissionTable> AdmissionTable::Build(
     // point serves every row. The per-tolerance derivation is then cheap
     // and embarrassingly parallel — and bit-identical at every thread
     // count, because each row is a pure function of the shared values.
-    LateBoundScan scan(&model, t);
+    LateBoundScan scan(&effective, t);
     const std::vector<double> values =
         ScanQualityValues(&scan, criterion, m, g, tolerances.back(),
                           options.n_cap);
@@ -159,9 +199,9 @@ common::StatusOr<AdmissionTable> AdmissionTable::Build(
     // cold-started scan per tolerance — parallelized across tolerances.
     common::ParallelFor(
         static_cast<int64_t>(tolerances.size()),
-        [&rows, &tolerances, &model, criterion, t, m, g,
+        [&rows, &tolerances, &effective, criterion, t, m, g,
          &options](int64_t i) {
-          LateBoundScan scan(&model, t, /*warm_start=*/false);
+          LateBoundScan scan(&effective, t, /*warm_start=*/false);
           const std::vector<double> values = ScanQualityValues(
               &scan, criterion, m, g, tolerances[i], options.n_cap);
           rows[i].tolerance = tolerances[i];
@@ -183,6 +223,12 @@ AdmissionTableSnapshot::AdmissionTableSnapshot(const AdmissionTable& table)
 }
 
 int AdmissionTable::MaxStreams(double tolerance) const {
+  // A NaN request satisfies no row's contract. Without this guard the
+  // upper_bound comparator (all comparisons false for NaN) would land on
+  // end() and hand back the LOOSEST row's limit — while the snapshot's
+  // manual binary search returns 0. Both paths return 0; the boundary
+  // tests pin the agreement.
+  if (std::isnan(tolerance)) return 0;
   // Loosest tabulated row that does not exceed the requested tolerance:
   // rows are ascending in tolerance (and, by monotonicity, in n_max), so
   // take the last row with row.tolerance <= tolerance — the `>=`

@@ -21,15 +21,56 @@
 
 namespace zonestream::core {
 
+// Structured reason for an admission query with no meaningful finite
+// answer. The MaxStreams* family (here, baselines.h, saddlepoint.h,
+// snc.h) returns the sentinel 0 for such queries instead of crashing
+// (t <= 0) or scanning to n_cap and reporting a misleading large N
+// (delta >= 1, NaN tolerance) — the same documented-sentinel contract
+// style as the `MaxStreams >=` boundary pin on the table paths.
+enum class AdmissionQueryError {
+  kOk = 0,
+  // Round length t is not a positive finite number: no round ever
+  // completes "on time", so no N is admissible.
+  kInvalidRoundLength,
+  // Tolerance is NaN or <= 0: no probability bound can satisfy it.
+  kInvalidTolerance,
+  // Tolerance >= 1: every N trivially satisfies P <= delta, so the scan
+  // would run to n_cap and return a number that reflects the cap, not
+  // the disk. Vacuous contracts are rejected rather than answered.
+  kVacuousTolerance,
+};
+
+// Stable lowercase name for logs/CLIs ("ok", "invalid_round_length", ...).
+const char* AdmissionQueryErrorName(AdmissionQueryError error);
+
+// Classifies an admission query: kOk iff t is positive and finite and
+// delta lies in (0, 1). Every MaxStreams*-family function applies this
+// exact classification.
+AdmissionQueryError ValidateAdmissionQuery(double t, double delta);
+
+// Sentinel-carrying result of a checked MaxStreams* query.
+struct MaxStreamsResult {
+  int n_max = 0;  // always 0 when error != kOk
+  AdmissionQueryError error = AdmissionQueryError::kOk;
+};
+
 // Largest N with b_late(N, t) <= delta; 0 if even N=1 violates the
 // tolerance. b_late is monotone in N, so a linear scan with early exit is
 // exact. The scan warm-starts each Chernoff minimization from the previous
 // candidate's θ* (LateBoundScan). `n_cap` guards against pathological
-// configurations.
+// configurations. Invalid queries (see ValidateAdmissionQuery) return the
+// sentinel 0; use the Checked variant to distinguish "zero capacity" from
+// "invalid query".
 int MaxStreamsByLateProbability(const ServiceTimeModel& model, double t,
                                 double delta, int n_cap = 4096);
 
-// Largest N with p_error(N, t, M, g) <= epsilon (eq. 3.3.6).
+// As MaxStreamsByLateProbability, with the structured reason.
+MaxStreamsResult MaxStreamsByLateProbabilityChecked(
+    const ServiceTimeModel& model, double t, double delta, int n_cap = 4096);
+
+// Largest N with p_error(N, t, M, g) <= epsilon (eq. 3.3.6). Invalid
+// (t, epsilon) queries return the sentinel 0, same contract as
+// MaxStreamsByLateProbability.
 int MaxStreamsByGlitchRate(const ServiceTimeModel& model, double t, int m,
                            int g, double epsilon, int n_cap = 4096);
 
@@ -87,6 +128,10 @@ struct AdmissionBuildOptions {
   bool warm_start = true;
   // Upper limit on the candidate multiprogramming level.
   int n_cap = 4096;
+  // Seek term charged by the scans: the paper's equidistant worst case
+  // (default) or the Bachmat distributional bound (never looser; valid
+  // under uniform random placement — see seek_bound_bachmat.h).
+  SeekBoundKind seek_bound = SeekBoundKind::kEquidistant;
 };
 
 // Precomputed tolerance -> N_max lookup table (§5). The table only needs

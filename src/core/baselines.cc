@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/admission.h"
 #include "numeric/quadrature.h"
 #include "numeric/special_functions.h"
 
@@ -42,7 +43,10 @@ double NormalApproxLateProbability(const ServiceTimeModel& model, int n,
 
 int NormalApproxMaxStreams(const ServiceTimeModel& model, double t,
                            double delta, int n_cap) {
-  ZS_CHECK_GT(delta, 0.0);
+  ZS_CHECK_GT(n_cap, 0);
+  if (ValidateAdmissionQuery(t, delta) != AdmissionQueryError::kOk) {
+    return 0;
+  }
   int n_max = 0;
   for (int n = 1; n <= n_cap; ++n) {
     if (NormalApproxLateProbability(model, n, t) > delta) break;
@@ -63,7 +67,10 @@ double ChebyshevLateBound(const ServiceTimeModel& model, int n, double t) {
 
 int ChebyshevMaxStreams(const ServiceTimeModel& model, double t, double delta,
                         int n_cap) {
-  ZS_CHECK_GT(delta, 0.0);
+  ZS_CHECK_GT(n_cap, 0);
+  if (ValidateAdmissionQuery(t, delta) != AdmissionQueryError::kOk) {
+    return 0;
+  }
   int n_max = 0;
   for (int n = 1; n <= n_cap; ++n) {
     if (ChebyshevLateBound(model, n, t) > delta) break;

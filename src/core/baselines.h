@@ -52,7 +52,9 @@ WorstCaseResult WorstCaseAdmission(const disk::DiskGeometry& geometry,
 double NormalApproxLateProbability(const ServiceTimeModel& model, int n,
                                    double t);
 
-// Largest N with the normal-approximate p_late <= delta.
+// Largest N with the normal-approximate p_late <= delta. Invalid
+// (t, delta) queries return the sentinel 0 (see
+// core::ValidateAdmissionQuery in admission.h).
 int NormalApproxMaxStreams(const ServiceTimeModel& model, double t,
                            double delta, int n_cap = 4096);
 
@@ -63,7 +65,8 @@ int NormalApproxMaxStreams(const ServiceTimeModel& model, double t,
 // P[T_N >= t] <= Var / (Var + (t - E)^2) for t > E[T_N], else 1.
 double ChebyshevLateBound(const ServiceTimeModel& model, int n, double t);
 
-// Largest N with the Chebyshev bound <= delta.
+// Largest N with the Chebyshev bound <= delta. Same sentinel contract
+// as NormalApproxMaxStreams.
 int ChebyshevMaxStreams(const ServiceTimeModel& model, double t, double delta,
                         int n_cap = 4096);
 

@@ -56,16 +56,29 @@ ChernoffResult LateBoundScan::LateBound(int n) {
   ZS_CHECK_GE(n, 0);
   if (n == 0) return model_->LateBound(0, t_);
 
-  const double seek = CachedSeekBound(n);
   const double nn = static_cast<double>(n);
-  const auto log_mgf = [this, seek, nn](double theta) {
-    return theta * seek + nn * CachedPerRequestLogMgf(theta);
-  };
-
   ChernoffOptions options;
   if (warm_start_) options.theta_hint = theta_hint_;
-  const ChernoffResult result =
-      ChernoffTailBound(log_mgf, model_->theta_max(), t_, options);
+
+  ChernoffResult result;
+  if (model_->seek_bound_kind() == SeekBoundKind::kEquidistant) {
+    // Equidistant mode: the seek term is θ-linear with an n-only scalar
+    // coefficient, so it caches as one double per n.
+    const double seek = CachedSeekBound(n);
+    const auto log_mgf = [this, seek, nn](double theta) {
+      return theta * seek + nn * CachedPerRequestLogMgf(theta);
+    };
+    result = ChernoffTailBound(log_mgf, model_->theta_max(), t_, options);
+  } else {
+    // Bachmat mode: the seek term couples n and θ (a quadrature per
+    // evaluation), so only the n-independent rotation+transfer component
+    // is served from the per-θ memo.
+    const auto log_mgf = [this, n, nn](double theta) {
+      return model_->SeekLogMgf(n, theta) +
+             nn * CachedPerRequestLogMgf(theta);
+    };
+    result = ChernoffTailBound(log_mgf, model_->theta_max(), t_, options);
+  }
   if (result.theta_star > 0.0) theta_hint_ = result.theta_star;
   return result;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "core/admission.h"
 #include "core/baselines.h"
 #include "numeric/roots.h"
 #include "numeric/special_functions.h"
@@ -34,6 +35,29 @@ double KSecond(const std::function<double(double)>& log_mgf, double theta,
          (h * h);
 }
 
+// Standardized third cumulant ρ3 = K'''(θ0)/K''(θ0)^{3/2} near `theta`.
+// The five-point K''' stencil needs θ0 - 2h >= 0, so the base point is
+// shifted to 2h when θ is closer to the origin than that (the skewness is
+// smooth, so the O(h) base-point shift is harmless at the accuracy the
+// near-mean limit needs).
+double StandardizedThirdCumulant(
+    const std::function<double(double)>& log_mgf, double theta,
+    double theta_max) {
+  double h = 1e-3 * (1.0 + theta);
+  if (std::isfinite(theta_max)) {
+    h = std::fmin(h, 0.125 * (theta_max - theta));
+  }
+  if (h <= 0.0) return 0.0;
+  const double theta0 = std::fmax(theta, 2.0 * h);
+  const double k3 =
+      (log_mgf(theta0 + 2.0 * h) - 2.0 * log_mgf(theta0 + h) +
+       2.0 * log_mgf(theta0 - h) - log_mgf(theta0 - 2.0 * h)) /
+      (2.0 * h * h * h);
+  const double k2 = KSecond(log_mgf, theta0, theta_max);
+  if (k2 <= 0.0) return 0.0;
+  return k3 / (k2 * std::sqrt(k2));
+}
+
 }  // namespace
 
 SaddlepointResult SaddlepointTailProbability(
@@ -46,12 +70,24 @@ SaddlepointResult SaddlepointTailProbability(
   const double mean = KPrime(log_mgf, 0.0, theta_max);
   if (t <= mean) {
     // Below the mean the positive-θ saddlepoint does not exist (our CGFs
-    // are only evaluated for θ >= 0); fall back to the normal estimate,
-    // which is accurate in the bulk.
+    // are only evaluated for θ >= 0); fall back to the Edgeworth
+    // (skewness-corrected normal) estimate. The ρ3 term matters at the
+    // branch seam: at z = 0 it gives 1/2 - φ(0)·ρ3/6, exactly the
+    // above-mean limiting form's value, so crossing t over E[T] is
+    // continuous instead of jumping by the O(ρ3) correction.
     const double variance = KSecond(log_mgf, 1e-9, theta_max);
     const double sigma = std::sqrt(std::fmax(variance, 0.0));
-    result.probability =
-        sigma > 0.0 ? 1.0 - numeric::NormalCdf((t - mean) / sigma) : 1.0;
+    if (sigma > 0.0) {
+      const double z = (t - mean) / sigma;
+      const double rho3 = StandardizedThirdCumulant(log_mgf, 0.0, theta_max);
+      const double phi_z =
+          std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+      const double p =
+          1.0 - numeric::NormalCdf(z) + phi_z * (rho3 / 6.0) * (z * z - 1.0);
+      result.probability = std::fmin(std::fmax(p, 0.0), 1.0);
+    } else {
+      result.probability = 1.0;
+    }
     result.theta_hat = 0.0;
     result.converged = true;
     return result;
@@ -84,8 +120,9 @@ SaddlepointResult SaddlepointTailProbability(
 
   const double k_hat = log_mgf(theta_hat);
   const double k2_hat = KSecond(log_mgf, theta_hat, theta_max);
-  const double exponent = theta_hat * t - k_hat;  // Legendre transform >= 0
-  if (exponent <= 0.0 || k2_hat <= 0.0) {
+  const double exponent =
+      std::fmax(theta_hat * t - k_hat, 0.0);  // Legendre transform >= 0
+  if (k2_hat <= 0.0) {
     result.probability = 0.5;
     result.theta_hat = theta_hat;
     result.converged = false;
@@ -93,15 +130,23 @@ SaddlepointResult SaddlepointTailProbability(
   }
   const double w = std::sqrt(2.0 * exponent);
   const double u = theta_hat * std::sqrt(k2_hat);
-  if (w < 1e-8 || u < 1e-12) {
-    result.probability = 0.5;  // continuity limit at t -> mean
-    result.theta_hat = theta_hat;
-    result.converged = true;
-    return result;
-  }
   const double phi = std::exp(-0.5 * w * w) / std::sqrt(2.0 * M_PI);
-  double probability =
-      1.0 - numeric::NormalCdf(w) - phi * (1.0 / w - 1.0 / u);
+  double probability;
+  if (w < 1e-3 || u < 1e-3) {
+    // θ̂ → 0 (t ≈ E[T]): ŵ and û both vanish and the (1/ŵ - 1/û)
+    // difference is a catastrophic cancellation of two huge reciprocals
+    // whose true difference is O(1) — the direct formula then returns
+    // 0/1 garbage after clamping. Substitute the standard limiting form:
+    // expanding ŵ² = K''θ̂² + (2/3)K'''θ̂³ and û = θ̂√(K'' + K'''θ̂)
+    // gives 1/ŵ - 1/û -> ρ3/6 with ρ3 = K'''/K''^{3/2}, so
+    //   P[T >= t] -> 1 - Φ(ŵ) - φ(ŵ)·ρ3/6
+    // (= 1/2 - ρ3/(6√(2π)) exactly at the mean).
+    const double rho3 = StandardizedThirdCumulant(log_mgf, theta_hat,
+                                                  theta_max);
+    probability = 1.0 - numeric::NormalCdf(w) - phi * (rho3 / 6.0);
+  } else {
+    probability = 1.0 - numeric::NormalCdf(w) - phi * (1.0 / w - 1.0 / u);
+  }
   probability = std::fmin(std::fmax(probability, 0.0), 1.0);
 
   result.probability = probability;
@@ -122,7 +167,10 @@ SaddlepointResult SaddlepointLateProbability(const ServiceTimeModel& model,
 
 int SaddlepointMaxStreams(const ServiceTimeModel& model, double t,
                           double delta, int n_cap) {
-  ZS_CHECK_GT(delta, 0.0);
+  ZS_CHECK_GT(n_cap, 0);
+  if (ValidateAdmissionQuery(t, delta) != AdmissionQueryError::kOk) {
+    return 0;
+  }
   int n_max = 0;
   for (int n = 1; n <= n_cap; ++n) {
     if (SaddlepointLateProbability(model, n, t).probability > delta) break;

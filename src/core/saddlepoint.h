@@ -34,10 +34,14 @@ struct SaddlepointResult {
 
 // Lugannani-Rice tail estimate for a generic cumulant generating function
 // `log_mgf`, finite on [0, theta_max). Derivatives are taken numerically
-// (central differences with adaptive step). Requires t != E[T] (at the
-// mean the formula degenerates; we return 0.5 there, its continuity
-// limit) and only supports the upper tail t > E[T] plus a CLT-consistent
-// value below it.
+// (central differences with adaptive step). Near t = E[T] the direct
+// formula degenerates (ŵ and û both vanish and 1/ŵ - 1/û cancels
+// catastrophically); the implementation switches to the standard limiting
+// form 1 - Φ(ŵ) - φ(ŵ)·ρ3/6 there (ρ3 the standardized third cumulant),
+// which equals 1/2 - ρ3/(6√(2π)) exactly at the mean. Below the mean the
+// estimate falls back to the Edgeworth-corrected normal tail
+// 1 - Φ(z) + φ(z)·(ρ3/6)(z² - 1), which takes the same value at z = 0,
+// so crossing t over E[T] is continuous.
 SaddlepointResult SaddlepointTailProbability(
     const std::function<double(double)>& log_mgf, double theta_max, double t);
 
@@ -48,6 +52,8 @@ SaddlepointResult SaddlepointLateProbability(const ServiceTimeModel& model,
                                              int n, double t);
 
 // Largest N whose saddlepoint-estimated p_late stays within delta.
+// Invalid (t, delta) queries return the sentinel 0 (see
+// core::ValidateAdmissionQuery in admission.h).
 int SaddlepointMaxStreams(const ServiceTimeModel& model, double t,
                           double delta, int n_cap = 4096);
 

@@ -1,0 +1,91 @@
+// Bachmat-style stochastic SCAN seek bound (ROADMAP item 2; see
+// PAPERS.md, Bachmat's increasing-subsequence analysis of disk-arm tours
+// and docs/BOUNDS.md for the full derivation).
+//
+// The paper's admission bound charges the Oyang worst case
+// SEEK(N) = (N+1)·seek(CYL/(N+1)) for the accumulated seek time of a
+// round — the equidistant adversarial placement. Bachmat's analysis of
+// SCAN tour length shows the *typical* tour is far shorter: with N
+// requests placed uniformly at random, the sweep's gaps are the spacings
+// of N uniform points on [0, CYL], i.e. jointly Dirichlet(1,...,1) with
+// each gap marginally CYL·Beta(1, N) ~ CYL/N in scale — which for the
+// sqrt seek regime gives the O(sqrt(N))-total-seek behavior, versus the
+// worst case's Θ(sqrt(N)) with a much larger constant.
+//
+// This module turns that distributional view into a usable *bound* on the
+// seek component of the round MGF. Dirichlet spacings are negatively
+// associated, and x ↦ e^{θ·seek(x)} is nondecreasing, so
+//
+//   E[e^{θ·Σ seek(G_i)}] <= Π E[e^{θ·seek(G_i)}]
+//                         = (E[e^{θ·seek(CYL·B)}])^{N+1},  B ~ Beta(1, N),
+//
+// and the seek log-MGF term of the Chernoff machinery may use
+//
+//   SeekLogMgf(N, θ) = min(θ·SEEK_eq(N), (N+1)·log E[e^{θ·seek(CYL·B)}]).
+//
+// The min-clamp keeps the term no looser than the equidistant worst case
+// for every (N, θ) by construction: since seek() is concave, the
+// accumulated seek of ANY placement is at most SEEK_eq(N) almost surely,
+// so θ·SEEK_eq(N) is itself a valid upper bound on the seek log-MGF.
+//
+// Scope: the Bachmat term assumes uniform random request placement (the
+// simulator's default and the paper's §3 setting). Under adversarial
+// placement only the equidistant term is valid — which is exactly what
+// the clamp degrades to.
+#ifndef ZONESTREAM_CORE_SEEK_BOUND_BACHMAT_H_
+#define ZONESTREAM_CORE_SEEK_BOUND_BACHMAT_H_
+
+#include "disk/seek_model.h"
+
+namespace zonestream::core {
+
+// Which seek term the analytic round model charges.
+enum class SeekBoundKind {
+  // The paper's deterministic worst case (Oyang equidistant placement).
+  kEquidistant,
+  // Bachmat-style distributional bound under uniform placement, clamped
+  // to never exceed the equidistant term.
+  kBachmat,
+};
+
+// Human-readable name ("equidistant" / "bachmat") for CLI/bench output.
+const char* SeekBoundKindName(SeekBoundKind kind);
+
+// Moments of the per-gap seek time seek(CYL·B), B ~ Beta(1, n).
+struct BachmatGapMoments {
+  double mean_s = 0.0;
+  double variance_s2 = 0.0;
+};
+
+// E[e^{θ·seek(CYL·B)}] with B ~ Beta(1, n), by panel Gauss-Legendre
+// quadrature against the polynomial density n(1-x)^{n-1} (panels grow
+// geometrically from the 1/n scale, with a breakpoint at the seek
+// model's threshold fraction). Requires n >= 1, θ >= 0.
+double BachmatGapSeekMgf(const disk::SeekTimeModel& seek, int cylinders,
+                         int n, double theta);
+
+// Mean/variance of one gap's seek time under uniform placement.
+BachmatGapMoments BachmatGapSeekMoments(const disk::SeekTimeModel& seek,
+                                        int cylinders, int n);
+
+// The clamped seek log-MGF term:
+//   min(θ·OyangSeekBound(n), (n+1)·log BachmatGapSeekMgf(n, θ)).
+// Returns 0 for n == 0 or θ == 0.
+double BachmatSeekLogMgf(const disk::SeekTimeModel& seek, int cylinders,
+                         int n, double theta);
+
+// Expected accumulated seek time (n+1)·E[seek(CYL·B)], clamped by the
+// equidistant worst case. Feeds the CLT/Chebyshev baselines' moments in
+// Bachmat mode.
+double BachmatExpectedSeekTotal(const disk::SeekTimeModel& seek,
+                                int cylinders, int n);
+
+// Upper bound on the variance of the accumulated seek time: negative
+// association also gives Var(Σ seek(G_i)) <= Σ Var(seek(G_i)) =
+// (n+1)·Var(seek(CYL·B)).
+double BachmatSeekTotalVarianceBound(const disk::SeekTimeModel& seek,
+                                     int cylinders, int n);
+
+}  // namespace zonestream::core
+
+#endif  // ZONESTREAM_CORE_SEEK_BOUND_BACHMAT_H_

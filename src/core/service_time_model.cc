@@ -79,6 +79,21 @@ double ServiceTimeModel::SeekBound(int n) const {
   return sched::OyangSeekBound(seek_, cylinders_, n);
 }
 
+double ServiceTimeModel::SeekLogMgf(int n, double theta) const {
+  ZS_CHECK_GE(n, 0);
+  ZS_CHECK_GE(theta, 0.0);
+  if (seek_bound_kind_ == SeekBoundKind::kBachmat) {
+    return BachmatSeekLogMgf(seek_, cylinders_, n, theta);
+  }
+  return theta * SeekBound(n);
+}
+
+ServiceTimeModel ServiceTimeModel::WithSeekBound(SeekBoundKind kind) const {
+  ServiceTimeModel copy = *this;
+  copy.seek_bound_kind_ = kind;
+  return copy;
+}
+
 double ServiceTimeModel::RotationLogMgf(double theta) const {
   const double x = theta * rotation_time_s_;
   if (x == 0.0) return 0.0;
@@ -99,7 +114,7 @@ double ServiceTimeModel::LogMgf(int n, double theta) const {
   ZS_CHECK_GE(n, 0);
   ZS_CHECK_GE(theta, 0.0);
   const double nn = static_cast<double>(n);
-  return theta * SeekBound(n) + nn * RotationLogMgf(theta) +
+  return SeekLogMgf(n, theta) + nn * RotationLogMgf(theta) +
          nn * transfer_->LogMgf(theta);
 }
 
@@ -147,10 +162,18 @@ ServiceTimeMoments ServiceTimeModel::Moments(int n) const {
   const double nn = static_cast<double>(n);
   ServiceTimeMoments moments;
   // Uniform(0, ROT): mean ROT/2, variance ROT^2/12.
-  moments.mean_s = SeekBound(n) +
-                   nn * (rotation_time_s_ / 2.0 + transfer_->mean());
+  const double seek_mean =
+      seek_bound_kind_ == SeekBoundKind::kBachmat
+          ? BachmatExpectedSeekTotal(seek_, cylinders_, n)
+          : SeekBound(n);
+  moments.mean_s = seek_mean + nn * (rotation_time_s_ / 2.0 +
+                                     transfer_->mean());
   moments.variance_s2 =
       nn * (rotation_time_s_ * rotation_time_s_ / 12.0 + transfer_->variance());
+  if (seek_bound_kind_ == SeekBoundKind::kBachmat) {
+    moments.variance_s2 +=
+        BachmatSeekTotalVarianceBound(seek_, cylinders_, n);
+  }
   return moments;
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "core/chernoff.h"
+#include "core/seek_bound_bachmat.h"
 #include "core/transfer_models.h"
 #include "disk/disk_geometry.h"
 #include "disk/seek_model.h"
@@ -56,7 +57,22 @@ class ServiceTimeModel {
       std::shared_ptr<const TransferModel> transfer);
 
   // Oyang worst-case total seek time SEEK(n) for a round with n requests.
+  // Always the equidistant worst case, regardless of seek_bound_kind()
+  // (the deterministic budget; the Bachmat refinement only sharpens the
+  // MGF-level term, see SeekLogMgf).
   double SeekBound(int n) const;
+
+  // Seek component of the round log-MGF at θ. Equidistant mode charges
+  // the deterministic θ·SEEK(n); Bachmat mode charges the distributional
+  // bound min(θ·SEEK(n), BachmatSeekLogMgf(n, θ)) — never looser, and
+  // valid under uniform random placement (see seek_bound_bachmat.h).
+  double SeekLogMgf(int n, double theta) const;
+
+  // Copy of this model charging `kind` as its seek term. Cheap (the
+  // transfer model is shared).
+  ServiceTimeModel WithSeekBound(SeekBoundKind kind) const;
+
+  SeekBoundKind seek_bound_kind() const { return seek_bound_kind_; }
 
   // Cumulant generating function log E[e^{θ T_n}] (eq. 3.1.4 at s = -θ).
   // Requires 0 <= θ < theta_max().
@@ -81,16 +97,21 @@ class ServiceTimeModel {
   bool has_cf() const { return transfer_->has_cf(); }
 
   // Characteristic function E[e^{iu T_n}] (eq. 3.1.4 at s = -iu). Only
-  // valid if has_cf().
+  // valid if has_cf(). Always uses the deterministic equidistant seek
+  // term (the transform-inversion extension models SEEK(n) as a
+  // constant), regardless of seek_bound_kind().
   std::complex<double> CharacteristicFunction(int n, double u) const;
 
-  // Mean/variance of T_n (exact, independent of the Chernoff machinery).
+  // Mean/variance of T_n. Exact in equidistant mode; in Bachmat mode the
+  // seek contribution is the expected uniform-placement seek total with
+  // the negative-association variance bound (see seek_bound_bachmat.h).
   ServiceTimeMoments Moments(int n) const;
 
   // Component accessors.
   double rotation_time() const { return rotation_time_s_; }
   int cylinders() const { return cylinders_; }
   const TransferModel& transfer_model() const { return *transfer_; }
+  const disk::SeekTimeModel& seek_model() const { return seek_; }
 
  private:
   ServiceTimeModel(const disk::SeekTimeModel& seek, int cylinders,
@@ -105,6 +126,7 @@ class ServiceTimeModel {
   int cylinders_;
   double rotation_time_s_;
   std::shared_ptr<const TransferModel> transfer_;
+  SeekBoundKind seek_bound_kind_ = SeekBoundKind::kEquidistant;
 };
 
 }  // namespace zonestream::core

@@ -12,6 +12,13 @@ double OyangSeekBound(const disk::SeekTimeModel& seek_model, int cylinders,
   ZS_CHECK_GT(cylinders, 0);
   ZS_CHECK_GE(n, 0);
   if (n == 0) return 0.0;
+  if (n == 1) {
+    // A sweep with a single request performs exactly one arm movement of
+    // at most the full stroke; the (N+1)-segment equidistant form would
+    // charge 2*seek(CYL/2) — an inter-stream seek a single stream never
+    // performs (and 2*seek(CYL/2) > seek(CYL) for any concave seek curve).
+    return seek_model.SeekTime(cylinders);
+  }
   // N+1 equidistant segments spanning the whole surface; the segment length
   // is real-valued (the bound is over all real placements).
   const double segment =

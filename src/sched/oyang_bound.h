@@ -23,7 +23,10 @@
 namespace zonestream::sched {
 
 // Worst-case total seek time of one SCAN sweep with `n` requests on a disk
-// with `cylinders` cylinders. Returns 0 for n == 0.
+// with `cylinders` cylinders. Returns 0 for n == 0 and the full-stroke
+// seek time for n == 1 (one request means one arm movement — the
+// equidistant (N+1)-segment form would charge an inter-stream seek a
+// single stream never performs).
 double OyangSeekBound(const disk::SeekTimeModel& seek_model, int cylinders,
                       int n);
 

@@ -1,0 +1,117 @@
+// Five-way admission-bound comparison harness (ROADMAP item 2).
+//
+// Tables N_max side by side from every engine the repo carries:
+//
+//   WC      deterministic worst case (eq. 4.1, baselines.h)
+//   Chern   the paper's Chernoff bound (admission.h / late_bound_scan.h)
+//   Saddle  Lugannani-Rice saddlepoint estimate (saddlepoint.h)
+//   SNC     stochastic network calculus engine (snc.h)
+//   MC      Monte Carlo — replicated naive simulation for moderate
+//           tolerances, importance-sampled deep tails below
+//           BoundComparisonOptions::is_tolerance_threshold
+//
+// across the preset disks and a tolerance grid, plus analytic-only rows
+// for heterogeneous CBR/VBR mixes (MultiClassServiceModel vs. the mixed
+// SNC bound). Shared by bench/bench_bound_comparison.cc and the
+// `zonestream_ctl compare` subcommand; the bench output is pinned as a
+// golden in ctest (bench/golden/bound_comparison.txt).
+//
+// Determinism contract: every MC estimate goes through the replicated
+// estimators with a fixed base seed, so the table is bit-identical at any
+// thread count; all other columns are closed-form. docs/BOUNDS.md walks
+// through a rendered table.
+#ifndef ZONESTREAM_SIM_BOUND_COMPARISON_H_
+#define ZONESTREAM_SIM_BOUND_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/seek_bound_bachmat.h"
+#include "disk/disk_geometry.h"
+#include "disk/seek_model.h"
+
+namespace zonestream::sim {
+
+// One disk under comparison.
+struct ComparisonDisk {
+  std::string name;
+  disk::DiskGeometry geometry;
+  disk::SeekTimeModel seek;
+};
+
+// The four presets of disk/presets.h, in the order the golden pins.
+std::vector<ComparisonDisk> ComparisonPresetDisks();
+
+struct BoundComparisonOptions {
+  // Table 1 workload statistics by default.
+  double mean_size_bytes = 200e3;
+  double variance_size_bytes2 = 100e3 * 100e3;
+  double round_length_s = 1.0;
+  std::vector<double> tolerances = {1e-2, 1e-3, 1e-4};
+  core::SeekBoundKind seek_bound = core::SeekBoundKind::kEquidistant;
+  int n_cap = 4096;
+
+  // Monte Carlo column. The MC scan starts at the Chernoff N_max (where
+  // the bound certifies p_late <= delta) and walks upward while the
+  // estimate stays within delta, up to mc_scan_margin extra streams —
+  // the empirical headroom the bounds leave on the table.
+  bool run_monte_carlo = true;
+  int mc_replications = 8;
+  int mc_rounds_per_replication = 4096;   // naive estimator
+  int is_rounds_per_replication = 1024;   // importance-sampled estimator
+  // Tolerances below this use the importance-sampled estimator (naive MC
+  // would need >> 1/delta rounds per decision there).
+  double is_tolerance_threshold = 3e-3;
+  int mc_scan_margin = 12;
+  uint64_t seed = 42;
+};
+
+// One (disk, tolerance) row of the comparison table.
+struct BoundComparisonCell {
+  std::string disk;
+  double tolerance = 0.0;
+  int worst_case = 0;
+  int chernoff = 0;
+  int saddlepoint = 0;
+  int snc = 0;
+  int monte_carlo = -1;  // -1: MC column not run
+  bool mc_importance_sampled = false;
+};
+
+// Evaluates one row. Fails only if a simulator/model refuses the
+// configuration.
+common::StatusOr<BoundComparisonCell> CompareBoundsCell(
+    const ComparisonDisk& disk, double tolerance,
+    const BoundComparisonOptions& options);
+
+// Every preset disk x every tolerance, preset-major.
+common::StatusOr<std::vector<BoundComparisonCell>> RunBoundComparison(
+    const BoundComparisonOptions& options);
+
+// Renders the cells as an aligned table (integer N_max cells only, so
+// the rendering is golden-stable).
+std::string RenderBoundComparison(const std::vector<BoundComparisonCell>& cells,
+                                  const BoundComparisonOptions& options);
+
+// Analytic-only comparison row for a heterogeneous CBR/VBR mix on the
+// Table 1 disk: the generalized Chernoff bound vs. the mixed SNC bound,
+// as the admissible count of VBR streams on top of `cbr_streams` CBR
+// streams.
+struct MixComparisonRow {
+  std::string mix;
+  double tolerance = 0.0;
+  int chernoff_vbr_max = 0;
+  int snc_vbr_max = 0;
+};
+
+// `cbr_streams` CBR streams (64 KB fixed-size fragments) plus as many
+// Table 1 VBR streams as each engine admits.
+common::StatusOr<std::vector<MixComparisonRow>> RunMixComparison(
+    int cbr_streams, const BoundComparisonOptions& options);
+
+std::string RenderMixComparison(const std::vector<MixComparisonRow>& rows);
+
+}  // namespace zonestream::sim
+
+#endif  // ZONESTREAM_SIM_BOUND_COMPARISON_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -60,6 +61,61 @@ TEST(MaxStreamsTest, ZeroWhenImpossible) {
   const ServiceTimeModel model = TestModel();
   // A 10 ms round cannot even fit one request's worst-case seek.
   EXPECT_EQ(MaxStreamsByLateProbability(model, 0.01, 0.01), 0);
+}
+
+TEST(MaxStreamsTest, InvalidQueriesReturnStructuredSentinel) {
+  // Invalid (t, delta) queries are operator input errors, not programmer
+  // errors: the whole MaxStreams family returns the sentinel 0, and the
+  // Checked variants say why.
+  const ServiceTimeModel model = TestModel();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  for (double t : {0.0, -1.0, inf, nan}) {
+    const MaxStreamsResult result =
+        MaxStreamsByLateProbabilityChecked(model, t, 0.01);
+    EXPECT_EQ(result.n_max, 0) << t;
+    EXPECT_EQ(result.error, AdmissionQueryError::kInvalidRoundLength) << t;
+  }
+  for (double delta : {0.0, -0.5, nan}) {
+    const MaxStreamsResult result =
+        MaxStreamsByLateProbabilityChecked(model, 1.0, delta);
+    EXPECT_EQ(result.n_max, 0) << delta;
+    EXPECT_EQ(result.error, AdmissionQueryError::kInvalidTolerance) << delta;
+  }
+  for (double delta : {1.0, 2.0, inf}) {
+    const MaxStreamsResult result =
+        MaxStreamsByLateProbabilityChecked(model, 1.0, delta);
+    EXPECT_EQ(result.n_max, 0) << delta;
+    EXPECT_EQ(result.error, AdmissionQueryError::kVacuousTolerance) << delta;
+  }
+  const MaxStreamsResult valid =
+      MaxStreamsByLateProbabilityChecked(model, 1.0, 0.01);
+  EXPECT_EQ(valid.error, AdmissionQueryError::kOk);
+  EXPECT_EQ(valid.n_max, MaxStreamsByLateProbability(model, 1.0, 0.01));
+
+  // The un-Checked entry points of the family all honor the sentinel.
+  EXPECT_EQ(MaxStreamsByLateProbability(model, 1.0, 1.0), 0);
+  EXPECT_EQ(MaxStreamsByLateProbability(model, nan, 0.01), 0);
+  EXPECT_EQ(MaxStreamsByGlitchRate(model, 0.0, 1200, 12, 0.01), 0);
+  EXPECT_EQ(MaxStreamsByGlitchRate(model, 1.0, 1200, 12, 1.5), 0);
+  EXPECT_EQ(MaxStreamsByLateProbabilityDegraded(model, -1.0, 0.01, 2), 0);
+  EXPECT_EQ(MaxStreamsByLateProbabilityDegraded(model, 1.0, nan, 2), 0);
+  EXPECT_EQ(MaxStreamsByCombinedCriteria(model, 1.0, /*delta=*/1.0,
+                                         /*m=*/1200, /*g=*/12,
+                                         /*epsilon=*/0.01),
+            0);
+}
+
+TEST(MaxStreamsTest, QueryErrorNamesAreStable) {
+  EXPECT_STREQ(AdmissionQueryErrorName(AdmissionQueryError::kOk), "ok");
+  EXPECT_STREQ(
+      AdmissionQueryErrorName(AdmissionQueryError::kInvalidRoundLength),
+      "invalid_round_length");
+  EXPECT_STREQ(AdmissionQueryErrorName(AdmissionQueryError::kInvalidTolerance),
+               "invalid_tolerance");
+  EXPECT_STREQ(AdmissionQueryErrorName(AdmissionQueryError::kVacuousTolerance),
+               "vacuous_tolerance");
 }
 
 TEST(MaxStreamsTest, GlitchRateConsistentWithBound) {
@@ -200,6 +256,20 @@ TEST(AdmissionTableSnapshotTest, BoundaryContractMatchesTable) {
   EXPECT_EQ(snapshot.MaxStreams(0.001), 8);
   EXPECT_EQ(snapshot.MaxStreams(std::nextafter(0.001, 0.0)), 0);
   EXPECT_EQ(snapshot.MaxStreams(0.05), 20);
+}
+
+TEST(AdmissionTableTest, NanToleranceReturnsZeroOnEveryLookupPath) {
+  // Regression: NaN used to fall through upper_bound to the loosest row
+  // in AdmissionTable but return 0 from the snapshot's scan — the two
+  // lookup paths disagreed on the same query. Both now treat NaN as
+  // satisfying no row.
+  const auto table = BoundaryTable();
+  ASSERT_TRUE(table.ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(table->MaxStreams(nan), 0);
+  const AdmissionTableSnapshot snapshot(*table);
+  EXPECT_EQ(snapshot.MaxStreams(nan), 0);
+  EXPECT_EQ(AdmissionController(*table, nan).max_streams(), 0);
 }
 
 TEST(AdmissionTableSnapshotTest, EmptySnapshotReturnsZero) {

@@ -1,0 +1,89 @@
+// Cross-engine property test (ROADMAP item 2 acceptance): across every
+// preset disk and a tolerance grid, the independent analytic engines
+// must tell one consistent story:
+//
+//   * SNC and Chernoff N_max agree within +-1 stream (same Legendre
+//     transform, disjoint optimizer stacks);
+//   * the saddlepoint *estimate* admits at least as many streams as the
+//     Chernoff *bound* (it has no bound slack to carry);
+//   * every stochastic engine admits at least the deterministic worst
+//     case;
+//   * the Bachmat seek bound never admits fewer streams than the
+//     equidistant one (min-clamp construction).
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/baselines.h"
+#include "core/saddlepoint.h"
+#include "core/seek_bound_bachmat.h"
+#include "core/service_time_model.h"
+#include "core/snc.h"
+#include "disk/presets.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::core {
+namespace {
+
+struct PresetCase {
+  const char* name;
+  disk::DiskGeometry geometry;
+  disk::SeekTimeModel seek;
+};
+
+std::vector<PresetCase> Presets() {
+  return {
+      {"viking2100", disk::QuantumViking2100(), disk::QuantumViking2100Seek()},
+      {"viking-1zone", disk::SingleZoneViking(),
+       disk::QuantumViking2100Seek()},
+      {"small-synth", disk::SyntheticSmallDisk(),
+       disk::SyntheticSmallDiskSeek()},
+      {"fast-synth", disk::SyntheticFastDisk(), disk::SyntheticFastDiskSeek()},
+  };
+}
+
+constexpr double kTolerances[] = {0.05, 0.01, 1e-3, 1e-4, 1e-5};
+constexpr double kRoundLength = 1.0;
+
+TEST(EngineAgreementTest, AllEnginesConsistentAcrossPresetGrid) {
+  auto sizes = workload::GammaSizeDistribution::Create(200e3, 1e10);
+  ASSERT_TRUE(sizes.ok());
+  for (const PresetCase& preset : Presets()) {
+    auto model = ServiceTimeModel::ForMultiZoneDisk(preset.geometry,
+                                                    preset.seek, 200e3, 1e10);
+    ASSERT_TRUE(model.ok()) << preset.name;
+    const ServiceTimeModel bachmat =
+        model->WithSeekBound(SeekBoundKind::kBachmat);
+    const int worst_case =
+        WorstCaseAdmission(preset.geometry, preset.seek, *sizes, kRoundLength,
+                           WorstCaseConfig())
+            .n_max;
+    for (const double delta : kTolerances) {
+      const int chernoff =
+          MaxStreamsByLateProbability(*model, kRoundLength, delta);
+      const int snc = SncMaxStreams(*model, kRoundLength, delta);
+      const int saddle = SaddlepointMaxStreams(*model, kRoundLength, delta);
+      const int chernoff_bachmat =
+          MaxStreamsByLateProbability(bachmat, kRoundLength, delta);
+      const int snc_bachmat = SncMaxStreams(bachmat, kRoundLength, delta);
+
+      EXPECT_LE(std::abs(snc - chernoff), 1)
+          << preset.name << " delta=" << delta << " snc=" << snc
+          << " chernoff=" << chernoff;
+      EXPECT_GE(saddle, chernoff) << preset.name << " delta=" << delta;
+      EXPECT_GE(chernoff_bachmat, chernoff)
+          << preset.name << " delta=" << delta;
+      EXPECT_LE(std::abs(snc_bachmat - chernoff_bachmat), 1)
+          << preset.name << " delta=" << delta;
+      for (int n_max : {chernoff, snc, saddle, chernoff_bachmat}) {
+        EXPECT_GE(n_max, worst_case)
+            << preset.name << " delta=" << delta << " n_max=" << n_max;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zonestream::core

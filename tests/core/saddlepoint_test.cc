@@ -58,6 +58,34 @@ TEST(SaddlepointTest, BelowMeanFallsBackToNormalEstimate) {
   EXPECT_GT(below.probability, 0.8);
 }
 
+TEST(SaddlepointTest, NearMeanLimitingFormBracketsTheMean) {
+  // Regression for the θ̂ → 0 degeneracy: just above the mean the direct
+  // Lugannani-Rice formula catastrophically cancels (1/ŵ - 1/û with both
+  // ~1e3) and used to clamp to 0/1 garbage. The limiting form keeps the
+  // estimate at 1/2 - ρ3/(6√(2π)) + O(t - mean). For Gamma(8, 1):
+  // mean = 8, ρ3 = K'''/K''^{3/2} = 16/8^{3/2} ≈ 0.7071, so the limit is
+  // ≈ 0.4530.
+  const auto log_mgf = [](double theta) { return -8.0 * std::log1p(-theta); };
+  const double limit = 0.5 - 0.70710678 / (6.0 * std::sqrt(2.0 * M_PI));
+  for (double offset : {1e-9, 1e-7, 1e-5, 1e-4, 1e-3}) {
+    const SaddlepointResult result =
+        SaddlepointTailProbability(log_mgf, 1.0, 8.0 + offset);
+    ASSERT_TRUE(result.converged) << offset;
+    EXPECT_NEAR(result.probability, limit, 0.01) << offset;
+  }
+  // Tightening t across the mean must keep the estimate monotone
+  // nonincreasing: the CLT fallback below, the limiting form just above,
+  // and the direct formula further out must not cross.
+  double prev = 1.0;
+  for (double t : {7.0, 7.9, 7.999, 8.0, 8.0 + 1e-6, 8.001, 8.1, 9.0, 12.0}) {
+    const double p = SaddlepointTailProbability(log_mgf, 1.0, t).probability;
+    EXPECT_LE(p, prev + 1e-9) << t;
+    EXPECT_GT(p, 0.0) << t;
+    EXPECT_LT(p, 1.0) << t;
+    prev = p;
+  }
+}
+
 ServiceTimeModel Table1Model() {
   auto model = ServiceTimeModel::ForMultiZoneDisk(
       disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
@@ -120,6 +148,19 @@ TEST(SaddlepointTest, MaxStreamsBetweenChernoffAndSimulatedCapacity) {
   const int saddle_nmax = SaddlepointMaxStreams(model, 1.0, 0.01);
   EXPECT_GE(saddle_nmax, chernoff_nmax);
   EXPECT_LE(saddle_nmax, chernoff_nmax + 4);
+}
+
+TEST(SaddlepointTest, InvalidQueriesReturnSentinelZero) {
+  // Same ValidateAdmissionQuery contract as the MaxStreams family.
+  const ServiceTimeModel model = Table1Model();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(SaddlepointMaxStreams(model, 0.0, 0.01), 0);
+  EXPECT_EQ(SaddlepointMaxStreams(model, -1.0, 0.01), 0);
+  EXPECT_EQ(SaddlepointMaxStreams(model, kInf, 0.01), 0);
+  EXPECT_EQ(SaddlepointMaxStreams(model, 1.0, 0.0), 0);
+  EXPECT_EQ(SaddlepointMaxStreams(model, 1.0, nan), 0);
+  EXPECT_EQ(SaddlepointMaxStreams(model, 1.0, 1.0), 0);
+  EXPECT_EQ(SaddlepointMaxStreams(model, 1.0, 2.0), 0);
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+#include "core/seek_bound_bachmat.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/service_time_model.h"
+#include "disk/presets.h"
+#include "sched/oyang_bound.h"
+
+namespace zonestream::core {
+namespace {
+
+constexpr int kVikingCylinders = 6720;
+
+TEST(BachmatSeekBoundTest, GapMgfIsOneAtThetaZeroAndIncreasing) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  for (int n : {1, 8, 27, 100}) {
+    EXPECT_NEAR(BachmatGapSeekMgf(seek, kVikingCylinders, n, 0.0), 1.0, 1e-12)
+        << n;
+    double prev = 1.0;
+    for (double theta : {1.0, 10.0, 50.0, 200.0}) {
+      const double mgf = BachmatGapSeekMgf(seek, kVikingCylinders, n, theta);
+      EXPECT_GT(mgf, prev) << "n=" << n << " theta=" << theta;
+      prev = mgf;
+    }
+  }
+}
+
+TEST(BachmatSeekBoundTest, GapMomentsMatchMonteCarlo) {
+  // Beta(1, n) is trivially sampled as 1 - U^{1/n}; the quadrature
+  // moments must agree with a direct Monte Carlo average.
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (int n : {3, 27}) {
+    const BachmatGapMoments moments =
+        BachmatGapSeekMoments(seek, kVikingCylinders, n);
+    constexpr int kSamples = 400000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      const double b = 1.0 - std::pow(uniform(rng), 1.0 / n);
+      const double s = seek.SeekTime(b * kVikingCylinders);
+      sum += s;
+      sum_sq += s * s;
+    }
+    const double mc_mean = sum / kSamples;
+    const double mc_var = sum_sq / kSamples - mc_mean * mc_mean;
+    EXPECT_NEAR(moments.mean_s, mc_mean, 0.01 * mc_mean) << n;
+    EXPECT_NEAR(moments.variance_s2, mc_var, 0.05 * mc_var) << n;
+  }
+}
+
+TEST(BachmatSeekBoundTest, LogMgfNeverLooserThanEquidistant) {
+  // The acceptance property, at the log-MGF level: the clamp guarantees
+  // BachmatSeekLogMgf <= θ·SEEK_eq(n) for every (n, θ).
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  for (int n : {1, 2, 5, 10, 27, 64, 200}) {
+    const double equidistant =
+        sched::OyangSeekBound(seek, kVikingCylinders, n);
+    for (double theta : {0.0, 0.5, 5.0, 50.0, 500.0}) {
+      EXPECT_LE(BachmatSeekLogMgf(seek, kVikingCylinders, n, theta),
+                theta * equidistant + 1e-12)
+          << "n=" << n << " theta=" << theta;
+    }
+  }
+}
+
+TEST(BachmatSeekBoundTest, StrictlyTighterAtTypicalLoads) {
+  // At the Viking's operating point the distributional bound must
+  // actually buy something, not just clamp to the worst case. The gain
+  // is modest (uniform spacings have the same mean gap as the
+  // equidistant placement; the win comes from concavity and the gap
+  // fluctuations), so assert strict improvement, not a large one.
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const double theta = 20.0;
+  const double equidistant =
+      theta * sched::OyangSeekBound(seek, kVikingCylinders, 27);
+  EXPECT_LT(BachmatSeekLogMgf(seek, kVikingCylinders, 27, theta),
+            0.97 * equidistant);
+}
+
+TEST(BachmatSeekBoundTest, BuysCapacityOnAtLeastOnePresetCell) {
+  // End-to-end N_max: on the slow synthetic disk (seek-dominated rounds)
+  // the Bachmat term admits a stream the equidistant bound cannot.
+  auto model = ServiceTimeModel::ForMultiZoneDisk(
+      disk::SyntheticSmallDisk(), disk::SyntheticSmallDiskSeek(), 200e3,
+      1e10);
+  ASSERT_TRUE(model.ok());
+  const int equidistant = MaxStreamsByLateProbability(*model, 1.0, 0.01);
+  const int bachmat = MaxStreamsByLateProbability(
+      model->WithSeekBound(SeekBoundKind::kBachmat), 1.0, 0.01);
+  EXPECT_GT(bachmat, equidistant);
+}
+
+TEST(BachmatSeekBoundTest, ExpectedTotalBelowEquidistantAndAboveZero) {
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  for (int n : {1, 8, 27, 100}) {
+    const double expected =
+        BachmatExpectedSeekTotal(seek, kVikingCylinders, n);
+    EXPECT_GT(expected, 0.0) << n;
+    EXPECT_LE(expected, sched::OyangSeekBound(seek, kVikingCylinders, n)) << n;
+    EXPECT_GT(BachmatSeekTotalVarianceBound(seek, kVikingCylinders, n), 0.0)
+        << n;
+  }
+}
+
+TEST(BachmatSeekBoundTest, ModelInBachmatModeAdmitsAtLeastAsMany) {
+  // End to end through ServiceTimeModel: a tighter seek term can only
+  // shrink the late bound, so N_max under Bachmat >= N_max equidistant.
+  auto base = ServiceTimeModel::ForMultiZoneDisk(
+      disk::QuantumViking2100(), disk::QuantumViking2100Seek(), 200e3, 1e10);
+  ASSERT_TRUE(base.ok());
+  const ServiceTimeModel bachmat =
+      base->WithSeekBound(SeekBoundKind::kBachmat);
+  EXPECT_EQ(base->seek_bound_kind(), SeekBoundKind::kEquidistant);
+  EXPECT_EQ(bachmat.seek_bound_kind(), SeekBoundKind::kBachmat);
+  for (int n : {10, 27, 40}) {
+    for (double theta : {1.0, 10.0, 40.0}) {
+      EXPECT_LE(bachmat.LogMgf(n, theta), base->LogMgf(n, theta) + 1e-12)
+          << "n=" << n << " theta=" << theta;
+    }
+    EXPECT_LE(bachmat.LateBound(n, 1.0).bound,
+              base->LateBound(n, 1.0).bound + 1e-15)
+        << n;
+    EXPECT_LE(bachmat.Moments(n).mean_s, base->Moments(n).mean_s + 1e-12)
+        << n;
+  }
+}
+
+TEST(BachmatSeekBoundTest, KindNamesAreStable) {
+  EXPECT_STREQ(SeekBoundKindName(SeekBoundKind::kEquidistant), "equidistant");
+  EXPECT_STREQ(SeekBoundKindName(SeekBoundKind::kBachmat), "bachmat");
+}
+
+}  // namespace
+}  // namespace zonestream::core

@@ -23,12 +23,25 @@ TEST(OyangBoundTest, PaperSeekValueForN27) {
 }
 
 TEST(OyangBoundTest, EquidistantConstruction) {
-  // SEEK(N) = (N+1) * seek(CYL/(N+1)) by construction.
+  // SEEK(N) = (N+1) * seek(CYL/(N+1)) by construction for N >= 2.
   const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
-  for (int n : {1, 5, 27, 100}) {
+  for (int n : {2, 5, 27, 100}) {
     EXPECT_DOUBLE_EQ(OyangSeekBound(seek, 6720, n),
                      (n + 1) * seek.SeekTime(6720.0 / (n + 1)));
   }
+}
+
+TEST(OyangBoundTest, SingleRequestPaysOneFullStrokeSeek) {
+  // N = 1 performs exactly one arm movement, so the worst case is one
+  // full-stroke seek — strictly below the equidistant form's
+  // 2*seek(CYL/2), which charges an inter-stream seek that a single
+  // admitted stream never performs.
+  const disk::SeekTimeModel seek = disk::QuantumViking2100Seek();
+  const double bound = OyangSeekBound(seek, 6720, 1);
+  EXPECT_DOUBLE_EQ(bound, seek.SeekTime(6720.0));
+  EXPECT_LT(bound, 2.0 * seek.SeekTime(6720.0 / 2.0));
+  // And it is still an upper bound on the worst realizable single seek.
+  EXPECT_GE(bound, TotalSeekTimeOfSweep(seek, {6719}, 0));
 }
 
 TEST(OyangBoundTest, MonotoneIncreasingInN) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -153,6 +154,13 @@ TEST(AdmissionServiceTest, AdmitByToleranceBoundaryContract) {
   outcome = service->AdmitByTolerance(0, 0.02);
   ASSERT_EQ(outcome.result, ServiceResult::kOk);
   EXPECT_EQ(outcome.class_index, 1u);
+
+  // NaN satisfies no class (every `<=` comparison is false), matching
+  // the core AdmissionTable/Snapshot sentinel for NaN tolerances — a
+  // malformed wire value must not admit into the loosest class.
+  outcome =
+      service->AdmitByTolerance(0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(outcome.result, ServiceResult::kUnknownClass);
 }
 
 TEST(AdmissionServiceTest, PublishTableScalesClassLimits) {

@@ -1,0 +1,147 @@
+// The comparison harness itself, plus simulation confirmation cells for
+// the SNC engine: at the SNC-admitted N_max the *simulated* late
+// probability (importance-sampled for deep tolerances) must respect the
+// bound the engine certified.
+#include "sim/bound_comparison.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/service_time_model.h"
+#include "core/snc.h"
+#include "disk/presets.h"
+#include "sim/importance_sampling.h"
+#include "sim/replication.h"
+#include "sim/round_simulator.h"
+#include "workload/size_distribution.h"
+
+namespace zonestream::sim {
+namespace {
+
+BoundComparisonOptions FastOptions() {
+  BoundComparisonOptions options;
+  options.tolerances = {0.01};
+  options.mc_rounds_per_replication = 512;
+  options.mc_replications = 4;
+  options.mc_scan_margin = 4;
+  return options;
+}
+
+TEST(BoundComparisonTest, CellOrderingInvariants) {
+  // One cheap cell end-to-end: WC <= Chernoff, |SNC - Chernoff| <= 1,
+  // saddlepoint >= Chernoff, MC >= Chernoff (the bound certifies p_late
+  // <= delta at the Chernoff limit, so simulation cannot admit less).
+  const ComparisonDisk viking = ComparisonPresetDisks().front();
+  auto cell = CompareBoundsCell(viking, 0.01, FastOptions());
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell->disk, "viking2100");
+  EXPECT_GT(cell->worst_case, 0);
+  EXPECT_LE(cell->worst_case, cell->chernoff);
+  EXPECT_LE(std::abs(cell->snc - cell->chernoff), 1);
+  EXPECT_GE(cell->saddlepoint, cell->chernoff);
+  EXPECT_GE(cell->monte_carlo, cell->chernoff);
+  EXPECT_FALSE(cell->mc_importance_sampled);
+}
+
+TEST(BoundComparisonTest, DeepToleranceUsesImportanceSampling) {
+  BoundComparisonOptions options = FastOptions();
+  options.tolerances = {1e-4};
+  options.is_rounds_per_replication = 256;
+  const ComparisonDisk viking = ComparisonPresetDisks().front();
+  auto cell = CompareBoundsCell(viking, 1e-4, options);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_TRUE(cell->mc_importance_sampled);
+  EXPECT_GE(cell->monte_carlo, cell->chernoff);
+}
+
+TEST(BoundComparisonTest, MonteCarloColumnSkippable) {
+  BoundComparisonOptions options = FastOptions();
+  options.run_monte_carlo = false;
+  const ComparisonDisk viking = ComparisonPresetDisks().front();
+  auto cell = CompareBoundsCell(viking, 0.01, options);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell->monte_carlo, -1);
+}
+
+TEST(BoundComparisonTest, RenderingIsDeterministic) {
+  BoundComparisonOptions options = FastOptions();
+  options.run_monte_carlo = false;
+  auto cells = RunBoundComparison(options);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 4u);  // 4 presets x 1 tolerance
+  const std::string first = RenderBoundComparison(*cells, options);
+  auto again = RunBoundComparison(options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first, RenderBoundComparison(*again, options));
+  EXPECT_NE(first.find("viking2100"), std::string::npos);
+  EXPECT_NE(first.find("Chernoff"), std::string::npos);
+}
+
+TEST(BoundComparisonTest, MixRowsCrossCheck) {
+  auto rows = RunMixComparison(12, FastOptions());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_LE(std::abs(rows->front().snc_vbr_max -
+                     rows->front().chernoff_vbr_max),
+            1);
+  EXPECT_GT(rows->front().chernoff_vbr_max, 0);
+  const std::string rendered = RenderMixComparison(*rows);
+  EXPECT_NE(rendered.find("12xCBR64K+VBR"), std::string::npos);
+}
+
+// Simulation confirmation cells: the simulated p_late at the SNC N_max
+// must sit at or below the certified tolerance (the Oyang/Bachmat seek
+// conservatism means it usually sits far below).
+TEST(SncSimulationConfirmationTest, NaiveCellAtOnePercent) {
+  const ComparisonDisk viking = ComparisonPresetDisks().front();
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      viking.geometry, viking.seek, 200e3, 1e10);
+  ASSERT_TRUE(model.ok());
+  const double delta = 0.01;
+  const int n_max = core::SncMaxStreams(*model, 1.0, delta);
+  ASSERT_GT(n_max, 0);
+
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 1e10));
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  ReplicationOptions replication;
+  replication.replications = 4;
+  auto estimate = EstimateLateProbabilityReplicated(
+      viking.geometry, viking.seek, n_max,
+      RoundSimulator::IidFactory(sizes), config,
+      /*rounds_per_replication=*/4000, replication);
+  ASSERT_TRUE(estimate.ok());
+  // The upper CI end must clear the certified bound.
+  EXPECT_LE(estimate->ci_upper, delta);
+}
+
+TEST(SncSimulationConfirmationTest, ImportanceSampledDeepCell) {
+  const ComparisonDisk viking = ComparisonPresetDisks().front();
+  auto model = core::ServiceTimeModel::ForMultiZoneDisk(
+      viking.geometry, viking.seek, 200e3, 1e10);
+  ASSERT_TRUE(model.ok());
+  const double delta = 1e-4;
+  const int n_max = core::SncMaxStreams(*model, 1.0, delta);
+  ASSERT_GT(n_max, 0);
+
+  auto sizes = std::make_shared<workload::GammaSizeDistribution>(
+      *workload::GammaSizeDistribution::Create(200e3, 1e10));
+  SimulatorConfig config;
+  config.round_length_s = 1.0;
+  ReplicationOptions replication;
+  replication.replications = 4;
+  ImportanceSamplingOptions is_options;  // auto tilt
+  auto estimate = EstimateLateProbabilityIS(
+      viking.geometry, viking.seek, n_max, sizes, config,
+      /*rounds_per_replication=*/8192, replication, is_options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate->ess, 20.0);
+  EXPECT_LE(estimate->ci_upper, delta);
+}
+
+}  // namespace
+}  // namespace zonestream::sim
