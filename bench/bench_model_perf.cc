@@ -3,8 +3,14 @@
 // run-time overhead", and that re-evaluating the model (on configuration
 // change) is fast. google-benchmark microbenchmarks of every piece of that
 // pipeline.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -19,6 +25,8 @@
 #include "obs/round_trace.h"
 #include "server/media_server.h"
 #include "service/admission_service.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
 #include "service/rcu.h"
 #include "sim/importance_sampling.h"
 #include "sim/replication.h"
@@ -371,6 +379,131 @@ BENCHMARK(BM_AdmissionServiceThroughput)
     ->Threads(2)
     ->Threads(4)
     ->UseRealTime();
+
+// Raw-socket helpers for the flash-crowd benchmark: the burst has to be
+// genuinely concurrent (every admit on the wire before any response is
+// read), which the synchronous AdmitClient cannot produce.
+int ConnectBenchSocket(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ZS_CHECK(fd >= 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ZS_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+  return fd;
+}
+
+void SendAllBench(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    ZS_CHECK(n > 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+service::Response ReadResponseFrame(int fd, std::string* buffer) {
+  for (;;) {
+    size_t consumed = 0;
+    std::string_view payload;
+    const service::FrameParse parse =
+        service::NextFrame(*buffer, &consumed, &payload);
+    ZS_CHECK(parse != service::FrameParse::kError);
+    if (parse == service::FrameParse::kFrame) {
+      auto response = service::DecodeResponse(payload);
+      ZS_CHECK(response.ok());
+      buffer->erase(0, consumed);
+      return *response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ZS_CHECK(n > 0);
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// Experiment R1 — flash-crowd arrival against the real daemon over its
+// unix socket. One iteration is one burst: range(0) clients connect and
+// each fires an admit before any response is read, so the per-poll
+// request budget (set to half the burst) genuinely bites; admitted
+// sessions are then torn down. items_per_second counts burst admits;
+// p50_ns/p99_ns are the service's own admit-latency percentiles;
+// shed_fraction is the share of requests answered kOverloaded instead
+// of served — the overload-hardening tradeoff in one number.
+void BM_AdmissionDaemonFlashCrowd(benchmark::State& state) {
+  const int crowd = static_cast<int>(state.range(0));
+  const std::string socket_path = "/tmp/zs_bench_crowd_" +
+                                  std::to_string(::getpid()) + ".sock";
+  obs::Registry registry;  // latency is only accumulated with metrics on
+  service::AdmissionServiceConfig config;
+  config.classes = {{"gold", 0.001}, {"silver", 0.01}, {"bronze", 0.05}};
+  config.registry.capacity = 1 << 20;
+  config.metrics = &registry;
+  auto svc = service::AdmissionService::Create(config);
+  ZS_CHECK(svc.ok());
+  ZS_CHECK((*svc)->PublishLimits({1 << 20, 1 << 20, 1 << 20}).ok());
+
+  service::DaemonOptions options;
+  options.socket_path = socket_path;
+  options.poll_interval_ms = 1;
+  options.max_connections = 2 * crowd;
+  options.max_requests_per_poll = crowd > 1 ? crowd / 2 : 1;
+  options.retry_after_ms = 1;
+  auto daemon = service::AdmitDaemon::Create(svc->get(), options);
+  ZS_CHECK(daemon.ok());
+  std::thread serve([&daemon] { (void)(*daemon)->Serve(); });
+
+  service::Request admit;
+  admit.op = service::OpCode::kAdmitClass;  // session_id 0: auto-assign
+  std::string admit_frame;
+  service::AppendFrame(&admit_frame, service::EncodeRequest(admit));
+
+  int64_t burst_requests = 0;
+  for (auto _ : state) {
+    std::vector<int> fds(static_cast<size_t>(crowd));
+    std::vector<std::string> buffers(static_cast<size_t>(crowd));
+    for (int c = 0; c < crowd; ++c) {
+      fds[static_cast<size_t>(c)] = ConnectBenchSocket(socket_path);
+      admit.class_index = static_cast<uint32_t>(c) % 3;
+      std::string frame;
+      service::AppendFrame(&frame, service::EncodeRequest(admit));
+      SendAllBench(fds[static_cast<size_t>(c)], frame);
+    }
+    for (int c = 0; c < crowd; ++c) {
+      const int fd = fds[static_cast<size_t>(c)];
+      std::string* buffer = &buffers[static_cast<size_t>(c)];
+      const service::Response response = ReadResponseFrame(fd, buffer);
+      if (response.status == service::WireStatus::kOk) {
+        service::Request teardown;
+        teardown.op = service::OpCode::kTeardown;
+        teardown.session_id = response.session_id;
+        std::string frame;
+        service::AppendFrame(&frame, service::EncodeRequest(teardown));
+        SendAllBench(fd, frame);
+        (void)ReadResponseFrame(fd, buffer);  // kOk or a shed; both fine
+      }
+      ::close(fd);
+    }
+    burst_requests += crowd;
+  }
+  (*daemon)->RequestShutdown();
+  serve.join();
+  ::unlink(socket_path.c_str());
+
+  state.SetItemsProcessed(burst_requests);
+  state.counters["p50_ns"] = (*svc)->LatencyQuantile(0.5) * 1e9;
+  state.counters["p99_ns"] = (*svc)->LatencyQuantile(0.99) * 1e9;
+  const service::DaemonOverloadStats stats = (*daemon)->overload_stats();
+  const double answered = static_cast<double>((*daemon)->requests_served() +
+                                              stats.shed_requests);
+  state.counters["shed_fraction"] =
+      answered > 0
+          ? static_cast<double>(stats.shed_requests) / answered
+          : 0.0;
+}
+BENCHMARK(BM_AdmissionDaemonFlashCrowd)->Arg(8)->Arg(32)->UseRealTime();
 
 void BM_ModelBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -182,7 +182,7 @@ int RunAdmitd(int argc, char** argv) {
   const char* const usage =
       "usage: %s admitd <ping|admit|teardown|transition|stats|checkpoint|"
       "digest|shutdown> --socket PATH [--session ID] [--class N] "
-      "[--tolerance T]\n";
+      "[--tolerance T] [--timeout-ms MS] [--retries N]\n";
   if (argc < 3) {
     std::fprintf(stderr, usage, argv[0]);
     return 2;
@@ -192,6 +192,7 @@ int RunAdmitd(int argc, char** argv) {
   uint64_t session = 0;
   int class_index = -1;
   double tolerance = -1.0;
+  service::ClientOptions client_options;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -207,6 +208,24 @@ int RunAdmitd(int argc, char** argv) {
     } else if (flag == "--tolerance" && value != nullptr) {
       tolerance = std::atof(value);
       ++i;
+    } else if (flag == "--timeout-ms" && value != nullptr) {
+      // One deadline flag covers both phases: connect and each request.
+      const int timeout_ms = std::atoi(value);
+      if (timeout_ms <= 0) {
+        std::fprintf(stderr, "admitd: --timeout-ms must be positive\n");
+        return 2;
+      }
+      client_options.connect_timeout_ms = timeout_ms;
+      client_options.request_timeout_ms = timeout_ms;
+      ++i;
+    } else if (flag == "--retries" && value != nullptr) {
+      const int retries = std::atoi(value);
+      if (retries < 0) {
+        std::fprintf(stderr, "admitd: --retries must be >= 0\n");
+        return 2;
+      }
+      client_options.max_retries = retries;
+      ++i;
     } else {
       std::fprintf(stderr, usage, argv[0]);
       return 2;
@@ -216,7 +235,7 @@ int RunAdmitd(int argc, char** argv) {
     std::fprintf(stderr, "admitd: --socket is required\n");
     return 2;
   }
-  auto client = service::AdmitClient::Connect(socket);
+  auto client = service::AdmitClient::Connect(socket, client_options);
   if (!client.ok()) {
     std::fprintf(stderr, "admitd: %s\n",
                  client.status().ToString().c_str());

@@ -1,0 +1,141 @@
+// Fuzz target for the overload-hardening surfaces that consume
+// untrusted bytes: the chaos-spec grammar (operator CLI input), the
+// deterministic byte-mangling core, and the wire framing/decoders the
+// daemon and client run against whatever a chaotic socket delivers.
+//
+// The input splits three ways: a spec string, an RNG seed, and a byte
+// stream. Invariants checked:
+//   * ParseChaosSpec never crashes; accepted specs round-trip through
+//     FormatChaosSpec.
+//   * ApplyChaosToBytes never crashes and respects its contract:
+//     truncation never grows the payload beyond original+garbage, delay
+//     stays inside [min_ms, max_ms], chunk stays inside
+//     [1, partial_max_bytes].
+//   * NextFrame over the mangled stream never reads out of bounds,
+//     always consumes monotonically, and every extracted frame survives
+//     DecodeRequest/DecodeResponse (either decodes or errors — no UB).
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "service/chaos.h"
+#include "service/protocol.h"
+
+namespace {
+
+using zonestream::service::ApplyChaosToBytes;
+using zonestream::service::ChaosOutcome;
+using zonestream::service::ChaosSpec;
+using zonestream::service::FormatChaosSpec;
+using zonestream::service::FrameParse;
+using zonestream::service::NextFrame;
+using zonestream::service::ParseChaosSpec;
+
+void DrainFrames(std::string_view stream) {
+  size_t offset = 0;
+  while (offset <= stream.size()) {
+    size_t consumed = 0;
+    std::string_view payload;
+    const FrameParse parse =
+        NextFrame(stream.substr(offset), &consumed, &payload);
+    if (parse != FrameParse::kFrame) break;  // kNeedMore / kError: done
+    if (consumed == 0) __builtin_trap();     // must make progress
+    // Both decoders must handle any extracted frame without UB; a
+    // mangled stream can desynchronize into either direction's framing.
+    (void)zonestream::service::DecodeRequest(payload);
+    (void)zonestream::service::DecodeResponse(payload);
+    offset += consumed;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Layout: [8-byte seed][spec text up to first '\n'][byte stream].
+  uint64_t seed = 0;
+  if (size >= sizeof(seed)) {
+    std::memcpy(&seed, data, sizeof(seed));
+    data += sizeof(seed);
+    size -= sizeof(seed);
+  }
+  const std::string_view rest(reinterpret_cast<const char*>(data), size);
+  const size_t newline = rest.find('\n');
+  const std::string_view spec_text =
+      newline == std::string_view::npos ? rest : rest.substr(0, newline);
+  const std::string_view stream_bytes =
+      newline == std::string_view::npos ? std::string_view()
+                                        : rest.substr(newline + 1);
+
+  const auto spec = ParseChaosSpec(std::string(spec_text));
+  if (spec.ok()) {
+    const std::string formatted = FormatChaosSpec(*spec);
+    if (!ParseChaosSpec(formatted).ok()) __builtin_trap();
+  }
+
+  // Mangle the stream under the parsed spec (or a fixed all-faults spec
+  // when the text was rejected, so the mangler always gets exercised).
+  ChaosSpec active;
+  if (spec.ok()) {
+    active = *spec;
+  } else {
+    active.partial_prob = 0.5;
+    active.partial_max_bytes = 3;
+    active.delay_prob = 0.5;
+    active.delay_max_ms = 4;
+    active.reset_prob = 0.25;
+    active.short_frame_prob = 0.5;
+    active.garbage_prob = 0.5;
+    active.garbage_max_bytes = 5;
+  }
+  std::mt19937_64 rng(seed);
+  std::string mangled(stream_bytes);
+  const size_t original_size = mangled.size();
+  const ChaosOutcome outcome = ApplyChaosToBytes(active, rng, &mangled);
+  if (mangled.size() >
+      original_size + static_cast<size_t>(active.garbage_max_bytes)) {
+    __builtin_trap();
+  }
+  if (outcome.delay_ms < 0 || outcome.delay_ms > active.delay_max_ms) {
+    __builtin_trap();
+  }
+  if (outcome.chunk_bytes >
+      static_cast<size_t>(active.partial_max_bytes)) {
+    __builtin_trap();
+  }
+
+  // The framing layer must survive both the raw and the mangled stream.
+  DrainFrames(stream_bytes);
+  DrainFrames(mangled);
+  return 0;
+}
+
+#ifndef ZS_HAVE_LIBFUZZER
+#include "fuzz_driver.h"
+
+namespace {
+
+// Seed: all-faults spec followed by two well-formed frames (a 25-byte
+// admit request and a short response-shaped blob), so mutations explore
+// the boundary between valid framing and chaos-mangled bytes.
+std::string MakeSeed() {
+  std::string seed("\x42\x00\x00\x00\x00\x00\x00\x00", 8);
+  seed +=
+      "partial:prob=0.5,max_bytes=8;delay:prob=0.1,min_ms=1,max_ms=5;"
+      "reset:prob=0.01;short_frame:prob=0.05;garbage:prob=0.07,max_bytes=4"
+      "\n";
+  std::string request(25, '\0');
+  request[0] = 1;  // OpCode::kAdmitClass-shaped byte
+  zonestream::service::AppendFrame(&seed, request);
+  zonestream::service::AppendFrame(&seed, std::string(49, '\x07'));
+  return seed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return zonestream::fuzz::RunStandaloneDriver(argc, argv, {MakeSeed()});
+}
+#endif

@@ -1,0 +1,458 @@
+#include "service/chaos.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace zonestream::service {
+
+namespace {
+
+// Same clause grammar helpers as fault::ParseFaultSpec, with "chaos
+// spec:" error prefixes so a misrouted spec string is obvious.
+std::vector<std::string> Split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(separator, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+common::StatusOr<std::map<std::string, std::string>> ParsePairs(
+    const std::string& clause, const std::string& body) {
+  std::map<std::string, std::string> pairs;
+  if (body.empty()) return pairs;
+  for (const std::string& item : Split(body, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return common::Status::InvalidArgument(
+          "chaos spec: expected key=value in '" + clause + "', got '" +
+          item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    if (!pairs.emplace(key, item.substr(eq + 1)).second) {
+      return common::Status::InvalidArgument(
+          "chaos spec: duplicate key '" + key + "' in '" + clause + "'");
+    }
+  }
+  return pairs;
+}
+
+common::Status TakeDouble(std::map<std::string, std::string>* pairs,
+                          const std::string& key, double* out) {
+  auto it = pairs->find(key);
+  if (it == pairs->end()) return common::Status::Ok();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || !std::isfinite(value) ||
+      errno == ERANGE) {
+    return common::Status::InvalidArgument(
+        "chaos spec: bad number for '" + key + "': '" + it->second + "'");
+  }
+  *out = value;
+  pairs->erase(it);
+  return common::Status::Ok();
+}
+
+common::Status TakeInt(std::map<std::string, std::string>* pairs,
+                       const std::string& key, int* out) {
+  auto it = pairs->find(key);
+  if (it == pairs->end()) return common::Status::Ok();
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE ||
+      value < -2147483648LL || value > 2147483647LL) {
+    return common::Status::InvalidArgument(
+        "chaos spec: bad integer for '" + key + "': '" + it->second + "'");
+  }
+  *out = static_cast<int>(value);
+  pairs->erase(it);
+  return common::Status::Ok();
+}
+
+common::Status CheckDrained(const std::map<std::string, std::string>& pairs,
+                            const std::string& clause) {
+  if (pairs.empty()) return common::Status::Ok();
+  return common::Status::InvalidArgument("chaos spec: unknown key '" +
+                                         pairs.begin()->first + "' in '" +
+                                         clause + "'");
+}
+
+common::Status CheckProbability(double value, const std::string& clause) {
+  if (value >= 0.0 && value <= 1.0) return common::Status::Ok();
+  return common::Status::InvalidArgument(
+      "chaos spec: prob in '" + clause + "' must be in [0,1]");
+}
+
+std::string Num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+int ConnectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Blocking send of the whole buffer, optionally in chunks of at most
+// `chunk_bytes` so the receiver sees partial reads.
+bool SendChunked(int fd, const std::string& bytes, size_t chunk_bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    size_t want = bytes.size() - offset;
+    if (chunk_bytes > 0 && want > chunk_bytes) want = chunk_bytes;
+    const ssize_t n = ::send(fd, bytes.data() + offset, want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+common::StatusOr<ChaosSpec> ParseChaosSpec(const std::string& text) {
+  ChaosSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& clause : Split(text, ';')) {
+    if (clause.empty()) continue;
+    const size_t colon = clause.find(':');
+    const std::string model = clause.substr(0, colon);
+    const std::string body =
+        colon == std::string::npos ? "" : clause.substr(colon + 1);
+    auto pairs = ParsePairs(clause, body);
+    if (!pairs.ok()) return pairs.status();
+    common::Status status = common::Status::Ok();
+    if (model == "partial") {
+      if (status.ok()) status = TakeDouble(&*pairs, "prob", &spec.partial_prob);
+      if (status.ok())
+        status = TakeInt(&*pairs, "max_bytes", &spec.partial_max_bytes);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (status.ok()) status = CheckProbability(spec.partial_prob, clause);
+      if (status.ok() && spec.partial_max_bytes < 1) {
+        status = common::Status::InvalidArgument(
+            "chaos spec: partial max_bytes must be >= 1");
+      }
+    } else if (model == "delay") {
+      if (status.ok()) status = TakeDouble(&*pairs, "prob", &spec.delay_prob);
+      if (status.ok()) status = TakeInt(&*pairs, "min_ms", &spec.delay_min_ms);
+      if (status.ok()) status = TakeInt(&*pairs, "max_ms", &spec.delay_max_ms);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (status.ok()) status = CheckProbability(spec.delay_prob, clause);
+      if (status.ok() &&
+          (spec.delay_min_ms < 0 || spec.delay_max_ms < spec.delay_min_ms)) {
+        status = common::Status::InvalidArgument(
+            "chaos spec: delay needs 0 <= min_ms <= max_ms");
+      }
+    } else if (model == "reset") {
+      if (status.ok()) status = TakeDouble(&*pairs, "prob", &spec.reset_prob);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (status.ok()) status = CheckProbability(spec.reset_prob, clause);
+    } else if (model == "short_frame") {
+      if (status.ok())
+        status = TakeDouble(&*pairs, "prob", &spec.short_frame_prob);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (status.ok())
+        status = CheckProbability(spec.short_frame_prob, clause);
+    } else if (model == "garbage") {
+      if (status.ok()) status = TakeDouble(&*pairs, "prob", &spec.garbage_prob);
+      if (status.ok())
+        status = TakeInt(&*pairs, "max_bytes", &spec.garbage_max_bytes);
+      if (status.ok()) status = CheckDrained(*pairs, clause);
+      if (status.ok()) status = CheckProbability(spec.garbage_prob, clause);
+      if (status.ok() && spec.garbage_max_bytes < 1) {
+        status = common::Status::InvalidArgument(
+            "chaos spec: garbage max_bytes must be >= 1");
+      }
+    } else {
+      return common::Status::InvalidArgument(
+          "chaos spec: unknown model '" + model +
+          "' (expected partial, delay, reset, short_frame, or garbage)");
+    }
+    if (!status.ok()) return status;
+  }
+  return spec;
+}
+
+std::string FormatChaosSpec(const ChaosSpec& spec) {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += ';';
+    out += text;
+  };
+  if (spec.partial_prob > 0.0) {
+    clause("partial:prob=" + Num(spec.partial_prob) +
+           ",max_bytes=" + std::to_string(spec.partial_max_bytes));
+  }
+  if (spec.delay_prob > 0.0) {
+    clause("delay:prob=" + Num(spec.delay_prob) +
+           ",min_ms=" + std::to_string(spec.delay_min_ms) +
+           ",max_ms=" + std::to_string(spec.delay_max_ms));
+  }
+  if (spec.reset_prob > 0.0) clause("reset:prob=" + Num(spec.reset_prob));
+  if (spec.short_frame_prob > 0.0) {
+    clause("short_frame:prob=" + Num(spec.short_frame_prob));
+  }
+  if (spec.garbage_prob > 0.0) {
+    clause("garbage:prob=" + Num(spec.garbage_prob) +
+           ",max_bytes=" + std::to_string(spec.garbage_max_bytes));
+  }
+  return out;
+}
+
+ChaosOutcome ApplyChaosToBytes(const ChaosSpec& spec, std::mt19937_64& rng,
+                               std::string* bytes) {
+  ChaosOutcome outcome;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Each clause draws its coin AND its parameters unconditionally, so
+  // the RNG stream position after a call is a function of the spec and
+  // the byte count alone — the property the fuzzer and the determinism
+  // test rely on.
+  const bool delay = coin(rng) < spec.delay_prob;
+  {
+    std::uniform_int_distribution<int> pick(spec.delay_min_ms,
+                                            std::max(spec.delay_min_ms,
+                                                     spec.delay_max_ms));
+    const int delay_ms = pick(rng);
+    if (delay) outcome.delay_ms = delay_ms;
+  }
+
+  const bool truncate = coin(rng) < spec.short_frame_prob;
+  if (!bytes->empty()) {
+    std::uniform_int_distribution<size_t> pick(0, bytes->size() - 1);
+    const size_t keep = pick(rng);
+    if (truncate) {
+      bytes->resize(keep);
+      outcome.truncated = true;
+    }
+  }
+
+  const bool garbage = coin(rng) < spec.garbage_prob;
+  {
+    std::uniform_int_distribution<int> count(
+        1, std::max(1, spec.garbage_max_bytes));
+    const int n = count(rng);
+    std::uniform_int_distribution<size_t> at(0, bytes->size());
+    const size_t offset = at(rng);
+    std::string junk;
+    junk.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      junk.push_back(static_cast<char>(rng() & 0xff));
+    }
+    if (garbage) {
+      bytes->insert(offset, junk);
+      outcome.garbage_injected = true;
+    }
+  }
+
+  outcome.reset = coin(rng) < spec.reset_prob;
+
+  const bool partial = coin(rng) < spec.partial_prob;
+  {
+    std::uniform_int_distribution<int> pick(
+        1, std::max(1, spec.partial_max_bytes));
+    const int chunk = pick(rng);
+    if (partial) outcome.chunk_bytes = static_cast<size_t>(chunk);
+  }
+  return outcome;
+}
+
+struct ChaosProxy::Relay {
+  int client_fd = -1;
+  int upstream_fd = -1;
+  std::mt19937_64 rng;
+  std::thread thread;
+};
+
+ChaosProxy::ChaosProxy(const ChaosProxyOptions& options)
+    : options_(options) {}
+
+common::StatusOr<std::unique_ptr<ChaosProxy>> ChaosProxy::Start(
+    const ChaosProxyOptions& options) {
+  if (options.listen_path.empty() || options.upstream_path.empty()) {
+    return common::Status::InvalidArgument(
+        "chaos proxy: listen_path and upstream_path are required");
+  }
+  if (options.listen_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return common::Status::InvalidArgument(
+        "chaos proxy: listen_path too long for a unix socket");
+  }
+  std::unique_ptr<ChaosProxy> proxy(new ChaosProxy(options));
+  proxy->listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (proxy->listen_fd_ < 0) {
+    return common::Status::Internal("chaos proxy: socket() failed");
+  }
+  ::unlink(options.listen_path.c_str());
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, options.listen_path.c_str(),
+              options.listen_path.size() + 1);
+  if (::bind(proxy->listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(proxy->listen_fd_, options.listen_backlog) != 0) {
+    return common::Status::Internal("chaos proxy: bind/listen failed on " +
+                                    options.listen_path);
+  }
+  proxy->accept_thread_ = std::thread([raw = proxy.get()] {
+    raw->AcceptLoop();
+  });
+  return proxy;
+}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+void ChaosProxy::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.listen_path.c_str());
+    listen_fd_ = -1;
+  }
+  std::vector<std::unique_ptr<Relay>> relays;
+  {
+    std::lock_guard<std::mutex> lock(relays_mutex_);
+    relays.swap(relays_);
+  }
+  for (auto& relay : relays) {
+    if (relay->thread.joinable()) relay->thread.join();
+    if (relay->client_fd >= 0) ::close(relay->client_fd);
+    if (relay->upstream_fd >= 0) ::close(relay->upstream_fd);
+  }
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  ChaosProxyStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.resets_injected = resets_.load(std::memory_order_relaxed);
+  stats.delays_injected = delays_.load(std::memory_order_relaxed);
+  stats.garbage_injected = garbage_.load(std::memory_order_relaxed);
+  stats.truncations_injected = truncations_.load(std::memory_order_relaxed);
+  stats.bytes_forwarded = bytes_forwarded_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ChaosProxy::AcceptLoop() {
+  uint64_t index = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd poll_fd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&poll_fd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const int upstream = ConnectUnix(options_.upstream_path);
+    if (upstream < 0) {
+      // Upstream down (e.g. the soak's daemon is mid-restart): drop the
+      // client, which sees EOF and retries.
+      ::close(client);
+      continue;
+    }
+    auto relay = std::make_unique<Relay>();
+    relay->client_fd = client;
+    relay->upstream_fd = upstream;
+    relay->rng.seed(options_.seed + index * 0x9e3779b97f4a7c15ULL);
+    ++index;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    Relay* raw = relay.get();
+    relay->thread = std::thread([this, raw] { RelayLoop(raw); });
+    std::lock_guard<std::mutex> lock(relays_mutex_);
+    relays_.push_back(std::move(relay));
+  }
+}
+
+void ChaosProxy::RelayLoop(Relay* relay) {
+  bool closed = false;
+  while (!closed && !stop_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{relay->client_fd, POLLIN, 0},
+                     {relay->upstream_fd, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    for (int i = 0; i < 2 && !closed; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char buffer[4096];
+      const ssize_t n = ::recv(fds[i].fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        closed = true;
+        break;
+      }
+      std::string bytes(buffer, static_cast<size_t>(n));
+      const bool to_upstream = i == 0;
+      ChaosOutcome outcome;
+      const bool mangle =
+          options_.spec.Enabled() && (to_upstream ? options_.chaos_to_upstream
+                                                  : options_.chaos_to_downstream);
+      if (mangle) {
+        outcome = ApplyChaosToBytes(options_.spec, relay->rng, &bytes);
+        if (outcome.truncated) {
+          truncations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (outcome.garbage_injected) {
+          garbage_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (outcome.delay_ms > 0) {
+          delays_.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(outcome.delay_ms));
+        }
+      }
+      const int destination = to_upstream ? relay->upstream_fd
+                                          : relay->client_fd;
+      if (!SendChunked(destination, bytes, outcome.chunk_bytes)) {
+        closed = true;
+        break;
+      }
+      bytes_forwarded_.fetch_add(static_cast<int64_t>(bytes.size()),
+                                 std::memory_order_relaxed);
+      if (outcome.reset) {
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        closed = true;
+      }
+    }
+  }
+  // Wake both peers; the fds are closed by Stop() after the join so the
+  // descriptor numbers cannot be recycled under a racing poll().
+  ::shutdown(relay->client_fd, SHUT_RDWR);
+  ::shutdown(relay->upstream_fd, SHUT_RDWR);
+}
+
+}  // namespace zonestream::service

@@ -1,0 +1,152 @@
+// Socket-level chaos injection for hardening tests (docs/SERVICE.md,
+// "Overload & backpressure").
+//
+// Two layers, split so the interesting part stays deterministic:
+//
+//   * ApplyChaosToBytes — a pure function over (spec, rng, bytes) that
+//     mangles one forwarded read: truncation (short frames), garbage
+//     injection, and the decisions to delay, chunk, or reset. Same spec
+//     + same rng state + same bytes => same outcome, which is what the
+//     unit tests and fuzz_wire_chaos drive directly.
+//   * ChaosProxy — a threaded unix-socket relay (listen_path ->
+//     upstream_path) that applies ApplyChaosToBytes to traffic and acts
+//     on the outcome: sleeps for delays, forwards in small chunks for
+//     partial writes, and abruptly closes both sides for resets. Each
+//     accepted connection gets its own RNG seeded from options.seed and
+//     the connection index, so a single-client exchange is reproducible;
+//     with concurrent clients the accept order (and thus which stream a
+//     connection gets) is scheduler-dependent.
+//
+// The spec grammar mirrors fault::ParseFaultSpec: ';'-separated clauses
+// of "<model>:<key>=<val>,...", e.g.
+//   "partial:prob=0.5,max_bytes=8;delay:prob=0.1,min_ms=1,max_ms=5;"
+//   "reset:prob=0.01;short_frame:prob=0.05;garbage:prob=0.05,max_bytes=8"
+// ParseChaosSpec/FormatChaosSpec round-trip.
+#ifndef ZONESTREAM_SERVICE_CHAOS_H_
+#define ZONESTREAM_SERVICE_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zonestream::service {
+
+struct ChaosSpec {
+  // partial: forward in chunks of at most max_bytes instead of one send,
+  // exercising partial-read reassembly on the receiver.
+  double partial_prob = 0.0;
+  int partial_max_bytes = 16;
+  // delay: sleep before forwarding.
+  double delay_prob = 0.0;
+  int delay_min_ms = 0;
+  int delay_max_ms = 0;
+  // reset: forward this read, then abruptly close both sides. (On unix
+  // sockets this surfaces to the peer as EOF mid-stream, typically
+  // mid-frame.)
+  double reset_prob = 0.0;
+  // short_frame: truncate the forwarded bytes, leaving the receiver a
+  // dangling length prefix or a partial payload.
+  double short_frame_prob = 0.0;
+  // garbage: splice random bytes into the stream at a random offset,
+  // desynchronizing the framing.
+  double garbage_prob = 0.0;
+  int garbage_max_bytes = 8;
+
+  bool Enabled() const {
+    return partial_prob > 0.0 || delay_prob > 0.0 || reset_prob > 0.0 ||
+           short_frame_prob > 0.0 || garbage_prob > 0.0;
+  }
+};
+
+common::StatusOr<ChaosSpec> ParseChaosSpec(const std::string& text);
+std::string FormatChaosSpec(const ChaosSpec& spec);
+
+// What the transport layer should do with one mangled read.
+struct ChaosOutcome {
+  bool truncated = false;
+  bool garbage_injected = false;
+  bool reset = false;      // close both sides after forwarding
+  int delay_ms = 0;        // sleep this long before forwarding
+  size_t chunk_bytes = 0;  // 0 = single send; else cap bytes per send
+};
+
+// Mutates `bytes` (truncation, garbage) and rolls the timing faults.
+// Every clause consumes RNG draws in a fixed order whether or not it
+// fires, so outcomes depend only on (spec, rng state, bytes->size()).
+ChaosOutcome ApplyChaosToBytes(const ChaosSpec& spec, std::mt19937_64& rng,
+                               std::string* bytes);
+
+struct ChaosProxyStats {
+  int64_t connections = 0;
+  int64_t resets_injected = 0;
+  int64_t delays_injected = 0;
+  int64_t garbage_injected = 0;
+  int64_t truncations_injected = 0;
+  int64_t bytes_forwarded = 0;
+};
+
+struct ChaosProxyOptions {
+  std::string listen_path;    // clients connect here
+  std::string upstream_path;  // the real daemon's socket
+  ChaosSpec spec;
+  uint64_t seed = 1;
+  int listen_backlog = 64;
+  // Which direction(s) to mangle. Disabling downstream keeps daemon
+  // responses intact, so client-side decode errors in a soak are always
+  // injected upstream faults, never corrupted answers.
+  bool chaos_to_upstream = true;
+  bool chaos_to_downstream = true;
+};
+
+// Accepts on listen_path, opens one upstream connection per client, and
+// relays both directions through the chaos pipeline on a thread per
+// connection pair. Stop() (or the destructor) tears everything down.
+class ChaosProxy {
+ public:
+  static common::StatusOr<std::unique_ptr<ChaosProxy>> Start(
+      const ChaosProxyOptions& options);
+
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  void Stop();
+  ChaosProxyStats stats() const;
+  const std::string& listen_path() const { return options_.listen_path; }
+
+ private:
+  struct Relay;
+
+  // Out of line: Relay is incomplete here, and inline member definitions
+  // would instantiate the relays_ vector's destructor against it.
+  explicit ChaosProxy(const ChaosProxyOptions& options);
+
+  void AcceptLoop();
+  void RelayLoop(Relay* relay);
+
+  ChaosProxyOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex relays_mutex_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+
+  std::atomic<int64_t> connections_{0};
+  std::atomic<int64_t> resets_{0};
+  std::atomic<int64_t> delays_{0};
+  std::atomic<int64_t> garbage_{0};
+  std::atomic<int64_t> truncations_{0};
+  std::atomic<int64_t> bytes_forwarded_{0};
+};
+
+}  // namespace zonestream::service
+
+#endif  // ZONESTREAM_SERVICE_CHAOS_H_

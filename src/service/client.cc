@@ -1,45 +1,80 @@
 #include "service/client.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 namespace zonestream::service {
 
 namespace {
 
-common::Status ErrnoStatus(const std::string& what) {
-  return common::Status::InvalidArgument(what + ": " +
-                                         std::strerror(errno));
+// Transport-level failure: the request's outcome is indeterminate and a
+// retry (on a fresh connection) is reasonable.
+common::Status TransportError(const std::string& what) {
+  return common::Status::Internal(what);
 }
 
-common::Status SendAll(int fd, std::string_view bytes) {
+common::Status ErrnoTransportError(const std::string& what) {
+  return TransportError(what + ": " + std::strerror(errno));
+}
+
+common::Status SendAll(int fd, std::string_view bytes, int timeout_ms) {
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
+      // EINTR: a signal landed mid-send; the partial-progress loop
+      // resumes where the last successful send left off.
       if (errno == EINTR) continue;
-      return ErrnoStatus("send");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return TransportError("send: request deadline of " +
+                              std::to_string(timeout_ms) + "ms expired");
+      }
+      return ErrnoTransportError("send");
     }
+    if (n == 0) return TransportError("send: kernel accepted 0 bytes");
     sent += static_cast<size_t>(n);
   }
   return common::Status::Ok();
 }
 
-common::Status RecvAll(int fd, char* buffer, size_t size) {
+// Receives exactly `size` bytes. `frame_context` distinguishes the error
+// text: a peer close with zero bytes received is "closed before
+// responding" (the daemon never spoke), while a close after partial
+// bytes is "closed mid-frame" — a torn frame, not a malformed one.
+common::Status RecvAll(int fd, char* buffer, size_t size,
+                       const char* frame_context, size_t frame_total,
+                       size_t frame_received, int timeout_ms) {
   size_t received = 0;
   while (received < size) {
     const ssize_t n = ::recv(fd, buffer + received, size - received, 0);
     if (n == 0) {
-      return common::Status::InvalidArgument("daemon closed the connection");
+      if (frame_received + received == 0) {
+        return TransportError(
+            "daemon closed the connection before responding");
+      }
+      return TransportError(
+          std::string("connection closed mid-frame (") + frame_context +
+          ", got " + std::to_string(frame_received + received) + " of " +
+          std::to_string(frame_total) + " bytes)");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoStatus("recv");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return TransportError("recv: request deadline of " +
+                              std::to_string(timeout_ms) + "ms expired");
+      }
+      return ErrnoTransportError("recv");
     }
     received += static_cast<size_t>(n);
   }
@@ -48,8 +83,8 @@ common::Status RecvAll(int fd, char* buffer, size_t size) {
 
 }  // namespace
 
-common::StatusOr<std::unique_ptr<AdmitClient>> AdmitClient::Connect(
-    const std::string& socket_path) {
+common::StatusOr<int> AdmitClient::ConnectFd(const std::string& socket_path,
+                                             const ClientOptions& options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
@@ -57,26 +92,124 @@ common::StatusOr<std::unique_ptr<AdmitClient>> AdmitClient::Connect(
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return ErrnoStatus("socket");
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const auto status = ErrnoStatus("connect " + socket_path);
+  if (fd < 0) return ErrnoTransportError("socket");
+
+  if (options.connect_timeout_ms > 0) {
+    // Nonblocking connect bounded by poll, then back to blocking.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (errno != EINPROGRESS && errno != EAGAIN) {
+        const auto status =
+            ErrnoTransportError("connect " + socket_path);
+        ::close(fd);
+        return status;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, options.connect_timeout_ms);
+      if (ready <= 0) {
+        ::close(fd);
+        return TransportError("connect " + socket_path +
+                              ": deadline of " +
+                              std::to_string(options.connect_timeout_ms) +
+                              "ms expired");
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        ::close(fd);
+        return TransportError("connect " + socket_path + ": " +
+                              std::strerror(soerr));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    const auto status = ErrnoTransportError("connect " + socket_path);
     ::close(fd);
     return status;
   }
-  return std::unique_ptr<AdmitClient>(new AdmitClient(fd));
+
+  if (options.request_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.request_timeout_ms / 1000;
+    tv.tv_usec = (options.request_timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+common::StatusOr<std::unique_ptr<AdmitClient>> AdmitClient::Connect(
+    const std::string& socket_path) {
+  return Connect(socket_path, ClientOptions{});
+}
+
+common::StatusOr<std::unique_ptr<AdmitClient>> AdmitClient::Connect(
+    const std::string& socket_path, const ClientOptions& options) {
+  auto fd = ConnectFd(socket_path, options);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<AdmitClient>(
+      new AdmitClient(*fd, socket_path, options));
 }
 
 AdmitClient::~AdmitClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void AdmitClient::Disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+common::Status AdmitClient::Reconnect() {
+  Disconnect();
+  auto fd = ConnectFd(socket_path_, options_);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  return common::Status::Ok();
+}
+
+void AdmitClient::BackoffSleep(int attempt, uint32_t floor_ms) {
+  ++retries_;
+  double base = static_cast<double>(options_.backoff_initial_ms);
+  for (int k = 0; k < attempt; ++k) base *= options_.backoff_multiplier;
+  base = std::min(base, static_cast<double>(options_.backoff_max_ms));
+  const int64_t base_ms = std::max<int64_t>(1, std::llround(base));
+  // Equal jitter: half deterministic, half uniform — retrying clients
+  // decorrelate instead of re-arriving as a synchronized thundering
+  // herd (the failure mode the daemon's shed budget exists for).
+  const int64_t jittered =
+      base_ms / 2 +
+      static_cast<int64_t>(jitter_rng_() %
+                           static_cast<uint64_t>(base_ms / 2 + 1));
+  const int64_t delay =
+      std::max<int64_t>(jittered, static_cast<int64_t>(floor_ms));
+  if (options_.sleep_ms) {
+    options_.sleep_ms(static_cast<int>(delay));
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
 common::StatusOr<Response> AdmitClient::Call(const Request& request) {
+  if (fd_ < 0) {
+    return TransportError("not connected (a prior attempt failed; "
+                          "CallWithRetry reconnects)");
+  }
   std::string frame;
   AppendFrame(&frame, EncodeRequest(request));
-  if (auto status = SendAll(fd_, frame); !status.ok()) return status;
+  if (auto status = SendAll(fd_, frame, options_.request_timeout_ms);
+      !status.ok()) {
+    return status;
+  }
 
   char prefix[4];
-  if (auto status = RecvAll(fd_, prefix, sizeof(prefix)); !status.ok()) {
+  if (auto status = RecvAll(fd_, prefix, sizeof(prefix), "length prefix",
+                            sizeof(prefix), 0, options_.request_timeout_ms);
+      !status.ok()) {
     return status;
   }
   const uint32_t length =
@@ -85,21 +218,71 @@ common::StatusOr<Response> AdmitClient::Call(const Request& request) {
       (static_cast<uint32_t>(static_cast<uint8_t>(prefix[2])) << 16) |
       (static_cast<uint32_t>(static_cast<uint8_t>(prefix[3])) << 24);
   if (length > kMaxFrameBytes) {
-    return common::Status::InvalidArgument("oversized response frame");
+    return common::Status::InvalidArgument(
+        "malformed frame: oversized response length " +
+        std::to_string(length));
   }
   std::string payload(length, '\0');
   if (length > 0) {
-    if (auto status = RecvAll(fd_, payload.data(), length); !status.ok()) {
+    if (auto status =
+            RecvAll(fd_, payload.data(), length, "payload",
+                    4 + static_cast<size_t>(length), 4,
+                    options_.request_timeout_ms);
+        !status.ok()) {
       return status;
     }
   }
-  return DecodeResponse(payload);
+  auto response = DecodeResponse(payload);
+  if (!response.ok()) {
+    return common::Status::InvalidArgument("malformed frame: " +
+                                           response.status().message());
+  }
+  return response;
+}
+
+common::StatusOr<Response> AdmitClient::CallWithRetry(
+    const Request& request) {
+  common::StatusOr<Response> last = common::Status::Internal("no attempt made");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (fd_ < 0) {
+      if (auto status = Reconnect(); !status.ok()) {
+        last = status;
+        if (attempt < options_.max_retries) BackoffSleep(attempt, 0);
+        continue;
+      }
+    }
+    auto response = Call(request);
+    if (!response.ok()) {
+      // kInternal = transport failure (outcome indeterminate): retry on
+      // a fresh connection. Anything else (malformed frame) is final.
+      if (response.status().code() != common::StatusCode::kInternal) {
+        return response;
+      }
+      last = response.status();
+      Disconnect();
+      if (attempt < options_.max_retries) BackoffSleep(attempt, 0);
+      continue;
+    }
+    if (response->status == WireStatus::kOverloaded &&
+        attempt < options_.max_retries) {
+      // Explicit shed: the daemon did NOT process the request. Honor
+      // its retry-after hint as a floor under the jittered backoff.
+      // The connection stays up — an accept-time reject closes it
+      // server-side and the next attempt reconnects via the transport
+      // path above.
+      last = response;
+      BackoffSleep(attempt, response->retry_after_ms);
+      continue;
+    }
+    return response;
+  }
+  return last;
 }
 
 common::StatusOr<Response> AdmitClient::Ping() {
   Request request;
   request.op = OpCode::kPing;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<Response> AdmitClient::AdmitClass(uint64_t session_id,
@@ -108,7 +291,7 @@ common::StatusOr<Response> AdmitClient::AdmitClass(uint64_t session_id,
   request.op = OpCode::kAdmitClass;
   request.session_id = session_id;
   request.class_index = class_index;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<Response> AdmitClient::AdmitTolerance(uint64_t session_id,
@@ -117,14 +300,14 @@ common::StatusOr<Response> AdmitClient::AdmitTolerance(uint64_t session_id,
   request.op = OpCode::kAdmitTolerance;
   request.session_id = session_id;
   request.tolerance = tolerance;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<Response> AdmitClient::Teardown(uint64_t session_id) {
   Request request;
   request.op = OpCode::kTeardown;
   request.session_id = session_id;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<Response> AdmitClient::Transition(uint64_t session_id,
@@ -133,13 +316,13 @@ common::StatusOr<Response> AdmitClient::Transition(uint64_t session_id,
   request.op = OpCode::kTransition;
   request.session_id = session_id;
   request.class_index = new_class_index;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<ServiceStats> AdmitClient::Stats() {
   Request request;
   request.op = OpCode::kStats;
-  auto response = Call(request);
+  auto response = CallWithRetry(request);
   if (!response.ok()) return response.status();
   if (response.value().status != WireStatus::kOk) {
     return common::Status::InvalidArgument(
@@ -152,19 +335,19 @@ common::StatusOr<ServiceStats> AdmitClient::Stats() {
 common::StatusOr<Response> AdmitClient::Checkpoint() {
   Request request;
   request.op = OpCode::kCheckpoint;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<Response> AdmitClient::Digest() {
   Request request;
   request.op = OpCode::kDigest;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 common::StatusOr<Response> AdmitClient::Shutdown() {
   Request request;
   request.op = OpCode::kShutdown;
-  return Call(request);
+  return CallWithRetry(request);
 }
 
 }  // namespace zonestream::service

@@ -1,11 +1,28 @@
 // Blocking client for zonestream_admitd (used by zonestream_ctl and the
 // end-to-end tests). One connection, one in-flight request at a time —
 // which also gives the per-session serialization the service requires.
+//
+// Resilience: the client carries connect/request deadlines and a retry
+// budget with jittered exponential backoff (honoring the daemon's
+// retry-after hint on kOverloaded). `Call` is one attempt on the current
+// connection; `CallWithRetry` reconnects and retries on transport-level
+// failures (connect refusal, deadline expiry, connection closed) and on
+// kOverloaded responses. Protocol-level failures (a malformed response
+// frame) are NOT retried — a daemon speaking garbage is not going to
+// speak sense on the next attempt.
+//
+// Error taxonomy (Status codes): transport failures — retryable,
+// outcome indeterminate — carry StatusCode::kInternal; malformed frames
+// and decode errors carry kInvalidArgument. Callers that must not
+// double-apply a request should pre-assign session ids and treat
+// kDuplicate on a retried admit as the original success landing.
 #ifndef ZONESTREAM_SERVICE_CLIENT_H_
 #define ZONESTREAM_SERVICE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <random>
 #include <string>
 
 #include "common/status.h"
@@ -13,20 +30,53 @@
 
 namespace zonestream::service {
 
+struct ClientOptions {
+  // Deadline for establishing the connection. 0 = blocking connect.
+  int connect_timeout_ms = 0;
+  // Per-attempt deadline covering the request send and the response
+  // receive (applied as socket send/recv timeouts). 0 = no deadline.
+  int request_timeout_ms = 0;
+  // Additional attempts after the first for CallWithRetry. 0 restores
+  // the single-attempt behavior of Call.
+  int max_retries = 0;
+  // Jittered exponential backoff between attempts: the k-th wait is
+  // drawn uniformly from [base/2, base] with
+  // base = min(backoff_initial_ms * backoff_multiplier^k, backoff_max_ms),
+  // then floored by any retry-after hint the daemon issued.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 2000;
+  double backoff_multiplier = 2.0;
+  // Seed for the jitter stream — deterministic backoff schedules in
+  // tests, distinct seeds decorrelate a client fleet.
+  uint64_t backoff_seed = 0x5eedf00dULL;
+  // Injectable sleep for tests; null uses std::this_thread::sleep_for.
+  std::function<void(int ms)> sleep_ms;
+};
+
 class AdmitClient {
  public:
   static common::StatusOr<std::unique_ptr<AdmitClient>> Connect(
       const std::string& socket_path);
+  static common::StatusOr<std::unique_ptr<AdmitClient>> Connect(
+      const std::string& socket_path, const ClientOptions& options);
 
   ~AdmitClient();
 
   AdmitClient(const AdmitClient&) = delete;
   AdmitClient& operator=(const AdmitClient&) = delete;
 
-  // Sends one request frame and blocks for the response.
+  // Sends one request frame and blocks for the response. One attempt —
+  // no reconnect, no retry; a transport failure leaves the connection
+  // unusable until the next CallWithRetry reconnects.
   common::StatusOr<Response> Call(const Request& request);
 
-  // Convenience wrappers.
+  // Call with the options' retry budget: reconnects and retries on
+  // transport errors, backs off and retries on kOverloaded (honoring
+  // retry_after_ms as a floor under the jittered backoff).
+  common::StatusOr<Response> CallWithRetry(const Request& request);
+
+  // Convenience wrappers (all route through CallWithRetry; with the
+  // default options that is exactly one attempt).
   common::StatusOr<Response> Ping();
   common::StatusOr<Response> AdmitClass(uint64_t session_id,
                                         uint32_t class_index);
@@ -40,10 +90,32 @@ class AdmitClient {
   common::StatusOr<Response> Digest();
   common::StatusOr<Response> Shutdown();
 
+  // Retries performed by CallWithRetry over this client's lifetime
+  // (reconnect attempts and overload backoffs both count).
+  int64_t retries() const { return retries_; }
+  bool connected() const { return fd_ >= 0; }
+
  private:
-  explicit AdmitClient(int fd) : fd_(fd) {}
+  AdmitClient(int fd, std::string socket_path, const ClientOptions& options)
+      : fd_(fd),
+        socket_path_(std::move(socket_path)),
+        options_(options),
+        jitter_rng_(options.backoff_seed) {}
+
+  // One connect attempt honoring connect_timeout_ms; returns the fd.
+  static common::StatusOr<int> ConnectFd(const std::string& socket_path,
+                                         const ClientOptions& options);
+  common::Status Reconnect();
+  void Disconnect();
+  // Sleeps the k-th backoff (jittered exponential, floored by
+  // `floor_ms`) and counts the retry.
+  void BackoffSleep(int attempt, uint32_t floor_ms);
 
   int fd_;
+  std::string socket_path_;
+  ClientOptions options_;
+  std::mt19937_64 jitter_rng_;
+  int64_t retries_ = 0;
 };
 
 }  // namespace zonestream::service

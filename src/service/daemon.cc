@@ -5,7 +5,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstring>
 
 namespace zonestream::service {
@@ -23,6 +26,21 @@ common::StatusOr<std::unique_ptr<AdmitDaemon>> AdmitDaemon::Create(
     AdmissionService* service, const DaemonOptions& options) {
   if (options.socket_path.empty()) {
     return common::Status::InvalidArgument("socket_path must be set");
+  }
+  if (options.max_connections <= 0) {
+    return common::Status::InvalidArgument("max_connections must be > 0");
+  }
+  if (options.retry_after_ms < 0 || options.max_requests_per_poll < 0 ||
+      options.idle_timeout_ms < 0 || options.write_stall_timeout_ms < 0) {
+    return common::Status::InvalidArgument(
+        "overload knobs must be non-negative");
+  }
+  // A single maximal frame must always fit, or the daemon could neither
+  // receive nor answer anything.
+  if (options.max_input_buffer_bytes < kMaxFrameBytes + 4 ||
+      options.max_output_buffer_bytes < kMaxFrameBytes + 4) {
+    return common::Status::InvalidArgument(
+        "buffer caps must hold at least one maximal frame");
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -44,6 +62,23 @@ common::StatusOr<std::unique_ptr<AdmitDaemon>> AdmitDaemon::Create(
   if (::listen(daemon->listen_fd_, options.listen_backlog) != 0) {
     return ErrnoStatus("listen");
   }
+  if (obs::Registry* m = options.metrics; m != nullptr) {
+    daemon->rejected_connections_counter_ =
+        m->GetCounter("service.overload.rejected_connections");
+    daemon->shed_requests_counter_ =
+        m->GetCounter("service.overload.shed_requests");
+    daemon->retry_after_counter_ =
+        m->GetCounter("service.overload.retry_after_issued");
+    daemon->idle_closes_counter_ =
+        m->GetCounter("service.overload.idle_closes");
+    daemon->stall_closes_counter_ =
+        m->GetCounter("service.overload.stall_closes");
+    daemon->output_overflow_counter_ =
+        m->GetCounter("service.overload.output_overflow_closes");
+    daemon->too_large_counter_ =
+        m->GetCounter("service.overload.too_large_closes");
+    daemon->connections_gauge_ = m->GetGauge("service.daemon.connections");
+  }
   return daemon;
 }
 
@@ -57,29 +92,73 @@ AdmitDaemon::~AdmitDaemon() {
   }
 }
 
-void AdmitDaemon::AcceptPending() {
+int64_t AdmitDaemon::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AdmitDaemon::Bump(obs::Counter* counter, int64_t* local) {
+  ++*local;
+  if (counter != nullptr) counter->Increment();
+}
+
+void AdmitDaemon::AcceptPending(int64_t now_ms) {
   for (;;) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) return;  // EAGAIN or transient error: try next poll
     if (static_cast<int>(connections_.size()) >= options_.max_connections) {
-      ::close(fd);  // over the connection cap: shed
+      // Over the connection cap: shed at accept time with an explicit
+      // overload signal. The send is best-effort (the fd is nonblocking
+      // and the peer may already be gone); the close is the contract.
+      Response rejected;
+      rejected.status = WireStatus::kOverloaded;
+      rejected.retry_after_ms =
+          static_cast<uint32_t>(options_.retry_after_ms);
+      std::string frame;
+      AppendFrame(&frame, EncodeResponse(rejected));
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      Bump(rejected_connections_counter_, &overload_.rejected_connections);
+      Bump(retry_after_counter_, &overload_.retry_after_issued);
       continue;
+    }
+    if (options_.send_buffer_bytes > 0) {
+      const int sndbuf = options_.send_buffer_bytes;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
     }
     Connection connection;
     connection.fd = fd;
+    connection.last_read_ms = now_ms;
+    connection.last_progress_ms = now_ms;
     connections_.push_back(std::move(connection));
+    overload_.peak_connections =
+        std::max(overload_.peak_connections,
+                 static_cast<int64_t>(connections_.size()));
   }
 }
 
-void AdmitDaemon::ReadFrom(Connection& connection) {
+void AdmitDaemon::ReadFrom(Connection& connection, int64_t now_ms) {
   char buffer[4096];
   for (;;) {
     const ssize_t n = ::recv(connection.fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
       connection.in.append(buffer, static_cast<size_t>(n));
-      // Cap the per-connection input buffer: a client may batch
-      // frames, but unbounded buffering is a memory DoS.
-      if (connection.in.size() > 4 * (kMaxFrameBytes + 4)) break;
+      connection.last_read_ms = now_ms;
+      if (connection.in.size() > options_.max_input_buffer_bytes) {
+        // The peer batched more than the input cap allows. Refuse the
+        // whole batch with a structured response instead of a silent
+        // drop: discard the buffered bytes, answer kTooLarge, close.
+        connection.in.clear();
+        Response too_large;
+        too_large.status = WireStatus::kTooLarge;
+        too_large.payload = "input buffer cap exceeded; batch fewer frames";
+        AppendResponse(connection, too_large, now_ms);
+        connection.drop = true;
+        Bump(too_large_counter_, &overload_.too_large_closes);
+        return;
+      }
       continue;
     }
     if (n == 0) {
@@ -87,12 +166,13 @@ void AdmitDaemon::ReadFrom(Connection& connection) {
     }
     break;  // EAGAIN or error
   }
-  HandleFrames(connection);
+  HandleFrames(connection, now_ms);
 }
 
-void AdmitDaemon::HandleFrames(Connection& connection) {
+void AdmitDaemon::HandleFrames(Connection& connection, int64_t now_ms) {
   size_t offset = 0;
   for (;;) {
+    if (connection.force_close) break;
     size_t consumed = 0;
     std::string_view payload;
     const FrameParse parse = NextFrame(
@@ -102,6 +182,21 @@ void AdmitDaemon::HandleFrames(Connection& connection) {
       break;
     }
     if (parse == FrameParse::kNeedMore) break;
+    if (request_budget_ <= 0) {
+      // Per-poll budget exhausted: shed this request explicitly. The
+      // frame is consumed (never silently queued) and the client gets
+      // kOverloaded with the retry-after hint — not decoded, so a shed
+      // costs no request parsing at all.
+      Response shed;
+      shed.status = WireStatus::kOverloaded;
+      shed.retry_after_ms = static_cast<uint32_t>(options_.retry_after_ms);
+      AppendResponse(connection, shed, now_ms);
+      Bump(shed_requests_counter_, &overload_.shed_requests);
+      Bump(retry_after_counter_, &overload_.retry_after_issued);
+      offset += consumed;
+      continue;
+    }
+    --request_budget_;
     Response response;
     const auto request = DecodeRequest(payload);
     if (!request.ok()) {
@@ -111,14 +206,14 @@ void AdmitDaemon::HandleFrames(Connection& connection) {
       response.status = WireStatus::kMalformedRequest;
       response.payload = request.status().message();
       ++requests_served_;
-      AppendFrame(&connection.out, EncodeResponse(response));
+      AppendResponse(connection, response, now_ms);
       connection.drop = true;
       offset += consumed;
       break;
     }
     response = HandleRequest(request.value());
     ++requests_served_;
-    AppendFrame(&connection.out, EncodeResponse(response));
+    AppendResponse(connection, response, now_ms);
     offset += consumed;
   }
   if (offset > 0) connection.in.erase(0, offset);
@@ -202,23 +297,65 @@ Response AdmitDaemon::HandleRequest(const Request& request) {
   return response;
 }
 
-void AdmitDaemon::WriteTo(Connection& connection) {
+void AdmitDaemon::AppendResponse(Connection& connection,
+                                 const Response& response, int64_t now_ms) {
+  if (connection.force_close) return;  // already condemned
+  if (connection.out.empty()) connection.last_progress_ms = now_ms;
+  AppendFrame(&connection.out, EncodeResponse(response));
+  if (connection.out.size() > options_.max_output_buffer_bytes) {
+    // The peer is not reading its responses; buffering more is a memory
+    // DoS. Discard the backlog and close immediately — the client sees
+    // a truncated stream, which its framing detects.
+    connection.out.clear();
+    connection.force_close = true;
+    Bump(output_overflow_counter_, &overload_.output_overflow_closes);
+  }
+}
+
+void AdmitDaemon::WriteTo(Connection& connection, int64_t now_ms) {
   while (!connection.out.empty()) {
     const ssize_t n = ::send(connection.fd, connection.out.data(),
                              connection.out.size(), MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
       connection.drop = true;
       return;
     }
+    connection.last_progress_ms = now_ms;
     connection.out.erase(0, static_cast<size_t>(n));
+  }
+}
+
+void AdmitDaemon::EnforceDeadlines(int64_t now_ms) {
+  if (options_.idle_timeout_ms <= 0 && options_.write_stall_timeout_ms <= 0) {
+    return;
+  }
+  for (Connection& connection : connections_) {
+    if (connection.force_close) continue;
+    if (options_.write_stall_timeout_ms > 0 && !connection.out.empty() &&
+        now_ms - connection.last_progress_ms >=
+            options_.write_stall_timeout_ms) {
+      // Slowloris / non-reading peer: pending output made no progress
+      // for the whole window. Flushing first is hopeless by definition.
+      connection.out.clear();
+      connection.force_close = true;
+      Bump(stall_closes_counter_, &overload_.stall_closes);
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && !connection.drop &&
+        now_ms - connection.last_read_ms >= options_.idle_timeout_ms) {
+      connection.drop = true;  // graceful: pending output still flushes
+      Bump(idle_closes_counter_, &overload_.idle_closes);
+    }
   }
 }
 
 bool AdmitDaemon::PollOnce(int timeout_ms) {
   if (shutdown_.load(std::memory_order_relaxed)) {
     // Flush what's already queued, then stop.
-    for (Connection& connection : connections_) WriteTo(connection);
+    const int64_t now_ms = NowMs();
+    for (Connection& connection : connections_) WriteTo(connection, now_ms);
     return false;
   }
   std::vector<pollfd> fds;
@@ -231,6 +368,10 @@ bool AdmitDaemon::PollOnce(int timeout_ms) {
   }
   const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
   if (ready < 0 && errno != EINTR) return !shutdown_.load();
+  const int64_t now_ms = NowMs();
+  request_budget_ = options_.max_requests_per_poll > 0
+                        ? options_.max_requests_per_poll
+                        : INT_MAX;
   if (ready > 0) {
     // Serve only the connections that were actually polled: accepting
     // first would grow connections_ past the pollfd array and misindex
@@ -242,21 +383,29 @@ bool AdmitDaemon::PollOnce(int timeout_ms) {
       if ((revents & (POLLERR | POLLHUP)) != 0 && connection.out.empty()) {
         connection.drop = true;
       }
-      if ((revents & POLLIN) != 0) ReadFrom(connection);
-      if (!connection.out.empty()) WriteTo(connection);
+      if ((revents & POLLIN) != 0 && !connection.force_close) {
+        ReadFrom(connection, now_ms);
+      }
+      if (!connection.out.empty()) WriteTo(connection, now_ms);
     }
-    if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending(now_ms);
   }
-  // Reap dropped connections whose output drained.
+  EnforceDeadlines(now_ms);
+  // Reap dropped connections whose output drained, and force-closed
+  // connections unconditionally.
   for (size_t i = 0; i < connections_.size();) {
     Connection& connection = connections_[i];
-    if (connection.drop && connection.out.empty()) {
+    if (connection.force_close ||
+        (connection.drop && connection.out.empty())) {
       ::close(connection.fd);
       connections_.erase(connections_.begin() +
                          static_cast<ptrdiff_t>(i));
     } else {
       ++i;
     }
+  }
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
   }
   return true;
 }

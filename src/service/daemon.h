@@ -11,6 +11,20 @@
 // id for free, and avoids churning RCU reader slots through short-lived
 // connection threads.
 //
+// Overload hardening (docs/SERVICE.md, "Overload & backpressure"): the
+// daemon is itself a server with an arrival envelope, and it degrades
+// predictably instead of stalling or growing without bound —
+//   * accept-time rejection past max_connections (a best-effort
+//     kOverloaded frame with a retry-after hint, then close);
+//   * a bounded per-poll request budget: frames beyond the budget are
+//     consumed and answered kOverloaded + retry_after_ms, never queued;
+//   * per-connection idle and write-stall (slowloris) deadlines;
+//   * hard caps on BOTH buffer directions — inbound breach answers
+//     kTooLarge and closes, outbound breach (a non-reading client)
+//     force-closes;
+// all of it counted in service.overload.* metrics and the
+// DaemonOverloadStats accessor.
+//
 // Checkpointing is injected by the binary (examples/zonestream_admitd)
 // so this library does not depend on recovery/: the daemon exposes the
 // kCheckpoint op and calls whatever callback main() wired in.
@@ -25,6 +39,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "service/admission_service.h"
 #include "service/protocol.h"
 
@@ -35,8 +50,55 @@ struct DaemonOptions {
   int max_connections = 64;
   int listen_backlog = 16;
   // Poll timeout for Serve(); also the cadence of the periodic
-  // observability flush.
+  // observability flush and the resolution of the deadlines below.
   int poll_interval_ms = 100;
+
+  // --- Overload hardening; 0 disables each deadline/budget. ---
+
+  // Close a connection that has not delivered a byte for this long.
+  int idle_timeout_ms = 0;
+  // Close a connection whose pending output made no progress (the kernel
+  // accepted no bytes) for this long: a slowloris peer or a client that
+  // stopped reading.
+  int write_stall_timeout_ms = 0;
+  // Requests handled per poll cycle across ALL connections; frames
+  // beyond the budget are consumed and answered kOverloaded with the
+  // retry_after_ms hint instead of being silently queued.
+  int max_requests_per_poll = 0;
+  // The hint carried in every kOverloaded response (accept-time rejects
+  // and shed requests alike).
+  int retry_after_ms = 50;
+  // Hard cap on buffered response bytes per connection. A breach (the
+  // peer is not reading) force-closes the connection.
+  size_t max_output_buffer_bytes = 1 << 20;
+  // Hard cap on buffered inbound bytes per connection (a client may
+  // batch frames, but unbounded buffering is a memory DoS). A breach
+  // answers a structured kTooLarge response and closes.
+  size_t max_input_buffer_bytes = 4 * (kMaxFrameBytes + 4);
+  // SO_SNDBUF for accepted connections (0 = kernel default). Small
+  // values make the write-stall deadline bite quickly in tests.
+  int send_buffer_bytes = 0;
+
+  // service.overload.* counters and the connection gauge land here;
+  // null disables (the per-daemon DaemonOverloadStats still counts).
+  obs::Registry* metrics = nullptr;
+  // Injectable monotonic clock (milliseconds) for deterministic deadline
+  // tests; null uses std::chrono::steady_clock.
+  std::function<int64_t()> clock_ms;
+};
+
+// Mirror of the service.overload.* counters, always maintained (with or
+// without a metrics registry) so tests and the soak can assert exact
+// counts.
+struct DaemonOverloadStats {
+  int64_t rejected_connections = 0;   // accept-time sheds past the cap
+  int64_t shed_requests = 0;          // per-poll budget sheds
+  int64_t retry_after_issued = 0;     // kOverloaded responses sent
+  int64_t idle_closes = 0;            // idle-deadline expiries
+  int64_t stall_closes = 0;           // write-stall expiries
+  int64_t output_overflow_closes = 0; // outbound buffer-cap breaches
+  int64_t too_large_closes = 0;       // inbound buffer-cap breaches
+  int64_t peak_connections = 0;       // high-water mark of live conns
 };
 
 class AdmitDaemon {
@@ -72,23 +134,38 @@ class AdmitDaemon {
 
   const std::string& socket_path() const { return options_.socket_path; }
   int64_t requests_served() const { return requests_served_; }
+  // Snapshot of the overload counters (single-threaded loop: exact
+  // between polls; racy-but-monotonic while Serve() runs elsewhere).
+  const DaemonOverloadStats& overload_stats() const { return overload_; }
+  int connection_count() const {
+    return static_cast<int>(connections_.size());
+  }
 
  private:
   struct Connection {
     int fd = -1;
     std::string in;
     std::string out;
-    bool drop = false;  // protocol error: close after flushing out
+    bool drop = false;        // close after flushing out
+    bool force_close = false; // close immediately, pending out discarded
+    int64_t last_read_ms = 0;     // last byte received
+    int64_t last_progress_ms = 0; // last byte the kernel accepted
   };
 
   AdmitDaemon(AdmissionService* service, const DaemonOptions& options)
       : service_(service), options_(options) {}
 
-  void AcceptPending();
-  void ReadFrom(Connection& connection);
-  void WriteTo(Connection& connection);
+  int64_t NowMs() const;
+  void AcceptPending(int64_t now_ms);
+  void ReadFrom(Connection& connection, int64_t now_ms);
+  void WriteTo(Connection& connection, int64_t now_ms);
   Response HandleRequest(const Request& request);
-  void HandleFrames(Connection& connection);
+  void HandleFrames(Connection& connection, int64_t now_ms);
+  // Appends one response frame, enforcing the output cap.
+  void AppendResponse(Connection& connection, const Response& response,
+                      int64_t now_ms);
+  void EnforceDeadlines(int64_t now_ms);
+  void Bump(obs::Counter* counter, int64_t* local);
 
   AdmissionService* service_;
   DaemonOptions options_;
@@ -96,7 +173,19 @@ class AdmitDaemon {
   std::vector<Connection> connections_;
   std::atomic<bool> shutdown_{false};
   int64_t requests_served_ = 0;
+  int request_budget_ = 0;  // remaining budget in the current poll cycle
   CheckpointFn checkpoint_;
+
+  DaemonOverloadStats overload_;
+  // service.overload.* metric handles (null when metrics are disabled).
+  obs::Counter* rejected_connections_counter_ = nullptr;
+  obs::Counter* shed_requests_counter_ = nullptr;
+  obs::Counter* retry_after_counter_ = nullptr;
+  obs::Counter* idle_closes_counter_ = nullptr;
+  obs::Counter* stall_closes_counter_ = nullptr;
+  obs::Counter* output_overflow_counter_ = nullptr;
+  obs::Counter* too_large_counter_ = nullptr;
+  obs::Gauge* connections_gauge_ = nullptr;
 };
 
 }  // namespace zonestream::service

@@ -49,6 +49,10 @@ const char* WireStatusName(WireStatus status) {
       return "internal_error";
     case WireStatus::kUnsupportedOp:
       return "unsupported_op";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kTooLarge:
+      return "too_large";
   }
   return "unknown";
 }
@@ -95,6 +99,7 @@ std::string EncodeResponse(const Response& response) {
   writer.PutI64(response.occupancy);
   writer.PutI64(response.limit);
   writer.PutU64(response.digest);
+  writer.PutU32(response.retry_after_ms);
   writer.PutString(response.payload);
   return writer.Release();
 }
@@ -108,12 +113,13 @@ common::StatusOr<Response> DecodeResponse(std::string_view payload) {
   response.occupancy = reader.TakeI64();
   response.limit = reader.TakeI64();
   response.digest = reader.TakeU64();
+  response.retry_after_ms = reader.TakeU32();
   response.payload = reader.TakeString();
   if (!reader.AtEnd()) {
     return common::Status::InvalidArgument(
         "response frame: truncated or trailing bytes");
   }
-  if (status > static_cast<uint8_t>(WireStatus::kUnsupportedOp)) {
+  if (status > static_cast<uint8_t>(WireStatus::kTooLarge)) {
     return common::Status::InvalidArgument(
         "response frame: unknown status " + std::to_string(status));
   }

@@ -52,6 +52,13 @@ enum class WireStatus : uint8_t {
   kMalformedRequest = 7,
   kInternalError = 8,
   kUnsupportedOp = 9,
+  // Overload shedding: the daemon refused the work (connection cap at
+  // accept time, or the per-poll request budget) — retry after the
+  // response's retry_after_ms. The request was NOT processed.
+  kOverloaded = 10,
+  // The connection buffered more input than the daemon allows; the
+  // daemon answers this and closes. Batch fewer frames per write.
+  kTooLarge = 11,
 };
 
 WireStatus WireStatusFromResult(ServiceResult result);
@@ -71,6 +78,10 @@ struct Response {
   int64_t occupancy = 0;
   int64_t limit = 0;
   uint64_t digest = 0;
+  // kOverloaded only: the daemon's hint for how long the client should
+  // back off before retrying (0 = no hint). Clients must treat it as a
+  // floor, not a schedule — add their own jittered backoff on top.
+  uint32_t retry_after_ms = 0;
   // Op-specific: stats encoding (kStats), checkpoint path (kCheckpoint),
   // or a human-readable error detail.
   std::string payload;

@@ -1,0 +1,563 @@
+// Chaos-channel tests: the spec grammar, the deterministic byte-mangling
+// core, the threaded proxy, and the flash-crowd soak — N bursty clients
+// admitting through socket-level chaos while the daemon is checkpointed,
+// killed, and restored mid-crowd. The soak pins the overload-hardening
+// end-to-end story: exactly-once admits under retries, digest-consistent
+// recovery, zero occupancy drift, and service.overload.* metrics that
+// match the daemon's own counters.
+#include "service/chaos.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "recovery/checkpoint.h"
+#include "recovery/snapshot.h"
+#include "service/admission_service.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
+
+namespace zonestream::service {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/zs_chaos_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ChaosSpecTest, ParsesFullGrammar) {
+  const auto spec = ParseChaosSpec(
+      "partial:prob=0.5,max_bytes=8;delay:prob=0.1,min_ms=1,max_ms=5;"
+      "reset:prob=0.01;short_frame:prob=0.05;garbage:prob=0.07,max_bytes=4");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->partial_prob, 0.5);
+  EXPECT_EQ(spec->partial_max_bytes, 8);
+  EXPECT_DOUBLE_EQ(spec->delay_prob, 0.1);
+  EXPECT_EQ(spec->delay_min_ms, 1);
+  EXPECT_EQ(spec->delay_max_ms, 5);
+  EXPECT_DOUBLE_EQ(spec->reset_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec->short_frame_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec->garbage_prob, 0.07);
+  EXPECT_EQ(spec->garbage_max_bytes, 4);
+  EXPECT_TRUE(spec->Enabled());
+
+  const auto empty = ParseChaosSpec("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->Enabled());
+}
+
+TEST(ChaosSpecTest, FormatRoundTrips) {
+  const std::string text =
+      "partial:prob=0.5,max_bytes=8;delay:prob=0.1,min_ms=1,max_ms=5;"
+      "reset:prob=0.01;short_frame:prob=0.05;garbage:prob=0.07,max_bytes=4";
+  const auto spec = ParseChaosSpec(text);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(FormatChaosSpec(*spec), text);
+  // Disabled clauses are elided entirely.
+  const auto partial_only = ParseChaosSpec("partial:prob=1,max_bytes=3");
+  ASSERT_TRUE(partial_only.ok());
+  EXPECT_EQ(FormatChaosSpec(*partial_only), "partial:prob=1,max_bytes=3");
+  EXPECT_EQ(FormatChaosSpec(ChaosSpec{}), "");
+}
+
+TEST(ChaosSpecTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseChaosSpec("explode:prob=1").ok());        // unknown model
+  EXPECT_FALSE(ParseChaosSpec("reset:prob=1.5").ok());        // prob > 1
+  EXPECT_FALSE(ParseChaosSpec("reset:prob=-0.1").ok());       // prob < 0
+  EXPECT_FALSE(ParseChaosSpec("reset:prob=nan").ok());        // non-finite
+  EXPECT_FALSE(ParseChaosSpec("reset:prob=0.5,prob=0.6").ok());  // duplicate
+  EXPECT_FALSE(ParseChaosSpec("reset:wat=1").ok());           // unknown key
+  EXPECT_FALSE(ParseChaosSpec("partial:prob=1,max_bytes=0").ok());
+  EXPECT_FALSE(ParseChaosSpec("garbage:prob=1,max_bytes=-2").ok());
+  EXPECT_FALSE(ParseChaosSpec("delay:prob=1,min_ms=5,max_ms=2").ok());
+  EXPECT_FALSE(ParseChaosSpec("delay:prob=1,min_ms=-1,max_ms=2").ok());
+  EXPECT_FALSE(ParseChaosSpec("reset:prob").ok());            // not key=value
+}
+
+TEST(ApplyChaosTest, DisabledSpecLeavesBytesUntouched) {
+  std::mt19937_64 rng(7);
+  std::string bytes = "hello frames";
+  const ChaosOutcome outcome = ApplyChaosToBytes(ChaosSpec{}, rng, &bytes);
+  EXPECT_EQ(bytes, "hello frames");
+  EXPECT_FALSE(outcome.truncated);
+  EXPECT_FALSE(outcome.garbage_injected);
+  EXPECT_FALSE(outcome.reset);
+  EXPECT_EQ(outcome.delay_ms, 0);
+  EXPECT_EQ(outcome.chunk_bytes, 0u);
+}
+
+TEST(ApplyChaosTest, DeterministicForSeedAndInput) {
+  const auto spec = ParseChaosSpec(
+      "partial:prob=0.5,max_bytes=8;delay:prob=0.3,min_ms=1,max_ms=5;"
+      "reset:prob=0.2;short_frame:prob=0.4;garbage:prob=0.4,max_bytes=6");
+  ASSERT_TRUE(spec.ok());
+  const std::string original(257, 'z');
+
+  const auto run = [&spec, &original](uint64_t seed,
+                                      std::vector<std::string>* streams,
+                                      std::vector<ChaosOutcome>* outcomes) {
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 50; ++i) {
+      std::string bytes = original;
+      outcomes->push_back(ApplyChaosToBytes(*spec, rng, &bytes));
+      streams->push_back(bytes);
+    }
+  };
+  std::vector<std::string> a_bytes, b_bytes, c_bytes;
+  std::vector<ChaosOutcome> a_out, b_out, c_out;
+  run(11, &a_bytes, &a_out);
+  run(11, &b_bytes, &b_out);
+  run(12, &c_bytes, &c_out);
+
+  EXPECT_EQ(a_bytes, b_bytes);
+  for (size_t i = 0; i < a_out.size(); ++i) {
+    EXPECT_EQ(a_out[i].truncated, b_out[i].truncated) << i;
+    EXPECT_EQ(a_out[i].garbage_injected, b_out[i].garbage_injected) << i;
+    EXPECT_EQ(a_out[i].reset, b_out[i].reset) << i;
+    EXPECT_EQ(a_out[i].delay_ms, b_out[i].delay_ms) << i;
+    EXPECT_EQ(a_out[i].chunk_bytes, b_out[i].chunk_bytes) << i;
+  }
+  // A different seed produces a different fault trajectory.
+  EXPECT_NE(a_bytes, c_bytes);
+}
+
+TEST(ApplyChaosTest, CertainFaultsAlwaysFire) {
+  std::mt19937_64 rng(3);
+  const auto spec = ParseChaosSpec(
+      "partial:prob=1,max_bytes=4;delay:prob=1,min_ms=2,max_ms=7;"
+      "reset:prob=1;short_frame:prob=1;garbage:prob=1,max_bytes=3");
+  ASSERT_TRUE(spec.ok());
+  std::string bytes(100, 'q');
+  const ChaosOutcome outcome = ApplyChaosToBytes(*spec, rng, &bytes);
+  EXPECT_TRUE(outcome.truncated);
+  EXPECT_TRUE(outcome.garbage_injected);
+  EXPECT_TRUE(outcome.reset);
+  EXPECT_GE(outcome.delay_ms, 2);
+  EXPECT_LE(outcome.delay_ms, 7);
+  EXPECT_GE(outcome.chunk_bytes, 1u);
+  EXPECT_LE(outcome.chunk_bytes, 4u);
+  EXPECT_LT(bytes.size(), 100u + 4u);  // truncated before garbage grew it
+}
+
+// ---------------------------------------------------------------------
+// Proxy end-to-end.
+// ---------------------------------------------------------------------
+
+struct DaemonUnderTest {
+  std::unique_ptr<AdmissionService> service;
+  std::unique_ptr<AdmitDaemon> daemon;
+  std::thread serve;
+
+  ~DaemonUnderTest() { Shut(); }
+  void Shut() {
+    if (daemon != nullptr) {
+      daemon->RequestShutdown();
+      if (serve.joinable()) serve.join();
+      daemon.reset();
+    }
+  }
+};
+
+std::unique_ptr<AdmissionService> MakeService() {
+  AdmissionServiceConfig config;
+  config.classes = {{"gold", 0.001}, {"silver", 0.01}, {"bronze", 0.05}};
+  config.registry.shards = 4;
+  config.registry.capacity = 4096;
+  auto service = AdmissionService::Create(config);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_TRUE((*service)->PublishLimits({400, 400, 400}).ok());
+  return std::move(*service);
+}
+
+std::unique_ptr<DaemonUnderTest> StartDaemon(const std::string& socket_path,
+                                             obs::Registry* metrics) {
+  auto under_test = std::make_unique<DaemonUnderTest>();
+  under_test->service = MakeService();
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.poll_interval_ms = 5;
+  options.max_connections = 32;
+  options.max_requests_per_poll = 64;
+  options.retry_after_ms = 5;
+  options.metrics = metrics;
+  auto daemon = AdmitDaemon::Create(under_test->service.get(), options);
+  EXPECT_TRUE(daemon.ok()) << daemon.status().ToString();
+  if (!daemon.ok()) return nullptr;
+  under_test->daemon = std::move(*daemon);
+  under_test->serve = std::thread(
+      [raw = under_test->daemon.get()] { (void)raw->Serve(); });
+  return under_test;
+}
+
+TEST(ChaosProxyTest, CleanRelayPassesFullLifecycle) {
+  const std::string upstream = TempPath("relay_up");
+  const std::string listen = TempPath("relay");
+  auto daemon = StartDaemon(upstream, nullptr);
+  ASSERT_NE(daemon, nullptr);
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.listen_path = listen;
+  proxy_options.upstream_path = upstream;  // spec disabled: pure relay
+  auto proxy = ChaosProxy::Start(proxy_options);
+  ASSERT_TRUE(proxy.ok()) << proxy.status().ToString();
+
+  auto client = AdmitClient::Connect(listen);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto admitted = (*client)->AdmitClass(0, 1);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->status, WireStatus::kOk);
+  const auto torn = (*client)->Teardown(admitted->session_id);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_EQ(torn->status, WireStatus::kOk);
+
+  const ChaosProxyStats stats = (*proxy)->stats();
+  EXPECT_EQ(stats.connections, 1);
+  EXPECT_GT(stats.bytes_forwarded, 0);
+  EXPECT_EQ(stats.resets_injected, 0);
+  (*proxy)->Stop();
+  daemon->Shut();
+}
+
+TEST(ChaosProxyTest, PartialChunksReassembleBothDirections) {
+  const std::string upstream = TempPath("partial_up");
+  const std::string listen = TempPath("partial");
+  auto daemon = StartDaemon(upstream, nullptr);
+  ASSERT_NE(daemon, nullptr);
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.listen_path = listen;
+  proxy_options.upstream_path = upstream;
+  auto spec = ParseChaosSpec("partial:prob=1,max_bytes=3");
+  ASSERT_TRUE(spec.ok());
+  proxy_options.spec = *spec;
+  auto proxy = ChaosProxy::Start(proxy_options);
+  ASSERT_TRUE(proxy.ok());
+
+  // Every frame crosses the wire in <=3-byte fragments in both
+  // directions; framing must reassemble every time.
+  auto client = AdmitClient::Connect(listen);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 20; ++i) {
+    const auto pong = (*client)->Ping();
+    ASSERT_TRUE(pong.ok()) << i << ": " << pong.status().ToString();
+    EXPECT_EQ(pong->status, WireStatus::kOk);
+  }
+  (*proxy)->Stop();
+  daemon->Shut();
+}
+
+TEST(ChaosProxyTest, ResetSurfacesAsRetryableTransportError) {
+  const std::string upstream = TempPath("reset_up");
+  const std::string listen = TempPath("reset");
+  auto daemon = StartDaemon(upstream, nullptr);
+  ASSERT_NE(daemon, nullptr);
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.listen_path = listen;
+  proxy_options.upstream_path = upstream;
+  auto spec = ParseChaosSpec("reset:prob=1");
+  ASSERT_TRUE(spec.ok());
+  proxy_options.spec = *spec;
+  auto proxy = ChaosProxy::Start(proxy_options);
+  ASSERT_TRUE(proxy.ok());
+
+  // Every connection dies right after the first forwarded read, so the
+  // response never comes back: a transport error after the retry budget
+  // reconnected through the proxy (and died again) each time.
+  ClientOptions options;
+  options.max_retries = 2;
+  options.sleep_ms = [](int) {};
+  auto client = AdmitClient::Connect(listen, options);
+  ASSERT_TRUE(client.ok());
+  const auto response = (*client)->Ping();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), common::StatusCode::kInternal);
+  EXPECT_EQ((*client)->retries(), 2);
+
+  const ChaosProxyStats stats = (*proxy)->stats();
+  EXPECT_GE(stats.resets_injected, 1);
+  EXPECT_GE(stats.connections, 1);
+  (*proxy)->Stop();
+  daemon->Shut();
+}
+
+// ---------------------------------------------------------------------
+// Flash crowd: bursty clients through chaos, daemon checkpoint + kill +
+// restore mid-crowd.
+// ---------------------------------------------------------------------
+
+TEST(FlashCrowdSoakTest, SurvivesChaosAndDaemonRestart) {
+  const std::string upstream = TempPath("crowd_up");
+  const std::string listen = TempPath("crowd");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("zs_flash_crowd_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  recovery::CheckpointWriterOptions writer_options;
+  writer_options.directory = dir;
+  writer_options.basename = "crowd";
+  auto writer = recovery::CheckpointWriter::Create(writer_options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  obs::Registry metrics_before;
+  // Daemon #1 is built by hand (not StartDaemon) so the checkpoint
+  // callback is wired in before the serve thread exists. The callback
+  // runs in the daemon thread — the service's sole mutator — which is
+  // the only place ExportState is consistent while the crowd admits;
+  // exporting from the test thread here races and corrupts the digest.
+  auto first = std::make_unique<DaemonUnderTest>();
+  first->service = MakeService();
+  DaemonOptions first_options;
+  first_options.socket_path = upstream;
+  first_options.poll_interval_ms = 5;
+  first_options.max_connections = 32;
+  first_options.max_requests_per_poll = 64;
+  first_options.retry_after_ms = 5;
+  first_options.metrics = &metrics_before;
+  auto first_daemon =
+      AdmitDaemon::Create(first->service.get(), first_options);
+  ASSERT_TRUE(first_daemon.ok()) << first_daemon.status().ToString();
+  first->daemon = std::move(*first_daemon);
+  first->daemon->SetCheckpointCallback(
+      [svc = first->service.get(),
+       w = &*writer]() -> common::StatusOr<std::string> {
+        recovery::Snapshot snapshot;
+        snapshot.meta.producer = "chaos_test";
+        snapshot.service = svc->ExportState();
+        return w->Write(snapshot);
+      });
+  first->serve =
+      std::thread([raw = first->daemon.get()] { (void)raw->Serve(); });
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.listen_path = listen;
+  proxy_options.upstream_path = upstream;
+  // Timing faults only: partial writes, delays, and resets never corrupt
+  // bytes, so every client failure is a torn transport, never a
+  // malformed frame — exactly the class the retry loop must absorb.
+  auto spec = ParseChaosSpec(
+      "partial:prob=0.4,max_bytes=16;delay:prob=0.15,min_ms=1,max_ms=3;"
+      "reset:prob=0.04");
+  ASSERT_TRUE(spec.ok());
+  proxy_options.spec = *spec;
+  proxy_options.seed = 20260808;
+  auto proxy = ChaosProxy::Start(proxy_options);
+  ASSERT_TRUE(proxy.ok()) << proxy.status().ToString();
+
+  constexpr int kClients = 6;
+  constexpr int kSessionsPerClient = 25;
+  const auto session_id = [](int t, int i) {
+    return static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i) + 1;
+  };
+  const auto session_class = [](int t, int i) {
+    return static_cast<uint32_t>((t + i) % 3);
+  };
+
+  std::atomic<int> failures{0};
+  std::atomic<int64_t> total_retries{0};
+  std::vector<std::thread> crowd;
+  // A fatal assert below must not destroy joinable crowd threads (that
+  // is std::terminate); the guard joins whatever is still running. The
+  // crowd's bounded attempt budget guarantees the threads finish even
+  // if the restart never happens.
+  struct JoinGuard {
+    std::vector<std::thread>& threads;
+    ~JoinGuard() {
+      for (std::thread& thread : threads) {
+        if (thread.joinable()) thread.join();
+      }
+    }
+  } join_guard{crowd};
+  for (int t = 0; t < kClients; ++t) {
+    crowd.emplace_back([&, t] {
+      ClientOptions options;
+      options.connect_timeout_ms = 2000;
+      options.request_timeout_ms = 2000;
+      options.max_retries = 6;
+      options.backoff_initial_ms = 2;
+      options.backoff_max_ms = 40;
+      options.backoff_seed = 1000 + static_cast<uint64_t>(t);
+      std::unique_ptr<AdmitClient> client;
+      for (int i = 0; i < kSessionsPerClient; ++i) {
+        // Pre-assigned ids make retried admits exactly-once: a kOk whose
+        // response was eaten by chaos comes back as kDuplicate.
+        const uint64_t id = session_id(t, i);
+        bool admitted = false;
+        for (int attempt = 0; attempt < 60 && !admitted; ++attempt) {
+          if (client == nullptr) {
+            auto connect = AdmitClient::Connect(listen, options);
+            if (!connect.ok()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              continue;
+            }
+            client = std::move(*connect);
+          }
+          const auto response = client->AdmitClass(id, session_class(t, i));
+          if (!response.ok()) {
+            // Retry budget exhausted inside CallWithRetry (e.g. the
+            // daemon is mid-restart): start over with a fresh client.
+            total_retries.fetch_add(client->retries());
+            client.reset();
+            continue;
+          }
+          if (response->status == WireStatus::kOk ||
+              response->status == WireStatus::kDuplicate) {
+            admitted = true;
+          }
+        }
+        if (!admitted) failures.fetch_add(1);
+      }
+      if (client != nullptr) total_retries.fetch_add(client->retries());
+    });
+  }
+
+  // Let the crowd build: wait until admits have actually landed so the
+  // checkpoint provably captures live sessions.
+  for (int i = 0; i < 1000 && first->service->registry().live() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(first->service->registry().live(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Checkpoint through the wire (no chaos), exactly like production: the
+  // kCheckpoint op runs the callback in the daemon thread between
+  // requests, and the response's digest is computed right after it from
+  // the same quiesced state — the ground truth the restore must match.
+  uint64_t checkpoint_digest = 0;
+  {
+    auto control = AdmitClient::Connect(upstream);
+    ASSERT_TRUE(control.ok()) << control.status().ToString();
+    const auto checkpointed = (*control)->Checkpoint();
+    ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+    ASSERT_EQ(checkpointed->status, WireStatus::kOk)
+        << checkpointed->payload;
+    checkpoint_digest = checkpointed->digest;
+  }
+
+  // "SIGKILL": the daemon and its service vanish wholesale; in-flight
+  // clients see torn connections (the proxy's upstream connects fail
+  // during the window) and lean on their retry budgets.
+  first.reset();
+
+  auto loaded = recovery::LoadLatestGoodSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->snapshot.service.has_value());
+  // Digest consistency leg 1: the digest the daemon reported over the
+  // wire matches what actually landed on disk and survived the kill.
+  EXPECT_EQ(AdmissionServiceStateDigest(*loaded->snapshot.service),
+            checkpoint_digest);
+
+  obs::Registry metrics_after;
+  auto second = std::make_unique<DaemonUnderTest>();
+  second->service = MakeService();
+  ASSERT_TRUE(
+      second->service->RestoreState(*loaded->snapshot.service).ok());
+  // Digest consistency leg 2: the restored service re-exports the
+  // snapshot bit-for-bit — except next_session_id, which RestoreState
+  // deliberately advances past the largest restored id so auto-assigned
+  // ids can never collide with pre-assigned survivors.
+  AdmissionServiceState expected = *loaded->snapshot.service;
+  ASSERT_FALSE(expected.sessions.empty());
+  expected.next_session_id =
+      std::max(expected.next_session_id,
+               expected.sessions.back().session_id + 1);
+  EXPECT_EQ(second->service->Digest(),
+            AdmissionServiceStateDigest(expected));
+  DaemonOptions daemon_options;
+  daemon_options.socket_path = upstream;
+  daemon_options.poll_interval_ms = 5;
+  daemon_options.max_connections = 32;
+  daemon_options.max_requests_per_poll = 64;
+  daemon_options.retry_after_ms = 5;
+  daemon_options.metrics = &metrics_after;
+  auto daemon2 = AdmitDaemon::Create(second->service.get(), daemon_options);
+  ASSERT_TRUE(daemon2.ok()) << daemon2.status().ToString();
+  second->daemon = std::move(*daemon2);
+  second->serve =
+      std::thread([raw = second->daemon.get()] { (void)raw->Serve(); });
+
+  for (std::thread& thread : crowd) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Verification pass, direct to the daemon (no chaos): every id must be
+  // admitted exactly once. Sessions admitted after the checkpoint were
+  // legitimately lost at restore; re-admitting them lands kOk, survivors
+  // land kDuplicate — never a second kOk for a live session.
+  auto verify = AdmitClient::Connect(upstream);
+  ASSERT_TRUE(verify.ok()) << verify.status().ToString();
+  int survivors = 0;
+  for (int t = 0; t < kClients; ++t) {
+    for (int i = 0; i < kSessionsPerClient; ++i) {
+      const auto response =
+          (*verify)->AdmitClass(session_id(t, i), session_class(t, i));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response->status == WireStatus::kOk ||
+                  response->status == WireStatus::kDuplicate)
+          << WireStatusName(response->status);
+      if (response->status == WireStatus::kDuplicate) ++survivors;
+    }
+  }
+  // The crowd ran for 60ms before the checkpoint; at least some of its
+  // admits must have landed in it and survived the kill.
+  EXPECT_GT(survivors, 0);
+
+  // No double-admit anywhere: the live set is exactly one session per
+  // id, occupancy matches it, and a recount finds zero drift.
+  const int64_t expected_live =
+      static_cast<int64_t>(kClients) * kSessionsPerClient;
+  EXPECT_EQ(second->service->registry().live(), expected_live);
+  int64_t occupancy_total = 0;
+  for (size_t c = 0; c < second->service->class_count(); ++c) {
+    occupancy_total += second->service->occupancy(c);
+  }
+  EXPECT_EQ(occupancy_total, expected_live);
+  const ReconcileReport drift = second->service->ReconcileOccupancy();
+  EXPECT_EQ(drift.total_drift, 0);
+
+  // Quiesce the daemon, then check the service.overload.* export against
+  // its own accounting — they must agree exactly — and that the
+  // connection cap held throughout the crowd.
+  second->daemon->RequestShutdown();
+  second->serve.join();
+  const DaemonOverloadStats after = second->daemon->overload_stats();
+  EXPECT_LE(after.peak_connections, 32);
+  const auto counter = [&metrics_after](const char* name) {
+    return metrics_after.GetCounter(name)->value();
+  };
+  EXPECT_EQ(counter("service.overload.rejected_connections"),
+            after.rejected_connections);
+  EXPECT_EQ(counter("service.overload.shed_requests"), after.shed_requests);
+  EXPECT_EQ(counter("service.overload.retry_after_issued"),
+            after.retry_after_issued);
+  EXPECT_EQ(counter("service.overload.idle_closes"), after.idle_closes);
+  EXPECT_EQ(counter("service.overload.stall_closes"), after.stall_closes);
+  EXPECT_EQ(counter("service.overload.output_overflow_closes"),
+            after.output_overflow_closes);
+  EXPECT_EQ(counter("service.overload.too_large_closes"),
+            after.too_large_closes);
+  second->daemon.reset();
+
+  const ChaosProxyStats proxy_stats = (*proxy)->stats();
+  EXPECT_GE(proxy_stats.connections, kClients);
+  EXPECT_GT(proxy_stats.bytes_forwarded, 0);
+  (*proxy)->Stop();
+  EXPECT_GE(total_retries.load(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace zonestream::service

@@ -39,6 +39,7 @@ TEST(ProtocolResponseTest, RoundTripsWithPayload) {
   response.occupancy = 100;
   response.limit = 100;
   response.digest = 0xdeadbeefcafef00dULL;
+  response.retry_after_ms = 250;
   response.payload = std::string("checkpoint\0path", 15);  // embedded NUL
   const std::string encoded = EncodeResponse(response);
   const auto decoded = DecodeResponse(encoded);
@@ -49,7 +50,29 @@ TEST(ProtocolResponseTest, RoundTripsWithPayload) {
   EXPECT_EQ(decoded->occupancy, 100);
   EXPECT_EQ(decoded->limit, 100);
   EXPECT_EQ(decoded->digest, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
   EXPECT_EQ(decoded->payload, response.payload);
+}
+
+TEST(ProtocolResponseTest, OverloadStatusesRoundTrip) {
+  for (const WireStatus status :
+       {WireStatus::kOverloaded, WireStatus::kTooLarge}) {
+    Response response;
+    response.status = status;
+    response.retry_after_ms = status == WireStatus::kOverloaded ? 50u : 0u;
+    const auto decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status, status);
+    EXPECT_EQ(decoded->retry_after_ms, response.retry_after_ms);
+  }
+  EXPECT_STREQ(WireStatusName(WireStatus::kOverloaded), "overloaded");
+  EXPECT_STREQ(WireStatusName(WireStatus::kTooLarge), "too_large");
+  // The byte just above the last valid status must be rejected.
+  Response probe;
+  std::string encoded = EncodeResponse(probe);
+  encoded[0] = static_cast<char>(static_cast<uint8_t>(WireStatus::kTooLarge) +
+                                 1);
+  EXPECT_FALSE(DecodeResponse(encoded).ok());
 }
 
 TEST(ProtocolStatsTest, RoundTripsServiceStats) {

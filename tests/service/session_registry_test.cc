@@ -244,5 +244,84 @@ TEST(SessionRegistryStressTest, DisjointIdChurn) {
   EXPECT_EQ((*registry)->live(), 0);
 }
 
+// Capacity boundary under contention: the registry sits at EXACTLY
+// `capacity` live sessions the entire time while threads erase one of
+// their own ids and insert a replacement. Every erase frees the slot the
+// same thread's next insert needs, so the registry never exceeds
+// capacity and reclaim must always succeed — modulo transient kFull
+// while other threads are mid-swap, which a bounded retry absorbs.
+TEST(SessionRegistryStressTest, EraseInsertReclaimAtExactCapacity) {
+  SessionRegistryOptions options;
+  options.shards = 1;  // one shard: all churn contends on the same slab
+  options.capacity = 64;
+  auto registry = SessionRegistry::Create(options);
+  ASSERT_TRUE(registry.ok());
+  const int64_t capacity = (*registry)->capacity();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 30;
+  const int64_t per_thread = capacity / kThreads;
+  const auto id_for = [](int thread, int round, int64_t slot) {
+    return 1 + static_cast<uint64_t>(thread) * 1000000 +
+           static_cast<uint64_t>(round) * 1000 + static_cast<uint64_t>(slot);
+  };
+
+  // Fill to exactly capacity: each thread's working set, plus remainder
+  // ids that stay put for the whole test.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int64_t i = 0; i < per_thread; ++i) {
+      ASSERT_EQ((*registry)->Insert(id_for(t, 0, i), 0, 0),
+                RegistryResult::kOk);
+    }
+  }
+  const int64_t remainder = capacity - per_thread * kThreads;
+  for (int64_t i = 0; i < remainder; ++i) {
+    ASSERT_EQ((*registry)->Insert(900000000 + static_cast<uint64_t>(i), 0, 0),
+              RegistryResult::kOk);
+  }
+  ASSERT_EQ((*registry)->live(), capacity);
+  // Insert-at-full rejects cleanly, and rejects do not corrupt the set.
+  EXPECT_EQ((*registry)->Insert(999999999, 0, 0), RegistryResult::kFull);
+  EXPECT_EQ((*registry)->live(), capacity);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds && !failed.load(); ++round) {
+        for (int64_t i = 0; i < per_thread; ++i) {
+          if ((*registry)->Erase(id_for(t, round, i), nullptr, nullptr) !=
+              RegistryResult::kOk) {
+            failed.store(true);
+            return;
+          }
+          RegistryResult inserted = RegistryResult::kFull;
+          for (int spin = 0; spin < 100000; ++spin) {
+            inserted = (*registry)->Insert(id_for(t, round + 1, i), 0, 0);
+            if (inserted != RegistryResult::kFull) break;
+          }
+          if (inserted != RegistryResult::kOk) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  // Still at exact capacity, still rejecting, and the final working sets
+  // are all present.
+  EXPECT_EQ((*registry)->live(), capacity);
+  EXPECT_EQ((*registry)->Insert(999999998, 0, 0), RegistryResult::kFull);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int64_t i = 0; i < per_thread; ++i) {
+      EXPECT_EQ((*registry)->Lookup(id_for(t, kRounds, i), nullptr, nullptr),
+                RegistryResult::kOk);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zonestream::service
